@@ -1,0 +1,81 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **Per-component convergence** (Transitive): Section 11.1 argues that
+//!   iterating each component only until *its* cells converge is a large
+//!   win over running the global iteration count everywhere.
+//! * **Summary-table re-sorting** (Independent): Algorithm 3 re-sorts the
+//!   summary tables every iteration; caching the sorted chain files is
+//!   the obvious (non-paper) optimization, isolating how much of
+//!   Independent's cost is fact-sorting vs. the W sorts of `C`.
+//! * **Converged-cell skip**: all three algorithms freeze converged cells
+//!   (the other Section 11.1 optimization); disabling is approximated by
+//!   pinning the iteration count so nothing converges early.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iolap_core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use iolap_datagen::{generate, GeneratorConfig};
+use std::hint::black_box;
+
+fn bench_per_component_convergence(c: &mut Criterion) {
+    let table = generate(&GeneratorConfig::automotive(30_000, 9));
+    let mut group = c.benchmark_group("ablation/per_component_convergence");
+    group.sample_size(10);
+    for (label, enabled) in [("on", true), ("off", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let policy = PolicySpec::em_count(0.005);
+                let cfg = AllocConfig {
+                    per_component_convergence: enabled,
+                    ..AllocConfig::in_memory(1 << 16)
+                };
+                let run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
+                black_box(run.report.iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_independent_resort(c: &mut Criterion) {
+    let table = generate(&GeneratorConfig::automotive(30_000, 9));
+    let mut group = c.benchmark_group("ablation/independent_fact_resort");
+    group.sample_size(10);
+    for (label, resort) in [("paper_resorts", true), ("cached_chains", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let policy = PolicySpec::em_count(0.01);
+                let cfg = AllocConfig {
+                    resort_facts: resort,
+                    ..AllocConfig::in_memory(1 << 16)
+                };
+                let run = allocate(&table, &policy, Algorithm::Independent, &cfg).unwrap();
+                black_box(run.report.iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_iteration_scaling(c: &mut Criterion) {
+    // Block's cost grows with T; Transitive's stays ~flat (the paper's
+    // headline comparison) — benchmarked here at pinned iteration counts.
+    let table = generate(&GeneratorConfig::automotive(30_000, 9));
+    let mut group = c.benchmark_group("ablation/iteration_scaling");
+    group.sample_size(10);
+    for iters in [2u32, 6] {
+        for alg in [Algorithm::Block, Algorithm::Transitive] {
+            group.bench_function(format!("{alg}_T{iters}"), |b| {
+                b.iter(|| {
+                    let policy = PolicySpec::em_count(0.0).with_max_iters(iters);
+                    let run =
+                        allocate(&table, &policy, alg, &AllocConfig::in_memory(1 << 16)).unwrap();
+                    black_box(run.report.iterations)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_component_convergence, bench_independent_resort, bench_iteration_scaling);
+criterion_main!(benches);

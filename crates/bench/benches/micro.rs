@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks for the building blocks whose costs the
+//! paper's theorems compose: external sort, box queries, one EM iteration
+//! per algorithm, component identification, R-tree operations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use iolap_core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use iolap_datagen::{generate, GeneratorConfig};
+use iolap_graph::CellSetIndex;
+use iolap_model::FactTable;
+use iolap_rtree::{Aabb, RTree};
+use iolap_storage::{external_sort, Env, SortBudget};
+use std::hint::black_box;
+
+fn small_table() -> FactTable {
+    generate(&GeneratorConfig::automotive(20_000, 42))
+}
+
+fn bench_external_sort(c: &mut Criterion) {
+    let env = Env::builder("bench-sort").pool_pages(4096).in_memory().build().unwrap();
+    c.bench_function("extsort/100k_u64_budget8p", |b| {
+        b.iter_batched(
+            || {
+                let mut f = env.create_file("in", iolap_storage::codec::U64Codec).unwrap();
+                for i in 0..100_000u64 {
+                    f.push(&(i.wrapping_mul(2_654_435_761) % 1_000_000)).unwrap();
+                }
+                f
+            },
+            |f| {
+                let sorted = external_sort(&env, f, SortBudget::pages(8), |v| *v).unwrap();
+                sorted.delete().unwrap();
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_box_queries(c: &mut Criterion) {
+    let table = small_table();
+    let schema = table.schema().clone();
+    let keys: Vec<_> = table.facts().iter().filter_map(|f| schema.cell_of(f)).collect();
+    let index = CellSetIndex::from_unsorted(keys, schema.k());
+    let regions: Vec<_> = table
+        .facts()
+        .iter()
+        .filter(|f| !schema.is_precise(f))
+        .map(|f| schema.region(f))
+        .collect();
+    c.bench_function("cellindex/for_each_in_box_6k_regions", |b| {
+        b.iter(|| {
+            let mut edges = 0u64;
+            for bx in &regions {
+                index.for_each_in_box(bx, |i| edges += black_box(i) & 1);
+            }
+            black_box(edges)
+        })
+    });
+}
+
+fn bench_allocation_iteration(c: &mut Criterion) {
+    let table = small_table();
+    let mut group = c.benchmark_group("one_em_iteration");
+    group.sample_size(10);
+    for alg in [Algorithm::Basic, Algorithm::Independent, Algorithm::Block, Algorithm::Transitive]
+    {
+        group.bench_function(format!("{alg}"), |b| {
+            b.iter(|| {
+                // Pin exactly one iteration (ε = 0 never converges).
+                let policy = PolicySpec::em_count(0.0).with_max_iters(1);
+                let run =
+                    allocate(&table, &policy, alg, &AllocConfig::in_memory(1 << 16)).unwrap();
+                black_box(run.report.iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_component_identification(c: &mut Criterion) {
+    let table = generate(&GeneratorConfig::synthetic(20_000, 7));
+    let mut group = c.benchmark_group("components");
+    group.sample_size(10);
+    group.bench_function("transitive_identify_20k", |b| {
+        b.iter(|| {
+            // max_iters = 0 isolates prep + identification + sort + census.
+            let policy = PolicySpec::em_count(0.0).with_max_iters(0);
+            let run = allocate(
+                &table,
+                &policy,
+                Algorithm::Transitive,
+                &AllocConfig::in_memory(1 << 16),
+            )
+            .unwrap();
+            black_box(run.report.components.unwrap().total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let items: Vec<(Aabb, u32)> = (0..50_000u32)
+        .map(|i| {
+            let x = i.wrapping_mul(2_654_435_761) % 10_000;
+            let y = i.wrapping_mul(40_503) % 10_000;
+            (Aabb::new(&[x, y], &[x + 1 + i % 30, y + 1 + (i * 3) % 30]), i)
+        })
+        .collect();
+    c.bench_function("rtree/bulk_load_50k", |b| {
+        b.iter(|| black_box(RTree::bulk_load(2, items.clone()).len()))
+    });
+    let tree = RTree::bulk_load(2, items);
+    c.bench_function("rtree/query_1k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for q in 0..1_000u32 {
+                let x = q.wrapping_mul(7_919) % 9_000;
+                let y = q.wrapping_mul(104_729) % 9_000;
+                let bx = Aabb::new(&[x, y], &[x + 200, y + 200]);
+                tree.search(&bx, |_, _| hits += 1);
+            }
+            black_box(hits)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_external_sort,
+    bench_box_queries,
+    bench_allocation_iteration,
+    bench_component_identification,
+    bench_rtree
+);
+criterion_main!(benches);

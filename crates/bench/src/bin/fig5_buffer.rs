@@ -1,0 +1,60 @@
+//! Reproduce **Figures 5c–h**: running time vs. buffer size, at three
+//! convergence thresholds, for the automotive (5c–e) and synthetic (5f–h)
+//! datasets.
+//!
+//! The paper's buffers: 600 KB, 1 MB, 2 MB (automotive) / 6 MB
+//! (synthetic), 12 MB against a 32 MB fact table. Expected shapes:
+//! automotive curves flat (total partition size 143 pages < 600 KB);
+//! synthetic Block/Transitive improve as |S| drops 3 → 1; Independent
+//! worst throughout; Block beats Transitive at few iterations, Transitive
+//! wins at many.
+//!
+//! ```bash
+//! cargo run --release -p iolap-bench --bin fig5_buffer -- --dataset automotive
+//! cargo run --release -p iolap-bench --bin fig5_buffer -- --dataset synthetic
+//! ```
+
+use iolap_bench::runs::{kb_to_pages, print_table, run_once};
+use iolap_bench::Args;
+use iolap_core::Algorithm;
+use iolap_datagen::{scaled, DatasetKind};
+
+fn main() {
+    let args = Args::parse(200_000);
+    let table = scaled(args.dataset, args.facts, args.seed);
+    println!(
+        "Figures 5c–h — time vs buffer size, {:?} dataset, {} facts",
+        args.dataset, args.facts
+    );
+
+    let buffers_kb: Vec<u64> = match args.dataset {
+        DatasetKind::Automotive => vec![600, 1024, 2 * 1024, 12 * 1024],
+        DatasetKind::Synthetic => vec![600, 1024, 6 * 1024, 12 * 1024],
+    };
+    let epsilons = [0.1f64, 0.05, 0.005];
+    let algorithms =
+        [Algorithm::Independent, Algorithm::Block, Algorithm::Transitive];
+
+    for eps in epsilons {
+        let mut rows = Vec::new();
+        for &kb in &buffers_kb {
+            for alg in algorithms {
+                let p = run_once(&table, alg, kb_to_pages(kb), eps, 60, args.on_disk);
+                rows.push(vec![
+                    format!("{} KB", kb),
+                    alg.to_string(),
+                    format!("{}", p.report.iterations),
+                    format!("{:.3}", p.alloc_secs()),
+                    format!("{}", p.alloc_ios()),
+                    format!("{}", p.report.num_table_sets.max(1)),
+                    format!("{}", p.report.partition_pages),
+                ]);
+            }
+        }
+        print_table(
+            &format!("epsilon = {eps}"),
+            &["buffer", "algorithm", "iters", "alloc s", "alloc I/Os", "|S|", "|P| pages"],
+            &rows,
+        );
+    }
+}

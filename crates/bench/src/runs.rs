@@ -1,0 +1,99 @@
+//! Shared measurement helpers for the harness binaries.
+
+use iolap_core::{allocate_in_env, Algorithm, AllocConfig, PolicySpec, RunReport};
+use iolap_model::FactTable;
+use iolap_storage::Env;
+
+/// One measured point of a figure: algorithm, configuration, and the run
+/// report (wall-clock + page I/O).
+#[derive(Debug, Clone)]
+pub struct OnePoint {
+    /// Algorithm that produced the point.
+    pub algorithm: Algorithm,
+    /// Buffer size in pages.
+    pub buffer_pages: usize,
+    /// Convergence threshold used.
+    pub epsilon: f64,
+    /// Full run report.
+    pub report: RunReport,
+}
+
+impl OnePoint {
+    /// Seconds spent in the allocation passes (the paper's reported time
+    /// excludes preprocessing and the final EDB write).
+    pub fn alloc_secs(&self) -> f64 {
+        self.report.wall_alloc.as_secs_f64()
+    }
+
+    /// Allocation-phase page I/Os.
+    pub fn alloc_ios(&self) -> u64 {
+        self.report.io_alloc.total()
+    }
+}
+
+/// Run one (algorithm, buffer, ε) cell of an experiment grid in a fresh
+/// environment, returning the measured point.
+pub fn run_once(
+    table: &FactTable,
+    algorithm: Algorithm,
+    buffer_pages: usize,
+    epsilon: f64,
+    max_iters: u32,
+    on_disk: bool,
+) -> OnePoint {
+    let policy = PolicySpec::em_count(epsilon).with_max_iters(max_iters);
+    let mut cfg = AllocConfig { buffer_pages, ..Default::default() };
+    cfg.in_memory_backing = !on_disk;
+    let env: Env = cfg.build_env(&format!("bench-{algorithm}")).expect("env");
+    let run = allocate_in_env(table, &policy, algorithm, &cfg, &env).expect("allocation");
+    OnePoint { algorithm, buffer_pages, epsilon, report: run.report }
+}
+
+/// Pages for a buffer given in KB (the paper quotes buffer sizes in
+/// KB/MB).
+pub fn kb_to_pages(kb: u64) -> usize {
+    ((kb * 1024) as usize).div_ceil(iolap_storage::PAGE_SIZE)
+}
+
+/// Render a header + rows of aligned columns.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter().map(|r| r[i].len()).chain(std::iter::once(h.len())).max().unwrap_or(0)
+        })
+        .collect();
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(header.iter().map(|s| s.to_string()).collect());
+    for r in rows {
+        line(r.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kb_conversion() {
+        assert_eq!(kb_to_pages(600), 150); // the paper's 600 KB buffer
+        assert_eq!(kb_to_pages(1024), 256); // 1 MB
+        assert_eq!(kb_to_pages(12 * 1024), 3072); // 12 MB
+    }
+
+    #[test]
+    fn run_once_smoke() {
+        let table = iolap_model::paper_example::table1();
+        let p = run_once(&table, Algorithm::Block, 64, 0.05, 50, false);
+        assert!(p.report.converged);
+        assert_eq!(p.buffer_pages, 64);
+    }
+}

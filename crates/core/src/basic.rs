@@ -1,0 +1,174 @@
+//! The Basic Algorithm (Algorithm 1) and Partitioned Basic (Algorithm 2).
+//!
+//! Basic is the in-memory reference every scalable algorithm is proven
+//! equivalent to (Theorem 1 ties it to the allocation equations;
+//! Corollaries 1–2 and Theorem 9 tie the others to it). Partitioned Basic
+//! demonstrates Theorem 2: any partitioning of the allocation graph's
+//! edges, processed in any order within a pass, reaches the same values.
+
+use crate::error::Result;
+use crate::inmem::InMemProblem;
+use crate::policy::PolicySpec;
+use crate::prep::PreparedData;
+
+/// Load the whole prepared dataset into memory as an [`InMemProblem`].
+pub fn load_problem(prep: &mut PreparedData) -> Result<InMemProblem> {
+    let cells: Vec<_> = {
+        let mut v = Vec::with_capacity(prep.cells.len() as usize);
+        let mut cursor = prep.cells.scan();
+        while let Some(c) = cursor.next()? {
+            v.push(c);
+        }
+        v
+    };
+    let mut facts = Vec::with_capacity(prep.facts.len() as usize);
+    prep.facts.read_batch(0, &mut facts, prep.facts.len() as usize)?;
+    Ok(InMemProblem::build(cells, facts, &prep.schema))
+}
+
+/// Run Algorithm 1 to convergence. Returns the solved problem plus
+/// `(iterations, converged)`.
+pub fn run_basic(prep: &mut PreparedData, policy: &PolicySpec) -> Result<(InMemProblem, u32, bool)> {
+    let mut prob = load_problem(prep)?;
+    let (iters, conv) = prob.solve(&policy.convergence);
+    Ok((prob, iters, conv))
+}
+
+/// Partitioned Basic (Algorithm 2): identical math, but the edges are
+/// processed partition by partition in a caller-chosen order. `partition`
+/// maps each fact index to a partition id; partitions are processed in
+/// ascending id order within each pass.
+///
+/// Exists to *demonstrate* Theorem 2 (the fixpoint is order-independent);
+/// tests compare its output against [`run_basic`].
+pub fn solve_partitioned(
+    prob: &mut InMemProblem,
+    policy: &PolicySpec,
+    partition: &[u32],
+) -> (u32, bool) {
+    assert_eq!(partition.len(), prob.facts.len());
+    let conv = policy.convergence;
+    let mut order: Vec<usize> = (0..prob.facts.len()).collect();
+    order.sort_by_key(|&r| (partition[r], r));
+
+    let mut remaining = prob.cells.iter().filter(|c| !c.converged).count();
+    if remaining == 0 || prob.facts.is_empty() || conv.max_iters == 0 {
+        return (0, true);
+    }
+    let mut new_delta = vec![0.0f64; prob.cells.len()];
+    for t in 1..=conv.max_iters {
+        // Γ pass, partition order.
+        for &r in &order {
+            let mut g = 0.0;
+            for &c in &prob.fact_cells[r] {
+                g += prob.cells[c as usize].delta;
+            }
+            prob.facts[r].gamma = g;
+        }
+        // Δ pass, partition order.
+        for (c, cell) in prob.cells.iter().enumerate() {
+            new_delta[c] = cell.delta0;
+        }
+        for &r in &order {
+            let g = prob.facts[r].gamma;
+            if g <= 0.0 {
+                continue;
+            }
+            for &c in &prob.fact_cells[r] {
+                new_delta[c as usize] += prob.cells[c as usize].delta / g;
+            }
+        }
+        for (c, cell) in prob.cells.iter_mut().enumerate() {
+            if cell.converged {
+                continue;
+            }
+            let nd = new_delta[c];
+            if conv.cell_converged(cell.delta, nd) {
+                cell.converged = true;
+                remaining -= 1;
+            }
+            cell.delta = nd;
+        }
+        if remaining == 0 {
+            return (t, true);
+        }
+    }
+    (conv.max_iters, remaining == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicySpec;
+    use crate::prep::prepare;
+    use iolap_model::paper_example;
+    use iolap_storage::Env;
+
+    fn prep_with(policy: &PolicySpec) -> PreparedData {
+        let env = Env::builder("basic-test").pool_pages(64).in_memory().build().unwrap();
+        prepare(&paper_example::table1(), policy, &env, 8).unwrap()
+    }
+
+    #[test]
+    fn basic_converges_on_table1() {
+        let policy = PolicySpec::em_count(0.005);
+        let mut p = prep_with(&policy);
+        let (mut prob, iters, conv) = run_basic(&mut p, &policy).unwrap();
+        assert!(conv);
+        assert!(iters >= 2, "table 1 needs a few iterations at ε=0.005");
+        let mut n = 0;
+        prob.emit(|e| {
+            assert!(e.weight > 0.0);
+            n += 1;
+        });
+        assert_eq!(n, 12);
+    }
+
+    /// Theorem 2: the choice of partitioning and processing order does
+    /// not change the fixpoint.
+    #[test]
+    fn partitioned_basic_equals_basic() {
+        let policy = PolicySpec::em_count(0.001);
+        // Baseline.
+        let mut p1 = prep_with(&policy);
+        let (basic, i1, _) = run_basic(&mut p1, &policy).unwrap();
+
+        // Several different partitionings.
+        let partitions: Vec<Vec<u32>> = vec![
+            vec![0; 9],                             // all in one
+            (0..9u32).collect(),                    // each alone
+            vec![1, 0, 1, 0, 1, 0, 1, 0, 1],        // interleaved
+            vec![2, 2, 1, 1, 0, 0, 2, 1, 0],        // scrambled
+        ];
+        for part in &partitions {
+            let mut p2 = prep_with(&policy);
+            let mut prob = load_problem(&mut p2).unwrap();
+            let (i2, c2) = solve_partitioned(&mut prob, &policy, part);
+            assert!(c2);
+            assert_eq!(i1, i2, "same trajectory for {part:?}");
+            for (a, b) in basic.cells.iter().zip(&prob.cells) {
+                assert!(
+                    (a.delta - b.delta).abs() < 1e-9,
+                    "partition {part:?}: {} vs {}",
+                    a.delta,
+                    b.delta
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iterations_match_epsilon_ladder() {
+        // Looser ε converges in fewer (or equal) iterations — the knob the
+        // paper's figures sweep.
+        let mut last = 0;
+        for eps in [0.1, 0.05, 0.01, 0.005, 0.001] {
+            let policy = PolicySpec::em_count(eps);
+            let mut p = prep_with(&policy);
+            let (_, iters, conv) = run_basic(&mut p, &policy).unwrap();
+            assert!(conv);
+            assert!(iters >= last, "ε={eps}: {iters} < {last}");
+            last = iters;
+        }
+    }
+}

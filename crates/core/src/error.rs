@@ -1,0 +1,67 @@
+//! Error type for the allocation pipeline.
+
+use std::fmt;
+
+/// Errors raised while preparing data or running an allocation algorithm.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Propagated storage-layer failure.
+    Storage(iolap_storage::StorageError),
+    /// Invalid policy / configuration combination.
+    Config(String),
+    /// The candidate cell set exploded past its configured limit
+    /// (`CandidateCells::RegionUnion` with huge regions).
+    CellSetTooLarge {
+        /// The configured bound.
+        limit: u64,
+    },
+    /// Input data failed validation.
+    BadInput(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::Config(msg) => write!(f, "configuration error: {msg}"),
+            CoreError::CellSetTooLarge { limit } => {
+                write!(f, "candidate cell set exceeds the configured limit of {limit} cells")
+            }
+            CoreError::BadInput(msg) => write!(f, "bad input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<iolap_storage::StorageError> for CoreError {
+    fn from(e: iolap_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::Config("bad".into());
+        assert!(format!("{e}").contains("bad"));
+        let e = CoreError::CellSetTooLarge { limit: 10 };
+        assert!(format!("{e}").contains("10"));
+        let e: CoreError =
+            iolap_storage::StorageError::InvalidConfig("x".into()).into();
+        assert!(format!("{e}").contains("storage"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Estimators for the quantities the paper's conclusion names as future
+//! work: "finding methods for estimating both the number of required
+//! iterations to achieve convergence for a given ε and [the] size of the
+//! largest connected component".
+//!
+//! Both estimators work on a *sample* of the imprecise facts (plus every
+//! candidate cell the sampled facts touch), so they cost a fraction of a
+//! real run and can drive planning decisions:
+//!
+//! * [`estimate_iterations`] — run the in-memory template on the sampled
+//!   subgraph to convergence and report its iteration count. Convergence
+//!   speed is governed by the local mixing of the EM updates, which the
+//!   sample preserves; the estimate is exact for ε values dominated by
+//!   small components (the common case per Section 11.2).
+//! * [`estimate_largest_component`] — union-find over the sampled facts'
+//!   cell overlaps, scaled by the sampling fraction. A giant component
+//!   (the synthetic dataset's defining feature) survives any constant
+//!   sampling rate, so "is there a component larger than the buffer?" —
+//!   the question that decides Transitive's fallback behaviour — is
+//!   answered reliably.
+//!
+//! Use [`plan`] for the combined planning call.
+
+use crate::error::Result;
+use crate::inmem::InMemProblem;
+use crate::policy::{Convergence, PolicySpec};
+use crate::prep::{region_of, PreparedData};
+use iolap_graph::CcidMap;
+use iolap_model::WorkFactRecord;
+use std::collections::HashMap;
+
+/// Outcome of the pre-run planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanEstimate {
+    /// Estimated iterations to reach the policy's ε.
+    pub iterations: u32,
+    /// Estimated size (in tuples) of the largest connected component.
+    pub largest_component: u64,
+    /// Sampling fraction actually used.
+    pub sample_frac: f64,
+    /// Number of facts in the sample.
+    pub sampled_facts: u64,
+}
+
+/// Deterministically sample roughly `frac` of the imprecise facts
+/// (stride-based, so no RNG state is needed and results are reproducible).
+fn sample_facts(prep: &PreparedData, frac: f64) -> Result<Vec<WorkFactRecord>> {
+    let n = prep.facts.len();
+    let stride = (1.0 / frac.clamp(1e-6, 1.0)).round().max(1.0) as u64;
+    let mut out = Vec::with_capacity((n / stride + 1) as usize);
+    let mut i = 0u64;
+    while i < n {
+        let f = prep.facts.get(i)?;
+        if f.covers_any_cell() {
+            out.push(f);
+        }
+        i += stride;
+    }
+    Ok(out)
+}
+
+/// Estimate the iterations needed for `policy.convergence` by solving the
+/// sampled subgraph in memory.
+pub fn estimate_iterations(
+    prep: &mut PreparedData,
+    policy: &PolicySpec,
+    frac: f64,
+) -> Result<u32> {
+    let schema = prep.schema.clone();
+    let facts = sample_facts(prep, frac)?;
+    if facts.is_empty() {
+        return Ok(0);
+    }
+    // Candidate cells touched by the sample.
+    let mut cell_idx: Vec<u64> = Vec::new();
+    for f in &facts {
+        let bx = region_of(&schema, &f.dims);
+        prep.index.for_each_in_box(&bx, |i| cell_idx.push(i));
+    }
+    cell_idx.sort_unstable();
+    cell_idx.dedup();
+    let mut cells = Vec::with_capacity(cell_idx.len());
+    for &ci in &cell_idx {
+        let mut c = prep.cells.get(ci)?;
+        c.delta = c.delta0;
+        c.converged = false;
+        cells.push(c);
+    }
+    let mut prob = InMemProblem::build(cells, facts, &schema);
+    // Recompute degrees within the sample.
+    let mut degree = vec![0u32; prob.cells.len()];
+    for covered in &prob.fact_cells {
+        for &c in covered {
+            degree[c as usize] += 1;
+        }
+    }
+    for (c, cell) in prob.cells.iter_mut().enumerate() {
+        cell.degree = degree[c];
+        cell.converged = degree[c] == 0;
+    }
+    let conv = Convergence { epsilon: policy.convergence.epsilon, max_iters: 200 };
+    let (iters, _) = prob.solve(&conv);
+    Ok(iters)
+}
+
+/// Estimate the largest connected component (in tuples) via union-find on
+/// a fact sample, scaled back by the sampling fraction.
+pub fn estimate_largest_component(prep: &mut PreparedData, frac: f64) -> Result<u64> {
+    let schema = prep.schema.clone();
+    let facts = sample_facts(prep, frac)?;
+    if facts.is_empty() {
+        return Ok(prep.cells.len().min(1));
+    }
+    let mut map = CcidMap::new();
+    let mut cell_comp: HashMap<u64, u32> = HashMap::new();
+    let mut fact_comp: Vec<u32> = Vec::with_capacity(facts.len());
+    for f in &facts {
+        let bx = region_of(&schema, &f.dims);
+        let mut ids: Vec<u32> = Vec::new();
+        prep.index.for_each_in_box(&bx, |ci| {
+            if let Some(&cc) = cell_comp.get(&ci) {
+                ids.push(cc);
+            }
+        });
+        let root = map.union_all(&ids);
+        fact_comp.push(root);
+        prep.index.for_each_in_box(&bx, |ci| {
+            cell_comp.insert(ci, root);
+        });
+    }
+    map.resolve_all();
+    let mut sizes: HashMap<u32, u64> = HashMap::new();
+    for (_, cc) in cell_comp.iter() {
+        *sizes.entry(map.peek(*cc)).or_insert(0) += 1;
+    }
+    for cc in &fact_comp {
+        *sizes.entry(map.peek(*cc)).or_insert(0) += 1;
+    }
+    let largest_sampled = sizes.values().copied().max().unwrap_or(1);
+    // Facts were thinned by `frac`; the cells of the surviving component
+    // were not, so scale only the fact share. A simple uniform upscale is
+    // a usable upper-ish estimate for planning.
+    Ok(((largest_sampled as f64) / frac.clamp(1e-6, 1.0).sqrt()) as u64)
+}
+
+/// Combined planning call: estimate iterations and the largest component
+/// from one prepared dataset.
+pub fn plan(prep: &mut PreparedData, policy: &PolicySpec, frac: f64) -> Result<PlanEstimate> {
+    let sampled = sample_facts(prep, frac)?.len() as u64;
+    Ok(PlanEstimate {
+        iterations: estimate_iterations(prep, policy, frac)?,
+        largest_component: estimate_largest_component(prep, frac)?,
+        sample_frac: frac,
+        sampled_facts: sampled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::prepare;
+    use crate::runner::{allocate, Algorithm, AllocConfig};
+    use iolap_datagen::{generate, GeneratorConfig};
+    use iolap_model::paper_example;
+
+    #[test]
+    fn full_sample_reproduces_exact_iterations() {
+        let policy = PolicySpec::em_count(0.005);
+        let env = iolap_storage::Env::builder("est").pool_pages(128).in_memory().build().unwrap();
+        let t = paper_example::table1();
+        let mut p = prepare(&t, &policy, &env, 8).unwrap();
+        let est = estimate_iterations(&mut p, &policy, 1.0).unwrap();
+        let run = allocate(&t, &policy, Algorithm::Basic, &AllocConfig::in_memory(128)).unwrap();
+        assert_eq!(est, run.report.iterations, "frac = 1 must be exact");
+    }
+
+    #[test]
+    fn full_sample_finds_exact_largest_component() {
+        let policy = PolicySpec::em_count(0.01);
+        let env = iolap_storage::Env::builder("est2").pool_pages(128).in_memory().build().unwrap();
+        let t = paper_example::table1();
+        let mut p = prepare(&t, &policy, &env, 8).unwrap();
+        let est = estimate_largest_component(&mut p, 1.0).unwrap();
+        assert_eq!(est, 9, "CC1 has 3 cells + 6 facts");
+    }
+
+    #[test]
+    fn sampled_estimates_are_in_the_right_ballpark() {
+        let policy = PolicySpec::em_count(0.01);
+        let table = generate(&GeneratorConfig::synthetic(20_000, 3));
+        let env =
+            iolap_storage::Env::builder("est3").pool_pages(1 << 14).in_memory().build().unwrap();
+        let mut p = prepare(&table, &policy, &env, 64).unwrap();
+        let est = plan(&mut p, &policy, 0.25).unwrap();
+
+        // Truth.
+        let run =
+            allocate(&table, &policy, Algorithm::Transitive, &AllocConfig::in_memory(1 << 14))
+                .unwrap();
+        let truth_iters = run.report.iterations;
+        let truth_largest = run.report.components.unwrap().largest;
+
+        assert!(
+            est.iterations >= truth_iters.saturating_sub(3)
+                && est.iterations <= truth_iters + 3,
+            "iterations: estimated {} vs true {truth_iters}",
+            est.iterations
+        );
+        // Giant-component detection: within an order of magnitude.
+        assert!(
+            est.largest_component * 10 >= truth_largest
+                && est.largest_component <= truth_largest * 10,
+            "largest: estimated {} vs true {truth_largest}",
+            est.largest_component
+        );
+        assert!(est.sampled_facts > 0);
+    }
+
+    #[test]
+    fn zero_imprecise_facts() {
+        let policy = PolicySpec::em_count(0.01);
+        let env = iolap_storage::Env::builder("est4").pool_pages(64).in_memory().build().unwrap();
+        let t = paper_example::table1();
+        let precise_only = iolap_model::FactTable::from_facts(
+            t.schema().clone(),
+            t.facts().iter().take(5).cloned().collect(),
+        );
+        let mut p = prepare(&precise_only, &policy, &env, 8).unwrap();
+        assert_eq!(estimate_iterations(&mut p, &policy, 0.5).unwrap(), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The Independent Algorithm (Algorithm 3, Section 5).
+//!
+//! The summary-table partial order is covered by `W` chains (Section 5.1,
+//! via Ross–Srivastava \[15\]); each chain admits one sort order under which
+//! every chain table's facts cover contiguous cell runs (Theorem 5). Per
+//! iteration and per chain, `C` is re-sorted into the chain's order and
+//! scanned twice with single-block cursors per table — `7T(W·|C| + |I|)`
+//! I/Os in the worst case (Theorem 6). The repeated sorting is exactly
+//! why the paper concludes "Independent is a bad idea"; this
+//! implementation is faithful to it, including re-sorting the summary
+//! tables each iteration (disable with `resort_facts = false` for the
+//! ablation).
+
+use crate::error::Result;
+use crate::passes::{ChainWindow, OnLoad};
+use crate::policy::PolicySpec;
+use crate::prep::{region_of, PreparedData};
+use iolap_graph::order::ChainOrder;
+use iolap_model::{WorkFactCodec, WorkFactRecord};
+use iolap_storage::{external_sort, RecordFile, SortBudget};
+
+/// Outcome of an Independent run.
+#[derive(Debug, Clone)]
+pub struct IndependentOutcome {
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Did every cell converge before the cap?
+    pub converged: bool,
+    /// Width `W` of the summary-table partial order.
+    pub width: u64,
+}
+
+/// Run the Independent algorithm.
+pub fn run_independent(
+    prep: &mut PreparedData,
+    policy: &PolicySpec,
+    sort_pages: usize,
+    resort_facts: bool,
+) -> Result<IndependentOutcome> {
+    let conv = policy.convergence;
+    let schema = prep.schema.clone();
+    let env = prep.env.clone();
+    let k = schema.k();
+    let budget = SortBudget::pages(sort_pages);
+
+    let chains = prep.cover.chains.clone();
+    let width = chains.len() as u64;
+    let orders: Vec<ChainOrder> = chains
+        .iter()
+        .map(|chain| {
+            let lvs: Vec<_> = chain.iter().map(|&ti| prep.tables[ti].level_vec).collect();
+            ChainOrder::for_chain(&lvs, &schema)
+        })
+        .collect();
+
+    let mut cached: Vec<Option<RecordFile<WorkFactRecord, WorkFactCodec>>> =
+        (0..chains.len()).map(|_| None).collect();
+
+    let mut iterations = 0u32;
+    let mut converged = prep.facts.is_empty() || conv.max_iters == 0;
+    let last_chain = chains.len().saturating_sub(1);
+
+    'outer: for t in 1..=conv.max_iters {
+        let mut remaining = 0u64;
+        for (ci, chain) in chains.iter().enumerate() {
+            let order = &orders[ci];
+
+            // "Sort C and summary-tables in Sg into sort-order Lg" —
+            // per chain, per iteration (the cost the paper highlights).
+            let mut temp = match (&mut cached[ci], resort_facts) {
+                (slot @ Some(_), false) => slot.take().expect("cached"),
+                (slot, _) => {
+                    let _ = slot.take().map(RecordFile::delete);
+                    let mut raw: RecordFile<WorkFactRecord, WorkFactCodec> =
+                        env.create_file("chain-facts", WorkFactCodec { k })?;
+                    for &ti in chain {
+                        let m = &prep.tables[ti];
+                        let mut batch = Vec::new();
+                        prep.facts.read_batch(
+                            m.fact_start,
+                            &mut batch,
+                            (m.fact_end - m.fact_start) as usize,
+                        )?;
+                        for rec in &batch {
+                            if rec.covers_any_cell() {
+                                raw.push(rec)?;
+                            }
+                        }
+                    }
+                    raw.seal();
+                    let schema2 = schema.clone();
+                    let order2 = order.clone();
+                    external_sort(&env, raw, budget, move |r| {
+                        let region = region_of(&schema2, &r.dims);
+                        order2.region_start_key(&schema2, &region)
+                    })?
+                }
+            };
+
+            // Sort C into the chain order.
+            sort_cells(prep, |cell_key| order.cell_key(&schema, cell_key), sort_pages)?;
+
+            // Γ pass: read-only scan of C with the chain window.
+            {
+                let mut w = ChainWindow::new(order.clone(), temp.len());
+                let mut cursor = prep.cells.scan();
+                while let Some(cell) = cursor.next()? {
+                    let key = order.cell_key(&schema, &cell.key);
+                    w.advance(&key, &mut temp, &schema, OnLoad::ResetGamma)?;
+                    w.for_each_match(&cell.key, |af| {
+                        af.rec.gamma += cell.delta;
+                        af.dirty = true;
+                    });
+                }
+                drop(cursor);
+                w.flush(&mut temp)?;
+            }
+
+            // Δ pass: read-write scan of C.
+            {
+                let mut w = ChainWindow::new(order.clone(), temp.len());
+                let mut cursor = prep.cells.scan();
+                while let Some(mut cell) = cursor.next()? {
+                    if ci == 0 {
+                        cell.acc = cell.delta0;
+                    }
+                    let key = order.cell_key(&schema, &cell.key);
+                    w.advance(&key, &mut temp, &schema, OnLoad::Keep)?;
+                    let mut add = 0.0;
+                    w.for_each_match(&cell.key, |af| {
+                        if af.rec.gamma > 0.0 {
+                            add += cell.delta / af.rec.gamma;
+                        }
+                    });
+                    cell.acc += add;
+                    if ci == last_chain {
+                        let new = cell.acc;
+                        if !cell.converged {
+                            if conv.cell_converged(cell.delta, new) {
+                                cell.converged = true;
+                            } else {
+                                remaining += 1;
+                            }
+                            cell.delta = new;
+                        }
+                    }
+                    cursor.write_back(&cell)?;
+                }
+                drop(cursor);
+                w.flush(&mut temp)?;
+            }
+
+            if resort_facts {
+                temp.delete()?;
+            } else {
+                cached[ci] = Some(temp);
+            }
+        }
+        iterations = t;
+        if remaining == 0 {
+            converged = true;
+            break 'outer;
+        }
+    }
+
+    for slot in cached.into_iter().flatten() {
+        slot.delete()?;
+    }
+    Ok(IndependentOutcome { iterations, converged, width })
+}
+
+/// Re-sort `C` back to canonical (lexicographic) order so the shared EDB
+/// materialization and maintenance paths (which rely on the canonical
+/// `r.first`/`r.last` indexes) work. Counted outside the allocation
+/// passes by the runner, mirroring the paper's accounting.
+pub fn restore_canonical(prep: &mut PreparedData, sort_pages: usize) -> Result<()> {
+    sort_cells(prep, |key| *key, sort_pages)
+}
+
+/// Replace `prep.cells` with the same records sorted by `key`.
+fn sort_cells<K: Ord>(
+    prep: &mut PreparedData,
+    key: impl Fn(&iolap_model::CellKey) -> K,
+    sort_pages: usize,
+) -> Result<()> {
+    let env = prep.env.clone();
+    let k = prep.schema.k();
+    let placeholder = env.create_file("cells-placeholder", iolap_model::CellCodec { k })?;
+    let cells = std::mem::replace(&mut prep.cells, placeholder);
+    let sorted =
+        external_sort(&env, cells, SortBudget::pages(sort_pages), move |c| key(&c.key))?;
+    let placeholder = std::mem::replace(&mut prep.cells, sorted);
+    placeholder.delete()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::run_basic;
+    use crate::policy::PolicySpec;
+    use crate::prep::prepare;
+    use iolap_model::paper_example;
+    use iolap_storage::Env;
+
+    fn env() -> Env {
+        Env::builder("indep-test").pool_pages(128).in_memory().build().unwrap()
+    }
+
+    fn check_against_basic(policy: &PolicySpec, resort: bool) {
+        let t = paper_example::table1();
+        let env1 = env();
+        let mut p1 = prepare(&t, policy, &env1, 8).unwrap();
+        let (basic, i1, c1) = run_basic(&mut p1, policy).unwrap();
+        assert!(c1);
+
+        let env2 = env();
+        let mut p2 = prepare(&t, policy, &env2, 8).unwrap();
+        let out = run_independent(&mut p2, policy, 8, resort).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.iterations, i1);
+        assert_eq!(out.width, 3, "Figure 3's partial order has width 3");
+        restore_canonical(&mut p2, 8).unwrap();
+
+        for i in 0..p2.cells.len() {
+            let c = p2.cells.get(i).unwrap();
+            let b = basic.cells.iter().find(|b| b.key == c.key).unwrap();
+            assert!(
+                (c.delta - b.delta).abs() < 1e-9,
+                "cell {:?}: independent {} vs basic {}",
+                &c.key[..2],
+                c.delta,
+                b.delta
+            );
+        }
+    }
+
+    #[test]
+    fn independent_matches_basic_on_table1() {
+        check_against_basic(&PolicySpec::em_count(0.001), true);
+    }
+
+    #[test]
+    fn cached_fact_sort_ablation_matches_too() {
+        check_against_basic(&PolicySpec::em_count(0.01), false);
+    }
+
+    #[test]
+    fn non_iterative_runs_zero_iterations() {
+        let policy = PolicySpec::count();
+        let env = env();
+        let mut p = prepare(&paper_example::table1(), &policy, &env, 8).unwrap();
+        let out = run_independent(&mut p, &policy, 8, true).unwrap();
+        assert_eq!(out.iterations, 0);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn restore_canonical_restores_lex_order() {
+        let policy = PolicySpec::em_count(0.1);
+        let env = env();
+        let mut p = prepare(&paper_example::table1(), &policy, &env, 8).unwrap();
+        run_independent(&mut p, &policy, 8, true).unwrap();
+        restore_canonical(&mut p, 8).unwrap();
+        let keys: Vec<_> = (0..p.cells.len()).map(|i| p.cells.get(i).unwrap().key).collect();
+        assert_eq!(keys, paper_example::figure2_cells());
+    }
+}

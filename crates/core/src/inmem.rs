@@ -1,0 +1,316 @@
+//! In-memory allocation: the exact math of the policy template over an
+//! explicit edge list.
+//!
+//! Used three ways:
+//! * as the **Basic Algorithm** (Algorithm 1) reference implementation;
+//! * by the **Transitive Algorithm** for connected components that fit in
+//!   the buffer ("read CC into memory, evaluate A for tuples in CC");
+//! * by tests as the oracle every external algorithm must agree with.
+
+use crate::policy::Convergence;
+use crate::prep::region_of;
+use iolap_graph::CellSetIndex;
+use iolap_model::{CellRecord, EdbRecord, WorkFactRecord};
+use iolap_model::Schema;
+
+/// An in-memory allocation problem: cells, imprecise facts, and the
+/// bipartite edges between them.
+pub struct InMemProblem {
+    /// Cell records (delta fields mutated in place).
+    pub cells: Vec<CellRecord>,
+    /// Imprecise fact records (gamma mutated in place).
+    pub facts: Vec<WorkFactRecord>,
+    /// `fact_cells[r]` = indexes into `cells` covered by fact `r`.
+    pub fact_cells: Vec<Vec<u32>>,
+}
+
+impl InMemProblem {
+    /// Build the edge lists from regions (cells need not be sorted; an
+    /// index is built internally).
+    pub fn build(cells: Vec<CellRecord>, facts: Vec<WorkFactRecord>, schema: &Schema) -> Self {
+        let k = schema.k();
+        // Cells arrive in canonical order from preprocessing, but be
+        // defensive: sort a copy of the keys for the index and map back.
+        let keys: Vec<_> = cells.iter().map(|c| c.key).collect();
+        let index = CellSetIndex::from_unsorted(keys, k);
+        let pos_of: iolap_graph::FxHashMap<[u32; iolap_model::MAX_DIMS], u32> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.key, i as u32))
+            .collect();
+        let mut fact_cells = Vec::with_capacity(facts.len());
+        for f in &facts {
+            let bx = region_of(schema, &f.dims);
+            let mut covered = Vec::new();
+            index.for_each_in_box(&bx, |i| {
+                covered.push(pos_of[index.key(i)]);
+            });
+            // Visit order is rotation-dependent; canonicalize so emission
+            // order (and hence EDB entry order) is deterministic.
+            covered.sort_unstable();
+            fact_cells.push(covered);
+        }
+        InMemProblem { cells, facts, fact_cells }
+    }
+
+    /// Number of (cell, fact) edges.
+    pub fn num_edges(&self) -> u64 {
+        self.fact_cells.iter().map(|e| e.len() as u64).sum()
+    }
+
+    /// Run the Basic Algorithm (Algorithm 1) until every Δ(c) converges or
+    /// `conv.max_iters` is reached. Returns `(iterations, converged)`.
+    ///
+    /// The structure below intentionally mirrors the paper's pseudocode:
+    /// line 3 (`Δ⁽⁰⁾(c) ← δ(c)`) happened at record construction; lines
+    /// 6–9 are the Γ pass; lines 11–14 the Δ pass.
+    pub fn solve(&mut self, conv: &Convergence) -> (u32, bool) {
+        let mut remaining =
+            self.cells.iter().filter(|c| !c.converged).count();
+        if remaining == 0 || self.facts.is_empty() || conv.max_iters == 0 {
+            // Non-iterative policies (max_iters = 0) are single-shot:
+            // Δ stays δ and the closed-form weights come out at emission.
+            return (0, true);
+        }
+        let mut new_delta = vec![0.0f64; self.cells.len()];
+        for t in 1..=conv.max_iters {
+            // Γ pass: for each imprecise fact r, Γ(r) ← Σ Δ⁽ᵗ⁻¹⁾(c).
+            for (r, covered) in self.fact_cells.iter().enumerate() {
+                let mut g = 0.0;
+                for &c in covered {
+                    g += self.cells[c as usize].delta;
+                }
+                self.facts[r].gamma = g;
+            }
+            // Δ pass: Δ⁽ᵗ⁾(c) ← δ(c) + Σ Δ⁽ᵗ⁻¹⁾(c)/Γ⁽ᵗ⁾(r).
+            for (c, cell) in self.cells.iter().enumerate() {
+                new_delta[c] = cell.delta0;
+            }
+            for (r, covered) in self.fact_cells.iter().enumerate() {
+                let g = self.facts[r].gamma;
+                if g <= 0.0 {
+                    continue;
+                }
+                for &c in covered {
+                    new_delta[c as usize] += self.cells[c as usize].delta / g;
+                }
+            }
+            // Convergence check + state swap (frozen cells keep their Δ).
+            for (c, cell) in self.cells.iter_mut().enumerate() {
+                if cell.converged {
+                    continue;
+                }
+                let nd = new_delta[c];
+                if conv.cell_converged(cell.delta, nd) {
+                    cell.converged = true;
+                    remaining -= 1;
+                }
+                cell.delta = nd;
+            }
+            if remaining == 0 {
+                return (t, true);
+            }
+        }
+        (conv.max_iters, remaining == 0)
+    }
+
+    /// Final Γ(r) from the final Δ values (so weights sum to exactly 1).
+    pub fn finalize_gammas(&mut self) {
+        for (r, covered) in self.fact_cells.iter().enumerate() {
+            self.facts[r].gamma =
+                covered.iter().map(|&c| self.cells[c as usize].delta).sum();
+        }
+    }
+
+    /// Emit EDB entries for the imprecise facts: `p_{c,r} = Δ(c)/Γ(r)`,
+    /// with the uniform fallback for Γ = 0 facts (DESIGN.md §2.5). Facts
+    /// covering no cell emit nothing; returns how many such facts there
+    /// were.
+    pub fn emit(&mut self, mut out: impl FnMut(EdbRecord)) -> u64 {
+        self.finalize_gammas();
+        let mut uncovered = 0;
+        for (r, covered) in self.fact_cells.iter().enumerate() {
+            let f = &self.facts[r];
+            if covered.is_empty() {
+                uncovered += 1;
+                continue;
+            }
+            if f.gamma > 0.0 {
+                for &c in covered {
+                    let cell = &self.cells[c as usize];
+                    let w = cell.delta / f.gamma;
+                    if w > 0.0 {
+                        out(EdbRecord {
+                            fact_id: f.id,
+                            cell: cell.key,
+                            weight: w,
+                            measure: f.measure,
+                        });
+                    }
+                }
+            } else {
+                let w = 1.0 / covered.len() as f64;
+                for &c in covered {
+                    out(EdbRecord {
+                        fact_id: f.id,
+                        cell: self.cells[c as usize].key,
+                        weight: w,
+                        measure: f.measure,
+                    });
+                }
+            }
+        }
+        uncovered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicySpec;
+    use crate::prep::prepare;
+    use iolap_model::paper_example;
+    use std::collections::HashMap;
+
+    fn table1_problem(policy: &PolicySpec) -> InMemProblem {
+        let env = iolap_storage::Env::builder("inmem").pool_pages(64).in_memory().build().unwrap();
+        let t = paper_example::table1();
+        let p = prepare(&t, policy, &env, 8).unwrap();
+        let cells: Vec<_> = (0..p.cells.len()).map(|i| p.cells.get(i).unwrap()).collect();
+        let mut facts = Vec::new();
+        p.facts.read_batch(0, &mut facts, p.facts.len() as usize).unwrap();
+        InMemProblem::build(cells, facts, &p.schema)
+    }
+
+    fn weights_by_fact(prob: &mut InMemProblem) -> HashMap<u64, Vec<f64>> {
+        let mut m: HashMap<u64, Vec<f64>> = HashMap::new();
+        prob.emit(|e| m.entry(e.fact_id).or_default().push(e.weight));
+        m
+    }
+
+    #[test]
+    fn edge_count_matches_figure2() {
+        let prob = table1_problem(&PolicySpec::em_count(0.05));
+        assert_eq!(prob.num_edges(), 12);
+    }
+
+    #[test]
+    fn weights_sum_to_one_after_em() {
+        let mut prob = table1_problem(&PolicySpec::em_count(0.001));
+        let (iters, converged) = prob.solve(&PolicySpec::em_count(0.001).convergence);
+        assert!(converged, "table 1 converges quickly");
+        assert!(iters >= 1);
+        for (id, ws) in weights_by_fact(&mut prob) {
+            let s: f64 = ws.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "fact {id} weights sum to {s}");
+        }
+    }
+
+    #[test]
+    fn count_allocation_closed_form() {
+        // Non-iterative count allocation: p = δ(c)/Σδ(c'). Every Figure 2
+        // cell has δ = 1, so every fact splits uniformly over its covered
+        // cells: p8 → 1/2, 1/2; p6 → 1.
+        let mut prob = table1_problem(&PolicySpec::count());
+        let conv = PolicySpec::count().convergence;
+        let (iters, converged) = prob.solve(&conv);
+        assert_eq!(iters, 0);
+        assert!(converged);
+        let m = weights_by_fact(&mut prob);
+        assert_eq!(m[&6], vec![1.0]);
+        assert_eq!(m[&8], vec![0.5, 0.5]);
+        assert_eq!(m[&11], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn em_count_shifts_mass_toward_heavy_cells() {
+        // Run one EM iteration by hand for p11 = (ALL, Civic), which
+        // covers c1 and c4. Iteration 1: Γ(p6)=1, Γ(p8)=2, Γ(p10)=1,
+        // Γ(p11)=2, Γ(p13)=1 …
+        // Δ¹(c1) = 1 + 1/Γ(p6) + 1/Γ(p11) = 1 + 1 + 0.5 = 2.5.
+        // Δ¹(c4) = 1 + 1/Γ(p8) + 1/Γ(p10) + 1/Γ(p11) + 1/Γ(p13)
+        //        = 1 + 0.5 + 1 + 0.5 + 1 = 4.0.
+        let mut prob = table1_problem(&PolicySpec::em_count(0.5));
+        let conv = crate::policy::Convergence { epsilon: 0.0, max_iters: 1 };
+        prob.solve(&conv);
+        let c1 = prob.cells.iter().find(|c| c.key[..2] == [0, 0]).unwrap();
+        let c4 = prob.cells.iter().find(|c| c.key[..2] == [3, 0]).unwrap();
+        assert!((c1.delta - 2.5).abs() < 1e-12, "Δ¹(c1) = {}", c1.delta);
+        assert!((c4.delta - 4.0).abs() < 1e-12, "Δ¹(c4) = {}", c4.delta);
+        // p11's weights then favour c4: p = Δ/Γ with Γ(p11) = 6.5.
+        let m = weights_by_fact(&mut prob);
+        let w = &m[&11];
+        assert!((w[0] - 2.5 / 6.5).abs() < 1e-12);
+        assert!((w[1] - 4.0 / 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_gamma_fact_falls_back_to_uniform() {
+        // A fact whose covered cells all have Δ = 0: craft via Measure
+        // quantity with zero-measure precise facts.
+        use iolap_model::{Fact, FactTable, Schema};
+        use std::sync::Arc;
+        let schema = paper_example::schema();
+        let loc = schema.dim(0);
+        let auto = schema.dim(1);
+        let l = |n: &str| loc.node_by_name(n).unwrap().0;
+        let a = |n: &str| auto.node_by_name(n).unwrap().0;
+        let facts = vec![
+            Fact::new(1, &[l("MA"), a("Civic")], 0.0), // δ = 0 (measure!)
+            Fact::new(2, &[l("MA"), a("Camry")], 0.0),
+            Fact::new(3, &[l("MA"), a("Sedan")], 50.0), // covers both cells
+        ];
+        let t = FactTable::from_facts(Arc::<Schema>::clone(&schema), facts);
+        let env = iolap_storage::Env::builder("inmem0").in_memory().build().unwrap();
+        let p = prepare(&t, &PolicySpec::measure(), &env, 8).unwrap();
+        let cells: Vec<_> = (0..p.cells.len()).map(|i| p.cells.get(i).unwrap()).collect();
+        let mut wf = Vec::new();
+        p.facts.read_batch(0, &mut wf, p.facts.len() as usize).unwrap();
+        let mut prob = InMemProblem::build(cells, wf, &p.schema);
+        prob.solve(&PolicySpec::measure().convergence);
+        let m = weights_by_fact(&mut prob);
+        assert_eq!(m[&3], vec![0.5, 0.5], "uniform fallback for Γ = 0");
+    }
+
+    #[test]
+    fn uncovered_fact_emits_nothing() {
+        use iolap_model::{Fact, FactTable, Schema};
+        use std::sync::Arc;
+        let schema = paper_example::schema();
+        let loc = schema.dim(0);
+        let auto = schema.dim(1);
+        let l = |n: &str| loc.node_by_name(n).unwrap().0;
+        let a = |n: &str| auto.node_by_name(n).unwrap().0;
+        let facts = vec![
+            Fact::new(1, &[l("MA"), a("Civic")], 10.0),
+            // Imprecise fact over (West, Truck): covers no precise cell.
+            Fact::new(2, &[l("West"), a("Truck")], 10.0),
+        ];
+        let t = FactTable::from_facts(Arc::<Schema>::clone(&schema), facts);
+        let env = iolap_storage::Env::builder("inmem-u").in_memory().build().unwrap();
+        let p = prepare(&t, &PolicySpec::em_count(0.05), &env, 8).unwrap();
+        assert_eq!(p.unallocatable, 1);
+        let cells: Vec<_> = (0..p.cells.len()).map(|i| p.cells.get(i).unwrap()).collect();
+        let mut wf = Vec::new();
+        p.facts.read_batch(0, &mut wf, p.facts.len() as usize).unwrap();
+        let mut prob = InMemProblem::build(cells, wf, &p.schema);
+        prob.solve(&PolicySpec::em_count(0.05).convergence);
+        let mut n = 0;
+        let uncovered = prob.emit(|_| n += 1);
+        assert_eq!(uncovered, 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn convergence_is_monotone_in_epsilon() {
+        let loose = {
+            let mut p = table1_problem(&PolicySpec::em_count(0.1));
+            p.solve(&PolicySpec::em_count(0.1).convergence).0
+        };
+        let tight = {
+            let mut p = table1_problem(&PolicySpec::em_count(0.0001));
+            p.solve(&PolicySpec::em_count(0.0001).convergence).0
+        };
+        assert!(tight >= loose, "tighter ε needs at least as many iterations");
+    }
+}

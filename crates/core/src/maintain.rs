@@ -1,0 +1,1140 @@
+//! Maintaining the Extended Database (Section 9).
+//!
+//! Theorem 12: an update to fact `r` can only change the allocation
+//! weights of facts in connected components whose region overlaps
+//! `reg(r)`. The maintenance structure therefore keeps:
+//!
+//! * the component-sorted cell and fact files from a Transitive run ("D
+//!   has been sorted into connected component order");
+//! * an R-tree over the components' bounding boxes ("for each connected
+//!   component … compute the bounding box for all its tuples" and
+//!   bulk-load the tree — "this process only needs to be performed once");
+//! * the component membership, so an overlapped component's tuples are a
+//!   few sequential reads.
+//!
+//! [`MaintainableEdb::apply_batch`] follows the paper's four steps: query
+//! the R-tree, fetch the overlapped components, re-run allocation over
+//! those facts, and replace their EDB entries. Beyond the measure updates
+//! the paper evaluates (Figure 6), this implementation also supports the
+//! **insertions and deletions** Section 9 sketches: inserting a fact can
+//! *merge* connected components (handled through the same smallest-id
+//! convention as the Transitive algorithm) and deleting one can *split*
+//! them (re-identified with a local BFS); the R-tree is updated
+//! accordingly — "this operation is equivalent to several updates to the
+//! R-tree".
+
+use crate::edb::ExtendedDatabase;
+use crate::error::{CoreError, Result};
+use crate::inmem::InMemProblem;
+use crate::policy::{PolicySpec, Quantity};
+use crate::prep::{region_of, PreparedData};
+use crate::runner::AllocationRun;
+use iolap_model::records::NO_CCID;
+use iolap_model::{CellKey, CellRecord, EdbRecord, Fact, FactId, RegionBox, WorkFactRecord};
+use iolap_rtree::{Aabb, RTree};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// One mutation of the fact table.
+#[derive(Debug, Clone)]
+pub enum EdbMutation {
+    /// Replace a fact's measure (the Figure 6 workload).
+    UpdateMeasure {
+        /// The fact to update.
+        fact_id: FactId,
+        /// Its new measure.
+        new_measure: f64,
+    },
+    /// Insert a new fact (precise or imprecise).
+    Insert(Fact),
+    /// Delete an existing fact.
+    Delete(FactId),
+}
+
+/// One measure update (kept as the convenient Figure 6 workload form).
+#[derive(Debug, Clone, Copy)]
+pub struct FactUpdate {
+    /// The fact to update.
+    pub fact_id: FactId,
+    /// Its new measure value.
+    pub new_measure: f64,
+}
+
+/// Where a fact lives in the maintenance files.
+#[derive(Debug, Clone, Copy)]
+enum FactLoc {
+    /// Index into the precise file.
+    Precise(u64),
+    /// Index into the imprecise facts file; `true` if it covers at least
+    /// one candidate cell (unallocatable facts have no entries).
+    Imprecise(u64, bool),
+}
+
+/// Membership of one component: ranges into the component-sorted base
+/// files plus explicitly-listed records (appended by maintenance or
+/// reshuffled by merges/splits).
+#[derive(Debug, Clone, Default)]
+struct CompMeta {
+    cell_ranges: Vec<(u64, u64)>,
+    fact_ranges: Vec<(u64, u64)>,
+    extra_cells: Vec<u64>,
+    extra_facts: Vec<u64>,
+    bbox: Option<Aabb>,
+}
+
+impl CompMeta {
+    fn cell_indexes(&self, dead: &HashSet<u64>) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &(s, e) in &self.cell_ranges {
+            out.extend((s..e).filter(|i| !dead.contains(i)));
+        }
+        out.extend(self.extra_cells.iter().copied().filter(|i| !dead.contains(i)));
+        out
+    }
+
+    fn fact_indexes(&self, dead: &HashSet<u64>) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &(s, e) in &self.fact_ranges {
+            out.extend((s..e).filter(|i| !dead.contains(i)));
+        }
+        out.extend(self.extra_facts.iter().copied().filter(|i| !dead.contains(i)));
+        out
+    }
+
+    fn absorb(&mut self, other: CompMeta) {
+        self.cell_ranges.extend(other.cell_ranges);
+        self.fact_ranges.extend(other.fact_ranges);
+        self.extra_cells.extend(other.extra_cells);
+        self.extra_facts.extend(other.extra_facts);
+        self.bbox = match (self.bbox, other.bbox) {
+            (Some(a), Some(b)) => Some(a.union(&b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// Report of one maintenance batch.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateReport {
+    /// Components whose bounding box overlapped a mutated region.
+    pub affected_components: u64,
+    /// Tuples (cells + imprecise facts) re-processed.
+    pub affected_tuples: u64,
+    /// EDB entries rewritten.
+    pub entries_rewritten: u64,
+    /// Component merges performed (insertions).
+    pub merges: u64,
+    /// Component splits performed (deletions).
+    pub splits: u64,
+    /// Wall-clock for the batch.
+    pub wall: Duration,
+}
+
+/// Per-fact `(cell, weight)` entries, as returned by
+/// [`MaintainableEdb::current_weights`].
+pub type WeightsByFact = HashMap<FactId, Vec<([u32; iolap_model::MAX_DIMS], f64)>>;
+
+/// An EDB with the maintenance index of Section 9 attached.
+pub struct MaintainableEdb {
+    prep: PreparedData,
+    policy: PolicySpec,
+    edb: ExtendedDatabase,
+    rtree: RTree<u32>,
+    comps: HashMap<u32, CompMeta>,
+    next_ccid: u32,
+    fact_locs: HashMap<FactId, FactLoc>,
+    /// Component of each record in the cells file (index-aligned; grows
+    /// with insertions).
+    cell_ccid: Vec<u32>,
+    /// Component of each live covered imprecise record (facts-file index).
+    fact_ccid: HashMap<u64, u32>,
+    /// Cells appended by maintenance: key → cells-file index.
+    appended_cells: HashMap<CellKey, u64>,
+    /// Precise facts mapped to each cell (so deletions know when a cell
+    /// leaves the candidate set).
+    precise_count: HashMap<u64, u32>,
+    dead_cells: HashSet<u64>,
+    dead_facts: HashSet<u64>,
+    dead_precise: HashSet<u64>,
+    /// Facts whose EDB entries are tombstoned.
+    deleted_facts: HashSet<FactId>,
+    /// Entries `[0, base_len)` are the original Transitive output.
+    base_len: u64,
+    /// Facts re-emitted by maintenance (latest appended run wins).
+    superseded: HashSet<FactId>,
+}
+
+impl MaintainableEdb {
+    /// Build from a completed **Transitive** run ("can be piggybacked onto
+    /// the component processing step of the Transitive algorithm").
+    pub fn build(run: AllocationRun, policy: PolicySpec) -> Result<Self> {
+        let resolved = run.ccid_resolution.ok_or_else(|| {
+            CoreError::Config("maintenance requires a Transitive run".into())
+        })?;
+        let mut prep = run.prep;
+        let k = prep.schema.k();
+        let schema = prep.schema.clone();
+
+        let mut comps: HashMap<u32, CompMeta> = HashMap::new();
+        let mut fact_locs: HashMap<FactId, FactLoc> = HashMap::new();
+        let mut cell_ccid: Vec<u32> = Vec::with_capacity(prep.cells.len() as usize);
+        let mut fact_ccid: HashMap<u64, u32> = HashMap::new();
+        let mut next_ccid = 0u32;
+
+        // Cells are ccid-sorted: one contiguous range per component.
+        {
+            let mut cursor = prep.cells.scan();
+            let mut i = 0u64;
+            let mut open: Option<(u32, u64)> = None;
+            while let Some(c) = cursor.next()? {
+                let cc = resolved[c.ccid as usize];
+                next_ccid = next_ccid.max(cc + 1);
+                cell_ccid.push(cc);
+                let cell_box = point_box(&c.key, k);
+                match &mut open {
+                    Some((cur, _)) if *cur == cc => {}
+                    _ => {
+                        if let Some((prev, start)) = open.take() {
+                            comps.get_mut(&prev).expect("opened").cell_ranges.push((start, i));
+                        }
+                        open = Some((cc, i));
+                        comps.entry(cc).or_default();
+                    }
+                }
+                let m = comps.get_mut(&cc).expect("present");
+                m.bbox = Some(m.bbox.map_or(cell_box, |b| b.union(&cell_box)));
+                i += 1;
+            }
+            if let Some((prev, start)) = open.take() {
+                comps.get_mut(&prev).expect("opened").cell_ranges.push((start, i));
+            }
+        }
+        // Facts likewise (unallocatable NO_CCID facts sort last).
+        {
+            let mut cursor = prep.facts.scan();
+            let mut i = 0u64;
+            let mut open: Option<(u32, u64)> = None;
+            while let Some(f) = cursor.next()? {
+                if f.ccid != NO_CCID {
+                    let cc = resolved[f.ccid as usize];
+                    fact_ccid.insert(i, cc);
+                    match &mut open {
+                        Some((cur, _)) if *cur == cc => {}
+                        _ => {
+                            if let Some((prev, start)) = open.take() {
+                                comps
+                                    .get_mut(&prev)
+                                    .expect("fact component has cells")
+                                    .fact_ranges
+                                    .push((start, i));
+                            }
+                            open = Some((cc, i));
+                        }
+                    }
+                    let bx = region_of(&schema, &f.dims);
+                    let m = comps.get_mut(&cc).expect("fact component has cells");
+                    let fb = region_to_aabb(&bx);
+                    m.bbox = Some(m.bbox.map_or(fb, |b| b.union(&fb)));
+                    fact_locs.insert(f.id, FactLoc::Imprecise(i, true));
+                } else {
+                    if let Some((prev, start)) = open.take() {
+                        comps
+                            .get_mut(&prev)
+                            .expect("fact component has cells")
+                            .fact_ranges
+                            .push((start, i));
+                    }
+                    fact_locs.insert(f.id, FactLoc::Imprecise(i, false));
+                }
+                i += 1;
+            }
+            if let Some((prev, start)) = open.take() {
+                comps.get_mut(&prev).expect("opened").fact_ranges.push((start, i));
+            }
+        }
+        // Precise facts: locations + per-cell precise counts.
+        let mut precise_count: HashMap<u64, u32> = HashMap::new();
+        {
+            let mut canon_to_file: HashMap<CellKey, u64> = HashMap::new();
+            let mut cursor = prep.cells.scan();
+            let mut i = 0u64;
+            while let Some(c) = cursor.next()? {
+                canon_to_file.insert(c.key, i);
+                i += 1;
+            }
+            let mut cursor = prep.precise.scan();
+            let mut i = 0u64;
+            while let Some(f) = cursor.next()? {
+                fact_locs.insert(f.id, FactLoc::Precise(i));
+                let cell = schema.cell_of(&f).expect("precise file holds precise facts");
+                if let Some(&ci) = canon_to_file.get(&cell) {
+                    *precise_count.entry(ci).or_insert(0) += 1;
+                }
+                i += 1;
+            }
+        }
+
+        let items: Vec<(Aabb, u32)> =
+            comps.iter().filter_map(|(cc, m)| m.bbox.map(|b| (b, *cc))).collect();
+        let rtree = RTree::bulk_load(k, items);
+        let base_len = run.edb.num_entries();
+
+        Ok(MaintainableEdb {
+            prep,
+            policy,
+            edb: run.edb,
+            rtree,
+            comps,
+            next_ccid,
+            fact_locs,
+            cell_ccid,
+            fact_ccid,
+            appended_cells: HashMap::new(),
+            precise_count,
+            dead_cells: HashSet::new(),
+            dead_facts: HashSet::new(),
+            dead_precise: HashSet::new(),
+            deleted_facts: HashSet::new(),
+            base_len,
+            superseded: HashSet::new(),
+        })
+    }
+
+    /// Number of live components.
+    pub fn num_components(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Access the (maintained) EDB.
+    pub fn edb_mut(&mut self) -> &mut ExtendedDatabase {
+        &mut self.edb
+    }
+
+    /// Current weights per fact: deleted facts are gone; facts re-emitted
+    /// by maintenance take their *latest* appended run; everything else
+    /// comes from the original Transitive output.
+    pub fn current_weights(&mut self) -> Result<WeightsByFact> {
+        let mut latest: WeightsByFact = HashMap::new();
+        let base_len = self.base_len;
+        let superseded = self.superseded.clone();
+        let deleted = self.deleted_facts.clone();
+        let mut idx = 0u64;
+        let mut prev: Option<FactId> = None;
+        self.edb.for_each(|e| {
+            let keep = if idx < base_len {
+                !superseded.contains(&e.fact_id) && !deleted.contains(&e.fact_id)
+            } else {
+                // Appended runs are contiguous per fact; a newer run
+                // replaces any older one.
+                if prev != Some(e.fact_id) {
+                    latest.remove(&e.fact_id);
+                    prev = Some(e.fact_id);
+                }
+                !deleted.contains(&e.fact_id)
+            };
+            if keep {
+                latest.entry(e.fact_id).or_default().push((e.cell, e.weight));
+            }
+            idx += 1;
+        })?;
+        Ok(latest)
+    }
+
+    /// Apply a batch of measure updates (the Figure 6 workload).
+    pub fn apply_updates(&mut self, updates: &[FactUpdate]) -> Result<UpdateReport> {
+        let muts: Vec<EdbMutation> = updates
+            .iter()
+            .map(|u| EdbMutation::UpdateMeasure {
+                fact_id: u.fact_id,
+                new_measure: u.new_measure,
+            })
+            .collect();
+        self.apply_batch(&muts)
+    }
+
+    /// Apply a batch of mutations: measure updates, insertions, deletions.
+    pub fn apply_batch(&mut self, muts: &[EdbMutation]) -> Result<UpdateReport> {
+        let t0 = Instant::now();
+        let mut report = UpdateReport::default();
+        // Components needing a re-solve after all structural changes.
+        let mut dirty: HashSet<u32> = HashSet::new();
+
+        for m in muts {
+            match m {
+                EdbMutation::UpdateMeasure { fact_id, new_measure } => {
+                    self.update_measure(*fact_id, *new_measure, &mut dirty)?;
+                }
+                EdbMutation::Insert(f) => {
+                    self.insert_fact(f.clone(), &mut dirty, &mut report)?;
+                }
+                EdbMutation::Delete(id) => {
+                    self.delete_fact(*id, &mut dirty, &mut report)?;
+                }
+            }
+        }
+
+        // Structural changes may have retired some dirty ids.
+        let live: Vec<u32> = dirty.into_iter().filter(|cc| self.comps.contains_key(cc)).collect();
+        report.affected_components = live.len() as u64;
+        for cc in live {
+            self.resolve_component(cc, &mut report)?;
+        }
+        report.wall = t0.elapsed();
+        Ok(report)
+    }
+
+    // -- mutations ----------------------------------------------------------
+
+    fn update_measure(
+        &mut self,
+        fact_id: FactId,
+        new_measure: f64,
+        dirty: &mut HashSet<u32>,
+    ) -> Result<()> {
+        let schema = self.prep.schema.clone();
+        match self.fact_locs.get(&fact_id).copied() {
+            Some(FactLoc::Precise(i)) => {
+                if self.dead_precise.contains(&i) {
+                    return Err(CoreError::BadInput(format!("fact {fact_id} was deleted")));
+                }
+                let mut f = self.prep.precise.get(i)?;
+                let old = f.measure;
+                f.measure = new_measure;
+                self.prep.precise.set(i, &f)?;
+                let cell = schema.cell_of(&f).expect("precise");
+                if let Some(ci) = self.cell_file_index(&cell)? {
+                    if self.policy.quantity == Quantity::Measure {
+                        let mut c = self.prep.cells.get(ci)?;
+                        c.delta0 += new_measure - old;
+                        self.prep.cells.set(ci, &c)?;
+                        // Theorem 12, sharpened for existing facts: every
+                        // candidate cell of reg(r) is *connected* to r, so
+                        // the only component whose weights can change is
+                        // the fact's own — no R-tree over-approximation
+                        // needed (that generality is for insertions).
+                        dirty.insert(self.cell_ccid[ci as usize]);
+                    }
+                    // Under Count/Uniform a measure change cannot move any
+                    // weight: no component re-solve at all (the paper's
+                    // flat "Non-Overlap Precise" line).
+                }
+                // Refresh the fact's own weight-1 entry.
+                self.superseded.insert(fact_id);
+                self.edb.push(
+                    &EdbRecord { fact_id, cell, weight: 1.0, measure: new_measure },
+                    true,
+                    false,
+                )?;
+            }
+            Some(FactLoc::Imprecise(i, covered)) => {
+                if self.dead_facts.contains(&i) {
+                    return Err(CoreError::BadInput(format!("fact {fact_id} was deleted")));
+                }
+                let mut f = self.prep.facts.get(i)?;
+                f.measure = new_measure;
+                self.prep.facts.set(i, &f)?;
+                if covered {
+                    // Own component only (Theorem 12, see above). Weights
+                    // don't depend on imprecise measures, but the fact's
+                    // entries denormalize the measure — re-emit them.
+                    dirty.insert(*self.fact_ccid.get(&i).expect("covered fact has a component"));
+                }
+            }
+            None => {
+                return Err(CoreError::BadInput(format!("update for unknown fact {fact_id}")))
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_fact(
+        &mut self,
+        fact: Fact,
+        dirty: &mut HashSet<u32>,
+        report: &mut UpdateReport,
+    ) -> Result<()> {
+        if self.fact_locs.contains_key(&fact.id) {
+            return Err(CoreError::BadInput(format!("fact id {} already exists", fact.id)));
+        }
+        let schema = self.prep.schema.clone();
+
+        if let Some(cell) = schema.cell_of(&fact) {
+            // -- precise insertion ------------------------------------------
+            self.prep.precise.push(&fact)?;
+            let pi = self.prep.precise.len() - 1;
+            self.fact_locs.insert(fact.id, FactLoc::Precise(pi));
+            self.superseded.insert(fact.id);
+            self.edb.push(
+                &EdbRecord { fact_id: fact.id, cell, weight: 1.0, measure: fact.measure },
+                true,
+                true,
+            )?;
+            let delta0_add = match self.policy.quantity {
+                Quantity::Count => 1.0,
+                Quantity::Measure => fact.measure,
+                Quantity::Uniform => 0.0,
+            };
+            if let Some(ci) = self.cell_file_index(&cell)? {
+                // Existing candidate cell: bump δ and re-solve its comp.
+                let mut c = self.prep.cells.get(ci)?;
+                c.delta0 += delta0_add;
+                self.prep.cells.set(ci, &c)?;
+                *self.precise_count.entry(ci).or_insert(0) += 1;
+                dirty.insert(self.cell_ccid[ci as usize]);
+            } else {
+                // Brand-new candidate cell: it may connect existing
+                // components through the imprecise facts covering it.
+                let base = match self.policy.quantity {
+                    Quantity::Uniform => 1.0,
+                    _ => delta0_add,
+                };
+                let rec = CellRecord::new(cell, base);
+                self.prep.cells.push(&rec)?;
+                let ci = self.prep.cells.len() - 1;
+                self.appended_cells.insert(cell, ci);
+                self.precise_count.insert(ci, 1);
+
+                // Which components' imprecise facts cover this cell?
+                let mut owners: HashSet<u32> = HashSet::new();
+                let point = RegionBox::point(&cell, schema.k());
+                let mut cands: Vec<u32> = Vec::new();
+                self.rtree.search(&region_to_aabb(&point), |_, &cc| cands.push(cc));
+                for cc in cands {
+                    let meta = self.comps.get(&cc).expect("indexed");
+                    for fi in meta.fact_indexes(&self.dead_facts) {
+                        let fr = self.prep.facts.get(fi)?;
+                        if region_of(&schema, &fr.dims).contains_cell(&cell) {
+                            owners.insert(cc);
+                            break;
+                        }
+                    }
+                }
+                let pb = point_box(&cell, schema.k());
+                let cc = if owners.is_empty() {
+                    let cc = self.alloc_ccid();
+                    self.comps.insert(
+                        cc,
+                        CompMeta {
+                            extra_cells: vec![ci],
+                            bbox: Some(pb),
+                            ..Default::default()
+                        },
+                    );
+                    self.rtree.insert(pb, cc);
+                    cc
+                } else {
+                    let ids: Vec<u32> = owners.into_iter().collect();
+                    let cc = self.merge_components(&ids, report)?;
+                    self.comps.get_mut(&cc).expect("merged").extra_cells.push(ci);
+                    let nb = self.comps[&cc].bbox.map_or(pb, |b| b.union(&pb));
+                    self.update_bbox(cc, nb);
+                    dirty.insert(cc);
+                    cc
+                };
+                self.cell_ccid.push(cc);
+                debug_assert_eq!(self.cell_ccid.len() as u64, self.prep.cells.len());
+            }
+        } else {
+            // -- imprecise insertion ----------------------------------------
+            let rec = WorkFactRecord {
+                id: fact.id,
+                dims: fact.dims,
+                measure: fact.measure,
+                gamma: 0.0,
+                table: u16::MAX, // not part of any base summary table
+                ccid: NO_CCID,
+                first: u64::MAX,
+                last: 0,
+            };
+            self.prep.facts.push(&rec)?;
+            let fi = self.prep.facts.len() - 1;
+            let bx = region_of(&schema, &fact.dims);
+            let covered = self.covered_cells(&bx)?;
+            if covered.is_empty() {
+                self.fact_locs.insert(fact.id, FactLoc::Imprecise(fi, false));
+                return Ok(());
+            }
+            self.fact_locs.insert(fact.id, FactLoc::Imprecise(fi, true));
+            let owners: Vec<u32> = {
+                let set: HashSet<u32> =
+                    covered.iter().map(|&ci| self.cell_ccid[ci as usize]).collect();
+                set.into_iter().collect()
+            };
+            let cc = self.merge_components(&owners, report)?;
+            self.comps.get_mut(&cc).expect("merged").extra_facts.push(fi);
+            let fb = region_to_aabb(&bx);
+            let nb = self.comps[&cc].bbox.map_or(fb, |b| b.union(&fb));
+            self.update_bbox(cc, nb);
+            self.fact_ccid.insert(fi, cc);
+            self.superseded.insert(fact.id);
+            dirty.insert(cc);
+        }
+        Ok(())
+    }
+
+    fn delete_fact(
+        &mut self,
+        fact_id: FactId,
+        dirty: &mut HashSet<u32>,
+        report: &mut UpdateReport,
+    ) -> Result<()> {
+        let schema = self.prep.schema.clone();
+        match self.fact_locs.get(&fact_id).copied() {
+            Some(FactLoc::Precise(i)) => {
+                if !self.dead_precise.insert(i) {
+                    return Err(CoreError::BadInput(format!("fact {fact_id} already deleted")));
+                }
+                self.fact_locs.remove(&fact_id);
+                self.deleted_facts.insert(fact_id);
+                let f = self.prep.precise.get(i)?;
+                let cell = schema.cell_of(&f).expect("precise");
+                let Some(ci) = self.cell_file_index(&cell)? else {
+                    return Ok(());
+                };
+                let delta0_sub = match self.policy.quantity {
+                    Quantity::Count => 1.0,
+                    Quantity::Measure => f.measure,
+                    Quantity::Uniform => 0.0,
+                };
+                let mut c = self.prep.cells.get(ci)?;
+                c.delta0 -= delta0_sub;
+                self.prep.cells.set(ci, &c)?;
+                let remaining = {
+                    let e = self.precise_count.entry(ci).or_insert(1);
+                    *e -= 1;
+                    *e
+                };
+                let cc = self.cell_ccid[ci as usize];
+                if remaining == 0 {
+                    // The cell leaves the candidate set; its component may
+                    // split (or shed facts entirely).
+                    self.dead_cells.insert(ci);
+                    self.split_component(cc, dirty, report)?;
+                } else {
+                    dirty.insert(cc);
+                }
+            }
+            Some(FactLoc::Imprecise(i, covered)) => {
+                if !self.dead_facts.insert(i) {
+                    return Err(CoreError::BadInput(format!("fact {fact_id} already deleted")));
+                }
+                self.fact_locs.remove(&fact_id);
+                self.deleted_facts.insert(fact_id);
+                if covered {
+                    let cc = *self.fact_ccid.get(&i).expect("covered fact has a component");
+                    self.fact_ccid.remove(&i);
+                    self.split_component(cc, dirty, report)?;
+                }
+            }
+            None => {
+                return Err(CoreError::BadInput(format!("delete of unknown fact {fact_id}")))
+            }
+        }
+        Ok(())
+    }
+
+    // -- component machinery -------------------------------------------------
+
+    fn alloc_ccid(&mut self) -> u32 {
+        let id = self.next_ccid;
+        self.next_ccid += 1;
+        id
+    }
+
+    /// File index of a live candidate cell, base or appended.
+    fn cell_file_index(&mut self, cell: &CellKey) -> Result<Option<u64>> {
+        if let Some(&i) = self.appended_cells.get(cell) {
+            return Ok((!self.dead_cells.contains(&i)).then_some(i));
+        }
+        if self.prep.index.position(cell).is_none() {
+            return Ok(None);
+        }
+        // Base cells are ccid-sorted; locate via the owning component.
+        let point = RegionBox::point(cell, self.prep.schema.k());
+        let mut cands: Vec<u32> = Vec::new();
+        self.rtree.search(&region_to_aabb(&point), |_, &cc| cands.push(cc));
+        for cc in cands {
+            if let Some(meta) = self.comps.get(&cc) {
+                for ci in meta.cell_indexes(&self.dead_cells) {
+                    if self.prep.cells.get(ci)?.key == *cell {
+                        return Ok(Some(ci));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Live candidate cells (file indexes) inside a region.
+    fn covered_cells(&mut self, bx: &RegionBox) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        let mut cands: Vec<u32> = Vec::new();
+        self.rtree.search(&region_to_aabb(bx), |_, &cc| cands.push(cc));
+        for cc in cands {
+            if let Some(meta) = self.comps.get(&cc) {
+                for ci in meta.cell_indexes(&self.dead_cells) {
+                    if bx.contains_cell(&self.prep.cells.get(ci)?.key) {
+                        out.push(ci);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Merge components into the smallest id (the Transitive convention).
+    fn merge_components(&mut self, ccids: &[u32], report: &mut UpdateReport) -> Result<u32> {
+        let mut ids: Vec<u32> = ccids.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        let target = ids[0];
+        if ids.len() == 1 {
+            return Ok(target);
+        }
+        report.merges += ids.len() as u64 - 1;
+        for &cc in &ids[1..] {
+            let meta = self.comps.remove(&cc).expect("merging live component");
+            if let Some(b) = meta.bbox {
+                self.rtree.remove(&b, |&v| v == cc);
+            }
+            for ci in meta.cell_indexes(&self.dead_cells) {
+                self.cell_ccid[ci as usize] = target;
+            }
+            for fi in meta.fact_indexes(&self.dead_facts) {
+                self.fact_ccid.insert(fi, target);
+            }
+            self.comps.get_mut(&target).expect("target live").absorb(meta);
+        }
+        // Refresh the target's R-tree entry.
+        if let Some(b) = self.comps[&target].bbox {
+            self.update_bbox(target, b);
+        }
+        Ok(target)
+    }
+
+    /// Replace `cc`'s R-tree box with `nb`.
+    fn update_bbox(&mut self, cc: u32, nb: Aabb) {
+        if let Some(old) = self.comps.get(&cc).and_then(|m| m.bbox) {
+            self.rtree.remove(&old, |&v| v == cc);
+        }
+        self.comps.get_mut(&cc).expect("live").bbox = Some(nb);
+        self.rtree.insert(nb, cc);
+    }
+
+    /// Re-identify connectivity inside `cc` after a deletion; every
+    /// resulting piece gets a fresh id and explicit membership.
+    fn split_component(
+        &mut self,
+        cc: u32,
+        dirty: &mut HashSet<u32>,
+        report: &mut UpdateReport,
+    ) -> Result<()> {
+        let schema = self.prep.schema.clone();
+        let meta = self.comps.remove(&cc).expect("splitting live component");
+        if let Some(b) = meta.bbox {
+            self.rtree.remove(&b, |&v| v == cc);
+        }
+        dirty.remove(&cc);
+        let cells = meta.cell_indexes(&self.dead_cells);
+        let facts = meta.fact_indexes(&self.dead_facts);
+        if cells.is_empty() && facts.is_empty() {
+            return Ok(());
+        }
+        // Local BFS over the live tuples (brute containment; deletions are
+        // rare and components small — the giant ones never split in the
+        // paper's workloads either).
+        let mut cell_recs = Vec::with_capacity(cells.len());
+        for &ci in &cells {
+            cell_recs.push(self.prep.cells.get(ci)?);
+        }
+        let mut fact_regions = Vec::with_capacity(facts.len());
+        for &fi in &facts {
+            let f = self.prep.facts.get(fi)?;
+            fact_regions.push(region_of(&schema, &f.dims));
+        }
+        let n_cells = cells.len();
+        let mut label = vec![u32::MAX; n_cells + facts.len()];
+        let mut next_label = 0u32;
+        for start in 0..label.len() {
+            if label[start] != u32::MAX {
+                continue;
+            }
+            // Facts stranded without cells form their own (unallocatable)
+            // pieces; cells seed normal pieces.
+            let mut stack = vec![start];
+            label[start] = next_label;
+            while let Some(t) = stack.pop() {
+                if t < n_cells {
+                    for (fj, bx) in fact_regions.iter().enumerate() {
+                        let u = n_cells + fj;
+                        if label[u] == u32::MAX && bx.contains_cell(&cell_recs[t].key) {
+                            label[u] = next_label;
+                            stack.push(u);
+                        }
+                    }
+                } else {
+                    let bx = &fact_regions[t - n_cells];
+                    for (cj, c) in cell_recs.iter().enumerate() {
+                        if label[cj] == u32::MAX && bx.contains_cell(&c.key) {
+                            label[cj] = next_label;
+                            stack.push(cj);
+                        }
+                    }
+                }
+            }
+            next_label += 1;
+        }
+        if next_label > 1 {
+            report.splits += next_label as u64 - 1;
+        }
+        for piece in 0..next_label {
+            let piece_cells: Vec<u64> =
+                (0..n_cells).filter(|&i| label[i] == piece).map(|i| cells[i]).collect();
+            let piece_facts: Vec<u64> = (0..facts.len())
+                .filter(|&j| label[n_cells + j] == piece)
+                .map(|j| facts[j])
+                .collect();
+            if piece_cells.is_empty() {
+                // Facts stranded without candidate cells: unallocatable.
+                for &fi in &piece_facts {
+                    self.fact_ccid.remove(&fi);
+                    let f = self.prep.facts.get(fi)?;
+                    self.fact_locs.insert(f.id, FactLoc::Imprecise(fi, false));
+                    // Their old entries are stale.
+                    self.superseded.insert(f.id);
+                    self.deleted_facts.insert(f.id);
+                }
+                continue;
+            }
+            let ncc = self.alloc_ccid();
+            let mut bbox: Option<Aabb> = None;
+            for &ci in &piece_cells {
+                self.cell_ccid[ci as usize] = ncc;
+                let b = point_box(&self.prep.cells.get(ci)?.key, schema.k());
+                bbox = Some(bbox.map_or(b, |x| x.union(&b)));
+            }
+            for &fi in &piece_facts {
+                self.fact_ccid.insert(fi, ncc);
+                let f = self.prep.facts.get(fi)?;
+                let b = region_to_aabb(&region_of(&schema, &f.dims));
+                bbox = Some(bbox.map_or(b, |x| x.union(&b)));
+            }
+            let bb = bbox.expect("non-empty piece");
+            self.comps.insert(
+                ncc,
+                CompMeta {
+                    extra_cells: piece_cells,
+                    extra_facts: piece_facts,
+                    bbox: Some(bb),
+                    ..Default::default()
+                },
+            );
+            self.rtree.insert(bb, ncc);
+            dirty.insert(ncc);
+        }
+        Ok(())
+    }
+
+    /// Steps 2–3 of the paper's procedure for one component: fetch, re-run
+    /// the allocation policy from δ, write back deltas, replace entries.
+    fn resolve_component(&mut self, cc: u32, report: &mut UpdateReport) -> Result<()> {
+        let schema = self.prep.schema.clone();
+        let meta = self.comps.get(&cc).expect("resolving live component");
+        let cell_idx = meta.cell_indexes(&self.dead_cells);
+        let fact_idx = meta.fact_indexes(&self.dead_facts);
+        report.affected_tuples += (cell_idx.len() + fact_idx.len()) as u64;
+        if fact_idx.is_empty() {
+            return Ok(()); // isolated cells: nothing to re-allocate
+        }
+        let mut cells = Vec::with_capacity(cell_idx.len());
+        for &ci in &cell_idx {
+            let mut c = self.prep.cells.get(ci)?;
+            c.delta = c.delta0;
+            c.converged = false;
+            cells.push(c);
+        }
+        let mut facts = Vec::with_capacity(fact_idx.len());
+        for &fi in &fact_idx {
+            facts.push(self.prep.facts.get(fi)?);
+        }
+        let mut prob = InMemProblem::build(cells, facts, &schema);
+        // Degrees may have changed (insertions/deletions): recompute from
+        // the adjacency and freeze unoverlapped cells.
+        let mut degree = vec![0u32; prob.cells.len()];
+        for covered in &prob.fact_cells {
+            for &c in covered {
+                degree[c as usize] += 1;
+            }
+        }
+        for (c, cell) in prob.cells.iter_mut().enumerate() {
+            cell.degree = degree[c];
+            cell.converged = degree[c] == 0;
+        }
+        prob.solve(&self.policy.convergence);
+        for (off, c) in prob.cells.iter().enumerate() {
+            self.prep.cells.set(cell_idx[off], c)?;
+        }
+        let mut pending: Vec<EdbRecord> = Vec::new();
+        prob.emit(|e| pending.push(e));
+        let mut seen: HashSet<FactId> = HashSet::new();
+        for e in &pending {
+            if seen.insert(e.fact_id) {
+                self.superseded.insert(e.fact_id);
+                self.deleted_facts.remove(&e.fact_id);
+            }
+            self.edb.push(e, false, false)?;
+            report.entries_rewritten += 1;
+        }
+        Ok(())
+    }
+}
+
+/// A single-cell bounding box.
+fn point_box(key: &CellKey, k: usize) -> Aabb {
+    let mut hi = [0u32; iolap_model::MAX_DIMS];
+    for (d, h) in hi.iter_mut().enumerate().take(k) {
+        *h = key[d] + 1;
+    }
+    Aabb { lo: *key, hi, k: k as u8 }
+}
+
+/// Convert a model region to an R-tree box.
+fn region_to_aabb(bx: &RegionBox) -> Aabb {
+    Aabb { lo: bx.lo, hi: bx.hi, k: bx.k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{allocate, Algorithm, AllocConfig};
+    use iolap_model::paper_example;
+
+    fn build_maintainable(policy: &PolicySpec) -> MaintainableEdb {
+        let t = paper_example::table1();
+        let run =
+            allocate(&t, policy, Algorithm::Transitive, &AllocConfig::in_memory(256)).unwrap();
+        MaintainableEdb::build(run, policy.clone()).unwrap()
+    }
+
+    #[test]
+    fn builds_component_index() {
+        let m = build_maintainable(&PolicySpec::em_count(0.01));
+        assert_eq!(m.num_components(), 2, "Example 5 has two components");
+    }
+
+    #[test]
+    fn requires_transitive_run() {
+        let t = paper_example::table1();
+        let policy = PolicySpec::em_count(0.01);
+        let run =
+            allocate(&t, &policy, Algorithm::Block, &AllocConfig::in_memory(256)).unwrap();
+        assert!(MaintainableEdb::build(run, policy).is_err());
+    }
+
+    #[test]
+    fn update_scope_follows_theorem_12() {
+        // Under EM-Count, a measure change moves no weight at all: no
+        // component is re-solved (the flat "Non-Overlap Precise" line of
+        // Figure 6).
+        let mut m = build_maintainable(&PolicySpec::em_count(0.001));
+        let rep =
+            m.apply_updates(&[FactUpdate { fact_id: 2, new_measure: 999.0 }]).unwrap();
+        assert_eq!(rep.affected_components, 0);
+
+        // Under EM-Measure, exactly the fact's own component is affected:
+        // p2 = (MA, Sierra) lives in CC2 = cells {c2, c3} + facts
+        // {p7, p9, p12}.
+        let mut m = build_maintainable(&PolicySpec::em_measure(0.001));
+        let rep =
+            m.apply_updates(&[FactUpdate { fact_id: 2, new_measure: 999.0 }]).unwrap();
+        assert_eq!(rep.affected_components, 1);
+        assert_eq!(rep.affected_tuples, 2 + 3);
+    }
+
+    #[test]
+    fn measure_update_changes_weights_under_em_measure() {
+        let policy = PolicySpec::em_measure(0.0001);
+        let mut m = build_maintainable(&policy);
+        let before = m.current_weights().unwrap();
+        // Boost (MA, Sierra)'s measure: p9 = (East, Truck) should shift
+        // weight toward c2.
+        m.apply_updates(&[FactUpdate { fact_id: 2, new_measure: 100_000.0 }]).unwrap();
+        let after = m.current_weights().unwrap();
+        let w_before: HashMap<_, _> = before[&9].iter().cloned().collect();
+        let w_after: HashMap<_, _> = after[&9].iter().cloned().collect();
+        let c2 = *paper_example::figure2_cells().get(1).unwrap();
+        assert!(
+            w_after[&c2] > w_before[&c2],
+            "p9's weight on c2: {} → {}",
+            w_before[&c2],
+            w_after[&c2]
+        );
+        let s: f64 = w_after.values().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    /// Helper: maintained weights must equal a from-scratch rebuild of the
+    /// mutated table.
+    fn assert_matches_rebuild(
+        m: &mut MaintainableEdb,
+        table: &iolap_model::FactTable,
+        policy: &PolicySpec,
+    ) {
+        let maintained = m.current_weights().unwrap();
+        let mut run =
+            allocate(table, policy, Algorithm::Transitive, &AllocConfig::in_memory(256))
+                .unwrap();
+        let rebuilt = run.edb.weight_map().unwrap();
+        let mut mk: Vec<_> = maintained.keys().copied().collect();
+        let mut rk: Vec<_> = rebuilt.keys().copied().collect();
+        mk.sort_unstable();
+        rk.sort_unstable();
+        assert_eq!(mk, rk, "allocated fact sets differ");
+        for (id, entries) in &rebuilt {
+            let want: HashMap<_, _> = entries.iter().cloned().collect();
+            let got: HashMap<_, _> = maintained[id].iter().cloned().collect();
+            assert_eq!(want.len(), got.len(), "fact {id}");
+            for (cell, w) in &want {
+                assert!(
+                    (got[cell] - w).abs() < 1e-6,
+                    "fact {id} cell {:?}: rebuilt {} vs maintained {}",
+                    &cell[..2],
+                    w,
+                    got[cell]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn maintenance_matches_full_rebuild() {
+        let policy = PolicySpec::em_measure(0.00001);
+        let mut m = build_maintainable(&policy);
+        m.apply_updates(&[
+            FactUpdate { fact_id: 1, new_measure: 500.0 },
+            FactUpdate { fact_id: 13, new_measure: 7.0 },
+        ])
+        .unwrap();
+        let mut t = paper_example::table1();
+        for f in t.facts_mut() {
+            if f.id == 1 {
+                f.measure = 500.0;
+            }
+            if f.id == 13 {
+                f.measure = 7.0;
+            }
+        }
+        assert_matches_rebuild(&mut m, &t, &policy);
+    }
+
+    #[test]
+    fn unknown_fact_rejected() {
+        let mut m = build_maintainable(&PolicySpec::em_count(0.01));
+        assert!(m.apply_updates(&[FactUpdate { fact_id: 999, new_measure: 1.0 }]).is_err());
+        assert!(m.apply_batch(&[EdbMutation::Delete(999)]).is_err());
+    }
+
+    #[test]
+    fn insert_precise_into_existing_cell_matches_rebuild() {
+        let policy = PolicySpec::em_count(0.00001);
+        let mut m = build_maintainable(&policy);
+        // Another sale at (MA, Civic) — c1's δ goes 1 → 2.
+        let s = paper_example::schema();
+        let ma = s.dim(0).node_by_name("MA").unwrap().0;
+        let civic = s.dim(1).node_by_name("Civic").unwrap().0;
+        let new = Fact::new(50, &[ma, civic], 70.0);
+        m.apply_batch(&[EdbMutation::Insert(new.clone())]).unwrap();
+
+        let mut t = paper_example::table1();
+        t.push(new);
+        assert_matches_rebuild(&mut m, &t, &policy);
+    }
+
+    #[test]
+    fn insert_precise_new_cell_joins_covering_component_and_matches_rebuild() {
+        let policy = PolicySpec::em_count(0.00001);
+        let mut m = build_maintainable(&policy);
+        assert_eq!(m.num_components(), 2);
+        // (NY, Sierra) is a brand-new cell covered by p9 = (East, Truck)
+        // → joins CC2.
+        let s = paper_example::schema();
+        let ny = s.dim(0).node_by_name("NY").unwrap().0;
+        let sierra = s.dim(1).node_by_name("Sierra").unwrap().0;
+        let new = Fact::new(51, &[ny, sierra], 10.0);
+        m.apply_batch(&[EdbMutation::Insert(new.clone())]).unwrap();
+        assert_eq!(m.num_components(), 2, "no merge needed");
+
+        let mut t = paper_example::table1();
+        t.push(new);
+        assert_matches_rebuild(&mut m, &t, &policy);
+    }
+
+    #[test]
+    fn insert_imprecise_merging_both_components_matches_rebuild() {
+        let policy = PolicySpec::em_count(0.00001);
+        let mut m = build_maintainable(&policy);
+        assert_eq!(m.num_components(), 2);
+        // (ALL, Sierra) covers c2 (CC2) and c5 (CC1) → merge.
+        let s = paper_example::schema();
+        let all = s.dim(0).node_by_name("ALL").unwrap().0;
+        let sierra = s.dim(1).node_by_name("Sierra").unwrap().0;
+        let new = Fact::new(52, &[all, sierra], 30.0);
+        let rep = m.apply_batch(&[EdbMutation::Insert(new.clone())]).unwrap();
+        assert!(rep.merges >= 1, "components must merge");
+        assert_eq!(m.num_components(), 1);
+
+        let mut t = paper_example::table1();
+        t.push(new);
+        assert_matches_rebuild(&mut m, &t, &policy);
+    }
+
+    #[test]
+    fn delete_imprecise_splitting_component_matches_rebuild() {
+        let policy = PolicySpec::em_count(0.00001);
+        let mut m = build_maintainable(&policy);
+        // Deleting p11 = (ALL, Civic) disconnects c1 (with p6) from
+        // c4/c5: CC1 splits.
+        let rep = m.apply_batch(&[EdbMutation::Delete(11)]).unwrap();
+        assert!(rep.splits >= 1, "CC1 must split");
+
+        let t0 = paper_example::table1();
+        let t = iolap_model::FactTable::from_facts(
+            t0.schema().clone(),
+            t0.facts().iter().filter(|f| f.id != 11).cloned().collect(),
+        );
+        assert_matches_rebuild(&mut m, &t, &policy);
+    }
+
+    #[test]
+    fn delete_precise_killing_cell_matches_rebuild() {
+        let policy = PolicySpec::em_count(0.00001);
+        let mut m = build_maintainable(&policy);
+        // Deleting p3 = (NY, F150) kills cell c3; p12 = (ALL, F150) loses
+        // its only candidate cell and becomes unallocatable; p9 keeps c2.
+        m.apply_batch(&[EdbMutation::Delete(3)]).unwrap();
+
+        let t0 = paper_example::table1();
+        let t = iolap_model::FactTable::from_facts(
+            t0.schema().clone(),
+            t0.facts().iter().filter(|f| f.id != 3).cloned().collect(),
+        );
+        assert_matches_rebuild(&mut m, &t, &policy);
+    }
+
+    #[test]
+    fn insert_then_delete_roundtrips() {
+        let policy = PolicySpec::em_count(0.00001);
+        let mut m = build_maintainable(&policy);
+        let s = paper_example::schema();
+        let all = s.dim(0).node_by_name("ALL").unwrap().0;
+        let sierra = s.dim(1).node_by_name("Sierra").unwrap().0;
+        let new = Fact::new(53, &[all, sierra], 30.0);
+        m.apply_batch(&[EdbMutation::Insert(new)]).unwrap();
+        m.apply_batch(&[EdbMutation::Delete(53)]).unwrap();
+        // Back to the original table's fixpoint.
+        let t = paper_example::table1();
+        assert_matches_rebuild(&mut m, &t, &policy);
+    }
+}

@@ -1,0 +1,512 @@
+//! Preprocessing: sort the fact table into summary-table order and
+//! materialize the allocation inputs.
+//!
+//! The paper factors this step out of every algorithm ("we assume this
+//! pre-processing step has been performed … In terms of I/O operations, it
+//! is equivalent to sorting D"). Concretely, preprocessing:
+//!
+//! 1. splits precise from imprecise facts;
+//! 2. materializes the cell summary table `C` (candidate cells + their
+//!    `δ(c)`), in canonical order;
+//! 3. externally sorts the imprecise facts into summary-table order
+//!    (level vector major, region lower corner minor);
+//! 4. computes each fact's `r.first` / `r.last` cell indexes and each
+//!    cell's degree (Section 4.2), then re-sorts facts by
+//!    `(table, first, last)` so partition groups are scan-ordered;
+//! 5. derives the summary-table metadata: partition groups and sizes
+//!    (Definition 9) and the partial-order chain cover (Section 5.1).
+//!
+//! The transient [`CellSetIndex`] is memory-resident (O(|C|) keys), which
+//! mirrors the paper's own memory-resident `ccidMap` assumption; see
+//! DESIGN.md.
+
+use crate::error::{CoreError, Result};
+use crate::policy::{CandidateCells, PolicySpec, Quantity};
+use iolap_graph::order::{chain_cover, ChainCover};
+use iolap_graph::summary::{partition_groups, partition_records, records_to_pages};
+use iolap_graph::{CellSetIndex, SummaryTableMeta};
+use iolap_model::records::NO_CCID;
+use iolap_model::{
+    CellCodec, CellKey, CellRecord, Fact, FactCodec, FactTable, LevelVec, Schema, WorkFactCodec,
+    WorkFactRecord, MAX_DIMS,
+};
+use iolap_storage::{external_sort, Env, RecordFile, SortBudget};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything the allocation algorithms need, on disk + metadata.
+pub struct PreparedData {
+    /// The schema of the input table.
+    pub schema: Arc<Schema>,
+    /// The storage environment (buffer pool + I/O counters).
+    pub env: Env,
+    /// Cell summary table `C`, canonical order.
+    pub cells: RecordFile<CellRecord, CellCodec>,
+    /// Imprecise facts in `(table, first, last)` order.
+    pub facts: RecordFile<WorkFactRecord, WorkFactCodec>,
+    /// Precise facts (for EDB emission), input order.
+    pub precise: RecordFile<Fact, FactCodec>,
+    /// In-memory index over the cell keys (canonical order).
+    pub index: CellSetIndex,
+    /// Per-summary-table metadata.
+    pub tables: Vec<SummaryTableMeta>,
+    /// Minimum chain cover of the summary-table partial order.
+    pub cover: ChainCover,
+    /// Imprecise facts covering no candidate cell.
+    pub unallocatable: u64,
+    /// Total number of (cell, fact) edges in the allocation graph.
+    pub num_edges: u64,
+}
+
+impl PreparedData {
+    /// Number of dimensions.
+    pub fn k(&self) -> usize {
+        self.schema.k()
+    }
+
+    /// Total partition size over all tables, in pages (the paper's |P|).
+    pub fn partition_pages(&self) -> u64 {
+        self.tables.iter().map(|t| t.partition_pages).sum()
+    }
+
+    /// The region of a work-fact record.
+    pub fn region_of(&self, rec: &WorkFactRecord) -> iolap_model::RegionBox {
+        region_of(&self.schema, &rec.dims)
+    }
+}
+
+/// Region of a dims vector under `schema`.
+pub fn region_of(schema: &Schema, dims: &[u32; MAX_DIMS]) -> iolap_model::RegionBox {
+    let f = Fact { id: 0, dims: *dims, measure: 0.0 };
+    schema.region(&f)
+}
+
+/// Sort key for the "summary table order": level vector major, region
+/// lower corner minor.
+fn summary_order_key(schema: &Schema, rec: &WorkFactRecord) -> (LevelVec, CellKey) {
+    let f = Fact { id: rec.id, dims: rec.dims, measure: rec.measure };
+    let lv = schema.level_vec(&f);
+    let lo = schema.region(&f).lex_first();
+    (lv, lo)
+}
+
+/// Output of [`layout_facts`].
+pub struct LayoutResult {
+    /// Facts sorted by `(table, first, last)`.
+    pub facts: RecordFile<WorkFactRecord, WorkFactCodec>,
+    /// Per-table metadata (partition groups & sizes).
+    pub tables: Vec<SummaryTableMeta>,
+    /// Per-cell overlap degree.
+    pub degrees: Vec<u32>,
+    /// Total (cell, fact) edges.
+    pub num_edges: u64,
+    /// Facts covering no candidate cell.
+    pub unallocatable: u64,
+}
+
+/// Annotate each fact with its `r.first` / `r.last` cell span, re-sort by
+/// `(table, first, last)`, and derive the summary-table metadata. The
+/// `table` field of every record must already be assigned;
+/// `level_vec_of(table)` must return its level vector.
+///
+/// Shared between [`prepare`] and the Transitive algorithm's
+/// larger-than-buffer component fallback (which relayouts a component's
+/// facts against the component's own cell index).
+pub fn layout_facts(
+    env: &Env,
+    schema: &Schema,
+    index: &CellSetIndex,
+    facts: RecordFile<WorkFactRecord, WorkFactCodec>,
+    level_vec_of: &dyn Fn(u16) -> LevelVec,
+    sort_pages: usize,
+) -> Result<LayoutResult> {
+    let k = schema.k();
+    let mut degrees = vec![0u32; index.len() as usize];
+    let mut num_edges = 0u64;
+    let mut unallocatable = 0u64;
+
+    // Span pass: first/last covered cell per fact, degree per cell.
+    // (The paper extracts first/last during the sort's final merge; a
+    // dedicated pass is the same I/O and much clearer.)
+    let _t_span = std::time::Instant::now();
+    let with_spans = {
+        let mut f = facts;
+        let mut cursor = f.scan();
+        while let Some(mut rec) = cursor.next()? {
+            let bx = region_of(schema, &rec.dims);
+            let mut first = u64::MAX;
+            let mut last = 0u64;
+            index.for_each_in_box(&bx, |i| {
+                degrees[i as usize] += 1;
+                num_edges += 1;
+                first = first.min(i);
+                last = last.max(i);
+            });
+            rec.first = first;
+            rec.last = last;
+            if first == u64::MAX {
+                unallocatable += 1;
+            }
+            cursor.write_back(&rec)?;
+        }
+        drop(cursor);
+        f
+    };
+
+    if std::env::var("IOLAP_TRACE").is_ok() {
+        eprintln!("[trace] span pass: {:?}", _t_span.elapsed());
+    }
+    // Re-sort by (table, first, last) so each table's facts are in
+    // partition-group order (uncovered facts sort last per table).
+    let mut facts = external_sort(env, with_spans, SortBudget::pages(sort_pages), |r| {
+        (r.table, r.first, r.last)
+    })?;
+
+    // Group into summary-table metadata.
+    let mut tables: Vec<SummaryTableMeta> = Vec::new();
+    {
+        let work_codec = WorkFactCodec { k };
+        let rec_bytes = iolap_storage::Codec::<WorkFactRecord>::size(&work_codec);
+        let finish = |tables: &mut Vec<SummaryTableMeta>,
+                          t: u16,
+                          start: u64,
+                          end: u64,
+                          spans: Vec<(u64, u64)>| {
+            let groups = partition_groups(start, &spans);
+            let recs = partition_records(&groups);
+            tables.push(SummaryTableMeta {
+                id: t,
+                level_vec: level_vec_of(t),
+                fact_start: start,
+                fact_end: end,
+                groups,
+                partition_records: recs,
+                partition_pages: records_to_pages(recs, rec_bytes),
+            });
+        };
+        let mut cursor = facts.scan();
+        // (table id, start position, covered-fact spans)
+        type OpenTable = (u16, u64, Vec<(u64, u64)>);
+        let mut cur: Option<OpenTable> = None;
+        let mut pos = 0u64;
+        while let Some(rec) = cursor.next()? {
+            match &mut cur {
+                Some((t, _start, spans)) if *t == rec.table => {
+                    if rec.covers_any_cell() {
+                        spans.push((rec.first, rec.last));
+                    }
+                }
+                _ => {
+                    if let Some((t, start, spans)) = cur.take() {
+                        finish(&mut tables, t, start, pos, spans);
+                    }
+                    let mut spans = Vec::new();
+                    if rec.covers_any_cell() {
+                        spans.push((rec.first, rec.last));
+                    }
+                    cur = Some((rec.table, pos, spans));
+                }
+            }
+            pos += 1;
+        }
+        if let Some((t, start, spans)) = cur.take() {
+            finish(&mut tables, t, start, pos, spans);
+        }
+    }
+    facts.seal();
+    Ok(LayoutResult { facts, tables, degrees, num_edges, unallocatable })
+}
+
+/// Run preprocessing. `sort_pages` is the external-sort budget (the paper
+/// uses the same buffer `B` for everything).
+pub fn prepare(
+    table: &FactTable,
+    policy: &PolicySpec,
+    env: &Env,
+    sort_pages: usize,
+) -> Result<PreparedData> {
+    let schema = table.schema().clone();
+    let k = schema.k();
+
+    // -- 1. split precise / imprecise -----------------------------------
+    let mut precise: RecordFile<Fact, FactCodec> =
+        env.create_file("precise", FactCodec { k })?;
+    let mut imprecise_raw: RecordFile<WorkFactRecord, WorkFactCodec> =
+        env.create_file("imprecise", WorkFactCodec { k })?;
+    let mut precise_cells: Vec<(CellKey, f64)> = Vec::new();
+    for f in table.facts() {
+        if let Some(cell) = schema.cell_of(f) {
+            precise.push(f)?;
+            precise_cells.push((cell, f.measure));
+        } else {
+            imprecise_raw.push(&WorkFactRecord {
+                id: f.id,
+                dims: f.dims,
+                measure: f.measure,
+                gamma: 0.0,
+                table: 0,
+                ccid: NO_CCID,
+                first: u64::MAX,
+                last: 0,
+            })?;
+        }
+    }
+    precise.seal();
+
+    // -- 2. candidate cells + δ ------------------------------------------
+    let mut keys: Vec<CellKey> = precise_cells.iter().map(|(c, _)| *c).collect();
+    if let CandidateCells::RegionUnion { max_cells } = policy.cells {
+        let mut budget = max_cells;
+        for f in table.facts() {
+            if schema.is_precise(f) {
+                continue;
+            }
+            let bx = schema.region(f);
+            let n = bx.num_cells();
+            if n > budget {
+                return Err(CoreError::CellSetTooLarge { limit: max_cells });
+            }
+            budget -= n;
+            keys.extend(bx.cells());
+        }
+    }
+    let index = CellSetIndex::from_unsorted(keys, k);
+    if index.is_empty() && !imprecise_raw.is_empty() {
+        return Err(CoreError::BadInput(
+            "no candidate cells: nothing to allocate imprecise facts to".into(),
+        ));
+    }
+
+    // δ(c) per the quantity.
+    let mut delta0 = vec![0.0f64; index.len() as usize];
+    match policy.quantity {
+        Quantity::Uniform => delta0.fill(1.0),
+        Quantity::Count => {
+            for (cell, _) in &precise_cells {
+                let i = index.position(cell).expect("precise cell is a candidate");
+                delta0[i as usize] += 1.0;
+            }
+        }
+        Quantity::Measure => {
+            for (cell, m) in &precise_cells {
+                let i = index.position(cell).expect("precise cell is a candidate");
+                delta0[i as usize] += m;
+            }
+        }
+    }
+    drop(precise_cells);
+
+    // -- 3. sort into summary-table order --------------------------------
+    let schema2 = schema.clone();
+    let sorted = external_sort(
+        env,
+        imprecise_raw,
+        SortBudget::pages(sort_pages),
+        move |r| summary_order_key(&schema2, r),
+    )?;
+
+    // -- 4. assign dense table ids (facts are level-vector-contiguous) ---
+    let mut level_vec_of_table: Vec<LevelVec> = Vec::new();
+    let with_tables = {
+        let mut sorted = sorted;
+        let mut seen: HashMap<LevelVec, u16> = HashMap::new();
+        let mut cursor = sorted.scan();
+        while let Some(mut rec) = cursor.next()? {
+            let f = Fact { id: rec.id, dims: rec.dims, measure: rec.measure };
+            let lv = schema.level_vec(&f);
+            let next_id = level_vec_of_table.len() as u16;
+            let id = *seen.entry(lv).or_insert_with(|| {
+                level_vec_of_table.push(lv);
+                next_id
+            });
+            rec.table = id;
+            cursor.write_back(&rec)?;
+        }
+        drop(cursor);
+        sorted
+    };
+
+    // -- 5. spans, partition groups, summary-table metadata ---------------
+    let lvs = level_vec_of_table.clone();
+    let layout = layout_facts(env, &schema, &index, with_tables, &move |t| lvs[t as usize], sort_pages)?;
+    let LayoutResult { facts, tables, degrees, num_edges, unallocatable } = layout;
+
+    // -- chains -----------------------------------------------------------
+    let cover = chain_cover(&level_vec_of_table, k);
+
+    // -- cells file --------------------------------------------------------
+    let mut cells: RecordFile<CellRecord, CellCodec> =
+        env.create_file("cells", CellCodec { k })?;
+    for i in 0..index.len() {
+        let mut rec = CellRecord::new(*index.key(i), delta0[i as usize]);
+        rec.degree = degrees[i as usize];
+        // Cells overlapped by no imprecise fact never change — the
+        // Section 11.1 optimization all three algorithms share.
+        rec.converged = rec.degree == 0;
+        cells.push(&rec)?;
+    }
+    cells.seal();
+
+    Ok(PreparedData {
+        schema,
+        env: env.clone(),
+        cells,
+        facts,
+        precise,
+        index,
+        tables,
+        cover,
+        unallocatable,
+        num_edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_model::paper_example;
+
+    fn prep_table1() -> PreparedData {
+        let env = iolap_storage::Env::builder("prep-test")
+            .pool_pages(64)
+            .in_memory()
+            .build()
+            .unwrap();
+        let t = paper_example::table1();
+        prepare(&t, &PolicySpec::em_count(0.05), &env, 8).unwrap()
+    }
+
+    #[test]
+    fn figure2_cells_and_deltas() {
+        let p = prep_table1();
+        assert_eq!(p.cells.len(), 5);
+        assert_eq!(p.index.keys(), &paper_example::figure2_cells()[..]);
+        // Every precise fact maps to a distinct cell → δ = 1 everywhere.
+        for i in 0..5 {
+            let c = p.cells.get(i).unwrap();
+            assert_eq!(c.delta0, 1.0);
+            assert_eq!(c.delta, 1.0);
+            assert!(c.degree >= 1, "every Figure 2 cell is overlapped");
+            assert!(!c.converged);
+        }
+    }
+
+    #[test]
+    fn five_summary_tables_with_figure3_levels() {
+        let p = prep_table1();
+        assert_eq!(p.tables.len(), 5);
+        let mut lvs: Vec<[u8; 2]> =
+            p.tables.iter().map(|t| [t.level_vec[0], t.level_vec[1]]).collect();
+        lvs.sort();
+        assert_eq!(lvs, vec![[1, 2], [1, 3], [2, 1], [2, 2], [3, 1]]);
+        // Each table has 2 facts except ⟨1,3⟩ = {p8}.
+        for t in &p.tables {
+            let expect = if t.level_vec[..2] == [1, 3] { 1 } else { 2 };
+            assert_eq!(t.num_facts(), expect, "{:?}", t.level_vec);
+        }
+        // Width of the partial order is 3 (Figure 3).
+        assert_eq!(p.cover.width(), 3);
+    }
+
+    #[test]
+    fn edges_match_figure2() {
+        let p = prep_table1();
+        assert_eq!(p.num_edges, 12);
+        assert_eq!(p.unallocatable, 0);
+        // Degrees: c1 ← {p6, p11}, c2 ← {p7, p9}, c3 ← {p9, p12},
+        // c4 ← {p8, p10, p11, p13}, c5 ← {p8, p14}.
+        let degs: Vec<u32> =
+            (0..5).map(|i| p.cells.get(i).unwrap().degree).collect();
+        assert_eq!(degs, vec![2, 2, 2, 4, 2]);
+    }
+
+    #[test]
+    fn facts_sorted_by_table_then_first() {
+        let mut p = prep_table1();
+        let mut cursor = p.facts.scan();
+        let mut prev: Option<(u16, u64, u64)> = None;
+        while let Some(r) = cursor.next().unwrap() {
+            let key = (r.table, r.first, r.last);
+            if let Some(pk) = prev {
+                assert!(pk <= key);
+            }
+            prev = Some(key);
+        }
+    }
+
+    #[test]
+    fn partition_sizes_are_small_for_table1() {
+        let p = prep_table1();
+        for t in &p.tables {
+            // No two facts of one summary table interleave in Figure 2
+            // except duplicates; partition sizes are 1 record, except S4
+            // (p11 covers c1..c4 and p12 covers c3) which interleaves.
+            assert!(t.partition_records <= 2, "{:?}: {}", t.level_vec, t.partition_records);
+            assert_eq!(t.partition_pages, 1);
+        }
+        // S4 = ⟨3,1⟩: p11 spans cells 0..3, p12 covers cell 2 → one group.
+        let s4 = p.tables.iter().find(|t| t.level_vec[..2] == [3, 1]).unwrap();
+        assert_eq!(s4.partition_records, 2);
+        assert_eq!(s4.groups.len(), 1);
+        assert_eq!(s4.groups[0].first_cell, 0);
+        assert_eq!(s4.groups[0].last_cell, 3);
+    }
+
+    #[test]
+    fn region_union_explodes_gracefully() {
+        let env = iolap_storage::Env::builder("prep-ru").in_memory().build().unwrap();
+        let t = paper_example::table1();
+        let mut policy = PolicySpec::uniform();
+        policy.cells = CandidateCells::RegionUnion { max_cells: 3 };
+        let err = match prepare(&t, &policy, &env, 8) {
+            Err(e) => e,
+            Ok(_) => panic!("expected CellSetTooLarge"),
+        };
+        assert!(matches!(err, CoreError::CellSetTooLarge { limit: 3 }));
+    }
+
+    #[test]
+    fn region_union_includes_all_region_cells() {
+        let env = iolap_storage::Env::builder("prep-ru2").in_memory().build().unwrap();
+        let t = paper_example::table1();
+        let p = prepare(&t, &PolicySpec::uniform(), &env, 8).unwrap();
+        // Union of the 9 imprecise regions + 5 precise cells: all cells
+        // covered by p11 (ALL, Civic) = 4 cells ⋃ p8 (CA, ALL) = 4 ⋃ … —
+        // count by brute force.
+        let s = t.schema();
+        let mut keys: Vec<CellKey> = t.facts().iter().filter_map(|f| s.cell_of(f)).collect();
+        for f in t.facts().iter().filter(|f| !s.is_precise(f)) {
+            keys.extend(s.region(f).cells());
+        }
+        let want = CellSetIndex::from_unsorted(keys, 2);
+        assert_eq!(p.index.keys(), want.keys());
+        // Uniform δ = 1 everywhere.
+        assert_eq!(p.cells.get(0).unwrap().delta0, 1.0);
+    }
+
+    #[test]
+    fn measure_quantity_sums_measures() {
+        let env = iolap_storage::Env::builder("prep-m").in_memory().build().unwrap();
+        let t = paper_example::table1();
+        let p = prepare(&t, &PolicySpec::measure(), &env, 8).unwrap();
+        // c1 = (MA, Civic) has only p1 with measure 100.
+        let c1 = p.cells.get(0).unwrap();
+        assert_eq!(c1.delta0, 100.0);
+    }
+
+    #[test]
+    fn empty_imprecise_set_is_fine() {
+        let env = iolap_storage::Env::builder("prep-e").in_memory().build().unwrap();
+        let t = paper_example::table1();
+        let only_precise = iolap_model::FactTable::from_facts(
+            t.schema().clone(),
+            t.facts().iter().take(5).cloned().collect(),
+        );
+        let p = prepare(&only_precise, &PolicySpec::em_count(0.05), &env, 8).unwrap();
+        assert_eq!(p.facts.len(), 0);
+        assert!(p.tables.is_empty());
+        assert_eq!(p.cover.width(), 0);
+        // All cells converged (degree 0).
+        assert!(p.cells.get(0).unwrap().converged);
+    }
+}

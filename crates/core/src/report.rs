@@ -1,0 +1,151 @@
+//! Run reports: wall-clock, page I/O, and structural statistics for each
+//! allocation run — the quantities Section 11's figures plot.
+
+use iolap_storage::IoSnapshot;
+use std::fmt;
+use std::time::Duration;
+
+/// Statistics of one allocation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Algorithm name ("basic" / "independent" / "block" / "transitive").
+    pub algorithm: String,
+    /// Iterations executed (max over components for Transitive).
+    pub iterations: u32,
+    /// Whether every cell converged before the iteration cap.
+    pub converged: bool,
+    /// Page I/O spent in preprocessing (sort into summary-table order,
+    /// first/last computation) — reported separately because the paper
+    /// excludes it from the algorithm costs ("we omit the costs of sorting
+    /// D into summary table order…").
+    pub io_prep: IoSnapshot,
+    /// Page I/O spent in the allocation passes proper.
+    pub io_alloc: IoSnapshot,
+    /// Page I/O spent writing the Extended Database (also excluded from
+    /// the paper's per-algorithm costs).
+    pub io_edb: IoSnapshot,
+    /// Wall-clock of preprocessing.
+    pub wall_prep: Duration,
+    /// Wall-clock of the allocation passes.
+    pub wall_alloc: Duration,
+    /// Wall-clock of EDB materialization.
+    pub wall_edb: Duration,
+    /// Number of cells |C|.
+    pub num_cells: u64,
+    /// Number of imprecise facts |I|.
+    pub num_imprecise: u64,
+    /// Number of imprecise summary tables.
+    pub num_tables: u64,
+    /// Width W of the summary-table partial order (chains).
+    pub width: u64,
+    /// Number of bin-packed table sets |S| (Block / Transitive).
+    pub num_table_sets: u64,
+    /// Total partition size |P| in pages.
+    pub partition_pages: u64,
+    /// True if some single table's partition exceeded the buffer (the
+    /// paper's analysis assumes this never happens).
+    pub over_budget: bool,
+    /// Imprecise facts covering no candidate cell (no EDB entries; see
+    /// DESIGN.md on the Γ = 0 fallback).
+    pub unallocatable: u64,
+    /// Component statistics (Transitive only).
+    pub components: Option<ComponentStats>,
+}
+
+/// Connected-component census from the Transitive algorithm — the numbers
+/// Section 11.2 reports (283,199 components, 205,874 singletons, …).
+#[derive(Debug, Clone, Default)]
+pub struct ComponentStats {
+    /// Total connected components (including singleton precise cells).
+    pub total: u64,
+    /// Components that are a single non-overlapped cell.
+    pub singleton_cells: u64,
+    /// Components with more than 20 tuples.
+    pub over_20: u64,
+    /// Components with more than 100 tuples.
+    pub over_100: u64,
+    /// Components with at least 1000 tuples.
+    pub over_1000: u64,
+    /// Size (in tuples) of the largest component.
+    pub largest: u64,
+    /// Components processed via the external Block fallback.
+    pub large_external: u64,
+    /// Tuples in external (larger-than-buffer) components — the paper's
+    /// |L| (in records here; pages derivable from record widths).
+    pub external_tuples: u64,
+}
+
+impl RunReport {
+    /// Total allocation-phase page I/O.
+    pub fn alloc_ios(&self) -> u64 {
+        self.io_alloc.total()
+    }
+
+    /// End-to-end wall-clock.
+    pub fn total_wall(&self) -> Duration {
+        self.wall_prep + self.wall_alloc + self.wall_edb
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} iterations ({}), |C|={} |I|={} tables={} W={} |S|={} |P|={}p",
+            self.algorithm,
+            self.iterations,
+            if self.converged { "converged" } else { "iteration cap hit" },
+            self.num_cells,
+            self.num_imprecise,
+            self.num_tables,
+            self.width,
+            self.num_table_sets,
+            self.partition_pages,
+        )?;
+        writeln!(
+            f,
+            "  prep : {:>10.3?}  {}",
+            self.wall_prep, self.io_prep
+        )?;
+        writeln!(
+            f,
+            "  alloc: {:>10.3?}  {}",
+            self.wall_alloc, self.io_alloc
+        )?;
+        writeln!(f, "  edb  : {:>10.3?}  {}", self.wall_edb, self.io_edb)?;
+        if self.unallocatable > 0 {
+            writeln!(f, "  unallocatable imprecise facts: {}", self.unallocatable)?;
+        }
+        if let Some(c) = &self.components {
+            writeln!(
+                f,
+                "  components: {} total, {} singleton cells, {} >20, {} >100, {} ≥1000, largest {}, {} external",
+                c.total, c.singleton_cells, c.over_20, c.over_100, c.over_1000, c.largest,
+                c.large_external
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_key_fields() {
+        let mut r = RunReport {
+            algorithm: "block".into(),
+            iterations: 4,
+            converged: true,
+            num_cells: 100,
+            num_imprecise: 30,
+            ..Default::default()
+        };
+        r.components = Some(ComponentStats { total: 7, largest: 5, ..Default::default() });
+        let s = format!("{r}");
+        assert!(s.contains("block"));
+        assert!(s.contains("4 iterations"));
+        assert!(s.contains("components: 7"));
+    }
+}

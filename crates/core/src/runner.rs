@@ -1,0 +1,329 @@
+//! High-level entry point: run a policy + algorithm over a fact table and
+//! get back the Extended Database plus a full [`RunReport`].
+
+use crate::basic::run_basic;
+use crate::block::{plan_sets, run_block};
+use crate::edb::{emit_precise_entries, materialize, ExtendedDatabase};
+use crate::error::Result;
+use crate::independent::{restore_canonical, run_independent};
+use crate::policy::PolicySpec;
+use crate::prep::{prepare, PreparedData};
+use crate::report::RunReport;
+use crate::transitive::run_transitive;
+use iolap_model::FactTable;
+use iolap_storage::Env;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Which of the paper's algorithms to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Algorithm 1 — in-memory reference.
+    Basic,
+    /// Algorithm 3 — chain-per-scan with repeated sorting of `C`.
+    Independent,
+    /// Algorithm 4 — canonical order + partition windows.
+    Block,
+    /// Algorithm 5 — connected components, per-component iteration.
+    Transitive,
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "basic" => Ok(Algorithm::Basic),
+            "independent" | "indep" => Ok(Algorithm::Independent),
+            "block" => Ok(Algorithm::Block),
+            "transitive" | "trans" => Ok(Algorithm::Transitive),
+            other => Err(format!("unknown algorithm {other:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Algorithm::Basic => "basic",
+            Algorithm::Independent => "independent",
+            Algorithm::Block => "block",
+            Algorithm::Transitive => "transitive",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Runtime configuration (the experimental knobs of Section 11).
+#[derive(Debug, Clone)]
+pub struct AllocConfig {
+    /// Buffer pool size |B| in 4 KiB pages (the paper sweeps 600 KB–50 MB).
+    pub buffer_pages: usize,
+    /// External-sort budget in pages (defaults to the buffer size).
+    pub sort_pages: usize,
+    /// Keep all pages in memory (unit tests / CI) instead of temp files.
+    pub in_memory_backing: bool,
+    /// Directory for the paged files (temp dir if `None`).
+    pub dir: Option<PathBuf>,
+    /// Independent fidelity flag: re-sort the summary tables every
+    /// iteration, as Algorithm 3 specifies (`false` = ablation).
+    pub resort_facts: bool,
+    /// Transitive optimization: iterate each component only until *its*
+    /// cells converge (`false` = ablation: global iteration count).
+    pub per_component_convergence: bool,
+}
+
+impl Default for AllocConfig {
+    fn default() -> Self {
+        AllocConfig {
+            buffer_pages: 1024, // 4 MiB
+            sort_pages: 0,      // 0 = same as buffer_pages
+            in_memory_backing: false,
+            dir: None,
+            resort_facts: true,
+            per_component_convergence: true,
+        }
+    }
+}
+
+impl AllocConfig {
+    /// In-memory backing with the given pool size (tests & examples).
+    pub fn in_memory(buffer_pages: usize) -> Self {
+        AllocConfig { buffer_pages, in_memory_backing: true, ..Default::default() }
+    }
+
+    fn effective_sort_pages(&self) -> usize {
+        if self.sort_pages == 0 {
+            self.buffer_pages.max(2)
+        } else {
+            self.sort_pages
+        }
+    }
+
+    /// Build the storage environment this config describes.
+    pub fn build_env(&self, tag: &str) -> Result<Env> {
+        let mut b = Env::builder(tag).pool_pages(self.buffer_pages);
+        if self.in_memory_backing {
+            b = b.in_memory();
+        }
+        if let Some(dir) = &self.dir {
+            b = b.dir(dir.clone());
+        }
+        Ok(b.build()?)
+    }
+}
+
+/// The result of [`allocate`]: the EDB, the report, and the prepared data
+/// (kept for maintenance and inspection).
+pub struct AllocationRun {
+    /// The materialized Extended Database.
+    pub edb: ExtendedDatabase,
+    /// Timing / I/O / structure statistics.
+    pub report: RunReport,
+    /// The post-run prepared data (cell deltas hold the fixpoint).
+    pub prep: PreparedData,
+    /// For Transitive runs: the raw→resolved ccid map (for maintenance).
+    pub ccid_resolution: Option<Vec<u32>>,
+}
+
+/// Apply `policy` to `table` with `algorithm` and materialize the EDB.
+pub fn allocate(
+    table: &FactTable,
+    policy: &PolicySpec,
+    algorithm: Algorithm,
+    cfg: &AllocConfig,
+) -> Result<AllocationRun> {
+    let env = cfg.build_env(&format!("alloc-{algorithm}"))?;
+    allocate_in_env(table, policy, algorithm, cfg, &env)
+}
+
+/// [`allocate`] against a caller-provided environment (benchmarks share
+/// one environment across runs to control the page cache).
+pub fn allocate_in_env(
+    table: &FactTable,
+    policy: &PolicySpec,
+    algorithm: Algorithm,
+    cfg: &AllocConfig,
+    env: &Env,
+) -> Result<AllocationRun> {
+    let sort_pages = cfg.effective_sort_pages();
+    let mut report = RunReport { algorithm: algorithm.to_string(), ..Default::default() };
+
+    // ---- preprocessing ----------------------------------------------------
+    let t0 = Instant::now();
+    let io0 = env.stats().snapshot();
+    let mut prep = prepare(table, policy, env, sort_pages)?;
+    report.wall_prep = t0.elapsed();
+    report.io_prep = env.stats().snapshot() - io0;
+    report.num_cells = prep.cells.len();
+    report.num_imprecise = prep.facts.len();
+    report.num_tables = prep.tables.len() as u64;
+    report.width = prep.cover.width() as u64;
+    report.partition_pages = prep.partition_pages();
+    report.unallocatable = prep.unallocatable;
+
+    let mut edb = ExtendedDatabase::create(env, prep.k())?;
+    let mut ccid_resolution = None;
+
+    // ---- allocation passes -------------------------------------------------
+    let t1 = Instant::now();
+    let io1 = env.stats().snapshot();
+    let mut basic_problem = None;
+    match algorithm {
+        Algorithm::Basic => {
+            let (prob, iters, conv) = run_basic(&mut prep, policy)?;
+            report.iterations = iters;
+            report.converged = conv;
+            basic_problem = Some(prob);
+        }
+        Algorithm::Independent => {
+            let out = run_independent(&mut prep, policy, sort_pages, cfg.resort_facts)?;
+            report.iterations = out.iterations;
+            report.converged = out.converged;
+        }
+        Algorithm::Block => {
+            let out = run_block(&mut prep, policy, cfg.buffer_pages)?;
+            report.iterations = out.iterations;
+            report.converged = out.converged;
+            report.num_table_sets = out.sets.len() as u64;
+            report.over_budget = out.over_budget;
+        }
+        Algorithm::Transitive => {
+            let out = run_transitive(
+                &mut prep,
+                policy,
+                cfg.buffer_pages,
+                sort_pages,
+                &mut edb,
+                cfg.per_component_convergence,
+            )?;
+            report.iterations = out.iterations_max;
+            report.converged = out.converged;
+            report.num_table_sets = out.num_table_sets;
+            report.over_budget = out.over_budget;
+            report.components = Some(out.stats);
+            ccid_resolution = Some(out.resolved);
+        }
+    }
+    report.wall_alloc = t1.elapsed();
+    report.io_alloc = env.stats().snapshot() - io1;
+
+    // ---- EDB materialization -------------------------------------------------
+    let t2 = Instant::now();
+    let io2 = env.stats().snapshot();
+    match algorithm {
+        Algorithm::Basic => {
+            let mut prob = basic_problem.expect("set above");
+            // Persist the fixpoint into the cells file (so queries and
+            // inspection over `prep` see it), then emit.
+            {
+                let mut cursor = prep.cells.scan();
+                let mut i = 0usize;
+                while let Some(mut cell) = cursor.next()? {
+                    let solved = &prob.cells[i];
+                    debug_assert_eq!(solved.key, cell.key);
+                    cell.delta = solved.delta;
+                    cell.converged = solved.converged;
+                    cursor.write_back(&cell)?;
+                    i += 1;
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            let mut pending = Vec::new();
+            prob.emit(|e| pending.push(e));
+            for e in pending {
+                let first = seen.insert(e.fact_id);
+                edb.push(&e, false, first)?;
+            }
+            emit_precise_entries(&mut prep, &mut edb)?;
+        }
+        Algorithm::Independent => {
+            restore_canonical(&mut prep, sort_pages)?;
+            let window_pages = (cfg.buffer_pages as u64).saturating_sub(4).max(1);
+            let (sets, _) = plan_sets(&prep, window_pages);
+            materialize(&mut prep, &sets, &mut edb, true)?;
+        }
+        Algorithm::Block => {
+            let window_pages = (cfg.buffer_pages as u64).saturating_sub(4).max(1);
+            let (sets, _) = plan_sets(&prep, window_pages);
+            materialize(&mut prep, &sets, &mut edb, true)?;
+        }
+        Algorithm::Transitive => {
+            // Imprecise entries were emitted per component; add precise.
+            emit_precise_entries(&mut prep, &mut edb)?;
+        }
+    }
+    report.wall_edb = t2.elapsed();
+    report.io_edb = env.stats().snapshot() - io2;
+
+    Ok(AllocationRun { edb, report, prep, ccid_resolution })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_model::paper_example;
+
+    fn run(algorithm: Algorithm, policy: &PolicySpec) -> AllocationRun {
+        let t = paper_example::table1();
+        allocate(&t, policy, algorithm, &AllocConfig::in_memory(256)).unwrap()
+    }
+
+    #[test]
+    fn all_algorithms_allocate_table1() {
+        for alg in [
+            Algorithm::Basic,
+            Algorithm::Independent,
+            Algorithm::Block,
+            Algorithm::Transitive,
+        ] {
+            let mut r = run(alg, &PolicySpec::em_count(0.01));
+            assert!(r.report.converged, "{alg}");
+            assert_eq!(r.edb.num_facts_allocated(), 14, "{alg}");
+            assert_eq!(r.edb.num_precise_entries(), 5, "{alg}");
+            assert_eq!(r.edb.num_imprecise_entries(), 12, "{alg}");
+            let checked = r.edb.validate_weights(1e-9).unwrap().unwrap();
+            assert_eq!(checked, 14, "{alg}");
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_weights() {
+        let policy = PolicySpec::em_count(0.0005);
+        let mut reference = run(Algorithm::Basic, &policy);
+        let want = reference.edb.weight_map().unwrap();
+        for alg in [Algorithm::Independent, Algorithm::Block, Algorithm::Transitive] {
+            let mut r = run(alg, &policy);
+            let got = r.edb.weight_map().unwrap();
+            assert_eq!(got.len(), want.len(), "{alg}");
+            for (id, entries) in &want {
+                let g = &got[id];
+                assert_eq!(g.len(), entries.len(), "{alg} fact {id}");
+                for (a, b) in entries.iter().zip(g.iter()) {
+                    assert_eq!(a.0, b.0, "{alg} fact {id}");
+                    assert!((a.1 - b.1).abs() < 1e-6, "{alg} fact {id}: {} vs {}", a.1, b.1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_structure_is_filled() {
+        let r = run(Algorithm::Transitive, &PolicySpec::em_count(0.05));
+        assert_eq!(r.report.num_cells, 5);
+        assert_eq!(r.report.num_imprecise, 9);
+        assert_eq!(r.report.num_tables, 5);
+        assert_eq!(r.report.width, 3);
+        assert!(r.report.components.is_some());
+        assert!(r.ccid_resolution.is_some());
+        let s = format!("{}", r.report);
+        assert!(s.contains("transitive"), "{s}");
+    }
+
+    #[test]
+    fn algorithm_parsing() {
+        assert_eq!("block".parse::<Algorithm>().unwrap(), Algorithm::Block);
+        assert_eq!("TRANS".parse::<Algorithm>().unwrap(), Algorithm::Transitive);
+        assert!("nope".parse::<Algorithm>().is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Dataset statistics — the numbers Section 11 and Table 2 report.
+
+use iolap_model::FactTable;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Aggregate statistics of a fact table, mirroring Table 2 and the
+/// dataset description of Section 11.
+#[derive(Debug, Clone)]
+pub struct Census {
+    /// Total facts.
+    pub n_facts: u64,
+    /// Precise facts.
+    pub n_precise: u64,
+    /// Imprecise facts.
+    pub n_imprecise: u64,
+    /// `by_ndims[i]` = facts imprecise in exactly `i + 1` dimensions.
+    pub by_ndims: Vec<u64>,
+    /// `per_dim_level_counts[d][l-1]` = facts whose dimension `d` sits at
+    /// level `l` (l = 1 are the precise-in-d facts).
+    pub per_dim_level_counts: Vec<Vec<u64>>,
+    /// Dimension names (for display).
+    pub dim_names: Vec<String>,
+    /// Level names per dimension, bottom-up.
+    pub level_names: Vec<Vec<String>>,
+    /// Number of distinct imprecise level vectors = number of imprecise
+    /// summary tables (the paper's automotive data had 35).
+    pub num_summary_tables: u64,
+    /// Facts per summary table (keyed by the level vector rendered as a
+    /// string, for display).
+    pub summary_table_sizes: HashMap<String, u64>,
+}
+
+/// Compute the census of a table.
+pub fn census(t: &FactTable) -> Census {
+    let s = t.schema();
+    let k = s.k();
+    let mut by_ndims = vec![0u64; k];
+    let mut per_dim_level_counts: Vec<Vec<u64>> =
+        (0..k).map(|d| vec![0u64; s.dim(d).levels() as usize]).collect();
+    let mut summary_table_sizes: HashMap<String, u64> = HashMap::new();
+    let mut n_precise = 0u64;
+
+    for f in t.facts() {
+        let lv = s.level_vec(f);
+        let mut imprecise_dims = 0;
+        for d in 0..k {
+            per_dim_level_counts[d][(lv[d] - 1) as usize] += 1;
+            if lv[d] > 1 {
+                imprecise_dims += 1;
+            }
+        }
+        if imprecise_dims == 0 {
+            n_precise += 1;
+        } else {
+            by_ndims[imprecise_dims - 1] += 1;
+            let key = lv[..k].iter().map(u8::to_string).collect::<Vec<_>>().join(",");
+            *summary_table_sizes.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    Census {
+        n_facts: t.len() as u64,
+        n_precise,
+        n_imprecise: t.len() as u64 - n_precise,
+        by_ndims,
+        per_dim_level_counts,
+        dim_names: (0..k).map(|d| s.dim(d).name().to_string()).collect(),
+        level_names: (0..k)
+            .map(|d| (1..=s.dim(d).levels()).map(|l| s.dim(d).level_name(l).to_string()).collect())
+            .collect(),
+        num_summary_tables: summary_table_sizes.len() as u64,
+        summary_table_sizes,
+    }
+}
+
+/// Node counts per level of each dimension (the parenthesized counts of
+/// Table 2), straight from the schema.
+pub fn dimension_shape(t: &FactTable) -> Vec<Vec<(String, usize)>> {
+    let s = t.schema();
+    (0..s.k())
+        .map(|d| {
+            let h = s.dim(d);
+            (1..=h.levels())
+                .map(|l| (h.level_name(l).to_string(), h.nodes_at_level(l).len()))
+                .collect()
+        })
+        .collect()
+}
+
+impl fmt::Display for Census {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} facts: {} precise, {} imprecise ({:.1}%)",
+            self.n_facts,
+            self.n_precise,
+            self.n_imprecise,
+            100.0 * self.n_imprecise as f64 / self.n_facts.max(1) as f64
+        )?;
+        for (i, n) in self.by_ndims.iter().enumerate() {
+            if *n > 0 {
+                writeln!(
+                    f,
+                    "  imprecise in {} dim(s): {:>10} ({:.2}% of imprecise)",
+                    i + 1,
+                    n,
+                    100.0 * *n as f64 / self.n_imprecise.max(1) as f64
+                )?;
+            }
+        }
+        writeln!(f, "  imprecise summary tables: {}", self.num_summary_tables)?;
+        for (d, name) in self.dim_names.iter().enumerate() {
+            write!(f, "  {name}: ")?;
+            for (l, count) in self.per_dim_level_counts[d].iter().enumerate() {
+                let pct = 100.0 * *count as f64 / self.n_facts.max(1) as f64;
+                write!(f, "{}={:.0}% ", self.level_names[d][l], pct)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_model::paper_example;
+
+    #[test]
+    fn census_of_paper_example() {
+        let t = paper_example::table1();
+        let c = census(&t);
+        assert_eq!(c.n_facts, 14);
+        assert_eq!(c.n_precise, 5);
+        assert_eq!(c.n_imprecise, 9);
+        // p6,p7,p8,p11,p12,p13,p14 are 1-dim imprecise (7 facts);
+        // p9, p10 are 2-dim imprecise.
+        assert_eq!(c.by_ndims[0], 7);
+        assert_eq!(c.by_ndims[1], 2);
+        // Figure 3: five imprecise summary tables S1..S5.
+        assert_eq!(c.num_summary_tables, 5);
+        assert_eq!(c.summary_table_sizes["1,2"], 2); // S1 = {p6, p7}
+        assert_eq!(c.summary_table_sizes["1,3"], 1); // S2 = {p8}
+        assert_eq!(c.summary_table_sizes["2,2"], 2); // S3 = {p9, p10}
+        assert_eq!(c.summary_table_sizes["3,1"], 2); // S4 = {p11, p12}
+        assert_eq!(c.summary_table_sizes["2,1"], 2); // S5 = {p13, p14}
+    }
+
+    #[test]
+    fn dimension_shape_of_paper_example() {
+        let t = paper_example::table1();
+        let shape = dimension_shape(&t);
+        assert_eq!(shape[0], vec![("State".into(), 4), ("Region".into(), 2), ("ALL".into(), 1)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = paper_example::table1();
+        let text = format!("{}", census(&t));
+        assert!(text.contains("14 facts"), "{text}");
+        assert!(text.contains("summary tables: 5"), "{text}");
+    }
+}

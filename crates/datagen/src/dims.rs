@@ -1,0 +1,123 @@
+//! The four dimensions of the paper's Table 2.
+//!
+//! | Dimension | Levels (top→leaf) | Node counts |
+//! |---|---|---|
+//! | SR-AREA   | ALL, Area, Sub-Area        | 1, 30, 694   |
+//! | BRAND     | ALL, Make, Model           | 1, 14, 203   |
+//! | TIME      | ALL, Quarter, Month, Week  | 1, 5, 15, 59 |
+//! | LOCATION  | ALL, Region, State, City   | 1, 10, 51, 900 |
+//!
+//! The real data's child→parent wiring is unpublished; we wire children to
+//! parents uniformly at random (seeded), after guaranteeing every parent at
+//! least one child (hierarchical domains forbid empty nodes).
+
+use iolap_hierarchy::{Hierarchy, HierarchyBuilder};
+use iolap_model::Schema;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Random parent map: `child_count` children over `parent_count` parents,
+/// every parent non-empty.
+fn random_parents(child_count: u32, parent_count: u32, rng: &mut StdRng) -> Vec<u32> {
+    assert!(child_count >= parent_count, "need at least one child per parent");
+    let mut parents: Vec<u32> = Vec::with_capacity(child_count as usize);
+    // First `parent_count` children cover every parent once…
+    parents.extend(0..parent_count);
+    // …the rest go wherever.
+    for _ in parent_count..child_count {
+        parents.push(rng.random_range(0..parent_count));
+    }
+    parents
+}
+
+/// Build one unbalanced hierarchy from bottom-up level `(name, size)`
+/// pairs, wiring randomly.
+fn random_hierarchy(name: &str, levels: &[(&str, u32)], rng: &mut StdRng) -> Hierarchy {
+    let mut b = HierarchyBuilder::new(name);
+    for (ln, size) in levels {
+        b = b.level(ln, *size);
+    }
+    for i in 1..levels.len() {
+        let parents = random_parents(levels[i - 1].1, levels[i].1, rng);
+        b = b.parents(i as u8 + 1, &parents);
+    }
+    b.build()
+}
+
+/// The four Table 2 dimensions, wired with the given seed.
+pub fn automotive_dims(seed: u64) -> Vec<Arc<Hierarchy>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        Arc::new(random_hierarchy("SR-AREA", &[("Sub-Area", 694), ("Area", 30)], &mut rng)),
+        Arc::new(random_hierarchy("BRAND", &[("Model", 203), ("Make", 14)], &mut rng)),
+        Arc::new(random_hierarchy(
+            "TIME",
+            &[("Week", 59), ("Month", 15), ("Quarter", 5)],
+            &mut rng,
+        )),
+        Arc::new(random_hierarchy(
+            "LOCATION",
+            &[("City", 900), ("State", 51), ("Region", 10)],
+            &mut rng,
+        )),
+    ]
+}
+
+/// The automotive schema ⟨SR-AREA, BRAND, TIME, LOCATION; Amount⟩.
+pub fn automotive_schema(seed: u64) -> Arc<Schema> {
+    Arc::new(Schema::new(automotive_dims(seed), "Amount"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_node_counts() {
+        let dims = automotive_dims(7);
+        let shapes: Vec<(String, Vec<usize>)> = dims
+            .iter()
+            .map(|h| {
+                let sizes =
+                    (1..=h.levels()).map(|l| h.nodes_at_level(l).len()).collect();
+                (h.name().to_string(), sizes)
+            })
+            .collect();
+        assert_eq!(shapes[0], ("SR-AREA".into(), vec![694, 30, 1]));
+        assert_eq!(shapes[1], ("BRAND".into(), vec![203, 14, 1]));
+        assert_eq!(shapes[2], ("TIME".into(), vec![59, 15, 5, 1]));
+        assert_eq!(shapes[3], ("LOCATION".into(), vec![900, 51, 10, 1]));
+        for h in &dims {
+            h.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = automotive_dims(42);
+        let b = automotive_dims(42);
+        let c = automotive_dims(43);
+        // Same seed → identical wiring (compare leaf ranges of states).
+        let ranges = |dims: &[Arc<Hierarchy>]| -> Vec<(u32, u32)> {
+            let loc = &dims[3];
+            loc.nodes_at_level(2)
+                .iter()
+                .map(|&n| {
+                    let r = loc.leaf_range(n);
+                    (r.start, r.end)
+                })
+                .collect()
+        };
+        assert_eq!(ranges(&a), ranges(&b));
+        assert_ne!(ranges(&a), ranges(&c), "different seeds should differ");
+    }
+
+    #[test]
+    fn schema_cell_space_matches_paper_scale() {
+        let s = automotive_schema(1);
+        // 694 × 203 × 59 × 900 possible cells ≈ 7.5 billion.
+        assert_eq!(s.num_possible_cells(), 694 * 203 * 59 * 900);
+        assert_eq!(s.k(), 4);
+    }
+}

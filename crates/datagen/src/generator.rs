@@ -1,0 +1,219 @@
+//! The fact-stream generator.
+
+use crate::config::GeneratorConfig;
+use iolap_model::{Fact, FactTable, MAX_DIMS};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Draw an index from a slice of non-negative weights.
+fn weighted_index(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0);
+    let mut x = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// A skewed leaf sampler: leaves get Zipf weights `1/rank^s` under a
+/// seeded random popularity permutation, sampled by binary search on the
+/// cumulative distribution. `s = 0` degenerates to uniform.
+struct LeafSampler {
+    /// Popularity order → leaf id.
+    perm: Vec<u32>,
+    /// Cumulative weights over popularity ranks.
+    cdf: Vec<f64>,
+}
+
+impl LeafSampler {
+    fn new(n_leaves: u32, s: f64, rng: &mut StdRng) -> Self {
+        let mut perm: Vec<u32> = (0..n_leaves).collect();
+        // Fisher–Yates: hot leaves scattered across the hierarchy.
+        for i in (1..perm.len()).rev() {
+            let j = rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        let mut cdf = Vec::with_capacity(n_leaves as usize);
+        let mut acc = 0.0;
+        for rank in 0..n_leaves {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        LeafSampler { perm, cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u32 {
+        let total = *self.cdf.last().expect("non-empty domain");
+        let x = rng.random_range(0.0..total);
+        let rank = self.cdf.partition_point(|&c| c <= x);
+        self.perm[rank.min(self.perm.len() - 1)]
+    }
+}
+
+/// Generate a fact table per `cfg`. Fact ids are `1..=n_facts` in order.
+pub fn generate(cfg: &GeneratorConfig) -> FactTable {
+    cfg.validate().expect("invalid generator configuration");
+    let schema = cfg.schema.clone();
+    let k = schema.k();
+    let mut rng = StdRng::seed_from_u64(cfg.data_seed);
+    let samplers: Vec<LeafSampler> = (0..k)
+        .map(|d| LeafSampler::new(schema.dim(d).num_leaves(), cfg.leaf_zipf, &mut rng))
+        .collect();
+    let n_imprecise = (cfg.n_facts as f64 * cfg.imprecise_frac).round() as u64;
+    let mut facts = Vec::with_capacity(cfg.n_facts as usize);
+
+    for id in 1..=cfg.n_facts {
+        // Deterministic split: the first `n_imprecise` ids are imprecise.
+        // (Shuffling would not change any algorithm's behaviour — the
+        // preprocessing sort groups facts anyway.)
+        let imprecise = id <= n_imprecise;
+        let mut dims = [0u32; MAX_DIMS];
+        // Start precise everywhere, drawing from the skewed popularity.
+        for (d, slot) in dims.iter_mut().enumerate().take(k) {
+            let leaf = samplers[d].sample(&mut rng);
+            *slot = schema.dim(d).leaf_node(leaf).0;
+        }
+        if imprecise {
+            // How many dimensions go imprecise?
+            let m = (weighted_index(&cfg.ndims_weights, &mut rng) + 1).min(k);
+            // Which dimensions? Weighted sampling without replacement,
+            // skipping dimensions that cannot be imprecise.
+            let mut weights: Vec<f64> = cfg.dims.iter().map(|d| d.weight).collect();
+            for (d, di) in cfg.dims.iter().enumerate() {
+                if di.level_weights.iter().sum::<f64>() <= 0.0 {
+                    weights[d] = 0.0;
+                }
+            }
+            let mut chosen: Vec<usize> = Vec::with_capacity(m);
+            for _ in 0..m {
+                if weights.iter().sum::<f64>() <= 0.0 {
+                    break;
+                }
+                let d = weighted_index(&weights, &mut rng);
+                weights[d] = 0.0;
+                chosen.push(d);
+            }
+            // Pick levels, respecting the max-ALL constraint.
+            let mut alls_used = 0usize;
+            for &d in &chosen {
+                let h = schema.dim(d);
+                let top = h.levels();
+                let mut lw = cfg.dims[d].level_weights.clone();
+                if alls_used >= cfg.max_all_dims {
+                    // Forbid ALL (the last internal level is `top`).
+                    let all_idx = (top - 2) as usize;
+                    lw[all_idx] = 0.0;
+                }
+                if lw.iter().sum::<f64>() <= 0.0 {
+                    continue; // nothing usable at this dimension anymore
+                }
+                let level = (weighted_index(&lw, &mut rng) + 2) as u8;
+                if level == top {
+                    alls_used += 1;
+                }
+                // Coarsen the already-drawn (skew-weighted) leaf to the
+                // chosen level, so imprecise regions concentrate where the
+                // precise mass is — as real clustered data does.
+                let leaf = h
+                    .leaf_index(iolap_hierarchy::NodeId(dims[d]))
+                    .expect("dimension still precise here");
+                dims[d] = h.ancestor_at(leaf, level).0;
+            }
+        }
+        let measure = (rng.random_range(1.0f64..1000.0) * 100.0).round() / 100.0;
+        facts.push(Fact { id, dims, measure });
+    }
+    FactTable::from_facts(schema, facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::census;
+    use crate::config::GeneratorConfig;
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = GeneratorConfig::automotive(10_000, 3);
+        let t = generate(&cfg);
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.num_imprecise(), 3_000);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&GeneratorConfig::synthetic(5_000, 11));
+        let b = generate(&GeneratorConfig::synthetic(5_000, 11));
+        let c = generate(&GeneratorConfig::synthetic(5_000, 12));
+        assert_eq!(a.facts(), b.facts());
+        assert_ne!(a.facts(), c.facts());
+    }
+
+    #[test]
+    fn automotive_has_no_all_values() {
+        let cfg = GeneratorConfig::automotive(20_000, 5);
+        let t = generate(&cfg);
+        let s = t.schema();
+        for f in t.facts() {
+            for d in 0..s.k() {
+                let lvl = s.dim(d).level_of(iolap_hierarchy::NodeId(f.dims[d]));
+                assert!(lvl < s.dim(d).levels(), "ALL found in automotive data");
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_respects_max_two_alls() {
+        let cfg = GeneratorConfig::synthetic(20_000, 5);
+        let t = generate(&cfg);
+        let s = t.schema();
+        for f in t.facts() {
+            let alls = (0..s.k())
+                .filter(|&d| {
+                    s.dim(d).level_of(iolap_hierarchy::NodeId(f.dims[d])) == s.dim(d).levels()
+                })
+                .count();
+            assert!(alls <= 2, "fact {} has {alls} ALL dimensions", f.id);
+        }
+    }
+
+    #[test]
+    fn automotive_census_tracks_table2_shape() {
+        let cfg = GeneratorConfig::automotive(100_000, 9);
+        let t = generate(&cfg);
+        let c = census(&t);
+        // 30 % imprecise.
+        let frac = c.n_imprecise as f64 / c.n_facts as f64;
+        assert!((frac - 0.30).abs() < 0.01, "imprecise fraction {frac}");
+        // Mix over number of imprecise dimensions ≈ 67/33.
+        let one = c.by_ndims[0] as f64 / c.n_imprecise as f64;
+        let two = c.by_ndims[1] as f64 / c.n_imprecise as f64;
+        assert!((one - 0.668).abs() < 0.02, "1-dim share {one}");
+        assert!((two - 0.331).abs() < 0.02, "2-dim share {two}");
+        // LOCATION is the most imprecise dimension (weight 25 of 61).
+        let loc_internal: u64 = c.per_dim_level_counts[3][1..].iter().sum();
+        let sr_internal: u64 = c.per_dim_level_counts[0][1..].iter().sum();
+        assert!(loc_internal > 2 * sr_internal);
+        // TIME respects the 9:3 month:quarter ratio loosely.
+        let month = c.per_dim_level_counts[2][1] as f64;
+        let quarter = c.per_dim_level_counts[2][2] as f64;
+        assert!((month / quarter - 3.0).abs() < 0.5, "month/quarter = {}", month / quarter);
+    }
+
+    #[test]
+    fn uniform_generator_covers_every_dimension() {
+        let schema = crate::dims::automotive_schema(2);
+        let cfg = GeneratorConfig::uniform(schema, 5_000, 0.5, 77);
+        let t = generate(&cfg);
+        let c = census(&t);
+        for d in 0..4 {
+            let internal: u64 = c.per_dim_level_counts[d][1..].iter().sum();
+            assert!(internal > 0, "dimension {d} never imprecise");
+        }
+    }
+}

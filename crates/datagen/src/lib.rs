@@ -1,0 +1,85 @@
+//! # iolap-datagen
+//!
+//! Synthetic imprecise fact tables reproducing the datasets of Section 11
+//! of Burdick et al. (VLDB 2006).
+//!
+//! The paper's "real" dataset came from an anonymous automotive
+//! manufacturer and is not available; per the reproduction plan
+//! (DESIGN.md §4) we substitute generators that match every *published*
+//! statistic of the data:
+//!
+//! * [`automotive_dims`] — the four dimensions of Table 2, with the exact
+//!   node counts per level (Sub-Area 694 / Area 30; Model 203 / Make 14;
+//!   Week 59 / Month 15 / Quarter 5; City 900 / State 51 / Region 10) and
+//!   randomized (seeded) child→parent wiring.
+//! * [`automotive`] — 797,570 facts, 30 % imprecise, the paper's
+//!   imprecision mix (≈67 % imprecise in one dimension, ≈33 % in two,
+//!   241 facts in three, none in four, no ALL values), with dimension
+//!   propensities proportional to Table 2's per-level percentages.
+//! * [`synthetic`] — the paper's synthetic variant: same dimensions and
+//!   fact counts, but imprecise facts may take ALL in up to two
+//!   dimensions, which produces the giant connected component the paper
+//!   highlights (167,590 tuples at full scale).
+//! * [`scaled`] — both of the above at a configurable fact count, so
+//!   laptop-scale tests and full-scale benchmark runs share one code path
+//!   (the 5M-tuple datasets of Figures 5i–j use this).
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod config;
+pub mod dims;
+pub mod generator;
+
+pub use census::{census, Census};
+pub use config::{DimImprecision, GeneratorConfig};
+pub use dims::{automotive_dims, automotive_schema};
+pub use generator::generate;
+
+use iolap_model::FactTable;
+
+/// The paper's automotive dataset size.
+pub const AUTOMOTIVE_FACTS: u64 = 797_570;
+
+/// The automotive-like dataset at full paper scale.
+pub fn automotive(seed: u64) -> FactTable {
+    generate(&GeneratorConfig::automotive(AUTOMOTIVE_FACTS, seed))
+}
+
+/// The paper's synthetic dataset (ALL allowed in ≤ 2 dimensions) at full
+/// paper scale.
+pub fn synthetic(seed: u64) -> FactTable {
+    generate(&GeneratorConfig::synthetic(AUTOMOTIVE_FACTS, seed))
+}
+
+/// Either dataset at an arbitrary scale.
+pub fn scaled(kind: DatasetKind, n_facts: u64, seed: u64) -> FactTable {
+    let cfg = match kind {
+        DatasetKind::Automotive => GeneratorConfig::automotive(n_facts, seed),
+        DatasetKind::Synthetic => GeneratorConfig::synthetic(n_facts, seed),
+    };
+    generate(&cfg)
+}
+
+/// Which of the paper's two dataset families to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Matches the real automotive data's published statistics (no ALL).
+    Automotive,
+    /// The synthetic variant (ALL in up to 2 dimensions).
+    Synthetic,
+}
+
+impl std::str::FromStr for DatasetKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "automotive" | "auto" | "real" => Ok(DatasetKind::Automotive),
+            "synthetic" | "syn" => Ok(DatasetKind::Synthetic),
+            other => Err(format!("unknown dataset kind {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Bin packing of summary tables into buffer-feasible table sets.
+//!
+//! Section 6.1: "We assume the imprecise summary tables have been
+//! partitioned into a collection of summary table groups S such that for
+//! each group the sum of the partition sizes is less than |B| … Finding the
+//! partitioning resulting in the smallest number of groups is NP-complete
+//! … several well-known 2-approximation algorithms exist." We use
+//! first-fit decreasing, which satisfies the paper's
+//! `|P|/|B| ≤ |S| ≤ 2·|P|/|B|` accounting (Theorem 7).
+
+/// Pack tables (given their partition sizes in pages) into bins of
+/// `capacity_pages`. Returns the table indexes of each bin.
+///
+/// Tables larger than the capacity get a bin of their own (the Block
+/// algorithm then runs that table over budget and flags it in its report;
+/// the paper implicitly assumes partition sizes fit in `B`).
+pub fn pack_tables(sizes_pages: &[u64], capacity_pages: u64) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..sizes_pages.len()).collect();
+    // Decreasing size, ties by index for determinism.
+    order.sort_by_key(|&i| (std::cmp::Reverse(sizes_pages[i]), i));
+
+    let mut bins: Vec<(u64, Vec<usize>)> = Vec::new();
+    for i in order {
+        let size = sizes_pages[i];
+        match bins.iter_mut().find(|(used, _)| *used + size <= capacity_pages) {
+            Some((used, members)) => {
+                *used += size;
+                members.push(i);
+            }
+            None => bins.push((size, vec![i])),
+        }
+    }
+    // Keep each bin's tables in ascending table order (scan order).
+    bins.into_iter()
+        .map(|(_, mut members)| {
+            members.sort_unstable();
+            members
+        })
+        .collect()
+}
+
+/// The trivial lower bound `⌈|P| / |B|⌉` on the number of bins.
+pub fn lower_bound(sizes_pages: &[u64], capacity_pages: u64) -> u64 {
+    let total: u64 = sizes_pages.iter().sum();
+    total.div_ceil(capacity_pages.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes_of(bins: &[Vec<usize>], sizes: &[u64]) -> Vec<u64> {
+        bins.iter().map(|b| b.iter().map(|&i| sizes[i]).sum()).collect()
+    }
+
+    #[test]
+    fn everything_fits_in_one_bin() {
+        let sizes = [10, 20, 30];
+        let bins = pack_tables(&sizes, 100);
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn splits_when_over_capacity() {
+        let sizes = [60, 50, 40, 30, 20];
+        let cap = 100;
+        let bins = pack_tables(&sizes, cap);
+        for (b, used) in bins.iter().zip(sizes_of(&bins, &sizes)) {
+            assert!(used <= cap, "bin {b:?} over capacity");
+        }
+        // FFD on this input: [60,40] [50,30,20] → 2 bins = lower bound.
+        assert_eq!(bins.len() as u64, lower_bound(&sizes, cap));
+    }
+
+    #[test]
+    fn two_approximation_bound_holds() {
+        // Adversarial-ish sizes.
+        let sizes: Vec<u64> = (0..50).map(|i| 1 + (i * 37) % 64).collect();
+        let cap = 100;
+        let bins = pack_tables(&sizes, cap);
+        for used in sizes_of(&bins, &sizes) {
+            assert!(used <= cap);
+        }
+        let lb = lower_bound(&sizes, cap);
+        assert!(bins.len() as u64 <= 2 * lb, "{} bins vs lower bound {lb}", bins.len());
+    }
+
+    #[test]
+    fn oversize_table_gets_own_bin() {
+        let sizes = [150, 10];
+        let bins = pack_tables(&sizes, 100);
+        assert_eq!(bins.len(), 2);
+        assert!(bins.iter().any(|b| b == &vec![0]));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pack_tables(&[], 10).is_empty());
+        assert_eq!(lower_bound(&[], 10), 0);
+    }
+
+    #[test]
+    fn every_table_appears_exactly_once() {
+        let sizes: Vec<u64> = (0..30).map(|i| (i % 7) + 1).collect();
+        let bins = pack_tables(&sizes, 10);
+        let mut seen: Vec<usize> = bins.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..30).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,165 @@
+//! The `ccidMap` of the Transitive algorithm (Section 8).
+//!
+//! During component identification a tuple is assigned a ccid once, "based
+//! on information available when it is first considered"; components that
+//! later turn out to be connected are merged *implicitly* by updating the
+//! memory-resident `ccidMap`. That is a union-find. Following the paper's
+//! convention ("assign the new merged component the smallest `t.ccid` of
+//! any `t`"), unions resolve to the **smallest** id, and the final
+//! [`CcidMap::resolve_all`] pass corresponds to Step 2's
+//! "`currMap[i] = k` where `k` is the smallest reachable ccid".
+
+/// Union-find over dynamically allocated component ids, merging to the
+/// minimum id.
+#[derive(Debug, Clone, Default)]
+pub struct CcidMap {
+    /// `parent[i] ≤ i` after any find; roots point to themselves.
+    parent: Vec<u32>,
+}
+
+impl CcidMap {
+    /// An empty map; ids are handed out by [`CcidMap::alloc`].
+    pub fn new() -> Self {
+        CcidMap { parent: Vec::new() }
+    }
+
+    /// Number of ids allocated so far.
+    pub fn len(&self) -> u32 {
+        self.parent.len() as u32
+    }
+
+    /// True if no ids have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Allocate the next ccid (line 13 of Algorithm 5: "set t.ccid to next
+    /// available ccid").
+    pub fn alloc(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        id
+    }
+
+    /// The representative ("true") ccid of `id`, with path compression.
+    pub fn find(&mut self, id: u32) -> u32 {
+        let mut root = id;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Compress.
+        let mut cur = id;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the components of `a` and `b`; the smaller root id wins.
+    /// Returns the surviving root.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi as usize] = lo;
+        lo
+    }
+
+    /// Merge a whole set of ids; returns the surviving root (or fresh id
+    /// for an empty set).
+    pub fn union_all(&mut self, ids: &[u32]) -> u32 {
+        match ids.split_first() {
+            None => self.alloc(),
+            Some((&first, rest)) => {
+                let mut root = self.find(first);
+                for &id in rest {
+                    root = self.union(root, id);
+                }
+                root
+            }
+        }
+    }
+
+    /// Fully resolve every id to its root (Step 2 of Algorithm 5), after
+    /// which `find` is a plain lookup. Returns the number of distinct
+    /// components.
+    pub fn resolve_all(&mut self) -> u32 {
+        let mut distinct = 0;
+        for i in 0..self.parent.len() as u32 {
+            let r = self.find(i);
+            if r == i {
+                distinct += 1;
+            }
+        }
+        distinct
+    }
+
+    /// Read the resolved root without mutation (requires `resolve_all` or
+    /// prior `find(id)` for exactness; otherwise may be one hop stale).
+    pub fn peek(&self, id: u32) -> u32 {
+        self.parent[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_find_union() {
+        let mut m = CcidMap::new();
+        let a = m.alloc();
+        let b = m.alloc();
+        let c = m.alloc();
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(m.find(b), 1);
+        assert_eq!(m.union(b, c), 1);
+        assert_eq!(m.find(c), 1);
+        assert_eq!(m.union(c, a), 0, "smallest id wins");
+        assert_eq!(m.find(b), 0);
+        assert_eq!(m.find(c), 0);
+    }
+
+    #[test]
+    fn union_all_and_resolve() {
+        let mut m = CcidMap::new();
+        for _ in 0..10 {
+            m.alloc();
+        }
+        m.union_all(&[3, 5, 7]);
+        m.union_all(&[5, 9]);
+        m.union_all(&[0, 1]);
+        assert_eq!(m.resolve_all(), 10 - 4); // 4 merges happened
+        assert_eq!(m.peek(9), 3);
+        assert_eq!(m.peek(7), 3);
+        assert_eq!(m.peek(1), 0);
+        assert_eq!(m.peek(2), 2);
+    }
+
+    #[test]
+    fn union_all_empty_allocates() {
+        let mut m = CcidMap::new();
+        let id = m.union_all(&[]);
+        assert_eq!(id, 0);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let mut m = CcidMap::new();
+        for _ in 0..1000 {
+            m.alloc();
+        }
+        for i in (1..1000).rev() {
+            m.union(i, i - 1);
+        }
+        assert_eq!(m.find(999), 0);
+        // After compression the parent pointer is direct.
+        assert_eq!(m.peek(999), 0);
+    }
+}

@@ -1,0 +1,516 @@
+//! The cell summary table `C` as a sorted index with box queries.
+//!
+//! Cells are kept in **canonical order** (lexicographic over the DFS leaf
+//! ids). Because a region is a product of leaf intervals, finding the
+//! cells of `C` inside a region is a *skip scan*: repeatedly binary-search
+//! for the next candidate and jump the gaps where some dimension leaves
+//! the region's interval. Preprocessing uses these queries to compute the
+//! `r.first` / `r.last` indexes of Section 4.2 — exactly the quantities
+//! the paper extracts during the merge step of the sort into summary-table
+//! order.
+//!
+//! A skip scan under one fixed order degenerates when the *leading*
+//! dimensions are unbounded (a region like `(ALL, ALL, x, y)` forces one
+//! jump per distinct leading prefix). The index therefore also keeps the
+//! `k − 1` **rotated** sort orders (as permutations of the canonical
+//! positions) and answers each query under the rotation whose unbounded
+//! dimensions sit as late as possible — the same trick that lets the
+//! paper's chain sort orders make blocks contiguous, applied to lookups.
+
+use iolap_model::{cmp_cells, CellKey, RegionBox, MAX_DIMS};
+use std::cmp::Ordering;
+
+/// A sorted, deduplicated set of cells with box queries.
+#[derive(Debug, Clone)]
+pub struct CellSetIndex {
+    k: usize,
+    /// Canonical (lexicographic) order.
+    keys: Vec<CellKey>,
+    /// `rotations[r - 1][pos]` = canonical index of the cell at `pos` in
+    /// the rotation-`r` order (dims compared in order `r, r+1, …, r-1`).
+    rotations: Vec<Vec<u32>>,
+}
+
+/// Compare two cells under a dimension rotation.
+#[inline]
+fn cmp_rotated(a: &CellKey, b: &CellKey, k: usize, rot: usize) -> Ordering {
+    for p in 0..k {
+        let d = (rot + p) % k;
+        match a[d].cmp(&b[d]) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+impl CellSetIndex {
+    /// Build from already canonically sorted, deduplicated keys.
+    pub fn from_sorted(keys: Vec<CellKey>, k: usize) -> Self {
+        debug_assert!(keys.windows(2).all(|w| cmp_cells(&w[0], &w[1], k) == Ordering::Less));
+        let rotations = Self::build_rotations(&keys, k);
+        CellSetIndex { k, keys, rotations }
+    }
+
+    /// Build from arbitrary keys (sorts and dedups).
+    pub fn from_unsorted(mut keys: Vec<CellKey>, k: usize) -> Self {
+        keys.sort_unstable_by(|a, b| cmp_cells(a, b, k));
+        keys.dedup_by(|a, b| cmp_cells(a, b, k) == Ordering::Equal);
+        let rotations = Self::build_rotations(&keys, k);
+        CellSetIndex { k, keys, rotations }
+    }
+
+    fn build_rotations(keys: &[CellKey], k: usize) -> Vec<Vec<u32>> {
+        (1..k)
+            .map(|rot| {
+                let mut perm: Vec<u32> = (0..keys.len() as u32).collect();
+                perm.sort_unstable_by(|&a, &b| {
+                    cmp_rotated(&keys[a as usize], &keys[b as usize], k, rot)
+                });
+                perm
+            })
+            .collect()
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Number of dimensions.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The cell at index `i` (canonical order).
+    pub fn key(&self, i: u64) -> &CellKey {
+        &self.keys[i as usize]
+    }
+
+    /// All keys, in canonical order.
+    pub fn keys(&self) -> &[CellKey] {
+        &self.keys
+    }
+
+    /// Index of `cell`, if present.
+    pub fn position(&self, cell: &CellKey) -> Option<u64> {
+        self.keys
+            .binary_search_by(|probe| cmp_cells(probe, cell, self.k))
+            .ok()
+            .map(|i| i as u64)
+    }
+
+    /// Canonical cell at rotated position `pos` under rotation `rot`.
+    #[inline]
+    fn at(&self, rot: usize, pos: u64) -> (&CellKey, u64) {
+        if rot == 0 {
+            (&self.keys[pos as usize], pos)
+        } else {
+            let c = self.rotations[rot - 1][pos as usize];
+            (&self.keys[c as usize], c as u64)
+        }
+    }
+
+    /// Index (in rotation order) of the first cell `≥ key` under `rot`.
+    fn lower_bound(&self, rot: usize, key: &CellKey) -> u64 {
+        let n = self.keys.len() as u64;
+        let mut lo = 0u64;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let (cell, _) = self.at(rot, mid);
+            if cmp_rotated(cell, key, self.k, rot) == Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// First dimension *position* in rotation order where `cell` falls
+    /// outside `bx`.
+    #[inline]
+    fn first_violation(&self, rot: usize, cell: &CellKey, bx: &RegionBox) -> Option<usize> {
+        (0..self.k).find(|&p| {
+            let d = (rot + p) % self.k;
+            cell[d] < bx.lo[d] || cell[d] >= bx.hi[d]
+        })
+    }
+
+    /// Pick the rotation minimizing the skip-scan's dead-prefix estimate:
+    /// the product of the box extents of the dimensions placed before the
+    /// last non-full dimension.
+    fn best_rotation(&self, bx: &RegionBox) -> usize {
+        let k = self.k;
+        if k <= 1 {
+            return 0;
+        }
+        let extent = |d: usize| (bx.hi[d] - bx.lo[d]) as f64;
+        // A dimension is "constraining" if the box restricts it at all.
+        // Full dimensions contribute nothing to matching, only to cost.
+        let full: Vec<bool> = (0..k)
+            .map(|d| {
+                // Conservative: treat huge extents as effectively full.
+                let e = bx.hi[d] - bx.lo[d];
+                bx.lo[d] == 0 && e >= 1 && {
+                    // The index has no domain sizes; infer from data max.
+                    // Treat extent ≥ 2^16 or covering all observed values
+                    // as full enough; cheaper: just use the raw extent in
+                    // the cost product (full dims have big extents).
+                    false
+                }
+            })
+            .collect();
+        let _ = full;
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for rot in 0..k {
+            // Position of the last dimension with a "small" extent.
+            let mut lastb = None;
+            for p in (0..k).rev() {
+                let d = (rot + p) % k;
+                if extent(d) <= 1.0 + 1e-9 {
+                    lastb = Some(p);
+                    break;
+                }
+            }
+            // If no singleton dims, prefer the dim with smallest extent
+            // first: cost = product of extents before the smallest one.
+            let lastb = lastb.unwrap_or_else(|| {
+                let mut min_p = 0;
+                let mut min_e = f64::INFINITY;
+                for p in 0..k {
+                    let e = extent((rot + p) % k);
+                    if e < min_e {
+                        min_e = e;
+                        min_p = p;
+                    }
+                }
+                min_p
+            });
+            let mut cost = 1.0f64;
+            for p in 0..lastb {
+                cost *= extent((rot + p) % k);
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best = rot;
+            }
+        }
+        best
+    }
+
+    /// Index of the first cell inside `bx` in canonical order (the fact's
+    /// `r.first`). Computed as a min over the best rotation's matches.
+    pub fn first_in_box(&self, bx: &RegionBox) -> Option<u64> {
+        let mut first = None;
+        self.for_each_in_box(bx, |i| {
+            first = Some(first.map_or(i, |f: u64| f.min(i)));
+        });
+        first
+    }
+
+    /// Index of the last cell inside `bx` in canonical order (`r.last`).
+    pub fn last_in_box(&self, bx: &RegionBox) -> Option<u64> {
+        let mut last = None;
+        self.for_each_in_box(bx, |i| {
+            last = Some(last.map_or(i, |l: u64| l.max(i)));
+        });
+        last
+    }
+
+    /// Visit the canonical index of every cell inside `bx`.
+    /// **Visit order is unspecified** (depends on the chosen rotation);
+    /// callers needing canonical order must sort.
+    pub fn for_each_in_box(&self, bx: &RegionBox, mut f: impl FnMut(u64)) {
+        let rot = self.best_rotation(bx);
+        self.for_each_in_box_rot(rot, bx, &mut f);
+    }
+
+    /// `for_each_in_box` under a specific rotation (exposed for tests).
+    #[doc(hidden)]
+    pub fn for_each_in_box_rot(&self, rot: usize, bx: &RegionBox, f: &mut impl FnMut(u64)) {
+        let n = self.keys.len() as u64;
+        #[allow(clippy::question_mark)] // `?` on Option in a ()-fn reads worse
+        let Some(mut pos) = self.next_in_box(rot, bx, 0) else { return };
+        loop {
+            // Walk the contiguous run of matches.
+            while pos < n {
+                let (cell, canon) = self.at(rot, pos);
+                if bx.contains_cell(cell) {
+                    f(canon);
+                    pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if pos >= n {
+                return;
+            }
+            match self.next_in_box(rot, bx, pos) {
+                Some(p) => pos = p,
+                None => return,
+            }
+        }
+    }
+
+    /// Smallest rotated position `≥ from` whose cell lies inside `bx`.
+    fn next_in_box(&self, rot: usize, bx: &RegionBox, from: u64) -> Option<u64> {
+        let k = self.k;
+        let n = self.keys.len() as u64;
+        // Rotated lex-max corner of the box, for the early-out test.
+        let last_key = bx.lex_last();
+        let mut cand = from.max(self.lower_bound(rot, &bx.lex_first()));
+        loop {
+            if cand >= n {
+                return None;
+            }
+            let (cell, _) = self.at(rot, cand);
+            if cmp_rotated(cell, &last_key, k, rot) == Ordering::Greater {
+                return None;
+            }
+            let Some(p) = self.first_violation(rot, cell, bx) else {
+                return Some(cand);
+            };
+            // Build the smallest rotated key > cell that could be inside.
+            let mut key = [0u32; MAX_DIMS];
+            key[..k].copy_from_slice(&cell[..k]);
+            let d = (rot + p) % k;
+            if cell[d] < bx.lo[d] {
+                key[d] = bx.lo[d];
+                for q in p + 1..k {
+                    let dq = (rot + q) % k;
+                    key[dq] = bx.lo[dq];
+                }
+            } else {
+                // cell[d] ≥ hi[d]: carry into an earlier position.
+                let j = (0..p).rev().find(|&j| {
+                    let dj = (rot + j) % k;
+                    cell[dj] + 1 < bx.hi[dj]
+                })?;
+                let dj = (rot + j) % k;
+                key[dj] = cell[dj] + 1;
+                for q in j + 1..k {
+                    let dq = (rot + q) % k;
+                    key[dq] = bx.lo[dq];
+                }
+            }
+            let next = self.lower_bound(rot, &key);
+            debug_assert!(next > cand, "skip scan must advance");
+            cand = next;
+        }
+    }
+
+    /// Number of cells inside `bx`.
+    pub fn count_in_box(&self, bx: &RegionBox) -> u64 {
+        let mut n = 0;
+        self.for_each_in_box(bx, |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(v: &[u32]) -> CellKey {
+        let mut c = [0u32; MAX_DIMS];
+        c[..v.len()].copy_from_slice(v);
+        c
+    }
+
+    fn bx(lo: &[u32], hi: &[u32]) -> RegionBox {
+        let mut l = [0u32; MAX_DIMS];
+        let mut h = [0u32; MAX_DIMS];
+        l[..lo.len()].copy_from_slice(lo);
+        h[..hi.len()].copy_from_slice(hi);
+        RegionBox { lo: l, hi: h, k: lo.len() as u8 }
+    }
+
+    /// Brute-force reference for the box queries.
+    fn reference(keys: &[CellKey], b: &RegionBox) -> Vec<u64> {
+        keys.iter()
+            .enumerate()
+            .filter(|(_, c)| b.contains_cell(c))
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    fn check(idx: &CellSetIndex, b: &RegionBox) {
+        let want = reference(idx.keys(), b);
+        assert_eq!(idx.first_in_box(b), want.first().copied(), "{b:?}");
+        assert_eq!(idx.last_in_box(b), want.last().copied(), "{b:?}");
+        assert_eq!(idx.count_in_box(b), want.len() as u64, "{b:?}");
+        // Every rotation must yield the same match set.
+        for rot in 0..idx.k() {
+            let mut got = Vec::new();
+            idx.for_each_in_box_rot(rot, b, &mut |i| got.push(i));
+            got.sort_unstable();
+            assert_eq!(got, want, "rotation {rot}, {b:?}");
+        }
+    }
+
+    fn grid_index() -> CellSetIndex {
+        // A sparse 2-D set: all (x, y) with x in 0..6, y in 0..6, x+y even.
+        let mut keys = Vec::new();
+        for x in 0..6u32 {
+            for y in 0..6u32 {
+                if (x + y) % 2 == 0 {
+                    keys.push(cell(&[x, y]));
+                }
+            }
+        }
+        CellSetIndex::from_unsorted(keys, 2)
+    }
+
+    #[test]
+    fn first_last_match_reference_on_grid() {
+        let idx = grid_index();
+        let boxes = [
+            bx(&[0, 0], &[6, 6]),
+            bx(&[1, 1], &[3, 4]),
+            bx(&[2, 3], &[3, 4]),
+            bx(&[5, 5], &[6, 6]),
+            bx(&[1, 0], &[2, 1]), // (1,0) has odd sum → empty
+            bx(&[0, 4], &[4, 5]),
+        ];
+        for b in &boxes {
+            check(&idx, b);
+        }
+    }
+
+    #[test]
+    fn three_dims_match_reference() {
+        let mut keys = Vec::new();
+        for x in 0..4u32 {
+            for y in 0..4u32 {
+                for z in 0..4u32 {
+                    if (x * 7 + y * 3 + z) % 3 != 1 {
+                        keys.push(cell(&[x, y, z]));
+                    }
+                }
+            }
+        }
+        let idx = CellSetIndex::from_unsorted(keys, 3);
+        let boxes = [
+            bx(&[0, 0, 0], &[4, 4, 4]),
+            bx(&[1, 2, 0], &[3, 4, 2]),
+            bx(&[3, 3, 3], &[4, 4, 4]),
+            bx(&[0, 1, 1], &[1, 2, 2]),
+            // The hard shapes for a single-order skip scan:
+            bx(&[0, 0, 2], &[4, 4, 3]), // (ALL, ALL, z)
+            bx(&[0, 2, 0], &[4, 3, 4]), // (ALL, y, ALL)
+        ];
+        for b in &boxes {
+            check(&idx, b);
+        }
+    }
+
+    #[test]
+    fn rotation_choice_prefers_bounded_suffix() {
+        // For (ALL, ALL, z) the best rotation starts at dim 2.
+        let mut keys = Vec::new();
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                for z in 0..8u32 {
+                    if (x ^ y ^ z) % 2 == 0 {
+                        keys.push(cell(&[x, y, z]));
+                    }
+                }
+            }
+        }
+        let idx = CellSetIndex::from_unsorted(keys, 3);
+        let b = bx(&[0, 0, 5], &[8, 8, 6]);
+        assert_eq!(idx.best_rotation(&b), 2);
+        check(&idx, &b);
+        // For (x, ALL, ALL) the canonical order is already right.
+        let b = bx(&[5, 0, 0], &[6, 8, 8]);
+        assert_eq!(idx.best_rotation(&b), 0);
+        check(&idx, &b);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = CellSetIndex::from_unsorted(Vec::new(), 2);
+        let b = bx(&[0, 0], &[5, 5]);
+        assert_eq!(idx.first_in_box(&b), None);
+        assert_eq!(idx.last_in_box(&b), None);
+        assert_eq!(idx.count_in_box(&b), 0);
+    }
+
+    #[test]
+    fn position_lookup() {
+        let idx = grid_index();
+        assert_eq!(idx.position(&cell(&[0, 0])), Some(0));
+        assert!(idx.position(&cell(&[0, 1])).is_none());
+    }
+
+    #[test]
+    fn from_unsorted_dedups() {
+        let keys = vec![cell(&[1, 1]), cell(&[0, 0]), cell(&[1, 1])];
+        let idx = CellSetIndex::from_unsorted(keys, 2);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.key(0)[..2], [0, 0]);
+    }
+
+    #[test]
+    fn paper_example_first_last() {
+        // Figure 2's cells; p9 = (East, Truck) covers leaves 0..2 × 2..4.
+        let keys = iolap_model::paper_example::figure2_cells();
+        let idx = CellSetIndex::from_sorted(keys, 2);
+        let p9 = bx(&[0, 2], &[2, 4]);
+        // Covered cells of C: c2 = (0,3) at index 1, c3 = (1,2) at index 2.
+        assert_eq!(idx.first_in_box(&p9), Some(1));
+        assert_eq!(idx.last_in_box(&p9), Some(2));
+        assert_eq!(idx.count_in_box(&p9), 2);
+        // p8 = (CA, ALL) covers 3..4 × 0..4 → c4 (idx 3) and c5 (idx 4).
+        let p8 = bx(&[3, 0], &[4, 4]);
+        assert_eq!(idx.first_in_box(&p8), Some(3));
+        assert_eq!(idx.last_in_box(&p8), Some(4));
+    }
+
+    #[test]
+    fn four_dims_random_boxes_match_reference() {
+        let mut keys = Vec::new();
+        let mut s = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..600 {
+            let r = next();
+            keys.push(cell(&[
+                (r & 7) as u32,
+                ((r >> 3) & 7) as u32,
+                ((r >> 6) & 7) as u32,
+                ((r >> 9) & 7) as u32,
+            ]));
+        }
+        let idx = CellSetIndex::from_unsorted(keys, 4);
+        for _ in 0..60 {
+            let r = next();
+            let lo = [
+                (r & 7) as u32,
+                ((r >> 3) & 7) as u32,
+                ((r >> 6) & 7) as u32,
+                ((r >> 9) & 7) as u32,
+            ];
+            let ext = [
+                1 + ((r >> 12) & 7) as u32,
+                1 + ((r >> 15) & 7) as u32,
+                1 + ((r >> 18) & 7) as u32,
+                1 + ((r >> 21) & 7) as u32,
+            ];
+            let b = bx(&lo, &[lo[0] + ext[0], lo[1] + ext[1], lo[2] + ext[2], lo[3] + ext[3]]);
+            check(&idx, &b);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! A minimal Fx-style hasher for hot integer-keyed maps.
+//!
+//! The workloads here hash fixed-width `[u32; 8]` dimension vectors and
+//! small integers millions of times per scan; SipHash (std's default)
+//! dominates those profiles. This is the classic Firefox/rustc multiply-
+//! rotate hash — low quality, extremely fast, and fine for keys that are
+//! not attacker-controlled (the sanctioned dependency list has no
+//! `rustc-hash`, so the 20 lines live here).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc/Firefox Fx hash function state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<[u32; 8], u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert([i, i * 2, 0, 0, 0, 0, 0, 0], i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m[&[i, i * 2, 0, 0, 0, 0, 0, 0]], i);
+        }
+    }
+
+    #[test]
+    fn distinct_keys_hash_differently_mostly() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<FxHasher> = Default::default();
+        let mut hashes = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            hashes.insert(bh.hash_one(i));
+        }
+        assert!(hashes.len() > 9_990, "too many collisions: {}", hashes.len());
+    }
+}

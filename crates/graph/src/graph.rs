@@ -1,0 +1,189 @@
+//! The explicit bipartite allocation graph (Definition 6), for in-memory
+//! processing.
+//!
+//! "Each cell c ∈ C corresponds to a node … each imprecise fact r ∈ I
+//! corresponds to a node … There is an edge (c, r) iff c ∈ reg(r)." The
+//! scalable algorithms never materialize this graph; it exists for the
+//! Basic algorithm (the reference the others are proven equivalent to),
+//! for small connected components processed in memory by Transitive, and
+//! for test oracles (BFS component labelling).
+
+use crate::cellindex::CellSetIndex;
+use iolap_model::RegionBox;
+
+/// An explicit bipartite allocation graph over `|C|` cells and `|I|`
+/// imprecise facts (both indexed densely).
+#[derive(Debug, Clone, Default)]
+pub struct AllocationGraph {
+    /// `cell_edges[c]` = facts overlapping cell `c`.
+    pub cell_edges: Vec<Vec<u32>>,
+    /// `fact_edges[r]` = cells inside `reg(r)`.
+    pub fact_edges: Vec<Vec<u32>>,
+}
+
+impl AllocationGraph {
+    /// Build the graph from the cell index and the facts' regions.
+    pub fn build(index: &CellSetIndex, regions: &[RegionBox]) -> Self {
+        let mut cell_edges: Vec<Vec<u32>> = vec![Vec::new(); index.len() as usize];
+        let mut fact_edges: Vec<Vec<u32>> = vec![Vec::new(); regions.len()];
+        for (r, bx) in regions.iter().enumerate() {
+            index.for_each_in_box(bx, |c| {
+                cell_edges[c as usize].push(r as u32);
+                fact_edges[r].push(c as u32);
+            });
+        }
+        // Box-query visit order is rotation-dependent; canonicalize.
+        for e in &mut fact_edges {
+            e.sort_unstable();
+        }
+        AllocationGraph { cell_edges, fact_edges }
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cell_edges.len()
+    }
+
+    /// Number of imprecise facts.
+    pub fn num_facts(&self) -> usize {
+        self.fact_edges.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> u64 {
+        self.fact_edges.iter().map(|e| e.len() as u64).sum()
+    }
+
+    /// Label connected components by BFS. Returns
+    /// `(cell_labels, fact_labels, num_components)`; isolated cells get
+    /// their own component each, isolated facts too. Labels are assigned
+    /// in increasing order of first discovery (cells scanned first), which
+    /// matches the Transitive algorithm's smallest-id convention closely
+    /// enough for set-level comparison.
+    pub fn components_bfs(&self) -> (Vec<u32>, Vec<u32>, u32) {
+        const UNSET: u32 = u32::MAX;
+        let mut cell_label = vec![UNSET; self.num_cells()];
+        let mut fact_label = vec![UNSET; self.num_facts()];
+        let mut next = 0u32;
+        let mut queue: std::collections::VecDeque<(bool, u32)> = Default::default();
+        for start in 0..self.num_cells() {
+            if cell_label[start] != UNSET {
+                continue;
+            }
+            cell_label[start] = next;
+            queue.push_back((true, start as u32));
+            while let Some((is_cell, id)) = queue.pop_front() {
+                if is_cell {
+                    for &r in &self.cell_edges[id as usize] {
+                        if fact_label[r as usize] == UNSET {
+                            fact_label[r as usize] = next;
+                            queue.push_back((false, r));
+                        }
+                    }
+                } else {
+                    for &c in &self.fact_edges[id as usize] {
+                        if cell_label[c as usize] == UNSET {
+                            cell_label[c as usize] = next;
+                            queue.push_back((true, c));
+                        }
+                    }
+                }
+            }
+            next += 1;
+        }
+        // Facts overlapping no cell become singleton components.
+        for label in fact_label.iter_mut() {
+            if *label == UNSET {
+                *label = next;
+                next += 1;
+            }
+        }
+        (cell_label, fact_label, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_model::paper_example;
+
+    /// Build the Figure 2 graph from the paper example.
+    fn figure2_graph() -> (AllocationGraph, Vec<u64>) {
+        let t = paper_example::table1();
+        let s = t.schema();
+        let index = CellSetIndex::from_sorted(paper_example::figure2_cells(), 2);
+        let imprecise: Vec<_> =
+            t.facts().iter().filter(|f| !s.is_precise(f)).cloned().collect();
+        let regions: Vec<RegionBox> = imprecise.iter().map(|f| s.region(f)).collect();
+        let ids: Vec<u64> = imprecise.iter().map(|f| f.id).collect();
+        (AllocationGraph::build(&index, &regions), ids)
+    }
+
+    #[test]
+    fn figure2_edges() {
+        let (g, ids) = figure2_graph();
+        assert_eq!(g.num_cells(), 5);
+        assert_eq!(g.num_facts(), 9);
+        // p6 = (MA, Sedan) covers only c1; p8 = (CA, ALL) covers c4, c5;
+        // p9 = (East, Truck) covers c2, c3; p11 = (ALL, Civic) covers c1, c4.
+        let edges_of = |fact_id: u64| -> Vec<u32> {
+            let idx = ids.iter().position(|&i| i == fact_id).unwrap();
+            g.fact_edges[idx].clone()
+        };
+        assert_eq!(edges_of(6), vec![0]);
+        assert_eq!(edges_of(8), vec![3, 4]);
+        assert_eq!(edges_of(9), vec![1, 2]);
+        assert_eq!(edges_of(11), vec![0, 3]);
+        assert_eq!(edges_of(12), vec![2]);
+        assert_eq!(edges_of(13), vec![3]);
+        assert_eq!(edges_of(14), vec![4]);
+        assert_eq!(edges_of(7), vec![1]);
+        assert_eq!(edges_of(10), vec![3]);
+        assert_eq!(g.num_edges(), 12);
+    }
+
+    #[test]
+    fn example5_connected_components() {
+        let (g, ids) = figure2_graph();
+        let (cell_label, fact_label, n) = g.components_bfs();
+        assert_eq!(n, 2);
+        // CC1 contains cells c1, c4, c5 (indexes 0, 3, 4) and facts
+        // p6, p8, p10, p11, p13, p14; CC2 contains c2, c3 and p7, p9, p12.
+        assert_eq!(cell_label[0], cell_label[3]);
+        assert_eq!(cell_label[0], cell_label[4]);
+        assert_eq!(cell_label[1], cell_label[2]);
+        assert_ne!(cell_label[0], cell_label[1]);
+        let (cc1_ids, cc2_ids) = paper_example::example5_components();
+        // Imprecise members of each expected component.
+        for (&id, &label) in ids.iter().zip(&fact_label) {
+            if cc1_ids.contains(&id) {
+                assert_eq!(label, cell_label[0], "fact {id} should be in CC1");
+            } else {
+                assert!(cc2_ids.contains(&id));
+                assert_eq!(label, cell_label[1], "fact {id} should be in CC2");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_cells_and_facts_are_singletons() {
+        use iolap_model::MAX_DIMS;
+        let mk = |x: u32, y: u32| {
+            let mut c = [0u32; MAX_DIMS];
+            c[0] = x;
+            c[1] = y;
+            c
+        };
+        let index = CellSetIndex::from_unsorted(vec![mk(0, 0), mk(5, 5)], 2);
+        // One fact covering only (0,0); one fact covering nothing.
+        let near = RegionBox { lo: mk(0, 0), hi: mk(1, 1), k: 2 };
+        let far = RegionBox { lo: mk(8, 8), hi: mk(9, 9), k: 2 };
+        let g = AllocationGraph::build(&index, &[near, far]);
+        let (cells, facts, n) = g.components_bfs();
+        assert_eq!(n, 3);
+        assert_eq!(cells[0], facts[0]); // joined
+        assert_ne!(cells[1], cells[0]); // isolated cell alone
+        assert_ne!(facts[1], cells[0]); // region-less fact alone
+        assert_ne!(facts[1], cells[1]);
+    }
+}

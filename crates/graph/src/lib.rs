@@ -1,0 +1,43 @@
+//! # iolap-graph
+//!
+//! The operational backbone of the allocation algorithms of Burdick et al.
+//! (VLDB 2006):
+//!
+//! * [`cellindex`] — the cell summary table `C` as a sorted in-memory index
+//!   with *box queries* (`first / last / for-each cell inside a region`),
+//!   used by preprocessing to compute the `r.first` / `r.last` cell indexes
+//!   of Section 4.2.
+//! * [`summary`] — summary tables (Definition 7): grouping imprecise facts
+//!   by level vector, and the **partition groups** / **partition sizes** of
+//!   Definition 9 that drive the Block algorithm's windows.
+//! * [`order`] — the summary-table partial order (Definition 8), its
+//!   minimum **chain cover** (the adaptation of Ross–Srivastava \[15\] the
+//!   paper invokes for the Independent algorithm; computed exactly via
+//!   Dilworth / bipartite matching), and the per-chain **sort orders**
+//!   (Theorem 5) expressed as ancestor-key stages.
+//! * [`binpack`] — first-fit-decreasing bin packing of summary tables into
+//!   buffer-feasible table sets (Section 6.1's 2-approximation).
+//! * [`ccid`] — the `ccidMap` union-find used by the Transitive algorithm's
+//!   component identification (Section 8), merging to the smallest id as in
+//!   the paper.
+//! * [`graph`] — the explicit bipartite allocation graph (Definition 6)
+//!   for in-memory processing, plus a reference BFS component labelling
+//!   used to cross-check the Transitive algorithm.
+
+#![warn(missing_docs)]
+
+pub mod binpack;
+pub mod fxhash;
+pub mod ccid;
+pub mod cellindex;
+pub mod graph;
+pub mod order;
+pub mod summary;
+
+pub use binpack::pack_tables;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use ccid::CcidMap;
+pub use cellindex::CellSetIndex;
+pub use graph::AllocationGraph;
+pub use order::{ChainCover, SortStage};
+pub use summary::{PartGroup, SummaryTableMeta};

@@ -1,0 +1,380 @@
+//! The summary-table partial order (Definition 8), minimum chain cover,
+//! and per-chain sort orders (Theorem 5).
+//!
+//! Tables are ordered by componentwise `≤` on level vectors. The
+//! Independent algorithm processes one *chain* of this order per scan; the
+//! minimum number of chains (= the width `W`, the longest antichain, by
+//! Dilworth's theorem) lower-bounds the number of sorts of `C` — exactly
+//! the bound the paper imports from Ross–Srivastava \[15\]. We compute an
+//! **optimal** chain cover via König/Dilworth: minimum path cover of the
+//! comparability DAG through bipartite matching (Kuhn's algorithm; the
+//! table count is tiny — 35 and 126 in the paper's datasets).
+//!
+//! A chain `C ⊑ S1 ⊑ … ⊑ Sm` admits one sort order under which every fact
+//! of every table covers a contiguous cell run: sort cells by the
+//! *ancestor key stages* of the coarsest table first, refining dimension
+//! levels stage by stage down to leaf ids. [`ChainOrder`] materializes
+//! that key.
+
+use iolap_model::{CellKey, LevelVec, RegionBox, Schema};
+
+/// Maximum number of key stages (`Σ_d (levels_d − 1)` is ≤ 16 for every
+/// schema in the paper and in this repo's generators).
+pub const MAX_STAGES: usize = 16;
+
+/// A fixed-width, `Ord`-able stage key (unused stages are zero).
+pub type StageKey = [u32; MAX_STAGES];
+
+/// One stage of a chain sort order: compare cells by their ancestor at
+/// `level` in dimension `dim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortStage {
+    /// Dimension index.
+    pub dim: u8,
+    /// Hierarchy level (1 = leaf).
+    pub level: u8,
+}
+
+/// The sort order for one chain: an ordered list of stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainOrder {
+    /// Stages, coarsest first; always ends with every dimension refined to
+    /// leaf level.
+    pub stages: Vec<SortStage>,
+}
+
+impl ChainOrder {
+    /// Build the order for a chain of level vectors (`chain[i]` finest →
+    /// coarsest is *not* required; the function sorts internally).
+    ///
+    /// Stages for a dimension's `ALL` level are skipped (single node ⇒
+    /// constant key).
+    pub fn for_chain(chain_levels: &[LevelVec], schema: &Schema) -> Self {
+        let k = schema.k();
+        let mut vecs: Vec<LevelVec> = chain_levels.to_vec();
+        // Coarsest (componentwise-largest) first.
+        vecs.sort_by(|a, b| b[..k].cmp(&a[..k]));
+        let mut stages = Vec::new();
+        let mut assigned: Vec<Option<u8>> = vec![None; k];
+        for lv in &vecs {
+            for (d, slot) in assigned.iter_mut().enumerate() {
+                let l = lv[d];
+                let finer = slot.is_none_or(|a| l < a);
+                if finer {
+                    *slot = Some(l);
+                    if l < schema.dim(d).levels() {
+                        // ALL would be a constant key — skip it.
+                        stages.push(SortStage { dim: d as u8, level: l });
+                    }
+                }
+            }
+        }
+        // Refine every dimension down to leaves.
+        for (d, slot) in assigned.iter().enumerate() {
+            if *slot != Some(1) {
+                stages.push(SortStage { dim: d as u8, level: 1 });
+            }
+        }
+        assert!(stages.len() <= MAX_STAGES, "too many sort stages");
+        ChainOrder { stages }
+    }
+
+    /// The canonical order (plain lexicographic over leaf ids) — what the
+    /// Block algorithm uses for every table.
+    pub fn canonical(schema: &Schema) -> Self {
+        let stages =
+            (0..schema.k()).map(|d| SortStage { dim: d as u8, level: 1 }).collect();
+        ChainOrder { stages }
+    }
+
+    /// Stage key of a cell.
+    pub fn cell_key(&self, schema: &Schema, cell: &CellKey) -> StageKey {
+        let mut key = [0u32; MAX_STAGES];
+        for (i, s) in self.stages.iter().enumerate() {
+            let h = schema.dim(s.dim as usize);
+            let anc = h.ancestor_at(cell[s.dim as usize], s.level);
+            key[i] = h.node(anc).lo;
+        }
+        key
+    }
+
+    /// Key of the first cell (in this order) of a region — evaluated at the
+    /// region's lower corner.
+    pub fn region_start_key(&self, schema: &Schema, bx: &RegionBox) -> StageKey {
+        self.cell_key(schema, &bx.lex_first())
+    }
+
+    /// Key of the last cell (in this order) of a region — evaluated at the
+    /// region's upper corner.
+    pub fn region_end_key(&self, schema: &Schema, bx: &RegionBox) -> StageKey {
+        self.cell_key(schema, &bx.lex_last())
+    }
+}
+
+/// A minimum chain cover of the summary-table partial order.
+#[derive(Debug, Clone)]
+pub struct ChainCover {
+    /// Each chain lists table indexes, finest level vector first.
+    pub chains: Vec<Vec<usize>>,
+}
+
+impl ChainCover {
+    /// The width `W` of the partial order (number of chains in a minimum
+    /// cover = longest antichain, by Dilworth's theorem).
+    pub fn width(&self) -> usize {
+        self.chains.len()
+    }
+}
+
+/// Is `a ⊑ b` (componentwise ≤ with `a ≠ b`)?
+fn below(a: &LevelVec, b: &LevelVec, k: usize) -> bool {
+    a[..k] != b[..k] && a[..k].iter().zip(&b[..k]).all(|(x, y)| x <= y)
+}
+
+/// Compute a minimum chain cover of the tables' level vectors.
+///
+/// Minimum path cover of a transitive DAG = `n − max bipartite matching`
+/// (König/Dilworth); Kuhn's augmenting-path matching suffices at these
+/// sizes.
+pub fn chain_cover(level_vecs: &[LevelVec], k: usize) -> ChainCover {
+    let n = level_vecs.len();
+    // adj[i] = all j with i ⊑ j (the relation is already transitive).
+    let adj: Vec<Vec<usize>> = (0..n)
+        .map(|i| (0..n).filter(|&j| below(&level_vecs[i], &level_vecs[j], k)).collect())
+        .collect();
+
+    // match_right[j] = Some(i) if edge i→j is in the matching.
+    let mut match_right: Vec<Option<usize>> = vec![None; n];
+    let mut match_left: Vec<Option<usize>> = vec![None; n];
+
+    fn try_augment(
+        i: usize,
+        adj: &[Vec<usize>],
+        visited: &mut [bool],
+        match_right: &mut [Option<usize>],
+        match_left: &mut [Option<usize>],
+    ) -> bool {
+        for &j in &adj[i] {
+            if visited[j] {
+                continue;
+            }
+            visited[j] = true;
+            let free = match match_right[j] {
+                None => true,
+                Some(owner) => try_augment(owner, adj, visited, match_right, match_left),
+            };
+            if free {
+                match_right[j] = Some(i);
+                match_left[i] = Some(j);
+                return true;
+            }
+        }
+        false
+    }
+
+    for i in 0..n {
+        let mut visited = vec![false; n];
+        try_augment(i, &adj, &mut visited, &mut match_right, &mut match_left);
+    }
+
+    // Chains: start from tables that are nobody's successor.
+    let mut chains = Vec::new();
+    let is_successor: Vec<bool> = match_right.iter().map(Option::is_some).collect();
+    for (start, &succ) in is_successor.iter().enumerate() {
+        if succ {
+            continue;
+        }
+        let mut chain = vec![start];
+        let mut cur = start;
+        while let Some(next) = match_left[cur] {
+            chain.push(next);
+            cur = next;
+        }
+        chains.push(chain);
+    }
+    debug_assert_eq!(chains.iter().map(Vec::len).sum::<usize>(), n, "cover must partition");
+    ChainCover { chains }
+}
+
+/// Brute-force longest antichain (for tests; exponential in `n`).
+#[doc(hidden)]
+pub fn longest_antichain_brute(level_vecs: &[LevelVec], k: usize) -> usize {
+    let n = level_vecs.len();
+    assert!(n <= 20, "brute force only for tests");
+    let mut best = 0;
+    for mask in 0u32..(1 << n) {
+        let members: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        let ok = members.iter().all(|&i| {
+            members
+                .iter()
+                .all(|&j| i == j || !below(&level_vecs[i], &level_vecs[j], k))
+        });
+        if ok {
+            best = best.max(members.len());
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_model::paper_example;
+
+    fn lv(vals: &[u8]) -> LevelVec {
+        let mut v = [0u8; iolap_model::MAX_DIMS];
+        v[..vals.len()].copy_from_slice(vals);
+        v
+    }
+
+    /// Level vectors of the paper's S1–S5 (Figure 3):
+    /// S1 = ⟨1,2⟩, S2 = ⟨1,3⟩, S3 = ⟨2,2⟩, S4 = ⟨3,1⟩, S5 = ⟨2,1⟩.
+    fn figure3_levels() -> Vec<LevelVec> {
+        vec![lv(&[1, 2]), lv(&[1, 3]), lv(&[2, 2]), lv(&[3, 1]), lv(&[2, 1])]
+    }
+
+    #[test]
+    fn paper_partial_order_width_is_three() {
+        let lvs = figure3_levels();
+        let cover = chain_cover(&lvs, 2);
+        // Antichain {S2⟨1,3⟩, S3⟨2,2⟩, S4⟨3,1⟩} has size 3.
+        assert_eq!(cover.width(), 3);
+        assert_eq!(longest_antichain_brute(&lvs, 2), 3);
+        // Every chain must actually be a chain.
+        for chain in &cover.chains {
+            for w in chain.windows(2) {
+                assert!(below(&lvs[w[0]], &lvs[w[1]], 2), "{chain:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_cover_matches_brute_force_width_on_small_grids() {
+        // All level vectors of a 3×3 level grid minus the precise one.
+        let mut lvs = Vec::new();
+        for a in 1..=3u8 {
+            for b in 1..=3u8 {
+                if (a, b) != (1, 1) {
+                    lvs.push(lv(&[a, b]));
+                }
+            }
+        }
+        let cover = chain_cover(&lvs, 2);
+        assert_eq!(cover.width(), longest_antichain_brute(&lvs, 2));
+        // 3×3 grid poset: width 3 ({⟨1,3⟩,⟨2,2⟩,⟨3,1⟩}).
+        assert_eq!(cover.width(), 3);
+    }
+
+    #[test]
+    fn single_table_single_chain() {
+        let cover = chain_cover(&[lv(&[2, 2])], 2);
+        assert_eq!(cover.width(), 1);
+        assert_eq!(cover.chains, vec![vec![0]]);
+    }
+
+    #[test]
+    fn incomparable_tables_each_get_a_chain() {
+        let lvs = vec![lv(&[1, 3]), lv(&[3, 1])];
+        let cover = chain_cover(&lvs, 2);
+        assert_eq!(cover.width(), 2);
+    }
+
+    #[test]
+    fn chain_order_stages_refine_downward() {
+        let schema = paper_example::schema();
+        // Chain ⟨2,1⟩ ⊑ ⟨2,2⟩ (S5 ⊑ S3).
+        let order = ChainOrder::for_chain(&[lv(&[2, 1]), lv(&[2, 2])], &schema);
+        // Coarsest ⟨2,2⟩: stages (d0,2),(d1,2); then ⟨2,1⟩ refines d1 to 1;
+        // then leaves: d0 to 1. (Level 3 = ALL never appears.)
+        assert_eq!(
+            order.stages,
+            vec![
+                SortStage { dim: 0, level: 2 },
+                SortStage { dim: 1, level: 2 },
+                SortStage { dim: 1, level: 1 },
+                SortStage { dim: 0, level: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn chain_order_contiguity_for_every_chain_table() {
+        // Property at the heart of Theorem 5: under the chain order, every
+        // fact of every chain table covers a contiguous run of cells.
+        let schema = paper_example::schema();
+        let k = schema.k();
+        // All 16 possible cells.
+        let mut cells: Vec<CellKey> = Vec::new();
+        for x in 0..4u32 {
+            for y in 0..4u32 {
+                let mut c = [0u32; iolap_model::MAX_DIMS];
+                c[0] = x;
+                c[1] = y;
+                cells.push(c);
+            }
+        }
+        let chains: Vec<Vec<LevelVec>> = vec![
+            vec![lv(&[1, 2]), lv(&[1, 3])],
+            vec![lv(&[2, 1]), lv(&[2, 2])],
+            vec![lv(&[3, 1])],
+        ];
+        for chain in &chains {
+            let order = ChainOrder::for_chain(chain, &schema);
+            let mut sorted = cells.clone();
+            sorted.sort_by_key(|c| order.cell_key(&schema, c));
+            for lvec in chain {
+                // Every node combo at this level vector is a fact region.
+                let d0_nodes = schema.dim(0).nodes_at_level(lvec[0]);
+                let d1_nodes = schema.dim(1).nodes_at_level(lvec[1]);
+                for &n0 in d0_nodes {
+                    for &n1 in d1_nodes {
+                        let r0 = schema.dim(0).leaf_range(n0);
+                        let r1 = schema.dim(1).leaf_range(n1);
+                        let inside: Vec<usize> = sorted
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, c)| r0.contains(&c[0]) && r1.contains(&c[1]))
+                            .map(|(i, _)| i)
+                            .collect();
+                        assert!(!inside.is_empty());
+                        let contiguous =
+                            inside.windows(2).all(|w| w[1] == w[0] + 1);
+                        assert!(
+                            contiguous,
+                            "chain {chain:?} level {lvec:?} region not contiguous: {inside:?}"
+                        );
+                    }
+                }
+            }
+        }
+        let _ = k;
+    }
+
+    #[test]
+    fn region_start_end_keys_bound_cell_keys() {
+        let schema = paper_example::schema();
+        let order = ChainOrder::for_chain(&[lv(&[2, 2])], &schema);
+        let t = paper_example::table1();
+        for f in t.facts() {
+            let bx = schema.region(f);
+            let start = order.region_start_key(&schema, &bx);
+            let end = order.region_end_key(&schema, &bx);
+            assert!(start <= end);
+            for cell in bx.cells() {
+                let ck = order.cell_key(&schema, &cell);
+                assert!(start <= ck && ck <= end, "fact {}", f.id);
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_plain_lex() {
+        let schema = paper_example::schema();
+        let order = ChainOrder::canonical(&schema);
+        let mut a = [0u32; iolap_model::MAX_DIMS];
+        a[0] = 1;
+        a[1] = 3;
+        let key = order.cell_key(&schema, &a);
+        assert_eq!(&key[..2], &[1, 3]);
+    }
+}

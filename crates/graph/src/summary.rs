@@ -1,0 +1,181 @@
+//! Summary tables (Definition 7) and partitions (Definition 9).
+//!
+//! Imprecise facts with the same level vector form one *summary table*.
+//! With the cell summary table `C` in canonical order and a table's facts
+//! sorted by their first covered cell, a *partition boundary* "can only
+//! occur between consecutive entries r1, r2 … if r2.first > r1.last"
+//! (Section 4.2). The facts between consecutive boundaries form a
+//! **partition group**; the table's **partition size** is the largest
+//! group — the memory the Block algorithm must hold to process the table
+//! in a single scan of `C` (Theorem 4).
+
+use iolap_model::LevelVec;
+
+/// One partition group of a summary table: a maximal run of facts whose
+/// `[first, last]` cell ranges chain together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartGroup {
+    /// First fact of the group (index into the table's fact sequence).
+    pub fact_start: u64,
+    /// One past the last fact of the group.
+    pub fact_end: u64,
+    /// Smallest `r.first` over the group's facts.
+    pub first_cell: u64,
+    /// Largest `r.last` over the group's facts.
+    pub last_cell: u64,
+}
+
+impl PartGroup {
+    /// Number of facts in the group.
+    pub fn num_facts(&self) -> u64 {
+        self.fact_end - self.fact_start
+    }
+}
+
+/// Metadata for one summary table, produced by preprocessing.
+#[derive(Debug, Clone)]
+pub struct SummaryTableMeta {
+    /// Dense table id (index into the layout's table list).
+    pub id: u16,
+    /// The level vector shared by all facts of this table.
+    pub level_vec: LevelVec,
+    /// Range of the table's facts within the global summary-table-ordered
+    /// fact sequence.
+    pub fact_start: u64,
+    /// One past the table's last fact.
+    pub fact_end: u64,
+    /// Partition groups, in cell order. Facts covering no cell at all are
+    /// excluded from groups (they get uniform fallback weights at EDB
+    /// materialization and never participate in passes).
+    pub groups: Vec<PartGroup>,
+    /// Definition 9's partition size, in records (max group size).
+    pub partition_records: u64,
+    /// Partition size converted to pages for bin packing / reporting.
+    pub partition_pages: u64,
+}
+
+impl SummaryTableMeta {
+    /// Number of facts in this table.
+    pub fn num_facts(&self) -> u64 {
+        self.fact_end - self.fact_start
+    }
+}
+
+/// Compute partition groups for one summary table.
+///
+/// `spans[i]` is the `(first, last)` cell-index pair of fact `i` of this
+/// table, where facts are sorted ascending by `first` (ties by `last`).
+/// Facts that cover no cell (`first == u64::MAX`) must have been filtered
+/// out. `fact_base` is the global index of the table's first fact.
+pub fn partition_groups(fact_base: u64, spans: &[(u64, u64)]) -> Vec<PartGroup> {
+    debug_assert!(spans.windows(2).all(|w| w[0].0 <= w[1].0), "facts must be sorted by first");
+    let mut groups = Vec::new();
+    let mut i = 0usize;
+    while i < spans.len() {
+        let start = i;
+        let (first_cell, mut last_cell) = spans[i];
+        i += 1;
+        // Extend while the next fact's range begins before the running max
+        // last — the paper's boundary condition r2.first > r1.last (with
+        // r1.last generalized to the running max over the open group).
+        while i < spans.len() && spans[i].0 <= last_cell {
+            last_cell = last_cell.max(spans[i].1);
+            i += 1;
+        }
+        groups.push(PartGroup {
+            fact_start: fact_base + start as u64,
+            fact_end: fact_base + i as u64,
+            first_cell,
+            last_cell,
+        });
+    }
+    groups
+}
+
+/// Partition size in records: the largest group.
+pub fn partition_records(groups: &[PartGroup]) -> u64 {
+    groups.iter().map(PartGroup::num_facts).max().unwrap_or(0)
+}
+
+/// Convert a record count to pages given a record width.
+pub fn records_to_pages(records: u64, record_bytes: usize) -> u64 {
+    (records * record_bytes as u64).div_ceil(iolap_storage::PAGE_SIZE as u64).max(
+        // Even a one-record partition occupies a page frame.
+        u64::from(records > 0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_facts_get_singleton_groups() {
+        // Theorem 3's situation: pairwise disjoint contiguous blocks.
+        let spans = [(0, 2), (3, 4), (5, 9)];
+        let g = partition_groups(100, &spans);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[0], PartGroup { fact_start: 100, fact_end: 101, first_cell: 0, last_cell: 2 });
+        assert_eq!(g[2].fact_start, 102);
+        assert_eq!(partition_records(&g), 1);
+    }
+
+    #[test]
+    fn interleaved_facts_group_together() {
+        // Example 3's situation: ranges interleave, forcing buffering.
+        let spans = [(0, 5), (1, 2), (3, 8), (9, 9)];
+        let g = partition_groups(0, &spans);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].num_facts(), 3);
+        assert_eq!(g[0].first_cell, 0);
+        assert_eq!(g[0].last_cell, 8);
+        assert_eq!(g[1].num_facts(), 1);
+        assert_eq!(partition_records(&g), 3);
+    }
+
+    #[test]
+    fn running_max_matters() {
+        // Fact 0 spans [0,9]; fact 1 [1,2]; fact 2 [3,4]: without the
+        // running max, fact 2 would wrongly start a new group even though
+        // fact 0 is still open.
+        let spans = [(0, 9), (1, 2), (3, 4)];
+        let g = partition_groups(0, &spans);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].num_facts(), 3);
+    }
+
+    #[test]
+    fn touching_ranges_share_a_group() {
+        // r2.first == r1.last means the boundary condition (strict >) fails
+        // → same group.
+        let spans = [(0, 3), (3, 5)];
+        let g = partition_groups(0, &spans);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn empty_table() {
+        assert!(partition_groups(0, &[]).is_empty());
+        assert_eq!(partition_records(&[]), 0);
+    }
+
+    #[test]
+    fn pages_round_up_and_floor_one() {
+        assert_eq!(records_to_pages(0, 64), 0);
+        assert_eq!(records_to_pages(1, 64), 1);
+        assert_eq!(records_to_pages(64, 64), 1); // exactly one page
+        assert_eq!(records_to_pages(65, 64), 2);
+    }
+
+    #[test]
+    fn identical_regions_duplicate_facts_share_group() {
+        // Two facts with identical dim values have identical spans; they
+        // must land in one group (the "at most one fact per cell" reading
+        // of Theorem 3 does not hold for duplicates, so Block handles
+        // multiple matches per cell — via a shared group).
+        let spans = [(2, 4), (2, 4)];
+        let g = partition_groups(0, &spans);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].num_facts(), 2);
+    }
+}

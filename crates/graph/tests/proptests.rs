@@ -1,0 +1,115 @@
+//! Property tests for the graph substrate: chain covers are valid and
+//! minimum; partition groups match a brute-force interval sweep; the
+//! union-find resolves like a reference DSU.
+
+use iolap_graph::order::{chain_cover, longest_antichain_brute};
+use iolap_graph::summary::{partition_groups, partition_records};
+use iolap_graph::CcidMap;
+use iolap_model::LevelVec;
+use proptest::prelude::*;
+
+fn lv(a: u8, b: u8, c: u8) -> LevelVec {
+    let mut v = [0u8; iolap_model::MAX_DIMS];
+    v[0] = a;
+    v[1] = b;
+    v[2] = c;
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Chain covers partition the tables into genuine chains, and their
+    /// size equals the longest antichain (Dilworth).
+    #[test]
+    fn chain_cover_is_minimum(
+        raw in proptest::collection::hash_set((1u8..=3, 1u8..=3, 1u8..=4), 1..14)
+    ) {
+        let lvs: Vec<LevelVec> = raw.iter().map(|&(a, b, c)| lv(a, b, c)).collect();
+        let cover = chain_cover(&lvs, 3);
+        // Partition.
+        let mut seen: Vec<usize> = cover.chains.concat();
+        seen.sort_unstable();
+        prop_assert_eq!(&seen, &(0..lvs.len()).collect::<Vec<_>>());
+        // Chains are chains (componentwise ≤ along each).
+        for chain in &cover.chains {
+            for w in chain.windows(2) {
+                let (x, y) = (&lvs[w[0]], &lvs[w[1]]);
+                prop_assert!(
+                    x[..3].iter().zip(&y[..3]).all(|(a, b)| a <= b) && x[..3] != y[..3]
+                );
+            }
+        }
+        // Minimality (Dilworth).
+        prop_assert_eq!(cover.width(), longest_antichain_brute(&lvs, 3));
+    }
+
+    /// Partition groups: within a group, fact index ranges chain together;
+    /// across group boundaries there is a true gap; partition size is the
+    /// max group.
+    #[test]
+    fn partition_groups_are_maximal_chained_runs(
+        mut spans in proptest::collection::vec((0u64..50, 0u64..20), 0..40)
+    ) {
+        let spans: Vec<(u64, u64)> = {
+            let mut v: Vec<(u64, u64)> = spans
+                .drain(..)
+                .map(|(f, len)| (f, f + len))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let groups = partition_groups(0, &spans);
+        // Groups tile the fact sequence.
+        let mut pos = 0;
+        for g in &groups {
+            prop_assert_eq!(g.fact_start, pos);
+            pos = g.fact_end;
+            // Every fact's span is inside the group's cell range.
+            for i in g.fact_start..g.fact_end {
+                let (f, l) = spans[i as usize];
+                prop_assert!(g.first_cell <= f && l <= g.last_cell);
+            }
+        }
+        prop_assert_eq!(pos, spans.len() as u64);
+        // True gap between consecutive groups.
+        for w in groups.windows(2) {
+            prop_assert!(w[1].first_cell > w[0].last_cell, "{w:?}");
+        }
+        prop_assert_eq!(
+            partition_records(&groups),
+            groups.iter().map(|g| g.num_facts()).max().unwrap_or(0)
+        );
+    }
+
+    /// CcidMap behaves like a reference DSU with min-id union.
+    #[test]
+    fn ccid_map_matches_reference_dsu(
+        unions in proptest::collection::vec((0u32..30, 0u32..30), 0..80)
+    ) {
+        let n = 30u32;
+        let mut m = CcidMap::new();
+        for _ in 0..n {
+            m.alloc();
+        }
+        let mut reference: Vec<u32> = (0..n).collect();
+        fn find(r: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while r[root as usize] != root {
+                root = r[root as usize];
+            }
+            root
+        }
+        for (a, b) in unions {
+            m.union(a, b);
+            let (ra, rb) = (find(&mut reference, a), find(&mut reference, b));
+            let lo = ra.min(rb);
+            reference[ra as usize] = lo;
+            reference[rb as usize] = lo;
+        }
+        m.resolve_all();
+        for i in 0..n {
+            prop_assert_eq!(m.peek(i), find(&mut reference, i), "id {}", i);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Builder for [`Hierarchy`] values.
+
+use crate::hierarchy::{Hierarchy, LeafId, LevelNo, Node, NodeId};
+
+struct LevelSpec {
+    name: String,
+    size: u32,
+    node_names: Option<Vec<String>>,
+    /// `parents[i]` = index (within the next level up) of node `i`'s parent.
+    parents: Option<Vec<u32>>,
+}
+
+/// Builds a [`Hierarchy`] bottom-up.
+///
+/// Declare levels from leaves upward with [`HierarchyBuilder::level`] /
+/// [`HierarchyBuilder::level_named`], then wire child→parent edges with
+/// [`HierarchyBuilder::parents`]. The `ALL` level is added implicitly: the
+/// topmost declared level needs no parent map (everything hangs off `ALL`).
+///
+/// ```
+/// use iolap_hierarchy::HierarchyBuilder;
+/// let h = HierarchyBuilder::new("Auto")
+///     .level_named("Model", &["Civic", "Camry", "F150", "Sierra"])
+///     .level_named("Category", &["Sedan", "Truck"])
+///     .parents(2, &[0, 0, 1, 1])
+///     .build();
+/// assert_eq!(h.num_leaves(), 4);
+/// assert_eq!(h.levels(), 3);
+/// ```
+pub struct HierarchyBuilder {
+    name: String,
+    levels: Vec<LevelSpec>,
+}
+
+impl HierarchyBuilder {
+    /// Start a builder for a dimension called `name`.
+    pub fn new(name: &str) -> Self {
+        HierarchyBuilder { name: name.to_string(), levels: Vec::new() }
+    }
+
+    /// Declare the next level up with `size` anonymous nodes.
+    pub fn level(mut self, name: &str, size: u32) -> Self {
+        self.levels.push(LevelSpec {
+            name: name.to_string(),
+            size,
+            node_names: None,
+            parents: None,
+        });
+        self
+    }
+
+    /// Declare the next level up with one named node per entry.
+    pub fn level_named(mut self, name: &str, node_names: &[&str]) -> Self {
+        self.levels.push(LevelSpec {
+            name: name.to_string(),
+            size: node_names.len() as u32,
+            node_names: Some(node_names.iter().map(|s| s.to_string()).collect()),
+            parents: None,
+        });
+        self
+    }
+
+    /// Set the parent map for the nodes *below* level `parent_level`:
+    /// `parents[i]` is the index (within level `parent_level`, declaration
+    /// order) of the parent of node `i` at level `parent_level - 1`.
+    pub fn parents(mut self, parent_level: LevelNo, parents: &[u32]) -> Self {
+        let idx = (parent_level - 2) as usize; // stored with the child level
+        assert!(
+            idx < self.levels.len(),
+            "parents({parent_level}, ..) declared before both levels exist"
+        );
+        self.levels[idx].parents = Some(parents.to_vec());
+        self
+    }
+
+    /// Build, panicking on inconsistent input (see [`Self::try_build`]).
+    pub fn build(self) -> Hierarchy {
+        self.try_build().expect("invalid hierarchy specification")
+    }
+
+    /// Build, returning a description of the first inconsistency if any.
+    pub fn try_build(self) -> Result<Hierarchy, String> {
+        if self.levels.is_empty() {
+            return Err("at least one level below ALL is required".into());
+        }
+        let n_user_levels = self.levels.len();
+        for (i, l) in self.levels.iter().enumerate() {
+            if l.size == 0 {
+                return Err(format!("level {} ({}) has no nodes", i + 1, l.name));
+            }
+            if i + 1 < n_user_levels {
+                let up_size = self.levels[i + 1].size;
+                match &l.parents {
+                    None => {
+                        return Err(format!(
+                            "level {} ({}) is missing its parent map",
+                            i + 1,
+                            l.name
+                        ))
+                    }
+                    Some(p) => {
+                        if p.len() != l.size as usize {
+                            return Err(format!(
+                                "level {} ({}): parent map has {} entries for {} nodes",
+                                i + 1,
+                                l.name,
+                                p.len(),
+                                l.size
+                            ));
+                        }
+                        if let Some(&bad) = p.iter().find(|&&x| x >= up_size) {
+                            return Err(format!(
+                                "level {} ({}): parent index {bad} out of range (level above has {up_size})",
+                                i + 1, l.name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Arena layout: user levels bottom-up in declaration order, ALL last.
+        let mut level_base: Vec<u32> = Vec::with_capacity(n_user_levels + 1);
+        let mut next = 0u32;
+        for l in &self.levels {
+            level_base.push(next);
+            next += l.size;
+        }
+        let all_arena = next;
+        let total = next as usize + 1;
+
+        // children[arena_id] = child arena ids, in declaration order.
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); total];
+        let mut parent_of: Vec<Option<u32>> = vec![None; total];
+        for (li, l) in self.levels.iter().enumerate() {
+            for i in 0..l.size {
+                let me = level_base[li] + i;
+                let pa = if li + 1 < n_user_levels {
+                    level_base[li + 1] + l.parents.as_ref().expect("validated")[i as usize]
+                } else {
+                    all_arena
+                };
+                parent_of[me as usize] = Some(pa);
+                children[pa as usize].push(me);
+            }
+        }
+        // Every internal node must have a child ("∅ ∉ H").
+        for (li, l) in self.levels.iter().enumerate().skip(1) {
+            for i in 0..l.size {
+                let me = (level_base[li] + i) as usize;
+                if children[me].is_empty() {
+                    return Err(format!(
+                        "node {i} at level {} ({}) has no children (empty regions are not allowed)",
+                        li + 1,
+                        l.name
+                    ));
+                }
+            }
+        }
+
+        // Iterative DFS from ALL assigning leaf ids and intervals.
+        let mut lo = vec![0 as LeafId; total];
+        let mut hi = vec![0 as LeafId; total];
+        let mut leaf_nodes: Vec<NodeId> = Vec::new();
+        let mut next_leaf: LeafId = 0;
+        // Stack entries: (arena id, entered?)
+        let mut stack: Vec<(u32, bool)> = vec![(all_arena, false)];
+        while let Some((id, entered)) = stack.pop() {
+            if entered {
+                // Post-order: interval = span of children (already set).
+                let kids = &children[id as usize];
+                lo[id as usize] = lo[kids[0] as usize];
+                hi[id as usize] = hi[*kids.last().expect("non-empty") as usize];
+                continue;
+            }
+            if children[id as usize].is_empty() {
+                // A leaf.
+                lo[id as usize] = next_leaf;
+                hi[id as usize] = next_leaf + 1;
+                leaf_nodes.push(NodeId(id));
+                next_leaf += 1;
+            } else {
+                stack.push((id, true));
+                for &k in children[id as usize].iter().rev() {
+                    stack.push((k, false));
+                }
+            }
+        }
+
+        // Assemble node records.
+        let mut nodes: Vec<Node> = Vec::with_capacity(total);
+        for (li, l) in self.levels.iter().enumerate() {
+            for i in 0..l.size {
+                let me = level_base[li] + i;
+                nodes.push(Node {
+                    level: (li + 1) as LevelNo,
+                    parent: parent_of[me as usize].map(NodeId),
+                    lo: lo[me as usize],
+                    hi: hi[me as usize],
+                    name: l
+                        .node_names
+                        .as_ref()
+                        .map(|ns| ns[i as usize].clone()),
+                });
+            }
+        }
+        nodes.push(Node {
+            level: (n_user_levels + 1) as LevelNo,
+            parent: None,
+            lo: 0,
+            hi: next_leaf,
+            name: Some("ALL".to_string()),
+        });
+
+        let mut level_names: Vec<String> = self.levels.iter().map(|l| l.name.clone()).collect();
+        level_names.push("ALL".to_string());
+
+        // Leaf ids were assigned in DFS order; `leaf_nodes[leaf]` is correct
+        // by construction.
+        Ok(Hierarchy::from_parts(self.name, level_names, nodes, leaf_nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbalanced_parents_reorder_leaves_dfs() {
+        // Leaves declared 0..4; parents scramble them across two groups:
+        // group A gets leaves {0, 2}, group B gets {1, 3}.
+        let h = HierarchyBuilder::new("D")
+            .level("Leaf", 4)
+            .level("Group", 2)
+            .parents(2, &[0, 1, 0, 1])
+            .build();
+        h.validate().unwrap();
+        // DFS order: group A's leaves first. Each group covers 2 leaves.
+        let groups = h.nodes_at_level(2);
+        assert_eq!(h.leaf_range(groups[0]), 0..2);
+        assert_eq!(h.leaf_range(groups[1]), 2..4);
+    }
+
+    #[test]
+    fn skewed_fanout() {
+        // One group with 5 leaves, one with 1.
+        let h = HierarchyBuilder::new("D")
+            .level("Leaf", 6)
+            .level("Group", 2)
+            .parents(2, &[0, 0, 0, 0, 0, 1])
+            .build();
+        h.validate().unwrap();
+        let groups = h.nodes_at_level(2);
+        assert_eq!(h.node(groups[0]).num_leaves(), 5);
+        assert_eq!(h.node(groups[1]).num_leaves(), 1);
+    }
+
+    #[test]
+    fn missing_parent_map_rejected() {
+        let err = HierarchyBuilder::new("D")
+            .level("Leaf", 2)
+            .level("Group", 2)
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("parent map"), "{err}");
+    }
+
+    #[test]
+    fn parent_index_out_of_range_rejected() {
+        let err = HierarchyBuilder::new("D")
+            .level("Leaf", 2)
+            .level("Group", 2)
+            .parents(2, &[0, 5])
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn childless_internal_node_rejected() {
+        let err = HierarchyBuilder::new("D")
+            .level("Leaf", 2)
+            .level("Group", 2)
+            .parents(2, &[0, 0])
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("no children"), "{err}");
+    }
+
+    #[test]
+    fn empty_builder_rejected() {
+        assert!(HierarchyBuilder::new("D").try_build().is_err());
+    }
+
+    #[test]
+    fn wrong_parent_map_length_rejected() {
+        let err = HierarchyBuilder::new("D")
+            .level("Leaf", 3)
+            .level("Group", 1)
+            .parents(2, &[0, 0])
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("entries"), "{err}");
+    }
+
+    #[test]
+    fn three_user_levels() {
+        let h = HierarchyBuilder::new("Loc")
+            .level("City", 6)
+            .level("State", 3)
+            .level("Region", 2)
+            .parents(2, &[0, 0, 1, 1, 2, 2])
+            .parents(3, &[0, 0, 1])
+            .build();
+        h.validate().unwrap();
+        assert_eq!(h.levels(), 4);
+        let regions = h.nodes_at_level(3);
+        assert_eq!(h.node(regions[0]).num_leaves(), 4);
+        assert_eq!(h.node(regions[1]).num_leaves(), 2);
+    }
+}

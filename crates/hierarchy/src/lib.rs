@@ -1,0 +1,37 @@
+//! # iolap-hierarchy
+//!
+//! Hierarchical domains for imprecise OLAP, after Definition 1 of Burdick
+//! et al. (VLDB 2006):
+//!
+//! > A hierarchical domain `H` over base domain `B` is a power set of `B`
+//! > such that (1) ∅ ∉ H, (2) H contains every singleton set, and (3) for
+//! > any pair h₁, h₂ ∈ H, h₁ ⊇ h₂ or h₁ ∩ h₂ = ∅.
+//!
+//! Property (3) makes `H` a forest; with the special top element `ALL` it
+//! is a tree. This crate represents such a domain as a [`Hierarchy`]: an
+//! arena of nodes with explicit levels (level 1 = leaves, the highest level
+//! = `ALL`), where **leaves are numbered in depth-first order** so that
+//! every node covers a contiguous interval of leaf ids. That interval
+//! property is what turns the paper's sort-order arguments (Theorems 3–5)
+//! into simple integer-range reasoning, and it makes `ancestor-at-level`
+//! an O(1) table lookup.
+//!
+//! ```
+//! use iolap_hierarchy::Hierarchy;
+//!
+//! // Location hierarchy from the paper's running example (Figure 1):
+//! // City < State < ALL, with states MA, NY, TX, CA.
+//! let h = Hierarchy::balanced("Location", &["City", "State"], &[1, 4]);
+//! assert_eq!(h.levels(), 3); // City, State, ALL
+//! assert_eq!(h.num_leaves(), 4);
+//! let state_of_leaf0 = h.ancestor_at(0, 2);
+//! assert!(h.leaf_range(state_of_leaf0).contains(&0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod hierarchy;
+
+pub use builder::HierarchyBuilder;
+pub use hierarchy::{Hierarchy, LeafId, LevelNo, Node, NodeId};

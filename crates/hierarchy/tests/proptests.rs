@@ -1,0 +1,103 @@
+//! Property tests: every hierarchy the builder accepts satisfies the
+//! hierarchical-domain laws (Definition 1 of the paper).
+
+use iolap_hierarchy::{Hierarchy, HierarchyBuilder, NodeId};
+use proptest::prelude::*;
+
+/// Random (sizes, parent maps) for a 2–4 level hierarchy.
+fn arb_spec() -> impl Strategy<Value = (Vec<u32>, Vec<Vec<u32>>, u64)> {
+    (2usize..=4, any::<u64>()).prop_flat_map(|(levels, seed)| {
+        // sizes[0] = leaves … sizes[levels-1] = top user level.
+        let sizes = proptest::collection::vec(1u32..=20, levels);
+        (sizes, Just(seed)).prop_map(|(mut sizes, seed)| {
+            // Make sizes non-increasing so every parent can be non-empty.
+            sizes.sort_unstable_by(|a, b| b.cmp(a));
+            let mut parents = Vec::new();
+            let mut s = seed | 1;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            for l in 1..sizes.len() {
+                let child_n = sizes[l - 1];
+                let parent_n = sizes[l];
+                let mut p: Vec<u32> = (0..child_n)
+                    .map(|i| if i < parent_n { i } else { (next() as u32) % parent_n })
+                    .collect();
+                // Ensure coverage even after the cap above.
+                for (i, v) in p.iter_mut().enumerate().take(parent_n as usize) {
+                    *v = i as u32;
+                }
+                parents.push(p);
+            }
+            (sizes, parents, seed)
+        })
+    })
+}
+
+fn build(sizes: &[u32], parents: &[Vec<u32>]) -> Hierarchy {
+    let mut b = HierarchyBuilder::new("P");
+    for (l, &n) in sizes.iter().enumerate() {
+        b = b.level(&format!("L{l}"), n);
+    }
+    for (l, p) in parents.iter().enumerate() {
+        b = b.parents(l as u8 + 2, p);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn built_hierarchies_validate((sizes, parents, _) in arb_spec()) {
+        let h = build(&sizes, &parents);
+        prop_assert!(h.validate().is_ok());
+        prop_assert_eq!(h.num_leaves(), sizes[0]);
+        prop_assert_eq!(h.levels() as usize, sizes.len() + 1);
+    }
+
+    /// Definition 1's law (3): any two nodes are nested or disjoint.
+    #[test]
+    fn nodes_nest_or_are_disjoint((sizes, parents, _) in arb_spec()) {
+        let h = build(&sizes, &parents);
+        let n = h.num_nodes();
+        for a in 0..n {
+            for b in 0..n {
+                let (na, nb) = (NodeId(a), NodeId(b));
+                if h.overlaps(na, nb) {
+                    prop_assert!(
+                        h.contains(na, nb) || h.contains(nb, na),
+                        "{a} and {b} overlap without nesting"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Ancestors are consistent with parent pointers and contain the leaf.
+    #[test]
+    fn ancestors_contain_their_leaves((sizes, parents, _) in arb_spec()) {
+        let h = build(&sizes, &parents);
+        for leaf in 0..h.num_leaves() {
+            for l in 1..=h.levels() {
+                let a = h.ancestor_at(leaf, l);
+                prop_assert_eq!(h.level_of(a), l);
+                prop_assert!(h.leaf_range(a).contains(&leaf));
+            }
+            prop_assert_eq!(h.ancestor_at(leaf, h.levels()), h.all());
+        }
+    }
+
+    /// Each level's nodes partition the leaf space.
+    #[test]
+    fn levels_partition_leaves((sizes, parents, _) in arb_spec()) {
+        let h = build(&sizes, &parents);
+        for l in 1..=h.levels() {
+            let total: u32 = h.nodes_at_level(l).iter().map(|&n| h.node(n).num_leaves()).sum();
+            prop_assert_eq!(total, h.num_leaves());
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! CSV ingest: build dimensions and fact tables from plain text files.
+//!
+//! The sanctioned dependency set carries no CSV crate, so a small
+//! RFC-4180-ish parser lives here (quoted fields, embedded commas and
+//! quotes, `\r\n` or `\n` row ends — enough for dimension and fact dumps).
+//!
+//! Two loaders:
+//!
+//! * [`hierarchy_from_csv`] — one row per leaf, columns naming the node at
+//!   each level bottom-up (`city,state,region`). Level grouping and the
+//!   DFS numbering fall out of the hierarchy builder.
+//! * [`facts_from_csv`] — header `id,<dim 0>,…,<dim k-1>,measure`; every
+//!   dimension value is a node *name* at any level of that dimension's
+//!   hierarchy (leaf name = precise, internal name = imprecise — exactly
+//!   how the paper's Table 1 is written).
+
+use crate::fact::Fact;
+use crate::schema::Schema;
+use crate::table::FactTable;
+use iolap_hierarchy::{Hierarchy, HierarchyBuilder};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Parse CSV text into rows of fields.
+///
+/// Handles double-quoted fields with embedded commas, newlines and
+/// doubled quotes. Empty trailing lines are dropped.
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                any = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                any = true;
+            }
+            '\r' => {} // swallowed; the \n ends the row
+            '\n' => {
+                if any || !field.is_empty() || !row.is_empty() {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                any = false;
+            }
+            other => {
+                field.push(other);
+                any = true;
+            }
+        }
+    }
+    if any || !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+/// Build a hierarchy from CSV: one row per leaf, columns = node names
+/// bottom-up (leaf level first). `level_names` names the levels in the
+/// same order (excluding the implicit `ALL`).
+///
+/// ```
+/// use iolap_model::csv::hierarchy_from_csv;
+/// let h = hierarchy_from_csv(
+///     "Location",
+///     &["City", "State"],
+///     "madison,wisconsin\nmilwaukee,wisconsin\nchicago,illinois\n",
+/// ).unwrap();
+/// assert_eq!(h.num_leaves(), 3);
+/// assert_eq!(h.nodes_at_level(2).len(), 2);
+/// ```
+pub fn hierarchy_from_csv(
+    name: &str,
+    level_names: &[&str],
+    text: &str,
+) -> Result<Hierarchy, String> {
+    let rows = parse_csv(text);
+    if rows.is_empty() {
+        return Err("empty hierarchy CSV".into());
+    }
+    let levels = level_names.len();
+    // Distinct names per level, in first-appearance order.
+    let mut names: Vec<Vec<String>> = vec![Vec::new(); levels];
+    let mut index: Vec<HashMap<String, u32>> = vec![HashMap::new(); levels];
+    // parent_of[l][i] = index at level l+1 of node i at level l.
+    let mut parent_of: Vec<Vec<u32>> = vec![Vec::new(); levels.saturating_sub(1)];
+
+    for (rn, row) in rows.iter().enumerate() {
+        if row.len() != levels {
+            return Err(format!(
+                "row {}: expected {levels} columns, found {}",
+                rn + 1,
+                row.len()
+            ));
+        }
+        // Resolve top-down so parents exist before children reference them.
+        let mut upper_idx: Option<u32> = None;
+        for l in (0..levels).rev() {
+            let val = row[l].trim();
+            if val.is_empty() {
+                return Err(format!("row {}: empty value at level {}", rn + 1, l + 1));
+            }
+            let next_id = names[l].len() as u32;
+            let id = match index[l].get(val) {
+                Some(&id) => id,
+                None => {
+                    names[l].push(val.to_string());
+                    index[l].insert(val.to_string(), next_id);
+                    if l + 1 < levels {
+                        parent_of[l].push(upper_idx.expect("resolved top-down"));
+                    }
+                    next_id
+                }
+            };
+            // Consistency: a node must not claim two different parents.
+            if l + 1 < levels {
+                let claimed = parent_of[l][id as usize];
+                let actual = upper_idx.expect("resolved top-down");
+                if claimed != actual {
+                    return Err(format!(
+                        "row {}: {val:?} appears under two different {} values",
+                        rn + 1,
+                        level_names[l + 1]
+                    ));
+                }
+            }
+            upper_idx = Some(id);
+        }
+    }
+
+    let mut b = HierarchyBuilder::new(name);
+    for (l, ln) in level_names.iter().enumerate() {
+        let refs: Vec<&str> = names[l].iter().map(String::as_str).collect();
+        b = b.level_named(ln, &refs);
+    }
+    for l in 1..levels {
+        b = b.parents(l as u8 + 1, &parent_of[l - 1]);
+    }
+    b.try_build()
+}
+
+/// Load a fact table from CSV: header `id,<dim names…>,measure`; dimension
+/// values are node names (any level).
+///
+/// ```
+/// use iolap_model::{csv::facts_from_csv, paper_example};
+/// let t = facts_from_csv(
+///     paper_example::schema(),
+///     "id,Location,Automobile,Sales\n1,MA,Civic,100\n6,MA,Sedan,100\n8,CA,ALL,160\n",
+/// ).unwrap();
+/// assert_eq!(t.len(), 3);
+/// assert_eq!(t.num_imprecise(), 2);
+/// ```
+pub fn facts_from_csv(schema: Arc<Schema>, text: &str) -> Result<FactTable, String> {
+    let rows = parse_csv(text);
+    let k = schema.k();
+    let Some((header, body)) = rows.split_first() else {
+        return Err("empty fact CSV".into());
+    };
+    if header.len() != k + 2 {
+        return Err(format!("header: expected id + {k} dimensions + measure"));
+    }
+    if !header[0].trim().eq_ignore_ascii_case("id") {
+        return Err("first column must be `id`".into());
+    }
+    // Map header columns to schema dimensions by name.
+    let mut dim_of_col: Vec<usize> = Vec::with_capacity(k);
+    for col in &header[1..=k] {
+        let col = col.trim();
+        let d = (0..k)
+            .find(|&d| schema.dim(d).name() == col)
+            .ok_or_else(|| format!("unknown dimension column {col:?}"))?;
+        dim_of_col.push(d);
+    }
+    // Per-dimension node name lookup.
+    let name_maps: Vec<HashMap<String, u32>> = (0..k)
+        .map(|d| {
+            let h = schema.dim(d);
+            (0..h.num_nodes())
+                .map(|i| {
+                    (h.node_name(iolap_hierarchy::NodeId(i)), i)
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut table = FactTable::new(schema.clone());
+    for (rn, row) in body.iter().enumerate() {
+        if row.len() != k + 2 {
+            return Err(format!("row {}: wrong column count", rn + 2));
+        }
+        let id: u64 = row[0]
+            .trim()
+            .parse()
+            .map_err(|_| format!("row {}: bad id {:?}", rn + 2, row[0]))?;
+        let mut dims = vec![0u32; k];
+        for (c, val) in row[1..=k].iter().enumerate() {
+            let d = dim_of_col[c];
+            let val = val.trim();
+            let node = name_maps[d]
+                .get(val)
+                .ok_or_else(|| {
+                    format!("row {}: unknown {} value {val:?}", rn + 2, schema.dim(d).name())
+                })?;
+            dims[d] = *node;
+        }
+        let measure: f64 = row[k + 1]
+            .trim()
+            .parse()
+            .map_err(|_| format!("row {}: bad measure {:?}", rn + 2, row[k + 1]))?;
+        table.push(Fact::new(id, &dims, measure));
+    }
+    table.validate()?;
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    #[test]
+    fn parse_handles_quotes_and_crlf() {
+        let rows = parse_csv("a,\"b,c\",\"d\"\"e\"\r\nf,g,h\r\n");
+        assert_eq!(rows, vec![vec!["a", "b,c", "d\"e"], vec!["f", "g", "h"]]);
+    }
+
+    #[test]
+    fn parse_tolerates_missing_trailing_newline() {
+        let rows = parse_csv("x,y\n1,2");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn hierarchy_roundtrip() {
+        let h = hierarchy_from_csv(
+            "Loc",
+            &["City", "State", "Region"],
+            "madison,wi,midwest\nmilwaukee,wi,midwest\nchicago,il,midwest\nnyc,ny,east\n",
+        )
+        .unwrap();
+        h.validate().unwrap();
+        assert_eq!(h.num_leaves(), 4);
+        assert_eq!(h.nodes_at_level(2).len(), 3);
+        assert_eq!(h.nodes_at_level(3).len(), 2);
+        let wi = h.node_by_name("wi").unwrap();
+        assert_eq!(h.node(wi).num_leaves(), 2);
+    }
+
+    #[test]
+    fn hierarchy_rejects_two_parents() {
+        let err = hierarchy_from_csv(
+            "Loc",
+            &["City", "State"],
+            "springfield,illinois\nspringfield,missouri\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("two different"), "{err}");
+    }
+
+    #[test]
+    fn facts_roundtrip_table1() {
+        // Re-enter the paper's Table 1 through CSV and compare.
+        let csv = "id,Location,Automobile,Sales\n\
+                   1,MA,Civic,100\n2,MA,Sierra,150\n3,NY,F150,100\n\
+                   4,CA,Civic,175\n5,CA,Sierra,50\n6,MA,Sedan,100\n\
+                   7,MA,Truck,120\n8,CA,ALL,160\n9,East,Truck,190\n\
+                   10,West,Sedan,200\n11,ALL,Civic,80\n12,ALL,F150,120\n\
+                   13,West,Civic,70\n14,West,Sierra,90\n";
+        let t = facts_from_csv(paper_example::schema(), csv).unwrap();
+        let want = paper_example::table1();
+        assert_eq!(t.facts(), want.facts());
+    }
+
+    #[test]
+    fn facts_report_bad_input_clearly() {
+        let schema = paper_example::schema();
+        assert!(facts_from_csv(schema.clone(), "").is_err());
+        let err =
+            facts_from_csv(schema.clone(), "id,Location,Automobile,Sales\n1,Narnia,Civic,3\n")
+                .unwrap_err();
+        assert!(err.contains("Narnia"), "{err}");
+        let err =
+            facts_from_csv(schema.clone(), "id,Location,Automobile,Sales\n1,MA,Civic,abc\n")
+                .unwrap_err();
+        assert!(err.contains("measure"), "{err}");
+        let err = facts_from_csv(schema, "id,Nope,Automobile,Sales\n").unwrap_err();
+        assert!(err.contains("Nope"), "{err}");
+    }
+
+    #[test]
+    fn column_order_may_differ_from_schema() {
+        let csv = "id,Automobile,Location,Sales\n1,Civic,MA,100\n";
+        let t = facts_from_csv(paper_example::schema(), csv).unwrap();
+        let s = t.schema();
+        assert!(s.is_precise(&t.facts()[0]));
+        assert_eq!(s.cell_of(&t.facts()[0]).unwrap()[..2], [0, 0]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Facts: rows of an imprecise fact table.
+
+use crate::MAX_DIMS;
+
+/// Unique identifier of a fact within its table.
+pub type FactId = u64;
+
+/// A level vector `⟨ℓ1..ℓk⟩`; entries beyond `k` are zero.
+/// Identifies a summary table (Definition 7).
+pub type LevelVec = [u8; MAX_DIMS];
+
+/// One fact: a node id per dimension plus a numeric measure.
+///
+/// The dimension entries are **arena node ids** of the corresponding
+/// hierarchy (leaf node = precise value, internal node = imprecise value).
+/// Entries at positions `≥ k` are unused and must be zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fact {
+    /// Unique id (`ID(r)` in the paper).
+    pub id: FactId,
+    /// Node id per dimension.
+    pub dims: [u32; MAX_DIMS],
+    /// The measure value (a single numeric measure suffices for every
+    /// policy in the paper; multi-measure support would add columns here).
+    pub measure: f64,
+}
+
+impl Fact {
+    /// Construct a fact from a slice of `k ≤ MAX_DIMS` node ids.
+    pub fn new(id: FactId, dims: &[u32], measure: f64) -> Self {
+        assert!(dims.len() <= MAX_DIMS);
+        let mut d = [0u32; MAX_DIMS];
+        d[..dims.len()].copy_from_slice(dims);
+        Fact { id, dims: d, measure }
+    }
+}
+
+/// Order two level vectors for the "sort into summary table order"
+/// preprocessing step (level vector major, so facts of one summary table
+/// are contiguous).
+pub fn cmp_level_vecs(a: &LevelVec, b: &LevelVec, k: usize) -> std::cmp::Ordering {
+    a[..k].cmp(&b[..k])
+}
+
+/// Componentwise `≤` with at least one strict `<`: the summary-table
+/// partial order `⊑` of Definition 8 (before taking the covering relation).
+pub fn level_vec_le(a: &LevelVec, b: &LevelVec, k: usize) -> bool {
+    a[..k].iter().zip(&b[..k]).all(|(x, y)| x <= y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_pads_with_zeros() {
+        let f = Fact::new(7, &[3, 1], 2.5);
+        assert_eq!(f.dims[0], 3);
+        assert_eq!(f.dims[1], 1);
+        assert!(f.dims[2..].iter().all(|&x| x == 0));
+        assert_eq!(f.id, 7);
+        assert_eq!(f.measure, 2.5);
+    }
+
+    #[test]
+    fn level_vec_ordering() {
+        let a: LevelVec = [1, 2, 0, 0, 0, 0, 0, 0];
+        let b: LevelVec = [2, 1, 0, 0, 0, 0, 0, 0];
+        assert_eq!(cmp_level_vecs(&a, &b, 2), std::cmp::Ordering::Less);
+        assert!(!level_vec_le(&a, &b, 2));
+        assert!(!level_vec_le(&b, &a, 2));
+        let c: LevelVec = [2, 2, 0, 0, 0, 0, 0, 0];
+        assert!(level_vec_le(&a, &c, 2));
+        assert!(level_vec_le(&b, &c, 2));
+        assert!(level_vec_le(&c, &c, 2));
+    }
+}

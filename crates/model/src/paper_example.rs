@@ -1,0 +1,143 @@
+//! The paper's running example: the dimensions of Figure 1 and the fact
+//! table of Table 1.
+//!
+//! This data is the shared ground truth for tests across the workspace:
+//! the summary tables S1–S5 (Figure 3), the allocation graph and its two
+//! connected components CC1/CC2 (Figure 2 / Example 5), and the partition
+//! sizes of Example 3 are all hand-checkable against it.
+
+use crate::fact::Fact;
+use crate::schema::Schema;
+use crate::table::FactTable;
+use iolap_hierarchy::{Hierarchy, HierarchyBuilder};
+use std::sync::Arc;
+
+/// The Location hierarchy of Figure 1: states MA, NY, TX, CA under regions
+/// East = {MA, NY}, West = {TX, CA}, under ALL. (The example treats states
+/// as the leaf level.)
+///
+/// DFS leaf numbering: MA=0, NY=1, TX=2, CA=3.
+pub fn location() -> Hierarchy {
+    HierarchyBuilder::new("Location")
+        .level_named("State", &["MA", "NY", "TX", "CA"])
+        .level_named("Region", &["East", "West"])
+        .parents(2, &[0, 0, 1, 1])
+        .build()
+}
+
+/// The Automobile hierarchy of Figure 1: models Civic, Camry, F150, Sierra
+/// under categories Sedan = {Civic, Camry}, Truck = {F150, Sierra}, under
+/// ALL.
+///
+/// DFS leaf numbering: Civic=0, Camry=1, F150=2, Sierra=3.
+pub fn automobile() -> Hierarchy {
+    HierarchyBuilder::new("Automobile")
+        .level_named("Model", &["Civic", "Camry", "F150", "Sierra"])
+        .level_named("Category", &["Sedan", "Truck"])
+        .parents(2, &[0, 0, 1, 1])
+        .build()
+}
+
+/// The two-dimensional schema ⟨Location, Automobile; Sales⟩ of Table 1.
+pub fn schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![Arc::new(location()), Arc::new(automobile())], "Sales"))
+}
+
+/// The 14 facts of Table 1 (p1–p5 precise, p6–p14 imprecise).
+pub fn table1() -> FactTable {
+    let s = schema();
+    let loc = s.dim(0);
+    let auto = s.dim(1);
+    let l = |name: &str| loc.node_by_name(name).expect("known location").0;
+    let a = |name: &str| auto.node_by_name(name).expect("known automobile").0;
+
+    let rows = vec![
+        // (id, Loc, Auto, Sales) — levels are implied by the nodes.
+        Fact::new(1, &[l("MA"), a("Civic")], 100.0),
+        Fact::new(2, &[l("MA"), a("Sierra")], 150.0),
+        Fact::new(3, &[l("NY"), a("F150")], 100.0),
+        Fact::new(4, &[l("CA"), a("Civic")], 175.0),
+        Fact::new(5, &[l("CA"), a("Sierra")], 50.0),
+        Fact::new(6, &[l("MA"), a("Sedan")], 100.0),
+        Fact::new(7, &[l("MA"), a("Truck")], 120.0),
+        Fact::new(8, &[l("CA"), a("ALL")], 160.0),
+        Fact::new(9, &[l("East"), a("Truck")], 190.0),
+        Fact::new(10, &[l("West"), a("Sedan")], 200.0),
+        Fact::new(11, &[l("ALL"), a("Civic")], 80.0),
+        Fact::new(12, &[l("ALL"), a("F150")], 120.0),
+        Fact::new(13, &[l("West"), a("Civic")], 70.0),
+        Fact::new(14, &[l("West"), a("Sierra")], 90.0),
+    ];
+    let t = FactTable::from_facts(s, rows);
+    debug_assert!(t.validate().is_ok());
+    t
+}
+
+/// The five cells of Figure 2 (cells mapped to by at least one precise
+/// fact), in canonical lexicographic order: c1 = (MA, Civic),
+/// c2 = (MA, Sierra), c3 = (NY, F150), c4 = (CA, Civic), c5 = (CA, Sierra).
+pub fn figure2_cells() -> Vec<crate::region::CellKey> {
+    let mk = |a: u32, b: u32| {
+        let mut c = [0u32; crate::MAX_DIMS];
+        c[0] = a;
+        c[1] = b;
+        c
+    };
+    vec![mk(0, 0), mk(0, 3), mk(1, 2), mk(3, 0), mk(3, 3)]
+}
+
+/// Expected membership of the two connected components of Example 5, as
+/// sets of fact ids (precise facts included via their cells).
+/// CC1 = {p1, p4, p5, p6, p8, p10, p11, p13, p14},
+/// CC2 = {p2, p3, p7, p9, p12}.
+pub fn example5_components() -> (Vec<u64>, Vec<u64>) {
+    (vec![1, 4, 5, 6, 8, 10, 11, 13, 14], vec![2, 3, 7, 9, 12])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::cmp_cells;
+
+    #[test]
+    fn hierarchies_validate() {
+        location().validate().unwrap();
+        automobile().validate().unwrap();
+    }
+
+    #[test]
+    fn leaf_numbering_matches_figure1() {
+        let loc = location();
+        assert_eq!(loc.leaf_index(loc.node_by_name("MA").unwrap()), Some(0));
+        assert_eq!(loc.leaf_index(loc.node_by_name("NY").unwrap()), Some(1));
+        assert_eq!(loc.leaf_index(loc.node_by_name("TX").unwrap()), Some(2));
+        assert_eq!(loc.leaf_index(loc.node_by_name("CA").unwrap()), Some(3));
+        let auto = automobile();
+        assert_eq!(auto.leaf_index(auto.node_by_name("Civic").unwrap()), Some(0));
+        assert_eq!(auto.leaf_index(auto.node_by_name("Sierra").unwrap()), Some(3));
+        // East covers MA and NY.
+        let east = loc.node_by_name("East").unwrap();
+        assert_eq!(loc.leaf_range(east), 0..2);
+    }
+
+    #[test]
+    fn figure2_cells_are_the_precise_cells_sorted() {
+        let t = table1();
+        let s = t.schema();
+        let mut cells: Vec<_> =
+            t.facts().iter().filter_map(|f| s.cell_of(f)).collect();
+        cells.sort_by(|a, b| cmp_cells(a, b, 2));
+        cells.dedup();
+        assert_eq!(cells, figure2_cells());
+    }
+
+    #[test]
+    fn sales_column_matches_table1() {
+        let t = table1();
+        let sales: Vec<f64> = t.facts().iter().map(|f| f.measure).collect();
+        assert_eq!(
+            sales,
+            vec![100., 150., 100., 175., 50., 100., 120., 160., 190., 200., 80., 120., 70., 90.]
+        );
+    }
+}

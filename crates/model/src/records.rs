@@ -1,0 +1,353 @@
+//! On-disk record types and codecs.
+//!
+//! Three record kinds flow through the allocation pipeline:
+//!
+//! * [`Fact`] via [`FactCodec`] — raw fact-table rows (input).
+//! * [`CellRecord`] via [`CellCodec`] — entries of the cell summary table
+//!   `C`, carrying the allocation quantities `δ(c)` / `Δ(c)` plus the
+//!   per-group accumulator and bookkeeping (degree, component id,
+//!   convergence flag).
+//! * [`WorkFactRecord`] via [`WorkFactCodec`] — imprecise facts in summary-
+//!   table order, carrying `Γ(r)`, the summary-table id, the component id,
+//!   and the `r.first` / `r.last` cell indexes of Section 4.2.
+//! * [`EdbRecord`] via [`EdbCodec`] — the Extended Database output:
+//!   `⟨ID(r), c, p_{c,r}⟩` (Definition 4).
+//!
+//! All records are fixed-width; the width depends only on the schema's
+//! dimension count `k`, decided at run time. With `k = 4` a raw fact is
+//! 32 bytes — close to the paper's 40-byte tuples (which also materialized
+//! the four level attributes we derive from node ids instead).
+
+use crate::fact::{Fact, FactId};
+use crate::region::CellKey;
+use crate::MAX_DIMS;
+use bytes::{Buf, BufMut};
+use iolap_storage::Codec;
+
+/// Sentinel for "no connected component assigned yet".
+pub const NO_CCID: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// Fact
+// ---------------------------------------------------------------------------
+
+/// Codec for raw [`Fact`] rows; width `16 + 4k`.
+#[derive(Debug, Clone, Copy)]
+pub struct FactCodec {
+    /// Number of dimensions.
+    pub k: usize,
+}
+
+impl Codec<Fact> for FactCodec {
+    fn size(&self) -> usize {
+        8 + 4 * self.k + 8
+    }
+
+    fn encode(&self, v: &Fact, mut buf: &mut [u8]) {
+        buf.put_u64_le(v.id);
+        for d in 0..self.k {
+            buf.put_u32_le(v.dims[d]);
+        }
+        buf.put_f64_le(v.measure);
+    }
+
+    fn decode(&self, mut buf: &[u8]) -> Fact {
+        let id = buf.get_u64_le();
+        let mut dims = [0u32; MAX_DIMS];
+        for d in dims.iter_mut().take(self.k) {
+            *d = buf.get_u32_le();
+        }
+        let measure = buf.get_f64_le();
+        Fact { id, dims, measure }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cell summary table entries
+// ---------------------------------------------------------------------------
+
+/// One entry of the cell summary table `C`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// The cell (leaf id per dimension).
+    pub key: CellKey,
+    /// `δ(c)` — the static allocation quantity of the cell.
+    pub delta0: f64,
+    /// `Δ^(t-1)(c)` — the current iterate.
+    pub delta: f64,
+    /// Partial sum of `Δ^(t)(c)` while an iteration's second pass is split
+    /// across summary-table groups.
+    pub acc: f64,
+    /// Number of imprecise facts overlapping this cell (filled during the
+    /// first pass; cells with degree 0 converge immediately — the
+    /// optimization called out in Section 11.1).
+    pub degree: u32,
+    /// Connected component id ([`NO_CCID`] before identification).
+    pub ccid: u32,
+    /// Has `Δ(c)` converged? Converged cells are skipped in later passes.
+    pub converged: bool,
+}
+
+impl CellRecord {
+    /// A fresh cell with `Δ^(0)(c) = δ(c)` (line 3 of the Basic Algorithm).
+    pub fn new(key: CellKey, delta0: f64) -> Self {
+        CellRecord { key, delta0, delta: delta0, acc: 0.0, degree: 0, ccid: NO_CCID, converged: false }
+    }
+}
+
+/// Codec for [`CellRecord`]; width `4k + 33`.
+#[derive(Debug, Clone, Copy)]
+pub struct CellCodec {
+    /// Number of dimensions.
+    pub k: usize,
+}
+
+impl Codec<CellRecord> for CellCodec {
+    fn size(&self) -> usize {
+        4 * self.k + 8 + 8 + 8 + 4 + 4 + 1
+    }
+
+    fn encode(&self, v: &CellRecord, mut buf: &mut [u8]) {
+        for d in 0..self.k {
+            buf.put_u32_le(v.key[d]);
+        }
+        buf.put_f64_le(v.delta0);
+        buf.put_f64_le(v.delta);
+        buf.put_f64_le(v.acc);
+        buf.put_u32_le(v.degree);
+        buf.put_u32_le(v.ccid);
+        buf.put_u8(v.converged as u8);
+    }
+
+    fn decode(&self, mut buf: &[u8]) -> CellRecord {
+        let mut key = [0u32; MAX_DIMS];
+        for d in key.iter_mut().take(self.k) {
+            *d = buf.get_u32_le();
+        }
+        CellRecord {
+            key,
+            delta0: buf.get_f64_le(),
+            delta: buf.get_f64_le(),
+            acc: buf.get_f64_le(),
+            degree: buf.get_u32_le(),
+            ccid: buf.get_u32_le(),
+            converged: buf.get_u8() != 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Working imprecise-fact records
+// ---------------------------------------------------------------------------
+
+/// An imprecise fact in summary-table order, with allocation state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkFactRecord {
+    /// `ID(r)`.
+    pub id: FactId,
+    /// Node id per dimension (at least one internal node).
+    pub dims: [u32; MAX_DIMS],
+    /// The fact's measure (carried through to the EDB).
+    pub measure: f64,
+    /// `Γ(r)` — the fact's allocation quantity for the current iteration.
+    pub gamma: f64,
+    /// Which summary table this fact belongs to (index into the layout).
+    pub table: u16,
+    /// Connected component id ([`NO_CCID`] before identification).
+    pub ccid: u32,
+    /// Index in `C` (canonical order) of the first cell this fact covers,
+    /// `u64::MAX` if it covers none (Section 4.2's `r.first`).
+    pub first: u64,
+    /// Index in `C` of the last covered cell (`r.last`); `0` if none.
+    pub last: u64,
+}
+
+impl WorkFactRecord {
+    /// True if the fact covers at least one cell of `C`.
+    pub fn covers_any_cell(&self) -> bool {
+        self.first != u64::MAX
+    }
+}
+
+/// Codec for [`WorkFactRecord`]; width `4k + 46`.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkFactCodec {
+    /// Number of dimensions.
+    pub k: usize,
+}
+
+impl Codec<WorkFactRecord> for WorkFactCodec {
+    fn size(&self) -> usize {
+        8 + 4 * self.k + 8 + 8 + 2 + 4 + 8 + 8
+    }
+
+    fn encode(&self, v: &WorkFactRecord, mut buf: &mut [u8]) {
+        buf.put_u64_le(v.id);
+        for d in 0..self.k {
+            buf.put_u32_le(v.dims[d]);
+        }
+        buf.put_f64_le(v.measure);
+        buf.put_f64_le(v.gamma);
+        buf.put_u16_le(v.table);
+        buf.put_u32_le(v.ccid);
+        buf.put_u64_le(v.first);
+        buf.put_u64_le(v.last);
+    }
+
+    fn decode(&self, mut buf: &[u8]) -> WorkFactRecord {
+        let id = buf.get_u64_le();
+        let mut dims = [0u32; MAX_DIMS];
+        for d in dims.iter_mut().take(self.k) {
+            *d = buf.get_u32_le();
+        }
+        WorkFactRecord {
+            id,
+            dims,
+            measure: buf.get_f64_le(),
+            gamma: buf.get_f64_le(),
+            table: buf.get_u16_le(),
+            ccid: buf.get_u32_le(),
+            first: buf.get_u64_le(),
+            last: buf.get_u64_le(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extended Database entries
+// ---------------------------------------------------------------------------
+
+/// One Extended Database entry `⟨ID(r), c, p_{c,r}⟩` (Definition 4).
+///
+/// The paper's EDM also repeats the original fact columns `r`; those are
+/// recoverable by joining on `fact_id`, so the stored entry keeps only the
+/// id, the completing cell and the allocation weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdbRecord {
+    /// `ID(r)` of the originating fact.
+    pub fact_id: FactId,
+    /// The completing cell `c`.
+    pub cell: CellKey,
+    /// The allocation weight `p_{c,r} > 0`.
+    pub weight: f64,
+    /// The originating fact's measure (denormalized for single-pass
+    /// aggregation).
+    pub measure: f64,
+}
+
+/// Codec for [`EdbRecord`]; width `4k + 24`.
+#[derive(Debug, Clone, Copy)]
+pub struct EdbCodec {
+    /// Number of dimensions.
+    pub k: usize,
+}
+
+impl Codec<EdbRecord> for EdbCodec {
+    fn size(&self) -> usize {
+        8 + 4 * self.k + 8 + 8
+    }
+
+    fn encode(&self, v: &EdbRecord, mut buf: &mut [u8]) {
+        buf.put_u64_le(v.fact_id);
+        for d in 0..self.k {
+            buf.put_u32_le(v.cell[d]);
+        }
+        buf.put_f64_le(v.weight);
+        buf.put_f64_le(v.measure);
+    }
+
+    fn decode(&self, mut buf: &[u8]) -> EdbRecord {
+        let fact_id = buf.get_u64_le();
+        let mut cell = [0u32; MAX_DIMS];
+        for d in cell.iter_mut().take(self.k) {
+            *d = buf.get_u32_le();
+        }
+        EdbRecord { fact_id, cell, weight: buf.get_f64_le(), measure: buf.get_f64_le() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_roundtrip() {
+        let c = FactCodec { k: 4 };
+        let mut buf = vec![0u8; c.size()];
+        let f = Fact::new(42, &[1, 2, 3, 4], 9.5);
+        c.encode(&f, &mut buf);
+        assert_eq!(c.decode(&buf), f);
+        assert_eq!(c.size(), 32);
+    }
+
+    #[test]
+    fn cell_roundtrip() {
+        let c = CellCodec { k: 2 };
+        let mut buf = vec![0u8; c.size()];
+        let mut rec = CellRecord::new([5, 6, 0, 0, 0, 0, 0, 0], 3.0);
+        rec.delta = 4.5;
+        rec.acc = 0.25;
+        rec.degree = 7;
+        rec.ccid = 12;
+        rec.converged = true;
+        c.encode(&rec, &mut buf);
+        assert_eq!(c.decode(&buf), rec);
+    }
+
+    #[test]
+    fn workfact_roundtrip() {
+        let c = WorkFactCodec { k: 4 };
+        let mut buf = vec![0u8; c.size()];
+        let rec = WorkFactRecord {
+            id: 99,
+            dims: [9, 8, 7, 6, 0, 0, 0, 0],
+            measure: 1.5,
+            gamma: 2.5,
+            table: 17,
+            ccid: NO_CCID,
+            first: 1000,
+            last: 2000,
+        };
+        c.encode(&rec, &mut buf);
+        assert_eq!(c.decode(&buf), rec);
+    }
+
+    #[test]
+    fn edb_roundtrip() {
+        let c = EdbCodec { k: 2 };
+        let mut buf = vec![0u8; c.size()];
+        let rec = EdbRecord {
+            fact_id: 5,
+            cell: [1, 3, 0, 0, 0, 0, 0, 0],
+            weight: 0.25,
+            measure: 100.0,
+        };
+        c.encode(&rec, &mut buf);
+        assert_eq!(c.decode(&buf), rec);
+    }
+
+    #[test]
+    fn covers_any_cell_sentinel() {
+        let mut r = WorkFactRecord {
+            id: 0,
+            dims: [0; MAX_DIMS],
+            measure: 0.0,
+            gamma: 0.0,
+            table: 0,
+            ccid: NO_CCID,
+            first: u64::MAX,
+            last: 0,
+        };
+        assert!(!r.covers_any_cell());
+        r.first = 3;
+        assert!(r.covers_any_cell());
+    }
+
+    #[test]
+    fn k4_fact_width_close_to_papers_40_bytes() {
+        // Documented in DESIGN.md: our 32-byte k=4 facts vs. the paper's
+        // 40-byte tuples (they also stored the 4 level attributes).
+        assert_eq!(FactCodec { k: 4 }.size(), 32);
+        assert_eq!(EdbCodec { k: 4 }.size(), 40);
+    }
+}

@@ -1,0 +1,133 @@
+//! In-memory fact tables.
+
+use crate::fact::{Fact, FactId};
+use crate::schema::Schema;
+use std::sync::Arc;
+
+/// An in-memory imprecise fact table: a schema plus rows.
+///
+/// This is the *input* representation — data generators produce it and the
+/// preprocessing step of the allocation pipeline spills it into the paged
+/// files the scalable algorithms operate on. (Inputs are also streamable
+/// from disk via `RecordFile<Fact, FactCodec>`; the in-memory form keeps
+/// generator and test code simple.)
+#[derive(Debug, Clone)]
+pub struct FactTable {
+    schema: Arc<Schema>,
+    facts: Vec<Fact>,
+}
+
+impl FactTable {
+    /// An empty table over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        FactTable { schema, facts: Vec::new() }
+    }
+
+    /// Build from existing rows.
+    pub fn from_facts(schema: Arc<Schema>, facts: Vec<Fact>) -> Self {
+        FactTable { schema, facts }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// All rows.
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// Mutable access to rows (used by the update workloads of Section 9).
+    pub fn facts_mut(&mut self) -> &mut Vec<Fact> {
+        &mut self.facts
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, fact: Fact) {
+        self.facts.push(fact);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Number of precise rows.
+    pub fn num_precise(&self) -> usize {
+        self.facts.iter().filter(|f| self.schema.is_precise(f)).count()
+    }
+
+    /// Number of imprecise rows.
+    pub fn num_imprecise(&self) -> usize {
+        self.len() - self.num_precise()
+    }
+
+    /// Find a fact by id (linear scan; test/example helper).
+    pub fn fact_by_id(&self, id: FactId) -> Option<&Fact> {
+        self.facts.iter().find(|f| f.id == id)
+    }
+
+    /// Validate every row against the schema.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::with_capacity(self.len());
+        for f in &self.facts {
+            self.schema.validate_fact(f)?;
+            if !seen.insert(f.id) {
+                return Err(format!("duplicate fact id {}", f.id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Split rows into (precise, imprecise) partitions, preserving order.
+    pub fn partition(&self) -> (Vec<&Fact>, Vec<&Fact>) {
+        self.facts.iter().partition(|f| self.schema.is_precise(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::paper_example;
+
+    #[test]
+    fn table1_counts() {
+        let t = paper_example::table1();
+        assert_eq!(t.len(), 14);
+        assert_eq!(t.num_precise(), 5);
+        assert_eq!(t.num_imprecise(), 9);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn partition_preserves_order() {
+        let t = paper_example::table1();
+        let (p, i) = t.partition();
+        assert_eq!(p.len(), 5);
+        assert_eq!(i.len(), 9);
+        assert_eq!(p[0].id, 1);
+        assert_eq!(i[0].id, 6);
+        assert_eq!(i[8].id, 14);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let t = paper_example::table1();
+        let mut t2 = t.clone();
+        let dup = t.facts()[0].clone();
+        t2.push(dup);
+        assert!(t2.validate().is_err());
+    }
+
+    #[test]
+    fn fact_by_id() {
+        let t = paper_example::table1();
+        assert_eq!(t.fact_by_id(8).unwrap().measure, 160.0);
+        assert!(t.fact_by_id(99).is_none());
+    }
+}

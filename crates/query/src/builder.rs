@@ -1,0 +1,129 @@
+//! Query construction.
+
+use crate::agg::AggFn;
+use iolap_hierarchy::NodeId;
+use iolap_model::{RegionBox, Schema, MAX_DIMS};
+use std::sync::Arc;
+
+/// A query: a region (one node per dimension; unspecified dimensions
+/// default to `ALL`) and an aggregate function.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The query region.
+    pub region: RegionBox,
+    /// The aggregate to compute.
+    pub agg: AggFn,
+}
+
+/// Builds [`Query`] values by dimension / node *names*.
+///
+/// ```
+/// use iolap_query::{AggFn, QueryBuilder};
+/// use iolap_model::paper_example;
+///
+/// let schema = paper_example::schema();
+/// let q = QueryBuilder::new(schema)
+///     .at("Location", "West")
+///     .at("Automobile", "Sedan")
+///     .agg(AggFn::Sum)
+///     .build()
+///     .unwrap();
+/// assert_eq!(q.region.num_cells(), 4); // {TX, CA} × {Civic, Camry}
+/// ```
+pub struct QueryBuilder {
+    schema: Arc<Schema>,
+    nodes: Vec<Option<NodeId>>,
+    agg: AggFn,
+}
+
+impl QueryBuilder {
+    /// Start a builder over `schema` (every dimension defaults to ALL).
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let k = schema.k();
+        QueryBuilder { schema, nodes: vec![None; k], agg: AggFn::Sum }
+    }
+
+    /// Constrain `dim_name` to the node called `node_name`.
+    pub fn at(mut self, dim_name: &str, node_name: &str) -> Self {
+        for d in 0..self.schema.k() {
+            if self.schema.dim(d).name() == dim_name {
+                self.nodes[d] = self.schema.dim(d).node_by_name(node_name);
+                return self;
+            }
+        }
+        // Unknown dimension: record as unresolvable (surfaces in build()).
+        self.nodes.push(None);
+        self
+    }
+
+    /// Constrain dimension `d` to `node`.
+    pub fn at_node(mut self, d: usize, node: NodeId) -> Self {
+        self.nodes[d] = Some(node);
+        self
+    }
+
+    /// Choose the aggregate (default SUM).
+    pub fn agg(mut self, agg: AggFn) -> Self {
+        self.agg = agg;
+        self
+    }
+
+    /// Build the query; `Err` names the first unresolvable constraint.
+    pub fn build(self) -> Result<Query, String> {
+        let k = self.schema.k();
+        if self.nodes.len() != k {
+            return Err("a constraint referenced an unknown dimension or node".into());
+        }
+        let mut lo = [0u32; MAX_DIMS];
+        let mut hi = [0u32; MAX_DIMS];
+        for d in 0..k {
+            let h = self.schema.dim(d);
+            let node = self.nodes[d].unwrap_or_else(|| h.all());
+            let r = h.leaf_range(node);
+            lo[d] = r.start;
+            hi[d] = r.end;
+        }
+        Ok(Query { region: RegionBox { lo, hi, k: k as u8 }, agg: self.agg })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_model::paper_example;
+
+    #[test]
+    fn defaults_to_all() {
+        let schema = paper_example::schema();
+        let q = QueryBuilder::new(schema).build().unwrap();
+        assert_eq!(q.region.num_cells(), 16);
+    }
+
+    #[test]
+    fn named_constraints() {
+        let schema = paper_example::schema();
+        let q = QueryBuilder::new(schema)
+            .at("Location", "MA")
+            .at("Automobile", "Truck")
+            .build()
+            .unwrap();
+        assert_eq!(q.region.num_cells(), 2); // MA × {F150, Sierra}
+        assert_eq!(q.region.lo[..2], [0, 2]);
+    }
+
+    #[test]
+    fn unknown_dimension_fails() {
+        let schema = paper_example::schema();
+        assert!(QueryBuilder::new(schema).at("Nope", "X").build().is_err());
+    }
+
+    #[test]
+    fn unknown_node_falls_back_to_all() {
+        // `.at` with an unknown node leaves the slot None → ALL; this is
+        // intentional leniency for exploratory queries but asserted here
+        // so it never changes silently.
+        let schema = paper_example::schema();
+        let q = QueryBuilder::new(schema).at("Location", "Atlantis").build().unwrap();
+        assert_eq!(q.region.num_cells(), 16);
+    }
+}

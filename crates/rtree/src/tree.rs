@@ -1,0 +1,668 @@
+//! The R-tree proper.
+
+use crate::aabb::Aabb;
+
+/// Maximum entries per node (Guttman's `M`).
+const MAX_ENTRIES: usize = 16;
+/// Minimum fill (Guttman's `m ≤ M/2`).
+const MIN_ENTRIES: usize = MAX_ENTRIES / 4;
+
+#[derive(Debug, Clone)]
+enum NodeKind<T> {
+    /// Leaf entries: (box, payload).
+    Leaf(Vec<(Aabb, T)>),
+    /// Internal entries: (subtree box, child node index).
+    Internal(Vec<(Aabb, usize)>),
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    kind: NodeKind<T>,
+}
+
+impl<T> Node<T> {
+    fn len(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf(e) => e.len(),
+            NodeKind::Internal(e) => e.len(),
+        }
+    }
+
+    fn bbox(&self, k: usize) -> Aabb {
+        let mut b = Aabb::empty(k);
+        match &self.kind {
+            NodeKind::Leaf(e) => {
+                for (r, _) in e {
+                    b = b.union(r);
+                }
+            }
+            NodeKind::Internal(e) => {
+                for (r, _) in e {
+                    b = b.union(r);
+                }
+            }
+        }
+        b
+    }
+}
+
+/// An in-memory R-tree with Guttman quadratic splits.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    k: usize,
+    nodes: Vec<Node<T>>,
+    root: usize,
+    /// Height: 1 = root is a leaf.
+    height: usize,
+    len: usize,
+}
+
+impl<T: Clone> RTree<T> {
+    /// An empty tree over `k`-dimensional boxes.
+    pub fn new(k: usize) -> Self {
+        let root = Node { kind: NodeKind::Leaf(Vec::new()) };
+        RTree { k, nodes: vec![root], root: 0, height: 1, len: 0 }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    // -- search ------------------------------------------------------------
+
+    /// Visit every entry whose box overlaps `query`.
+    pub fn search(&self, query: &Aabb, mut visit: impl FnMut(&Aabb, &T)) {
+        self.search_node(self.root, query, &mut visit);
+    }
+
+    fn search_node(&self, node: usize, query: &Aabb, visit: &mut impl FnMut(&Aabb, &T)) {
+        match &self.nodes[node].kind {
+            NodeKind::Leaf(entries) => {
+                for (r, v) in entries {
+                    if r.overlaps(query) {
+                        visit(r, v);
+                    }
+                }
+            }
+            NodeKind::Internal(entries) => {
+                for (r, child) in entries {
+                    if r.overlaps(query) {
+                        self.search_node(*child, query, visit);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collect payloads overlapping `query`.
+    pub fn query(&self, query: &Aabb) -> Vec<T> {
+        let mut out = Vec::new();
+        self.search(query, |_, v| out.push(v.clone()));
+        out
+    }
+
+    // -- insert ------------------------------------------------------------
+
+    /// Insert an entry.
+    pub fn insert(&mut self, rect: Aabb, value: T) {
+        assert_eq!(rect.k as usize, self.k);
+        let split = self.insert_at(self.root, self.height, rect, value);
+        if let Some((bb_new, new_node)) = split {
+            // Root split: grow the tree.
+            let old_root = self.root;
+            let bb_old = self.nodes[old_root].bbox(self.k);
+            let new_root = Node {
+                kind: NodeKind::Internal(vec![(bb_old, old_root), (bb_new, new_node)]),
+            };
+            self.nodes.push(new_root);
+            self.root = self.nodes.len() - 1;
+            self.height += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Insert into the subtree at `node` (whose height is `height`);
+    /// returns the (bbox, index) of a newly split-off sibling if any.
+    fn insert_at(
+        &mut self,
+        node: usize,
+        height: usize,
+        rect: Aabb,
+        value: T,
+    ) -> Option<(Aabb, usize)> {
+        if height == 1 {
+            // Leaf level.
+            if let NodeKind::Leaf(entries) = &mut self.nodes[node].kind {
+                entries.push((rect, value));
+                if entries.len() > MAX_ENTRIES {
+                    return Some(self.split_leaf(node));
+                }
+            } else {
+                unreachable!("height-1 node must be a leaf");
+            }
+            return None;
+        }
+        // Choose subtree with least enlargement (ties: least volume).
+        let child_slot = {
+            let NodeKind::Internal(entries) = &self.nodes[node].kind else {
+                unreachable!("internal node expected");
+            };
+            let mut best = 0usize;
+            let mut best_cost = (f64::INFINITY, f64::INFINITY);
+            for (i, (r, _)) in entries.iter().enumerate() {
+                let cost = (r.enlargement(&rect), r.volume());
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = i;
+                }
+            }
+            best
+        };
+        let (child_bb, child_idx) = {
+            let NodeKind::Internal(entries) = &self.nodes[node].kind else { unreachable!() };
+            entries[child_slot]
+        };
+        let split = self.insert_at(child_idx, height - 1, rect, value);
+        // Refresh the chosen child's bbox. Without a split, growing by
+        // `rect` is exact; after a split the child lost entries to its
+        // sibling, so recompute from scratch.
+        let updated = if split.is_some() {
+            self.nodes[child_idx].bbox(self.k)
+        } else {
+            child_bb.union(&rect)
+        };
+        if let NodeKind::Internal(entries) = &mut self.nodes[node].kind {
+            entries[child_slot].0 = updated;
+            if let Some((bb_new, new_child)) = split {
+                entries.push((bb_new, new_child));
+                if entries.len() > MAX_ENTRIES {
+                    return Some(self.split_internal(node));
+                }
+            }
+        }
+        None
+    }
+
+    /// Guttman quadratic split of an overfull leaf; returns the new
+    /// sibling's (bbox, index) and shrinks the original in place.
+    fn split_leaf(&mut self, node: usize) -> (Aabb, usize) {
+        let NodeKind::Leaf(entries) = &mut self.nodes[node].kind else { unreachable!() };
+        let items = std::mem::take(entries);
+        let (a, b) = quadratic_split(items, |e| e.0, self.k);
+        self.nodes[node].kind = NodeKind::Leaf(a);
+        let sibling = Node { kind: NodeKind::Leaf(b) };
+        self.nodes.push(sibling);
+        let idx = self.nodes.len() - 1;
+        (self.nodes[idx].bbox(self.k), idx)
+    }
+
+    /// Quadratic split of an overfull internal node.
+    fn split_internal(&mut self, node: usize) -> (Aabb, usize) {
+        let NodeKind::Internal(entries) = &mut self.nodes[node].kind else { unreachable!() };
+        let items = std::mem::take(entries);
+        let (a, b) = quadratic_split(items, |e| e.0, self.k);
+        self.nodes[node].kind = NodeKind::Internal(a);
+        let sibling = Node { kind: NodeKind::Internal(b) };
+        self.nodes.push(sibling);
+        let idx = self.nodes.len() - 1;
+        (self.nodes[idx].bbox(self.k), idx)
+    }
+
+    // -- delete ------------------------------------------------------------
+
+    /// Remove the first entry with an identical box for which `pred`
+    /// accepts the payload. Returns the removed payload. Underfull nodes
+    /// are condensed by reinserting their entries (Guttman's
+    /// CondenseTree).
+    pub fn remove(&mut self, rect: &Aabb, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let mut orphans: Vec<(Aabb, T)> = Vec::new();
+        let removed = self.remove_rec(self.root, self.height, rect, &mut pred, &mut orphans);
+        if removed.is_some() {
+            self.len -= 1;
+            // Shrink the root if it became a unary internal node.
+            while self.height > 1 {
+                let NodeKind::Internal(entries) = &self.nodes[self.root].kind else { break };
+                if entries.len() == 1 {
+                    self.root = entries[0].1;
+                    self.height -= 1;
+                } else {
+                    break;
+                }
+            }
+            let orphan_count = orphans.iter().map(|_| 1usize).sum::<usize>();
+            for (r, v) in orphans {
+                self.insert(r, v);
+            }
+            self.len -= orphan_count; // reinserts double-counted
+        }
+        removed
+    }
+
+    fn remove_rec(
+        &mut self,
+        node: usize,
+        height: usize,
+        rect: &Aabb,
+        pred: &mut impl FnMut(&T) -> bool,
+        orphans: &mut Vec<(Aabb, T)>,
+    ) -> Option<T> {
+        if height == 1 {
+            let NodeKind::Leaf(entries) = &mut self.nodes[node].kind else { unreachable!() };
+            if let Some(pos) = entries.iter().position(|(r, v)| r == rect && pred(v)) {
+                return Some(entries.remove(pos).1);
+            }
+            return None;
+        }
+        let candidates: Vec<(usize, usize)> = {
+            let NodeKind::Internal(entries) = &self.nodes[node].kind else { unreachable!() };
+            entries
+                .iter()
+                .enumerate()
+                .filter(|(_, (r, _))| r.contains(rect) || r.overlaps(rect))
+                .map(|(slot, (_, child))| (slot, *child))
+                .collect()
+        };
+        for (slot, child) in candidates {
+            if let Some(v) = self.remove_rec(child, height - 1, rect, pred, orphans) {
+                // Recompute the child's bbox; condense if underfull.
+                let child_len = self.nodes[child].len();
+                if child_len < MIN_ENTRIES {
+                    // Orphan the child's remaining entries and drop it.
+                    self.collect_entries(child, height - 1, orphans);
+                    let NodeKind::Internal(entries) = &mut self.nodes[node].kind else {
+                        unreachable!()
+                    };
+                    entries.remove(slot);
+                } else {
+                    let bb = self.nodes[child].bbox(self.k);
+                    let NodeKind::Internal(entries) = &mut self.nodes[node].kind else {
+                        unreachable!()
+                    };
+                    entries[slot].0 = bb;
+                }
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Gather every leaf entry under `node` into `out` (node is abandoned).
+    fn collect_entries(&mut self, node: usize, height: usize, out: &mut Vec<(Aabb, T)>) {
+        if height == 1 {
+            let NodeKind::Leaf(entries) = &mut self.nodes[node].kind else { unreachable!() };
+            out.append(entries);
+            return;
+        }
+        let children: Vec<usize> = {
+            let NodeKind::Internal(entries) = &self.nodes[node].kind else { unreachable!() };
+            entries.iter().map(|(_, c)| *c).collect()
+        };
+        for c in children {
+            self.collect_entries(c, height - 1, out);
+        }
+        if let NodeKind::Internal(entries) = &mut self.nodes[node].kind {
+            entries.clear();
+        }
+    }
+
+    // -- bulk load -----------------------------------------------------------
+
+    /// Sort-Tile-Recursive bulk load: builds a packed tree in O(n log n).
+    pub fn bulk_load(k: usize, mut items: Vec<(Aabb, T)>) -> Self {
+        if items.is_empty() {
+            return Self::new(k);
+        }
+        let len = items.len();
+        let mut tree = RTree { k, nodes: Vec::new(), root: 0, height: 1, len };
+
+        // STR tiling: recursively sort by successive center coordinates.
+        str_sort(&mut items, 0, k, MAX_ENTRIES);
+
+        // Build leaves.
+        let mut level: Vec<(Aabb, usize)> = Vec::new();
+        for chunk in items.chunks(MAX_ENTRIES) {
+            let node = Node { kind: NodeKind::Leaf(chunk.to_vec()) };
+            tree.nodes.push(node);
+            let idx = tree.nodes.len() - 1;
+            level.push((tree.nodes[idx].bbox(k), idx));
+        }
+        // Build internal levels.
+        while level.len() > 1 {
+            let mut next: Vec<(Aabb, usize)> = Vec::new();
+            str_sort(&mut level, 0, k, MAX_ENTRIES);
+            for chunk in level.chunks(MAX_ENTRIES) {
+                let node = Node { kind: NodeKind::Internal(chunk.to_vec()) };
+                tree.nodes.push(node);
+                let idx = tree.nodes.len() - 1;
+                next.push((tree.nodes[idx].bbox(k), idx));
+            }
+            level = next;
+            tree.height += 1;
+        }
+        tree.root = level[0].1;
+        tree
+    }
+
+    // -- validation ----------------------------------------------------------
+
+    /// Check structural invariants; returns the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut count = 0usize;
+        self.validate_node(self.root, self.height, None, &mut count)?;
+        if count != self.len {
+            return Err(format!("len {} but {} entries found", self.len, count));
+        }
+        Ok(())
+    }
+
+    fn validate_node(
+        &self,
+        node: usize,
+        height: usize,
+        parent_bb: Option<&Aabb>,
+        count: &mut usize,
+    ) -> Result<(), String> {
+        let bb = self.nodes[node].bbox(self.k);
+        if let Some(p) = parent_bb {
+            if !p.contains(&bb) {
+                return Err(format!("node {node}: bbox escapes parent"));
+            }
+        }
+        match &self.nodes[node].kind {
+            NodeKind::Leaf(entries) => {
+                if height != 1 {
+                    return Err(format!("leaf {node} at height {height}"));
+                }
+                *count += entries.len();
+            }
+            NodeKind::Internal(entries) => {
+                if height == 1 {
+                    return Err(format!("internal node {node} at leaf height"));
+                }
+                if entries.is_empty() {
+                    return Err(format!("empty internal node {node}"));
+                }
+                for (r, child) in entries {
+                    let child_bb = self.nodes[*child].bbox(self.k);
+                    if *r != child_bb {
+                        return Err(format!("node {node}: stale child bbox"));
+                    }
+                    self.validate_node(*child, height - 1, Some(r), count)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Recursive STR tiling sort: sorts `items` so that consecutive chunks of
+/// `cap` form spatially coherent tiles.
+fn str_sort<E>(items: &mut [E], dim: usize, k: usize, cap: usize)
+where
+    E: HasBox,
+{
+    if dim >= k || items.len() <= cap {
+        return;
+    }
+    items.sort_by(|a, b| {
+        a.bbox().center(dim).partial_cmp(&b.bbox().center(dim)).expect("finite centers")
+    });
+    // Number of slabs along this dimension.
+    let n_chunks = items.len().div_ceil(cap);
+    let slabs = (n_chunks as f64).powf(1.0 / (k - dim) as f64).ceil() as usize;
+    let slab_len = items.len().div_ceil(slabs.max(1));
+    for slab in items.chunks_mut(slab_len.max(1)) {
+        str_sort(slab, dim + 1, k, cap);
+    }
+}
+
+trait HasBox {
+    fn bbox(&self) -> &Aabb;
+}
+
+impl<T> HasBox for (Aabb, T) {
+    fn bbox(&self) -> &Aabb {
+        &self.0
+    }
+}
+
+/// Guttman's quadratic split: pick the pair wasting the most area as
+/// seeds, then greedily assign by enlargement preference, respecting the
+/// minimum fill.
+fn quadratic_split<E>(items: Vec<E>, get: impl Fn(&E) -> Aabb, k: usize) -> (Vec<E>, Vec<E>) {
+    debug_assert!(items.len() > MAX_ENTRIES);
+    // Pick seeds.
+    let (mut s1, mut s2) = (0usize, 1usize);
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..items.len() {
+        for j in i + 1..items.len() {
+            let a = get(&items[i]);
+            let b = get(&items[j]);
+            let d = a.union(&b).volume() - a.volume() - b.volume();
+            if d > worst {
+                worst = d;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    let mut group1: Vec<E> = Vec::new();
+    let mut group2: Vec<E> = Vec::new();
+    let mut bb1 = get(&items[s1]);
+    let mut bb2 = get(&items[s2]);
+    let mut rest: Vec<E> = Vec::new();
+    for (i, e) in items.into_iter().enumerate() {
+        if i == s1 {
+            group1.push(e);
+        } else if i == s2 {
+            group2.push(e);
+        } else {
+            rest.push(e);
+        }
+    }
+    let total = rest.len() + 2;
+    let min = MIN_ENTRIES.max(1);
+    for e in rest {
+        let remaining = total - group1.len() - group2.len() - 1;
+        // Force assignment if a group must take everything left to reach
+        // the minimum fill.
+        if group1.len() + remaining < min {
+            bb1 = bb1.union(&get(&e));
+            group1.push(e);
+            continue;
+        }
+        if group2.len() + remaining < min {
+            bb2 = bb2.union(&get(&e));
+            group2.push(e);
+            continue;
+        }
+        let r = get(&e);
+        let d1 = bb1.enlargement(&r);
+        let d2 = bb2.enlargement(&r);
+        if (d1, bb1.volume(), group1.len()) <= (d2, bb2.volume(), group2.len()) {
+            bb1 = bb1.union(&r);
+            group1.push(e);
+        } else {
+            bb2 = bb2.union(&r);
+            group2.push(e);
+        }
+    }
+    let _ = k;
+    (group1, group2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(lo: &[u32], hi: &[u32]) -> Aabb {
+        Aabb::new(lo, hi)
+    }
+
+    /// Deterministic pseudo-random boxes.
+    fn boxes(n: u32) -> Vec<(Aabb, u32)> {
+        (0..n)
+            .map(|i| {
+                let x = (i.wrapping_mul(2_654_435_761)) % 1000;
+                let y = (i.wrapping_mul(40_503)) % 1000;
+                let w = 1 + (i % 20);
+                let h = 1 + ((i * 7) % 20);
+                (b(&[x, y], &[x + w, y + h]), i)
+            })
+            .collect()
+    }
+
+    fn linear_query(items: &[(Aabb, u32)], q: &Aabb) -> Vec<u32> {
+        let mut v: Vec<u32> =
+            items.iter().filter(|(r, _)| r.overlaps(q)).map(|(_, i)| *i).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn insert_then_query_matches_linear_scan() {
+        let items = boxes(500);
+        let mut t = RTree::new(2);
+        for (r, v) in &items {
+            t.insert(*r, *v);
+        }
+        assert_eq!(t.len(), 500);
+        t.validate().unwrap();
+        let queries =
+            [b(&[0, 0], &[1000, 1000]), b(&[100, 100], &[200, 300]), b(&[999, 999], &[1000, 1000])];
+        for q in &queries {
+            let mut got = t.query(q);
+            got.sort_unstable();
+            assert_eq!(got, linear_query(&items, q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_linear_scan() {
+        let items = boxes(800);
+        let t = RTree::bulk_load(2, items.clone());
+        assert_eq!(t.len(), 800);
+        t.validate().unwrap();
+        let q = b(&[250, 0], &[500, 500]);
+        let mut got = t.query(&q);
+        got.sort_unstable();
+        assert_eq!(got, linear_query(&items, &q));
+    }
+
+    #[test]
+    fn remove_entries() {
+        let items = boxes(200);
+        let mut t = RTree::new(2);
+        for (r, v) in &items {
+            t.insert(*r, *v);
+        }
+        // Remove half.
+        for (r, v) in items.iter().filter(|(_, v)| v % 2 == 0) {
+            let removed = t.remove(r, |x| x == v);
+            assert_eq!(removed, Some(*v));
+        }
+        assert_eq!(t.len(), 100);
+        t.validate().unwrap();
+        let q = b(&[0, 0], &[1000, 1000]);
+        let mut got = t.query(&q);
+        got.sort_unstable();
+        let want: Vec<u32> = (0..200).filter(|v| v % 2 == 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut t: RTree<u32> = RTree::new(2);
+        t.insert(b(&[0, 0], &[1, 1]), 7);
+        assert_eq!(t.remove(&b(&[5, 5], &[6, 6]), |_| true), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t: RTree<u32> = RTree::new(3);
+        assert!(t.is_empty());
+        assert!(t.query(&b(&[0, 0, 0], &[9, 9, 9])).is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_boxes_coexist() {
+        let mut t = RTree::new(2);
+        let r = b(&[1, 1], &[2, 2]);
+        for v in 0..40u32 {
+            t.insert(r, v);
+        }
+        assert_eq!(t.len(), 40);
+        t.validate().unwrap();
+        let mut got = t.query(&r);
+        got.sort_unstable();
+        assert_eq!(got, (0..40).collect::<Vec<_>>());
+        // Predicate-targeted removal.
+        assert_eq!(t.remove(&r, |&v| v == 17), Some(17));
+        assert_eq!(t.len(), 39);
+    }
+
+    #[test]
+    fn four_dimensional_boxes() {
+        let mut t = RTree::new(4);
+        let mut items = Vec::new();
+        for i in 0..300u32 {
+            let p = [(i * 7) % 50, (i * 13) % 50, (i * 17) % 50, (i * 23) % 50];
+            let r = Aabb::new(&p, &[p[0] + 3, p[1] + 3, p[2] + 3, p[3] + 3]);
+            items.push((r, i));
+            t.insert(r, i);
+        }
+        t.validate().unwrap();
+        let q = Aabb::new(&[10, 10, 10, 10], &[30, 30, 30, 30]);
+        let mut got = t.query(&q);
+        got.sort_unstable();
+        let mut want: Vec<u32> =
+            items.iter().filter(|(r, _)| r.overlaps(&q)).map(|(_, v)| *v).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stress_interleaved_insert_remove() {
+        let items = boxes(400);
+        let mut t = RTree::new(2);
+        for (r, v) in items.iter().take(300) {
+            t.insert(*r, *v);
+        }
+        for (r, v) in items.iter().take(150) {
+            assert!(t.remove(r, |x| x == v).is_some());
+        }
+        for (r, v) in items.iter().skip(300) {
+            t.insert(*r, *v);
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len(), 300 - 150 + 100);
+        let q = b(&[0, 0], &[1000, 1000]);
+        let survivors: Vec<(Aabb, u32)> = items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i >= 150)
+            .map(|(_, e)| *e)
+            .collect();
+        let mut got = t.query(&q);
+        got.sort_unstable();
+        assert_eq!(got, linear_query(&survivors, &q));
+    }
+}

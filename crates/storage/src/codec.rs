@@ -1,0 +1,85 @@
+//! Fixed-width record codecs.
+//!
+//! A [`Codec`] turns a value into exactly `size()` bytes and back. Record
+//! files pack `PAGE_SIZE / size()` records per page. Codecs are value types
+//! carrying any schema information they need (e.g. the number of dimensions
+//! of a fact record), so record width can be decided at run time.
+
+use bytes::{Buf, BufMut};
+
+/// Encode/decode a `T` into a fixed number of bytes.
+///
+/// Implementations must write exactly [`Codec::size`] bytes in
+/// [`Codec::encode`] and read exactly that many in [`Codec::decode`].
+pub trait Codec<T>: Clone + Send {
+    /// Width of one encoded record in bytes. Must be constant for the
+    /// lifetime of the codec value and at most [`crate::PAGE_SIZE`].
+    fn size(&self) -> usize;
+
+    /// Encode `v` into `buf` (`buf.len() == self.size()`).
+    fn encode(&self, v: &T, buf: &mut [u8]);
+
+    /// Decode a value from `buf` (`buf.len() == self.size()`).
+    fn decode(&self, buf: &[u8]) -> T;
+}
+
+/// Codec for bare `u64` values (little-endian). Used by tests and by the
+/// connected-component id maps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct U64Codec;
+
+impl Codec<u64> for U64Codec {
+    fn size(&self) -> usize {
+        8
+    }
+
+    fn encode(&self, v: &u64, mut buf: &mut [u8]) {
+        buf.put_u64_le(*v);
+    }
+
+    fn decode(&self, mut buf: &[u8]) -> u64 {
+        buf.get_u64_le()
+    }
+}
+
+/// Codec for `(u64, u64)` pairs, used for (key, payload) scratch files.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct U64PairCodec;
+
+impl Codec<(u64, u64)> for U64PairCodec {
+    fn size(&self) -> usize {
+        16
+    }
+
+    fn encode(&self, v: &(u64, u64), mut buf: &mut [u8]) {
+        buf.put_u64_le(v.0);
+        buf.put_u64_le(v.1);
+    }
+
+    fn decode(&self, mut buf: &[u8]) -> (u64, u64) {
+        (buf.get_u64_le(), buf.get_u64_le())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        let c = U64Codec;
+        let mut buf = [0u8; 8];
+        for v in [0u64, 1, u64::MAX, 0xdead_beef] {
+            c.encode(&v, &mut buf);
+            assert_eq!(c.decode(&buf), v);
+        }
+    }
+
+    #[test]
+    fn pair_roundtrip() {
+        let c = U64PairCodec;
+        let mut buf = [0u8; 16];
+        c.encode(&(7, u64::MAX), &mut buf);
+        assert_eq!(c.decode(&buf), (7, u64::MAX));
+    }
+}

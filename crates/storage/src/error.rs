@@ -1,0 +1,85 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying OS I/O error, annotated with the operation context.
+    Io {
+        /// What the storage layer was doing when the error occurred.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A page was requested that lies beyond the end of the file.
+    PageOutOfBounds {
+        /// The requested page number.
+        page: u64,
+        /// The number of pages in the file.
+        len: u64,
+    },
+    /// A record index beyond the end of a [`crate::RecordFile`].
+    RecordOutOfBounds {
+        /// The requested record index.
+        index: u64,
+        /// The number of records in the file.
+        len: u64,
+    },
+    /// The buffer pool has no evictable frame left (everything is pinned).
+    PoolExhausted {
+        /// Pool capacity in frames.
+        capacity: usize,
+    },
+    /// A record codec was given a buffer of the wrong size.
+    CodecSize {
+        /// Bytes expected by the codec.
+        expected: usize,
+        /// Bytes actually provided.
+        got: usize,
+    },
+    /// A configuration value is invalid (e.g. zero-page sort budget).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { context, source } => {
+                write!(f, "I/O error while {context}: {source}")
+            }
+            StorageError::PageOutOfBounds { page, len } => {
+                write!(f, "page {page} out of bounds (file has {len} pages)")
+            }
+            StorageError::RecordOutOfBounds { index, len } => {
+                write!(f, "record {index} out of bounds (file has {len} records)")
+            }
+            StorageError::PoolExhausted { capacity } => {
+                write!(f, "buffer pool exhausted: all {capacity} frames pinned")
+            }
+            StorageError::CodecSize { expected, got } => {
+                write!(f, "codec buffer size mismatch: expected {expected}, got {got}")
+            }
+            StorageError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl StorageError {
+    /// Wrap an [`std::io::Error`] with a human-readable context string.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        StorageError::Io { context: context.into(), source }
+    }
+}
+
+/// Convenience alias used across the storage layer.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,172 @@
+//! I/O accounting.
+//!
+//! Every page read and write performed by a [`crate::Pager`] is counted
+//! here. The paper's evaluation reasons about algorithms in terms of page
+//! I/Os (Theorems 6, 7 and 10 give closed-form I/O counts); the benchmark
+//! harness reports these counters next to wall-clock time so the measured
+//! curves can be checked against the analysis.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe page-I/O counters.
+///
+/// Cloning an [`IoStats`] clones the handle, not the counters: all clones
+/// observe (and contribute to) the same totals. One [`crate::Env`] owns one
+/// `IoStats` that all its files report into.
+#[derive(Debug, Default, Clone)]
+pub struct IoStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Create a fresh set of counters, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` page reads.
+    #[inline]
+    pub fn add_reads(&self, n: u64) {
+        self.inner.reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` page writes.
+    #[inline]
+    pub fn add_writes(&self, n: u64) {
+        self.inner.writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total page reads so far.
+    pub fn reads(&self) -> u64 {
+        self.inner.reads.load(Ordering::Relaxed)
+    }
+
+    /// Total page writes so far.
+    pub fn writes(&self) -> u64 {
+        self.inner.writes.load(Ordering::Relaxed)
+    }
+
+    /// Total page I/Os (reads + writes) so far.
+    pub fn total(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    /// Capture the current totals as an immutable [`IoSnapshot`].
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot { reads: self.reads(), writes: self.writes() }
+    }
+}
+
+/// An immutable point-in-time capture of [`IoStats`].
+///
+/// Subtraction yields the I/O performed between two snapshots:
+///
+/// ```
+/// use iolap_storage::IoStats;
+/// let stats = IoStats::new();
+/// let before = stats.snapshot();
+/// stats.add_reads(10);
+/// stats.add_writes(3);
+/// let delta = stats.snapshot() - before;
+/// assert_eq!(delta.reads, 10);
+/// assert_eq!(delta.writes, 3);
+/// assert_eq!(delta.total(), 13);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Page reads.
+    pub reads: u64,
+    /// Page writes.
+    pub writes: u64,
+}
+
+impl IoSnapshot {
+    /// Reads + writes.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl std::ops::Sub for IoSnapshot {
+    type Output = IoSnapshot;
+
+    fn sub(self, rhs: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads.saturating_sub(rhs.reads),
+            writes: self.writes.saturating_sub(rhs.writes),
+        }
+    }
+}
+
+impl std::ops::Add for IoSnapshot {
+    type Output = IoSnapshot;
+
+    fn add(self, rhs: IoSnapshot) -> IoSnapshot {
+        IoSnapshot { reads: self.reads + rhs.reads, writes: self.writes + rhs.writes }
+    }
+}
+
+impl std::fmt::Display for IoSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} reads + {} writes = {} I/Os", self.reads, self.writes, self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.add_reads(5);
+        s.add_writes(2);
+        s.add_reads(1);
+        assert_eq!(s.reads(), 6);
+        assert_eq!(s.writes(), 2);
+        assert_eq!(s.total(), 8);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let a = IoStats::new();
+        let b = a.clone();
+        a.add_reads(7);
+        b.add_writes(4);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.total(), 11);
+    }
+
+    #[test]
+    fn snapshot_subtraction_saturates() {
+        let lo = IoSnapshot { reads: 1, writes: 1 };
+        let hi = IoSnapshot { reads: 3, writes: 2 };
+        let d = hi - lo;
+        assert_eq!(d, IoSnapshot { reads: 2, writes: 1 });
+        let z = lo - hi;
+        assert_eq!(z, IoSnapshot { reads: 0, writes: 0 });
+    }
+
+    #[test]
+    fn threads_contribute_to_shared_totals() {
+        let s = IoStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.add_reads(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.reads(), 4000);
+    }
+}

@@ -1,0 +1,103 @@
+//! A minimal scoped temporary directory (removed on drop).
+//!
+//! The sanctioned dependency set does not include `tempfile`, so the storage
+//! layer carries its own small implementation. Collision safety comes from a
+//! process-global counter combined with the PID and a caller-supplied tag.
+
+use crate::error::{Result, StorageError};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp dir that is deleted (recursively) when
+/// the value is dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+    keep: bool,
+}
+
+impl TempDir {
+    /// Create a fresh temporary directory whose name contains `tag`.
+    pub fn new(tag: &str) -> Result<Self> {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let name = format!("iolap-{}-{}-{}", sanitize(tag), std::process::id(), id);
+        let path = std::env::temp_dir().join(name);
+        std::fs::create_dir_all(&path)
+            .map_err(|e| StorageError::io(format!("creating temp dir {}", path.display()), e))?;
+        Ok(Self { path, keep: false })
+    }
+
+    /// Wrap an existing directory without taking ownership of its lifetime
+    /// (it will *not* be removed on drop).
+    pub fn external(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into(), keep: true }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Disarm cleanup: the directory will survive this value.
+    pub fn keep(&mut self) {
+        self.keep = true;
+    }
+}
+
+fn sanitize(tag: &str) -> String {
+    tag.chars().map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' }).collect()
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.keep {
+            // Best effort; a leaked temp dir is not worth a panic-in-drop.
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let p;
+        {
+            let d = TempDir::new("unit").unwrap();
+            p = d.path().to_path_buf();
+            assert!(p.exists());
+            std::fs::write(p.join("f.txt"), b"x").unwrap();
+        }
+        assert!(!p.exists());
+    }
+
+    #[test]
+    fn keep_disarms_cleanup() {
+        let p;
+        {
+            let mut d = TempDir::new("unit-keep").unwrap();
+            d.keep();
+            p = d.path().to_path_buf();
+        }
+        assert!(p.exists());
+        std::fs::remove_dir_all(&p).unwrap();
+    }
+
+    #[test]
+    fn distinct_dirs_for_same_tag() {
+        let a = TempDir::new("same").unwrap();
+        let b = TempDir::new("same").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn sanitizes_tag() {
+        let d = TempDir::new("we/ird tag!").unwrap();
+        let name = d.path().file_name().unwrap().to_string_lossy().into_owned();
+        assert!(!name.contains('/') && !name.contains(' ') && !name.contains('!'));
+    }
+}

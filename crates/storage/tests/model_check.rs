@@ -1,0 +1,96 @@
+//! Model check: a `RecordFile` behaves exactly like a `Vec` under a random
+//! operation sequence (push / set / get / scan / write-back / clear), for
+//! every pool size — the buffer pool's eviction and write-back must be
+//! invisible to the API.
+
+use iolap_storage::{codec::U64PairCodec, Env};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64),
+    Set(usize, u64),
+    Get(usize),
+    ScanAndDouble,
+    PurgeCache,
+    Clear,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u64>()).prop_map(Op::Push),
+            (any::<usize>(), any::<u64>()).prop_map(|(i, v)| Op::Set(i, v)),
+            (any::<usize>()).prop_map(Op::Get),
+            Just(Op::ScanAndDouble),
+            Just(Op::PurgeCache),
+            Just(Op::Clear),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn record_file_matches_vec_model(ops in arb_ops(), pool in 2usize..8) {
+        let env = Env::builder("model-check").pool_pages(pool).in_memory().build().unwrap();
+        let mut file = env.create_file("t", U64PairCodec).unwrap();
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let mut next_id = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    file.push(&(next_id, v)).unwrap();
+                    model.push((next_id, v));
+                    next_id += 1;
+                }
+                Op::Set(i, v) => {
+                    if model.is_empty() {
+                        prop_assert!(file.set(0, &(0, v)).is_err());
+                    } else {
+                        let i = i % model.len();
+                        model[i].1 = v;
+                        let rec = (model[i].0, v);
+                        file.set(i as u64, &rec).unwrap();
+                    }
+                }
+                Op::Get(i) => {
+                    if model.is_empty() {
+                        prop_assert!(file.get(0).is_err());
+                    } else {
+                        let i = i % model.len();
+                        prop_assert_eq!(file.get(i as u64).unwrap(), model[i]);
+                    }
+                }
+                Op::ScanAndDouble => {
+                    let mut cursor = file.scan();
+                    let mut j = 0;
+                    while let Some(mut rec) = cursor.next().unwrap() {
+                        prop_assert_eq!(rec, model[j]);
+                        rec.1 = rec.1.wrapping_mul(2);
+                        cursor.write_back(&rec).unwrap();
+                        model[j].1 = model[j].1.wrapping_mul(2);
+                        j += 1;
+                    }
+                    prop_assert_eq!(j, model.len());
+                }
+                Op::PurgeCache => {
+                    file.purge_cache().unwrap();
+                }
+                Op::Clear => {
+                    file.clear().unwrap();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(file.len(), model.len() as u64);
+        }
+        // Final full verification after a cold purge.
+        file.purge_cache().unwrap();
+        for (i, want) in model.iter().enumerate() {
+            prop_assert_eq!(&file.get(i as u64).unwrap(), want);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! A gallery of allocation policies on one imprecise fact.
+//!
+//! Shows how the policy choice (Uniform / Count / Measure / EM-Count /
+//! EM-Measure) changes the Extended Database — the design space of the
+//! companion papers [5, 6] that the allocation-policy template abstracts.
+//!
+//! ```bash
+//! cargo run --release --example policy_gallery
+//! ```
+
+use imprecise_olap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use imprecise_olap::model::paper_example;
+
+fn main() {
+    let table = paper_example::table1();
+    let schema = table.schema().clone();
+    let cfg = AllocConfig::in_memory(256);
+
+    // Watch fact p8 = (CA, ALL; 160): its possible completions are the
+    // four cells (CA, Civic..Sierra), of which only (CA, Civic) and
+    // (CA, Sierra) hold precise facts (p4: 175, p5: 50).
+    let watched = 8u64;
+    let f = table.fact_by_id(watched).unwrap();
+    println!("Policies applied to {}:\n", schema.describe_fact(f));
+
+    let policies: Vec<(&str, PolicySpec)> = vec![
+        ("uniform (whole region)", PolicySpec::uniform()),
+        ("count (δ = #precise)", PolicySpec::count()),
+        ("measure (δ = Σ measure)", PolicySpec::measure()),
+        ("EM-count, ε = 0.005", PolicySpec::em_count(0.005)),
+        ("EM-measure, ε = 0.005", PolicySpec::em_measure(0.005)),
+    ];
+
+    for (name, policy) in policies {
+        let mut run = allocate(&table, &policy, Algorithm::Basic, &cfg).unwrap();
+        let weights = run.edb.weight_map().unwrap();
+        let entries = &weights[&watched];
+        print!("{name:<26} →");
+        for (cell, w) in entries {
+            let auto = schema.dim(1).node_name(schema.dim(1).leaf_node(cell[1]));
+            print!("  {auto}: {w:.3}");
+        }
+        println!("   [{} iterations]", run.report.iterations);
+    }
+
+    println!();
+    println!("Uniform spreads over all 4 completions; count/measure use only");
+    println!("the evidence cells; the EM policies additionally let overlapping");
+    println!("imprecise facts (p10, p11, p13, p14) pull mass around until the");
+    println!("fixpoint — the correlation-aware behaviour the paper argues for.");
+}

@@ -1,0 +1,298 @@
+//! `iolap` — command-line front end for the imprecise-OLAP library.
+//!
+//! ```text
+//! iolap demo
+//!     Run the paper's running example end to end and print everything.
+//!
+//! iolap gen --kind automotive|synthetic --facts N --seed S --out DIR
+//!     Generate a dataset and write it as CSV: one file per dimension
+//!     (header = level names, one row per leaf) plus facts.csv.
+//!
+//! iolap allocate --data DIR [--algorithm basic|independent|block|transitive]
+//!                [--policy em-count|em-measure|count|measure|uniform]
+//!                [--epsilon E] [--buffer-kb KB] [--rollup DIM:LEVEL]
+//!                [--edb-out FILE]
+//!     Ingest the CSVs from DIR (as written by `gen`), run allocation,
+//!     print the run report, optionally print roll-ups and dump the EDB.
+//! ```
+
+use imprecise_olap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use imprecise_olap::datagen::{scaled, DatasetKind};
+use imprecise_olap::hierarchy::NodeId;
+use imprecise_olap::model::csv::{facts_from_csv, hierarchy_from_csv, parse_csv};
+use imprecise_olap::model::{paper_example, FactTable, Schema};
+use imprecise_olap::query::{render_rollup, rollup, AggFn};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("demo") => cmd_demo(),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("allocate") => cmd_allocate(&args[1..]),
+        _ => {
+            eprintln!("usage: iolap demo | gen | allocate   (see --help per command)");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+// ---------------------------------------------------------------------------
+
+fn cmd_demo() -> i32 {
+    let table = paper_example::table1();
+    let schema = table.schema().clone();
+    println!("Paper running example (Table 1): {} facts", table.len());
+    let policy = PolicySpec::em_count(0.005);
+    let mut run = allocate(&table, &policy, Algorithm::Transitive, &AllocConfig::in_memory(256))
+        .expect("allocation");
+    println!("{}", run.report);
+    let rows = rollup(&mut run.edb, &schema, 0, 2, None, AggFn::Sum).expect("rollup");
+    print!("{}", render_rollup("SUM(Sales) by Region:", &rows));
+    0
+}
+
+// ---------------------------------------------------------------------------
+
+fn cmd_gen(args: &[String]) -> i32 {
+    if has_flag(args, "--help") {
+        eprintln!("iolap gen --kind automotive|synthetic --facts N --seed S --out DIR");
+        return 0;
+    }
+    let kind: DatasetKind = flag(args, "--kind")
+        .unwrap_or_else(|| "automotive".into())
+        .parse()
+        .expect("--kind automotive|synthetic");
+    let n: u64 = flag(args, "--facts").unwrap_or_else(|| "10000".into()).parse().expect("--facts N");
+    let seed: u64 = flag(args, "--seed").unwrap_or_else(|| "42".into()).parse().expect("--seed S");
+    let out = PathBuf::from(flag(args, "--out").unwrap_or_else(|| "iolap-data".into()));
+    std::fs::create_dir_all(&out).expect("creating output dir");
+
+    let table = scaled(kind, n, seed);
+    let schema = table.schema().clone();
+    write_dataset_csv(&table, &schema, &out).expect("writing CSVs");
+    println!(
+        "wrote {} facts over {} dimensions to {}",
+        table.len(),
+        schema.k(),
+        out.display()
+    );
+    0
+}
+
+/// Write one hierarchy CSV per dimension (header = level names) and
+/// facts.csv (header = id, dim names, measure).
+fn write_dataset_csv(table: &FactTable, schema: &Arc<Schema>, dir: &Path) -> std::io::Result<()> {
+    for d in 0..schema.k() {
+        let h = schema.dim(d);
+        let mut f = std::io::BufWriter::new(std::fs::File::create(
+            dir.join(format!("dim{}_{}.csv", d, sanitize(h.name()))),
+        )?);
+        // Header: level names bottom-up, excluding ALL.
+        let levels = h.levels() - 1;
+        let header: Vec<String> =
+            (1..=levels).map(|l| h.level_name(l).to_string()).collect();
+        writeln!(f, "{}", header.join(","))?;
+        for leaf in 0..h.num_leaves() {
+            let row: Vec<String> = (1..=levels)
+                .map(|l| quote(&h.node_name(h.ancestor_at(leaf, l))))
+                .collect();
+            writeln!(f, "{}", row.join(","))?;
+        }
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join("facts.csv"))?);
+    let dims: Vec<String> = (0..schema.k()).map(|d| schema.dim(d).name().to_string()).collect();
+    writeln!(f, "id,{},{}", dims.join(","), schema.measure_name())?;
+    for fact in table.facts() {
+        let vals: Vec<String> = (0..schema.k())
+            .map(|d| quote(&schema.dim(d).node_name(NodeId(fact.dims[d]))))
+            .collect();
+        writeln!(f, "{},{},{}", fact.id, vals.join(","), fact.measure)?;
+    }
+    Ok(())
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+fn cmd_allocate(args: &[String]) -> i32 {
+    if has_flag(args, "--help") {
+        eprintln!(
+            "iolap allocate --data DIR [--algorithm A] [--policy P] [--epsilon E] \
+             [--buffer-kb KB] [--rollup DIM:LEVEL] [--edb-out FILE]"
+        );
+        return 0;
+    }
+    let dir = PathBuf::from(flag(args, "--data").expect("--data DIR required"));
+    let algorithm: Algorithm = flag(args, "--algorithm")
+        .unwrap_or_else(|| "transitive".into())
+        .parse()
+        .expect("--algorithm basic|independent|block|transitive");
+    let epsilon: f64 =
+        flag(args, "--epsilon").unwrap_or_else(|| "0.01".into()).parse().expect("--epsilon E");
+    let policy = match flag(args, "--policy").unwrap_or_else(|| "em-count".into()).as_str() {
+        "em-count" => PolicySpec::em_count(epsilon),
+        "em-measure" => PolicySpec::em_measure(epsilon),
+        "count" => PolicySpec::count(),
+        "measure" => PolicySpec::measure(),
+        "uniform" => PolicySpec::uniform(),
+        other => {
+            eprintln!("unknown policy {other:?}");
+            return 2;
+        }
+    };
+    let buffer_kb: u64 =
+        flag(args, "--buffer-kb").unwrap_or_else(|| "4096".into()).parse().expect("--buffer-kb KB");
+    let buffer_pages = ((buffer_kb * 1024) as usize).div_ceil(4096).max(8);
+
+    // Ingest.
+    let (schema, table) = match load_dataset(&dir) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("failed to load {}: {e}", dir.display());
+            return 1;
+        }
+    };
+    println!(
+        "loaded {} facts ({} imprecise) over {} dimensions",
+        table.len(),
+        table.num_imprecise(),
+        schema.k()
+    );
+
+    let cfg = AllocConfig { buffer_pages, ..Default::default() };
+    let mut run = allocate(&table, &policy, algorithm, &cfg).expect("allocation");
+    println!("{}", run.report);
+    println!("EDB: {} entries for {} facts", run.edb.num_entries(), run.edb.num_facts_allocated());
+
+    if let Some(spec) = flag(args, "--rollup") {
+        let (dim_name, level_name) = spec.split_once(':').expect("--rollup DIM:LEVEL");
+        let d = (0..schema.k())
+            .find(|&d| schema.dim(d).name() == dim_name)
+            .expect("known dimension");
+        let h = schema.dim(d);
+        let level = (1..=h.levels())
+            .find(|&l| h.level_name(l) == level_name)
+            .expect("known level");
+        let rows = rollup(&mut run.edb, &schema, d, level, None, AggFn::Sum).expect("rollup");
+        // Print the top 20 by value.
+        let mut rows = rows;
+        rows.sort_by(|a, b| b.result.value.total_cmp(&a.result.value));
+        rows.truncate(20);
+        print!("{}", render_rollup(&format!("SUM by {level_name} (top 20):"), &rows));
+    }
+
+    if let Some(path) = flag(args, "--edb-out") {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("EDB out file"));
+        writeln!(f, "fact_id,{},weight,measure", (0..schema.k()).map(|d| schema.dim(d).name().to_string()).collect::<Vec<_>>().join(",")).unwrap();
+        let schema2 = schema.clone();
+        run.edb
+            .for_each(|e| {
+                let names: Vec<String> = (0..schema2.k())
+                    .map(|d| quote(&schema2.dim(d).node_name(schema2.dim(d).leaf_node(e.cell[d]))))
+                    .collect();
+                writeln!(f, "{},{},{},{}", e.fact_id, names.join(","), e.weight, e.measure)
+                    .unwrap();
+            })
+            .expect("EDB scan");
+        println!("EDB written to {path}");
+    }
+    0
+}
+
+/// Load `dimN_*.csv` + `facts.csv` from a directory.
+fn load_dataset(dir: &Path) -> Result<(Arc<Schema>, FactTable), String> {
+    let mut dim_files: Vec<(usize, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| e.to_string())? {
+        let p = entry.map_err(|e| e.to_string())?.path();
+        let name = p.file_name().and_then(|s| s.to_str()).unwrap_or("").to_string();
+        if let Some(rest) = name.strip_prefix("dim") {
+            if let Some((idx, _)) = rest.split_once('_') {
+                if let Ok(i) = idx.parse::<usize>() {
+                    dim_files.push((i, p));
+                }
+            }
+        }
+    }
+    if dim_files.is_empty() {
+        return Err("no dimN_*.csv files found".into());
+    }
+    dim_files.sort();
+    let mut dims = Vec::with_capacity(dim_files.len());
+    for (i, p) in &dim_files {
+        let text = std::fs::read_to_string(p).map_err(|e| e.to_string())?;
+        let rows = parse_csv(&text);
+        let (header, body) = rows.split_first().ok_or("empty dimension file")?;
+        let level_names: Vec<&str> = header.iter().map(String::as_str).collect();
+        let body_text = body
+            .iter()
+            .map(|r| r.iter().map(|f| quote(f)).collect::<Vec<_>>().join(","))
+            .collect::<Vec<_>>()
+            .join("\n");
+        // Dimension name from the file name suffix.
+        let name = p
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.split_once('_'))
+            .map(|(_, n)| n.to_string())
+            .unwrap_or_else(|| format!("dim{i}"));
+        dims.push(Arc::new(hierarchy_from_csv(&name, &level_names, &body_text)?));
+    }
+    let schema = Arc::new(Schema::new(dims, "measure"));
+    let facts_text =
+        std::fs::read_to_string(dir.join("facts.csv")).map_err(|e| e.to_string())?;
+    let table = facts_from_csv_with_positional_dims(schema.clone(), &facts_text)?;
+    Ok((schema, table))
+}
+
+/// `facts.csv` written by `gen` uses the generated dimension names in its
+/// header; re-ingested hierarchies are named after the files, so map the
+/// columns positionally instead of by name.
+fn facts_from_csv_with_positional_dims(
+    schema: Arc<Schema>,
+    text: &str,
+) -> Result<FactTable, String> {
+    // Rewrite the header to the schema's dimension names, then reuse the
+    // by-name loader.
+    let rows = parse_csv(text);
+    let (header, _) = rows.split_first().ok_or("empty facts.csv")?;
+    if header.len() != schema.k() + 2 {
+        return Err("facts.csv column count mismatch".into());
+    }
+    let mut fixed = String::new();
+    let dims: Vec<String> =
+        (0..schema.k()).map(|d| schema.dim(d).name().to_string()).collect();
+    fixed.push_str(&format!("id,{},measure\n", dims.join(",")));
+    let mut first = true;
+    for line in text.lines() {
+        if first {
+            first = false;
+            continue;
+        }
+        fixed.push_str(line);
+        fixed.push('\n');
+    }
+    facts_from_csv(schema, &fixed)
+}

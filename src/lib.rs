@@ -1,0 +1,55 @@
+//! # imprecise-olap
+//!
+//! A full Rust reproduction of Burdick, Deshpande, Jayram, Ramakrishnan &
+//! Vaithyanathan, *"Efficient Allocation Algorithms for OLAP Over
+//! Imprecise Data"* (VLDB 2006).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`hierarchy`] | `iolap-hierarchy` | Hierarchical domains (Def. 1) |
+//! | [`model`] | `iolap-model` | Facts, cells, regions, EDB records (Defs. 2–4) |
+//! | [`storage`] | `iolap-storage` | Pager, buffer pool, external sort |
+//! | [`graph`] | `iolap-graph` | Summary tables, chain cover, partitions, ccid map |
+//! | [`rtree`] | `iolap-rtree` | R-tree for EDB maintenance (Section 9) |
+//! | [`core`] | `iolap-core` | Policies + Basic/Independent/Block/Transitive |
+//! | [`query`] | `iolap-query` | Allocation-weighted aggregation |
+//! | [`datagen`] | `iolap-datagen` | The paper's datasets, synthesized |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use imprecise_olap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
+//! use imprecise_olap::model::paper_example;
+//! use imprecise_olap::query::{aggregate_edb, AggFn, QueryBuilder};
+//!
+//! // Table 1 of the paper: 5 precise + 9 imprecise facts.
+//! let table = paper_example::table1();
+//!
+//! // Apply EM-Count allocation with the Transitive algorithm.
+//! let policy = PolicySpec::em_count(0.005);
+//! let mut run = allocate(&table, &policy, Algorithm::Transitive,
+//!                        &AllocConfig::in_memory(256)).unwrap();
+//! assert!(run.report.converged);
+//!
+//! // Query the Extended Database: total sales in the West region.
+//! let q = QueryBuilder::new(paper_example::schema())
+//!     .at("Location", "West")
+//!     .agg(AggFn::Sum)
+//!     .build()
+//!     .unwrap();
+//! let west = aggregate_edb(&mut run.edb, &q).unwrap();
+//! assert!(west.value > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use iolap_core as core;
+pub use iolap_datagen as datagen;
+pub use iolap_graph as graph;
+pub use iolap_hierarchy as hierarchy;
+pub use iolap_model as model;
+pub use iolap_query as query;
+pub use iolap_rtree as rtree;
+pub use iolap_storage as storage;

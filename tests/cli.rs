@@ -1,0 +1,70 @@
+//! End-to-end tests of the `iolap` CLI binary: generate → ingest →
+//! allocate → roll-up, all through the real executable.
+
+use std::process::Command;
+
+fn iolap() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_iolap"))
+}
+
+#[test]
+fn demo_runs_and_prints_regions() {
+    let out = iolap().arg("demo").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("East"), "{text}");
+    assert!(text.contains("West"), "{text}");
+    assert!(text.contains("transitive"), "{text}");
+}
+
+#[test]
+fn gen_then_allocate_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("iolap-cli-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out = iolap()
+        .args(["gen", "--kind", "automotive", "--facts", "2000", "--seed", "3", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("spawn gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("facts.csv").exists());
+    assert!(dir.join("dim3_LOCATION.csv").exists());
+
+    let out = iolap()
+        .args(["allocate", "--data"])
+        .arg(&dir)
+        .args(["--algorithm", "transitive", "--epsilon", "0.05", "--rollup", "LOCATION:Region"])
+        .output()
+        .expect("spawn allocate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("loaded 2000 facts"), "{text}");
+    assert!(text.contains("EDB:"), "{text}");
+    assert!(text.contains("SUM by Region"), "{text}");
+
+    // EDB export writes a parseable CSV.
+    let edb_path = dir.join("edb.csv");
+    let out = iolap()
+        .args(["allocate", "--data"])
+        .arg(&dir)
+        .args(["--algorithm", "block", "--edb-out"])
+        .arg(&edb_path)
+        .output()
+        .expect("spawn allocate with edb-out");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let edb_text = std::fs::read_to_string(&edb_path).unwrap();
+    let header = edb_text.lines().next().unwrap();
+    assert!(header.starts_with("fact_id,"), "{header}");
+    assert!(edb_text.lines().count() > 1000);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = iolap().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "{err}");
+}

@@ -1,0 +1,135 @@
+//! Integration tests for the EDB maintenance path (Section 9) on
+//! generated data: the maintained EDB must always equal a from-scratch
+//! rebuild.
+
+use imprecise_olap::core::maintain::{FactUpdate, MaintainableEdb};
+use imprecise_olap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use imprecise_olap::datagen::{generate, GeneratorConfig};
+
+#[test]
+fn batched_updates_match_rebuild_on_generated_data() {
+    let policy = PolicySpec::em_measure(0.001);
+    let cfg = AllocConfig::in_memory(2048);
+    let mut table = generate(&GeneratorConfig::automotive(1_500, 21));
+
+    let run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
+    let mut maintained = MaintainableEdb::build(run, policy.clone()).unwrap();
+
+    // Update ~1% of the facts (mixed precise/imprecise by construction of
+    // the id space: low ids are imprecise).
+    let updates: Vec<FactUpdate> = (1..=15)
+        .map(|i| FactUpdate { fact_id: i * 97 % 1_500 + 1, new_measure: 5_000.0 + i as f64 })
+        .collect();
+    let rep = maintained.apply_updates(&updates).unwrap();
+    assert!(rep.affected_components >= 1);
+    let got = maintained.current_weights().unwrap();
+
+    // Rebuild from scratch with the same measures.
+    for f in table.facts_mut() {
+        for u in &updates {
+            if f.id == u.fact_id {
+                f.measure = u.new_measure;
+            }
+        }
+    }
+    let mut rebuilt_run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
+    let want = rebuilt_run.edb.weight_map().unwrap();
+
+    assert_eq!(got.len(), want.len());
+    for (id, entries) in &want {
+        let g: std::collections::HashMap<_, _> = got[id].iter().cloned().collect();
+        assert_eq!(g.len(), entries.len(), "fact {id}");
+        for (cell, w) in entries {
+            let gw = g[cell];
+            assert!(
+                (w - gw).abs() < 1e-5,
+                "fact {id} cell {:?}: rebuilt {w} vs maintained {gw}",
+                &cell[..4]
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_updates_to_same_fact_keep_latest() {
+    let policy = PolicySpec::em_measure(0.001);
+    let cfg = AllocConfig::in_memory(1024);
+    // A dense little dataset over the paper's 4×4 cell space, so every
+    // imprecise fact overlaps plenty of precise cells.
+    let schema = imprecise_olap::model::paper_example::schema();
+    let mut table = generate(&GeneratorConfig::uniform(schema, 200, 0.4, 33));
+
+    let run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
+    let mut maintained = MaintainableEdb::build(run, policy.clone()).unwrap();
+
+    // Pick an imprecise fact that actually has EDB entries (ids 1..=80
+    // are imprecise).
+    let target = {
+        let w = maintained.current_weights().unwrap();
+        (1u64..=80).find(|id| w.contains_key(id)).expect("some imprecise fact allocates")
+    };
+    maintained.apply_updates(&[FactUpdate { fact_id: target, new_measure: 1.0 }]).unwrap();
+    maintained.apply_updates(&[FactUpdate { fact_id: target, new_measure: 9_999.0 }]).unwrap();
+    let got = maintained.current_weights().unwrap();
+
+    for f in table.facts_mut() {
+        if f.id == target {
+            f.measure = 9_999.0;
+        }
+    }
+    let mut rebuilt = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
+    let want = rebuilt.edb.weight_map().unwrap();
+    let g: std::collections::HashMap<_, _> = got[&target].iter().cloned().collect();
+    for (cell, w) in &want[&target] {
+        assert!((g[cell] - w).abs() < 1e-5);
+    }
+}
+
+#[test]
+fn non_overlapped_precise_updates_are_cheap() {
+    // Updating precise facts in singleton components must not trigger any
+    // component re-allocation work (the flat curve of Figure 6).
+    let policy = PolicySpec::em_count(0.01);
+    let cfg = AllocConfig::in_memory(2048);
+    let table = generate(&GeneratorConfig::automotive(2_000, 55));
+    let schema = table.schema().clone();
+
+    let run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
+    let stats = run.report.components.clone().unwrap();
+    assert!(stats.singleton_cells > 0, "sparse data must have isolated cells");
+
+    // Find precise facts overlapped by nothing: their cell's degree is 0.
+    let prep = &run.prep;
+    let mut isolated: Vec<u64> = Vec::new();
+    {
+        let mut degrees = std::collections::HashMap::new();
+        // Recover degrees through the public index + regions.
+        let keys = prep.index.keys().to_vec();
+        let mut deg = vec![0u32; keys.len()];
+        for f in table.facts().iter().filter(|f| !schema.is_precise(f)) {
+            prep.index.for_each_in_box(&schema.region(f), |i| deg[i as usize] += 1);
+        }
+        for (i, k) in keys.iter().enumerate() {
+            degrees.insert(*k, deg[i]);
+        }
+        for f in table.facts() {
+            if let Some(cell) = schema.cell_of(f) {
+                if degrees.get(&cell) == Some(&0) {
+                    isolated.push(f.id);
+                }
+            }
+        }
+    }
+    assert!(!isolated.is_empty());
+
+    let mut maintained = MaintainableEdb::build(run, policy).unwrap();
+    let updates: Vec<FactUpdate> = isolated
+        .iter()
+        .take(10)
+        .map(|&id| FactUpdate { fact_id: id, new_measure: 1.0 })
+        .collect();
+    let rep = maintained.apply_updates(&updates).unwrap();
+    // Singleton components have no imprecise facts → no equations
+    // re-evaluated, no entries rewritten.
+    assert_eq!(rep.entries_rewritten, 0);
+}
