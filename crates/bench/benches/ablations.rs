@@ -44,10 +44,7 @@ fn bench_independent_resort(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let policy = PolicySpec::em_count(0.01);
-                let cfg = AllocConfig {
-                    resort_facts: resort,
-                    ..AllocConfig::in_memory(1 << 16)
-                };
+                let cfg = AllocConfig { resort_facts: resort, ..AllocConfig::in_memory(1 << 16) };
                 let run = allocate(&table, &policy, Algorithm::Independent, &cfg).unwrap();
                 black_box(run.report.iterations)
             })
@@ -77,5 +74,10 @@ fn bench_iteration_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_per_component_convergence, bench_independent_resort, bench_iteration_scaling);
+criterion_group!(
+    benches,
+    bench_per_component_convergence,
+    bench_independent_resort,
+    bench_iteration_scaling
+);
 criterion_main!(benches);

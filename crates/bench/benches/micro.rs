@@ -40,12 +40,8 @@ fn bench_box_queries(c: &mut Criterion) {
     let schema = table.schema().clone();
     let keys: Vec<_> = table.facts().iter().filter_map(|f| schema.cell_of(f)).collect();
     let index = CellSetIndex::from_unsorted(keys, schema.k());
-    let regions: Vec<_> = table
-        .facts()
-        .iter()
-        .filter(|f| !schema.is_precise(f))
-        .map(|f| schema.region(f))
-        .collect();
+    let regions: Vec<_> =
+        table.facts().iter().filter(|f| !schema.is_precise(f)).map(|f| schema.region(f)).collect();
     c.bench_function("cellindex/for_each_in_box_6k_regions", |b| {
         b.iter(|| {
             let mut edges = 0u64;
@@ -61,14 +57,12 @@ fn bench_allocation_iteration(c: &mut Criterion) {
     let table = small_table();
     let mut group = c.benchmark_group("one_em_iteration");
     group.sample_size(10);
-    for alg in [Algorithm::Basic, Algorithm::Independent, Algorithm::Block, Algorithm::Transitive]
-    {
+    for alg in [Algorithm::Basic, Algorithm::Independent, Algorithm::Block, Algorithm::Transitive] {
         group.bench_function(format!("{alg}"), |b| {
             b.iter(|| {
                 // Pin exactly one iteration (ε = 0 never converges).
                 let policy = PolicySpec::em_count(0.0).with_max_iters(1);
-                let run =
-                    allocate(&table, &policy, alg, &AllocConfig::in_memory(1 << 16)).unwrap();
+                let run = allocate(&table, &policy, alg, &AllocConfig::in_memory(1 << 16)).unwrap();
                 black_box(run.report.iterations)
             })
         });
@@ -84,13 +78,9 @@ fn bench_component_identification(c: &mut Criterion) {
         b.iter(|| {
             // max_iters = 0 isolates prep + identification + sort + census.
             let policy = PolicySpec::em_count(0.0).with_max_iters(0);
-            let run = allocate(
-                &table,
-                &policy,
-                Algorithm::Transitive,
-                &AllocConfig::in_memory(1 << 16),
-            )
-            .unwrap();
+            let run =
+                allocate(&table, &policy, Algorithm::Transitive, &AllocConfig::in_memory(1 << 16))
+                    .unwrap();
             black_box(run.report.components.unwrap().total)
         })
     });

@@ -1,0 +1,33 @@
+//! Criterion benchmark for the Transitive step-3 worker pool: the same
+//! synthetic allocation at 1, 2, 4 and 8 worker threads. Theorem 2 makes
+//! the schedule irrelevant to the fixpoint, so the four variants do
+//! identical numeric work — any wall-clock difference is the pool.
+//!
+//! The buffer is sized so every component is buffer-resident (the
+//! parallelizable regime); `par_speedup` covers the mixed
+//! external-component case from the command line.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iolap_core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use iolap_datagen::{generate, GeneratorConfig};
+use std::hint::black_box;
+
+fn bench_par_components(c: &mut Criterion) {
+    let table = generate(&GeneratorConfig::synthetic(40_000, 11));
+    let policy = PolicySpec::em_count(0.01).with_max_iters(60);
+    let mut g = c.benchmark_group("transitive_step3");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("threads={threads}"), |b| {
+            b.iter(|| {
+                let cfg = AllocConfig { threads, ..AllocConfig::in_memory(1 << 16) };
+                let run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
+                black_box(run.report.iterations)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_par_components);
+criterion_main!(benches);

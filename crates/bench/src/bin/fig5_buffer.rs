@@ -15,7 +15,7 @@
 //! ```
 
 use iolap_bench::runs::{kb_to_pages, print_table, run_once};
-use iolap_bench::Args;
+use iolap_bench::{Args, Json};
 use iolap_core::Algorithm;
 use iolap_datagen::{scaled, DatasetKind};
 
@@ -32,14 +32,15 @@ fn main() {
         DatasetKind::Synthetic => vec![600, 1024, 6 * 1024, 12 * 1024],
     };
     let epsilons = [0.1f64, 0.05, 0.005];
-    let algorithms =
-        [Algorithm::Independent, Algorithm::Block, Algorithm::Transitive];
+    let algorithms = [Algorithm::Independent, Algorithm::Block, Algorithm::Transitive];
 
+    let mut points = Vec::new();
     for eps in epsilons {
         let mut rows = Vec::new();
         for &kb in &buffers_kb {
             for alg in algorithms {
-                let p = run_once(&table, alg, kb_to_pages(kb), eps, 60, args.on_disk);
+                let p = run_once(&table, alg, kb_to_pages(kb), eps, 60, args.on_disk, args.threads);
+                points.push(p.json_fields());
                 rows.push(vec![
                     format!("{} KB", kb),
                     alg.to_string(),
@@ -56,5 +57,14 @@ fn main() {
             &["buffer", "algorithm", "iters", "alloc s", "alloc I/Os", "|S|", "|P| pages"],
             &rows,
         );
+    }
+    if let Some(path) = &args.json {
+        let meta = [
+            ("figure", Json::S("5c-h".into())),
+            ("dataset", Json::S(format!("{:?}", args.dataset))),
+            ("facts", Json::U(args.facts)),
+            ("seed", Json::U(args.seed)),
+        ];
+        iolap_bench::runs::write_json(path, &meta, &points).expect("write --json output");
     }
 }

@@ -14,28 +14,26 @@
 //! ```
 
 use iolap_bench::runs::{print_table, run_once};
-use iolap_bench::Args;
+use iolap_bench::{Args, Json};
 use iolap_core::Algorithm;
 use iolap_datagen::scaled;
 
 fn main() {
     let args = Args::parse(150_000);
     let table = scaled(args.dataset, args.facts, args.seed);
-    println!(
-        "Figure 5a/b — in-memory CPU time, {:?} dataset, {} facts",
-        args.dataset, args.facts
-    );
+    println!("Figure 5a/b — in-memory CPU time, {:?} dataset, {} facts", args.dataset, args.facts);
 
     // Buffer comfortably larger than all working files.
     let buffer_pages = 1 << 20; // 4 GiB of page budget = effectively ∞
     let epsilons = [0.1f64, 0.05, 0.01, 0.005];
 
-    let algorithms =
-        [Algorithm::Independent, Algorithm::Block, Algorithm::Transitive];
+    let algorithms = [Algorithm::Independent, Algorithm::Block, Algorithm::Transitive];
     let mut rows = Vec::new();
+    let mut points = Vec::new();
     for eps in epsilons {
         for alg in algorithms {
-            let p = run_once(&table, alg, buffer_pages, eps, 60, args.on_disk);
+            let p = run_once(&table, alg, buffer_pages, eps, 60, args.on_disk, args.threads);
+            points.push(p.json_fields());
             rows.push(vec![
                 format!("{eps}"),
                 format!("{}", p.report.iterations),
@@ -53,4 +51,13 @@ fn main() {
     );
     println!("\nPaper shape: Independent > Block and > Transitive everywhere;");
     println!("Transitive ~flat in iterations and overtakes Block at higher iteration counts.");
+    if let Some(path) = &args.json {
+        let meta = [
+            ("figure", Json::S("5a-b".into())),
+            ("dataset", Json::S(format!("{:?}", args.dataset))),
+            ("facts", Json::U(args.facts)),
+            ("seed", Json::U(args.seed)),
+        ];
+        iolap_bench::runs::write_json(path, &meta, &points).expect("write --json output");
+    }
 }

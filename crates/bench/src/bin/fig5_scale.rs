@@ -14,7 +14,7 @@
 //! ```
 
 use iolap_bench::runs::{kb_to_pages, print_table, run_once};
-use iolap_bench::Args;
+use iolap_bench::{Args, Json};
 use iolap_core::Algorithm;
 use iolap_datagen::{scaled, DatasetKind};
 
@@ -30,13 +30,18 @@ fn main() {
     let fig5j_kb: Vec<u64> =
         [7 * 1024, 20 * 1024, 50 * 1024].iter().map(|&kb| scale_kb(kb, scale)).collect();
 
+    let mut points = Vec::new();
     for (fig, seed_off, buffers) in [("5i", 0u64, &fig5i_kb), ("5j", 1, &fig5j_kb)] {
         let table = scaled(DatasetKind::Synthetic, args.facts, args.seed + seed_off);
         println!("\nFigure {fig} — synthetic dataset, {} facts, ε = 0.005", args.facts);
         let mut rows = Vec::new();
         for &kb in buffers {
             for alg in [Algorithm::Block, Algorithm::Transitive] {
-                let p = run_once(&table, alg, kb_to_pages(kb), 0.005, 60, args.on_disk);
+                let p =
+                    run_once(&table, alg, kb_to_pages(kb), 0.005, 60, args.on_disk, args.threads);
+                let mut fields = p.json_fields();
+                fields.push(("figure", Json::S(fig.to_string())));
+                points.push(fields);
                 rows.push(vec![
                     format!("{:.1} MB", kb as f64 / 1024.0),
                     alg.to_string(),
@@ -52,6 +57,14 @@ fn main() {
             &["buffer", "algorithm", "iters", "alloc s", "alloc I/Os", "|S|"],
             &rows,
         );
+    }
+    if let Some(path) = &args.json {
+        let meta = [
+            ("figure", Json::S("5i-j".into())),
+            ("facts", Json::U(args.facts)),
+            ("seed", Json::U(args.seed)),
+        ];
+        iolap_bench::runs::write_json(path, &meta, &points).expect("write --json output");
     }
 }
 

@@ -28,8 +28,8 @@ fn main() {
             if t < dim_shape.len() {
                 let level_idx = dim_shape.len() - 1 - t;
                 let (name, nodes) = &dim_shape[level_idx];
-                let pct = 100.0 * c.per_dim_level_counts[d][level_idx] as f64
-                    / c.n_facts.max(1) as f64;
+                let pct =
+                    100.0 * c.per_dim_level_counts[d][level_idx] as f64 / c.n_facts.max(1) as f64;
                 row.push(format!("{name}({nodes})({pct:.0}%)"));
             } else {
                 row.push(String::new());

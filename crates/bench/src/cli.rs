@@ -17,6 +17,11 @@ pub struct Args {
     pub paper_scale: bool,
     /// Use real temp files instead of in-memory pagers.
     pub on_disk: bool,
+    /// Worker threads for Transitive step 3 (`1` = sequential, `0` = one
+    /// per core).
+    pub threads: usize,
+    /// Write machine-readable results to this path as JSON.
+    pub json: Option<String>,
     /// Extra `key=value` pairs for experiment-specific knobs.
     pub extra: Vec<(String, String)>,
 }
@@ -31,6 +36,8 @@ impl Args {
             seed: 42,
             paper_scale: false,
             on_disk: false,
+            threads: 1,
+            json: None,
             extra: Vec::new(),
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -52,9 +59,11 @@ impl Args {
                 }
                 "--paper-scale" => out.paper_scale = true,
                 "--on-disk" => out.on_disk = true,
+                "--threads" => out.threads = take(&mut i).parse().expect("--threads N"),
+                "--json" => out.json = Some(take(&mut i)),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --facts N --seed S --dataset automotive|synthetic --paper-scale --on-disk [key=value ...]"
+                        "flags: --facts N --seed S --dataset automotive|synthetic --paper-scale --on-disk --threads N --json PATH [key=value ...]"
                     );
                     std::process::exit(0);
                 }
@@ -98,6 +107,8 @@ mod tests {
             seed: 1,
             paper_scale: false,
             on_disk: false,
+            threads: 1,
+            json: None,
             extra: vec![("eps".into(), "0.05".into())],
         };
         assert_eq!(a.extra("eps"), Some("0.05"));

@@ -28,4 +28,4 @@ pub mod cli;
 pub mod runs;
 
 pub use cli::Args;
-pub use runs::{run_once, OnePoint};
+pub use runs::{run_once, Json, OnePoint};

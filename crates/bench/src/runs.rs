@@ -14,6 +14,8 @@ pub struct OnePoint {
     pub buffer_pages: usize,
     /// Convergence threshold used.
     pub epsilon: f64,
+    /// Step-3 worker threads (Transitive; `1` elsewhere).
+    pub threads: usize,
     /// Full run report.
     pub report: RunReport,
 }
@@ -29,6 +31,23 @@ impl OnePoint {
     pub fn alloc_ios(&self) -> u64 {
         self.report.io_alloc.total()
     }
+
+    /// The point as JSON fields, for `write_json` outputs.
+    pub fn json_fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("algorithm", Json::S(self.algorithm.to_string())),
+            ("buffer_pages", Json::U(self.buffer_pages as u64)),
+            ("epsilon", Json::F(self.epsilon)),
+            ("threads", Json::U(self.threads as u64)),
+            ("iterations", Json::U(u64::from(self.report.iterations))),
+            ("converged", Json::B(self.report.converged)),
+            ("alloc_secs", Json::F(self.alloc_secs())),
+            ("alloc_ios", Json::U(self.alloc_ios())),
+            ("pool_hits", Json::U(self.report.pool_hits)),
+            ("pool_misses", Json::U(self.report.pool_misses)),
+            ("pool_hit_ratio", Json::F(self.report.pool_hit_ratio())),
+        ]
+    }
 }
 
 /// Run one (algorithm, buffer, ε) cell of an experiment grid in a fresh
@@ -40,13 +59,14 @@ pub fn run_once(
     epsilon: f64,
     max_iters: u32,
     on_disk: bool,
+    threads: usize,
 ) -> OnePoint {
     let policy = PolicySpec::em_count(epsilon).with_max_iters(max_iters);
-    let mut cfg = AllocConfig { buffer_pages, ..Default::default() };
+    let mut cfg = AllocConfig { buffer_pages, threads, ..Default::default() };
     cfg.in_memory_backing = !on_disk;
     let env: Env = cfg.build_env(&format!("bench-{algorithm}")).expect("env");
     let run = allocate_in_env(table, &policy, algorithm, &cfg, &env).expect("allocation");
-    OnePoint { algorithm, buffer_pages, epsilon, report: run.report }
+    OnePoint { algorithm, buffer_pages, epsilon, threads, report: run.report }
 }
 
 /// Pages for a buffer given in KB (the paper quotes buffer sizes in
@@ -78,6 +98,73 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// A JSON scalar for machine-readable outputs (the sanctioned dependency
+/// list has no JSON crate, and these outputs are flat enough that a
+/// hand-rolled emitter stays trivial).
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// Unsigned integer.
+    U(u64),
+    /// Float (non-finite values render as `null`).
+    F(f64),
+    /// String (escaped on output).
+    S(String),
+    /// Boolean.
+    B(bool),
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Json::U(v) => write!(f, "{v}"),
+            Json::F(v) if v.is_finite() => write!(f, "{v}"),
+            Json::F(_) => write!(f, "null"),
+            Json::B(v) => write!(f, "{v}"),
+            Json::S(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+        }
+    }
+}
+
+fn json_object(fields: &[(&str, Json)]) -> String {
+    let body: Vec<String> =
+        fields.iter().map(|(k, v)| format!("{}: {v}", Json::S(k.to_string()))).collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// Render `{"meta": {…}, "points": [{…}, …]}` for a benchmark run.
+pub fn json_report(meta: &[(&str, Json)], points: &[Vec<(&str, Json)>]) -> String {
+    let rows: Vec<String> = points.iter().map(|p| format!("    {}", json_object(p))).collect();
+    format!(
+        "{{\n  \"meta\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        json_object(meta),
+        rows.join(",\n")
+    )
+}
+
+/// Write a `json_report` to `path` (used by the harness binaries'
+/// `--json` flag).
+pub fn write_json(
+    path: &str,
+    meta: &[(&str, Json)],
+    points: &[Vec<(&str, Json)>],
+) -> std::io::Result<()> {
+    std::fs::write(path, json_report(meta, points))?;
+    println!("wrote {path} ({} points)", points.len());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,8 +179,21 @@ mod tests {
     #[test]
     fn run_once_smoke() {
         let table = iolap_model::paper_example::table1();
-        let p = run_once(&table, Algorithm::Block, 64, 0.05, 50, false);
+        let p = run_once(&table, Algorithm::Block, 64, 0.05, 50, false, 1);
         assert!(p.report.converged);
         assert_eq!(p.buffer_pages, 64);
+    }
+
+    #[test]
+    fn json_report_shape_and_escaping() {
+        let s = json_report(
+            &[("dataset", Json::S("syn\"thetic".into())), ("facts", Json::U(5))],
+            &[vec![("alloc_secs", Json::F(0.25)), ("converged", Json::B(true))]],
+        );
+        assert!(s.contains("\"syn\\\"thetic\""));
+        assert!(s.contains("\"alloc_secs\": 0.25"));
+        assert!(s.contains("\"converged\": true"));
+        assert!(s.starts_with('{') && s.trim_end().ends_with('}'));
+        assert_eq!(format!("{}", Json::F(f64::NAN)), "null");
     }
 }

@@ -28,7 +28,10 @@ pub fn load_problem(prep: &mut PreparedData) -> Result<InMemProblem> {
 
 /// Run Algorithm 1 to convergence. Returns the solved problem plus
 /// `(iterations, converged)`.
-pub fn run_basic(prep: &mut PreparedData, policy: &PolicySpec) -> Result<(InMemProblem, u32, bool)> {
+pub fn run_basic(
+    prep: &mut PreparedData,
+    policy: &PolicySpec,
+) -> Result<(InMemProblem, u32, bool)> {
     let mut prob = load_problem(prep)?;
     let (iters, conv) = prob.solve(&policy.convergence);
     Ok((prob, iters, conv))
@@ -60,7 +63,7 @@ pub fn solve_partitioned(
         // Γ pass, partition order.
         for &r in &order {
             let mut g = 0.0;
-            for &c in &prob.fact_cells[r] {
+            for &c in prob.covered(r) {
                 g += prob.cells[c as usize].delta;
             }
             prob.facts[r].gamma = g;
@@ -74,7 +77,7 @@ pub fn solve_partitioned(
             if g <= 0.0 {
                 continue;
             }
-            for &c in &prob.fact_cells[r] {
+            for &c in prob.covered(r) {
                 new_delta[c as usize] += prob.cells[c as usize].delta / g;
             }
         }
@@ -135,10 +138,10 @@ mod tests {
 
         // Several different partitionings.
         let partitions: Vec<Vec<u32>> = vec![
-            vec![0; 9],                             // all in one
-            (0..9u32).collect(),                    // each alone
-            vec![1, 0, 1, 0, 1, 0, 1, 0, 1],        // interleaved
-            vec![2, 2, 1, 1, 0, 0, 2, 1, 0],        // scrambled
+            vec![0; 9],                      // all in one
+            (0..9u32).collect(),             // each alone
+            vec![1, 0, 1, 0, 1, 0, 1, 0, 1], // interleaved
+            vec![2, 2, 1, 1, 0, 0, 2, 1, 0], // scrambled
         ];
         for part in &partitions {
             let mut p2 = prep_with(&policy);

@@ -246,10 +246,8 @@ pub fn materialize(
     // distinct-fact counter.
     let mut emitted: Vec<bool> = vec![false; prep.facts.len() as usize];
     for set in sets {
-        let mut windows: Vec<GroupWindow> = set
-            .iter()
-            .map(|&ti| GroupWindow::new(prep.tables[ti].clone(), OnLoad::Keep))
-            .collect();
+        let mut windows: Vec<GroupWindow> =
+            set.iter().map(|&ti| GroupWindow::new(prep.tables[ti].clone(), OnLoad::Keep)).collect();
         for i in 0..prep.cells.len() {
             let cell = prep.cells.get(i)?;
             let anc = AncCache::compute(&schema, &cell.key);

@@ -60,8 +60,7 @@ mod tests {
         assert!(format!("{e}").contains("bad"));
         let e = CoreError::CellSetTooLarge { limit: 10 };
         assert!(format!("{e}").contains("10"));
-        let e: CoreError =
-            iolap_storage::StorageError::InvalidConfig("x".into()).into();
+        let e: CoreError = iolap_storage::StorageError::InvalidConfig("x".into()).into();
         assert!(format!("{e}").contains("storage"));
     }
 }

@@ -61,11 +61,7 @@ fn sample_facts(prep: &PreparedData, frac: f64) -> Result<Vec<WorkFactRecord>> {
 
 /// Estimate the iterations needed for `policy.convergence` by solving the
 /// sampled subgraph in memory.
-pub fn estimate_iterations(
-    prep: &mut PreparedData,
-    policy: &PolicySpec,
-    frac: f64,
-) -> Result<u32> {
+pub fn estimate_iterations(prep: &mut PreparedData, policy: &PolicySpec, frac: f64) -> Result<u32> {
     let schema = prep.schema.clone();
     let facts = sample_facts(prep, frac)?;
     if facts.is_empty() {
@@ -88,12 +84,7 @@ pub fn estimate_iterations(
     }
     let mut prob = InMemProblem::build(cells, facts, &schema);
     // Recompute degrees within the sample.
-    let mut degree = vec![0u32; prob.cells.len()];
-    for covered in &prob.fact_cells {
-        for &c in covered {
-            degree[c as usize] += 1;
-        }
-    }
+    let degree = prob.degrees();
     for (c, cell) in prob.cells.iter_mut().enumerate() {
         cell.degree = degree[c];
         cell.converged = degree[c] == 0;
@@ -201,8 +192,7 @@ mod tests {
         let truth_largest = run.report.components.unwrap().largest;
 
         assert!(
-            est.iterations >= truth_iters.saturating_sub(3)
-                && est.iterations <= truth_iters + 3,
+            est.iterations >= truth_iters.saturating_sub(3) && est.iterations <= truth_iters + 3,
             "iterations: estimated {} vs true {truth_iters}",
             est.iterations
         );

@@ -187,8 +187,7 @@ fn sort_cells<K: Ord>(
     let k = prep.schema.k();
     let placeholder = env.create_file("cells-placeholder", iolap_model::CellCodec { k })?;
     let cells = std::mem::replace(&mut prep.cells, placeholder);
-    let sorted =
-        external_sort(&env, cells, SortBudget::pages(sort_pages), move |c| key(&c.key))?;
+    let sorted = external_sort(&env, cells, SortBudget::pages(sort_pages), move |c| key(&c.key))?;
     let placeholder = std::mem::replace(&mut prep.cells, sorted);
     placeholder.delete()?;
     Ok(())

@@ -10,22 +10,32 @@
 use crate::policy::Convergence;
 use crate::prep::region_of;
 use iolap_graph::CellSetIndex;
-use iolap_model::{CellRecord, EdbRecord, WorkFactRecord};
 use iolap_model::Schema;
+use iolap_model::{CellRecord, EdbRecord, WorkFactRecord};
 
 /// An in-memory allocation problem: cells, imprecise facts, and the
 /// bipartite edges between them.
+///
+/// The adjacency is a flat CSR (compressed sparse row) layout: the cells
+/// covered by fact `r` are `targets[offsets[r] .. offsets[r + 1]]`. One
+/// prefix-offset array plus one target array replaces a `Vec<Vec<u32>>` of
+/// per-fact edge lists, so the EM passes stream two contiguous arrays
+/// instead of chasing a pointer per fact — the dominant win for the
+/// many-small-component workloads the Transitive algorithm feeds this
+/// kernel.
 pub struct InMemProblem {
     /// Cell records (delta fields mutated in place).
     pub cells: Vec<CellRecord>,
     /// Imprecise fact records (gamma mutated in place).
     pub facts: Vec<WorkFactRecord>,
-    /// `fact_cells[r]` = indexes into `cells` covered by fact `r`.
-    pub fact_cells: Vec<Vec<u32>>,
+    /// CSR prefix offsets, `facts.len() + 1` entries.
+    offsets: Vec<u32>,
+    /// CSR edge targets: indexes into `cells`, grouped by fact.
+    targets: Vec<u32>,
 }
 
 impl InMemProblem {
-    /// Build the edge lists from regions (cells need not be sorted; an
+    /// Build the CSR adjacency from regions (cells need not be sorted; an
     /// index is built internally).
     pub fn build(cells: Vec<CellRecord>, facts: Vec<WorkFactRecord>, schema: &Schema) -> Self {
         let k = schema.k();
@@ -33,29 +43,45 @@ impl InMemProblem {
         // defensive: sort a copy of the keys for the index and map back.
         let keys: Vec<_> = cells.iter().map(|c| c.key).collect();
         let index = CellSetIndex::from_unsorted(keys, k);
-        let pos_of: iolap_graph::FxHashMap<[u32; iolap_model::MAX_DIMS], u32> = cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (c.key, i as u32))
-            .collect();
-        let mut fact_cells = Vec::with_capacity(facts.len());
+        let pos_of: iolap_graph::FxHashMap<[u32; iolap_model::MAX_DIMS], u32> =
+            cells.iter().enumerate().map(|(i, c)| (c.key, i as u32)).collect();
+        let mut offsets = Vec::with_capacity(facts.len() + 1);
+        offsets.push(0u32);
+        let mut targets = Vec::new();
         for f in &facts {
             let bx = region_of(schema, &f.dims);
-            let mut covered = Vec::new();
+            let start = targets.len();
             index.for_each_in_box(&bx, |i| {
-                covered.push(pos_of[index.key(i)]);
+                targets.push(pos_of[index.key(i)]);
             });
             // Visit order is rotation-dependent; canonicalize so emission
             // order (and hence EDB entry order) is deterministic.
-            covered.sort_unstable();
-            fact_cells.push(covered);
+            targets[start..].sort_unstable();
+            assert!(targets.len() <= u32::MAX as usize, "CSR edge count overflows u32");
+            offsets.push(targets.len() as u32);
         }
-        InMemProblem { cells, facts, fact_cells }
+        InMemProblem { cells, facts, offsets, targets }
+    }
+
+    /// Indexes into `cells` covered by fact `r`, in canonical order.
+    #[inline]
+    pub fn covered(&self, r: usize) -> &[u32] {
+        &self.targets[self.offsets[r] as usize..self.offsets[r + 1] as usize]
     }
 
     /// Number of (cell, fact) edges.
     pub fn num_edges(&self) -> u64 {
-        self.fact_cells.iter().map(|e| e.len() as u64).sum()
+        self.targets.len() as u64
+    }
+
+    /// Per-cell degree (number of imprecise facts covering each cell),
+    /// recomputed from the adjacency.
+    pub fn degrees(&self) -> Vec<u32> {
+        let mut degree = vec![0u32; self.cells.len()];
+        for &c in &self.targets {
+            degree[c as usize] += 1;
+        }
+        degree
     }
 
     /// Run the Basic Algorithm (Algorithm 1) until every Δ(c) converges or
@@ -65,38 +91,38 @@ impl InMemProblem {
     /// line 3 (`Δ⁽⁰⁾(c) ← δ(c)`) happened at record construction; lines
     /// 6–9 are the Γ pass; lines 11–14 the Δ pass.
     pub fn solve(&mut self, conv: &Convergence) -> (u32, bool) {
-        let mut remaining =
-            self.cells.iter().filter(|c| !c.converged).count();
+        let mut remaining = self.cells.iter().filter(|c| !c.converged).count();
         if remaining == 0 || self.facts.is_empty() || conv.max_iters == 0 {
             // Non-iterative policies (max_iters = 0) are single-shot:
             // Δ stays δ and the closed-form weights come out at emission.
             return (0, true);
         }
         let mut new_delta = vec![0.0f64; self.cells.len()];
+        let InMemProblem { cells, facts, offsets, targets } = self;
         for t in 1..=conv.max_iters {
             // Γ pass: for each imprecise fact r, Γ(r) ← Σ Δ⁽ᵗ⁻¹⁾(c).
-            for (r, covered) in self.fact_cells.iter().enumerate() {
+            for (r, w) in offsets.windows(2).enumerate() {
                 let mut g = 0.0;
-                for &c in covered {
-                    g += self.cells[c as usize].delta;
+                for &c in &targets[w[0] as usize..w[1] as usize] {
+                    g += cells[c as usize].delta;
                 }
-                self.facts[r].gamma = g;
+                facts[r].gamma = g;
             }
             // Δ pass: Δ⁽ᵗ⁾(c) ← δ(c) + Σ Δ⁽ᵗ⁻¹⁾(c)/Γ⁽ᵗ⁾(r).
-            for (c, cell) in self.cells.iter().enumerate() {
+            for (c, cell) in cells.iter().enumerate() {
                 new_delta[c] = cell.delta0;
             }
-            for (r, covered) in self.fact_cells.iter().enumerate() {
-                let g = self.facts[r].gamma;
+            for (r, w) in offsets.windows(2).enumerate() {
+                let g = facts[r].gamma;
                 if g <= 0.0 {
                     continue;
                 }
-                for &c in covered {
-                    new_delta[c as usize] += self.cells[c as usize].delta / g;
+                for &c in &targets[w[0] as usize..w[1] as usize] {
+                    new_delta[c as usize] += cells[c as usize].delta / g;
                 }
             }
             // Convergence check + state swap (frozen cells keep their Δ).
-            for (c, cell) in self.cells.iter_mut().enumerate() {
+            for (c, cell) in cells.iter_mut().enumerate() {
                 if cell.converged {
                     continue;
                 }
@@ -116,9 +142,12 @@ impl InMemProblem {
 
     /// Final Γ(r) from the final Δ values (so weights sum to exactly 1).
     pub fn finalize_gammas(&mut self) {
-        for (r, covered) in self.fact_cells.iter().enumerate() {
-            self.facts[r].gamma =
-                covered.iter().map(|&c| self.cells[c as usize].delta).sum();
+        let InMemProblem { cells, facts, offsets, targets } = self;
+        for (r, w) in offsets.windows(2).enumerate() {
+            facts[r].gamma = targets[w[0] as usize..w[1] as usize]
+                .iter()
+                .map(|&c| cells[c as usize].delta)
+                .sum();
         }
     }
 
@@ -129,7 +158,8 @@ impl InMemProblem {
     pub fn emit(&mut self, mut out: impl FnMut(EdbRecord)) -> u64 {
         self.finalize_gammas();
         let mut uncovered = 0;
-        for (r, covered) in self.fact_cells.iter().enumerate() {
+        for r in 0..self.facts.len() {
+            let covered = self.covered(r);
             let f = &self.facts[r];
             if covered.is_empty() {
                 uncovered += 1;

@@ -168,9 +168,9 @@ impl MaintainableEdb {
     /// Build from a completed **Transitive** run ("can be piggybacked onto
     /// the component processing step of the Transitive algorithm").
     pub fn build(run: AllocationRun, policy: PolicySpec) -> Result<Self> {
-        let resolved = run.ccid_resolution.ok_or_else(|| {
-            CoreError::Config("maintenance requires a Transitive run".into())
-        })?;
+        let resolved = run
+            .ccid_resolution
+            .ok_or_else(|| CoreError::Config("maintenance requires a Transitive run".into()))?;
         let mut prep = run.prep;
         let k = prep.schema.k();
         let schema = prep.schema.clone();
@@ -344,10 +344,7 @@ impl MaintainableEdb {
     pub fn apply_updates(&mut self, updates: &[FactUpdate]) -> Result<UpdateReport> {
         let muts: Vec<EdbMutation> = updates
             .iter()
-            .map(|u| EdbMutation::UpdateMeasure {
-                fact_id: u.fact_id,
-                new_measure: u.new_measure,
-            })
+            .map(|u| EdbMutation::UpdateMeasure { fact_id: u.fact_id, new_measure: u.new_measure })
             .collect();
         self.apply_batch(&muts)
     }
@@ -440,9 +437,7 @@ impl MaintainableEdb {
                     dirty.insert(*self.fact_ccid.get(&i).expect("covered fact has a component"));
                 }
             }
-            None => {
-                return Err(CoreError::BadInput(format!("update for unknown fact {fact_id}")))
-            }
+            None => return Err(CoreError::BadInput(format!("update for unknown fact {fact_id}"))),
         }
         Ok(())
     }
@@ -514,11 +509,7 @@ impl MaintainableEdb {
                     let cc = self.alloc_ccid();
                     self.comps.insert(
                         cc,
-                        CompMeta {
-                            extra_cells: vec![ci],
-                            bbox: Some(pb),
-                            ..Default::default()
-                        },
+                        CompMeta { extra_cells: vec![ci], bbox: Some(pb), ..Default::default() },
                     );
                     self.rtree.insert(pb, cc);
                     cc
@@ -626,9 +617,7 @@ impl MaintainableEdb {
                     self.split_component(cc, dirty, report)?;
                 }
             }
-            None => {
-                return Err(CoreError::BadInput(format!("delete of unknown fact {fact_id}")))
-            }
+            None => return Err(CoreError::BadInput(format!("delete of unknown fact {fact_id}"))),
         }
         Ok(())
     }
@@ -862,12 +851,7 @@ impl MaintainableEdb {
         let mut prob = InMemProblem::build(cells, facts, &schema);
         // Degrees may have changed (insertions/deletions): recompute from
         // the adjacency and freeze unoverlapped cells.
-        let mut degree = vec![0u32; prob.cells.len()];
-        for covered in &prob.fact_cells {
-            for &c in covered {
-                degree[c as usize] += 1;
-            }
-        }
+        let degree = prob.degrees();
         for (c, cell) in prob.cells.iter_mut().enumerate() {
             cell.degree = degree[c];
             cell.converged = degree[c] == 0;
@@ -928,8 +912,7 @@ mod tests {
     fn requires_transitive_run() {
         let t = paper_example::table1();
         let policy = PolicySpec::em_count(0.01);
-        let run =
-            allocate(&t, &policy, Algorithm::Block, &AllocConfig::in_memory(256)).unwrap();
+        let run = allocate(&t, &policy, Algorithm::Block, &AllocConfig::in_memory(256)).unwrap();
         assert!(MaintainableEdb::build(run, policy).is_err());
     }
 
@@ -939,16 +922,14 @@ mod tests {
         // component is re-solved (the flat "Non-Overlap Precise" line of
         // Figure 6).
         let mut m = build_maintainable(&PolicySpec::em_count(0.001));
-        let rep =
-            m.apply_updates(&[FactUpdate { fact_id: 2, new_measure: 999.0 }]).unwrap();
+        let rep = m.apply_updates(&[FactUpdate { fact_id: 2, new_measure: 999.0 }]).unwrap();
         assert_eq!(rep.affected_components, 0);
 
         // Under EM-Measure, exactly the fact's own component is affected:
         // p2 = (MA, Sierra) lives in CC2 = cells {c2, c3} + facts
         // {p7, p9, p12}.
         let mut m = build_maintainable(&PolicySpec::em_measure(0.001));
-        let rep =
-            m.apply_updates(&[FactUpdate { fact_id: 2, new_measure: 999.0 }]).unwrap();
+        let rep = m.apply_updates(&[FactUpdate { fact_id: 2, new_measure: 999.0 }]).unwrap();
         assert_eq!(rep.affected_components, 1);
         assert_eq!(rep.affected_tuples, 2 + 3);
     }
@@ -984,8 +965,7 @@ mod tests {
     ) {
         let maintained = m.current_weights().unwrap();
         let mut run =
-            allocate(table, policy, Algorithm::Transitive, &AllocConfig::in_memory(256))
-                .unwrap();
+            allocate(table, policy, Algorithm::Transitive, &AllocConfig::in_memory(256)).unwrap();
         let rebuilt = run.edb.weight_map().unwrap();
         let mut mk: Vec<_> = maintained.keys().copied().collect();
         let mut rk: Vec<_> = rebuilt.keys().copied().collect();

@@ -131,16 +131,17 @@ impl GroupWindow {
                 continue;
             }
             self.batch.clear();
-            facts.read_batch(g.fact_start, &mut self.batch, (g.fact_end - g.fact_start) as usize)?;
+            facts.read_batch(
+                g.fact_start,
+                &mut self.batch,
+                (g.fact_end - g.fact_start) as usize,
+            )?;
             for (off, mut rec) in self.batch.drain(..).enumerate() {
                 if self.on_load == OnLoad::ResetGamma {
                     rec.gamma = 0.0;
                 }
                 let region = region_of(schema, &rec.dims);
-                self.by_dims
-                    .entry(rec.dims)
-                    .or_default()
-                    .push(self.window.len() as u32);
+                self.by_dims.entry(rec.dims).or_default().push(self.window.len() as u32);
                 self.window.push(ActiveFact {
                     file_idx: g.fact_start + off as u64,
                     rec,
@@ -156,12 +157,7 @@ impl GroupWindow {
     /// Visit every resident fact whose region contains the cell whose
     /// ancestor cache is `anc`: build the table's dimension vector from
     /// the cache and look it up.
-    pub fn for_each_match(
-        &mut self,
-        anc: &AncCache,
-        k: usize,
-        mut f: impl FnMut(&mut ActiveFact),
-    ) {
+    pub fn for_each_match(&mut self, anc: &AncCache, k: usize, mut f: impl FnMut(&mut ActiveFact)) {
         if self.window.is_empty() {
             return;
         }
@@ -200,10 +196,7 @@ impl GroupWindow {
     }
 
     /// Write back dirty facts and empty the window.
-    pub fn flush(
-        &mut self,
-        facts: &mut RecordFile<WorkFactRecord, WorkFactCodec>,
-    ) -> Result<()> {
+    pub fn flush(&mut self, facts: &mut RecordFile<WorkFactRecord, WorkFactCodec>) -> Result<()> {
         for af in self.window.drain(..) {
             if af.dirty {
                 facts.set(af.file_idx, &af.rec)?;
@@ -301,10 +294,7 @@ impl ChainWindow {
     }
 
     /// Flush everything (end of scan).
-    pub fn flush(
-        &mut self,
-        facts: &mut RecordFile<WorkFactRecord, WorkFactCodec>,
-    ) -> Result<()> {
+    pub fn flush(&mut self, facts: &mut RecordFile<WorkFactRecord, WorkFactCodec>) -> Result<()> {
         for (af, _) in self.active.drain(..) {
             if af.dirty {
                 facts.set(af.file_idx, &af.rec)?;
@@ -332,16 +322,14 @@ mod tests {
 
     #[test]
     fn group_window_visits_every_edge_once() {
-        let env = iolap_storage::Env::builder("win-test").pool_pages(64).in_memory().build().unwrap();
+        let env =
+            iolap_storage::Env::builder("win-test").pool_pages(64).in_memory().build().unwrap();
         let t = paper_example::table1();
         let mut p = prepare(&t, &PolicySpec::em_count(0.05), &env, 8).unwrap();
 
         // Slide windows for all 5 tables over the 5 cells; count edges.
-        let mut windows: Vec<GroupWindow> = p
-            .tables
-            .iter()
-            .map(|m| GroupWindow::new(m.clone(), OnLoad::Keep))
-            .collect();
+        let mut windows: Vec<GroupWindow> =
+            p.tables.iter().map(|m| GroupWindow::new(m.clone(), OnLoad::Keep)).collect();
         let mut edges = 0u64;
         let n = p.cells.len();
         for i in 0..n {
@@ -363,11 +351,8 @@ mod tests {
         let env = iolap_storage::Env::builder("win-g").pool_pages(64).in_memory().build().unwrap();
         let t = paper_example::table1();
         let mut p = prepare(&t, &PolicySpec::em_count(0.05), &env, 8).unwrap();
-        let mut windows: Vec<GroupWindow> = p
-            .tables
-            .iter()
-            .map(|m| GroupWindow::new(m.clone(), OnLoad::ResetGamma))
-            .collect();
+        let mut windows: Vec<GroupWindow> =
+            p.tables.iter().map(|m| GroupWindow::new(m.clone(), OnLoad::ResetGamma)).collect();
         for i in 0..p.cells.len() {
             let cell = p.cells.get(i).unwrap();
             let anc = AncCache::compute(&p.schema, &cell.key);
@@ -413,14 +398,14 @@ mod tests {
         let order = ChainOrder::for_chain(&lvs, &schema);
 
         // Copy chain facts to a temp file sorted by block start key.
-        let mut temp = env
-            .create_file("chain", iolap_model::WorkFactCodec { k: 2 })
-            .unwrap();
+        let mut temp = env.create_file("chain", iolap_model::WorkFactCodec { k: 2 }).unwrap();
         {
             let mut all: Vec<WorkFactRecord> = Vec::new();
             for m in &chain_tables {
                 let mut batch = Vec::new();
-                p.facts.read_batch(m.fact_start, &mut batch, (m.fact_end - m.fact_start) as usize).unwrap();
+                p.facts
+                    .read_batch(m.fact_start, &mut batch, (m.fact_end - m.fact_start) as usize)
+                    .unwrap();
                 all.extend(batch);
             }
             all.sort_by_key(|r| {

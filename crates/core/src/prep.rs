@@ -168,10 +168,10 @@ pub fn layout_facts(
         let work_codec = WorkFactCodec { k };
         let rec_bytes = iolap_storage::Codec::<WorkFactRecord>::size(&work_codec);
         let finish = |tables: &mut Vec<SummaryTableMeta>,
-                          t: u16,
-                          start: u64,
-                          end: u64,
-                          spans: Vec<(u64, u64)>| {
+                      t: u16,
+                      start: u64,
+                      end: u64,
+                      spans: Vec<(u64, u64)>| {
             let groups = partition_groups(start, &spans);
             let recs = partition_records(&groups);
             tables.push(SummaryTableMeta {
@@ -229,8 +229,7 @@ pub fn prepare(
     let k = schema.k();
 
     // -- 1. split precise / imprecise -----------------------------------
-    let mut precise: RecordFile<Fact, FactCodec> =
-        env.create_file("precise", FactCodec { k })?;
+    let mut precise: RecordFile<Fact, FactCodec> = env.create_file("precise", FactCodec { k })?;
     let mut imprecise_raw: RecordFile<WorkFactRecord, WorkFactCodec> =
         env.create_file("imprecise", WorkFactCodec { k })?;
     let mut precise_cells: Vec<(CellKey, f64)> = Vec::new();
@@ -298,12 +297,9 @@ pub fn prepare(
 
     // -- 3. sort into summary-table order --------------------------------
     let schema2 = schema.clone();
-    let sorted = external_sort(
-        env,
-        imprecise_raw,
-        SortBudget::pages(sort_pages),
-        move |r| summary_order_key(&schema2, r),
-    )?;
+    let sorted = external_sort(env, imprecise_raw, SortBudget::pages(sort_pages), move |r| {
+        summary_order_key(&schema2, r)
+    })?;
 
     // -- 4. assign dense table ids (facts are level-vector-contiguous) ---
     let mut level_vec_of_table: Vec<LevelVec> = Vec::new();
@@ -328,15 +324,15 @@ pub fn prepare(
 
     // -- 5. spans, partition groups, summary-table metadata ---------------
     let lvs = level_vec_of_table.clone();
-    let layout = layout_facts(env, &schema, &index, with_tables, &move |t| lvs[t as usize], sort_pages)?;
+    let layout =
+        layout_facts(env, &schema, &index, with_tables, &move |t| lvs[t as usize], sort_pages)?;
     let LayoutResult { facts, tables, degrees, num_edges, unallocatable } = layout;
 
     // -- chains -----------------------------------------------------------
     let cover = chain_cover(&level_vec_of_table, k);
 
     // -- cells file --------------------------------------------------------
-    let mut cells: RecordFile<CellRecord, CellCodec> =
-        env.create_file("cells", CellCodec { k })?;
+    let mut cells: RecordFile<CellRecord, CellCodec> = env.create_file("cells", CellCodec { k })?;
     for i in 0..index.len() {
         let mut rec = CellRecord::new(*index.key(i), delta0[i as usize]);
         rec.degree = degrees[i as usize];
@@ -367,11 +363,8 @@ mod tests {
     use iolap_model::paper_example;
 
     fn prep_table1() -> PreparedData {
-        let env = iolap_storage::Env::builder("prep-test")
-            .pool_pages(64)
-            .in_memory()
-            .build()
-            .unwrap();
+        let env =
+            iolap_storage::Env::builder("prep-test").pool_pages(64).in_memory().build().unwrap();
         let t = paper_example::table1();
         prepare(&t, &PolicySpec::em_count(0.05), &env, 8).unwrap()
     }
@@ -415,8 +408,7 @@ mod tests {
         assert_eq!(p.unallocatable, 0);
         // Degrees: c1 ← {p6, p11}, c2 ← {p7, p9}, c3 ← {p9, p12},
         // c4 ← {p8, p10, p11, p13}, c5 ← {p8, p14}.
-        let degs: Vec<u32> =
-            (0..5).map(|i| p.cells.get(i).unwrap().degree).collect();
+        let degs: Vec<u32> = (0..5).map(|i| p.cells.get(i).unwrap().degree).collect();
         assert_eq!(degs, vec![2, 2, 2, 4, 2]);
     }
 

@@ -48,6 +48,10 @@ pub struct RunReport {
     /// Imprecise facts covering no candidate cell (no EDB entries; see
     /// DESIGN.md on the Γ = 0 fallback).
     pub unallocatable: u64,
+    /// Buffer-pool pin hits over the whole run (lock-free counter).
+    pub pool_hits: u64,
+    /// Buffer-pool pin misses over the whole run (lock-free counter).
+    pub pool_misses: u64,
     /// Component statistics (Transitive only).
     pub components: Option<ComponentStats>,
 }
@@ -85,6 +89,17 @@ impl RunReport {
     pub fn total_wall(&self) -> Duration {
         self.wall_prep + self.wall_alloc + self.wall_edb
     }
+
+    /// Buffer-pool hit ratio over the whole run, `hits / (hits + misses)`.
+    /// `1.0` when the pool was never pinned.
+    pub fn pool_hit_ratio(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -102,17 +117,16 @@ impl fmt::Display for RunReport {
             self.num_table_sets,
             self.partition_pages,
         )?;
-        writeln!(
-            f,
-            "  prep : {:>10.3?}  {}",
-            self.wall_prep, self.io_prep
-        )?;
-        writeln!(
-            f,
-            "  alloc: {:>10.3?}  {}",
-            self.wall_alloc, self.io_alloc
-        )?;
+        writeln!(f, "  prep : {:>10.3?}  {}", self.wall_prep, self.io_prep)?;
+        writeln!(f, "  alloc: {:>10.3?}  {}", self.wall_alloc, self.io_alloc)?;
         writeln!(f, "  edb  : {:>10.3?}  {}", self.wall_edb, self.io_edb)?;
+        writeln!(
+            f,
+            "  pool : {} hits / {} misses (hit ratio {:.3})",
+            self.pool_hits,
+            self.pool_misses,
+            self.pool_hit_ratio()
+        )?;
         if self.unallocatable > 0 {
             writeln!(f, "  unallocatable imprecise facts: {}", self.unallocatable)?;
         }

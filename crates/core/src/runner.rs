@@ -71,6 +71,10 @@ pub struct AllocConfig {
     /// Transitive optimization: iterate each component only until *its*
     /// cells converge (`false` = ablation: global iteration count).
     pub per_component_convergence: bool,
+    /// Worker threads for Transitive's component-processing step:
+    /// `1` = sequential, `n > 1` = a pool of `n` workers, `0` = one per
+    /// available core. Results are identical for every value (Theorem 2).
+    pub threads: usize,
 }
 
 impl Default for AllocConfig {
@@ -82,6 +86,7 @@ impl Default for AllocConfig {
             dir: None,
             resort_facts: true,
             per_component_convergence: true,
+            threads: 1,
         }
     }
 }
@@ -148,6 +153,7 @@ pub fn allocate_in_env(
 ) -> Result<AllocationRun> {
     let sort_pages = cfg.effective_sort_pages();
     let mut report = RunReport { algorithm: algorithm.to_string(), ..Default::default() };
+    let (hits0, misses0) = env.pool().hit_stats();
 
     // ---- preprocessing ----------------------------------------------------
     let t0 = Instant::now();
@@ -196,6 +202,7 @@ pub fn allocate_in_env(
                 sort_pages,
                 &mut edb,
                 cfg.per_component_convergence,
+                cfg.threads,
             )?;
             report.iterations = out.iterations_max;
             report.converged = out.converged;
@@ -255,6 +262,9 @@ pub fn allocate_in_env(
     }
     report.wall_edb = t2.elapsed();
     report.io_edb = env.stats().snapshot() - io2;
+    let (hits1, misses1) = env.pool().hit_stats();
+    report.pool_hits = hits1 - hits0;
+    report.pool_misses = misses1 - misses0;
 
     Ok(AllocationRun { edb, report, prep, ccid_resolution })
 }
@@ -271,12 +281,9 @@ mod tests {
 
     #[test]
     fn all_algorithms_allocate_table1() {
-        for alg in [
-            Algorithm::Basic,
-            Algorithm::Independent,
-            Algorithm::Block,
-            Algorithm::Transitive,
-        ] {
+        for alg in
+            [Algorithm::Basic, Algorithm::Independent, Algorithm::Block, Algorithm::Transitive]
+        {
             let mut r = run(alg, &PolicySpec::em_count(0.01));
             assert!(r.report.converged, "{alg}");
             assert_eq!(r.edb.num_facts_allocated(), 14, "{alg}");

@@ -18,6 +18,21 @@
 //!    Block algorithm on the component's own files.
 //!
 //! EDB entries are written out per component as it completes.
+//!
+//! # Parallel step 3
+//!
+//! Components are independent sub-problems (Theorem 9), and within one
+//! component the EM fixpoint does not depend on evaluation order (Theorem
+//! 2) — so buffer-resident components can be solved by a pool of worker
+//! threads with no effect on the result. The coordinating thread keeps all
+//! storage I/O to itself: it reads each component off the sorted files,
+//! ships the records through a channel, and writes results to the EDB in
+//! component order, so page-I/O counts and EDB contents are bit-identical
+//! to a single-threaded run for any thread count. A page-budget counter
+//! bounds the sum of in-flight component footprints to the window budget,
+//! preserving the paper's memory model; oversized components still run the
+//! external Block path inline on the coordinator (after a barrier that
+//! drains the pool, keeping emission ordered).
 
 use crate::block::{plan_sets, run_block_with_sets};
 use crate::edb::{materialize, ExtendedDatabase};
@@ -27,9 +42,12 @@ use crate::passes::{AncCache, GroupWindow, OnLoad};
 use crate::policy::PolicySpec;
 use crate::prep::{layout_facts, LayoutResult, PreparedData};
 use crate::report::ComponentStats;
+use crossbeam::channel;
 use iolap_graph::{CcidMap, CellSetIndex};
 use iolap_model::records::NO_CCID;
-use iolap_model::{CellCodec, CellRecord, FactCodec, LevelVec, WorkFactCodec, WorkFactRecord};
+use iolap_model::{
+    CellCodec, CellRecord, EdbRecord, FactCodec, LevelVec, WorkFactCodec, WorkFactRecord,
+};
 use iolap_storage::{external_sort, RecordFile, SortBudget};
 use std::collections::HashMap;
 
@@ -58,6 +76,10 @@ pub struct TransitiveOutcome {
 /// iterations varies from component to component"); disabling it forces
 /// every in-memory component to run the global maximum iteration count
 /// (the ablation benchmark).
+///
+/// `threads` sizes the step-3 worker pool: `0` = one worker per available
+/// core, `1` = fully sequential (no pool), `n > 1` = `n` workers. The EDB
+/// and the I/O counts are identical for every value (see the module docs).
 pub fn run_transitive(
     prep: &mut PreparedData,
     policy: &PolicySpec,
@@ -65,9 +87,9 @@ pub fn run_transitive(
     sort_pages: usize,
     edb: &mut ExtendedDatabase,
     per_component_convergence: bool,
+    threads: usize,
 ) -> Result<TransitiveOutcome> {
     let schema = prep.schema.clone();
-    let env = prep.env.clone();
     let k = schema.k();
     let window_pages = (buffer_pages as u64).saturating_sub(4).max(1);
     let (sets, over_budget) = plan_sets(prep, window_pages);
@@ -87,10 +109,8 @@ pub fn run_transitive(
     }
     let last_set = sets.len().saturating_sub(1);
     for (s, set) in sets.iter().enumerate() {
-        let mut windows: Vec<GroupWindow> = set
-            .iter()
-            .map(|&ti| GroupWindow::new(prep.tables[ti].clone(), OnLoad::Keep))
-            .collect();
+        let mut windows: Vec<GroupWindow> =
+            set.iter().map(|&ti| GroupWindow::new(prep.tables[ti].clone(), OnLoad::Keep)).collect();
         let mut cursor = prep.cells.scan();
         let mut i = 0u64;
         let mut assigned: Vec<u32> = Vec::new();
@@ -149,7 +169,10 @@ pub fn run_transitive(
         }
     }
 
-    if trace { eprintln!("[trace] step1 ccid assign: {:?}", _t.elapsed()); _t = std::time::Instant::now(); }
+    if trace {
+        eprintln!("[trace] step1 ccid assign: {:?}", _t.elapsed());
+        _t = std::time::Instant::now();
+    }
     // ---- Step 2: sort tuples into component order (lines 21–24) --------
     map.resolve_all();
     let resolved: Vec<u32> = (0..map.len()).map(|i| map.peek(i)).collect();
@@ -175,7 +198,10 @@ pub fn run_transitive(
         }
     }
 
-    if trace { eprintln!("[trace] step2 sort by ccid: {:?}", _t.elapsed()); _t = std::time::Instant::now(); }
+    if trace {
+        eprintln!("[trace] step2 sort by ccid: {:?}", _t.elapsed());
+        _t = std::time::Instant::now();
+    }
     // ---- Step 3: process components (lines 26–34) ------------------------
     let cell_codec = CellCodec { k };
     let work_codec = WorkFactCodec { k };
@@ -206,130 +232,200 @@ pub fn run_transitive(
     }
 
     let level_vecs: Vec<LevelVec> = prep.tables.iter().map(|t| t.level_vec).collect();
-    let mut cell_pos = 0u64;
-    let mut fact_pos = 0u64;
     let n_facts = prep.facts.len();
-    let mut comp_cells: Vec<CellRecord> = Vec::new();
-    let mut comp_facts: Vec<WorkFactRecord> = Vec::new();
 
-    while cell_pos < n_cells || fact_pos < n_facts {
-        // The current component id = min of the two heads.
-        let head_cell = if cell_pos < n_cells {
-            Some(resolved[prep.cells.get(cell_pos)?.ccid as usize])
-        } else {
-            None
-        };
-        let head_fact = if fact_pos < n_facts {
-            let f = prep.facts.get(fact_pos)?;
-            (f.ccid != NO_CCID).then(|| resolved[f.ccid as usize])
-        } else {
-            None
-        };
-        let Some(current) = [head_cell, head_fact].into_iter().flatten().min() else {
-            // Only uncovered facts remain (ccid = NO_CCID, sorted last).
-            break;
-        };
-        let (nc, nf) = comp_sizes[&current];
-        let comp_pages = (nc * cell_bytes).div_ceil(page) + (nf * fact_bytes).div_ceil(page);
+    let conv = if per_component_convergence {
+        policy.convergence
+    } else {
+        // Ablation: force the global cap on every component.
+        crate::policy::Convergence { epsilon: 0.0, max_iters: policy.convergence.max_iters }
+    };
 
-        if comp_pages < window_pages.max(2) {
-            // In-memory component: gather, solve to local convergence,
-            // emit, advance.
-            comp_cells.clear();
-            comp_facts.clear();
-            for _ in 0..nc {
-                comp_cells.push(prep.cells.get(cell_pos)?);
-                cell_pos += 1;
-            }
-            for _ in 0..nf {
-                comp_facts.push(prep.facts.get(fact_pos)?);
-                fact_pos += 1;
-            }
-            if nf == 0 {
-                continue; // isolated cells: Δ = δ forever, nothing to emit
-            }
-            let mut prob = InMemProblem::build(
-                std::mem::take(&mut comp_cells),
-                std::mem::take(&mut comp_facts),
-                &schema,
-            );
-            let conv = if per_component_convergence {
-                policy.convergence
+    let mut walk = ComponentWalk {
+        prep,
+        resolved: &resolved,
+        comp_sizes: &comp_sizes,
+        cell_pos: 0,
+        fact_pos: 0,
+        n_cells,
+        n_facts,
+        cell_bytes,
+        fact_bytes,
+        page,
+    };
+    let workers = effective_threads(threads);
+
+    if workers <= 1 {
+        // ---- Sequential step 3 ------------------------------------------
+        let mut comp_cells: Vec<CellRecord> = Vec::new();
+        let mut comp_facts: Vec<WorkFactRecord> = Vec::new();
+        while let Some(head) = walk.next_component()? {
+            if head.pages < window_pages.max(2) {
+                // In-memory component: gather, solve to local convergence,
+                // emit, advance.
+                walk.gather(&head, &mut comp_cells, &mut comp_facts)?;
+                if head.nf == 0 {
+                    continue; // isolated cells: Δ = δ forever, nothing to emit
+                }
+                let done = solve_component(
+                    std::mem::take(&mut comp_cells),
+                    std::mem::take(&mut comp_facts),
+                    &schema,
+                    &conv,
+                );
+                iterations_max = iterations_max.max(done.iters);
+                converged &= done.converged;
+                for (e, first) in &done.entries {
+                    edb.push(e, false, *first)?;
+                }
             } else {
-                // Ablation: force the global cap on every component.
-                crate::policy::Convergence { epsilon: 0.0, max_iters: policy.convergence.max_iters }
-            };
-            let (iters, ok) = prob.solve(&conv);
-            iterations_max = iterations_max.max(iters);
-            converged &= ok;
-            let mut first_seen: HashMap<u64, bool> = HashMap::new();
-            let mut pending = Vec::new();
-            prob.emit(|e| pending.push(e));
-            for e in pending {
-                let first = !first_seen.contains_key(&e.fact_id);
-                first_seen.insert(e.fact_id, true);
-                edb.push(&e, false, first)?;
+                let (iters, ok) = run_external_component(
+                    &mut walk,
+                    &head,
+                    policy,
+                    &level_vecs,
+                    window_pages,
+                    sort_pages,
+                    edb,
+                )?;
+                stats.large_external += 1;
+                stats.external_tuples += head.nc + head.nf;
+                iterations_max = iterations_max.max(iters);
+                converged &= ok;
             }
-        } else {
-            // Large component: spill to its own files and run Block.
-            stats.large_external += 1;
-            stats.external_tuples += nc + nf;
-            let mut sub_cells: RecordFile<CellRecord, CellCodec> =
-                env.create_file("cc-cells", cell_codec)?;
-            let mut keys = Vec::with_capacity(nc as usize);
-            for _ in 0..nc {
-                let c = prep.cells.get(cell_pos)?;
-                keys.push(c.key);
-                sub_cells.push(&c)?;
-                cell_pos += 1;
-            }
-            sub_cells.seal();
-            let mut sub_facts_raw: RecordFile<WorkFactRecord, WorkFactCodec> =
-                env.create_file("cc-facts", work_codec)?;
-            for _ in 0..nf {
-                sub_facts_raw.push(&prep.facts.get(fact_pos)?)?;
-                fact_pos += 1;
-            }
-            sub_facts_raw.seal();
-
-            // Re-layout against the component's own cell index (first/last
-            // were global indexes).
-            let sub_index = CellSetIndex::from_sorted(keys, k);
-            let lvs = level_vecs.clone();
-            let layout = layout_facts(
-                &env,
-                &schema,
-                &sub_index,
-                sub_facts_raw,
-                &move |t| lvs[t as usize],
-                sort_pages,
-            )?;
-            let LayoutResult { facts, tables, .. } = layout;
-
-            let mut sub = PreparedData {
-                schema: schema.clone(),
-                env: env.clone(),
-                cells: sub_cells,
-                facts,
-                precise: env.create_file("cc-precise", FactCodec { k })?,
-                index: sub_index,
-                tables,
-                cover: iolap_graph::order::chain_cover(&[], k),
-                unallocatable: 0,
-                num_edges: 0,
-            };
-            let (sub_sets, _) = plan_sets(&sub, window_pages);
-            let out = run_block_with_sets(&mut sub, policy, &sub_sets)?;
-            iterations_max = iterations_max.max(out.iterations);
-            converged &= out.converged;
-            materialize(&mut sub, &sub_sets, edb, false)?;
-            sub.cells.delete()?;
-            sub.facts.delete()?;
-            sub.precise.delete()?;
         }
+    } else {
+        // ---- Parallel step 3: coordinator + worker pool -----------------
+        // Workers are pure CPU (build/solve/emit in memory); the
+        // coordinator keeps all storage I/O and pushes results to the EDB
+        // in component order, so output and I/O counts are identical to
+        // the sequential path.
+        let (job_tx, job_rx) = channel::unbounded::<CompJob>();
+        let (done_tx, done_rx) = channel::unbounded::<CompDone>();
+        let scope_result: Result<()> = std::thread::scope(|s| {
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let done_tx = done_tx.clone();
+                let schema = schema.clone();
+                s.spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        let mut done = solve_component(job.cells, job.facts, &schema, &conv);
+                        done.seq = job.seq;
+                        done.pages = job.pages;
+                        if done_tx.send(done).is_err() {
+                            break; // coordinator bailed out
+                        }
+                    }
+                });
+            }
+            // Only the workers' clones must keep the channels alive.
+            drop(job_rx);
+            drop(done_tx);
+
+            // In-flight accounting: `seq` numbers dispatched jobs,
+            // `next_emit` is the next component the EDB expects, and
+            // `in_flight_pages` bounds the footprint of components that
+            // are dispatched but not yet emitted (a page-budget semaphore
+            // in counter form — the coordinator is its only waiter).
+            let mut seq = 0u64;
+            let mut next_emit = 0u64;
+            let mut in_flight_pages = 0u64;
+            let mut parked: HashMap<u64, CompDone> = HashMap::new();
+
+            let drain_one = |next_emit: &mut u64,
+                             in_flight_pages: &mut u64,
+                             parked: &mut HashMap<u64, CompDone>,
+                             edb: &mut ExtendedDatabase,
+                             iterations_max: &mut u32,
+                             converged: &mut bool|
+             -> Result<()> {
+                let done = done_rx.recv().expect("a worker died with jobs in flight");
+                parked.insert(done.seq, done);
+                while let Some(d) = parked.remove(next_emit) {
+                    *iterations_max = (*iterations_max).max(d.iters);
+                    *converged &= d.converged;
+                    for (e, first) in &d.entries {
+                        edb.push(e, false, *first)?;
+                    }
+                    *in_flight_pages -= d.pages;
+                    *next_emit += 1;
+                }
+                Ok(())
+            };
+
+            while let Some(head) = walk.next_component()? {
+                if head.pages < window_pages.max(2) {
+                    let mut cells = Vec::new();
+                    let mut facts = Vec::new();
+                    walk.gather(&head, &mut cells, &mut facts)?;
+                    if head.nf == 0 {
+                        continue;
+                    }
+                    // Page budget: never let dispatched-but-unemitted
+                    // components exceed the window. Each job fits the
+                    // window on its own, so this always unblocks.
+                    while in_flight_pages + head.pages > window_pages && in_flight_pages > 0 {
+                        drain_one(
+                            &mut next_emit,
+                            &mut in_flight_pages,
+                            &mut parked,
+                            edb,
+                            &mut iterations_max,
+                            &mut converged,
+                        )?;
+                    }
+                    in_flight_pages += head.pages;
+                    job_tx
+                        .send(CompJob { seq, pages: head.pages, cells, facts })
+                        .expect("worker pool hung up early");
+                    seq += 1;
+                } else {
+                    // Barrier: the external path writes to the EDB itself,
+                    // so everything dispatched before it must land first.
+                    while next_emit < seq {
+                        drain_one(
+                            &mut next_emit,
+                            &mut in_flight_pages,
+                            &mut parked,
+                            edb,
+                            &mut iterations_max,
+                            &mut converged,
+                        )?;
+                    }
+                    let (iters, ok) = run_external_component(
+                        &mut walk,
+                        &head,
+                        policy,
+                        &level_vecs,
+                        window_pages,
+                        sort_pages,
+                        edb,
+                    )?;
+                    stats.large_external += 1;
+                    stats.external_tuples += head.nc + head.nf;
+                    iterations_max = iterations_max.max(iters);
+                    converged &= ok;
+                }
+            }
+            while next_emit < seq {
+                drain_one(
+                    &mut next_emit,
+                    &mut in_flight_pages,
+                    &mut parked,
+                    edb,
+                    &mut iterations_max,
+                    &mut converged,
+                )?;
+            }
+            drop(job_tx); // workers drain the (empty) queue and exit
+            Ok(())
+        });
+        scope_result?;
     }
 
-    if trace { eprintln!("[trace] step3 components: {:?}", _t.elapsed()); }
+    if trace {
+        eprintln!("[trace] step3 components: {:?}", _t.elapsed());
+    }
     Ok(TransitiveOutcome {
         iterations_max,
         converged,
@@ -338,6 +434,196 @@ pub fn run_transitive(
         over_budget,
         resolved,
     })
+}
+
+/// Resolve the `threads` knob: `0` = one worker per available core.
+fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// A buffer-resident component on its way to a worker.
+struct CompJob {
+    seq: u64,
+    pages: u64,
+    cells: Vec<CellRecord>,
+    facts: Vec<WorkFactRecord>,
+}
+
+/// A solved component on its way back to the coordinator.
+struct CompDone {
+    seq: u64,
+    pages: u64,
+    iters: u32,
+    converged: bool,
+    /// EDB entries with their "first entry for this fact" flags. Each
+    /// imprecise fact lives in exactly one component, so flags computed
+    /// per component are globally correct.
+    entries: Vec<(EdbRecord, bool)>,
+}
+
+/// Solve one buffer-resident component: pure CPU, no storage access.
+fn solve_component(
+    cells: Vec<CellRecord>,
+    facts: Vec<WorkFactRecord>,
+    schema: &iolap_model::Schema,
+    conv: &crate::policy::Convergence,
+) -> CompDone {
+    let mut prob = InMemProblem::build(cells, facts, schema);
+    let (iters, converged) = prob.solve(conv);
+    let mut first_seen: HashMap<u64, ()> = HashMap::new();
+    let mut entries = Vec::new();
+    prob.emit(|e| {
+        let first = first_seen.insert(e.fact_id, ()).is_none();
+        entries.push((e, first));
+    });
+    CompDone { seq: 0, pages: 0, iters, converged, entries }
+}
+
+/// The head of the next component in the ccid-sorted files.
+struct CompHead {
+    nc: u64,
+    nf: u64,
+    pages: u64,
+}
+
+/// Sequential reader over the ccid-sorted cell and fact files. All storage
+/// reads of step 3 go through this, on the coordinating thread only.
+struct ComponentWalk<'a> {
+    prep: &'a mut PreparedData,
+    resolved: &'a [u32],
+    comp_sizes: &'a HashMap<u32, (u64, u64)>,
+    cell_pos: u64,
+    fact_pos: u64,
+    n_cells: u64,
+    n_facts: u64,
+    cell_bytes: u64,
+    fact_bytes: u64,
+    page: u64,
+}
+
+impl ComponentWalk<'_> {
+    /// Peek the next component (min ccid of the two file heads) and its
+    /// size. `None` when only uncovered facts (ccid = NO_CCID) remain.
+    fn next_component(&mut self) -> Result<Option<CompHead>> {
+        if self.cell_pos >= self.n_cells && self.fact_pos >= self.n_facts {
+            return Ok(None);
+        }
+        let head_cell = if self.cell_pos < self.n_cells {
+            Some(self.resolved[self.prep.cells.get(self.cell_pos)?.ccid as usize])
+        } else {
+            None
+        };
+        let head_fact = if self.fact_pos < self.n_facts {
+            let f = self.prep.facts.get(self.fact_pos)?;
+            (f.ccid != NO_CCID).then(|| self.resolved[f.ccid as usize])
+        } else {
+            None
+        };
+        let Some(current) = [head_cell, head_fact].into_iter().flatten().min() else {
+            return Ok(None);
+        };
+        let (nc, nf) = self.comp_sizes[&current];
+        let pages =
+            (nc * self.cell_bytes).div_ceil(self.page) + (nf * self.fact_bytes).div_ceil(self.page);
+        Ok(Some(CompHead { nc, nf, pages }))
+    }
+
+    /// Read the component's records into `cells`/`facts` and advance.
+    fn gather(
+        &mut self,
+        head: &CompHead,
+        cells: &mut Vec<CellRecord>,
+        facts: &mut Vec<WorkFactRecord>,
+    ) -> Result<()> {
+        cells.clear();
+        facts.clear();
+        cells.reserve(head.nc as usize);
+        facts.reserve(head.nf as usize);
+        for _ in 0..head.nc {
+            cells.push(self.prep.cells.get(self.cell_pos)?);
+            self.cell_pos += 1;
+        }
+        for _ in 0..head.nf {
+            facts.push(self.prep.facts.get(self.fact_pos)?);
+            self.fact_pos += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Spill an oversized component to its own files and run the external
+/// Block algorithm on them, materializing straight into `edb`. Returns
+/// `(iterations, converged)`.
+fn run_external_component(
+    walk: &mut ComponentWalk<'_>,
+    head: &CompHead,
+    policy: &PolicySpec,
+    level_vecs: &[LevelVec],
+    window_pages: u64,
+    sort_pages: usize,
+    edb: &mut ExtendedDatabase,
+) -> Result<(u32, bool)> {
+    let env = walk.prep.env.clone();
+    let schema = walk.prep.schema.clone();
+    let k = schema.k();
+    let cell_codec = CellCodec { k };
+    let work_codec = WorkFactCodec { k };
+
+    let mut sub_cells: RecordFile<CellRecord, CellCodec> =
+        env.create_file("cc-cells", cell_codec)?;
+    let mut keys = Vec::with_capacity(head.nc as usize);
+    for _ in 0..head.nc {
+        let c = walk.prep.cells.get(walk.cell_pos)?;
+        keys.push(c.key);
+        sub_cells.push(&c)?;
+        walk.cell_pos += 1;
+    }
+    sub_cells.seal();
+    let mut sub_facts_raw: RecordFile<WorkFactRecord, WorkFactCodec> =
+        env.create_file("cc-facts", work_codec)?;
+    for _ in 0..head.nf {
+        sub_facts_raw.push(&walk.prep.facts.get(walk.fact_pos)?)?;
+        walk.fact_pos += 1;
+    }
+    sub_facts_raw.seal();
+
+    // Re-layout against the component's own cell index (first/last
+    // were global indexes).
+    let sub_index = CellSetIndex::from_sorted(keys, k);
+    let lvs = level_vecs.to_vec();
+    let layout = layout_facts(
+        &env,
+        &schema,
+        &sub_index,
+        sub_facts_raw,
+        &move |t| lvs[t as usize],
+        sort_pages,
+    )?;
+    let LayoutResult { facts, tables, .. } = layout;
+
+    let mut sub = PreparedData {
+        schema: schema.clone(),
+        env: env.clone(),
+        cells: sub_cells,
+        facts,
+        precise: env.create_file("cc-precise", FactCodec { k })?,
+        index: sub_index,
+        tables,
+        cover: iolap_graph::order::chain_cover(&[], k),
+        unallocatable: 0,
+        num_edges: 0,
+    };
+    let (sub_sets, _) = plan_sets(&sub, window_pages);
+    let out = run_block_with_sets(&mut sub, policy, &sub_sets)?;
+    materialize(&mut sub, &sub_sets, edb, false)?;
+    sub.cells.delete()?;
+    sub.facts.delete()?;
+    sub.precise.delete()?;
+    Ok((out.iterations, out.converged))
 }
 
 fn sort_cells_by_ccid(prep: &mut PreparedData, resolved: &[u32], sort_pages: usize) -> Result<()> {
@@ -392,7 +678,7 @@ mod tests {
         let t = paper_example::table1();
         let mut p = prepare(&t, &policy, &env, 8).unwrap();
         let mut edb = ExtendedDatabase::create(&env, 2).unwrap();
-        let out = run_transitive(&mut p, &policy, 64, 8, &mut edb, true).unwrap();
+        let out = run_transitive(&mut p, &policy, 64, 8, &mut edb, true, 1).unwrap();
         assert!(out.converged);
         // Figure 2 has exactly two components, no isolated cells.
         assert_eq!(out.stats.total, 2);
@@ -421,7 +707,7 @@ mod tests {
         let env2 = env();
         let mut p2 = prepare(&t, &policy, &env2, 8).unwrap();
         let mut edb = ExtendedDatabase::create(&env2, 2).unwrap();
-        let out = run_transitive(&mut p2, &policy, 64, 8, &mut edb, true).unwrap();
+        let out = run_transitive(&mut p2, &policy, 64, 8, &mut edb, true, 4).unwrap();
         assert!(out.converged);
 
         let m = edb.weight_map().unwrap();
@@ -432,10 +718,7 @@ mod tests {
             for ((cell, w), (gcell, gw)) in entries.iter().zip(got.iter()) {
                 let gkey = ((gcell[0] as u64) << 32) | gcell[1] as u64;
                 assert_eq!(*cell, gkey, "fact {id}");
-                assert!(
-                    (w - gw).abs() < 1e-6,
-                    "fact {id}: basic {w} vs transitive {gw}"
-                );
+                assert!((w - gw).abs() < 1e-6, "fact {id}: basic {w} vs transitive {gw}");
             }
         }
     }
@@ -450,12 +733,12 @@ mod tests {
         let env1 = env();
         let mut p1 = prepare(&t, &policy, &env1, 8).unwrap();
         let mut edb1 = ExtendedDatabase::create(&env1, 2).unwrap();
-        run_transitive(&mut p1, &policy, 256, 8, &mut edb1, true).unwrap();
+        run_transitive(&mut p1, &policy, 256, 8, &mut edb1, true, 1).unwrap();
 
         let env2 = env();
         let mut p2 = prepare(&t, &policy, &env2, 8).unwrap();
         let mut edb2 = ExtendedDatabase::create(&env2, 2).unwrap();
-        let out = run_transitive(&mut p2, &policy, 5, 8, &mut edb2, true).unwrap();
+        let out = run_transitive(&mut p2, &policy, 5, 8, &mut edb2, true, 4).unwrap();
         assert!(out.stats.large_external >= 1, "5-page budget must spill");
 
         let m1 = edb1.weight_map().unwrap();
@@ -490,7 +773,7 @@ mod tests {
         let env = env();
         let mut p = prepare(&t, &policy, &env, 8).unwrap();
         let mut edb = ExtendedDatabase::create(&env, 2).unwrap();
-        let out = run_transitive(&mut p, &policy, 64, 8, &mut edb, true).unwrap();
+        let out = run_transitive(&mut p, &policy, 64, 8, &mut edb, true, 1).unwrap();
         assert_eq!(out.stats.total, 2);
         assert_eq!(out.stats.singleton_cells, 1, "(TX, Sierra) is isolated");
     }

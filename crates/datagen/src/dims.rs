@@ -79,8 +79,7 @@ mod tests {
         let shapes: Vec<(String, Vec<usize>)> = dims
             .iter()
             .map(|h| {
-                let sizes =
-                    (1..=h.levels()).map(|l| h.nodes_at_level(l).len()).collect();
+                let sizes = (1..=h.levels()).map(|l| h.nodes_at_level(l).len()).collect();
                 (h.name().to_string(), sizes)
             })
             .collect();

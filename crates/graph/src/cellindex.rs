@@ -99,10 +99,7 @@ impl CellSetIndex {
 
     /// Index of `cell`, if present.
     pub fn position(&self, cell: &CellKey) -> Option<u64> {
-        self.keys
-            .binary_search_by(|probe| cmp_cells(probe, cell, self.k))
-            .ok()
-            .map(|i| i as u64)
+        self.keys.binary_search_by(|probe| cmp_cells(probe, cell, self.k)).ok().map(|i| i as u64)
     }
 
     /// Canonical cell at rotated position `pos` under rotation `rot`.
@@ -238,7 +235,9 @@ impl CellSetIndex {
     pub fn for_each_in_box_rot(&self, rot: usize, bx: &RegionBox, f: &mut impl FnMut(u64)) {
         let n = self.keys.len() as u64;
         #[allow(clippy::question_mark)] // `?` on Option in a ()-fn reads worse
-        let Some(mut pos) = self.next_in_box(rot, bx, 0) else { return };
+        let Some(mut pos) = self.next_in_box(rot, bx, 0) else {
+            return;
+        };
         loop {
             // Walk the contiguous run of matches.
             while pos < n {
@@ -335,11 +334,7 @@ mod tests {
 
     /// Brute-force reference for the box queries.
     fn reference(keys: &[CellKey], b: &RegionBox) -> Vec<u64> {
-        keys.iter()
-            .enumerate()
-            .filter(|(_, c)| b.contains_cell(c))
-            .map(|(i, _)| i as u64)
-            .collect()
+        keys.iter().enumerate().filter(|(_, c)| b.contains_cell(c)).map(|(i, _)| i as u64).collect()
     }
 
     fn check(idx: &CellSetIndex, b: &RegionBox) {

@@ -112,8 +112,7 @@ mod tests {
         let t = paper_example::table1();
         let s = t.schema();
         let index = CellSetIndex::from_sorted(paper_example::figure2_cells(), 2);
-        let imprecise: Vec<_> =
-            t.facts().iter().filter(|f| !s.is_precise(f)).cloned().collect();
+        let imprecise: Vec<_> = t.facts().iter().filter(|f| !s.is_precise(f)).cloned().collect();
         let regions: Vec<RegionBox> = imprecise.iter().map(|f| s.region(f)).collect();
         let ids: Vec<u64> = imprecise.iter().map(|f| f.id).collect();
         (AllocationGraph::build(&index, &regions), ids)

@@ -27,17 +27,17 @@
 #![warn(missing_docs)]
 
 pub mod binpack;
-pub mod fxhash;
 pub mod ccid;
 pub mod cellindex;
+pub mod fxhash;
 pub mod graph;
 pub mod order;
 pub mod summary;
 
 pub use binpack::pack_tables;
-pub use fxhash::{FxHashMap, FxHashSet};
 pub use ccid::CcidMap;
 pub use cellindex::CellSetIndex;
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use graph::AllocationGraph;
 pub use order::{ChainCover, SortStage};
 pub use summary::{PartGroup, SummaryTableMeta};

@@ -82,8 +82,7 @@ impl ChainOrder {
     /// The canonical order (plain lexicographic over leaf ids) — what the
     /// Block algorithm uses for every table.
     pub fn canonical(schema: &Schema) -> Self {
-        let stages =
-            (0..schema.k()).map(|d| SortStage { dim: d as u8, level: 1 }).collect();
+        let stages = (0..schema.k()).map(|d| SortStage { dim: d as u8, level: 1 }).collect();
         ChainOrder { stages }
     }
 
@@ -204,11 +203,9 @@ pub fn longest_antichain_brute(level_vecs: &[LevelVec], k: usize) -> usize {
     let mut best = 0;
     for mask in 0u32..(1 << n) {
         let members: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
-        let ok = members.iter().all(|&i| {
-            members
-                .iter()
-                .all(|&j| i == j || !below(&level_vecs[i], &level_vecs[j], k))
-        });
+        let ok = members
+            .iter()
+            .all(|&i| members.iter().all(|&j| i == j || !below(&level_vecs[i], &level_vecs[j], k)));
         if ok {
             best = best.max(members.len());
         }
@@ -313,11 +310,8 @@ mod tests {
                 cells.push(c);
             }
         }
-        let chains: Vec<Vec<LevelVec>> = vec![
-            vec![lv(&[1, 2]), lv(&[1, 3])],
-            vec![lv(&[2, 1]), lv(&[2, 2])],
-            vec![lv(&[3, 1])],
-        ];
+        let chains: Vec<Vec<LevelVec>> =
+            vec![vec![lv(&[1, 2]), lv(&[1, 3])], vec![lv(&[2, 1]), lv(&[2, 2])], vec![lv(&[3, 1])]];
         for chain in &chains {
             let order = ChainOrder::for_chain(chain, &schema);
             let mut sorted = cells.clone();
@@ -337,8 +331,7 @@ mod tests {
                             .map(|(i, _)| i)
                             .collect();
                         assert!(!inside.is_empty());
-                        let contiguous =
-                            inside.windows(2).all(|w| w[1] == w[0] + 1);
+                        let contiguous = inside.windows(2).all(|w| w[1] == w[0] + 1);
                         assert!(
                             contiguous,
                             "chain {chain:?} level {lvec:?} region not contiguous: {inside:?}"

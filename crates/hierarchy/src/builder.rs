@@ -197,10 +197,7 @@ impl HierarchyBuilder {
                     parent: parent_of[me as usize].map(NodeId),
                     lo: lo[me as usize],
                     hi: hi[me as usize],
-                    name: l
-                        .node_names
-                        .as_ref()
-                        .map(|ns| ns[i as usize].clone()),
+                    name: l.node_names.as_ref().map(|ns| ns[i as usize].clone()),
                 });
             }
         }
@@ -257,11 +254,8 @@ mod tests {
 
     #[test]
     fn missing_parent_map_rejected() {
-        let err = HierarchyBuilder::new("D")
-            .level("Leaf", 2)
-            .level("Group", 2)
-            .try_build()
-            .unwrap_err();
+        let err =
+            HierarchyBuilder::new("D").level("Leaf", 2).level("Group", 2).try_build().unwrap_err();
         assert!(err.contains("parent map"), "{err}");
     }
 

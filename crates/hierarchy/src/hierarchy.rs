@@ -223,10 +223,7 @@ impl Hierarchy {
 
     /// Look a node up by display name (linear; for examples and tests).
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.name.as_deref() == Some(name))
-            .map(|i| NodeId(i as u32))
+        self.nodes.iter().position(|n| n.name.as_deref() == Some(name)).map(|i| NodeId(i as u32))
     }
 
     /// Display name of a node, falling back to `level:lo..hi`.

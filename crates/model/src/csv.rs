@@ -110,11 +110,7 @@ pub fn hierarchy_from_csv(
 
     for (rn, row) in rows.iter().enumerate() {
         if row.len() != levels {
-            return Err(format!(
-                "row {}: expected {levels} columns, found {}",
-                rn + 1,
-                row.len()
-            ));
+            return Err(format!("row {}: expected {levels} columns, found {}", rn + 1, row.len()));
         }
         // Resolve top-down so parents exist before children reference them.
         let mut upper_idx: Option<u32> = None;
@@ -199,11 +195,7 @@ pub fn facts_from_csv(schema: Arc<Schema>, text: &str) -> Result<FactTable, Stri
     let name_maps: Vec<HashMap<String, u32>> = (0..k)
         .map(|d| {
             let h = schema.dim(d);
-            (0..h.num_nodes())
-                .map(|i| {
-                    (h.node_name(iolap_hierarchy::NodeId(i)), i)
-                })
-                .collect()
+            (0..h.num_nodes()).map(|i| (h.node_name(iolap_hierarchy::NodeId(i)), i)).collect()
         })
         .collect();
 
@@ -212,19 +204,15 @@ pub fn facts_from_csv(schema: Arc<Schema>, text: &str) -> Result<FactTable, Stri
         if row.len() != k + 2 {
             return Err(format!("row {}: wrong column count", rn + 2));
         }
-        let id: u64 = row[0]
-            .trim()
-            .parse()
-            .map_err(|_| format!("row {}: bad id {:?}", rn + 2, row[0]))?;
+        let id: u64 =
+            row[0].trim().parse().map_err(|_| format!("row {}: bad id {:?}", rn + 2, row[0]))?;
         let mut dims = vec![0u32; k];
         for (c, val) in row[1..=k].iter().enumerate() {
             let d = dim_of_col[c];
             let val = val.trim();
-            let node = name_maps[d]
-                .get(val)
-                .ok_or_else(|| {
-                    format!("row {}: unknown {} value {val:?}", rn + 2, schema.dim(d).name())
-                })?;
+            let node = name_maps[d].get(val).ok_or_else(|| {
+                format!("row {}: unknown {} value {val:?}", rn + 2, schema.dim(d).name())
+            })?;
             dims[d] = *node;
         }
         let measure: f64 = row[k + 1]
@@ -304,9 +292,8 @@ mod tests {
             facts_from_csv(schema.clone(), "id,Location,Automobile,Sales\n1,Narnia,Civic,3\n")
                 .unwrap_err();
         assert!(err.contains("Narnia"), "{err}");
-        let err =
-            facts_from_csv(schema.clone(), "id,Location,Automobile,Sales\n1,MA,Civic,abc\n")
-                .unwrap_err();
+        let err = facts_from_csv(schema.clone(), "id,Location,Automobile,Sales\n1,MA,Civic,abc\n")
+            .unwrap_err();
         assert!(err.contains("measure"), "{err}");
         let err = facts_from_csv(schema, "id,Nope,Automobile,Sales\n").unwrap_err();
         assert!(err.contains("Nope"), "{err}");

@@ -124,8 +124,7 @@ mod tests {
     fn figure2_cells_are_the_precise_cells_sorted() {
         let t = table1();
         let s = t.schema();
-        let mut cells: Vec<_> =
-            t.facts().iter().filter_map(|f| s.cell_of(f)).collect();
+        let mut cells: Vec<_> = t.facts().iter().filter_map(|f| s.cell_of(f)).collect();
         cells.sort_by(|a, b| cmp_cells(a, b, 2));
         cells.dedup();
         assert_eq!(cells, figure2_cells());

@@ -91,7 +91,15 @@ pub struct CellRecord {
 impl CellRecord {
     /// A fresh cell with `Δ^(0)(c) = δ(c)` (line 3 of the Basic Algorithm).
     pub fn new(key: CellKey, delta0: f64) -> Self {
-        CellRecord { key, delta0, delta: delta0, acc: 0.0, degree: 0, ccid: NO_CCID, converged: false }
+        CellRecord {
+            key,
+            delta0,
+            delta: delta0,
+            acc: 0.0,
+            degree: 0,
+            ccid: NO_CCID,
+            converged: false,
+        }
     }
 }
 
@@ -316,12 +324,8 @@ mod tests {
     fn edb_roundtrip() {
         let c = EdbCodec { k: 2 };
         let mut buf = vec![0u8; c.size()];
-        let rec = EdbRecord {
-            fact_id: 5,
-            cell: [1, 3, 0, 0, 0, 0, 0, 0],
-            weight: 0.25,
-            measure: 100.0,
-        };
+        let rec =
+            EdbRecord { fact_id: 5, cell: [1, 3, 0, 0, 0, 0, 0, 0], weight: 0.25, measure: 100.0 };
         c.encode(&rec, &mut buf);
         assert_eq!(c.decode(&buf), rec);
     }

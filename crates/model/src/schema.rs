@@ -68,10 +68,7 @@ impl Schema {
 
     /// Is the fact precise (leaf-level in every dimension)?
     pub fn is_precise(&self, fact: &Fact) -> bool {
-        self.dims
-            .iter()
-            .enumerate()
-            .all(|(d, h)| h.level_of(NodeId(fact.dims[d])) == 1)
+        self.dims.iter().enumerate().all(|(d, h)| h.level_of(NodeId(fact.dims[d])) == 1)
     }
 
     /// The region of a fact: the product of the per-dimension leaf
@@ -94,9 +91,7 @@ impl Schema {
         }
         let mut key = [0u32; MAX_DIMS];
         for (d, h) in self.dims.iter().enumerate() {
-            key[d] = h
-                .leaf_index(NodeId(fact.dims[d]))
-                .expect("precise fact stores leaf nodes");
+            key[d] = h.leaf_index(NodeId(fact.dims[d])).expect("precise fact stores leaf nodes");
         }
         Some(key)
     }

@@ -103,9 +103,14 @@ mod tests {
 
     fn edb() -> ExtendedDatabase {
         let t = paper_example::table1();
-        allocate(&t, &PolicySpec::em_count(0.001), Algorithm::Transitive, &AllocConfig::in_memory(256))
-            .unwrap()
-            .edb
+        allocate(
+            &t,
+            &PolicySpec::em_count(0.001),
+            Algorithm::Transitive,
+            &AllocConfig::in_memory(256),
+        )
+        .unwrap()
+        .edb
     }
 
     #[test]
@@ -127,10 +132,8 @@ mod tests {
         let mut edb = edb();
         let schema = paper_example::schema();
         let all = QueryBuilder::new(schema.clone()).build().unwrap();
-        let east =
-            QueryBuilder::new(schema.clone()).at("Location", "East").build().unwrap();
-        let west =
-            QueryBuilder::new(schema.clone()).at("Location", "West").build().unwrap();
+        let east = QueryBuilder::new(schema.clone()).at("Location", "East").build().unwrap();
+        let west = QueryBuilder::new(schema.clone()).at("Location", "West").build().unwrap();
         let a = aggregate_edb(&mut edb, &all).unwrap();
         let e = aggregate_edb(&mut edb, &east).unwrap();
         let w = aggregate_edb(&mut edb, &west).unwrap();
@@ -144,11 +147,7 @@ mod tests {
         // Contains somewhere in between ≤ Overlaps.
         let t = paper_example::table1();
         let schema = paper_example::schema();
-        let q = QueryBuilder::new(schema)
-            .at("Location", "MA")
-            .agg(AggFn::Count)
-            .build()
-            .unwrap();
+        let q = QueryBuilder::new(schema).at("Location", "MA").agg(AggFn::Count).build().unwrap();
         let mut edb = edb();
         let alloc = aggregate_edb(&mut edb, &q).unwrap().value;
         let none = aggregate_classical(&t, &q, Classical::None).value;
@@ -170,11 +169,8 @@ mod tests {
     fn avg_is_sum_over_count() {
         let mut edb = edb();
         let schema = paper_example::schema();
-        let q = QueryBuilder::new(schema)
-            .at("Automobile", "Sedan")
-            .agg(AggFn::Avg)
-            .build()
-            .unwrap();
+        let q =
+            QueryBuilder::new(schema).at("Automobile", "Sedan").agg(AggFn::Avg).build().unwrap();
         let r = aggregate_edb(&mut edb, &q).unwrap();
         assert!((r.value - r.sum / r.count).abs() < 1e-12);
         assert!(r.count > 0.0);

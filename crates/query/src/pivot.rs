@@ -83,24 +83,14 @@ pub fn pivot(
         AggResult { value, sum, count }
     };
 
-    let cells: Vec<Vec<AggResult>> = (0..nr)
-        .map(|r| (0..nc).map(|c| finish(sums[r][c], counts[r][c])).collect())
-        .collect();
-    let row_margin: Vec<AggResult> = (0..nr)
-        .map(|r| finish(sums[r].iter().sum(), counts[r].iter().sum()))
-        .collect();
+    let cells: Vec<Vec<AggResult>> =
+        (0..nr).map(|r| (0..nc).map(|c| finish(sums[r][c], counts[r][c])).collect()).collect();
+    let row_margin: Vec<AggResult> =
+        (0..nr).map(|r| finish(sums[r].iter().sum(), counts[r].iter().sum())).collect();
     let col_margin: Vec<AggResult> = (0..nc)
-        .map(|c| {
-            finish(
-                sums.iter().map(|row| row[c]).sum(),
-                counts.iter().map(|row| row[c]).sum(),
-            )
-        })
+        .map(|c| finish(sums.iter().map(|row| row[c]).sum(), counts.iter().map(|row| row[c]).sum()))
         .collect();
-    let total = finish(
-        sums.iter().flatten().sum(),
-        counts.iter().flatten().sum(),
-    );
+    let total = finish(sums.iter().flatten().sum(), counts.iter().flatten().sum());
 
     Ok(Pivot {
         rows: rows_nodes.iter().map(|&n| ha.node_name(n)).collect(),
@@ -117,13 +107,7 @@ impl Pivot {
     pub fn render(&self, title: &str) -> String {
         let mut out = format!("{title}\n");
         let rw = self.rows.iter().map(String::len).max().unwrap_or(5).max(5);
-        let cw = self
-            .cols
-            .iter()
-            .map(String::len)
-            .max()
-            .unwrap_or(8)
-            .max(9);
+        let cw = self.cols.iter().map(String::len).max().unwrap_or(8).max(9);
         out.push_str(&format!("{:<rw$}", ""));
         for c in &self.cols {
             out.push_str(&format!("  {c:>cw$}"));
@@ -169,8 +153,7 @@ mod tests {
         let p = pivot(&mut edb, &schema, 0, 2, 1, 2, None, AggFn::Sum).unwrap();
         assert_eq!(p.rows, vec!["East", "West"]);
         assert_eq!(p.cols, vec!["Sedan", "Truck"]);
-        let by_region =
-            crate::rollup::rollup(&mut edb, &schema, 0, 2, None, AggFn::Sum).unwrap();
+        let by_region = crate::rollup::rollup(&mut edb, &schema, 0, 2, None, AggFn::Sum).unwrap();
         for (r, row) in by_region.iter().enumerate() {
             assert!((p.row_margin[r].sum - row.result.sum).abs() < 1e-9);
         }

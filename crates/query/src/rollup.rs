@@ -95,11 +95,7 @@ fn rollup_impl(
                     }
                 }
             };
-            RollupRow {
-                node,
-                name: h.node_name(node),
-                result: AggResult { value, sum, count },
-            }
+            RollupRow { node, name: h.node_name(node), result: AggResult { value, sum, count } }
         })
         .collect())
 }
@@ -120,10 +116,7 @@ pub fn drilldown(
     let child_level = parent_level - 1;
     let range = h.leaf_range(parent);
     let rows = rollup_impl(edb, schema, dim, child_level, None, agg, Some((dim, range)))?;
-    Ok(rows
-        .into_iter()
-        .filter(|r| h.contains(parent, r.node))
-        .collect())
+    Ok(rows.into_iter().filter(|r| h.contains(parent, r.node)).collect())
 }
 
 /// Render a roll-up as an aligned text table (for examples and CLIs).
@@ -183,8 +176,7 @@ mod tests {
         let mut edb = edb();
         let schema = paper_example::schema();
         let all = rollup(&mut edb, &schema, 1, 3, None, AggFn::Sum).unwrap();
-        let want: f64 =
-            paper_example::table1().facts().iter().map(|f| f.measure).sum();
+        let want: f64 = paper_example::table1().facts().iter().map(|f| f.measure).sum();
         assert!((all[0].result.sum - want).abs() < 1e-6);
         assert!((all[0].result.count - 14.0).abs() < 1e-9);
     }

@@ -127,9 +127,8 @@ impl<T: Clone> RTree<T> {
             // Root split: grow the tree.
             let old_root = self.root;
             let bb_old = self.nodes[old_root].bbox(self.k);
-            let new_root = Node {
-                kind: NodeKind::Internal(vec![(bb_old, old_root), (bb_new, new_node)]),
-            };
+            let new_root =
+                Node { kind: NodeKind::Internal(vec![(bb_old, old_root), (bb_new, new_node)]) };
             self.nodes.push(new_root);
             self.root = self.nodes.len() - 1;
             self.height += 1;
@@ -655,12 +654,8 @@ mod tests {
         t.validate().unwrap();
         assert_eq!(t.len(), 300 - 150 + 100);
         let q = b(&[0, 0], &[1000, 1000]);
-        let survivors: Vec<(Aabb, u32)> = items
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i >= 150)
-            .map(|(_, e)| *e)
-            .collect();
+        let survivors: Vec<(Aabb, u32)> =
+            items.iter().enumerate().filter(|(i, _)| *i >= 150).map(|(_, e)| *e).collect();
         let mut got = t.query(&q);
         got.sort_unstable();
         assert_eq!(got, linear_query(&survivors, &q));

@@ -1,4 +1,4 @@
-//! A pin-count buffer pool with CLOCK eviction.
+//! A pin-count buffer pool with lock-striped shards and CLOCK eviction.
 //!
 //! The paper's algorithms are parameterized by a memory buffer `B` measured
 //! in 4 KiB pages (Theorems 4, 7, 10). This pool is that buffer: it caches
@@ -18,21 +18,49 @@
 //! algorithm's summary-table partitions, Section 6) account for that memory
 //! by taking a [`Reservation`], which shrinks the pool's capacity for the
 //! reservation's lifetime.
+//!
+//! # Concurrency
+//!
+//! The frame table is split into power-of-two **shards**, each guarded by
+//! its own latch and running its own CLOCK hand over its own share of the
+//! capacity. A page's shard is a hash of `(FileId, PageId)`, so pins of
+//! distinct pages mostly take distinct latches and the pool scales with the
+//! worker-pool parallelism in `iolap-core`. Hit/miss counters are lock-free
+//! atomics ([`BufferPool::hit_stats`], [`BufferPool::hit_ratio`]).
+//!
+//! Pools smaller than [`SHARDING_THRESHOLD`] pages use a single shard, so
+//! the tightly budgeted configurations the I/O-cost experiments run under
+//! (tens of pages) keep the exact global-CLOCK eviction order the cost
+//! model was validated against; sharding only kicks in where the capacity
+//! is large enough that carving it into stripes cannot distort eviction
+//! behaviour measurably.
 
 use crate::error::{Result, StorageError};
 use crate::pager::{PageId, Pager, PAGE_SIZE};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Identifies a file registered with a [`BufferPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(pub(crate) u32);
 
+/// Pools with at least this many pages of capacity are lock-striped; below
+/// it a single shard preserves exact global CLOCK semantics.
+pub const SHARDING_THRESHOLD: usize = 128;
+
+/// Hard cap on the number of shards.
+const MAX_SHARDS: usize = 16;
+
 type FrameBuf = Arc<RwLock<Box<[u8; PAGE_SIZE]>>>;
+type SharedPager = Arc<Mutex<Box<dyn Pager>>>;
 
 struct Frame {
     key: Option<(FileId, PageId)>,
+    /// The pager of `key`'s file, so eviction write-back needs no trip back
+    /// through the file table (lock order stays shard → pager).
+    pager: Option<SharedPager>,
     buf: FrameBuf,
     pin: usize,
     dirty: bool,
@@ -43,6 +71,7 @@ impl Frame {
     fn empty() -> Self {
         Frame {
             key: None,
+            pager: None,
             buf: Arc::new(RwLock::new(Box::new([0u8; PAGE_SIZE]))),
             pin: 0,
             dirty: false,
@@ -51,33 +80,25 @@ impl Frame {
     }
 }
 
-struct PoolInner {
+/// One stripe of the frame table: its own map, CLOCK hand, and share of the
+/// pool capacity.
+struct Shard {
     frames: Vec<Frame>,
     map: HashMap<(FileId, PageId), usize>,
-    files: Vec<Option<Box<dyn Pager>>>,
+    /// This shard's share of the pool's effective capacity.
     capacity: usize,
-    reserved: usize,
     clock: usize,
-    /// Pool-level counters, useful in tests and ablations.
-    hits: u64,
-    misses: u64,
 }
 
-impl PoolInner {
-    fn effective_capacity(&self) -> usize {
-        self.capacity.saturating_sub(self.reserved).max(1)
+impl Shard {
+    fn new() -> Self {
+        Shard { frames: Vec::new(), map: HashMap::new(), capacity: 1, clock: 0 }
     }
 
-    fn pager(&mut self, file: FileId) -> &mut Box<dyn Pager> {
-        self.files[file.0 as usize]
-            .as_mut()
-            .expect("file used after being dropped from the pool")
-    }
-
-    /// Find a frame to (re)use, evicting an unpinned one if the pool is at
+    /// Find a frame to (re)use, evicting an unpinned one if the shard is at
     /// capacity. Returns the frame index with `key == None`.
     fn grab_frame(&mut self) -> Result<usize> {
-        if self.frames.len() < self.effective_capacity() {
+        if self.frames.len() < self.capacity {
             self.frames.push(Frame::empty());
             return Ok(self.frames.len() - 1);
         }
@@ -97,26 +118,28 @@ impl PoolInner {
             self.evict(i)?;
             return Ok(i);
         }
-        Err(StorageError::PoolExhausted { capacity: self.effective_capacity() })
+        Err(StorageError::PoolExhausted { capacity: self.capacity })
     }
 
     fn evict(&mut self, i: usize) -> Result<()> {
         if let Some((file, page)) = self.frames[i].key.take() {
             self.map.remove(&(file, page));
             if self.frames[i].dirty {
+                let pager = self.frames[i].pager.clone().expect("resident frame lost its pager");
                 let buf = Arc::clone(&self.frames[i].buf);
                 let guard = buf.read();
-                self.pager(file).write_page(page, &guard[..])?;
+                pager.lock().write_page(page, &guard[..])?;
                 self.frames[i].dirty = false;
             }
+            self.frames[i].pager = None;
         }
         Ok(())
     }
 
-    /// Shrink to the effective capacity by evicting unpinned frames.
+    /// Shrink to the shard capacity by evicting unpinned frames.
     /// Best-effort: pinned frames are skipped.
     fn shrink(&mut self) -> Result<()> {
-        while self.frames.len() > self.effective_capacity() {
+        while self.frames.len() > self.capacity {
             let Some(i) = self.frames.iter().rposition(|f| f.pin == 0) else {
                 return Ok(());
             };
@@ -134,121 +157,195 @@ impl PoolInner {
     }
 }
 
+/// State shared by all handles to one pool.
+struct PoolShared {
+    shards: Vec<Arc<Mutex<Shard>>>,
+    files: Mutex<Vec<Option<SharedPager>>>,
+    /// Nominal capacity in pages (before reservations).
+    capacity: AtomicUsize,
+    /// Pages currently carved out by live [`Reservation`]s.
+    reserved: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PoolShared {
+    fn shard_of(&self, file: FileId, page: PageId) -> &Arc<Mutex<Shard>> {
+        let n = self.shards.len();
+        if n == 1 {
+            return &self.shards[0];
+        }
+        // Multiplicative hash of (file, page); top bits select the shard
+        // (n is a power of two).
+        let h = ((file.0 as u64) << 48 ^ page).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 60) as usize & (n - 1)]
+    }
+
+    fn pager(&self, file: FileId) -> SharedPager {
+        self.files.lock()[file.0 as usize]
+            .clone()
+            .expect("file used after being dropped from the pool")
+    }
+
+    /// Recompute every shard's capacity share from the nominal capacity and
+    /// the reservation total, shrinking shards that are now over budget.
+    fn redistribute(&self) -> Result<()> {
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        let reserved = self.reserved.load(Ordering::Relaxed);
+        let n = self.shards.len();
+        let effective = capacity.saturating_sub(reserved).max(n);
+        for (i, shard) in self.shards.iter().enumerate() {
+            let share = effective / n + usize::from(i < effective % n);
+            let mut shard = shard.lock();
+            shard.capacity = share;
+            shard.shrink()?;
+        }
+        Ok(())
+    }
+}
+
 /// The buffer pool. Cloning clones the handle; all clones share frames.
 #[derive(Clone)]
 pub struct BufferPool {
-    inner: Arc<Mutex<PoolInner>>,
+    shared: Arc<PoolShared>,
 }
 
 impl BufferPool {
     /// Create a pool holding at most `capacity_pages` pages.
+    ///
+    /// The shard count is fixed at construction from the initial capacity:
+    /// one shard below [`SHARDING_THRESHOLD`] pages, then one per 64 pages
+    /// up to 16, rounded to a power of two. Later
+    /// [`set_capacity`](BufferPool::set_capacity) calls re-split the new
+    /// capacity across the existing shards.
     pub fn new(capacity_pages: usize) -> Self {
-        BufferPool {
-            inner: Arc::new(Mutex::new(PoolInner {
-                frames: Vec::new(),
-                map: HashMap::new(),
-                files: Vec::new(),
-                capacity: capacity_pages.max(1),
-                reserved: 0,
-                clock: 0,
-                hits: 0,
-                misses: 0,
-            })),
-        }
+        let capacity = capacity_pages.max(1);
+        let n = if capacity < SHARDING_THRESHOLD {
+            1
+        } else {
+            (capacity / 64).next_power_of_two().min(MAX_SHARDS)
+        };
+        let pool = BufferPool {
+            shared: Arc::new(PoolShared {
+                shards: (0..n).map(|_| Arc::new(Mutex::new(Shard::new()))).collect(),
+                files: Mutex::new(Vec::new()),
+                capacity: AtomicUsize::new(capacity),
+                reserved: AtomicUsize::new(0),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }),
+        };
+        pool.shared.redistribute().expect("initial redistribute cannot evict");
+        pool
     }
 
     /// Register a pager; the pool takes ownership and serializes access.
     pub fn register(&self, pager: Box<dyn Pager>) -> FileId {
-        let mut inner = self.inner.lock();
-        let id = FileId(inner.files.len() as u32);
-        inner.files.push(Some(pager));
+        let mut files = self.shared.files.lock();
+        let id = FileId(files.len() as u32);
+        files.push(Some(Arc::new(Mutex::new(pager))));
         id
     }
 
     /// Drop a file: purge its frames (without write-back) and release the
     /// pager. Any page guard for this file must have been dropped.
     pub fn forget_file(&self, file: FileId) {
-        let mut inner = self.inner.lock();
-        for i in 0..inner.frames.len() {
-            if let Some((f, p)) = inner.frames[i].key {
-                if f == file {
-                    assert_eq!(inner.frames[i].pin, 0, "forgetting a file with pinned pages");
-                    inner.frames[i].key = None;
-                    inner.frames[i].dirty = false;
-                    inner.map.remove(&(f, p));
+        for shard in &self.shared.shards {
+            let mut shard = shard.lock();
+            for i in 0..shard.frames.len() {
+                if let Some((f, p)) = shard.frames[i].key {
+                    if f == file {
+                        assert_eq!(shard.frames[i].pin, 0, "forgetting a file with pinned pages");
+                        shard.frames[i].key = None;
+                        shard.frames[i].pager = None;
+                        shard.frames[i].dirty = false;
+                        shard.map.remove(&(f, p));
+                    }
                 }
             }
         }
-        inner.files[file.0 as usize] = None;
+        self.shared.files.lock()[file.0 as usize] = None;
     }
 
     /// Number of pages in `file` (cached metadata from the pager).
     pub fn file_pages(&self, file: FileId) -> u64 {
-        let mut inner = self.inner.lock();
-        inner.pager(file).num_pages()
+        self.shared.pager(file).lock().num_pages()
     }
 
     /// Pin an existing page of `file` into the pool and return a guard.
     pub fn pin(&self, file: FileId, page: PageId) -> Result<PageGuard> {
-        let mut inner = self.inner.lock();
-        if let Some(&i) = inner.map.get(&(file, page)) {
-            inner.hits += 1;
-            let f = &mut inner.frames[i];
+        let shard_arc = Arc::clone(self.shared.shard_of(file, page));
+        let mut shard = shard_arc.lock();
+        if let Some(&i) = shard.map.get(&(file, page)) {
+            self.shared.hits.fetch_add(1, Ordering::Relaxed);
+            let f = &mut shard.frames[i];
             f.pin += 1;
             f.referenced = true;
             let buf = Arc::clone(&f.buf);
-            return Ok(PageGuard { pool: Arc::clone(&self.inner), frame: i, buf, dirty: false });
+            drop(shard);
+            return Ok(PageGuard { shard: shard_arc, key: (file, page), buf, dirty: false });
         }
-        inner.misses += 1;
-        let i = inner.grab_frame()?;
+        self.shared.misses.fetch_add(1, Ordering::Relaxed);
+        let pager = self.shared.pager(file);
+        let i = shard.grab_frame()?;
         {
-            let buf = Arc::clone(&inner.frames[i].buf);
+            let buf = Arc::clone(&shard.frames[i].buf);
             let mut guard = buf.write();
-            inner.pager(file).read_page(page, &mut guard[..])?;
+            pager.lock().read_page(page, &mut guard[..])?;
         }
-        let f = &mut inner.frames[i];
+        let f = &mut shard.frames[i];
         f.key = Some((file, page));
+        f.pager = Some(pager);
         f.pin = 1;
         f.dirty = false;
         f.referenced = true;
         let buf = Arc::clone(&f.buf);
-        inner.map.insert((file, page), i);
-        Ok(PageGuard { pool: Arc::clone(&self.inner), frame: i, buf, dirty: false })
+        shard.map.insert((file, page), i);
+        drop(shard);
+        Ok(PageGuard { shard: shard_arc, key: (file, page), buf, dirty: false })
     }
 
     /// Allocate a fresh (zeroed) page at the end of `file` and pin it,
     /// without reading from disk. The page is written back on eviction or
     /// flush. Returns the page id and its guard.
     pub fn pin_new(&self, file: FileId) -> Result<(PageId, PageGuard)> {
-        let mut inner = self.inner.lock();
-        let page = inner.pager(file).allocate_page()?;
-        let i = inner.grab_frame()?;
+        let pager = self.shared.pager(file);
+        let page = pager.lock().allocate_page()?;
+        let shard_arc = Arc::clone(self.shared.shard_of(file, page));
+        let mut shard = shard_arc.lock();
+        let i = shard.grab_frame()?;
         {
-            let buf = Arc::clone(&inner.frames[i].buf);
+            let buf = Arc::clone(&shard.frames[i].buf);
             buf.write().fill(0);
         }
-        let f = &mut inner.frames[i];
+        let f = &mut shard.frames[i];
         f.key = Some((file, page));
+        f.pager = Some(pager);
         f.pin = 1;
         f.dirty = true;
         f.referenced = true;
         let buf = Arc::clone(&f.buf);
-        inner.map.insert((file, page), i);
-        Ok((page, PageGuard { pool: Arc::clone(&self.inner), frame: i, buf, dirty: true }))
+        shard.map.insert((file, page), i);
+        drop(shard);
+        Ok((page, PageGuard { shard: shard_arc, key: (file, page), buf, dirty: true }))
     }
 
     /// Write every dirty frame back to its file. Pinned frames are flushed
     /// too (they stay resident and pinned, but become clean).
     pub fn flush_all(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        for i in 0..inner.frames.len() {
-            if inner.frames[i].dirty {
-                if let Some((file, page)) = inner.frames[i].key {
-                    let buf = Arc::clone(&inner.frames[i].buf);
-                    let guard = buf.read();
-                    inner.pager(file).write_page(page, &guard[..])?;
-                    drop(guard);
-                    inner.frames[i].dirty = false;
+        for shard in &self.shared.shards {
+            let mut shard = shard.lock();
+            for i in 0..shard.frames.len() {
+                if shard.frames[i].dirty {
+                    if let Some((_, page)) = shard.frames[i].key {
+                        let pager =
+                            shard.frames[i].pager.clone().expect("resident frame lost its pager");
+                        let buf = Arc::clone(&shard.frames[i].buf);
+                        let guard = buf.read();
+                        pager.lock().write_page(page, &guard[..])?;
+                        drop(guard);
+                        shard.frames[i].dirty = false;
+                    }
                 }
             }
         }
@@ -259,29 +356,34 @@ impl BufferPool {
     /// underlying pager to `pages` pages. Any page guard for this file must
     /// have been dropped.
     pub fn truncate_file(&self, file: FileId, pages: u64) -> Result<()> {
-        let mut inner = self.inner.lock();
-        for i in 0..inner.frames.len() {
-            if let Some((f, p)) = inner.frames[i].key {
-                if f == file && p >= pages {
-                    assert_eq!(inner.frames[i].pin, 0, "truncating a file with pinned pages");
-                    inner.frames[i].key = None;
-                    inner.frames[i].dirty = false;
-                    inner.map.remove(&(f, p));
+        for shard in &self.shared.shards {
+            let mut shard = shard.lock();
+            for i in 0..shard.frames.len() {
+                if let Some((f, p)) = shard.frames[i].key {
+                    if f == file && p >= pages {
+                        assert_eq!(shard.frames[i].pin, 0, "truncating a file with pinned pages");
+                        shard.frames[i].key = None;
+                        shard.frames[i].pager = None;
+                        shard.frames[i].dirty = false;
+                        shard.map.remove(&(f, p));
+                    }
                 }
             }
         }
-        inner.pager(file).truncate(pages)
+        self.shared.pager(file).lock().truncate(pages)
     }
 
     /// Drop every unpinned frame of `file` (writing dirty ones back), so the
     /// next scan re-reads from disk. Used by benchmarks to reproduce "cold"
     /// passes deterministically.
     pub fn purge_file(&self, file: FileId) -> Result<()> {
-        let mut inner = self.inner.lock();
-        for i in 0..inner.frames.len() {
-            match inner.frames[i].key {
-                Some((f, _)) if f == file && inner.frames[i].pin == 0 => inner.evict(i)?,
-                _ => {}
+        for shard in &self.shared.shards {
+            let mut shard = shard.lock();
+            for i in 0..shard.frames.len() {
+                match shard.frames[i].key {
+                    Some((f, _)) if f == file && shard.frames[i].pin == 0 => shard.evict(i)?,
+                    _ => {}
+                }
             }
         }
         Ok(())
@@ -291,39 +393,56 @@ impl BufferPool {
     /// the returned guard. Models algorithm working memory (e.g. Block's
     /// partitions) being carved out of the same buffer as the page cache.
     pub fn reserve(&self, pages: usize) -> Result<Reservation> {
-        let mut inner = self.inner.lock();
-        inner.reserved += pages;
-        inner.shrink()?;
-        Ok(Reservation { pool: Arc::clone(&self.inner), pages })
+        self.shared.reserved.fetch_add(pages, Ordering::Relaxed);
+        self.shared.redistribute()?;
+        Ok(Reservation { shared: Arc::clone(&self.shared), pages })
     }
 
     /// Current capacity in pages (before reservations).
     pub fn capacity(&self) -> usize {
-        self.inner.lock().capacity
+        self.shared.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Number of lock stripes in this pool.
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
     }
 
     /// Re-size the pool. Shrinking evicts unpinned frames immediately.
     pub fn set_capacity(&self, pages: usize) -> Result<()> {
-        let mut inner = self.inner.lock();
-        inner.capacity = pages.max(1);
-        inner.shrink()
+        self.shared.capacity.store(pages.max(1), Ordering::Relaxed);
+        self.shared.redistribute()
     }
 
     /// (hits, misses) counters since pool creation.
     pub fn hit_stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
-        (inner.hits, inner.misses)
+        (self.shared.hits.load(Ordering::Relaxed), self.shared.misses.load(Ordering::Relaxed))
+    }
+
+    /// Fraction of pins served from the pool without touching the pager,
+    /// `hits / (hits + misses)`. `1.0` for an untouched pool.
+    pub fn hit_ratio(&self) -> f64 {
+        let (hits, misses) = self.hit_stats();
+        if hits + misses == 0 {
+            1.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
     }
 
     /// Number of frames currently resident.
     pub fn resident(&self) -> usize {
-        self.inner.lock().frames.iter().filter(|f| f.key.is_some()).count()
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.lock().frames.iter().filter(|f| f.key.is_some()).count())
+            .sum()
     }
 }
 
 /// Keeps `pages` pages of the pool reserved while alive.
 pub struct Reservation {
-    pool: Arc<Mutex<PoolInner>>,
+    shared: Arc<PoolShared>,
     pages: usize,
 }
 
@@ -336,16 +455,17 @@ impl Reservation {
 
 impl Drop for Reservation {
     fn drop(&mut self) {
-        let mut inner = self.pool.lock();
-        inner.reserved = inner.reserved.saturating_sub(self.pages);
+        self.shared.reserved.fetch_sub(self.pages, Ordering::Relaxed);
+        // Growing shares never evicts, so redistribute cannot fail here.
+        let _ = self.shared.redistribute();
     }
 }
 
 /// A pinned page. Holding the guard keeps the frame resident; dropping it
 /// unpins (the data is written back lazily on eviction or flush).
 pub struct PageGuard {
-    pool: Arc<Mutex<PoolInner>>,
-    frame: usize,
+    shard: Arc<Mutex<Shard>>,
+    key: (FileId, PageId),
     buf: FrameBuf,
     dirty: bool,
 }
@@ -369,8 +489,11 @@ impl PageGuard {
 
 impl Drop for PageGuard {
     fn drop(&mut self) {
-        let mut inner = self.pool.lock();
-        let f = &mut inner.frames[self.frame];
+        let mut shard = self.shard.lock();
+        // A pinned frame can't be evicted or moved by shrink, so the key is
+        // still mapped.
+        let i = shard.map[&self.key];
+        let f = &mut shard.frames[i];
         debug_assert!(f.pin > 0);
         f.pin -= 1;
         f.dirty |= self.dirty;
@@ -504,5 +627,59 @@ mod tests {
         }
         let delta = stats.snapshot() - before;
         assert!(delta.reads >= 12, "reads = {}", delta.reads);
+    }
+
+    #[test]
+    fn small_pools_use_one_shard_large_pools_stripe() {
+        assert_eq!(BufferPool::new(4).shards(), 1);
+        assert_eq!(BufferPool::new(SHARDING_THRESHOLD - 1).shards(), 1);
+        assert!(BufferPool::new(SHARDING_THRESHOLD).shards() > 1);
+        assert_eq!(BufferPool::new(4096).shards(), 16);
+    }
+
+    #[test]
+    fn sharded_pool_round_trips_and_counts_hits() {
+        let (pool, file, _) = pool_with_file(256);
+        assert!(pool.shards() > 1);
+        for v in 0..64u8 {
+            let (_, mut g) = pool.pin_new(file).unwrap();
+            g.write(|b| b[0] = v);
+        }
+        for v in 0..64u8 {
+            let g = pool.pin(file, v as u64).unwrap();
+            assert_eq!(g.read(|b| b[0]), v);
+        }
+        let (hits, misses) = pool.hit_stats();
+        assert_eq!(hits, 64, "everything fits: second pass is all hits");
+        assert_eq!(misses, 0, "pin_new is not a miss");
+        assert!((pool.hit_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_capacity_shares_sum_to_effective_capacity() {
+        let pool = BufferPool::new(200);
+        let n = pool.shards();
+        assert!(n > 1);
+        let total: usize = pool.shared.shards.iter().map(|s| s.lock().capacity).sum();
+        assert_eq!(total, 200);
+        let r = pool.reserve(50).unwrap();
+        let total: usize = pool.shared.shards.iter().map(|s| s.lock().capacity).sum();
+        assert_eq!(total, 150);
+        drop(r);
+        let total: usize = pool.shared.shards.iter().map(|s| s.lock().capacity).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn hit_ratio_reflects_misses() {
+        let (pool, file, _) = pool_with_file(4);
+        let (_, g) = pool.pin_new(file).unwrap();
+        drop(g);
+        pool.flush_all().unwrap();
+        pool.purge_file(file).unwrap();
+        let _ = pool.pin(file, 0).unwrap(); // miss
+        let _ = pool.pin(file, 0).unwrap(); // hit
+        assert_eq!(pool.hit_stats(), (1, 1));
+        assert!((pool.hit_ratio() - 0.5).abs() < 1e-12);
     }
 }

@@ -112,12 +112,8 @@ impl Env {
         let pager: Box<dyn Pager> = match self.inner.backing {
             Backing::Memory => Box::new(MemPager::new(self.inner.stats.clone())),
             Backing::Disk => {
-                let dir = self
-                    .inner
-                    .tempdir
-                    .as_ref()
-                    .expect("disk backing implies a directory")
-                    .path();
+                let dir =
+                    self.inner.tempdir.as_ref().expect("disk backing implies a directory").path();
                 let n = self.inner.next_file.fetch_add(1, Ordering::Relaxed);
                 let path = dir.join(format!("{name}.{n}.pages"));
                 Box::new(FilePager::create(path, self.inner.stats.clone())?)

@@ -62,11 +62,7 @@ impl ExternalSorter {
 
     /// Sort `input` by `key`; consumes the input file (its pages are
     /// released) and returns a freshly written sorted file.
-    pub fn sort<T, C, K, F>(
-        &self,
-        mut input: RecordFile<T, C>,
-        key: F,
-    ) -> Result<RecordFile<T, C>>
+    pub fn sort<T, C, K, F>(&self, mut input: RecordFile<T, C>, key: F) -> Result<RecordFile<T, C>>
     where
         C: Codec<T>,
         K: Ord,

@@ -169,8 +169,7 @@ impl<T, C: Codec<T>> RecordFile<T, C> {
             let (page, _) = self.locate(i);
             let guard = self.pool.pin(self.file, page)?;
             let first_slot = (i % self.recs_per_page as u64) as usize;
-            let in_page =
-                ((self.recs_per_page - first_slot) as u64).min(end - i) as usize;
+            let in_page = ((self.recs_per_page - first_slot) as u64).min(end - i) as usize;
             guard.read(|bytes| {
                 for s in 0..in_page {
                     let off = (first_slot + s) * size;

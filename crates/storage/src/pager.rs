@@ -74,15 +74,12 @@ impl FilePager {
     /// Open an existing pager file at `path`.
     pub fn open(path: impl AsRef<Path>, stats: IoStats) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(&path)
-            .map_err(|e| StorageError::io(format!("opening pager file {}", path.display()), e))?;
-        let len = file
-            .metadata()
-            .map_err(|e| StorageError::io("reading pager file metadata", e))?
-            .len();
+        let file =
+            OpenOptions::new().read(true).write(true).open(&path).map_err(|e| {
+                StorageError::io(format!("opening pager file {}", path.display()), e)
+            })?;
+        let len =
+            file.metadata().map_err(|e| StorageError::io("reading pager file metadata", e))?.len();
         Ok(Self { file, path, num_pages: len / PAGE_SIZE as u64, stats })
     }
 

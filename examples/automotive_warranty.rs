@@ -12,7 +12,7 @@
 //! cargo run --release --example automotive_warranty
 //! ```
 
-use imprecise_olap::core::{allocate, prepare, plan, Algorithm, AllocConfig, PolicySpec};
+use imprecise_olap::core::{allocate, plan, prepare, Algorithm, AllocConfig, PolicySpec};
 use imprecise_olap::datagen::{census, generate, GeneratorConfig};
 use imprecise_olap::query::{
     aggregate_classical, aggregate_edb, drilldown, pivot, AggFn, Classical, QueryBuilder,
@@ -40,8 +40,8 @@ fn main() {
         );
     }
 
-    let mut run = allocate(&table, &policy, Algorithm::Transitive, &cfg)
-        .expect("allocation succeeds");
+    let mut run =
+        allocate(&table, &policy, Algorithm::Transitive, &cfg).expect("allocation succeeds");
     println!("{}", run.report);
 
     let schema = table.schema().clone();
@@ -50,11 +50,8 @@ fn main() {
     println!("Weighted repair COUNT per region (allocation-based):");
     let loc = schema.dim(3);
     for &region in loc.nodes_at_level(3) {
-        let q = QueryBuilder::new(schema.clone())
-            .at_node(3, region)
-            .agg(AggFn::Count)
-            .build()
-            .unwrap();
+        let q =
+            QueryBuilder::new(schema.clone()).at_node(3, region).agg(AggFn::Count).build().unwrap();
         let r = aggregate_edb(&mut run.edb, &q).unwrap();
         println!("  {:<22} {:>10.1}", loc.node_name(region), r.value);
     }
@@ -63,11 +60,7 @@ fn main() {
     // Compare semantics on one region: classical answers bracket the
     // allocated one.
     let region = loc.nodes_at_level(3)[0];
-    let q = QueryBuilder::new(schema.clone())
-        .at_node(3, region)
-        .agg(AggFn::Count)
-        .build()
-        .unwrap();
+    let q = QueryBuilder::new(schema.clone()).at_node(3, region).agg(AggFn::Count).build().unwrap();
     let none = aggregate_classical(&table, &q, Classical::None).value;
     let contains = aggregate_classical(&table, &q, Classical::Contains).value;
     let overlaps = aggregate_classical(&table, &q, Classical::Overlaps).value;
@@ -85,22 +78,21 @@ fn main() {
     println!("AVG(amount) for the first five makes:");
     let brand = schema.dim(1);
     for &make in brand.nodes_at_level(2).iter().take(5) {
-        let q = QueryBuilder::new(schema.clone())
-            .at_node(1, make)
-            .agg(AggFn::Avg)
-            .build()
-            .unwrap();
+        let q = QueryBuilder::new(schema.clone()).at_node(1, make).agg(AggFn::Avg).build().unwrap();
         let r = aggregate_edb(&mut run.edb, &q).unwrap();
         println!("  {:<22} {:>10.2}", brand.node_name(make), r.value);
     }
     println!();
 
     // Drill into the busiest region, then cross-tab it against quarters.
-    let mut regions = drilldown(&mut run.edb, &schema, 3, schema.dim(3).all(), AggFn::Count)
-        .expect("drilldown");
+    let mut regions =
+        drilldown(&mut run.edb, &schema, 3, schema.dim(3).all(), AggFn::Count).expect("drilldown");
     regions.sort_by(|a, b| b.result.value.total_cmp(&a.result.value));
     let busiest = &regions[0];
-    println!("Busiest region: {} ({:.0} weighted repairs). Its states:", busiest.name, busiest.result.value);
+    println!(
+        "Busiest region: {} ({:.0} weighted repairs). Its states:",
+        busiest.name, busiest.result.value
+    );
     let mut states = drilldown(&mut run.edb, &schema, 3, busiest.node, AggFn::Count).unwrap();
     states.sort_by(|a, b| b.result.value.total_cmp(&a.result.value));
     for s in states.iter().take(5) {

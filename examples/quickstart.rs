@@ -25,12 +25,7 @@ fn main() {
     let cfg = AllocConfig::in_memory(256);
 
     // All four algorithms compute the same fixpoint.
-    for alg in [
-        Algorithm::Basic,
-        Algorithm::Independent,
-        Algorithm::Block,
-        Algorithm::Transitive,
-    ] {
+    for alg in [Algorithm::Basic, Algorithm::Independent, Algorithm::Block, Algorithm::Transitive] {
         let run = allocate(&table, &policy, alg, &cfg).expect("allocation succeeds");
         println!("{}", run.report);
     }
@@ -59,7 +54,10 @@ fn main() {
             .build()
             .unwrap();
         let r = aggregate_edb(&mut run.edb, &q).unwrap();
-        println!("SUM(Sales) over ({loc}, {auto}) = {:>8.2}  (weighted count {:.2})", r.value, r.count);
+        println!(
+            "SUM(Sales) over ({loc}, {auto}) = {:>8.2}  (weighted count {:.2})",
+            r.value, r.count
+        );
     }
     println!();
 

@@ -74,7 +74,8 @@ fn cmd_gen(args: &[String]) -> i32 {
         .unwrap_or_else(|| "automotive".into())
         .parse()
         .expect("--kind automotive|synthetic");
-    let n: u64 = flag(args, "--facts").unwrap_or_else(|| "10000".into()).parse().expect("--facts N");
+    let n: u64 =
+        flag(args, "--facts").unwrap_or_else(|| "10000".into()).parse().expect("--facts N");
     let seed: u64 = flag(args, "--seed").unwrap_or_else(|| "42".into()).parse().expect("--seed S");
     let out = PathBuf::from(flag(args, "--out").unwrap_or_else(|| "iolap-data".into()));
     std::fs::create_dir_all(&out).expect("creating output dir");
@@ -82,12 +83,7 @@ fn cmd_gen(args: &[String]) -> i32 {
     let table = scaled(kind, n, seed);
     let schema = table.schema().clone();
     write_dataset_csv(&table, &schema, &out).expect("writing CSVs");
-    println!(
-        "wrote {} facts over {} dimensions to {}",
-        table.len(),
-        schema.k(),
-        out.display()
-    );
+    println!("wrote {} facts over {} dimensions to {}", table.len(), schema.k(), out.display());
     0
 }
 
@@ -96,18 +92,18 @@ fn cmd_gen(args: &[String]) -> i32 {
 fn write_dataset_csv(table: &FactTable, schema: &Arc<Schema>, dir: &Path) -> std::io::Result<()> {
     for d in 0..schema.k() {
         let h = schema.dim(d);
-        let mut f = std::io::BufWriter::new(std::fs::File::create(
-            dir.join(format!("dim{}_{}.csv", d, sanitize(h.name()))),
-        )?);
+        let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join(format!(
+            "dim{}_{}.csv",
+            d,
+            sanitize(h.name())
+        )))?);
         // Header: level names bottom-up, excluding ALL.
         let levels = h.levels() - 1;
-        let header: Vec<String> =
-            (1..=levels).map(|l| h.level_name(l).to_string()).collect();
+        let header: Vec<String> = (1..=levels).map(|l| h.level_name(l).to_string()).collect();
         writeln!(f, "{}", header.join(","))?;
         for leaf in 0..h.num_leaves() {
-            let row: Vec<String> = (1..=levels)
-                .map(|l| quote(&h.node_name(h.ancestor_at(leaf, l))))
-                .collect();
+            let row: Vec<String> =
+                (1..=levels).map(|l| quote(&h.node_name(h.ancestor_at(leaf, l)))).collect();
             writeln!(f, "{}", row.join(","))?;
         }
     }
@@ -141,7 +137,7 @@ fn cmd_allocate(args: &[String]) -> i32 {
     if has_flag(args, "--help") {
         eprintln!(
             "iolap allocate --data DIR [--algorithm A] [--policy P] [--epsilon E] \
-             [--buffer-kb KB] [--rollup DIM:LEVEL] [--edb-out FILE]"
+             [--buffer-kb KB] [--threads N] [--rollup DIM:LEVEL] [--edb-out FILE]"
         );
         return 0;
     }
@@ -166,6 +162,8 @@ fn cmd_allocate(args: &[String]) -> i32 {
     let buffer_kb: u64 =
         flag(args, "--buffer-kb").unwrap_or_else(|| "4096".into()).parse().expect("--buffer-kb KB");
     let buffer_pages = ((buffer_kb * 1024) as usize).div_ceil(4096).max(8);
+    let threads: usize =
+        flag(args, "--threads").unwrap_or_else(|| "1".into()).parse().expect("--threads N");
 
     // Ingest.
     let (schema, table) = match load_dataset(&dir) {
@@ -182,20 +180,17 @@ fn cmd_allocate(args: &[String]) -> i32 {
         schema.k()
     );
 
-    let cfg = AllocConfig { buffer_pages, ..Default::default() };
+    let cfg = AllocConfig { buffer_pages, threads, ..Default::default() };
     let mut run = allocate(&table, &policy, algorithm, &cfg).expect("allocation");
     println!("{}", run.report);
     println!("EDB: {} entries for {} facts", run.edb.num_entries(), run.edb.num_facts_allocated());
 
     if let Some(spec) = flag(args, "--rollup") {
         let (dim_name, level_name) = spec.split_once(':').expect("--rollup DIM:LEVEL");
-        let d = (0..schema.k())
-            .find(|&d| schema.dim(d).name() == dim_name)
-            .expect("known dimension");
+        let d =
+            (0..schema.k()).find(|&d| schema.dim(d).name() == dim_name).expect("known dimension");
         let h = schema.dim(d);
-        let level = (1..=h.levels())
-            .find(|&l| h.level_name(l) == level_name)
-            .expect("known level");
+        let level = (1..=h.levels()).find(|&l| h.level_name(l) == level_name).expect("known level");
         let rows = rollup(&mut run.edb, &schema, d, level, None, AggFn::Sum).expect("rollup");
         // Print the top 20 by value.
         let mut rows = rows;
@@ -206,7 +201,12 @@ fn cmd_allocate(args: &[String]) -> i32 {
 
     if let Some(path) = flag(args, "--edb-out") {
         let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("EDB out file"));
-        writeln!(f, "fact_id,{},weight,measure", (0..schema.k()).map(|d| schema.dim(d).name().to_string()).collect::<Vec<_>>().join(",")).unwrap();
+        writeln!(
+            f,
+            "fact_id,{},weight,measure",
+            (0..schema.k()).map(|d| schema.dim(d).name().to_string()).collect::<Vec<_>>().join(",")
+        )
+        .unwrap();
         let schema2 = schema.clone();
         run.edb
             .for_each(|e| {
@@ -261,8 +261,7 @@ fn load_dataset(dir: &Path) -> Result<(Arc<Schema>, FactTable), String> {
         dims.push(Arc::new(hierarchy_from_csv(&name, &level_names, &body_text)?));
     }
     let schema = Arc::new(Schema::new(dims, "measure"));
-    let facts_text =
-        std::fs::read_to_string(dir.join("facts.csv")).map_err(|e| e.to_string())?;
+    let facts_text = std::fs::read_to_string(dir.join("facts.csv")).map_err(|e| e.to_string())?;
     let table = facts_from_csv_with_positional_dims(schema.clone(), &facts_text)?;
     Ok((schema, table))
 }
@@ -282,8 +281,7 @@ fn facts_from_csv_with_positional_dims(
         return Err("facts.csv column count mismatch".into());
     }
     let mut fixed = String::new();
-    let dims: Vec<String> =
-        (0..schema.k()).map(|d| schema.dim(d).name().to_string()).collect();
+    let dims: Vec<String> = (0..schema.k()).map(|d| schema.dim(d).name().to_string()).collect();
     fixed.push_str(&format!("id,{},measure\n", dims.join(",")));
     let mut first = true;
     for line in text.lines() {

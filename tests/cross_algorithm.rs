@@ -28,10 +28,7 @@ fn assert_same(a: &Weights, b: &Weights, label: &str) {
         assert_eq!(ea.len(), eb.len(), "{label}: fact {id} entry counts differ");
         for ((ca, wa), (cb, wb)) in ea.iter().zip(eb.iter()) {
             assert_eq!(ca, cb, "{label}: fact {id} cells differ");
-            assert!(
-                (wa - wb).abs() < 1e-6,
-                "{label}: fact {id} weights {wa} vs {wb}"
-            );
+            assert!((wa - wb).abs() < 1e-6, "{label}: fact {id} weights {wa} vs {wb}");
         }
     }
 }
@@ -93,12 +90,8 @@ fn transitive_components_match_bfs_reference() {
     // Reference: explicit graph + BFS.
     let keys: Vec<_> = table.facts().iter().filter_map(|f| schema.cell_of(f)).collect();
     let index = CellSetIndex::from_unsorted(keys, schema.k());
-    let regions: Vec<_> = table
-        .facts()
-        .iter()
-        .filter(|f| !schema.is_precise(f))
-        .map(|f| schema.region(f))
-        .collect();
+    let regions: Vec<_> =
+        table.facts().iter().filter(|f| !schema.is_precise(f)).map(|f| schema.region(f)).collect();
     let g = AllocationGraph::build(&index, &regions);
     let (cell_labels, fact_labels, _n) = g.components_bfs();
 
@@ -119,11 +112,45 @@ fn transitive_components_match_bfs_reference() {
         }
     }
     assert_eq!(stats.total, bfs_components.len() as u64, "component counts");
-    assert_eq!(
-        stats.largest,
-        sizes.values().copied().max().unwrap_or(0),
-        "largest component size"
-    );
+    assert_eq!(stats.largest, sizes.values().copied().max().unwrap_or(0), "largest component size");
+}
+
+#[test]
+fn thread_count_does_not_change_the_edb() {
+    // Theorem 2: the EM fixpoint is independent of evaluation order and
+    // schedule, which is what makes the step-3 worker pool sound. Stronger
+    // than weight equality up to ε: the coordinator re-sequences worker
+    // results by component order, so the EDB must be *bit-identical* for
+    // every thread count.
+    let table = generate(&GeneratorConfig::synthetic(3_000, 11));
+    let policy = PolicySpec::em_count(0.01);
+    let edb_with = |threads: usize, pages: usize| {
+        let cfg = AllocConfig { threads, ..AllocConfig::in_memory(pages) };
+        let mut run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
+        assert!(run.report.converged, "{threads} threads did not converge");
+        run.edb.weight_map().unwrap()
+    };
+    for pages in [4096, 48] {
+        // 48 pages also mixes in external (Block-fallback) components,
+        // exercising the drain barrier.
+        let reference = edb_with(1, pages);
+        for threads in [2, 4, 8] {
+            let got = edb_with(threads, pages);
+            assert_eq!(reference.len(), got.len(), "{threads} threads @ {pages}p");
+            for (id, ea) in &reference {
+                let eb = &got[id];
+                assert_eq!(ea.len(), eb.len(), "{threads} threads @ {pages}p: fact {id}");
+                for ((ca, wa), (cb, wb)) in ea.iter().zip(eb.iter()) {
+                    assert_eq!(ca, cb, "{threads} threads @ {pages}p: fact {id} cells");
+                    assert_eq!(
+                        wa.to_bits(),
+                        wb.to_bits(),
+                        "{threads} threads @ {pages}p: fact {id} weights {wa} vs {wb}"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

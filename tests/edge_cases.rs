@@ -23,10 +23,8 @@ fn empty_table_allocates_trivially() {
 #[test]
 fn all_precise_table_yields_weight_one_entries_only() {
     let t = paper_example::table1();
-    let precise_only = FactTable::from_facts(
-        t.schema().clone(),
-        t.facts().iter().take(5).cloned().collect(),
-    );
+    let precise_only =
+        FactTable::from_facts(t.schema().clone(), t.facts().iter().take(5).cloned().collect());
     let mut run = allocate(
         &precise_only,
         &PolicySpec::em_count(0.01),
@@ -46,12 +44,12 @@ fn all_imprecise_without_candidates_is_rejected() {
     let east = s.dim(0).node_by_name("East").unwrap().0;
     let sedan = s.dim(1).node_by_name("Sedan").unwrap().0;
     let t = FactTable::from_facts(s, vec![Fact::new(1, &[east, sedan], 10.0)]);
-    let err = allocate(&t, &PolicySpec::em_count(0.01), Algorithm::Block, &AllocConfig::in_memory(64));
+    let err =
+        allocate(&t, &PolicySpec::em_count(0.01), Algorithm::Block, &AllocConfig::in_memory(64));
     assert!(err.is_err());
     // …but the same table allocates fine under RegionUnion candidates.
-    let run =
-        allocate(&t, &PolicySpec::uniform(), Algorithm::Block, &AllocConfig::in_memory(64))
-            .unwrap();
+    let run = allocate(&t, &PolicySpec::uniform(), Algorithm::Block, &AllocConfig::in_memory(64))
+        .unwrap();
     assert_eq!(run.edb.num_entries(), 4, "uniform over the 2×2 region");
 }
 
@@ -66,13 +64,9 @@ fn duplicate_regions_allocate_identically() {
     dup.id = 99;
     facts.push(dup);
     let t = FactTable::from_facts(s, facts);
-    let mut run = allocate(
-        &t,
-        &PolicySpec::em_count(0.001),
-        Algorithm::Block,
-        &AllocConfig::in_memory(128),
-    )
-    .unwrap();
+    let mut run =
+        allocate(&t, &PolicySpec::em_count(0.001), Algorithm::Block, &AllocConfig::in_memory(128))
+            .unwrap();
     let m = run.edb.weight_map().unwrap();
     assert_eq!(m[&8].len(), m[&99].len());
     for (a, b) in m[&8].iter().zip(&m[&99]) {
@@ -161,13 +155,9 @@ fn measure_zero_everywhere_falls_back_to_uniform_for_all_facts() {
         s,
         t.facts_mut().iter().map(|f| Fact { measure: 0.0, ..f.clone() }).collect(),
     );
-    let mut run = allocate(
-        &facts,
-        &PolicySpec::measure(),
-        Algorithm::Basic,
-        &AllocConfig::in_memory(64),
-    )
-    .unwrap();
+    let mut run =
+        allocate(&facts, &PolicySpec::measure(), Algorithm::Basic, &AllocConfig::in_memory(64))
+            .unwrap();
     let checked = run.edb.validate_weights(1e-9).unwrap().unwrap();
     assert_eq!(checked, 14);
 }

@@ -34,10 +34,7 @@ fn block_io_grows_linearly_with_iterations() {
     let io6 = alloc_ios(&t, Algorithm::Block, 6);
     let ratio = io6 as f64 / io2 as f64;
     // Theorem 7 predicts exactly 3.0; allow slack for cache edge effects.
-    assert!(
-        (2.2..=3.8).contains(&ratio),
-        "Block I/O ratio T=6/T=2 was {ratio:.2} ({io2} → {io6})"
-    );
+    assert!((2.2..=3.8).contains(&ratio), "Block I/O ratio T=6/T=2 was {ratio:.2} ({io2} → {io6})");
 }
 
 #[test]
@@ -60,10 +57,7 @@ fn independent_io_dominates_block() {
     let blk = alloc_ios(&t, Algorithm::Block, 3);
     // Theorem 6 vs 7: 7T(W|C|+|I|) vs 3T(|S||C|+|I|); with W ≈ 10 and
     // |S| = 1 the gap is large.
-    assert!(
-        ind > 3 * blk,
-        "Independent ({ind}) should dwarf Block ({blk})"
-    );
+    assert!(ind > 3 * blk, "Independent ({ind}) should dwarf Block ({blk})");
 }
 
 #[test]

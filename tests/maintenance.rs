@@ -123,11 +123,8 @@ fn non_overlapped_precise_updates_are_cheap() {
     assert!(!isolated.is_empty());
 
     let mut maintained = MaintainableEdb::build(run, policy).unwrap();
-    let updates: Vec<FactUpdate> = isolated
-        .iter()
-        .take(10)
-        .map(|&id| FactUpdate { fact_id: id, new_measure: 1.0 })
-        .collect();
+    let updates: Vec<FactUpdate> =
+        isolated.iter().take(10).map(|&id| FactUpdate { fact_id: id, new_measure: 1.0 }).collect();
     let rep = maintained.apply_updates(&updates).unwrap();
     // Singleton components have no imprecise facts → no equations
     // re-evaluated, no entries rewritten.

@@ -43,12 +43,7 @@ fn example5_components_via_transitive() {
 #[test]
 fn every_algorithm_produces_a_valid_edb() {
     let t = paper_example::table1();
-    for alg in [
-        Algorithm::Basic,
-        Algorithm::Independent,
-        Algorithm::Block,
-        Algorithm::Transitive,
-    ] {
+    for alg in [Algorithm::Basic, Algorithm::Independent, Algorithm::Block, Algorithm::Transitive] {
         for policy in [
             PolicySpec::em_count(0.005),
             PolicySpec::em_measure(0.005),

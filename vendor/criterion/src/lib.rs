@@ -1,0 +1,208 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! (`bench_function`, `benchmark_group` + `sample_size` + `finish`,
+//! `Bencher::{iter, iter_batched}`, the `criterion_group!` /
+//! `criterion_main!` macros) with a straightforward wall-clock harness:
+//! per sample, the routine runs in a timed batch and the harness reports
+//! min / median / mean per-iteration times. No statistical regression
+//! analysis, plots, or HTML reports — numbers print to stdout.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup per measured batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine inputs: large batches.
+    SmallInput,
+    /// Large routine inputs: one input per measurement.
+    LargeInput,
+    /// Exactly one routine call per batch.
+    PerIteration,
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Honour `--bench` style argv noise from `cargo bench`; everything
+    /// else is ignored by this stand-in.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.sample_size, f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Print the run footer (upstream prints a summary; ours is a no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name.into()), self.sample_size, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called `self.iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Calibrate: one untimed warm-up call, then pick an iteration count
+    // aiming at ~50 ms per sample (clamped to [1, 1024]).
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(50).as_nanos() / per_iter.as_nanos()).clamp(1, 1024) as u64;
+
+    let mut per_iter_nanos: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter_nanos.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_nanos.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter_nanos[0];
+    let median = per_iter_nanos[per_iter_nanos.len() / 2];
+    let mean = per_iter_nanos.iter().sum::<f64>() / per_iter_nanos.len() as f64;
+    println!(
+        "{name:<50} min {:>12}  median {:>12}  mean {:>12}  ({samples} samples × {iters} iters)",
+        fmt_nanos(min),
+        fmt_nanos(median),
+        fmt_nanos(mean)
+    );
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iters() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

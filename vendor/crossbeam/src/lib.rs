@@ -1,0 +1,237 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace uses crossbeam for its multi-producer multi-consumer
+//! channels (the Transitive worker pool). This stand-in implements the
+//! [`channel`] module's `bounded`/`unbounded` API over a `Mutex<VecDeque>`
+//! plus two condvars — the same blocking semantics, without the lock-free
+//! internals (worker-pool traffic here is coarse-grained: one message per
+//! connected component, so lock overhead is immaterial).
+
+pub mod channel {
+    //! MPMC channels: `bounded(cap)` and `unbounded()`.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half of a channel. Cloning adds a sender.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a channel. Cloning adds a receiver.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (senders still connected).
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Create a channel that holds at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_chan(Some(cap))
+    }
+
+    /// Create a channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_chan(None)
+    }
+
+    fn new_chan<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State { queue: VecDeque::new(), cap, senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = st.cap.is_some_and(|c| st.queue.len() >= c);
+                if !full {
+                    st.queue.push_back(value);
+                    drop(st);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.chan.not_full.wait(st).unwrap();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive a message, blocking while the channel is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Iterate until the channel is closed and drained.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().senders += 1;
+            Sender { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().receivers += 1;
+            Receiver { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_out_fan_in() {
+        let (tx, rx) = channel::bounded::<u64>(2);
+        let (out_tx, out_rx) = channel::unbounded::<u64>();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let out = out_tx.clone();
+                s.spawn(move || {
+                    for v in rx.iter() {
+                        out.send(v * 2).unwrap();
+                    }
+                });
+            }
+            drop(rx);
+            drop(out_tx);
+            for v in 0..100 {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+            let mut got: Vec<u64> = out_rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..100).map(|v| v * 2).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn recv_errors_after_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_receivers_drop() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+}

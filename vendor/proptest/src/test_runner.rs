@@ -1,0 +1,140 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// How a single case ended other than success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the input; generate a fresh one.
+    Reject(String),
+    /// A `prop_assert*!` failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration (`#![proptest_config(…)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 4096 }
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0100_01b3);
+    }
+    h
+}
+
+/// Run `case` until `cfg.cases` successes. Each case's RNG is seeded from
+/// the test's full path and a stream counter, so runs are reproducible and
+/// independent of execution order. An environment override
+/// `PROPTEST_CASES=N` rescales the case count (useful in CI smoke runs).
+pub fn run(
+    cfg: &ProptestConfig,
+    test_path: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(cfg.cases);
+    let base = fnv1a(test_path);
+    let mut successes = 0u32;
+    let mut rejects = 0u32;
+    let mut stream = 0u64;
+    while successes < cases {
+        let seed = base ^ (stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)).rotate_left(17);
+        stream += 1;
+        let mut rng = TestRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= cfg.max_global_rejects,
+                    "{test_path}: too many prop_assume! rejections ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_path}: property failed on case {} (rng seed {seed:#018x})\n{msg}",
+                    successes + 1
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_counts_successes() {
+        let mut n = 0;
+        run(&ProptestConfig { cases: 10, ..Default::default() }, "t", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn runner_panics_on_failure() {
+        run(&ProptestConfig::default(), "t", |_| Err(TestCaseError::fail("nope")));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_generates_in_range(x in 10u32..20, v in crate::collection::vec(0u8..4, 0..6)) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn oneof_and_flat_map_compose(
+            v in (1usize..4).prop_flat_map(|n| crate::collection::vec(
+                prop_oneof![Just(1u8), Just(2u8), 5u8..7], n)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&b| b == 1 || b == 2 || b == 5 || b == 6));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}

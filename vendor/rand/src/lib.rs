@@ -1,0 +1,172 @@
+//! Offline stand-in for the `rand` crate (0.10-style API surface).
+//!
+//! Provides exactly what this workspace uses: a deterministic, seedable
+//! [`rngs::StdRng`] plus [`RngExt::random_range`] over integer and float
+//! ranges. The generator is xoshiro256++ seeded through SplitMix64 — a
+//! different stream than upstream `StdRng` (ChaCha12), which is fine here:
+//! every consumer treats the stream as an arbitrary deterministic source.
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core generator: uniformly random 64-bit words.
+pub trait Rng {
+    /// Next uniformly random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Extension methods over [`Rng`] (the `rand 0.10` naming).
+pub trait RngExt: Rng {
+    /// Sample uniformly from `range` (`a..b`, `a..=b`, integer or float).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        SampleRange::sample(range, self)
+    }
+
+    /// A uniformly random boolean with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        sample_unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: Rng + ?Sized> RngExt for T {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn sample_unit_f64(word: u64) -> f64 {
+    // 53 random mantissa bits in [0, 1).
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Multiply-shift rejection-free mapping is biased by at most
+                // 2^-64 per draw — irrelevant for synthetic data generation.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64 + 1;
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(v as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + sample_unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (sample_unit_f64(rng.next_u64()) as f32) * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding routine.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(0usize..=4);
+            assert!(w <= 4);
+            let f = rng.random_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&f));
+            let i = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn range_samples_cover_the_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values should appear");
+    }
+}

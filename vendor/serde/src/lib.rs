@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace never serializes through serde (no serde_json/bincode in
+//! the dependency set); the derives on config structs are forward-looking
+//! annotations. This stand-in supplies the trait names so `use serde::…`
+//! resolves, and (with the `derive` feature) re-exports the no-op derive
+//! macros from the vendored `serde_derive`.
+
+/// Marker for types that could be serialized.
+pub trait Serialize {}
+
+/// Marker for types that could be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

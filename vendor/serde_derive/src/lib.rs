@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace actually serializes through serde (there is
+//! no serde_json / bincode in the sanctioned dependency set) — the derives
+//! only annotate config structs for future use. The stand-in accepts the
+//! derive attributes and expands to nothing, so annotated code compiles
+//! unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` and expand to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` and expand to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
