@@ -24,10 +24,10 @@ fn bench_per_component_convergence(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let policy = PolicySpec::em_count(0.005);
-                let cfg = AllocConfig {
-                    per_component_convergence: enabled,
-                    ..AllocConfig::in_memory(1 << 16)
-                };
+                let cfg = AllocConfig::builder()
+                    .in_memory(1 << 16)
+                    .per_component_convergence(enabled)
+                    .build();
                 let run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
                 black_box(run.report.iterations)
             })
@@ -44,7 +44,7 @@ fn bench_independent_resort(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let policy = PolicySpec::em_count(0.01);
-                let cfg = AllocConfig { resort_facts: resort, ..AllocConfig::in_memory(1 << 16) };
+                let cfg = AllocConfig::builder().in_memory(1 << 16).resort_facts(resort).build();
                 let run = allocate(&table, &policy, Algorithm::Independent, &cfg).unwrap();
                 black_box(run.report.iterations)
             })
@@ -64,8 +64,13 @@ fn bench_iteration_scaling(c: &mut Criterion) {
             group.bench_function(format!("{alg}_T{iters}"), |b| {
                 b.iter(|| {
                     let policy = PolicySpec::em_count(0.0).with_max_iters(iters);
-                    let run =
-                        allocate(&table, &policy, alg, &AllocConfig::in_memory(1 << 16)).unwrap();
+                    let run = allocate(
+                        &table,
+                        &policy,
+                        alg,
+                        &AllocConfig::builder().in_memory(1 << 16).build(),
+                    )
+                    .unwrap();
                     black_box(run.report.iterations)
                 })
             });

@@ -62,7 +62,13 @@ fn bench_allocation_iteration(c: &mut Criterion) {
             b.iter(|| {
                 // Pin exactly one iteration (ε = 0 never converges).
                 let policy = PolicySpec::em_count(0.0).with_max_iters(1);
-                let run = allocate(&table, &policy, alg, &AllocConfig::in_memory(1 << 16)).unwrap();
+                let run = allocate(
+                    &table,
+                    &policy,
+                    alg,
+                    &AllocConfig::builder().in_memory(1 << 16).build(),
+                )
+                .unwrap();
                 black_box(run.report.iterations)
             })
         });
@@ -78,9 +84,13 @@ fn bench_component_identification(c: &mut Criterion) {
         b.iter(|| {
             // max_iters = 0 isolates prep + identification + sort + census.
             let policy = PolicySpec::em_count(0.0).with_max_iters(0);
-            let run =
-                allocate(&table, &policy, Algorithm::Transitive, &AllocConfig::in_memory(1 << 16))
-                    .unwrap();
+            let run = allocate(
+                &table,
+                &policy,
+                Algorithm::Transitive,
+                &AllocConfig::builder().in_memory(1 << 16).build(),
+            )
+            .unwrap();
             black_box(run.report.components.unwrap().total)
         })
     });

@@ -20,7 +20,7 @@ fn bench_par_components(c: &mut Criterion) {
     for threads in [1usize, 2, 4, 8] {
         g.bench_function(format!("threads={threads}"), |b| {
             b.iter(|| {
-                let cfg = AllocConfig { threads, ..AllocConfig::in_memory(1 << 16) };
+                let cfg = AllocConfig::builder().in_memory(1 << 16).threads(threads).build();
                 let run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
                 black_box(run.report.iterations)
             })

@@ -14,7 +14,7 @@
 //! cargo run --release -p iolap-bench --bin fig5_buffer -- --dataset synthetic
 //! ```
 
-use iolap_bench::runs::{kb_to_pages, print_table, run_once};
+use iolap_bench::runs::{bench_config, kb_to_pages, print_table, run_once};
 use iolap_bench::{Args, Json};
 use iolap_core::Algorithm;
 use iolap_datagen::{scaled, DatasetKind};
@@ -34,12 +34,14 @@ fn main() {
     let epsilons = [0.1f64, 0.05, 0.005];
     let algorithms = [Algorithm::Independent, Algorithm::Block, Algorithm::Transitive];
 
+    let obs = args.obs();
     let mut points = Vec::new();
     for eps in epsilons {
         let mut rows = Vec::new();
         for &kb in &buffers_kb {
             for alg in algorithms {
-                let p = run_once(&table, alg, kb_to_pages(kb), eps, 60, args.on_disk, args.threads);
+                let cfg = bench_config(kb_to_pages(kb), args.on_disk, args.threads, obs.clone());
+                let p = run_once(&table, alg, eps, 60, &cfg);
                 points.push(p.json_fields());
                 rows.push(vec![
                     format!("{} KB", kb),
@@ -67,4 +69,5 @@ fn main() {
         ];
         iolap_bench::runs::write_json(path, &meta, &points).expect("write --json output");
     }
+    obs.flush();
 }

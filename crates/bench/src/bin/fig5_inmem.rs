@@ -13,7 +13,7 @@
 //! cargo run --release -p iolap-bench --bin fig5_inmem -- --dataset synthetic --paper-scale
 //! ```
 
-use iolap_bench::runs::{print_table, run_once};
+use iolap_bench::runs::{bench_config, print_table, run_once};
 use iolap_bench::{Args, Json};
 use iolap_core::Algorithm;
 use iolap_datagen::scaled;
@@ -27,12 +27,14 @@ fn main() {
     let buffer_pages = 1 << 20; // 4 GiB of page budget = effectively ∞
     let epsilons = [0.1f64, 0.05, 0.01, 0.005];
 
+    let obs = args.obs();
+    let cfg = bench_config(buffer_pages, args.on_disk, args.threads, obs.clone());
     let algorithms = [Algorithm::Independent, Algorithm::Block, Algorithm::Transitive];
     let mut rows = Vec::new();
     let mut points = Vec::new();
     for eps in epsilons {
         for alg in algorithms {
-            let p = run_once(&table, alg, buffer_pages, eps, 60, args.on_disk, args.threads);
+            let p = run_once(&table, alg, eps, 60, &cfg);
             points.push(p.json_fields());
             rows.push(vec![
                 format!("{eps}"),
@@ -60,4 +62,5 @@ fn main() {
         ];
         iolap_bench::runs::write_json(path, &meta, &points).expect("write --json output");
     }
+    obs.flush();
 }

@@ -13,7 +13,7 @@
 //! cargo run --release -p iolap-bench --bin fig5_scale -- --paper-scale
 //! ```
 
-use iolap_bench::runs::{kb_to_pages, print_table, run_once};
+use iolap_bench::runs::{bench_config, kb_to_pages, print_table, run_once};
 use iolap_bench::{Args, Json};
 use iolap_core::Algorithm;
 use iolap_datagen::{scaled, DatasetKind};
@@ -30,6 +30,7 @@ fn main() {
     let fig5j_kb: Vec<u64> =
         [7 * 1024, 20 * 1024, 50 * 1024].iter().map(|&kb| scale_kb(kb, scale)).collect();
 
+    let obs = args.obs();
     let mut points = Vec::new();
     for (fig, seed_off, buffers) in [("5i", 0u64, &fig5i_kb), ("5j", 1, &fig5j_kb)] {
         let table = scaled(DatasetKind::Synthetic, args.facts, args.seed + seed_off);
@@ -37,8 +38,8 @@ fn main() {
         let mut rows = Vec::new();
         for &kb in buffers {
             for alg in [Algorithm::Block, Algorithm::Transitive] {
-                let p =
-                    run_once(&table, alg, kb_to_pages(kb), 0.005, 60, args.on_disk, args.threads);
+                let cfg = bench_config(kb_to_pages(kb), args.on_disk, args.threads, obs.clone());
+                let p = run_once(&table, alg, 0.005, 60, &cfg);
                 let mut fields = p.json_fields();
                 fields.push(("figure", Json::S(fig.to_string())));
                 points.push(fields);
@@ -66,6 +67,7 @@ fn main() {
         ];
         iolap_bench::runs::write_json(path, &meta, &points).expect("write --json output");
     }
+    obs.flush();
 }
 
 fn scale_kb(kb: u64, scale: f64) -> u64 {

@@ -30,8 +30,12 @@ fn main() {
     // EM-Measure: precise measure updates genuinely move weights, so the
     // re-allocation work the paper times actually happens.
     let policy = PolicySpec::em_measure(0.01);
-    let mut cfg = AllocConfig { buffer_pages: 1 << 18, ..Default::default() };
-    cfg.in_memory_backing = !args.on_disk;
+    let obs = args.obs();
+    let cfg = AllocConfig::builder()
+        .buffer_pages(1 << 18)
+        .in_memory_backing(!args.on_disk)
+        .obs(obs.clone())
+        .build();
 
     println!("Figure 6 — EDB maintenance, {:?} dataset, {} facts", args.dataset, args.facts);
 
@@ -115,4 +119,5 @@ fn main() {
     );
     println!("\nPaper shape: Non-Overlap Precise flat and ≪ 1; the random workloads");
     println!("degrade past a few percent and cross 1 near 5–10 %.");
+    obs.flush();
 }

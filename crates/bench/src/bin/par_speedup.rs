@@ -14,7 +14,7 @@
 //! cargo run --release -p iolap-bench --bin par_speedup -- --facts 400000 --json BENCH_par.json
 //! ```
 
-use iolap_bench::runs::{print_table, run_once, write_json};
+use iolap_bench::runs::{bench_config, print_table, run_once, write_json};
 use iolap_bench::{Args, Json};
 use iolap_core::Algorithm;
 use iolap_datagen::{scaled, DatasetKind};
@@ -32,32 +32,18 @@ fn main() {
         args.facts
     );
 
+    let obs = args.obs();
     let thread_counts = [1usize, 2, 4, 8];
     let mut rows = Vec::new();
     let mut points = Vec::new();
     let mut base_secs = 0.0f64;
     for threads in thread_counts {
+        let cfg = bench_config(buffer_pages, args.on_disk, threads, obs.clone());
         // Best-of-N: the quantity of interest is the schedule's cost, not
         // allocator/OS noise.
-        let mut best = run_once(
-            &table,
-            Algorithm::Transitive,
-            buffer_pages,
-            epsilon,
-            60,
-            args.on_disk,
-            threads,
-        );
+        let mut best = run_once(&table, Algorithm::Transitive, epsilon, 60, &cfg);
         for _ in 1..repeats {
-            let p = run_once(
-                &table,
-                Algorithm::Transitive,
-                buffer_pages,
-                epsilon,
-                60,
-                args.on_disk,
-                threads,
-            );
+            let p = run_once(&table, Algorithm::Transitive, epsilon, 60, &cfg);
             if p.alloc_secs() < best.alloc_secs() {
                 best = p;
             }
@@ -95,4 +81,5 @@ fn main() {
         ("repeats", Json::U(u64::from(repeats))),
     ];
     write_json(path, &meta, &points).expect("write BENCH_par.json");
+    obs.flush();
 }

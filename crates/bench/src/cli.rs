@@ -3,6 +3,8 @@
 //! trivial).
 
 use iolap_datagen::DatasetKind;
+use iolap_obs::{JsonlSink, Obs};
+use std::sync::Arc;
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone)]
@@ -22,6 +24,8 @@ pub struct Args {
     pub threads: usize,
     /// Write machine-readable results to this path as JSON.
     pub json: Option<String>,
+    /// Write a JSONL span/metric trace of every run to this path.
+    pub trace_out: Option<String>,
     /// Extra `key=value` pairs for experiment-specific knobs.
     pub extra: Vec<(String, String)>,
 }
@@ -38,6 +42,7 @@ impl Args {
             on_disk: false,
             threads: 1,
             json: None,
+            trace_out: None,
             extra: Vec::new(),
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -61,9 +66,10 @@ impl Args {
                 "--on-disk" => out.on_disk = true,
                 "--threads" => out.threads = take(&mut i).parse().expect("--threads N"),
                 "--json" => out.json = Some(take(&mut i)),
+                "--trace-out" => out.trace_out = Some(take(&mut i)),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --facts N --seed S --dataset automotive|synthetic --paper-scale --on-disk --threads N --json PATH [key=value ...]"
+                        "flags: --facts N --seed S --dataset automotive|synthetic --paper-scale --on-disk --threads N --json PATH --trace-out PATH [key=value ...]"
                     );
                     std::process::exit(0);
                 }
@@ -93,6 +99,24 @@ impl Args {
     pub fn extra_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
         self.extra(key).and_then(|v| v.parse().ok()).unwrap_or(default)
     }
+
+    /// Build the observability handle this invocation asked for: a JSONL
+    /// trace sink when `--trace-out PATH` was given, disabled otherwise.
+    ///
+    /// Creating the sink truncates the file, so call this **once** per
+    /// process and clone the returned handle into each run's config.
+    pub fn obs(&self) -> Obs {
+        match &self.trace_out {
+            Some(path) => {
+                let sink = JsonlSink::create(path).unwrap_or_else(|e| {
+                    eprintln!("cannot create --trace-out {path}: {e}");
+                    std::process::exit(2);
+                });
+                Obs::with_sink(Arc::new(sink))
+            }
+            None => Obs::disabled(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -109,10 +133,12 @@ mod tests {
             on_disk: false,
             threads: 1,
             json: None,
+            trace_out: None,
             extra: vec![("eps".into(), "0.05".into())],
         };
         assert_eq!(a.extra("eps"), Some("0.05"));
         assert_eq!(a.extra_or("eps", 0.0f64), 0.05);
         assert_eq!(a.extra_or("missing", 7u32), 7);
+        assert!(!a.obs().is_enabled(), "no --trace-out means a disabled handle");
     }
 }

@@ -13,7 +13,9 @@
 //!
 //! Shared flags: `--facts N` scales the dataset (default: laptop-scale;
 //! pass `--paper-scale` for the publication sizes), `--seed S` for
-//! reproducibility, `--dataset automotive|synthetic` where applicable.
+//! reproducibility, `--dataset automotive|synthetic` where applicable,
+//! and `--trace-out PATH` to write a JSONL span/metric trace of every
+//! run (see the `iolap-obs` crate).
 //! Results print as aligned text tables; EXPERIMENTS.md records a full
 //! set of measured outputs next to the paper's numbers.
 //!
@@ -28,4 +30,4 @@ pub mod cli;
 pub mod runs;
 
 pub use cli::Args;
-pub use runs::{run_once, Json, OnePoint};
+pub use runs::{bench_config, run_once, Json, OnePoint};

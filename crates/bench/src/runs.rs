@@ -2,6 +2,7 @@
 
 use iolap_core::{allocate_in_env, Algorithm, AllocConfig, PolicySpec, RunReport};
 use iolap_model::FactTable;
+use iolap_obs::Obs;
 use iolap_storage::Env;
 
 /// One measured point of a figure: algorithm, configuration, and the run
@@ -50,23 +51,39 @@ impl OnePoint {
     }
 }
 
-/// Run one (algorithm, buffer, ε) cell of an experiment grid in a fresh
-/// environment, returning the measured point.
+/// Run one (algorithm, config, ε) cell of an experiment grid in a fresh
+/// environment, returning the measured point. The config carries the
+/// buffer size, thread count, backing and observability handle — build it
+/// with [`AllocConfig::builder`], e.g. via [`bench_config`].
 pub fn run_once(
     table: &FactTable,
     algorithm: Algorithm,
-    buffer_pages: usize,
     epsilon: f64,
     max_iters: u32,
-    on_disk: bool,
-    threads: usize,
+    cfg: &AllocConfig,
 ) -> OnePoint {
     let policy = PolicySpec::em_count(epsilon).with_max_iters(max_iters);
-    let mut cfg = AllocConfig { buffer_pages, threads, ..Default::default() };
-    cfg.in_memory_backing = !on_disk;
     let env: Env = cfg.build_env(&format!("bench-{algorithm}")).expect("env");
-    let run = allocate_in_env(table, &policy, algorithm, &cfg, &env).expect("allocation");
-    OnePoint { algorithm, buffer_pages, epsilon, threads, report: run.report }
+    let run = allocate_in_env(table, &policy, algorithm, cfg, &env).expect("allocation");
+    OnePoint {
+        algorithm,
+        buffer_pages: cfg.buffer_pages,
+        epsilon,
+        threads: cfg.threads,
+        report: run.report,
+    }
+}
+
+/// The harness binaries' standard config: `buffer_pages` of in-memory
+/// (or real-file, with `--on-disk`) backing, step-3 worker `threads`,
+/// and the invocation's observability handle.
+pub fn bench_config(buffer_pages: usize, on_disk: bool, threads: usize, obs: Obs) -> AllocConfig {
+    AllocConfig::builder()
+        .buffer_pages(buffer_pages)
+        .in_memory_backing(!on_disk)
+        .threads(threads)
+        .obs(obs)
+        .build()
 }
 
 /// Pages for a buffer given in KB (the paper quotes buffer sizes in
@@ -179,7 +196,8 @@ mod tests {
     #[test]
     fn run_once_smoke() {
         let table = iolap_model::paper_example::table1();
-        let p = run_once(&table, Algorithm::Block, 64, 0.05, 50, false, 1);
+        let cfg = bench_config(64, false, 1, Obs::disabled());
+        let p = run_once(&table, Algorithm::Block, 0.05, 50, &cfg);
         assert!(p.report.converged);
         assert_eq!(p.buffer_pages, 64);
     }

@@ -32,8 +32,24 @@ pub fn run_basic(
     prep: &mut PreparedData,
     policy: &PolicySpec,
 ) -> Result<(InMemProblem, u32, bool)> {
+    let obs = prep.env.obs().clone();
     let mut prob = load_problem(prep)?;
-    let (iters, conv) = prob.solve(&policy.convergence);
+    let (iters, conv) = if obs.is_tracing() {
+        let mut on_iter = |t: u32, max_rel: f64, remaining: u64| {
+            obs.point(
+                "fixpoint.iteration",
+                vec![
+                    ("algorithm".to_string(), "basic".into()),
+                    ("iter".to_string(), t.into()),
+                    ("max_rel_delta".to_string(), max_rel.into()),
+                    ("remaining".to_string(), remaining.into()),
+                ],
+            );
+        };
+        prob.solve_observed(&policy.convergence, Some(&mut on_iter))
+    } else {
+        prob.solve(&policy.convergence)
+    };
     Ok((prob, iters, conv))
 }
 

@@ -59,6 +59,10 @@ pub fn run_block_with_sets(
     let schema = prep.schema.clone();
     let n_cells = prep.cells.len();
     let last_set = sets.len().saturating_sub(1);
+    let obs = prep.env.obs().clone();
+    // Per-iteration deltas are only worth computing when someone records
+    // them; convergence decisions always go through `cell_converged`.
+    let trace_iters = obs.is_tracing();
 
     let mut iterations = 0u32;
     let mut converged = prep.facts.is_empty() || conv.max_iters == 0;
@@ -89,6 +93,7 @@ pub fn run_block_with_sets(
         // -- Δ pass (lines 12–19): one read-write scan of C per set, with
         // cross-set accumulation in `acc`; finalize on the last set.
         let mut remaining = 0u64;
+        let mut max_rel = 0.0f64;
         for (s, set) in sets.iter().enumerate() {
             let mut windows: Vec<GroupWindow> = set
                 .iter()
@@ -114,6 +119,18 @@ pub fn run_block_with_sets(
                 if s == last_set {
                     let new = cell.acc;
                     if !cell.converged {
+                        if trace_iters {
+                            let rel = if cell.delta == 0.0 {
+                                if new == 0.0 {
+                                    0.0
+                                } else {
+                                    f64::INFINITY
+                                }
+                            } else {
+                                ((new - cell.delta) / cell.delta).abs()
+                            };
+                            max_rel = max_rel.max(rel);
+                        }
                         if conv.cell_converged(cell.delta, new) {
                             cell.converged = true;
                         } else {
@@ -132,6 +149,17 @@ pub fn run_block_with_sets(
             }
         }
 
+        if trace_iters {
+            obs.point(
+                "fixpoint.iteration",
+                vec![
+                    ("algorithm".to_string(), "block".into()),
+                    ("iter".to_string(), t.into()),
+                    ("max_rel_delta".to_string(), max_rel.into()),
+                    ("remaining".to_string(), remaining.into()),
+                ],
+            );
+        }
         iterations = t;
         if remaining == 0 {
             converged = true;

@@ -1,6 +1,6 @@
 //! Estimators for the quantities the paper's conclusion names as future
 //! work: "finding methods for estimating both the number of required
-//! iterations to achieve convergence for a given ε and [the] size of the
+//! iterations to achieve convergence for a given ε and \[the\] size of the
 //! largest connected component".
 //!
 //! Both estimators work on a *sample* of the imprecise facts (plus every
@@ -161,7 +161,9 @@ mod tests {
         let t = paper_example::table1();
         let mut p = prepare(&t, &policy, &env, 8).unwrap();
         let est = estimate_iterations(&mut p, &policy, 1.0).unwrap();
-        let run = allocate(&t, &policy, Algorithm::Basic, &AllocConfig::in_memory(128)).unwrap();
+        let run =
+            allocate(&t, &policy, Algorithm::Basic, &AllocConfig::builder().in_memory(128).build())
+                .unwrap();
         assert_eq!(est, run.report.iterations, "frac = 1 must be exact");
     }
 
@@ -185,9 +187,13 @@ mod tests {
         let est = plan(&mut p, &policy, 0.25).unwrap();
 
         // Truth.
-        let run =
-            allocate(&table, &policy, Algorithm::Transitive, &AllocConfig::in_memory(1 << 14))
-                .unwrap();
+        let run = allocate(
+            &table,
+            &policy,
+            Algorithm::Transitive,
+            &AllocConfig::builder().in_memory(1 << 14).build(),
+        )
+        .unwrap();
         let truth_iters = run.report.iterations;
         let truth_largest = run.report.components.unwrap().largest;
 

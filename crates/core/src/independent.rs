@@ -56,12 +56,15 @@ pub fn run_independent(
     let mut cached: Vec<Option<RecordFile<WorkFactRecord, WorkFactCodec>>> =
         (0..chains.len()).map(|_| None).collect();
 
+    let obs = env.obs().clone();
+    let trace_iters = obs.is_tracing();
     let mut iterations = 0u32;
     let mut converged = prep.facts.is_empty() || conv.max_iters == 0;
     let last_chain = chains.len().saturating_sub(1);
 
     'outer: for t in 1..=conv.max_iters {
         let mut remaining = 0u64;
+        let mut max_rel = 0.0f64;
         for (ci, chain) in chains.iter().enumerate() {
             let order = &orders[ci];
 
@@ -136,6 +139,18 @@ pub fn run_independent(
                     if ci == last_chain {
                         let new = cell.acc;
                         if !cell.converged {
+                            if trace_iters {
+                                let rel = if cell.delta == 0.0 {
+                                    if new == 0.0 {
+                                        0.0
+                                    } else {
+                                        f64::INFINITY
+                                    }
+                                } else {
+                                    ((new - cell.delta) / cell.delta).abs()
+                                };
+                                max_rel = max_rel.max(rel);
+                            }
                             if conv.cell_converged(cell.delta, new) {
                                 cell.converged = true;
                             } else {
@@ -155,6 +170,17 @@ pub fn run_independent(
             } else {
                 cached[ci] = Some(temp);
             }
+        }
+        if trace_iters {
+            obs.point(
+                "fixpoint.iteration",
+                vec![
+                    ("algorithm".to_string(), "independent".into()),
+                    ("iter".to_string(), t.into()),
+                    ("max_rel_delta".to_string(), max_rel.into()),
+                    ("remaining".to_string(), remaining.into()),
+                ],
+            );
         }
         iterations = t;
         if remaining == 0 {

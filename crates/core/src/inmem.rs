@@ -91,6 +91,21 @@ impl InMemProblem {
     /// line 3 (`Δ⁽⁰⁾(c) ← δ(c)`) happened at record construction; lines
     /// 6–9 are the Γ pass; lines 11–14 the Δ pass.
     pub fn solve(&mut self, conv: &Convergence) -> (u32, bool) {
+        self.solve_observed(conv, None)
+    }
+
+    /// [`solve`](InMemProblem::solve) with per-iteration telemetry: when
+    /// `on_iter` is `Some`, it is called after every EM iteration with
+    /// `(iteration, max_relative_delta, unconverged_cells)`. The relative
+    /// delta is computed **only** when a callback is installed, so the
+    /// untraced path pays nothing; the convergence *decision* always goes
+    /// through [`Convergence::cell_converged`] either way (the two differ
+    /// at `Δ⁽ᵗ⁻¹⁾ = 0`, where the relative delta is infinite).
+    pub fn solve_observed(
+        &mut self,
+        conv: &Convergence,
+        mut on_iter: Option<&mut dyn FnMut(u32, f64, u64)>,
+    ) -> (u32, bool) {
         let mut remaining = self.cells.iter().filter(|c| !c.converged).count();
         if remaining == 0 || self.facts.is_empty() || conv.max_iters == 0 {
             // Non-iterative policies (max_iters = 0) are single-shot:
@@ -122,16 +137,32 @@ impl InMemProblem {
                 }
             }
             // Convergence check + state swap (frozen cells keep their Δ).
+            let mut max_rel = 0.0f64;
             for (c, cell) in cells.iter_mut().enumerate() {
                 if cell.converged {
                     continue;
                 }
                 let nd = new_delta[c];
+                if on_iter.is_some() {
+                    let rel = if cell.delta == 0.0 {
+                        if nd == 0.0 {
+                            0.0
+                        } else {
+                            f64::INFINITY
+                        }
+                    } else {
+                        ((nd - cell.delta) / cell.delta).abs()
+                    };
+                    max_rel = max_rel.max(rel);
+                }
                 if conv.cell_converged(cell.delta, nd) {
                     cell.converged = true;
                     remaining -= 1;
                 }
                 cell.delta = nd;
+            }
+            if let Some(cb) = on_iter.as_deref_mut() {
+                cb(t, max_rel, remaining as u64);
             }
             if remaining == 0 {
                 return (t, true);

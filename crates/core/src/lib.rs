@@ -73,5 +73,7 @@ pub use estimate::{plan, PlanEstimate};
 pub use maintain::{MaintainableEdb, UpdateReport};
 pub use policy::{CandidateCells, Convergence, PolicySpec, Quantity};
 pub use prep::{prepare, PreparedData};
-pub use report::RunReport;
-pub use runner::{allocate, allocate_in_env, Algorithm, AllocConfig, AllocationRun};
+pub use report::{ComponentStats, RunReport};
+pub use runner::{
+    allocate, allocate_in_env, Algorithm, AllocConfig, AllocConfigBuilder, AllocationRun,
+};

@@ -897,8 +897,13 @@ mod tests {
 
     fn build_maintainable(policy: &PolicySpec) -> MaintainableEdb {
         let t = paper_example::table1();
-        let run =
-            allocate(&t, policy, Algorithm::Transitive, &AllocConfig::in_memory(256)).unwrap();
+        let run = allocate(
+            &t,
+            policy,
+            Algorithm::Transitive,
+            &AllocConfig::builder().in_memory(256).build(),
+        )
+        .unwrap();
         MaintainableEdb::build(run, policy.clone()).unwrap()
     }
 
@@ -912,7 +917,9 @@ mod tests {
     fn requires_transitive_run() {
         let t = paper_example::table1();
         let policy = PolicySpec::em_count(0.01);
-        let run = allocate(&t, &policy, Algorithm::Block, &AllocConfig::in_memory(256)).unwrap();
+        let run =
+            allocate(&t, &policy, Algorithm::Block, &AllocConfig::builder().in_memory(256).build())
+                .unwrap();
         assert!(MaintainableEdb::build(run, policy).is_err());
     }
 
@@ -964,8 +971,13 @@ mod tests {
         policy: &PolicySpec,
     ) {
         let maintained = m.current_weights().unwrap();
-        let mut run =
-            allocate(table, policy, Algorithm::Transitive, &AllocConfig::in_memory(256)).unwrap();
+        let mut run = allocate(
+            table,
+            policy,
+            Algorithm::Transitive,
+            &AllocConfig::builder().in_memory(256).build(),
+        )
+        .unwrap();
         let rebuilt = run.edb.weight_map().unwrap();
         let mut mk: Vec<_> = maintained.keys().copied().collect();
         let mut rk: Vec<_> = rebuilt.keys().copied().collect();

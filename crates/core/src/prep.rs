@@ -128,7 +128,7 @@ pub fn layout_facts(
     // Span pass: first/last covered cell per fact, degree per cell.
     // (The paper extracts first/last during the sort's final merge; a
     // dedicated pass is the same I/O and much clearer.)
-    let _t_span = std::time::Instant::now();
+    let mut span_pass = env.obs().span("prep.span_pass");
     let with_spans = {
         let mut f = facts;
         let mut cursor = f.scan();
@@ -153,9 +153,9 @@ pub fn layout_facts(
         f
     };
 
-    if std::env::var("IOLAP_TRACE").is_ok() {
-        eprintln!("[trace] span pass: {:?}", _t_span.elapsed());
-    }
+    span_pass.record("edges", num_edges);
+    span_pass.record("unallocatable", unallocatable);
+    drop(span_pass);
     // Re-sort by (table, first, last) so each table's facts are in
     // partition-group order (uncovered facts sort last per table).
     let mut facts = external_sort(env, with_spans, SortBudget::pages(sort_pages), |r| {

@@ -1,6 +1,7 @@
 //! Run reports: wall-clock, page I/O, and structural statistics for each
 //! allocation run — the quantities Section 11's figures plot.
 
+use iolap_obs::Metrics;
 use iolap_storage::IoSnapshot;
 use std::fmt;
 use std::time::Duration;
@@ -100,6 +101,75 @@ impl RunReport {
             self.pool_hits as f64 / total as f64
         }
     }
+
+    /// Record this report into `metrics` as `report.*` series.
+    ///
+    /// Counters use add semantics, so recording several runs into one
+    /// registry accumulates their I/O and wall-clock totals; structural
+    /// quantities (|C|, |I|, W, …) land in gauges and reflect the most
+    /// recent run.
+    pub fn record_into(&self, metrics: &Metrics) {
+        for (phase, io) in [("prep", self.io_prep), ("alloc", self.io_alloc), ("edb", self.io_edb)]
+        {
+            metrics.counter(&format!("report.io.{phase}.reads")).add(io.reads);
+            metrics.counter(&format!("report.io.{phase}.writes")).add(io.writes);
+        }
+        for (phase, wall) in
+            [("prep", self.wall_prep), ("alloc", self.wall_alloc), ("edb", self.wall_edb)]
+        {
+            metrics.counter(&format!("report.wall.{phase}.us")).add(wall.as_micros() as u64);
+        }
+        metrics.counter("report.pool.hits").add(self.pool_hits);
+        metrics.counter("report.pool.misses").add(self.pool_misses);
+        metrics.counter("report.iterations").add(u64::from(self.iterations));
+        metrics.gauge("report.converged").set(i64::from(self.converged));
+        metrics.gauge("report.over_budget").set(i64::from(self.over_budget));
+        for (name, v) in [
+            ("num_cells", self.num_cells),
+            ("num_imprecise", self.num_imprecise),
+            ("num_tables", self.num_tables),
+            ("width", self.width),
+            ("num_table_sets", self.num_table_sets),
+            ("partition_pages", self.partition_pages),
+            ("unallocatable", self.unallocatable),
+        ] {
+            metrics.gauge(&format!("report.{name}")).set(v as i64);
+        }
+        if let Some(c) = &self.components {
+            for (name, v) in [
+                ("total", c.total),
+                ("singleton_cells", c.singleton_cells),
+                ("over_20", c.over_20),
+                ("over_100", c.over_100),
+                ("over_1000", c.over_1000),
+                ("largest", c.largest),
+                ("large_external", c.large_external),
+                ("external_tuples", c.external_tuples),
+            ] {
+                metrics.gauge(&format!("report.components.{name}")).set(v as i64);
+            }
+        }
+    }
+
+    /// Project the report into a fresh metrics registry (the basis of the
+    /// [`to_json`](Self::to_json) / [`to_prometheus`](Self::to_prometheus)
+    /// exports).
+    pub fn to_metrics(&self) -> Metrics {
+        let m = Metrics::new();
+        self.record_into(&m);
+        m
+    }
+
+    /// The report as one JSON object (see [`Metrics::to_json`] for the
+    /// shape), with every series under a `report.` prefix.
+    pub fn to_json(&self) -> String {
+        self.to_metrics().to_json()
+    }
+
+    /// The report in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        self.to_metrics().to_prometheus()
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -161,5 +231,56 @@ mod tests {
         assert!(s.contains("block"));
         assert!(s.contains("4 iterations"));
         assert!(s.contains("components: 7"));
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        let r = RunReport {
+            algorithm: "transitive".into(),
+            iterations: 6,
+            converged: true,
+            io_alloc: IoSnapshot { reads: 100, writes: 40 },
+            num_cells: 55,
+            pool_hits: 9,
+            components: Some(ComponentStats { total: 3, largest: 2, ..Default::default() }),
+            ..Default::default()
+        };
+        let json = iolap_obs::json::parse(&r.to_json()).unwrap();
+        let counter = |name: &str| {
+            json.get("counters").and_then(|c| c.get(name)).and_then(|v| v.as_u64()).unwrap()
+        };
+        let gauge = |name: &str| {
+            json.get("gauges").and_then(|g| g.get(name)).and_then(|v| v.as_f64()).unwrap()
+        };
+        assert_eq!(counter("report.io.alloc.reads"), 100);
+        assert_eq!(counter("report.io.alloc.writes"), 40);
+        assert_eq!(counter("report.iterations"), 6);
+        assert_eq!(counter("report.pool.hits"), 9);
+        assert_eq!(gauge("report.num_cells"), 55.0);
+        assert_eq!(gauge("report.converged"), 1.0);
+        assert_eq!(gauge("report.components.total"), 3.0);
+    }
+
+    #[test]
+    fn prometheus_export_names_series() {
+        let r = RunReport { io_prep: IoSnapshot { reads: 7, writes: 2 }, ..Default::default() };
+        let prom = r.to_prometheus();
+        assert!(prom.contains("iolap_report_io_prep_reads 7"), "{prom}");
+        assert!(prom.contains("iolap_report_io_prep_writes 2"), "{prom}");
+        assert!(prom.contains("# TYPE iolap_report_converged gauge"), "{prom}");
+    }
+
+    #[test]
+    fn record_into_accumulates_counters() {
+        let m = Metrics::new();
+        let r = RunReport {
+            io_alloc: IoSnapshot { reads: 10, writes: 5 },
+            iterations: 2,
+            ..Default::default()
+        };
+        r.record_into(&m);
+        r.record_into(&m);
+        assert_eq!(m.counter("report.io.alloc.reads").get(), 20);
+        assert_eq!(m.counter("report.iterations").get(), 4);
     }
 }

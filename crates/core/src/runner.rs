@@ -11,6 +11,7 @@ use crate::prep::{prepare, PreparedData};
 use crate::report::RunReport;
 use crate::transitive::run_transitive;
 use iolap_model::FactTable;
+use iolap_obs::Obs;
 use iolap_storage::Env;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -75,6 +76,13 @@ pub struct AllocConfig {
     /// `1` = sequential, `n > 1` = a pool of `n` workers, `0` = one per
     /// available core. Results are identical for every value (Theorem 2).
     pub threads: usize,
+    /// Default allocation policy, used by callers (the `iolap` facade)
+    /// that run from a config alone. [`allocate`] takes an explicit
+    /// policy and ignores this field.
+    pub policy: Option<PolicySpec>,
+    /// Observability handle threaded into the storage environment and
+    /// the allocation passes. Disabled (free) by default.
+    pub obs: Obs,
 }
 
 impl Default for AllocConfig {
@@ -87,12 +95,23 @@ impl Default for AllocConfig {
             resort_facts: true,
             per_component_convergence: true,
             threads: 1,
+            policy: None,
+            obs: Obs::disabled(),
         }
     }
 }
 
 impl AllocConfig {
+    /// Start building a config (the preferred construction path).
+    pub fn builder() -> AllocConfigBuilder {
+        AllocConfigBuilder { cfg: AllocConfig::default() }
+    }
+
     /// In-memory backing with the given pool size (tests & examples).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AllocConfig::builder().buffer_pages(n).in_memory_backing(true).build()`"
+    )]
     pub fn in_memory(buffer_pages: usize) -> Self {
         AllocConfig { buffer_pages, in_memory_backing: true, ..Default::default() }
     }
@@ -107,7 +126,7 @@ impl AllocConfig {
 
     /// Build the storage environment this config describes.
     pub fn build_env(&self, tag: &str) -> Result<Env> {
-        let mut b = Env::builder(tag).pool_pages(self.buffer_pages);
+        let mut b = Env::builder(tag).pool_pages(self.buffer_pages).obs(self.obs.clone());
         if self.in_memory_backing {
             b = b.in_memory();
         }
@@ -115,6 +134,95 @@ impl AllocConfig {
             b = b.dir(dir.clone());
         }
         Ok(b.build()?)
+    }
+}
+
+/// Builder for [`AllocConfig`] — the knobs of the paper's Section 11
+/// experiments plus engine extensions (threads, observability).
+///
+/// ```
+/// use iolap_core::AllocConfig;
+///
+/// let cfg = AllocConfig::builder()
+///     .buffer_pages(256)
+///     .in_memory_backing(true)
+///     .threads(2)
+///     .build();
+/// assert_eq!(cfg.buffer_pages, 256);
+/// assert_eq!(cfg.threads, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AllocConfigBuilder {
+    cfg: AllocConfig,
+}
+
+impl AllocConfigBuilder {
+    /// Buffer pool size |B| in 4 KiB pages.
+    pub fn buffer_pages(mut self, pages: usize) -> Self {
+        self.cfg.buffer_pages = pages;
+        self
+    }
+
+    /// External-sort budget in pages (`0` = same as the buffer size).
+    pub fn sort_pages(mut self, pages: usize) -> Self {
+        self.cfg.sort_pages = pages;
+        self
+    }
+
+    /// Keep all pages in memory instead of temp files.
+    pub fn in_memory_backing(mut self, yes: bool) -> Self {
+        self.cfg.in_memory_backing = yes;
+        self
+    }
+
+    /// Shorthand: in-memory backing with the given pool size (the common
+    /// test/example configuration).
+    pub fn in_memory(self, buffer_pages: usize) -> Self {
+        self.buffer_pages(buffer_pages).in_memory_backing(true)
+    }
+
+    /// Directory for the paged files (temp dir if unset).
+    pub fn dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.dir = Some(dir.into());
+        self
+    }
+
+    /// Independent fidelity flag: re-sort the summary tables every
+    /// iteration, as Algorithm 3 specifies (`false` = ablation).
+    pub fn resort_facts(mut self, yes: bool) -> Self {
+        self.cfg.resort_facts = yes;
+        self
+    }
+
+    /// Transitive optimization: iterate each component only until *its*
+    /// cells converge (`false` = ablation).
+    pub fn per_component_convergence(mut self, yes: bool) -> Self {
+        self.cfg.per_component_convergence = yes;
+        self
+    }
+
+    /// Worker threads for Transitive's component step (`0` = one per
+    /// available core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Default allocation policy for facade callers.
+    pub fn policy(mut self, policy: PolicySpec) -> Self {
+        self.cfg.policy = Some(policy);
+        self
+    }
+
+    /// Attach an observability handle (spans + metrics).
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.cfg.obs = obs;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> AllocConfig {
+        self.cfg
     }
 }
 
@@ -154,11 +262,17 @@ pub fn allocate_in_env(
     let sort_pages = cfg.effective_sort_pages();
     let mut report = RunReport { algorithm: algorithm.to_string(), ..Default::default() };
     let (hits0, misses0) = env.pool().hit_stats();
+    let obs = env.obs().clone();
+    let mut run_span =
+        obs.span_with("alloc.run", vec![("algorithm".to_string(), algorithm.to_string().into())]);
 
     // ---- preprocessing ----------------------------------------------------
     let t0 = Instant::now();
     let io0 = env.stats().snapshot();
-    let mut prep = prepare(table, policy, env, sort_pages)?;
+    let mut prep = {
+        let _s = obs.span("alloc.prep");
+        prepare(table, policy, env, sort_pages)?
+    };
     report.wall_prep = t0.elapsed();
     report.io_prep = env.stats().snapshot() - io0;
     report.num_cells = prep.cells.len();
@@ -174,6 +288,7 @@ pub fn allocate_in_env(
     // ---- allocation passes -------------------------------------------------
     let t1 = Instant::now();
     let io1 = env.stats().snapshot();
+    let mut pass_span = obs.span("alloc.passes");
     let mut basic_problem = None;
     match algorithm {
         Algorithm::Basic => {
@@ -212,12 +327,16 @@ pub fn allocate_in_env(
             ccid_resolution = Some(out.resolved);
         }
     }
+    pass_span.record("iterations", report.iterations);
+    pass_span.record("converged", report.converged);
+    drop(pass_span);
     report.wall_alloc = t1.elapsed();
     report.io_alloc = env.stats().snapshot() - io1;
 
     // ---- EDB materialization -------------------------------------------------
     let t2 = Instant::now();
     let io2 = env.stats().snapshot();
+    let edb_span = obs.span("alloc.edb");
     match algorithm {
         Algorithm::Basic => {
             let mut prob = basic_problem.expect("set above");
@@ -260,11 +379,25 @@ pub fn allocate_in_env(
             emit_precise_entries(&mut prep, &mut edb)?;
         }
     }
+    drop(edb_span);
     report.wall_edb = t2.elapsed();
     report.io_edb = env.stats().snapshot() - io2;
     let (hits1, misses1) = env.pool().hit_stats();
     report.pool_hits = hits1 - hits0;
     report.pool_misses = misses1 - misses0;
+
+    run_span.record("iterations", report.iterations);
+    drop(run_span);
+    if let Some(metrics) = obs.metrics() {
+        report.record_into(metrics);
+        // Per-shard buffer-pool census — gauges, so re-running against a
+        // shared environment overwrites rather than double-counts.
+        for (i, s) in env.pool().shard_stats().iter().enumerate() {
+            metrics.gauge(&format!("pool.shard.{i}.hits")).set(s.hits as i64);
+            metrics.gauge(&format!("pool.shard.{i}.misses")).set(s.misses as i64);
+            metrics.gauge(&format!("pool.shard.{i}.evictions")).set(s.evictions as i64);
+        }
+    }
 
     Ok(AllocationRun { edb, report, prep, ccid_resolution })
 }
@@ -276,7 +409,8 @@ mod tests {
 
     fn run(algorithm: Algorithm, policy: &PolicySpec) -> AllocationRun {
         let t = paper_example::table1();
-        allocate(&t, policy, algorithm, &AllocConfig::in_memory(256)).unwrap()
+        let cfg = AllocConfig::builder().in_memory(256).build();
+        allocate(&t, policy, algorithm, &cfg).unwrap()
     }
 
     #[test]
@@ -325,6 +459,53 @@ mod tests {
         assert!(r.ccid_resolution.is_some());
         let s = format!("{}", r.report);
         assert!(s.contains("transitive"), "{s}");
+    }
+
+    #[test]
+    fn builder_covers_every_knob() {
+        let obs = iolap_obs::Obs::metrics_only();
+        let cfg = AllocConfig::builder()
+            .buffer_pages(512)
+            .sort_pages(64)
+            .in_memory_backing(true)
+            .resort_facts(false)
+            .per_component_convergence(false)
+            .threads(4)
+            .policy(PolicySpec::uniform())
+            .obs(obs)
+            .build();
+        assert_eq!(cfg.buffer_pages, 512);
+        assert_eq!(cfg.sort_pages, 64);
+        assert!(cfg.in_memory_backing);
+        assert!(!cfg.resort_facts);
+        assert!(!cfg.per_component_convergence);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.policy, Some(PolicySpec::uniform()));
+        assert!(cfg.obs.is_enabled());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_in_memory_still_matches_builder() {
+        let old = AllocConfig::in_memory(96);
+        let new = AllocConfig::builder().in_memory(96).build();
+        assert_eq!(old.buffer_pages, new.buffer_pages);
+        assert_eq!(old.in_memory_backing, new.in_memory_backing);
+        assert_eq!(old.sort_pages, new.sort_pages);
+        assert_eq!(old.threads, new.threads);
+    }
+
+    #[test]
+    fn observed_run_records_report_metrics() {
+        let t = paper_example::table1();
+        let obs = iolap_obs::Obs::metrics_only();
+        let cfg = AllocConfig::builder().in_memory(256).obs(obs.clone()).build();
+        let r = allocate(&t, &PolicySpec::em_count(0.01), Algorithm::Transitive, &cfg).unwrap();
+        let metrics = obs.metrics().unwrap();
+        assert_eq!(metrics.counter("report.iterations").get(), u64::from(r.report.iterations));
+        assert_eq!(metrics.counter("report.io.alloc.reads").get(), r.report.io_alloc.reads);
+        assert!(metrics.counter("pager.allocs").get() > 0);
+        assert!(metrics.histogram("transitive.component_tuples").count() > 0);
     }
 
     #[test]

@@ -96,8 +96,8 @@ pub fn run_transitive(
     let n_cells = prep.cells.len();
 
     // ---- Step 1: assign ccids (lines 8–19) ------------------------------
-    let trace = std::env::var("IOLAP_TRACE").is_ok();
-    let mut _t = std::time::Instant::now();
+    let obs = prep.env.obs().clone();
+    let mut step_span = obs.span("transitive.assign_ccids");
     let mut map = CcidMap::new();
     if sets.is_empty() {
         // No imprecise facts at all: every cell is its own component.
@@ -169,11 +169,11 @@ pub fn run_transitive(
         }
     }
 
-    if trace {
-        eprintln!("[trace] step1 ccid assign: {:?}", _t.elapsed());
-        _t = std::time::Instant::now();
-    }
+    step_span.record("provisional_ccids", map.len());
+    drop(step_span);
+
     // ---- Step 2: sort tuples into component order (lines 21–24) --------
+    let mut step_span = obs.span("transitive.sort_by_ccid");
     map.resolve_all();
     let resolved: Vec<u32> = (0..map.len()).map(|i| map.peek(i)).collect();
 
@@ -198,11 +198,16 @@ pub fn run_transitive(
         }
     }
 
-    if trace {
-        eprintln!("[trace] step2 sort by ccid: {:?}", _t.elapsed());
-        _t = std::time::Instant::now();
-    }
+    step_span.record("components", comp_sizes.len());
+    drop(step_span);
+
     // ---- Step 3: process components (lines 26–34) ------------------------
+    let mut step_span = obs.span("transitive.process_components");
+    // Per-component telemetry, all observed on the coordinator thread:
+    // size/iteration histograms plus a queue-depth gauge for the pool.
+    let h_tuples = obs.histogram("transitive.component_tuples");
+    let h_iters = obs.histogram("transitive.component_iters");
+    let external_ctr = obs.counter("transitive.external_components");
     let cell_codec = CellCodec { k };
     let work_codec = WorkFactCodec { k };
     let cell_bytes = iolap_storage::Codec::<CellRecord>::size(&cell_codec) as u64;
@@ -267,12 +272,31 @@ pub fn run_transitive(
                 if head.nf == 0 {
                     continue; // isolated cells: Δ = δ forever, nothing to emit
                 }
+                let mut on_iter = |t: u32, max_rel: f64, remaining: u64| {
+                    obs.point(
+                        "fixpoint.iteration",
+                        vec![
+                            ("algorithm".to_string(), "transitive".into()),
+                            ("component_tuples".to_string(), (head.nc + head.nf).into()),
+                            ("iter".to_string(), t.into()),
+                            ("max_rel_delta".to_string(), max_rel.into()),
+                            ("remaining".to_string(), remaining.into()),
+                        ],
+                    );
+                };
                 let done = solve_component(
                     std::mem::take(&mut comp_cells),
                     std::mem::take(&mut comp_facts),
                     &schema,
                     &conv,
+                    if obs.is_tracing() { Some(&mut on_iter) } else { None },
                 );
+                if let Some(h) = &h_tuples {
+                    h.observe(head.nc + head.nf);
+                }
+                if let Some(h) = &h_iters {
+                    h.observe(done.iters as u64);
+                }
                 iterations_max = iterations_max.max(done.iters);
                 converged &= done.converged;
                 for (e, first) in &done.entries {
@@ -288,6 +312,15 @@ pub fn run_transitive(
                     sort_pages,
                     edb,
                 )?;
+                if let Some(h) = &h_tuples {
+                    h.observe(head.nc + head.nf);
+                }
+                if let Some(h) = &h_iters {
+                    h.observe(iters as u64);
+                }
+                if let Some(c) = &external_ctr {
+                    c.inc();
+                }
                 stats.large_external += 1;
                 stats.external_tuples += head.nc + head.nf;
                 iterations_max = iterations_max.max(iters);
@@ -309,7 +342,7 @@ pub fn run_transitive(
                 let schema = schema.clone();
                 s.spawn(move || {
                     while let Ok(job) = job_rx.recv() {
-                        let mut done = solve_component(job.cells, job.facts, &schema, &conv);
+                        let mut done = solve_component(job.cells, job.facts, &schema, &conv, None);
                         done.seq = job.seq;
                         done.pages = job.pages;
                         if done_tx.send(done).is_err() {
@@ -331,6 +364,7 @@ pub fn run_transitive(
             let mut next_emit = 0u64;
             let mut in_flight_pages = 0u64;
             let mut parked: HashMap<u64, CompDone> = HashMap::new();
+            let queue_depth = obs.gauge("transitive.queue_depth");
 
             let drain_one = |next_emit: &mut u64,
                              in_flight_pages: &mut u64,
@@ -342,6 +376,9 @@ pub fn run_transitive(
                 let done = done_rx.recv().expect("a worker died with jobs in flight");
                 parked.insert(done.seq, done);
                 while let Some(d) = parked.remove(next_emit) {
+                    if let Some(h) = &h_iters {
+                        h.observe(d.iters as u64);
+                    }
                     *iterations_max = (*iterations_max).max(d.iters);
                     *converged &= d.converged;
                     for (e, first) in &d.entries {
@@ -375,10 +412,16 @@ pub fn run_transitive(
                         )?;
                     }
                     in_flight_pages += head.pages;
+                    if let Some(h) = &h_tuples {
+                        h.observe(head.nc + head.nf);
+                    }
                     job_tx
                         .send(CompJob { seq, pages: head.pages, cells, facts })
                         .expect("worker pool hung up early");
                     seq += 1;
+                    if let Some(g) = &queue_depth {
+                        g.set((seq - next_emit) as i64);
+                    }
                 } else {
                     // Barrier: the external path writes to the EDB itself,
                     // so everything dispatched before it must land first.
@@ -401,6 +444,15 @@ pub fn run_transitive(
                         sort_pages,
                         edb,
                     )?;
+                    if let Some(h) = &h_tuples {
+                        h.observe(head.nc + head.nf);
+                    }
+                    if let Some(h) = &h_iters {
+                        h.observe(iters as u64);
+                    }
+                    if let Some(c) = &external_ctr {
+                        c.inc();
+                    }
                     stats.large_external += 1;
                     stats.external_tuples += head.nc + head.nf;
                     iterations_max = iterations_max.max(iters);
@@ -417,15 +469,18 @@ pub fn run_transitive(
                     &mut converged,
                 )?;
             }
+            if let Some(g) = &queue_depth {
+                g.set(0);
+            }
             drop(job_tx); // workers drain the (empty) queue and exit
             Ok(())
         });
         scope_result?;
     }
 
-    if trace {
-        eprintln!("[trace] step3 components: {:?}", _t.elapsed());
-    }
+    step_span.record("components", stats.total);
+    step_span.record("external_components", stats.large_external);
+    drop(step_span);
     Ok(TransitiveOutcome {
         iterations_max,
         converged,
@@ -466,14 +521,17 @@ struct CompDone {
 }
 
 /// Solve one buffer-resident component: pure CPU, no storage access.
+/// `on_iter` (iteration, max relative delta, unconverged cells) feeds the
+/// fixpoint telemetry; workers pass `None` — only the coordinator traces.
 fn solve_component(
     cells: Vec<CellRecord>,
     facts: Vec<WorkFactRecord>,
     schema: &iolap_model::Schema,
     conv: &crate::policy::Convergence,
+    on_iter: Option<&mut dyn FnMut(u32, f64, u64)>,
 ) -> CompDone {
     let mut prob = InMemProblem::build(cells, facts, schema);
-    let (iters, converged) = prob.solve(conv);
+    let (iters, converged) = prob.solve_observed(conv, on_iter);
     let mut first_seen: HashMap<u64, ()> = HashMap::new();
     let mut entries = Vec::new();
     prob.emit(|e| {

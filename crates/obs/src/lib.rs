@@ -1,0 +1,202 @@
+//! Structured tracing + metrics for the imprecise-OLAP engine.
+//!
+//! The engine's cost story is the paper's contribution: Section 11 plots
+//! page I/O and wall-clock per allocation algorithm. This crate is the
+//! instrumentation spine behind those numbers — it shows *where inside a
+//! run* the time and I/O go, not just the end totals.
+//!
+//! Everything hangs off one handle, [`Obs`]:
+//!
+//! * **Spans** ([`Tracer`], [`Span`]) — RAII guards with monotonic
+//!   timing, per-thread nesting, and point events, fanned out to a
+//!   pluggable [`EventSink`] ([`NullSink`], [`RingSink`], [`JsonlSink`])
+//!   as JSONL-serializable [`Event`]s.
+//! * **Metrics** ([`Metrics`]) — named [`Counter`]s, [`Gauge`]s, and
+//!   power-of-two-bucket [`Histogram`]s with JSON and Prometheus text
+//!   export.
+//!
+//! The default handle is *disabled* and genuinely free: a disabled
+//! [`Obs`] is a single `None`, so `obs.span(..)` is one branch, no clock
+//! read, no allocation — and the storage layer skips its instrumented
+//! pager wrapper entirely. Page-I/O accounting (`IoStats` in
+//! `iolap-storage`) is deliberately *not* routed through this crate, so
+//! the paper's cost model stays bit-identical whether or not observation
+//! is on.
+//!
+//! ```
+//! use iolap_obs::{Obs, RingSink};
+//! use std::sync::Arc;
+//!
+//! let ring = Arc::new(RingSink::new(1024));
+//! let obs = Obs::with_sink(ring.clone());
+//! {
+//!     let mut span = obs.span("alloc.prep");
+//!     span.record("pages", 42u64);
+//!     obs.counter("pager.reads").unwrap().add(42);
+//! }
+//! assert_eq!(ring.len(), 2); // span_start + span_end
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+pub mod json;
+mod metrics;
+mod sink;
+mod trace;
+
+pub use event::{Event, EventKind, Value};
+pub use metrics::{Counter, Gauge, Histogram, Metrics};
+pub use sink::{EventSink, JsonlSink, NullSink, RingSink};
+pub use trace::{Span, Tracer};
+
+use std::sync::Arc;
+
+struct ObsInner {
+    metrics: Metrics,
+    tracer: Tracer,
+}
+
+/// The observability handle threaded through the engine.
+///
+/// Cloning shares the underlying registry and sink. The [`Default`]
+/// handle is disabled; see the crate docs for the cost model.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .field("tracing", &self.is_tracing())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// The free, do-nothing handle (same as `Obs::default()`).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Metrics only: counters/gauges/histograms are live, but no trace
+    /// events are emitted and the clock is never read.
+    pub fn metrics_only() -> Self {
+        Self {
+            inner: Some(Arc::new(ObsInner { metrics: Metrics::new(), tracer: Tracer::disabled() })),
+        }
+    }
+
+    /// Fully live: metrics plus tracing into `sink`.
+    pub fn with_sink(sink: Arc<dyn EventSink>) -> Self {
+        Self {
+            inner: Some(Arc::new(ObsInner { metrics: Metrics::new(), tracer: Tracer::new(sink) })),
+        }
+    }
+
+    /// True when this handle records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// True when span/point events are being recorded. Gate *expensive
+    /// payload computation* (e.g. per-cell deltas) on this, never the
+    /// span calls themselves.
+    pub fn is_tracing(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.tracer.is_enabled())
+    }
+
+    /// The metrics registry, when enabled.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.inner.as_ref().map(|i| &i.metrics)
+    }
+
+    /// Get or create a counter; `None` when disabled. Resolve once and
+    /// hold the handle on hot paths.
+    pub fn counter(&self, name: &str) -> Option<Counter> {
+        self.inner.as_ref().map(|i| i.metrics.counter(name))
+    }
+
+    /// Get or create a gauge; `None` when disabled.
+    pub fn gauge(&self, name: &str) -> Option<Gauge> {
+        self.inner.as_ref().map(|i| i.metrics.gauge(name))
+    }
+
+    /// Get or create a histogram; `None` when disabled.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.as_ref().map(|i| i.metrics.histogram(name))
+    }
+
+    /// Open a span (inert guard when disabled).
+    pub fn span(&self, name: &str) -> Span {
+        match &self.inner {
+            Some(i) => i.tracer.span(name),
+            None => Tracer::disabled().span(name),
+        }
+    }
+
+    /// Open a span with fields on its start event.
+    pub fn span_with(&self, name: &str, fields: Vec<(String, Value)>) -> Span {
+        match &self.inner {
+            Some(i) => i.tracer.span_with(name, fields),
+            None => Tracer::disabled().span(name),
+        }
+    }
+
+    /// Emit a point event inside the innermost live span.
+    pub fn point(&self, name: &str, fields: Vec<(String, Value)>) {
+        if let Some(i) = &self.inner {
+            i.tracer.point(name, fields);
+        }
+    }
+
+    /// Flush the trace sink (e.g. before process exit).
+    pub fn flush(&self) {
+        if let Some(i) = &self.inner {
+            i.tracer.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_obs_is_inert_everywhere() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        assert!(!obs.is_tracing());
+        assert!(obs.metrics().is_none());
+        assert!(obs.counter("x").is_none());
+        let _s = obs.span("nothing");
+        obs.point("nothing", Vec::new());
+        obs.flush();
+    }
+
+    #[test]
+    fn metrics_only_counts_without_tracing() {
+        let obs = Obs::metrics_only();
+        assert!(obs.is_enabled());
+        assert!(!obs.is_tracing());
+        obs.counter("c").unwrap().add(2);
+        let clone = obs.clone();
+        assert_eq!(clone.counter("c").unwrap().get(), 2);
+    }
+
+    #[test]
+    fn with_sink_traces_and_counts() {
+        let ring = Arc::new(RingSink::new(8));
+        let obs = Obs::with_sink(ring.clone());
+        assert!(obs.is_tracing());
+        {
+            let _s = obs.span("s");
+            obs.point("p", vec![("v".into(), Value::U64(1))]);
+        }
+        obs.counter("c").unwrap().inc();
+        assert_eq!(ring.len(), 3);
+        assert_eq!(obs.metrics().unwrap().counter_values(), vec![("c".into(), 1)]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Pluggable destinations for trace events.
+//!
+//! A [`Tracer`](crate::Tracer) fans every [`Event`] out to one
+//! [`EventSink`]. Three implementations cover the useful points of the
+//! cost/fidelity space:
+//!
+//! * [`NullSink`] — drops everything; used to measure tracer overhead.
+//! * [`RingSink`] — keeps the last `cap` events in memory; used by tests
+//!   and interactive debugging.
+//! * [`JsonlSink`] — appends each event as one JSON line to a file; used
+//!   by the bench binaries' `--trace-out` flag.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A destination for trace events. Implementations must be cheap enough
+/// to call from hot loops and safe to share across threads.
+pub trait EventSink: Send + Sync {
+    /// Record one event.
+    fn emit(&self, event: &Event);
+
+    /// Flush any buffered output. The default does nothing.
+    fn flush(&self) {}
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Keeps the most recent `cap` events in a ring buffer.
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `cap` events (older events are dropped).
+    pub fn new(cap: usize) -> Self {
+        Self { cap: cap.max(1), buf: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// True when no events have been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for RingSink {
+    fn emit(&self, event: &Event) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Appends each event as one JSON line to a file.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self { out: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut out = self.out.lock().unwrap();
+        let _ = out.write_all(event.to_jsonl().as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(name: &str) -> Event {
+        Event {
+            kind: EventKind::Point,
+            name: name.into(),
+            span_id: 0,
+            parent_id: 0,
+            t_us: 0,
+            dur_us: None,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let ring = RingSink::new(2);
+        ring.emit(&ev("a"));
+        ring.emit(&ev("b"));
+        ring.emit(&ev("c"));
+        let names: Vec<_> = ring.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let dir = std::env::temp_dir().join(format!("iolap-obs-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.emit(&ev("one"));
+            sink.emit(&ev("two"));
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            crate::json::parse(line).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,229 @@
+//! Span-based tracing with monotonic timing and zero cost when disabled.
+//!
+//! A [`Tracer`] hands out [`Span`] guards. Opening a span emits a
+//! `span_start` event; dropping the guard emits `span_end` with the
+//! measured duration. Nesting is tracked per thread: a span opened while
+//! another is live on the same thread records it as its parent, and
+//! [`Tracer::point`] events attach to the innermost live span.
+//!
+//! A disabled tracer (the default) never reads the clock and never
+//! allocates: `span()` returns an inert guard and `point()` returns
+//! immediately after one branch.
+
+use crate::event::{Event, EventKind, Value};
+use crate::sink::EventSink;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of live span ids on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+struct TracerInner {
+    sink: Arc<dyn EventSink>,
+    epoch: Instant,
+    next_id: AtomicU64,
+}
+
+/// Hands out span guards and point events; see the module docs.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// A tracer that drops everything at zero cost.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live tracer emitting into `sink`. The epoch for `t_us`
+    /// timestamps is the moment of this call.
+    pub fn new(sink: Arc<dyn EventSink>) -> Self {
+        Self {
+            inner: Some(Arc::new(TracerInner {
+                sink,
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// True when events are actually being recorded. Call sites should
+    /// gate *expensive payload computation* (not the span calls
+    /// themselves) on this.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span named `name`. Dropping the returned guard closes it.
+    pub fn span(&self, name: &str) -> Span {
+        self.span_with(name, Vec::new())
+    }
+
+    /// Open a span carrying extra fields on its start event.
+    pub fn span_with(&self, name: &str, fields: Vec<(String, Value)>) -> Span {
+        let Some(t) = &self.inner else {
+            return Span { live: None };
+        };
+        let id = t.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| s.borrow().last().copied()).unwrap_or(0);
+        t.sink.emit(&Event {
+            kind: EventKind::SpanStart,
+            name: name.to_string(),
+            span_id: id,
+            parent_id: parent,
+            t_us: t.epoch.elapsed().as_micros() as u64,
+            dur_us: None,
+            fields,
+        });
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        Span {
+            live: Some(SpanLive {
+                tracer: Arc::clone(t),
+                id,
+                parent,
+                name: name.to_string(),
+                start: Instant::now(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Emit an instantaneous event inside the innermost live span.
+    pub fn point(&self, name: &str, fields: Vec<(String, Value)>) {
+        let Some(t) = &self.inner else {
+            return;
+        };
+        let parent = SPAN_STACK.with(|s| s.borrow().last().copied()).unwrap_or(0);
+        t.sink.emit(&Event {
+            kind: EventKind::Point,
+            name: name.to_string(),
+            span_id: parent,
+            parent_id: parent,
+            t_us: t.epoch.elapsed().as_micros() as u64,
+            dur_us: None,
+            fields,
+        });
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&self) {
+        if let Some(t) = &self.inner {
+            t.sink.flush();
+        }
+    }
+}
+
+struct SpanLive {
+    tracer: Arc<TracerInner>,
+    id: u64,
+    parent: u64,
+    name: String,
+    start: Instant,
+    fields: Vec<(String, Value)>,
+}
+
+/// RAII guard for one span; dropping it emits the `span_end` event.
+/// Inert (no allocation, no clock reads) when the tracer is disabled.
+pub struct Span {
+    live: Option<SpanLive>,
+}
+
+impl Span {
+    /// Attach a field to the span's end event. No-op when disabled.
+    pub fn record(&mut self, key: &str, value: impl Into<Value>) {
+        if let Some(live) = &mut self.live {
+            live.fields.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// True when this guard belongs to a live tracer.
+    pub fn is_recording(&self) -> bool {
+        self.live.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards are expected to drop innermost-first on a thread, but
+            // tolerate out-of-order drops rather than corrupting the stack.
+            if stack.last() == Some(&live.id) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|&x| x == live.id) {
+                stack.remove(pos);
+            }
+        });
+        let dur_us = live.start.elapsed().as_micros() as u64;
+        live.tracer.sink.emit(&Event {
+            kind: EventKind::SpanEnd,
+            name: live.name,
+            span_id: live.id,
+            parent_id: live.parent,
+            t_us: live.tracer.epoch.elapsed().as_micros() as u64,
+            dur_us: Some(dur_us),
+            fields: live.fields,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingSink;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let mut s = t.span("x");
+        assert!(!s.is_recording());
+        s.record("k", 1u64);
+        t.point("p", Vec::new());
+        drop(s);
+    }
+
+    #[test]
+    fn spans_nest_and_points_attach() {
+        let ring = Arc::new(RingSink::new(64));
+        let t = Tracer::new(Arc::clone(&ring) as Arc<dyn EventSink>);
+        {
+            let _outer = t.span("outer");
+            {
+                let mut inner = t.span_with("inner", vec![("n".into(), Value::U64(2))]);
+                inner.record("done", true);
+                t.point("tick", vec![("i".into(), Value::U64(0))]);
+            }
+        }
+        let events = ring.events();
+        let kinds: Vec<_> = events.iter().map(|e| (e.kind, e.name.as_str())).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (EventKind::SpanStart, "outer"),
+                (EventKind::SpanStart, "inner"),
+                (EventKind::Point, "tick"),
+                (EventKind::SpanEnd, "inner"),
+                (EventKind::SpanEnd, "outer"),
+            ]
+        );
+        let outer_id = events[0].span_id;
+        let inner_start = &events[1];
+        assert_eq!(inner_start.parent_id, outer_id);
+        // The point attaches to the innermost span (inner).
+        assert_eq!(events[2].span_id, inner_start.span_id);
+        // End events carry durations and recorded fields.
+        let inner_end = &events[3];
+        assert!(inner_end.dur_us.is_some());
+        assert!(inner_end.fields.iter().any(|(k, _)| k == "done"));
+        assert_eq!(events[4].parent_id, 0);
+    }
+}

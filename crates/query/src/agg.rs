@@ -107,7 +107,7 @@ mod tests {
             &t,
             &PolicySpec::em_count(0.001),
             Algorithm::Transitive,
-            &AllocConfig::in_memory(256),
+            &AllocConfig::builder().in_memory(256).build(),
         )
         .unwrap()
         .edb

@@ -2,7 +2,7 @@
 //!
 //! `pivot(edb, dim_a@level_a × dim_b@level_b)` is the classic OLAP
 //! cross-tab — exactly the multidimensional view of Figure 1, computed
-//! from allocation weights. Like [`crate::rollup`], it is additive: row
+//! from allocation weights. Like [`crate::rollup()`], it is additive: row
 //! and column margins equal the corresponding one-dimensional roll-ups.
 
 use crate::agg::{AggFn, AggResult};
@@ -140,7 +140,7 @@ mod tests {
             &paper_example::table1(),
             &PolicySpec::em_count(0.001),
             Algorithm::Transitive,
-            &AllocConfig::in_memory(256),
+            &AllocConfig::builder().in_memory(256).build(),
         )
         .unwrap()
         .edb

@@ -88,11 +88,20 @@ struct Shard {
     /// This shard's share of the pool's effective capacity.
     capacity: usize,
     clock: usize,
+    /// Per-shard traffic counters, maintained under the shard latch (plain
+    /// integers — no extra atomics on the pin path).
+    stats: ShardStats,
 }
 
 impl Shard {
     fn new() -> Self {
-        Shard { frames: Vec::new(), map: HashMap::new(), capacity: 1, clock: 0 }
+        Shard {
+            frames: Vec::new(),
+            map: HashMap::new(),
+            capacity: 1,
+            clock: 0,
+            stats: ShardStats::default(),
+        }
     }
 
     /// Find a frame to (re)use, evicting an unpinned one if the shard is at
@@ -123,6 +132,7 @@ impl Shard {
 
     fn evict(&mut self, i: usize) -> Result<()> {
         if let Some((file, page)) = self.frames[i].key.take() {
+            self.stats.evictions += 1;
             self.map.remove(&(file, page));
             if self.frames[i].dirty {
                 let pager = self.frames[i].pager.clone().expect("resident frame lost its pager");
@@ -278,6 +288,7 @@ impl BufferPool {
         let mut shard = shard_arc.lock();
         if let Some(&i) = shard.map.get(&(file, page)) {
             self.shared.hits.fetch_add(1, Ordering::Relaxed);
+            shard.stats.hits += 1;
             let f = &mut shard.frames[i];
             f.pin += 1;
             f.referenced = true;
@@ -286,6 +297,7 @@ impl BufferPool {
             return Ok(PageGuard { shard: shard_arc, key: (file, page), buf, dirty: false });
         }
         self.shared.misses.fetch_add(1, Ordering::Relaxed);
+        shard.stats.misses += 1;
         let pager = self.shared.pager(file);
         let i = shard.grab_frame()?;
         {
@@ -430,6 +442,14 @@ impl BufferPool {
         }
     }
 
+    /// Per-shard traffic counters since pool creation, one entry per lock
+    /// stripe. Feeds the observability layer's per-shard series; the
+    /// global [`hit_stats`](BufferPool::hit_stats) atomics stay the cost
+    /// model's source of truth.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shared.shards.iter().map(|s| s.lock().stats).collect()
+    }
+
     /// Number of frames currently resident.
     pub fn resident(&self) -> usize {
         self.shared
@@ -438,6 +458,17 @@ impl BufferPool {
             .map(|s| s.lock().frames.iter().filter(|f| f.key.is_some()).count())
             .sum()
     }
+}
+
+/// Pin traffic through one lock stripe of a [`BufferPool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Pins served from a resident frame.
+    pub hits: u64,
+    /// Pins that had to read through the pager.
+    pub misses: u64,
+    /// Frames evicted (including purges and capacity shrinks).
+    pub evictions: u64,
 }
 
 /// Keeps `pages` pages of the pool reserved while alive.
@@ -668,6 +699,25 @@ mod tests {
         drop(r);
         let total: usize = pool.shared.shards.iter().map(|s| s.lock().capacity).sum();
         assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn shard_stats_sum_to_global_counters() {
+        let (pool, file, _) = pool_with_file(2);
+        for _ in 0..4 {
+            let _ = pool.pin_new(file).unwrap(); // capacity 2 → evictions
+        }
+        pool.flush_all().unwrap();
+        pool.purge_file(file).unwrap();
+        let _ = pool.pin(file, 0).unwrap(); // miss
+        let _ = pool.pin(file, 0).unwrap(); // hit
+        let per_shard = pool.shard_stats();
+        assert_eq!(per_shard.len(), pool.shards());
+        let hits: u64 = per_shard.iter().map(|s| s.hits).sum();
+        let misses: u64 = per_shard.iter().map(|s| s.misses).sum();
+        let evictions: u64 = per_shard.iter().map(|s| s.evictions).sum();
+        assert_eq!((hits, misses), pool.hit_stats());
+        assert!(evictions >= 2, "evictions = {evictions}");
     }
 
     #[test]

@@ -5,9 +5,10 @@ use crate::buffer::BufferPool;
 use crate::codec::Codec;
 use crate::error::Result;
 use crate::file::RecordFile;
-use crate::pager::{FilePager, MemPager, Pager};
+use crate::pager::{FilePager, MemPager, ObservedPager, Pager};
 use crate::stats::IoStats;
 use crate::tempdir::TempDir;
+use iolap_obs::Obs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -28,6 +29,7 @@ pub struct EnvBuilder {
     pool_pages: usize,
     backing: Backing,
     dir: Option<PathBuf>,
+    obs: Obs,
 }
 
 impl EnvBuilder {
@@ -50,6 +52,15 @@ impl EnvBuilder {
         self
     }
 
+    /// Attach an observability handle. When it is enabled, every pager the
+    /// environment creates is wrapped in an [`ObservedPager`] and the
+    /// external sorter emits spans. The default (disabled) handle costs
+    /// nothing and leaves pagers unwrapped.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Build the environment.
     pub fn build(self) -> Result<Env> {
         let tempdir = match (&self.backing, self.dir) {
@@ -65,6 +76,7 @@ impl EnvBuilder {
                 stats,
                 backing: self.backing,
                 next_file: AtomicU64::new(0),
+                obs: self.obs,
             }),
         })
     }
@@ -76,6 +88,7 @@ struct EnvInner {
     stats: IoStats,
     backing: Backing,
     next_file: AtomicU64,
+    obs: Obs,
 }
 
 /// A storage environment. Cloning clones the handle (shared pool & stats).
@@ -87,7 +100,13 @@ pub struct Env {
 impl Env {
     /// Start building an environment; `tag` names the scratch directory.
     pub fn builder(tag: &str) -> EnvBuilder {
-        EnvBuilder { tag: tag.to_string(), pool_pages: 1024, backing: Backing::Disk, dir: None }
+        EnvBuilder {
+            tag: tag.to_string(),
+            pool_pages: 1024,
+            backing: Backing::Disk,
+            dir: None,
+            obs: Obs::disabled(),
+        }
     }
 
     /// A disk-backed environment in a fresh temp directory with the default
@@ -106,10 +125,16 @@ impl Env {
         &self.inner.pool
     }
 
+    /// The observability handle this environment was built with
+    /// (disabled unless [`EnvBuilder::obs`] installed a live one).
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
+    }
+
     /// Create a new record file named `name` (disk mode) or anonymous
     /// (memory mode).
     pub fn create_file<T, C: Codec<T>>(&self, name: &str, codec: C) -> Result<RecordFile<T, C>> {
-        let pager: Box<dyn Pager> = match self.inner.backing {
+        let mut pager: Box<dyn Pager> = match self.inner.backing {
             Backing::Memory => Box::new(MemPager::new(self.inner.stats.clone())),
             Backing::Disk => {
                 let dir =
@@ -119,6 +144,9 @@ impl Env {
                 Box::new(FilePager::create(path, self.inner.stats.clone())?)
             }
         };
+        if let Some(metrics) = self.inner.obs.metrics() {
+            pager = Box::new(ObservedPager::new(pager, metrics));
+        }
         let id = self.inner.pool.register(pager);
         Ok(RecordFile::new(self.inner.pool.clone(), id, codec))
     }
@@ -150,6 +178,44 @@ mod tests {
             f.push(&i).unwrap(); // ~6 pages through a 2-page pool → evictions
         }
         assert!(env.stats().writes() > 0);
+    }
+
+    #[test]
+    fn observed_env_mirrors_io_into_metrics() {
+        use iolap_obs::{Obs, RingSink};
+        use std::sync::Arc;
+
+        // Same workload through a plain env and an observed env: the
+        // accounted IoStats must be identical, and the observed env must
+        // additionally carry pager counters and extsort spans.
+        let workload = |env: &Env| {
+            let mut f = env.create_file("x", U64Codec).unwrap();
+            for i in (0..4096u64).rev() {
+                f.push(&i).unwrap();
+            }
+            let sorted =
+                crate::extsort::external_sort(env, f, crate::extsort::SortBudget::pages(2), |v| *v)
+                    .unwrap();
+            assert_eq!(sorted.len(), 4096);
+            env.stats().snapshot()
+        };
+
+        let plain = Env::builder("env-plain").pool_pages(8).in_memory().build().unwrap();
+        let ring = Arc::new(RingSink::new(4096));
+        let obs = Obs::with_sink(ring.clone());
+        let observed =
+            Env::builder("env-obs").pool_pages(8).in_memory().obs(obs.clone()).build().unwrap();
+        assert!(observed.obs().is_enabled());
+
+        let io_plain = workload(&plain);
+        let io_observed = workload(&observed);
+        assert_eq!(io_plain, io_observed, "observation must not change accounted I/O");
+
+        let metrics = obs.metrics().unwrap();
+        assert_eq!(metrics.counter("pager.reads").get(), io_observed.reads);
+        assert_eq!(metrics.counter("pager.writes").get(), io_observed.writes);
+        assert!(metrics.counter("extsort.merge_passes").get() >= 1);
+        assert!(ring.events().iter().any(|e| e.name == "extsort.run_generation"));
     }
 
     #[test]

@@ -70,10 +70,19 @@ impl ExternalSorter {
     {
         let codec = input.codec().clone();
         let run_records = (self.budget.pages * input.recs_per_page()).max(1);
+        let obs = self.env.obs().clone();
+        let mut sort_span = obs.span_with(
+            "extsort.sort",
+            vec![
+                ("records".to_string(), input.len().into()),
+                ("budget_pages".to_string(), self.budget.pages.into()),
+            ],
+        );
 
         // Pass 1: run formation.
         let mut runs: Vec<RecordFile<T, C>> = Vec::new();
         {
+            let _run_span = obs.span("extsort.run_generation");
             let mut chunk: Vec<T> = Vec::with_capacity(run_records.min(input.len() as usize));
             let mut cursor = input.scan();
             loop {
@@ -96,6 +105,10 @@ impl ExternalSorter {
             }
         }
         input.delete()?;
+        sort_span.record("runs", runs.len());
+        if let Some(c) = obs.counter("extsort.runs") {
+            c.add(runs.len() as u64);
+        }
 
         if runs.is_empty() {
             return self.env.create_temp_file(codec);
@@ -106,7 +119,13 @@ impl ExternalSorter {
         let pool_cap = self.env.pool().capacity();
         let fanin = (self.budget.pages.saturating_sub(1)).min(pool_cap.saturating_sub(2)).max(2);
 
+        let merge_passes = obs.counter("extsort.merge_passes");
         while runs.len() > 1 {
+            let _pass_span =
+                obs.span_with("extsort.merge_pass", vec![("runs".to_string(), runs.len().into())]);
+            if let Some(c) = &merge_passes {
+                c.inc();
+            }
             let mut next_round: Vec<RecordFile<T, C>> = Vec::new();
             let mut batch: Vec<RecordFile<T, C>> = Vec::new();
             for run in runs.drain(..) {

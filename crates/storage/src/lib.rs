@@ -51,12 +51,12 @@ pub mod tempdir;
 
 mod env;
 
-pub use buffer::{BufferPool, Reservation};
+pub use buffer::{BufferPool, Reservation, ShardStats};
 pub use codec::Codec;
-pub use env::Env;
+pub use env::{Env, EnvBuilder};
 pub use error::{Result, StorageError};
 pub use extsort::{external_sort, ExternalSorter, SortBudget};
 pub use file::{RecordFile, ScanCursor};
-pub use pager::{FilePager, MemPager, PageId, Pager, PAGE_SIZE};
+pub use pager::{FilePager, MemPager, ObservedPager, PageId, Pager, PAGE_SIZE};
 pub use stats::{IoSnapshot, IoStats};
 pub use tempdir::TempDir;

@@ -12,6 +12,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::stats::IoStats;
+use iolap_obs::{Counter, Metrics};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -213,6 +214,66 @@ impl Pager for MemPager {
     }
 }
 
+/// A [`Pager`] decorator that mirrors every transfer into observability
+/// counters (`pager.reads` / `pager.writes` / `pager.allocs`).
+///
+/// The wrapped pager's [`IoStats`] accounting is untouched — this type
+/// only *adds* a second, independent set of counters — so wrapping a
+/// pager can never change the cost model's page counts. [`crate::Env`]
+/// applies the wrapper only when its observability handle is enabled;
+/// the default (disabled) path never constructs one.
+pub struct ObservedPager {
+    inner: Box<dyn Pager>,
+    reads: Counter,
+    writes: Counter,
+    allocs: Counter,
+}
+
+impl ObservedPager {
+    /// Wrap `inner`, resolving the counter handles from `metrics` once so
+    /// the per-page cost is a single relaxed atomic add.
+    pub fn new(inner: Box<dyn Pager>, metrics: &Metrics) -> Self {
+        Self {
+            inner,
+            reads: metrics.counter("pager.reads"),
+            writes: metrics.counter("pager.writes"),
+            allocs: metrics.counter("pager.allocs"),
+        }
+    }
+}
+
+impl Pager for ObservedPager {
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn read_page(&mut self, page: PageId, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_page(page, buf)?;
+        self.reads.inc();
+        Ok(())
+    }
+
+    fn write_page(&mut self, page: PageId, buf: &[u8]) -> Result<()> {
+        self.inner.write_page(page, buf)?;
+        self.writes.inc();
+        Ok(())
+    }
+
+    fn allocate_page(&mut self) -> Result<PageId> {
+        let id = self.inner.allocate_page()?;
+        self.allocs.inc();
+        Ok(id)
+    }
+
+    fn truncate(&mut self, pages: u64) -> Result<()> {
+        self.inner.truncate(pages)
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +333,22 @@ mod tests {
         let dir = crate::TempDir::new("pager-test").unwrap();
         let mut p = FilePager::create(dir.path().join("t.pages"), IoStats::new()).unwrap();
         exercise(&mut p);
+    }
+
+    #[test]
+    fn observed_pager_counts_without_touching_io_stats() {
+        let stats = IoStats::new();
+        let metrics = Metrics::new();
+        let mut p = ObservedPager::new(Box::new(MemPager::new(stats.clone())), &metrics);
+        exercise(&mut p);
+        // Obs counters saw the traffic…
+        assert!(metrics.counter("pager.reads").get() >= 4);
+        assert!(metrics.counter("pager.writes").get() >= 3);
+        assert_eq!(metrics.counter("pager.allocs").get(), 1);
+        // …and the accounted stats are exactly what a bare MemPager reports.
+        let mut bare = MemPager::new(IoStats::new());
+        exercise(&mut bare);
+        assert_eq!(stats.snapshot(), bare.stats().snapshot());
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //! cargo run --release --example automotive_warranty
 //! ```
 
-use imprecise_olap::core::{allocate, plan, prepare, Algorithm, AllocConfig, PolicySpec};
-use imprecise_olap::datagen::{census, generate, GeneratorConfig};
-use imprecise_olap::query::{
+use iolap::core::{allocate, plan, prepare, Algorithm, AllocConfig, PolicySpec};
+use iolap::datagen::{census, generate, GeneratorConfig};
+use iolap::query::{
     aggregate_classical, aggregate_edb, drilldown, pivot, AggFn, Classical, QueryBuilder,
 };
 
@@ -25,7 +25,7 @@ fn main() {
     println!("Generated automotive-like dataset:\n{}", census(&table));
 
     let policy = PolicySpec::em_count(0.01);
-    let cfg = AllocConfig::in_memory(4096);
+    let cfg = AllocConfig::builder().in_memory(4096).build();
 
     // Pre-run planning (the paper's "future work" estimators): how many
     // iterations will ε = 0.01 need, and is there a giant component?

@@ -9,16 +9,16 @@
 //! cargo run --release --example incremental_updates
 //! ```
 
-use imprecise_olap::core::maintain::{FactUpdate, MaintainableEdb};
-use imprecise_olap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
-use imprecise_olap::datagen::{generate, GeneratorConfig};
+use iolap::core::maintain::{FactUpdate, MaintainableEdb};
+use iolap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use iolap::datagen::{generate, GeneratorConfig};
 use std::time::Instant;
 
 fn main() {
     let n_facts = 30_000u64;
     let table = generate(&GeneratorConfig::automotive(n_facts, 7));
     let policy = PolicySpec::em_measure(0.01);
-    let cfg = AllocConfig::in_memory(4096);
+    let cfg = AllocConfig::builder().in_memory(4096).build();
 
     // Build once (and time the full build as the rebuild baseline).
     let t0 = Instant::now();

@@ -8,13 +8,13 @@
 //! cargo run --release --example policy_gallery
 //! ```
 
-use imprecise_olap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
-use imprecise_olap::model::paper_example;
+use iolap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use iolap::model::paper_example;
 
 fn main() {
     let table = paper_example::table1();
     let schema = table.schema().clone();
-    let cfg = AllocConfig::in_memory(256);
+    let cfg = AllocConfig::builder().in_memory(256).build();
 
     // Watch fact p8 = (CA, ALL; 160): its possible completions are the
     // four cells (CA, Civic..Sierra), of which only (CA, Civic) and

@@ -8,9 +8,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use imprecise_olap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
-use imprecise_olap::model::paper_example;
-use imprecise_olap::query::{aggregate_edb, pivot, AggFn, QueryBuilder};
+use iolap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use iolap::model::paper_example;
+use iolap::query::{aggregate_edb, pivot, AggFn, QueryBuilder};
 
 fn main() {
     let table = paper_example::table1();
@@ -22,7 +22,7 @@ fn main() {
     println!();
 
     let policy = PolicySpec::em_count(0.005);
-    let cfg = AllocConfig::in_memory(256);
+    let cfg = AllocConfig::builder().in_memory(256).build();
 
     // All four algorithms compute the same fixpoint.
     for alg in [Algorithm::Basic, Algorithm::Independent, Algorithm::Block, Algorithm::Transitive] {

@@ -11,17 +11,17 @@
 //! iolap allocate --data DIR [--algorithm basic|independent|block|transitive]
 //!                [--policy em-count|em-measure|count|measure|uniform]
 //!                [--epsilon E] [--buffer-kb KB] [--rollup DIM:LEVEL]
-//!                [--edb-out FILE]
+//!                [--edb-out FILE] [--trace-out FILE]
 //!     Ingest the CSVs from DIR (as written by `gen`), run allocation,
-//!     print the run report, optionally print roll-ups and dump the EDB.
+//!     print the run report, optionally print roll-ups, dump the EDB,
+//!     and/or write a JSONL span trace.
 //! ```
 
-use imprecise_olap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
-use imprecise_olap::datagen::{scaled, DatasetKind};
-use imprecise_olap::hierarchy::NodeId;
-use imprecise_olap::model::csv::{facts_from_csv, hierarchy_from_csv, parse_csv};
-use imprecise_olap::model::{paper_example, FactTable, Schema};
-use imprecise_olap::query::{render_rollup, rollup, AggFn};
+use iolap::datagen::{scaled, DatasetKind};
+use iolap::hierarchy::NodeId;
+use iolap::model::{paper_example, FactTable, Schema};
+use iolap::prelude::*;
+use iolap::query::render_rollup;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -54,8 +54,10 @@ fn cmd_demo() -> i32 {
     let table = paper_example::table1();
     let schema = table.schema().clone();
     println!("Paper running example (Table 1): {} facts", table.len());
-    let policy = PolicySpec::em_count(0.005);
-    let mut run = allocate(&table, &policy, Algorithm::Transitive, &AllocConfig::in_memory(256))
+    let mut run = Iolap::from_table(table)
+        .config(AllocConfig::builder().in_memory(256).build())
+        .policy(PolicySpec::em_count(0.005))
+        .allocate(Algorithm::Transitive)
         .expect("allocation");
     println!("{}", run.report);
     let rows = rollup(&mut run.edb, &schema, 0, 2, None, AggFn::Sum).expect("rollup");
@@ -137,7 +139,8 @@ fn cmd_allocate(args: &[String]) -> i32 {
     if has_flag(args, "--help") {
         eprintln!(
             "iolap allocate --data DIR [--algorithm A] [--policy P] [--epsilon E] \
-             [--buffer-kb KB] [--threads N] [--rollup DIM:LEVEL] [--edb-out FILE]"
+             [--buffer-kb KB] [--threads N] [--rollup DIM:LEVEL] [--edb-out FILE] \
+             [--trace-out FILE]"
         );
         return 0;
     }
@@ -166,13 +169,14 @@ fn cmd_allocate(args: &[String]) -> i32 {
         flag(args, "--threads").unwrap_or_else(|| "1".into()).parse().expect("--threads N");
 
     // Ingest.
-    let (schema, table) = match load_dataset(&dir) {
+    let db = match Iolap::open(&dir) {
         Ok(x) => x,
         Err(e) => {
-            eprintln!("failed to load {}: {e}", dir.display());
+            eprintln!("{e}");
             return 1;
         }
     };
+    let (schema, table) = (db.schema().clone(), db.table());
     println!(
         "loaded {} facts ({} imprecise) over {} dimensions",
         table.len(),
@@ -180,8 +184,15 @@ fn cmd_allocate(args: &[String]) -> i32 {
         schema.k()
     );
 
-    let cfg = AllocConfig { buffer_pages, threads, ..Default::default() };
-    let mut run = allocate(&table, &policy, algorithm, &cfg).expect("allocation");
+    let mut obs = Obs::disabled();
+    if let Some(path) = flag(args, "--trace-out") {
+        let sink = JsonlSink::create(&path).expect("--trace-out file");
+        obs = Obs::with_sink(Arc::new(sink));
+    }
+    let cfg =
+        AllocConfig::builder().buffer_pages(buffer_pages).threads(threads).obs(obs.clone()).build();
+    let mut run = db.config(cfg).policy(policy).allocate(algorithm).expect("allocation");
+    obs.flush();
     println!("{}", run.report);
     println!("EDB: {} entries for {} facts", run.edb.num_entries(), run.edb.num_facts_allocated());
 
@@ -220,77 +231,4 @@ fn cmd_allocate(args: &[String]) -> i32 {
         println!("EDB written to {path}");
     }
     0
-}
-
-/// Load `dimN_*.csv` + `facts.csv` from a directory.
-fn load_dataset(dir: &Path) -> Result<(Arc<Schema>, FactTable), String> {
-    let mut dim_files: Vec<(usize, PathBuf)> = Vec::new();
-    for entry in std::fs::read_dir(dir).map_err(|e| e.to_string())? {
-        let p = entry.map_err(|e| e.to_string())?.path();
-        let name = p.file_name().and_then(|s| s.to_str()).unwrap_or("").to_string();
-        if let Some(rest) = name.strip_prefix("dim") {
-            if let Some((idx, _)) = rest.split_once('_') {
-                if let Ok(i) = idx.parse::<usize>() {
-                    dim_files.push((i, p));
-                }
-            }
-        }
-    }
-    if dim_files.is_empty() {
-        return Err("no dimN_*.csv files found".into());
-    }
-    dim_files.sort();
-    let mut dims = Vec::with_capacity(dim_files.len());
-    for (i, p) in &dim_files {
-        let text = std::fs::read_to_string(p).map_err(|e| e.to_string())?;
-        let rows = parse_csv(&text);
-        let (header, body) = rows.split_first().ok_or("empty dimension file")?;
-        let level_names: Vec<&str> = header.iter().map(String::as_str).collect();
-        let body_text = body
-            .iter()
-            .map(|r| r.iter().map(|f| quote(f)).collect::<Vec<_>>().join(","))
-            .collect::<Vec<_>>()
-            .join("\n");
-        // Dimension name from the file name suffix.
-        let name = p
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .and_then(|s| s.split_once('_'))
-            .map(|(_, n)| n.to_string())
-            .unwrap_or_else(|| format!("dim{i}"));
-        dims.push(Arc::new(hierarchy_from_csv(&name, &level_names, &body_text)?));
-    }
-    let schema = Arc::new(Schema::new(dims, "measure"));
-    let facts_text = std::fs::read_to_string(dir.join("facts.csv")).map_err(|e| e.to_string())?;
-    let table = facts_from_csv_with_positional_dims(schema.clone(), &facts_text)?;
-    Ok((schema, table))
-}
-
-/// `facts.csv` written by `gen` uses the generated dimension names in its
-/// header; re-ingested hierarchies are named after the files, so map the
-/// columns positionally instead of by name.
-fn facts_from_csv_with_positional_dims(
-    schema: Arc<Schema>,
-    text: &str,
-) -> Result<FactTable, String> {
-    // Rewrite the header to the schema's dimension names, then reuse the
-    // by-name loader.
-    let rows = parse_csv(text);
-    let (header, _) = rows.split_first().ok_or("empty facts.csv")?;
-    if header.len() != schema.k() + 2 {
-        return Err("facts.csv column count mismatch".into());
-    }
-    let mut fixed = String::new();
-    let dims: Vec<String> = (0..schema.k()).map(|d| schema.dim(d).name().to_string()).collect();
-    fixed.push_str(&format!("id,{},measure\n", dims.join(",")));
-    let mut first = true;
-    for line in text.lines() {
-        if first {
-            first = false;
-            continue;
-        }
-        fixed.push_str(line);
-        fixed.push('\n');
-    }
-    facts_from_csv(schema, &fixed)
 }

@@ -1,0 +1,145 @@
+//! The unified workspace error: one type facade callers match on.
+//!
+//! The per-crate errors (`iolap_storage::StorageError`,
+//! `iolap_core::CoreError`) stay as they are — internal layers keep their
+//! precise types — but everything that crosses the `iolap` facade boundary
+//! converts into [`Error`], which carries the original error as a
+//! [`ErrorKind`] plus an optional operation-context string ("loading
+//! dataset from ./data", "running transitive allocation", …).
+
+use std::fmt;
+
+/// What went wrong, preserving the originating layer's error.
+#[derive(Debug)]
+pub enum ErrorKind {
+    /// Storage-layer failure (pager, buffer pool, external sort).
+    Storage(iolap_storage::StorageError),
+    /// Allocation-pipeline failure (prep, policies, algorithms).
+    Core(iolap_core::CoreError),
+    /// Data-format failure (CSV ingestion, query building).
+    Data(String),
+    /// OS-level I/O failure outside the paged storage layer (reading
+    /// dataset files, writing exports).
+    Io(std::io::Error),
+}
+
+/// The facade error type: an [`ErrorKind`] plus optional operation context.
+#[derive(Debug)]
+pub struct Error {
+    /// What the facade was doing when the error occurred, if known.
+    pub context: Option<String>,
+    /// The underlying failure.
+    pub kind: ErrorKind,
+}
+
+impl Error {
+    /// Wrap a data-format failure message.
+    pub fn data(msg: impl Into<String>) -> Self {
+        Error { context: None, kind: ErrorKind::Data(msg.into()) }
+    }
+
+    /// Attach (or replace) the operation-context string.
+    pub fn with_context(mut self, context: impl Into<String>) -> Self {
+        self.context = Some(context.into());
+        self
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(ctx) = &self.context {
+            write!(f, "while {ctx}: ")?;
+        }
+        match &self.kind {
+            ErrorKind::Storage(e) => write!(f, "{e}"),
+            ErrorKind::Core(e) => write!(f, "{e}"),
+            ErrorKind::Data(msg) => write!(f, "{msg}"),
+            ErrorKind::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            ErrorKind::Storage(e) => Some(e),
+            ErrorKind::Core(e) => Some(e),
+            ErrorKind::Data(_) => None,
+            ErrorKind::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<iolap_storage::StorageError> for Error {
+    fn from(e: iolap_storage::StorageError) -> Self {
+        Error { context: None, kind: ErrorKind::Storage(e) }
+    }
+}
+
+impl From<iolap_core::CoreError> for Error {
+    fn from(e: iolap_core::CoreError) -> Self {
+        Error { context: None, kind: ErrorKind::Core(e) }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error { context: None, kind: ErrorKind::Io(e) }
+    }
+}
+
+impl From<String> for Error {
+    fn from(msg: String) -> Self {
+        Error::data(msg)
+    }
+}
+
+/// Result alias over the facade [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Extension to bolt operation context onto any fallible facade call.
+pub trait ResultExt<T> {
+    /// Convert the error into [`Error`] and attach `context`.
+    fn context(self, context: impl Into<String>) -> Result<T>;
+}
+
+impl<T, E: Into<Error>> ResultExt<T> for std::result::Result<T, E> {
+    fn context(self, context: impl Into<String>) -> Result<T> {
+        self.map_err(|e| e.into().with_context(context))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_the_source() {
+        let e: Error = iolap_storage::StorageError::InvalidConfig("zero pages".into()).into();
+        assert!(matches!(e.kind, ErrorKind::Storage(_)));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: Error = iolap_core::CoreError::Config("bad".into()).into();
+        assert!(matches!(e.kind, ErrorKind::Core(_)));
+
+        let e: Error = "malformed csv".to_string().into();
+        assert!(matches!(e.kind, ErrorKind::Data(_)));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn context_prefixes_display() {
+        let e = Error::data("row 3 has 2 columns").with_context("loading facts.csv");
+        let s = format!("{e}");
+        assert!(s.starts_with("while loading facts.csv:"), "{s}");
+        assert!(s.contains("row 3"), "{s}");
+    }
+
+    #[test]
+    fn result_ext_attaches_context() {
+        let r: std::result::Result<(), iolap_core::CoreError> =
+            Err(iolap_core::CoreError::BadInput("no facts".into()));
+        let e = r.context("running allocation").unwrap_err();
+        assert_eq!(e.context.as_deref(), Some("running allocation"));
+    }
+}

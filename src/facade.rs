@@ -1,0 +1,208 @@
+//! The `Iolap` entry point: open a dataset, configure a run, allocate.
+//!
+//! ```
+//! use iolap::prelude::*;
+//!
+//! let table = iolap::model::paper_example::table1();
+//! let mut run = Iolap::from_table(table)
+//!     .config(AllocConfig::builder().in_memory(256).build())
+//!     .policy(PolicySpec::em_count(0.005))
+//!     .allocate(Algorithm::Transitive)
+//!     .unwrap();
+//! assert!(run.report.converged);
+//! assert_eq!(run.edb.num_facts_allocated(), 14);
+//! ```
+
+use crate::error::{Error, Result, ResultExt};
+use iolap_core::{allocate, Algorithm, AllocConfig, AllocationRun, PolicySpec};
+use iolap_model::csv::{facts_from_csv, hierarchy_from_csv, parse_csv};
+use iolap_model::{FactTable, Schema};
+use iolap_obs::Obs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A configured imprecise-OLAP database: one fact table plus the knobs of
+/// a run. Construction is cheap — the storage environment is built (and
+/// the paged files written) only when [`allocate`](Self::allocate) runs.
+pub struct Iolap {
+    schema: Arc<Schema>,
+    table: FactTable,
+    cfg: AllocConfig,
+}
+
+impl Iolap {
+    /// Open a CSV dataset directory (as written by `iolap gen`):
+    /// `dimN_<name>.csv` hierarchy files plus `facts.csv`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref();
+        let (schema, table) =
+            load_dataset(dir).context(format!("loading dataset from {}", dir.display()))?;
+        Ok(Iolap { schema, table, cfg: AllocConfig::default() })
+    }
+
+    /// Wrap an in-memory fact table (tests, examples, generated data).
+    pub fn from_table(table: FactTable) -> Self {
+        let schema = table.schema().clone();
+        Iolap { schema, table, cfg: AllocConfig::default() }
+    }
+
+    /// Replace the run configuration (see [`AllocConfig::builder`]).
+    pub fn config(mut self, cfg: AllocConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Set the allocation policy (shorthand for rebuilding the config).
+    pub fn policy(mut self, policy: PolicySpec) -> Self {
+        self.cfg.policy = Some(policy);
+        self
+    }
+
+    /// Attach an observability handle for the next run.
+    pub fn observe(mut self, obs: Obs) -> Self {
+        self.cfg.obs = obs;
+        self
+    }
+
+    /// The dataset's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The loaded fact table.
+    pub fn table(&self) -> &FactTable {
+        &self.table
+    }
+
+    /// The current run configuration.
+    pub fn alloc_config(&self) -> &AllocConfig {
+        &self.cfg
+    }
+
+    /// Run `algorithm` with the configured policy (default: EM-Count with
+    /// ε = 0.01, the paper's baseline) and materialize the EDB.
+    pub fn allocate(&self, algorithm: Algorithm) -> Result<AllocationRun> {
+        let policy = self.cfg.policy.clone().unwrap_or_else(|| PolicySpec::em_count(0.01));
+        allocate(&self.table, &policy, algorithm, &self.cfg)
+            .context(format!("running {algorithm} allocation"))
+    }
+}
+
+/// Load `dimN_*.csv` + `facts.csv` from a directory.
+fn load_dataset(dir: &Path) -> Result<(Arc<Schema>, FactTable)> {
+    let mut dim_files: Vec<(usize, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let p = entry?.path();
+        let name = p.file_name().and_then(|s| s.to_str()).unwrap_or("").to_string();
+        if let Some(rest) = name.strip_prefix("dim") {
+            if let Some((idx, _)) = rest.split_once('_') {
+                if let Ok(i) = idx.parse::<usize>() {
+                    dim_files.push((i, p));
+                }
+            }
+        }
+    }
+    if dim_files.is_empty() {
+        return Err(Error::data("no dimN_*.csv files found"));
+    }
+    dim_files.sort();
+    let mut dims = Vec::with_capacity(dim_files.len());
+    for (i, p) in &dim_files {
+        let text = std::fs::read_to_string(p)?;
+        let rows = parse_csv(&text);
+        let (header, body) =
+            rows.split_first().ok_or_else(|| Error::data("empty dimension file"))?;
+        let level_names: Vec<&str> = header.iter().map(String::as_str).collect();
+        let body_text = body
+            .iter()
+            .map(|r| r.iter().map(|f| csv_quote(f)).collect::<Vec<_>>().join(","))
+            .collect::<Vec<_>>()
+            .join("\n");
+        // Dimension name from the file name suffix.
+        let name = p
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.split_once('_'))
+            .map(|(_, n)| n.to_string())
+            .unwrap_or_else(|| format!("dim{i}"));
+        dims.push(Arc::new(hierarchy_from_csv(&name, &level_names, &body_text)?));
+    }
+    let schema = Arc::new(Schema::new(dims, "measure"));
+    let facts_text = std::fs::read_to_string(dir.join("facts.csv"))?;
+    let table = facts_from_csv_with_positional_dims(schema.clone(), &facts_text)?;
+    Ok((schema, table))
+}
+
+/// `facts.csv` written by `iolap gen` uses the generated dimension names
+/// in its header; re-ingested hierarchies are named after the files, so
+/// map the columns positionally instead of by name.
+fn facts_from_csv_with_positional_dims(schema: Arc<Schema>, text: &str) -> Result<FactTable> {
+    // Rewrite the header to the schema's dimension names, then reuse the
+    // by-name loader.
+    let rows = parse_csv(text);
+    let (header, _) = rows.split_first().ok_or_else(|| Error::data("empty facts.csv"))?;
+    if header.len() != schema.k() + 2 {
+        return Err(Error::data("facts.csv column count mismatch"));
+    }
+    let mut fixed = String::new();
+    let dims: Vec<String> = (0..schema.k()).map(|d| schema.dim(d).name().to_string()).collect();
+    fixed.push_str(&format!("id,{},measure\n", dims.join(",")));
+    let mut first = true;
+    for line in text.lines() {
+        if first {
+            first = false;
+            continue;
+        }
+        fixed.push_str(line);
+        fixed.push('\n');
+    }
+    Ok(facts_from_csv(schema, &fixed)?)
+}
+
+/// Re-quote a CSV field when it needs escaping.
+pub(crate) fn csv_quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_model::paper_example;
+
+    #[test]
+    fn from_table_allocates_with_defaults() {
+        let db = Iolap::from_table(paper_example::table1())
+            .config(AllocConfig::builder().in_memory(256).build());
+        let run = db.allocate(Algorithm::Block).unwrap();
+        assert!(run.report.converged);
+        assert_eq!(db.schema().k(), 2);
+        assert_eq!(db.table().len(), 14);
+    }
+
+    #[test]
+    fn policy_and_observe_thread_through() {
+        let obs = Obs::metrics_only();
+        let db = Iolap::from_table(paper_example::table1())
+            .config(AllocConfig::builder().in_memory(256).build())
+            .policy(PolicySpec::uniform())
+            .observe(obs.clone());
+        assert_eq!(db.alloc_config().policy, Some(PolicySpec::uniform()));
+        let run = db.allocate(Algorithm::Transitive).unwrap();
+        assert!(run.report.converged);
+        assert!(obs.metrics().unwrap().counter("report.iterations").get() <= 1);
+    }
+
+    #[test]
+    fn open_missing_directory_reports_context() {
+        let err = match Iolap::open("/nonexistent/iolap-dataset") {
+            Err(e) => e,
+            Ok(_) => panic!("open of a missing directory must fail"),
+        };
+        let s = format!("{err}");
+        assert!(s.contains("loading dataset from"), "{s}");
+    }
+}

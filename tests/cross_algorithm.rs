@@ -4,15 +4,16 @@
 //! multi-page files, bin-packed table sets, chain covers, and the
 //! component machinery.
 
-use imprecise_olap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
-use imprecise_olap::datagen::{generate, GeneratorConfig};
-use imprecise_olap::model::FactTable;
+use iolap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use iolap::datagen::{generate, GeneratorConfig};
+use iolap::model::FactTable;
 use std::collections::HashMap;
 
 type Weights = HashMap<u64, Vec<([u32; 8], f64)>>;
 
 fn weights_of(table: &FactTable, policy: &PolicySpec, alg: Algorithm, pages: usize) -> Weights {
-    let mut run = allocate(table, policy, alg, &AllocConfig::in_memory(pages)).unwrap();
+    let mut run =
+        allocate(table, policy, alg, &AllocConfig::builder().in_memory(pages).build()).unwrap();
     assert!(run.report.converged, "{alg} did not converge");
     let mut m = run.edb.weight_map().unwrap();
     for v in m.values_mut() {
@@ -74,7 +75,7 @@ fn tiny_buffers_do_not_change_results() {
 
 #[test]
 fn transitive_components_match_bfs_reference() {
-    use imprecise_olap::graph::{AllocationGraph, CellSetIndex};
+    use iolap::graph::{AllocationGraph, CellSetIndex};
 
     let table = generate(&GeneratorConfig::automotive(3_000, 5));
     let schema = table.schema().clone();
@@ -82,7 +83,7 @@ fn transitive_components_match_bfs_reference() {
         &table,
         &PolicySpec::em_count(0.05),
         Algorithm::Transitive,
-        &AllocConfig::in_memory(2048),
+        &AllocConfig::builder().in_memory(2048).build(),
     )
     .unwrap();
     let stats = run.report.components.unwrap();
@@ -125,7 +126,7 @@ fn thread_count_does_not_change_the_edb() {
     let table = generate(&GeneratorConfig::synthetic(3_000, 11));
     let policy = PolicySpec::em_count(0.01);
     let edb_with = |threads: usize, pages: usize| {
-        let cfg = AllocConfig { threads, ..AllocConfig::in_memory(pages) };
+        let cfg = AllocConfig::builder().in_memory(pages).threads(threads).build();
         let mut run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
         assert!(run.report.converged, "{threads} threads did not converge");
         run.edb.weight_map().unwrap()

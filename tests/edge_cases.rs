@@ -1,8 +1,8 @@
 //! Edge-case and failure-injection tests across the pipeline.
 
-use imprecise_olap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
-use imprecise_olap::datagen::{generate, scaled, DatasetKind, GeneratorConfig};
-use imprecise_olap::model::{paper_example, Fact, FactTable, Schema};
+use iolap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use iolap::datagen::{generate, scaled, DatasetKind, GeneratorConfig};
+use iolap::model::{paper_example, Fact, FactTable, Schema};
 use std::sync::Arc;
 
 fn tiny_schema() -> Arc<Schema> {
@@ -13,8 +13,13 @@ fn tiny_schema() -> Arc<Schema> {
 fn empty_table_allocates_trivially() {
     let t = FactTable::new(tiny_schema());
     for alg in [Algorithm::Basic, Algorithm::Block, Algorithm::Transitive] {
-        let run =
-            allocate(&t, &PolicySpec::em_count(0.01), alg, &AllocConfig::in_memory(64)).unwrap();
+        let run = allocate(
+            &t,
+            &PolicySpec::em_count(0.01),
+            alg,
+            &AllocConfig::builder().in_memory(64).build(),
+        )
+        .unwrap();
         assert_eq!(run.edb.num_entries(), 0, "{alg}");
         assert!(run.report.converged);
     }
@@ -29,7 +34,7 @@ fn all_precise_table_yields_weight_one_entries_only() {
         &precise_only,
         &PolicySpec::em_count(0.01),
         Algorithm::Transitive,
-        &AllocConfig::in_memory(64),
+        &AllocConfig::builder().in_memory(64).build(),
     )
     .unwrap();
     assert_eq!(run.edb.num_entries(), 5);
@@ -44,12 +49,21 @@ fn all_imprecise_without_candidates_is_rejected() {
     let east = s.dim(0).node_by_name("East").unwrap().0;
     let sedan = s.dim(1).node_by_name("Sedan").unwrap().0;
     let t = FactTable::from_facts(s, vec![Fact::new(1, &[east, sedan], 10.0)]);
-    let err =
-        allocate(&t, &PolicySpec::em_count(0.01), Algorithm::Block, &AllocConfig::in_memory(64));
+    let err = allocate(
+        &t,
+        &PolicySpec::em_count(0.01),
+        Algorithm::Block,
+        &AllocConfig::builder().in_memory(64).build(),
+    );
     assert!(err.is_err());
     // …but the same table allocates fine under RegionUnion candidates.
-    let run = allocate(&t, &PolicySpec::uniform(), Algorithm::Block, &AllocConfig::in_memory(64))
-        .unwrap();
+    let run = allocate(
+        &t,
+        &PolicySpec::uniform(),
+        Algorithm::Block,
+        &AllocConfig::builder().in_memory(64).build(),
+    )
+    .unwrap();
     assert_eq!(run.edb.num_entries(), 4, "uniform over the 2×2 region");
 }
 
@@ -64,9 +78,13 @@ fn duplicate_regions_allocate_identically() {
     dup.id = 99;
     facts.push(dup);
     let t = FactTable::from_facts(s, facts);
-    let mut run =
-        allocate(&t, &PolicySpec::em_count(0.001), Algorithm::Block, &AllocConfig::in_memory(128))
-            .unwrap();
+    let mut run = allocate(
+        &t,
+        &PolicySpec::em_count(0.001),
+        Algorithm::Block,
+        &AllocConfig::builder().in_memory(128).build(),
+    )
+    .unwrap();
     let m = run.edb.weight_map().unwrap();
     assert_eq!(m[&8].len(), m[&99].len());
     for (a, b) in m[&8].iter().zip(&m[&99]) {
@@ -81,8 +99,12 @@ fn one_page_buffer_still_correct() {
     // its own table set. Results must not change.
     let t = generate(&GeneratorConfig::uniform(tiny_schema(), 120, 0.4, 5));
     let policy = PolicySpec::em_count(0.01);
-    let mut big = allocate(&t, &policy, Algorithm::Block, &AllocConfig::in_memory(4096)).unwrap();
-    let mut small = allocate(&t, &policy, Algorithm::Block, &AllocConfig::in_memory(8)).unwrap();
+    let mut big =
+        allocate(&t, &policy, Algorithm::Block, &AllocConfig::builder().in_memory(4096).build())
+            .unwrap();
+    let mut small =
+        allocate(&t, &policy, Algorithm::Block, &AllocConfig::builder().in_memory(8).build())
+            .unwrap();
     let a = big.edb.weight_map().unwrap();
     let b = small.edb.weight_map().unwrap();
     assert_eq!(a.len(), b.len());
@@ -104,7 +126,7 @@ fn single_fact_table() {
         &t,
         &PolicySpec::em_count(0.01),
         Algorithm::Transitive,
-        &AllocConfig::in_memory(64),
+        &AllocConfig::builder().in_memory(64).build(),
     )
     .unwrap();
     assert_eq!(run.edb.num_entries(), 1);
@@ -130,9 +152,14 @@ fn on_disk_backing_matches_in_memory() {
     // Same inputs, real files vs MemPager — identical EDB.
     let t = generate(&GeneratorConfig::uniform(tiny_schema(), 150, 0.3, 11));
     let policy = PolicySpec::em_count(0.01);
-    let mut mem =
-        allocate(&t, &policy, Algorithm::Transitive, &AllocConfig::in_memory(256)).unwrap();
-    let disk_cfg = AllocConfig { buffer_pages: 256, ..Default::default() };
+    let mut mem = allocate(
+        &t,
+        &policy,
+        Algorithm::Transitive,
+        &AllocConfig::builder().in_memory(256).build(),
+    )
+    .unwrap();
+    let disk_cfg = AllocConfig::builder().buffer_pages(256).build();
     let mut disk = allocate(&t, &policy, Algorithm::Transitive, &disk_cfg).unwrap();
     let a = mem.edb.weight_map().unwrap();
     let b = disk.edb.weight_map().unwrap();
@@ -155,9 +182,13 @@ fn measure_zero_everywhere_falls_back_to_uniform_for_all_facts() {
         s,
         t.facts_mut().iter().map(|f| Fact { measure: 0.0, ..f.clone() }).collect(),
     );
-    let mut run =
-        allocate(&facts, &PolicySpec::measure(), Algorithm::Basic, &AllocConfig::in_memory(64))
-            .unwrap();
+    let mut run = allocate(
+        &facts,
+        &PolicySpec::measure(),
+        Algorithm::Basic,
+        &AllocConfig::builder().in_memory(64).build(),
+    )
+    .unwrap();
     let checked = run.edb.validate_weights(1e-9).unwrap().unwrap();
     assert_eq!(checked, 14);
 }
@@ -169,10 +200,20 @@ fn runs_are_deterministic() {
     let t2 = generate(&GeneratorConfig::synthetic(1_000, 99));
     assert_eq!(t1.facts(), t2.facts());
     let policy = PolicySpec::em_count(0.01);
-    let mut a =
-        allocate(&t1, &policy, Algorithm::Transitive, &AllocConfig::in_memory(512)).unwrap();
-    let mut b =
-        allocate(&t2, &policy, Algorithm::Transitive, &AllocConfig::in_memory(512)).unwrap();
+    let mut a = allocate(
+        &t1,
+        &policy,
+        Algorithm::Transitive,
+        &AllocConfig::builder().in_memory(512).build(),
+    )
+    .unwrap();
+    let mut b = allocate(
+        &t2,
+        &policy,
+        Algorithm::Transitive,
+        &AllocConfig::builder().in_memory(512).build(),
+    )
+    .unwrap();
     let wa = a.edb.weight_map().unwrap();
     let wb = b.edb.weight_map().unwrap();
     assert_eq!(wa.len(), wb.len());

@@ -8,9 +8,9 @@
 //! roughly linearly with pinned iteration counts, Transitive's must stay
 //! flat, and Independent must exceed Block (the `7T·W|C|` sorts).
 
-use imprecise_olap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
-use imprecise_olap::datagen::{generate, GeneratorConfig};
-use imprecise_olap::model::FactTable;
+use iolap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use iolap::datagen::{generate, GeneratorConfig};
+use iolap::model::FactTable;
 
 fn table() -> FactTable {
     // Big enough that C and I span hundreds of pages.
@@ -21,7 +21,7 @@ fn table() -> FactTable {
 /// smaller than the files (so caching cannot absorb the passes).
 fn alloc_ios(table: &FactTable, alg: Algorithm, iters: u32) -> u64 {
     let policy = PolicySpec::em_count(0.0).with_max_iters(iters);
-    let cfg = AllocConfig::in_memory(96); // 384 KB
+    let cfg = AllocConfig::builder().in_memory(96).build(); // 384 KB
     let run = allocate(table, &policy, alg, &cfg).unwrap();
     assert_eq!(run.report.iterations, iters);
     run.report.io_alloc.total()
@@ -64,7 +64,7 @@ fn independent_io_dominates_block() {
 fn block_io_tracks_theorem7_magnitude() {
     let t = table();
     let policy = PolicySpec::em_count(0.0).with_max_iters(4);
-    let cfg = AllocConfig::in_memory(96);
+    let cfg = AllocConfig::builder().in_memory(96).build();
     let run = allocate(&t, &policy, Algorithm::Block, &cfg).unwrap();
     let c_pages = run.prep.cells.num_pages();
     let i_pages = run.prep.facts.num_pages();

@@ -2,14 +2,14 @@
 //! generated data: the maintained EDB must always equal a from-scratch
 //! rebuild.
 
-use imprecise_olap::core::maintain::{FactUpdate, MaintainableEdb};
-use imprecise_olap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
-use imprecise_olap::datagen::{generate, GeneratorConfig};
+use iolap::core::maintain::{FactUpdate, MaintainableEdb};
+use iolap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use iolap::datagen::{generate, GeneratorConfig};
 
 #[test]
 fn batched_updates_match_rebuild_on_generated_data() {
     let policy = PolicySpec::em_measure(0.001);
-    let cfg = AllocConfig::in_memory(2048);
+    let cfg = AllocConfig::builder().in_memory(2048).build();
     let mut table = generate(&GeneratorConfig::automotive(1_500, 21));
 
     let run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
@@ -53,10 +53,10 @@ fn batched_updates_match_rebuild_on_generated_data() {
 #[test]
 fn repeated_updates_to_same_fact_keep_latest() {
     let policy = PolicySpec::em_measure(0.001);
-    let cfg = AllocConfig::in_memory(1024);
+    let cfg = AllocConfig::builder().in_memory(1024).build();
     // A dense little dataset over the paper's 4×4 cell space, so every
     // imprecise fact overlaps plenty of precise cells.
-    let schema = imprecise_olap::model::paper_example::schema();
+    let schema = iolap::model::paper_example::schema();
     let mut table = generate(&GeneratorConfig::uniform(schema, 200, 0.4, 33));
 
     let run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
@@ -90,7 +90,7 @@ fn non_overlapped_precise_updates_are_cheap() {
     // Updating precise facts in singleton components must not trigger any
     // component re-allocation work (the flat curve of Figure 6).
     let policy = PolicySpec::em_count(0.01);
-    let cfg = AllocConfig::in_memory(2048);
+    let cfg = AllocConfig::builder().in_memory(2048).build();
     let table = generate(&GeneratorConfig::automotive(2_000, 55));
     let schema = table.schema().clone();
 

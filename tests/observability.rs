@@ -1,0 +1,158 @@
+//! End-to-end tests for the observability layer: span traces, the
+//! metrics registry behind `RunReport`, and the zero-cost guarantee that
+//! a disabled handle changes nothing about the accounted page I/O.
+
+use iolap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use iolap::datagen::{generate, GeneratorConfig};
+use iolap::model::paper_example;
+use iolap::obs::{json, EventKind, Obs, RingSink};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn traced_run(alg: Algorithm) -> (iolap::core::AllocationRun, Arc<RingSink>, Obs) {
+    let sink = Arc::new(RingSink::new(100_000));
+    let obs = Obs::with_sink(sink.clone());
+    let cfg = AllocConfig::builder().in_memory(64).obs(obs.clone()).build();
+    let table = paper_example::table1();
+    let run = allocate(&table, &PolicySpec::em_count(0.005), alg, &cfg).unwrap();
+    (run, sink, obs)
+}
+
+#[test]
+fn spans_nest_and_pair_correctly() {
+    let (_run, sink, _obs) = traced_run(Algorithm::Transitive);
+    let events = sink.events();
+    assert!(!events.is_empty());
+
+    // Every span_start has exactly one span_end with the same id, and the
+    // end's parent matches the start's.
+    let mut open: HashMap<u64, (String, u64)> = HashMap::new();
+    let mut closed = 0usize;
+    for e in &events {
+        match e.kind {
+            EventKind::SpanStart => {
+                let prev = open.insert(e.span_id, (e.name.clone(), e.parent_id));
+                assert!(prev.is_none(), "span id {} started twice", e.span_id);
+            }
+            EventKind::SpanEnd => {
+                let (name, parent) =
+                    open.remove(&e.span_id).unwrap_or_else(|| panic!("end without start: {e:?}"));
+                assert_eq!(name, e.name, "span {} closed under a different name", e.span_id);
+                assert_eq!(parent, e.parent_id);
+                assert!(e.dur_us.is_some(), "span_end must carry a duration");
+                closed += 1;
+            }
+            EventKind::Point => {}
+        }
+    }
+    assert!(open.is_empty(), "unclosed spans: {open:?}");
+    assert!(closed >= 4, "expected at least run/prep/passes/edb spans, got {closed}");
+
+    // The phase spans all exist and nest under alloc.run.
+    let start_of = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanStart && e.name == name)
+            .unwrap_or_else(|| panic!("missing span {name}"))
+    };
+    let run_span = start_of("alloc.run");
+    assert_eq!(run_span.parent_id, 0, "alloc.run is the root span");
+    for phase in ["alloc.prep", "alloc.passes", "alloc.edb"] {
+        assert_eq!(start_of(phase).parent_id, run_span.span_id, "{phase} nests under alloc.run");
+    }
+    assert_eq!(
+        start_of("prep.span_pass").parent_id,
+        start_of("alloc.prep").span_id,
+        "the span pass nests under the prep phase"
+    );
+
+    // Per-iteration fixpoint telemetry appears as points under the passes.
+    let iters: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Point && e.name == "fixpoint.iteration")
+        .collect();
+    assert!(!iters.is_empty(), "no fixpoint.iteration points");
+    for (i, p) in iters.iter().enumerate() {
+        let fields: HashMap<_, _> = p.fields.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        assert!(fields.contains_key("algorithm"), "iteration point {i} lacks algorithm");
+        assert!(fields.contains_key("iter"), "iteration point {i} lacks iter");
+        assert!(fields.contains_key("max_rel_delta"), "iteration point {i} lacks max_rel_delta");
+    }
+
+    // Every event serializes to a line our own JSON reader accepts.
+    for e in &events {
+        json::parse(&e.to_jsonl()).unwrap_or_else(|err| panic!("bad JSONL {err}: {e:?}"));
+    }
+}
+
+#[test]
+fn counters_match_the_run_report() {
+    let (run, _sink, obs) = traced_run(Algorithm::Transitive);
+    let metrics = obs.metrics().expect("tracing handle exposes metrics");
+    let r = &run.report;
+    assert_eq!(metrics.counter("report.iterations").get(), u64::from(r.iterations));
+    assert_eq!(metrics.counter("report.io.prep.reads").get(), r.io_prep.reads);
+    assert_eq!(metrics.counter("report.io.prep.writes").get(), r.io_prep.writes);
+    assert_eq!(metrics.counter("report.io.alloc.reads").get(), r.io_alloc.reads);
+    assert_eq!(metrics.counter("report.io.edb.writes").get(), r.io_edb.writes);
+    assert_eq!(metrics.counter("report.pool.hits").get(), r.pool_hits);
+    assert_eq!(metrics.counter("report.pool.misses").get(), r.pool_misses);
+    // The live pager counters cover at least the phase totals the report
+    // snapshots (the EDB scan in `weight_map` etc. would only add more).
+    let total_reads = r.io_prep.reads + r.io_alloc.reads + r.io_edb.reads;
+    assert!(metrics.counter("pager.reads").get() >= total_reads);
+    assert!(metrics.counter("pager.allocs").get() > 0);
+    // Transitive's component census flows into the histogram registry.
+    let stats = r.components.as_ref().expect("transitive census");
+    assert_eq!(metrics.histogram("transitive.component_tuples").count(), stats.total);
+    assert_eq!(metrics.gauge("report.components.total").get(), stats.total as i64);
+}
+
+#[test]
+fn report_exports_round_trip_through_json_and_prometheus() {
+    let (run, _sink, _obs) = traced_run(Algorithm::Block);
+    let text = run.report.to_json();
+    let parsed = json::parse(&text).expect("report JSON parses");
+    let counters = parsed.get("counters").and_then(|j| j.as_object()).expect("counters object");
+    let lookup = |name: &str| {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    assert_eq!(lookup("report.iterations"), u64::from(run.report.iterations));
+    assert_eq!(lookup("report.io.alloc.reads"), run.report.io_alloc.reads);
+
+    let prom = run.report.to_prometheus();
+    assert!(prom.contains(&format!("iolap_report_iterations {}", run.report.iterations)));
+    assert!(prom.contains(&format!("iolap_report_io_alloc_reads {}", run.report.io_alloc.reads)));
+    assert!(prom.contains("iolap_report_num_cells"));
+}
+
+#[test]
+fn disabled_handle_leaves_accounted_io_bit_identical() {
+    // The zero-cost contract: a run with observability off and a run with
+    // full tracing on account exactly the same page I/O, pool traffic and
+    // iteration count — instrumentation observes, never perturbs.
+    let table = generate(&GeneratorConfig::automotive(2_000, 13));
+    let policy = PolicySpec::em_count(0.01);
+    let reports = [Algorithm::Block, Algorithm::Transitive].map(|alg| {
+        let plain_cfg = AllocConfig::builder().in_memory(48).build();
+        let plain = allocate(&table, &policy, alg, &plain_cfg).unwrap().report;
+        let traced_cfg = AllocConfig::builder()
+            .in_memory(48)
+            .obs(Obs::with_sink(Arc::new(RingSink::new(10_000))))
+            .build();
+        let traced = allocate(&table, &policy, alg, &traced_cfg).unwrap().report;
+        (plain, traced)
+    });
+    for (plain, traced) in reports {
+        assert_eq!(plain.io_prep, traced.io_prep);
+        assert_eq!(plain.io_alloc, traced.io_alloc);
+        assert_eq!(plain.io_edb, traced.io_edb);
+        assert_eq!(plain.pool_hits, traced.pool_hits);
+        assert_eq!(plain.pool_misses, traced.pool_misses);
+        assert_eq!(plain.iterations, traced.iterations);
+    }
+}

@@ -2,11 +2,11 @@
 //! Figures 1–3, Examples 3–5): the one dataset where every intermediate
 //! structure is published and hand-checkable.
 
-use imprecise_olap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
-use imprecise_olap::model::paper_example;
+use iolap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use iolap::model::paper_example;
 
 fn cfg() -> AllocConfig {
-    AllocConfig::in_memory(256)
+    AllocConfig::builder().in_memory(256).build()
 }
 
 #[test]

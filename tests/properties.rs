@@ -1,9 +1,9 @@
 //! Property-based tests (proptest) over randomly generated hierarchies
 //! and fact tables — the invariants of DESIGN.md §5.
 
-use imprecise_olap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
-use imprecise_olap::hierarchy::{Hierarchy, HierarchyBuilder};
-use imprecise_olap::model::{cmp_cells, Fact, FactTable, RegionBox, Schema};
+use iolap::core::{allocate, Algorithm, AllocConfig, PolicySpec};
+use iolap::hierarchy::{Hierarchy, HierarchyBuilder};
+use iolap::model::{cmp_cells, Fact, FactTable, RegionBox, Schema};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -77,7 +77,7 @@ proptest! {
         prop_assume!(has_precise || table.num_imprecise() == 0);
 
         let policy = PolicySpec::em_count(0.0).with_max_iters(3);
-        let cfg = AllocConfig::in_memory(128);
+        let cfg = AllocConfig::builder().in_memory(128).build();
         let mut reference = allocate(&table, &policy, Algorithm::Basic, &cfg).unwrap();
         reference.edb.validate_weights(1e-6).unwrap().unwrap();
         let want = reference.edb.weight_map().unwrap();
@@ -111,7 +111,7 @@ proptest! {
 
         let eps = 0.01;
         let policy = PolicySpec::em_count(eps);
-        let cfg = AllocConfig::in_memory(128);
+        let cfg = AllocConfig::builder().in_memory(128).build();
         let mut reference = allocate(&table, &policy, Algorithm::Basic, &cfg).unwrap();
         reference.edb.validate_weights(1e-6).unwrap().unwrap();
         let want = reference.edb.weight_map().unwrap();
@@ -149,7 +149,7 @@ proptest! {
             prop_assert_eq!(n, bx.num_cells());
             let expected: u64 = (0..s.k())
                 .map(|d| {
-                    let node = imprecise_olap::hierarchy::NodeId(f.dims[d]);
+                    let node = iolap::hierarchy::NodeId(f.dims[d]);
                     s.dim(d).node(node).num_leaves() as u64
                 })
                 .product();
@@ -163,7 +163,7 @@ proptest! {
         data in proptest::collection::vec((0u64..50, 0u64..1_000_000), 0..3_000),
         budget in 2usize..6,
     ) {
-        use imprecise_olap::storage::{codec::U64PairCodec, external_sort, Env, SortBudget};
+        use iolap::storage::{codec::U64PairCodec, external_sort, Env, SortBudget};
         let env = Env::builder("prop-sort").pool_pages(32).in_memory().build().unwrap();
         let mut f = env.create_file("in", U64PairCodec).unwrap();
         for (i, (k, _)) in data.iter().enumerate() {
@@ -192,7 +192,7 @@ proptest! {
         boxes in proptest::collection::vec((0u32..60, 0u32..60, 1u32..10, 1u32..10), 0..200),
         query in (0u32..60, 0u32..60, 1u32..30, 1u32..30),
     ) {
-        use imprecise_olap::rtree::{Aabb, RTree};
+        use iolap::rtree::{Aabb, RTree};
         let items: Vec<(Aabb, u32)> = boxes
             .iter()
             .enumerate()
@@ -228,8 +228,8 @@ proptest! {
         cells in proptest::collection::vec((0u32..20, 0u32..20, 0u32..20), 0..300),
         q in (0u32..20, 0u32..20, 0u32..20, 1u32..8, 1u32..8, 1u32..8),
     ) {
-        use imprecise_olap::graph::CellSetIndex;
-        use imprecise_olap::model::{CellKey, MAX_DIMS};
+        use iolap::graph::CellSetIndex;
+        use iolap::model::{CellKey, MAX_DIMS};
         let keys: Vec<CellKey> = cells
             .iter()
             .map(|&(x, y, z)| {
