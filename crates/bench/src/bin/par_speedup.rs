@@ -9,6 +9,10 @@
 //! wall-clock moves. Page I/O is identical across thread counts because
 //! the coordinator performs all of it.
 //!
+//! A second sweep repeats the thread counts under a tiny (I/O-bound)
+//! buffer, where speedup saturates on the coordinator's page I/O — the
+//! regime the `--prefetch N` pipeline overlaps.
+//!
 //! ```bash
 //! cargo run --release -p iolap-bench --bin par_speedup
 //! cargo run --release -p iolap-bench --bin par_speedup -- --facts 400000 --json BENCH_par.json
@@ -34,41 +38,51 @@ fn main() {
 
     let obs = args.obs();
     let thread_counts = [1usize, 2, 4, 8];
-    let mut rows = Vec::new();
     let mut points = Vec::new();
-    let mut base_secs = 0.0f64;
-    for threads in thread_counts {
-        let cfg = bench_config(buffer_pages, args.on_disk, threads, obs.clone());
-        // Best-of-N: the quantity of interest is the schedule's cost, not
-        // allocator/OS noise.
-        let mut best = run_once(&table, Algorithm::Transitive, epsilon, 60, &cfg);
-        for _ in 1..repeats {
-            let p = run_once(&table, Algorithm::Transitive, epsilon, 60, &cfg);
-            if p.alloc_secs() < best.alloc_secs() {
-                best = p;
+    // Two regimes: the CPU-bound one the worker pool targets (components
+    // buffer-resident), and an I/O-bound one (tiny pool, hit ratio well
+    // under 0.9) where wall-clock is dominated by the coordinator's page
+    // I/O — the regime the prefetch pipeline (`--prefetch N`) overlaps.
+    let io_bound_pages: usize = args.extra_or("io-buffer-pages", 96);
+    for (label, pages) in [
+        ("CPU-bound (components resident)", buffer_pages),
+        ("I/O-bound (tiny pool)", io_bound_pages),
+    ] {
+        let mut rows = Vec::new();
+        let mut base_secs = 0.0f64;
+        for threads in thread_counts {
+            let cfg = bench_config(pages, args.on_disk, threads, args.prefetch, obs.clone());
+            // Best-of-N: the quantity of interest is the schedule's cost,
+            // not allocator/OS noise.
+            let mut best = run_once(&table, Algorithm::Transitive, epsilon, 60, &cfg);
+            for _ in 1..repeats {
+                let p = run_once(&table, Algorithm::Transitive, epsilon, 60, &cfg);
+                if p.alloc_secs() < best.alloc_secs() {
+                    best = p;
+                }
             }
+            if threads == 1 {
+                base_secs = best.alloc_secs();
+            }
+            let speedup = base_secs / best.alloc_secs();
+            let mut fields = best.json_fields();
+            fields.push(("speedup", Json::F(speedup)));
+            points.push(fields);
+            rows.push(vec![
+                format!("{threads}"),
+                format!("{}", best.report.iterations),
+                format!("{:.3}", best.alloc_secs()),
+                format!("{:.2}x", speedup),
+                format!("{}", best.alloc_ios()),
+                format!("{:.3}", best.report.pool_hit_ratio()),
+            ]);
         }
-        if threads == 1 {
-            base_secs = best.alloc_secs();
-        }
-        let speedup = base_secs / best.alloc_secs();
-        let mut fields = best.json_fields();
-        fields.push(("speedup", Json::F(speedup)));
-        points.push(fields);
-        rows.push(vec![
-            format!("{threads}"),
-            format!("{}", best.report.iterations),
-            format!("{:.3}", best.alloc_secs()),
-            format!("{:.2}x", speedup),
-            format!("{}", best.alloc_ios()),
-            format!("{:.3}", best.report.pool_hit_ratio()),
-        ]);
+        print_table(
+            &format!("Transitive alloc wall-clock vs worker threads — {label}, {pages} pages"),
+            &["threads", "iters", "alloc s", "speedup", "alloc I/Os", "hit ratio"],
+            &rows,
+        );
     }
-    print_table(
-        "Transitive alloc wall-clock vs worker threads",
-        &["threads", "iters", "alloc s", "speedup", "alloc I/Os", "hit ratio"],
-        &rows,
-    );
 
     let path = args.json.as_deref().unwrap_or("BENCH_par.json");
     let meta = [

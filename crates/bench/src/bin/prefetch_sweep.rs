@@ -1,0 +1,119 @@
+//! Prefetch pipeline sweep: every algorithm under an I/O-bound buffer
+//! (pool hit ratio well under 0.9), with the pipeline off and on.
+//!
+//! The pipeline's contract is that it *overlaps* I/O without moving a
+//! single page of accounted cost, so each off/on pair is asserted to have
+//! **identical** `alloc_ios` (and prep/EDB I/O) — the process exits
+//! non-zero if they ever diverge, which makes this binary double as the CI
+//! smoke check. The JSON output (`BENCH_prefetch.json` by default) carries
+//! the per-point prefetch counters (`issued`/`hits`/`wasted`/`late`) next
+//! to the usual timing fields.
+//!
+//! ```bash
+//! cargo run --release -p iolap-bench --bin prefetch_sweep
+//! cargo run --release -p iolap-bench --bin prefetch_sweep -- --facts 5000   # CI smoke
+//! ```
+
+use iolap_bench::runs::{bench_config, print_table, run_once, write_json};
+use iolap_bench::{Args, Json};
+use iolap_core::Algorithm;
+use iolap_datagen::scaled;
+
+fn main() {
+    let args = Args::parse(60_000);
+    let table = scaled(args.dataset, args.facts, args.seed);
+    // Small enough that the fact/cell files flood the pool: the I/O-bound
+    // regime the pipeline exists for.
+    let buffer_pages: usize = args.extra_or("buffer-pages", 96);
+    let depth: usize = if args.prefetch > 0 { args.prefetch } else { 32 };
+    let epsilon: f64 = args.extra_or("eps", 0.01);
+    let max_iters: u32 = args.extra_or("max-iters", 8);
+    println!(
+        "Prefetch sweep — {:?} dataset, {} facts, {buffer_pages} pages, depth {depth}, ε = {epsilon}",
+        args.dataset, args.facts
+    );
+
+    let obs = args.obs();
+    let algorithms =
+        [Algorithm::Basic, Algorithm::Independent, Algorithm::Block, Algorithm::Transitive];
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    let mut diverged = false;
+    let mut io_bound_seen = false;
+    for alg in algorithms {
+        let run = |prefetch: usize| {
+            let cfg = bench_config(buffer_pages, args.on_disk, args.threads, prefetch, obs.clone());
+            run_once(&table, alg, epsilon, max_iters, &cfg)
+        };
+        let off = run(0);
+        let on = run(depth);
+        // The tentpole invariant, enforced at bench time too: accounted
+        // page I/O must be bit-identical with the pipeline on.
+        for (phase, a, b) in [
+            ("prep", off.report.io_prep, on.report.io_prep),
+            ("alloc", off.report.io_alloc, on.report.io_alloc),
+            ("edb", off.report.io_edb, on.report.io_edb),
+        ] {
+            if a != b {
+                eprintln!("DIVERGED: {alg} {phase} I/O off={a:?} on={b:?}");
+                diverged = true;
+            }
+        }
+        io_bound_seen |= off.report.pool_hit_ratio() < 0.9;
+        let pf = on.report.prefetch.unwrap_or_default();
+        rows.push(vec![
+            alg.to_string(),
+            format!("{}", off.alloc_ios()),
+            format!("{}", on.alloc_ios()),
+            format!("{:.3}", off.report.pool_hit_ratio()),
+            format!("{:.3}", off.alloc_secs()),
+            format!("{:.3}", on.alloc_secs()),
+            format!("{}", pf.issued),
+            format!("{}", pf.hits),
+            format!("{}", pf.wasted),
+            format!("{}", pf.late),
+        ]);
+        points.push(off.json_fields());
+        points.push(on.json_fields());
+    }
+    print_table(
+        &format!("alloc I/O and wall-clock, prefetch off vs depth {depth}"),
+        &[
+            "algorithm",
+            "I/Os off",
+            "I/Os on",
+            "hit ratio",
+            "s off",
+            "s on",
+            "issued",
+            "hits",
+            "wasted",
+            "late",
+        ],
+        &rows,
+    );
+    if !io_bound_seen {
+        eprintln!(
+            "warning: no I/O-bound point (pool hit ratio ≥ 0.9 everywhere) — \
+             shrink buffer-pages= or grow --facts"
+        );
+    }
+
+    let path = args.json.as_deref().unwrap_or("BENCH_prefetch.json");
+    let meta = [
+        ("experiment", Json::S("prefetch_sweep".into())),
+        ("dataset", Json::S(format!("{:?}", args.dataset))),
+        ("facts", Json::U(args.facts)),
+        ("seed", Json::U(args.seed)),
+        ("buffer_pages", Json::U(buffer_pages as u64)),
+        ("prefetch_depth", Json::U(depth as u64)),
+        ("epsilon", Json::F(epsilon)),
+        ("io_identical", Json::B(!diverged)),
+    ];
+    write_json(path, &meta, &points).expect("write BENCH_prefetch.json");
+    obs.flush();
+    if diverged {
+        eprintln!("prefetch pipeline moved accounted I/O — failing");
+        std::process::exit(1);
+    }
+}

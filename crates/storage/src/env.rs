@@ -6,6 +6,7 @@ use crate::codec::Codec;
 use crate::error::Result;
 use crate::file::RecordFile;
 use crate::pager::{FilePager, MemPager, ObservedPager, Pager};
+use crate::prefetch::PrefetchConfig;
 use crate::stats::IoStats;
 use crate::tempdir::TempDir;
 use iolap_obs::Obs;
@@ -30,6 +31,7 @@ pub struct EnvBuilder {
     backing: Backing,
     dir: Option<PathBuf>,
     obs: Obs,
+    prefetch: PrefetchConfig,
 }
 
 impl EnvBuilder {
@@ -61,6 +63,13 @@ impl EnvBuilder {
         self
     }
 
+    /// Attach an asynchronous prefetch pipeline (see [`PrefetchConfig`]).
+    /// The default configuration is disabled: no threads, no overhead.
+    pub fn prefetch(mut self, cfg: PrefetchConfig) -> Self {
+        self.prefetch = cfg;
+        self
+    }
+
     /// Build the environment.
     pub fn build(self) -> Result<Env> {
         let tempdir = match (&self.backing, self.dir) {
@@ -69,10 +78,12 @@ impl EnvBuilder {
             (Backing::Disk, None) => Some(TempDir::new(&self.tag)?),
         };
         let stats = IoStats::new();
+        let pool = BufferPool::new(self.pool_pages);
+        pool.enable_prefetch(&self.prefetch, &self.obs);
         Ok(Env {
             inner: Arc::new(EnvInner {
                 tempdir,
-                pool: BufferPool::new(self.pool_pages),
+                pool,
                 stats,
                 backing: self.backing,
                 next_file: AtomicU64::new(0),
@@ -106,6 +117,7 @@ impl Env {
             backing: Backing::Disk,
             dir: None,
             obs: Obs::disabled(),
+            prefetch: PrefetchConfig::disabled(),
         }
     }
 
@@ -129,6 +141,11 @@ impl Env {
     /// (disabled unless [`EnvBuilder::obs`] installed a live one).
     pub fn obs(&self) -> &Obs {
         &self.inner.obs
+    }
+
+    /// True when this environment's pool runs a live prefetch pipeline.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.inner.pool.prefetch_enabled()
     }
 
     /// Create a new record file named `name` (disk mode) or anonymous

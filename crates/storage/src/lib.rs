@@ -20,6 +20,10 @@
 //!   merge), the cost model assumed by the paper's Theorems 6, 7 and 10
 //!   ("we make the standard assumption that external sort requires two
 //!   passes over a relation").
+//! * [`prefetch`] — an asynchronous read-ahead / write-behind pipeline
+//!   ([`PrefetchConfig`]) that overlaps the sequential passes' I/O with
+//!   compute while keeping accounted page I/O bit-identical to the
+//!   synchronous schedule.
 //!
 //! The default page size is 4 KiB, matching the paper's experimental setup
 //! ("We set the page size to 4KB, and each tuple was 40 bytes in size").
@@ -46,6 +50,7 @@ pub mod error;
 pub mod extsort;
 pub mod file;
 pub mod pager;
+pub mod prefetch;
 pub mod stats;
 pub mod tempdir;
 
@@ -58,5 +63,6 @@ pub use error::{Result, StorageError};
 pub use extsort::{external_sort, ExternalSorter, SortBudget};
 pub use file::{RecordFile, ScanCursor};
 pub use pager::{FilePager, MemPager, ObservedPager, PageId, Pager, PAGE_SIZE};
+pub use prefetch::{PrefetchConfig, PrefetchStats};
 pub use stats::{IoSnapshot, IoStats};
 pub use tempdir::TempDir;

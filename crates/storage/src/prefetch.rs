@@ -1,0 +1,495 @@
+//! Asynchronous read-ahead and write-behind for the buffer pool.
+//!
+//! The paper's algorithms are strictly sequential-pass, so every page they
+//! will touch is known ahead of time — but until this module existed every
+//! read was serviced synchronously on the compute thread. The prefetcher
+//! accepts *page-range hints* from sequential consumers ([`crate::RecordFile`]
+//! scans, the group/chain windows in `iolap-core`, the external sorter) and
+//! pre-reads the hinted pages on background threads into a **staging area
+//! outside the buffer pool**.
+//!
+//! # Why accounted I/O is unchanged
+//!
+//! The cost model ([`crate::IoStats`]) is the reproduction's ground truth, so
+//! the pipeline is designed to be *provably invisible* to it:
+//!
+//! * Staged pages live outside the pool: they occupy no frame, so eviction
+//!   order — and therefore every subsequent hit/miss — is bit-identical to
+//!   the synchronous schedule.
+//! * The worker reads through [`crate::pager::Pager::read_page_nocount`],
+//!   which performs the transfer but does **not** touch [`crate::IoStats`].
+//! * The stats are charged at exactly the same points as the synchronous
+//!   path: when a consumer pin **misses** and consumes a staged page, the
+//!   pool calls [`crate::pager::Pager::note_prefetched_read`] — one counted
+//!   read, same as the `read_page` it replaced. Prefetched pages that are
+//!   never consumed are charged to nobody (they surface only as
+//!   `prefetch.wasted`).
+//! * Write-behind only flushes append-only pages that are already final;
+//!   each page is written exactly once whether the worker or eviction gets
+//!   to it first.
+//!
+//! # Staleness protocol
+//!
+//! A staged copy is only valid while the on-disk bytes it mirrors are
+//! current. The single invariant maintained here: **every write-back of a
+//! page invalidates its staged/in-flight entry** (eviction, flush, and
+//! coalesced write-behind all run under the page's shard latch, which also
+//! serializes them against pins of that page). A staged page can therefore
+//! only be consumed if the disk copy has not changed since it was read.
+//!
+//! # Deadlock freedom
+//!
+//! A consumer may wait on `PrefetchShared::take` while holding a shard
+//! latch. Workers never *block* on a shard latch (residency checks and
+//! write-behind use `try_lock`) and never hold the prefetch mutex across a
+//! pager read, so the wait graph is acyclic. If a worker dies (or is
+//! poisoned by a fault-injection test), shutdown cancels every in-flight
+//! entry and wakes all waiters, which fall back to synchronous reads.
+
+use crate::buffer::FileId;
+use crate::pager::{PageId, PAGE_SIZE};
+use iolap_obs::{Counter, Gauge, Histogram, Obs};
+use std::collections::{HashMap, VecDeque};
+use std::ops::Sub;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of the asynchronous prefetch pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Staging capacity in pages (read-ahead distance). `0` disables the
+    /// pipeline entirely: no threads are spawned and every hint is a no-op.
+    pub depth: usize,
+    /// Number of background I/O threads (min 1 when enabled).
+    pub threads: usize,
+}
+
+impl PrefetchConfig {
+    /// The pipeline switched off (the default).
+    pub fn disabled() -> Self {
+        PrefetchConfig { depth: 0, threads: 0 }
+    }
+
+    /// Read ahead up to `depth` pages on one background thread.
+    pub fn depth(depth: usize) -> Self {
+        PrefetchConfig { depth, threads: usize::from(depth > 0) }
+    }
+
+    /// True when the pipeline will actually spawn workers.
+    pub fn is_enabled(&self) -> bool {
+        self.depth > 0
+    }
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Lifetime counters of one prefetch pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Pages read from the backing device by the background workers.
+    pub issued: u64,
+    /// Consumer pin-misses served from the staging area.
+    pub hits: u64,
+    /// Staged pages dropped unconsumed (invalidated, cancelled, shutdown).
+    pub wasted: u64,
+    /// Pin-misses that found their page still in flight and had to wait.
+    pub late: u64,
+}
+
+impl Sub for PrefetchStats {
+    type Output = PrefetchStats;
+    fn sub(self, rhs: PrefetchStats) -> PrefetchStats {
+        PrefetchStats {
+            issued: self.issued.saturating_sub(rhs.issued),
+            hits: self.hits.saturating_sub(rhs.hits),
+            wasted: self.wasted.saturating_sub(rhs.wasted),
+            late: self.late.saturating_sub(rhs.late),
+        }
+    }
+}
+
+/// Work handed to a background thread by [`PrefetchShared::next_work`].
+pub(crate) enum Work {
+    /// Read `(file, page)` into staging (a slot is already reserved via the
+    /// in-flight map).
+    Read(FileId, PageId),
+    /// Flush dirty pages of `file` strictly below `upto` (write-behind).
+    Flush(FileId, PageId),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Flight {
+    Live,
+    Cancelled,
+}
+
+struct State {
+    /// Hinted page ranges `[start, end)`, FIFO. Bounded: hints are advisory.
+    read_queue: VecDeque<(FileId, PageId, PageId)>,
+    /// Pending write-behind requests (file, flush pages < upto).
+    flush_queue: VecDeque<(FileId, PageId)>,
+    staged: HashMap<(FileId, PageId), Box<[u8; PAGE_SIZE]>>,
+    inflight: HashMap<(FileId, PageId), Flight>,
+    /// Sum of remaining pages over `read_queue` (the queue-depth gauge).
+    queued_pages: u64,
+    shutdown: bool,
+}
+
+impl State {
+    fn slots_full(&self, depth: usize) -> bool {
+        self.staged.len() + self.inflight.len() >= depth
+    }
+}
+
+/// Shared state of one prefetch pipeline: the hint queues, the staging
+/// area, and the hit/waste accounting. Owned by the buffer pool; the
+/// background threads live in `buffer.rs` (they need pager and shard
+/// access) and drive this structure through the `pub(crate)` protocol
+/// methods below.
+pub(crate) struct PrefetchShared {
+    state: Mutex<State>,
+    /// Wakes workers: new hints, freed staging slots, shutdown.
+    work_cv: Condvar,
+    /// Wakes consumers waiting for an in-flight page.
+    data_cv: Condvar,
+    depth: usize,
+    issued: AtomicU64,
+    hits: AtomicU64,
+    wasted: AtomicU64,
+    late: AtomicU64,
+    obs_issued: Option<Counter>,
+    obs_hit: Option<Counter>,
+    obs_wasted: Option<Counter>,
+    obs_late: Option<Counter>,
+    obs_queue_depth: Option<Gauge>,
+    obs_stall_us: Option<Histogram>,
+}
+
+/// How long a consumer waits for an in-flight page before giving up and
+/// reading synchronously. A backstop, not a tuning knob: it only fires if
+/// a worker died between claiming a page and completing it.
+const STALL_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Cap on queued hint ranges; beyond it new hints are dropped (they are
+/// advisory — correctness never depends on a hint being honored).
+const MAX_QUEUED_RANGES: usize = 4096;
+
+impl PrefetchShared {
+    pub(crate) fn new(cfg: &PrefetchConfig, obs: &Obs) -> Self {
+        PrefetchShared {
+            state: Mutex::new(State {
+                read_queue: VecDeque::new(),
+                flush_queue: VecDeque::new(),
+                staged: HashMap::new(),
+                inflight: HashMap::new(),
+                queued_pages: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            data_cv: Condvar::new(),
+            depth: cfg.depth.max(1),
+            issued: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            wasted: AtomicU64::new(0),
+            late: AtomicU64::new(0),
+            obs_issued: obs.counter("prefetch.issued"),
+            obs_hit: obs.counter("prefetch.hit"),
+            obs_wasted: obs.counter("prefetch.wasted"),
+            obs_late: obs.counter("prefetch.late"),
+            obs_queue_depth: obs.gauge("prefetch.queue_depth"),
+            obs_stall_us: obs.histogram("prefetch.stall_us"),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> PrefetchStats {
+        PrefetchStats {
+            issued: self.issued.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            wasted: self.wasted.load(Ordering::Relaxed),
+            late: self.late.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn depth(&self) -> usize {
+        self.depth
+    }
+
+    fn gauge_update(&self, st: &State) {
+        if let Some(g) = &self.obs_queue_depth {
+            g.set((st.queued_pages + st.inflight.len() as u64) as i64);
+        }
+    }
+
+    fn count_wasted(&self, n: u64) {
+        if n > 0 {
+            self.wasted.fetch_add(n, Ordering::Relaxed);
+            if let Some(c) = &self.obs_wasted {
+                c.add(n);
+            }
+        }
+    }
+
+    /// Enqueue a read-ahead hint for pages `[start, end)` of `file`.
+    pub(crate) fn hint(&self, file: FileId, start: PageId, end: PageId) {
+        if start >= end {
+            return;
+        }
+        let mut st = self.state.lock().expect("prefetch state poisoned");
+        if st.shutdown || st.read_queue.len() >= MAX_QUEUED_RANGES {
+            return;
+        }
+        // Coalesce with the most recent hint when contiguous or overlapping.
+        if let Some(&(f, s, e)) = st.read_queue.back() {
+            if f == file && start <= e && end > e {
+                st.queued_pages += end - e;
+                st.read_queue.back_mut().expect("peeked above").2 = end;
+                self.gauge_update(&st);
+                self.work_cv.notify_all();
+                return;
+            }
+            if f == file && end <= e && start >= s {
+                return; // fully covered by the last hint
+            }
+        }
+        st.queued_pages += end - start;
+        st.read_queue.push_back((file, start, end));
+        self.gauge_update(&st);
+        self.work_cv.notify_all();
+    }
+
+    /// Enqueue a write-behind request: flush dirty pages of `file` strictly
+    /// below `upto`.
+    pub(crate) fn flush_hint(&self, file: FileId, upto: PageId) {
+        let mut st = self.state.lock().expect("prefetch state poisoned");
+        if st.shutdown {
+            return;
+        }
+        // Later requests for the same file subsume earlier ones.
+        if let Some((f, u)) = st.flush_queue.back_mut() {
+            if *f == file {
+                *u = (*u).max(upto);
+                self.work_cv.notify_all();
+                return;
+            }
+        }
+        if st.flush_queue.len() < MAX_QUEUED_RANGES {
+            st.flush_queue.push_back((file, upto));
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Worker side: block until there is work (or shutdown → `None`).
+    ///
+    /// For reads, a staging slot is reserved before this returns (the page
+    /// is marked in-flight), so staging can never exceed `depth`.
+    pub(crate) fn next_work(&self) -> Option<Work> {
+        let mut st = self.state.lock().expect("prefetch state poisoned");
+        loop {
+            if st.shutdown {
+                return None;
+            }
+            if let Some((file, upto)) = st.flush_queue.pop_front() {
+                return Some(Work::Flush(file, upto));
+            }
+            if !st.slots_full(self.depth) {
+                // Pop the next page not already staged or in flight.
+                let mut found = None;
+                while let Some(&(file, start, end)) = st.read_queue.front() {
+                    let mut p = start;
+                    while p < end
+                        && (st.staged.contains_key(&(file, p))
+                            || st.inflight.contains_key(&(file, p)))
+                    {
+                        p += 1;
+                    }
+                    let consumed = (p - start).min(end - start);
+                    st.queued_pages -= consumed;
+                    if p >= end {
+                        st.read_queue.pop_front();
+                        continue;
+                    }
+                    // Advance the range past the page we are claiming.
+                    st.queued_pages -= 1;
+                    let front = st.read_queue.front_mut().expect("peeked above");
+                    front.1 = p + 1;
+                    if front.1 >= front.2 {
+                        st.read_queue.pop_front();
+                    }
+                    found = Some((file, p));
+                    break;
+                }
+                if let Some((file, page)) = found {
+                    st.inflight.insert((file, page), Flight::Live);
+                    self.gauge_update(&st);
+                    return Some(Work::Read(file, page));
+                }
+            }
+            st = self.work_cv.wait(st).expect("prefetch state poisoned");
+        }
+    }
+
+    /// Worker side: finish an in-flight read. `bytes` is `None` when the
+    /// read failed or was skipped (page already resident, file forgotten).
+    pub(crate) fn complete_read(
+        &self,
+        file: FileId,
+        page: PageId,
+        bytes: Option<Box<[u8; PAGE_SIZE]>>,
+    ) {
+        let mut st = self.state.lock().expect("prefetch state poisoned");
+        let flight = st.inflight.remove(&(file, page));
+        if let Some(b) = bytes {
+            self.issued.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = &self.obs_issued {
+                c.inc();
+            }
+            if flight == Some(Flight::Live) && !st.shutdown {
+                st.staged.insert((file, page), b);
+            } else {
+                self.count_wasted(1);
+            }
+        }
+        self.gauge_update(&st);
+        // Wake consumers waiting on this page and workers waiting on slots.
+        self.data_cv.notify_all();
+        self.work_cv.notify_all();
+    }
+
+    /// Consumer side (pin miss, may hold the page's shard latch): take the
+    /// staged copy of `(file, page)` if present, waiting out an in-flight
+    /// read. `None` means "read synchronously".
+    pub(crate) fn take(&self, file: FileId, page: PageId) -> Option<Box<[u8; PAGE_SIZE]>> {
+        let key = (file, page);
+        let mut st = self.state.lock().expect("prefetch state poisoned");
+        if let Some(b) = st.staged.remove(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = &self.obs_hit {
+                c.inc();
+            }
+            self.work_cv.notify_all();
+            return Some(b);
+        }
+        if st.inflight.get(&key) != Some(&Flight::Live) {
+            return None;
+        }
+        // The page is being read right now: waiting is cheaper than issuing
+        // a second (double-counted) read. Count it as late and record the
+        // stall.
+        self.late.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = &self.obs_late {
+            c.inc();
+        }
+        let t0 = Instant::now();
+        let deadline = t0 + STALL_TIMEOUT;
+        loop {
+            let now = Instant::now();
+            if now >= deadline || st.shutdown {
+                break;
+            }
+            let (guard, _) =
+                self.data_cv.wait_timeout(st, deadline - now).expect("prefetch state poisoned");
+            st = guard;
+            if let Some(b) = st.staged.remove(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(c) = &self.obs_hit {
+                    c.inc();
+                }
+                if let Some(h) = &self.obs_stall_us {
+                    h.observe(t0.elapsed().as_micros() as u64);
+                }
+                self.work_cv.notify_all();
+                return Some(b);
+            }
+            if st.inflight.get(&key) != Some(&Flight::Live) {
+                break;
+            }
+        }
+        if let Some(h) = &self.obs_stall_us {
+            h.observe(t0.elapsed().as_micros() as u64);
+        }
+        None
+    }
+
+    /// Drop the staged/in-flight entry for one page (called after its disk
+    /// copy was overwritten by a write-back).
+    pub(crate) fn invalidate(&self, file: FileId, page: PageId) {
+        let mut st = self.state.lock().expect("prefetch state poisoned");
+        self.invalidate_locked(&mut st, file, page);
+    }
+
+    fn invalidate_locked(&self, st: &mut State, file: FileId, page: PageId) {
+        let key = (file, page);
+        if st.staged.remove(&key).is_some() {
+            self.count_wasted(1);
+            self.work_cv.notify_all();
+        }
+        if let Some(f) = st.inflight.get_mut(&key) {
+            *f = Flight::Cancelled;
+            self.data_cv.notify_all();
+        }
+    }
+
+    /// Invalidate every entry of `file` with `page >= first` and scrub the
+    /// hint queues (truncation, purge, forget).
+    pub(crate) fn invalidate_from(&self, file: FileId, first: PageId) {
+        let mut st = self.state.lock().expect("prefetch state poisoned");
+        let stale: Vec<_> =
+            st.staged.keys().filter(|(f, p)| *f == file && *p >= first).copied().collect();
+        self.count_wasted(stale.len() as u64);
+        for k in stale {
+            st.staged.remove(&k);
+        }
+        for ((f, p), flight) in st.inflight.iter_mut() {
+            if *f == file && *p >= first {
+                *flight = Flight::Cancelled;
+            }
+        }
+        let mut dropped = 0u64;
+        st.read_queue.retain_mut(|(f, s, e)| {
+            if *f != file || *s >= *e {
+                return *s < *e;
+            }
+            if *s >= first {
+                dropped += *e - *s;
+                false
+            } else {
+                if *e > first {
+                    dropped += *e - first;
+                    *e = first;
+                }
+                true
+            }
+        });
+        st.queued_pages -= dropped;
+        st.flush_queue.retain(|(f, u)| *f != file || *u <= first);
+        self.gauge_update(&st);
+        self.work_cv.notify_all();
+        self.data_cv.notify_all();
+    }
+
+    /// Stop the pipeline: cancel everything, wake everyone. Idempotent.
+    /// After shutdown every `take` returns `None` (synchronous fallback).
+    pub(crate) fn shutdown(&self) {
+        let mut st = self.state.lock().expect("prefetch state poisoned");
+        if st.shutdown {
+            return;
+        }
+        st.shutdown = true;
+        self.count_wasted(st.staged.len() as u64);
+        st.staged.clear();
+        for flight in st.inflight.values_mut() {
+            *flight = Flight::Cancelled;
+        }
+        st.queued_pages = 0;
+        st.read_queue.clear();
+        st.flush_queue.clear();
+        self.gauge_update(&st);
+        self.work_cv.notify_all();
+        self.data_cv.notify_all();
+    }
+}

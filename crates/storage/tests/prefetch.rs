@@ -1,0 +1,224 @@
+//! Integration tests for the asynchronous prefetch pipeline.
+//!
+//! The central contract: enabling prefetch must not change accounted page
+//! I/O by a single operation — only overlap it with compute. Every test
+//! here runs the same workload with prefetch off and on and compares the
+//! `IoSnapshot`s bit for bit.
+
+use iolap_storage::codec::{U64Codec, U64PairCodec};
+use iolap_storage::extsort::{external_sort, is_sorted_by, SortBudget};
+use iolap_storage::{Env, IoSnapshot, PrefetchConfig};
+
+fn env_with(pool_pages: usize, prefetch: PrefetchConfig) -> Env {
+    Env::builder("prefetch-it")
+        .pool_pages(pool_pages)
+        .in_memory()
+        .prefetch(prefetch)
+        .build()
+        .unwrap()
+}
+
+/// Run `workload` against a plain env and a prefetch-enabled env with the
+/// same pool size; return both accounted-I/O snapshots.
+fn compare_io(
+    pool_pages: usize,
+    depth: usize,
+    workload: impl Fn(&Env) -> IoSnapshot,
+) -> (IoSnapshot, IoSnapshot, Env) {
+    let plain = env_with(pool_pages, PrefetchConfig::disabled());
+    let fetched = env_with(pool_pages, PrefetchConfig::depth(depth));
+    assert!(!plain.prefetch_enabled());
+    assert!(fetched.prefetch_enabled());
+    let io_plain = workload(&plain);
+    let io_fetched = workload(&fetched);
+    (io_plain, io_fetched, fetched)
+}
+
+#[test]
+fn sequential_scan_io_identical_with_prefetch() {
+    let (plain, fetched, env) = compare_io(8, 16, |env| {
+        let mut f = env.create_file("scan", U64Codec).unwrap();
+        for i in 0..512u64 * 40 {
+            f.push(&i).unwrap();
+        }
+        f.purge_cache().unwrap();
+        if env.prefetch_enabled() {
+            // Stage the file head before scanning so the stats assertions
+            // below are deterministic (with in-memory pagers the scan can
+            // otherwise outrun the worker). Waiting cannot change accounted
+            // I/O: staged reads are uncounted until the scan consumes them.
+            f.hint_all();
+            let t0 = std::time::Instant::now();
+            while env.pool().prefetch_stats().expect("enabled").issued == 0
+                && t0.elapsed() < std::time::Duration::from_secs(2)
+            {
+                std::thread::yield_now();
+            }
+        }
+        let before = env.stats().snapshot();
+        let mut cursor = f.scan();
+        let mut sum = 0u64;
+        while let Some(v) = cursor.next().unwrap() {
+            sum = sum.wrapping_add(v);
+        }
+        drop(cursor);
+        assert_eq!(sum, (0..512u64 * 40).sum());
+        env.stats().snapshot() - before
+    });
+    assert_eq!(plain, fetched, "prefetch must not change accounted scan I/O");
+    let stats = env.pool().prefetch_stats().expect("prefetch is enabled");
+    assert!(stats.issued > 0, "prefetcher should have issued reads: {stats:?}");
+    assert!(stats.hits > 0, "a cold sequential scan should hit staged pages: {stats:?}");
+}
+
+#[test]
+fn extsort_io_identical_and_output_sorted_with_prefetch() {
+    let data: Vec<u64> = (0..512u64 * 64).map(|i| (i * 2_654_435_761) % 99_991).collect();
+    let (plain, fetched, env) = compare_io(8, 16, |env| {
+        let mut f = env.create_file("in", U64Codec).unwrap();
+        for v in &data {
+            f.push(v).unwrap();
+        }
+        f.purge_cache().unwrap();
+        let before = env.stats().snapshot();
+        let mut sorted = external_sort(env, f, SortBudget::pages(8), |v| *v).unwrap();
+        sorted.purge_cache().unwrap();
+        assert!(is_sorted_by(&mut sorted, |v| *v).unwrap());
+        env.stats().snapshot() - before
+    });
+    assert_eq!(plain, fetched, "prefetch must not change accounted extsort I/O");
+    // Whether the worker wins the race for any given page is timing-
+    // dependent (and irrelevant to the contract); issued/hit counters are
+    // asserted deterministically in sequential_scan_io_identical_with_prefetch.
+    let _ = env;
+}
+
+#[test]
+fn merge_stays_stable_for_equal_keys_with_prefetch() {
+    let env = env_with(16, PrefetchConfig::depth(8));
+    let mut f = env.create_file("in", U64PairCodec).unwrap();
+    // Key is .0 (7 distinct values); payload .1 is the input position.
+    for i in 0..20_000u64 {
+        f.push(&(i % 7, i)).unwrap();
+    }
+    let mut sorted = external_sort(&env, f, SortBudget::pages(2), |v: &(u64, u64)| v.0).unwrap();
+    assert_eq!(sorted.len(), 20_000);
+    let mut cursor = sorted.scan();
+    let mut last: Option<(u64, u64)> = None;
+    while let Some(v) = cursor.next().unwrap() {
+        if let Some(p) = last {
+            assert!(p.0 <= v.0, "not sorted: {p:?} before {v:?}");
+            if p.0 == v.0 {
+                assert!(p.1 < v.1, "stability violated under prefetch: {p:?} before {v:?}");
+            }
+        }
+        last = Some(v);
+    }
+}
+
+#[test]
+fn multi_pass_merge_io_identical_with_prefetch() {
+    // Budget 2 pages → fan-in 2 → several merge passes, all with the
+    // double-buffered pipeline active.
+    let data: Vec<u64> = (0..30_000u64).rev().collect();
+    let (plain, fetched, _env) = compare_io(8, 8, |env| {
+        let mut f = env.create_file("in", U64Codec).unwrap();
+        for v in &data {
+            f.push(v).unwrap();
+        }
+        f.purge_cache().unwrap();
+        let before = env.stats().snapshot();
+        let mut sorted = external_sort(env, f, SortBudget::pages(2), |v| *v).unwrap();
+        sorted.purge_cache().unwrap();
+        assert_eq!(sorted.len(), 30_000);
+        assert_eq!(sorted.get(0).unwrap(), 0);
+        assert_eq!(sorted.get(29_999).unwrap(), 29_999);
+        assert!(is_sorted_by(&mut sorted, |v| *v).unwrap());
+        env.stats().snapshot() - before
+    });
+    assert_eq!(plain, fetched, "multi-pass merge I/O must match the synchronous schedule");
+}
+
+#[test]
+fn write_behind_preserves_data_and_write_counts() {
+    let n = 512u64 * 40;
+    let (plain, fetched, _env) = compare_io(8, 16, |env| {
+        let mut f = env.create_file("wb", U64Codec).unwrap();
+        f.set_write_behind(4); // no-op on the plain env
+        let before = env.stats().snapshot();
+        for i in 0..n {
+            f.push(&(i * 3)).unwrap();
+        }
+        f.seal();
+        f.flush().unwrap();
+        // Data must be intact whether pages were flushed in the background
+        // or synchronously at eviction time.
+        for i in (0..n).step_by(997) {
+            assert_eq!(f.get(i).unwrap(), i * 3);
+        }
+        env.stats().snapshot() - before
+    });
+    // Each page is written exactly once either way; reads for the verify
+    // loop are identical because residency at seal time is identical.
+    assert_eq!(plain.writes, fetched.writes, "write-behind must not duplicate writes");
+}
+
+#[test]
+fn poisoned_prefetcher_degrades_to_synchronous_reads() {
+    let env = env_with(8, PrefetchConfig::depth(16));
+    let mut f = env.create_file("crash", U64Codec).unwrap();
+    let n = 512u64 * 30;
+    for i in 0..n {
+        f.push(&i).unwrap();
+    }
+    f.purge_cache().unwrap();
+
+    // Scan half the file with the pipeline live...
+    let mut cursor = f.scan();
+    for _ in 0..n / 2 {
+        cursor.next().unwrap().unwrap();
+    }
+    drop(cursor);
+
+    // ...then kill the prefetcher mid-workload. Reads must fall back to the
+    // synchronous path without hanging, losing pins, or corrupting data.
+    env.pool().poison_prefetch();
+    assert!(!env.pool().prefetch_enabled());
+
+    let mut cursor = f.scan_from(0);
+    let mut count = 0u64;
+    while let Some(v) = cursor.next().unwrap() {
+        assert_eq!(v, count);
+        count += 1;
+    }
+    drop(cursor);
+    assert_eq!(count, n);
+
+    // No leaked pins: every frame must be evictable.
+    assert_eq!(env.pool().pinned(), 0, "poisoned prefetcher leaked page pins");
+
+    // Dirty pages still reach the pager: mutate, flush, and re-read cold.
+    f.set(7, &4242).unwrap();
+    f.purge_cache().unwrap();
+    assert_eq!(f.get(7).unwrap(), 4242);
+}
+
+#[test]
+fn hint_range_is_advisory_and_harmless() {
+    let env = env_with(4, PrefetchConfig::depth(4));
+    let mut f = env.create_file("hints", U64Codec).unwrap();
+    for i in 0..512u64 * 10 {
+        f.push(&i).unwrap();
+    }
+    f.purge_cache().unwrap();
+    // Hints beyond EOF, zero-length hints, overlapping hints: all no-ops or
+    // clamped; none may disturb correctness.
+    f.hint_range(0, u64::MAX);
+    f.hint_range(512 * 9, 512);
+    f.hint_range(512 * 10, 1);
+    f.hint_range(0, 0);
+    f.hint_all();
+    for i in (0..512u64 * 10).step_by(511) {
+        assert_eq!(f.get(i).unwrap(), i);
+    }
+}

@@ -139,8 +139,8 @@ fn cmd_allocate(args: &[String]) -> i32 {
     if has_flag(args, "--help") {
         eprintln!(
             "iolap allocate --data DIR [--algorithm A] [--policy P] [--epsilon E] \
-             [--buffer-kb KB] [--threads N] [--rollup DIM:LEVEL] [--edb-out FILE] \
-             [--trace-out FILE]"
+             [--buffer-kb KB] [--threads N] [--prefetch N] [--rollup DIM:LEVEL] \
+             [--edb-out FILE] [--trace-out FILE]"
         );
         return 0;
     }
@@ -167,6 +167,9 @@ fn cmd_allocate(args: &[String]) -> i32 {
     let buffer_pages = ((buffer_kb * 1024) as usize).div_ceil(4096).max(8);
     let threads: usize =
         flag(args, "--threads").unwrap_or_else(|| "1".into()).parse().expect("--threads N");
+    // Read-ahead depth in pages; 0 keeps the prefetch pipeline off.
+    let prefetch: usize =
+        flag(args, "--prefetch").unwrap_or_else(|| "0".into()).parse().expect("--prefetch N");
 
     // Ingest.
     let db = match Iolap::open(&dir) {
@@ -189,8 +192,12 @@ fn cmd_allocate(args: &[String]) -> i32 {
         let sink = JsonlSink::create(&path).expect("--trace-out file");
         obs = Obs::with_sink(Arc::new(sink));
     }
-    let cfg =
-        AllocConfig::builder().buffer_pages(buffer_pages).threads(threads).obs(obs.clone()).build();
+    let cfg = AllocConfig::builder()
+        .buffer_pages(buffer_pages)
+        .threads(threads)
+        .prefetch_depth(prefetch)
+        .obs(obs.clone())
+        .build();
     let mut run = db.config(cfg).policy(policy).allocate(algorithm).expect("allocation");
     obs.flush();
     println!("{}", run.report);

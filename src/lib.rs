@@ -80,4 +80,5 @@ pub mod prelude {
     pub use iolap_model::{Fact, FactTable, Schema};
     pub use iolap_obs::{JsonlSink, Metrics, Obs, RingSink};
     pub use iolap_query::{aggregate_edb, pivot, rollup, AggFn, QueryBuilder};
+    pub use iolap_storage::{PrefetchConfig, PrefetchStats};
 }

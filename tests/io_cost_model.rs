@@ -28,6 +28,31 @@ fn alloc_ios(table: &FactTable, alg: Algorithm, iters: u32) -> u64 {
 }
 
 #[test]
+fn prefetch_keeps_accounted_io_bit_identical() {
+    // The tentpole contract of the prefetch pipeline: enabling it must not
+    // move a single page of *accounted* I/O in any phase of any algorithm —
+    // read-ahead stages pages without charging them until the pass consumes
+    // them, and write-behind defers its charge to the moment the synchronous
+    // schedule would have written.
+    let t = generate(&GeneratorConfig::automotive(8_000, 13));
+    let policy = PolicySpec::em_count(0.0).with_max_iters(3);
+    for alg in [Algorithm::Basic, Algorithm::Independent, Algorithm::Block, Algorithm::Transitive] {
+        let run_with = |depth: usize| {
+            let cfg = AllocConfig::builder().in_memory(96).prefetch_depth(depth).build();
+            allocate(&t, &policy, alg, &cfg).unwrap()
+        };
+        let off = run_with(0);
+        let on = run_with(32);
+        assert!(off.report.prefetch.is_none(), "{alg}: stats without a pipeline");
+        assert!(on.report.prefetch.is_some(), "{alg}: no stats with a pipeline");
+        assert_eq!(off.report.io_prep, on.report.io_prep, "{alg}: prep I/O diverged");
+        assert_eq!(off.report.io_alloc, on.report.io_alloc, "{alg}: alloc I/O diverged");
+        assert_eq!(off.report.io_edb, on.report.io_edb, "{alg}: EDB I/O diverged");
+        assert_eq!(off.report.iterations, on.report.iterations, "{alg}: iterations diverged");
+    }
+}
+
+#[test]
 fn block_io_grows_linearly_with_iterations() {
     let t = table();
     let io2 = alloc_ios(&t, Algorithm::Block, 2);
