@@ -1,0 +1,199 @@
+//! Closed-loop load generator for the `iolap-serve` query server.
+//!
+//! Starts an in-process server on a loopback port, warms the result cache
+//! with one pass over the query mix, then hammers it from keep-alive
+//! client threads for a fixed wall-clock window. Latency is measured at
+//! the client (request write → full response read); the cache hit ratio
+//! and shed count come from the server's own metrics registry.
+//!
+//! The acceptance bar is ≥ 1 000 req/s from a single worker on the
+//! 5 000-fact dataset with a warm cache; the binary warns (but does not
+//! fail) below that, since CI machines vary.
+//!
+//! ```bash
+//! cargo run --release -p iolap-bench --bin serve_load
+//! cargo run --release -p iolap-bench --bin serve_load -- --facts 5000   # CI smoke
+//! cargo run --release -p iolap-bench --bin serve_load -- clients=4 workers=4 secs=5
+//! ```
+
+use iolap_bench::runs::{print_table, write_json};
+use iolap_bench::{Args, Json};
+use iolap_core::{AllocConfig, PolicySpec};
+use iolap_datagen::scaled;
+use iolap_query::AggFn;
+use iolap_serve::{http_roundtrip, wire, ServeConfig, Server};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args = Args::parse(5_000);
+    let epsilon: f64 = args.extra_or("eps", 0.01);
+    let workers: usize = args.extra_or("workers", 1);
+    // Keep-alive connections are pinned to a worker for their lifetime,
+    // so more clients than workers would just park the surplus.
+    let clients: usize = args.extra_or("clients", workers);
+    let secs: f64 = args.extra_or("secs", 2.0);
+    let cache: usize = args.extra_or("cache", 4096);
+
+    let table = scaled(args.dataset, args.facts, args.seed);
+    let schema = table.schema().clone();
+    println!(
+        "serve_load — {:?} dataset, {} facts, {workers} worker(s), {clients} client(s), {secs}s window",
+        args.dataset, args.facts
+    );
+
+    let cfg = ServeConfig { workers, cache_capacity: cache, ..ServeConfig::default() };
+    let policy = PolicySpec::em_count(epsilon);
+    let alloc = AllocConfig::builder().in_memory(4096).build();
+    let handle = Server::start(table, policy, alloc, "127.0.0.1:0", cfg).expect("server starts");
+    let addr = handle.addr();
+
+    // Query mix: SUM and COUNT over every node of the coarsest dimension-0
+    // level that still has a handful of regions, plus the whole cube.
+    let dim = schema.dim(0);
+    let mut regions: Vec<(String, String)> = Vec::new();
+    for l in (0..dim.levels()).rev() {
+        let nodes = dim.nodes_at_level(l);
+        if nodes.len() >= 2 && nodes.len() <= 32 {
+            regions.extend(nodes.iter().map(|&n| (dim.name().to_string(), dim.node_name(n))));
+            break;
+        }
+    }
+    let mut bodies: Vec<String> = Vec::new();
+    for (d, n) in &regions {
+        for agg in [AggFn::Sum, AggFn::Count] {
+            bodies.push(wire::query_body(&[(d.as_str(), n.as_str())], agg, None));
+        }
+    }
+    bodies.push(wire::query_body(&[], AggFn::Sum, None));
+    println!("query mix: {} distinct queries over {}", bodies.len(), dim.name());
+
+    // Warm pass: every distinct query once, so the measured window runs
+    // against a fully populated cache.
+    {
+        let mut conn = TcpStream::connect(addr).expect("warm connect");
+        for b in &bodies {
+            let (status, resp) = http_roundtrip(&mut conn, "POST", "/query", b).expect("warm");
+            assert_eq!(status, 200, "warm-up query failed: {resp}");
+        }
+    }
+
+    let bodies = Arc::new(bodies);
+    let next = Arc::new(AtomicU64::new(0));
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let bodies = Arc::clone(&bodies);
+            let next = Arc::clone(&next);
+            std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).expect("client connect");
+                // A generous timeout so a client parked behind a busy
+                // worker unblocks at shutdown instead of hanging the join.
+                conn.set_read_timeout(Some(Duration::from_secs_f64(secs + 10.0))).unwrap();
+                let mut lat_us: Vec<u64> = Vec::new();
+                let mut errors = 0u64;
+                while Instant::now() < deadline {
+                    let i = next.fetch_add(1, Ordering::Relaxed) as usize % bodies.len();
+                    let t = Instant::now();
+                    match http_roundtrip(&mut conn, "POST", "/query", &bodies[i]) {
+                        Ok((200, _)) => lat_us.push(t.elapsed().as_micros() as u64),
+                        Ok(_) | Err(_) => {
+                            errors += 1;
+                            break;
+                        }
+                    }
+                }
+                (lat_us, errors)
+            })
+        })
+        .collect();
+
+    let mut lat_us: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for t in threads {
+        let (l, e) = t.join().expect("client thread");
+        lat_us.extend(l);
+        errors += e;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    lat_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lat_us.is_empty() {
+            return 0;
+        }
+        lat_us[(((lat_us.len() - 1) as f64) * p) as usize]
+    };
+    let requests = lat_us.len() as u64;
+    let rps = requests as f64 / elapsed;
+
+    let counter = |name: &str| handle.obs().counter(name).map_or(0, |c| c.get());
+    let (hits, misses) = (counter("serve.cache.hit"), counter("serve.cache.miss"));
+    let hit_ratio = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
+    let shed = counter("serve.shed");
+
+    print_table(
+        "warm-cache closed-loop load",
+        &[
+            "requests",
+            "req/s",
+            "p50 µs",
+            "p90 µs",
+            "p99 µs",
+            "max µs",
+            "hit ratio",
+            "shed",
+            "errors",
+        ],
+        &[vec![
+            format!("{requests}"),
+            format!("{rps:.0}"),
+            format!("{}", pct(0.50)),
+            format!("{}", pct(0.90)),
+            format!("{}", pct(0.99)),
+            format!("{}", lat_us.last().copied().unwrap_or(0)),
+            format!("{hit_ratio:.3}"),
+            format!("{shed}"),
+            format!("{errors}"),
+        ]],
+    );
+
+    let path = args.json.as_deref().unwrap_or("BENCH_serve.json");
+    let meta = [
+        ("experiment", Json::S("serve_load".into())),
+        ("dataset", Json::S(format!("{:?}", args.dataset))),
+        ("facts", Json::U(args.facts)),
+        ("seed", Json::U(args.seed)),
+        ("epsilon", Json::F(epsilon)),
+        ("workers", Json::U(workers as u64)),
+        ("clients", Json::U(clients as u64)),
+        ("secs", Json::F(secs)),
+        ("cache_capacity", Json::U(cache as u64)),
+    ];
+    let point = vec![
+        ("requests", Json::U(requests)),
+        ("elapsed_secs", Json::F(elapsed)),
+        ("throughput_rps", Json::F(rps)),
+        ("p50_us", Json::U(pct(0.50))),
+        ("p90_us", Json::U(pct(0.90))),
+        ("p99_us", Json::U(pct(0.99))),
+        ("max_us", Json::U(lat_us.last().copied().unwrap_or(0))),
+        ("cache_hits", Json::U(hits)),
+        ("cache_misses", Json::U(misses)),
+        ("cache_hit_ratio", Json::F(hit_ratio)),
+        ("shed", Json::U(shed)),
+        ("errors", Json::U(errors)),
+    ];
+    write_json(path, &meta, &[point]).expect("write BENCH_serve.json");
+
+    handle.shutdown();
+    if errors > 0 {
+        eprintln!("serve_load saw {errors} client error(s) — failing");
+        std::process::exit(1);
+    }
+    if rps < 1_000.0 {
+        eprintln!("warning: {rps:.0} req/s is below the 1k req/s warm-cache bar");
+    }
+}

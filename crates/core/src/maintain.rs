@@ -33,6 +33,7 @@ use iolap_model::records::NO_CCID;
 use iolap_model::{CellKey, CellRecord, EdbRecord, Fact, FactId, RegionBox, WorkFactRecord};
 use iolap_rtree::{Aabb, RTree};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One mutation of the fact table.
@@ -128,6 +129,12 @@ pub struct UpdateReport {
     pub splits: u64,
     /// Wall-clock for the batch.
     pub wall: Duration,
+    /// Bounding boxes touched by the batch: the region of every mutated
+    /// fact plus the bounding box of every component that was re-solved.
+    /// Downstream caches can invalidate exactly the results whose query
+    /// region overlaps one of these boxes (Theorem 12's contrapositive:
+    /// a query region disjoint from all of them kept its answer).
+    pub touched: Vec<Aabb>,
 }
 
 /// Per-fact `(cell, weight)` entries, as returned by
@@ -340,6 +347,56 @@ impl MaintainableEdb {
         Ok(latest)
     }
 
+    /// The schema the maintained EDB lives in.
+    pub fn schema(&self) -> &Arc<iolap_model::Schema> {
+        &self.prep.schema
+    }
+
+    /// Materialize the current EDB as a flat record list in a
+    /// deterministic order: live base entries in file order, then — for
+    /// each fact re-emitted by maintenance — its *latest* appended run,
+    /// runs ordered by their position in the EDB file.
+    ///
+    /// Before any mutation this is exactly the Transitive run's EDB in
+    /// file order, so an aggregation loop over the returned slice is
+    /// bit-identical to [`crate::edb::ExtendedDatabase::for_each`] over
+    /// the original output (same entries, same order, same f64 sums).
+    pub fn snapshot_entries(&mut self) -> Result<Vec<EdbRecord>> {
+        let base_len = self.base_len;
+        let superseded = self.superseded.clone();
+        let deleted = self.deleted_facts.clone();
+        let mut base: Vec<EdbRecord> = Vec::new();
+        // Latest appended run per fact, keyed for ordering by the file
+        // index where the run starts.
+        let mut runs: HashMap<FactId, (u64, Vec<EdbRecord>)> = HashMap::new();
+        let mut idx = 0u64;
+        let mut prev: Option<FactId> = None;
+        self.edb.for_each(|e| {
+            if idx < base_len {
+                if !superseded.contains(&e.fact_id) && !deleted.contains(&e.fact_id) {
+                    base.push(e.clone());
+                }
+            } else {
+                // Appended runs are contiguous per fact; a newer run
+                // replaces any older one (same rule as current_weights).
+                if prev != Some(e.fact_id) {
+                    runs.insert(e.fact_id, (idx, Vec::new()));
+                    prev = Some(e.fact_id);
+                }
+                if !deleted.contains(&e.fact_id) {
+                    runs.get_mut(&e.fact_id).expect("run opened").1.push(e.clone());
+                }
+            }
+            idx += 1;
+        })?;
+        let mut appended: Vec<(u64, Vec<EdbRecord>)> = runs.into_values().collect();
+        appended.sort_unstable_by_key(|(start, _)| *start);
+        for (_, mut recs) in appended {
+            base.append(&mut recs);
+        }
+        Ok(base)
+    }
+
     /// Apply a batch of measure updates (the Figure 6 workload).
     pub fn apply_updates(&mut self, updates: &[FactUpdate]) -> Result<UpdateReport> {
         let muts: Vec<EdbMutation> = updates
@@ -359,7 +416,7 @@ impl MaintainableEdb {
         for m in muts {
             match m {
                 EdbMutation::UpdateMeasure { fact_id, new_measure } => {
-                    self.update_measure(*fact_id, *new_measure, &mut dirty)?;
+                    self.update_measure(*fact_id, *new_measure, &mut dirty, &mut report)?;
                 }
                 EdbMutation::Insert(f) => {
                     self.insert_fact(f.clone(), &mut dirty, &mut report)?;
@@ -374,6 +431,9 @@ impl MaintainableEdb {
         let live: Vec<u32> = dirty.into_iter().filter(|cc| self.comps.contains_key(cc)).collect();
         report.affected_components = live.len() as u64;
         for cc in live {
+            if let Some(b) = self.comps.get(&cc).and_then(|m| m.bbox) {
+                report.touched.push(b);
+            }
             self.resolve_component(cc, &mut report)?;
         }
         report.wall = t0.elapsed();
@@ -387,6 +447,7 @@ impl MaintainableEdb {
         fact_id: FactId,
         new_measure: f64,
         dirty: &mut HashSet<u32>,
+        report: &mut UpdateReport,
     ) -> Result<()> {
         let schema = self.prep.schema.clone();
         match self.fact_locs.get(&fact_id).copied() {
@@ -399,6 +460,7 @@ impl MaintainableEdb {
                 f.measure = new_measure;
                 self.prep.precise.set(i, &f)?;
                 let cell = schema.cell_of(&f).expect("precise");
+                report.touched.push(point_box(&cell, schema.k()));
                 if let Some(ci) = self.cell_file_index(&cell)? {
                     if self.policy.quantity == Quantity::Measure {
                         let mut c = self.prep.cells.get(ci)?;
@@ -430,6 +492,7 @@ impl MaintainableEdb {
                 let mut f = self.prep.facts.get(i)?;
                 f.measure = new_measure;
                 self.prep.facts.set(i, &f)?;
+                report.touched.push(region_to_aabb(&region_of(&schema, &f.dims)));
                 if covered {
                     // Own component only (Theorem 12, see above). Weights
                     // don't depend on imprecise measures, but the fact's
@@ -453,6 +516,7 @@ impl MaintainableEdb {
         }
         let schema = self.prep.schema.clone();
 
+        report.touched.push(region_to_aabb(&region_of(&schema, &fact.dims)));
         if let Some(cell) = schema.cell_of(&fact) {
             // -- precise insertion ------------------------------------------
             self.prep.precise.push(&fact)?;
@@ -579,6 +643,7 @@ impl MaintainableEdb {
                 self.deleted_facts.insert(fact_id);
                 let f = self.prep.precise.get(i)?;
                 let cell = schema.cell_of(&f).expect("precise");
+                report.touched.push(point_box(&cell, schema.k()));
                 let Some(ci) = self.cell_file_index(&cell)? else {
                     return Ok(());
                 };
@@ -611,6 +676,8 @@ impl MaintainableEdb {
                 }
                 self.fact_locs.remove(&fact_id);
                 self.deleted_facts.insert(fact_id);
+                let f = self.prep.facts.get(i)?;
+                report.touched.push(region_to_aabb(&region_of(&schema, &f.dims)));
                 if covered {
                     let cc = *self.fact_ccid.get(&i).expect("covered fact has a component");
                     self.fact_ccid.remove(&i);

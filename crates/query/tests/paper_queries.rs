@@ -1,0 +1,160 @@
+//! The paper's running example, queried end to end: allocate Table 1
+//! under the Count policy and check SUM / COUNT / AVERAGE aggregates,
+//! roll-ups, and pivots against hand-computed values, plus the classical
+//! baselines of Section 3.
+//!
+//! Under Count allocation every candidate cell holds exactly one precise
+//! fact (c1–c5 of Figure 2), so each imprecise fact splits uniformly over
+//! the candidate cells its region covers:
+//!
+//! | fact | region          | candidate cells        | weights |
+//! |------|-----------------|------------------------|---------|
+//! | p6   | (MA, Sedan)     | c1                     | 1       |
+//! | p7   | (MA, Truck)     | c2                     | 1       |
+//! | p8   | (CA, ALL)       | c4, c5                 | ½, ½    |
+//! | p9   | (East, Truck)   | c2, c3                 | ½, ½    |
+//! | p10  | (West, Sedan)   | c4                     | 1       |
+//! | p11  | (ALL, Civic)    | c1, c4                 | ½, ½    |
+//! | p12  | (ALL, F150)     | c3                     | 1       |
+//! | p13  | (West, Civic)   | c4                     | 1       |
+//! | p14  | (West, Sierra)  | c5                     | 1       |
+//!
+//! Every expected number below follows from that table and the Sales
+//! column of Table 1.
+
+use iolap_core::{allocate, Algorithm, AllocConfig, AllocationRun, ExtendedDatabase, PolicySpec};
+use iolap_model::paper_example;
+use iolap_query::{
+    aggregate_classical, aggregate_edb, pivot, rollup, AggFn, Classical, Query, QueryBuilder,
+};
+
+fn count_allocated() -> AllocationRun {
+    let table = paper_example::table1();
+    let cfg = AllocConfig::builder().in_memory(256).build();
+    allocate(&table, &PolicySpec::count(), Algorithm::Transitive, &cfg).expect("allocation")
+}
+
+fn query(at: &[(&str, &str)], agg: AggFn) -> Query {
+    let mut b = QueryBuilder::new(paper_example::schema()).agg(agg);
+    for (d, n) in at {
+        b = b.at(d, n);
+    }
+    b.build().expect("query")
+}
+
+fn ask(edb: &mut ExtendedDatabase, at: &[(&str, &str)], agg: AggFn) -> f64 {
+    aggregate_edb(edb, &query(at, agg)).expect("aggregate").value
+}
+
+const EPS: f64 = 1e-9;
+
+#[test]
+fn sum_count_average_over_ma() {
+    let mut run = count_allocated();
+    // (MA, ALL): p1 + p2 + p6 + p7 + ½·p9 + ½·p11
+    //   COUNT = 1+1+1+1+½+½ = 5
+    //   SUM   = 100+150+100+120+95+40 = 605
+    let at = [("Location", "MA")];
+    assert!((ask(&mut run.edb, &at, AggFn::Count) - 5.0).abs() < EPS);
+    assert!((ask(&mut run.edb, &at, AggFn::Sum) - 605.0).abs() < EPS);
+    assert!((ask(&mut run.edb, &at, AggFn::Avg) - 121.0).abs() < EPS);
+}
+
+#[test]
+fn sum_count_average_over_west_sedan() {
+    let mut run = count_allocated();
+    // (West, Sedan) holds only candidate cell c4 = (CA, Civic):
+    //   p4 + ½·p8 + p10 + ½·p11 + p13
+    //   COUNT = 1+½+1+½+1 = 4
+    //   SUM   = 175+80+200+40+70 = 565
+    let at = [("Location", "West"), ("Automobile", "Sedan")];
+    assert!((ask(&mut run.edb, &at, AggFn::Count) - 4.0).abs() < EPS);
+    assert!((ask(&mut run.edb, &at, AggFn::Sum) - 565.0).abs() < EPS);
+    assert!((ask(&mut run.edb, &at, AggFn::Avg) - 141.25).abs() < EPS);
+}
+
+#[test]
+fn grand_totals_conserve_all_facts() {
+    let mut run = count_allocated();
+    // Allocation never creates or destroys mass: 14 facts, 1705 total
+    // sales, whatever the weights.
+    assert!((ask(&mut run.edb, &[], AggFn::Count) - 14.0).abs() < EPS);
+    assert!((ask(&mut run.edb, &[], AggFn::Sum) - 1705.0).abs() < EPS);
+}
+
+#[test]
+fn region_rollup_matches_hand_computation() {
+    let mut run = count_allocated();
+    let schema = paper_example::schema();
+    // SUM by Region (Location level 2): East gets p1,p2,p3,p6,p7,p9
+    // (both halves), ½·p11, p12 = 920; West the remaining 785.
+    let rows = rollup(&mut run.edb, &schema, 0, 2, None, AggFn::Sum).expect("rollup");
+    assert_eq!(rows.len(), 2);
+    let by_name = |name: &str| rows.iter().find(|r| r.name == name).expect(name).result.value;
+    assert!((by_name("East") - 920.0).abs() < EPS);
+    assert!((by_name("West") - 785.0).abs() < EPS);
+    assert!((by_name("East") + by_name("West") - 1705.0).abs() < EPS);
+}
+
+#[test]
+fn region_by_category_pivot_matches_hand_computation() {
+    let mut run = count_allocated();
+    let schema = paper_example::schema();
+    // COUNT pivot, Region × Category:
+    //   East/Sedan  = c1          → p1 + p6 + ½·p11        = 2.5
+    //   East/Truck  = c2, c3      → p2+p3+p7+p9+p12        = 5.0
+    //   West/Sedan  = c4          → p4+½·p8+p10+½·p11+p13  = 4.0
+    //   West/Truck  = c5          → p5+½·p8+p14            = 2.5
+    let p = pivot(&mut run.edb, &schema, 0, 2, 1, 2, None, AggFn::Count).expect("pivot");
+    assert_eq!(p.rows, vec!["East", "West"]);
+    assert_eq!(p.cols, vec!["Sedan", "Truck"]);
+    let expect = [[2.5, 5.0], [4.0, 2.5]];
+    for (r, row) in expect.iter().enumerate() {
+        for (c, want) in row.iter().enumerate() {
+            let got = p.cells[r][c].value;
+            assert!((got - want).abs() < EPS, "cell [{r}][{c}]: got {got}, want {want}");
+        }
+    }
+    // Margins are consistent with the cells.
+    assert!((p.row_margin[0].value - 7.5).abs() < EPS);
+    assert!((p.row_margin[1].value - 6.5).abs() < EPS);
+    assert!((p.col_margin[0].value - 6.5).abs() < EPS);
+    assert!((p.col_margin[1].value - 7.5).abs() < EPS);
+    assert!((p.total.value - 14.0).abs() < EPS);
+}
+
+#[test]
+fn classical_baselines_over_ma() {
+    // Section 3's motivating comparison, COUNT over (MA, ALL):
+    //   None     — precise facts only: p1, p2                      = 2
+    //   Contains — + imprecise regions inside MA: p6, p7           = 4
+    //   Overlaps — + any overlap: p6, p7, p9, p11, p12             = 7
+    let table = paper_example::table1();
+    let q = query(&[("Location", "MA")], AggFn::Count);
+    let v = |sem| aggregate_classical(&table, &q, sem).value;
+    assert!((v(Classical::None) - 2.0).abs() < EPS);
+    assert!((v(Classical::Contains) - 4.0).abs() < EPS);
+    assert!((v(Classical::Overlaps) - 7.0).abs() < EPS);
+
+    // And SUM under the same semantics.
+    let q = query(&[("Location", "MA")], AggFn::Sum);
+    let v = |sem| aggregate_classical(&table, &q, sem).value;
+    assert!((v(Classical::None) - 250.0).abs() < EPS);
+    assert!((v(Classical::Contains) - 470.0).abs() < EPS);
+    assert!((v(Classical::Overlaps) - 860.0).abs() < EPS);
+}
+
+#[test]
+fn allocation_weighted_count_sits_between_the_classical_bounds() {
+    // The paper's point: None undercounts, Overlaps overcounts, and the
+    // allocation-weighted answer lands in between.
+    let mut run = count_allocated();
+    let table = paper_example::table1();
+    for at in [vec![("Location", "MA")], vec![("Location", "West"), ("Automobile", "Sedan")]] {
+        let q = query(&at, AggFn::Count);
+        let none = aggregate_classical(&table, &q, Classical::None).value;
+        let over = aggregate_classical(&table, &q, Classical::Overlaps).value;
+        let alloc = aggregate_edb(&mut run.edb, &q).expect("aggregate").value;
+        assert!(none <= alloc + EPS && alloc <= over + EPS, "{at:?}: {none} ≤ {alloc} ≤ {over}");
+    }
+}

@@ -1,0 +1,250 @@
+//! A minimal HTTP/1.1 subset over blocking streams — just enough for the
+//! query server: request-line + headers + `Content-Length`-framed bodies,
+//! keep-alive, and hard limits on every dimension of the input.
+//!
+//! Deliberately *not* supported: chunked transfer encoding, trailers,
+//! continuation lines, HTTP/1.0 keep-alive negotiation, pipelining beyond
+//! what a strictly sequential read loop gives for free. Anything outside
+//! the subset is rejected with a 4xx before a body byte is trusted.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Maximum number of headers per request.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (no query-string splitting; the API has none).
+    pub path: String,
+    /// The body, exactly `Content-Length` bytes (empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the connection may carry another request after this one.
+    pub keep_alive: bool,
+}
+
+/// Why a read failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Transport error (includes read timeouts); the connection is dead.
+    Io(std::io::Error),
+    /// Protocol violation: respond with this status, then close.
+    Bad(u16, String),
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Read one request. `Ok(None)` means the peer closed cleanly between
+/// requests (normal keep-alive teardown).
+pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Request>, ReadError> {
+    let line = match read_line(r)? {
+        Some(l) => l,
+        None => return Ok(None),
+    };
+    let mut parts = line.split_ascii_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Bad(400, format!("malformed request line {line:?}")));
+    }
+
+    let mut content_length: usize = 0;
+    let mut keep_alive = true; // HTTP/1.1 default
+    let mut n_headers = 0usize;
+    loop {
+        let h = match read_line(r)? {
+            Some(h) => h,
+            None => return Err(ReadError::Bad(400, "eof inside headers".into())),
+        };
+        if h.is_empty() {
+            break;
+        }
+        n_headers += 1;
+        if n_headers > MAX_HEADERS {
+            return Err(ReadError::Bad(431, "too many headers".into()));
+        }
+        let Some((name, value)) = h.split_once(':') else {
+            return Err(ReadError::Bad(400, format!("malformed header {h:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| ReadError::Bad(400, format!("bad content-length {value:?}")))?;
+            }
+            "transfer-encoding" => {
+                return Err(ReadError::Bad(400, "chunked bodies not supported".into()));
+            }
+            "connection" if value.eq_ignore_ascii_case("close") => {
+                keep_alive = false;
+            }
+            _ => {}
+        }
+    }
+    if content_length > max_body {
+        return Err(ReadError::Bad(413, format!("body of {content_length} bytes exceeds limit")));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).map_err(ReadError::Io)?;
+    Ok(Some(Request { method, path, body, keep_alive }))
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line; `None` on immediate EOF.
+fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, ReadError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = match r.read(&mut byte) {
+            Ok(n) => n,
+            Err(e) => return Err(ReadError::Io(e)),
+        };
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(ReadError::Bad(400, "eof mid-line".into()));
+        }
+        if byte[0] == b'\n' {
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            let s = String::from_utf8(buf)
+                .map_err(|_| ReadError::Bad(400, "non-utf8 header bytes".into()))?;
+            return Ok(Some(s));
+        }
+        buf.push(byte[0]);
+        if buf.len() > MAX_LINE {
+            return Err(ReadError::Bad(431, "header line too long".into()));
+        }
+    }
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one response; `keep_alive` controls the `Connection` header.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        conn
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn req(text: &str) -> Result<Option<Request>, ReadError> {
+        read_request(&mut Cursor::new(text.as_bytes().to_vec()), 1 << 20)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = req("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap().unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.body.is_empty());
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let r = req("POST /query HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}").unwrap().unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn connection_close_clears_keep_alive() {
+        let r = req("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().unwrap();
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(req("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_request_line_is_400() {
+        for bad in ["GARBAGE\r\n\r\n", "GET\r\n\r\n", "GET /x SPDY/3\r\n\r\n"] {
+            match req(bad) {
+                Err(ReadError::Bad(400, _)) => {}
+                other => panic!("{bad:?} → {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let text = "POST /q HTTP/1.1\r\nContent-Length: 999\r\n\r\n";
+        match read_request(&mut Cursor::new(text.as_bytes().to_vec()), 10) {
+            Err(ReadError::Bad(413, _)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunked_bodies_are_rejected() {
+        match req("POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n") {
+            Err(ReadError::Bad(400, _)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        match req("POST /q HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort") {
+            Err(ReadError::Io(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_round_trips_through_the_writer() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+}

@@ -1,0 +1,50 @@
+//! `iolap-serve` — a concurrent query server over the materialized EDB.
+//!
+//! The paper's allocation algorithms produce an *Extended Database*: the
+//! fact table with imprecise records expanded into weighted `(cell,
+//! weight)` entries, over which OLAP aggregates are ordinary weighted
+//! sums. This crate wraps that artifact in a long-lived process with the
+//! three properties a serving path needs:
+//!
+//! 1. **Snapshot swapping** — readers aggregate over an immutable
+//!    [`EdbSnapshot`] behind an `Arc`; a single coordinator thread applies
+//!    `/update` batches through the Section 9 incremental-maintenance
+//!    machinery (`iolap_core::MaintainableEdb`) and atomically publishes
+//!    the next epoch. Queries never block updates and vice versa.
+//! 2. **A sharded result cache with targeted invalidation** — results are
+//!    keyed by `(region, aggregate, semantics)`; an update invalidates
+//!    only the entries whose region overlaps a bounding box the batch
+//!    touched (the same component-locality argument — Theorem 12 — that
+//!    makes maintenance itself cheap).
+//! 3. **Robustness under load** — a bounded accept queue that sheds with
+//!    `503` when saturated, socket timeouts both ways, per-request panic
+//!    isolation, and graceful drain on shutdown.
+//!
+//! The HTTP surface is a deliberate std-only subset (no async runtime,
+//! no TLS): `POST /query`, `POST /rollup`, `POST /update`,
+//! `GET /healthz`, `GET /metrics` (Prometheus text via `iolap-obs`).
+//!
+//! ```no_run
+//! use iolap_serve::{Server, ServeConfig};
+//! use iolap_core::{AllocConfig, PolicySpec};
+//! use iolap_model::paper_example;
+//!
+//! let table = paper_example::table1();
+//! let policy = PolicySpec::em_count(0.01);
+//! let alloc = AllocConfig::builder().in_memory(256).build();
+//! let h = Server::start(table, policy, alloc, "127.0.0.1:0", ServeConfig::default()).unwrap();
+//! println!("listening on {}", h.addr());
+//! h.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod server;
+pub mod snapshot;
+pub mod wire;
+
+pub use cache::{CacheKey, CachedResult, ShardedCache};
+pub use server::{http_roundtrip, read_response, ServeConfig, ServeError, Server, ServerHandle};
+pub use snapshot::EdbSnapshot;

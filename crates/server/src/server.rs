@@ -1,0 +1,827 @@
+//! The server proper: listener, worker pool, and update coordinator.
+//!
+//! Thread topology (all `std::thread`, no async runtime):
+//!
+//! * **accept** — non-blocking `TcpListener` loop; applies socket
+//!   timeouts and pushes connections into a bounded `sync_channel`. When
+//!   the channel is full the server is saturated: the connection gets an
+//!   inline `503` and is dropped (*load shedding* — fail fast instead of
+//!   queueing unboundedly).
+//! * **workers** (N) — pull connections off the shared channel and run
+//!   the keep-alive request loop. Each request is wrapped in
+//!   `catch_unwind`, so a handler panic costs one `500`, not a worker.
+//! * **coordinator** (1) — owns the mutable [`MaintainableEdb`]. Builds
+//!   the initial allocation, then serially applies `/update` batches,
+//!   invalidates the cache, and publishes fresh [`EdbSnapshot`]s.
+//!
+//! Shutdown: [`ServerHandle::shutdown`] (or drop) raises a flag, the
+//! accept loop exits and drops the work channel, workers drain and exit,
+//! and dropping the update sender stops the coordinator.
+
+use crate::cache::{CacheKey, CachedResult, ShardedCache};
+use crate::http::{read_request, write_response, ReadError, Request};
+use crate::snapshot::{resolve_level, resolve_region, EdbSnapshot};
+use crate::wire;
+use iolap_core::maintain::EdbMutation;
+use iolap_core::{allocate, Algorithm, AllocConfig, MaintainableEdb, PolicySpec};
+use iolap_model::{Fact, FactId, FactTable, MAX_DIMS};
+use iolap_obs::{Counter, Gauge, Histogram, Obs};
+use iolap_query::{aggregate_classical, Query};
+use std::collections::HashSet;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Request worker threads.
+    pub workers: usize,
+    /// Bounded connection queue between accept and the workers; a full
+    /// queue sheds load with `503`.
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Number of cache shards.
+    pub cache_shards: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Observability handle. A disabled handle is silently upgraded to
+    /// [`Obs::metrics_only`] so `/metrics` always has something to say.
+    pub obs: Obs,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 128,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_body_bytes: 1 << 20,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// Why the server failed to start or stopped.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The initial allocation / EDB build failed.
+    Init(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "server i/o error: {e}"),
+            ServeError::Init(msg) => write!(f, "server init failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Outcome of one applied `/update` batch (for the response body).
+struct UpdateOutcome {
+    epoch: u64,
+    invalidated: u64,
+    report: iolap_core::UpdateReport,
+}
+
+struct UpdateJob {
+    muts: Vec<EdbMutation>,
+    reply: Sender<Result<UpdateOutcome, (u16, String)>>,
+}
+
+/// Metric handles resolved once at startup (hot paths never re-hash
+/// names). The server's `Obs` is always at least metrics-only.
+struct ServeMetrics {
+    requests: Counter,
+    req_query: Counter,
+    req_rollup: Counter,
+    req_update: Counter,
+    req_metrics: Counter,
+    req_healthz: Counter,
+    resp_ok: Counter,
+    resp_client_error: Counter,
+    resp_server_error: Counter,
+    cache_hit: Counter,
+    cache_miss: Counter,
+    cache_insert: Counter,
+    cache_invalidated: Counter,
+    cache_evicted: Counter,
+    shed: Counter,
+    panics: Counter,
+    queue_depth: Gauge,
+    epoch: Gauge,
+    latency_us: Histogram,
+}
+
+impl ServeMetrics {
+    fn new(obs: &Obs) -> Self {
+        let c = |n: &str| obs.counter(n).expect("server obs is always enabled");
+        ServeMetrics {
+            requests: c("serve.requests"),
+            req_query: c("serve.requests.query"),
+            req_rollup: c("serve.requests.rollup"),
+            req_update: c("serve.requests.update"),
+            req_metrics: c("serve.requests.metrics"),
+            req_healthz: c("serve.requests.healthz"),
+            resp_ok: c("serve.responses.ok"),
+            resp_client_error: c("serve.responses.client_error"),
+            resp_server_error: c("serve.responses.server_error"),
+            cache_hit: c("serve.cache.hit"),
+            cache_miss: c("serve.cache.miss"),
+            cache_insert: c("serve.cache.insert"),
+            cache_invalidated: c("serve.cache.invalidated"),
+            cache_evicted: c("serve.cache.evicted"),
+            shed: c("serve.shed"),
+            panics: c("serve.panics"),
+            queue_depth: obs.gauge("serve.queue.depth").expect("enabled"),
+            epoch: obs.gauge("serve.epoch").expect("enabled"),
+            latency_us: obs.histogram("serve.latency_us").expect("enabled"),
+        }
+    }
+}
+
+/// State shared by every server thread.
+struct Shared {
+    snapshot: Mutex<Arc<EdbSnapshot>>,
+    cache: ShardedCache,
+    cache_enabled: bool,
+    obs: Obs,
+    metrics: ServeMetrics,
+    update_tx: Mutex<Option<Sender<UpdateJob>>>,
+    shutdown: AtomicBool,
+    max_body_bytes: usize,
+    /// Live connections (socket clones), so shutdown can interrupt
+    /// workers parked in blocking reads instead of waiting out the
+    /// read timeout.
+    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_conn: std::sync::atomic::AtomicU64,
+}
+
+impl Shared {
+    fn snapshot(&self) -> Arc<EdbSnapshot> {
+        self.snapshot.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    fn register_conn(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        self.conns.lock().unwrap_or_else(|p| p.into_inner()).insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister_conn(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.conns.lock().unwrap_or_else(|p| p.into_inner()).remove(&id);
+        }
+    }
+}
+
+/// The server. Construct with [`Server::start`]; the returned
+/// [`ServerHandle`] owns every thread.
+pub struct Server;
+
+impl Server {
+    /// Allocate `table` under `policy` (Transitive — required for
+    /// maintenance), bind `addr`, and serve until the handle shuts down.
+    ///
+    /// Blocks until the initial allocation is built and the socket is
+    /// listening, so a returned handle is immediately queryable.
+    pub fn start(
+        table: FactTable,
+        policy: PolicySpec,
+        alloc: AllocConfig,
+        addr: &str,
+        cfg: ServeConfig,
+    ) -> Result<ServerHandle, ServeError> {
+        let obs = if cfg.obs.is_enabled() { cfg.obs.clone() } else { Obs::metrics_only() };
+        let metrics = ServeMetrics::new(&obs);
+
+        // The coordinator builds the allocation inside its own thread and
+        // owns the MaintainableEdb for its whole life; startup blocks on
+        // the readiness channel below.
+        let (ready_tx, ready_rx) = mpsc::channel::<Result<Arc<EdbSnapshot>, String>>();
+        let (shared_tx, shared_rx) = mpsc::channel::<Arc<Shared>>();
+        let (update_tx, update_rx) = mpsc::channel::<UpdateJob>();
+        let coordinator = std::thread::Builder::new()
+            .name("iolap-serve-coord".into())
+            .spawn(move || coordinator_main(table, policy, alloc, ready_tx, shared_rx, update_rx))
+            .map_err(ServeError::Io)?;
+
+        let first = match ready_rx.recv() {
+            Ok(Ok(snap)) => snap,
+            Ok(Err(msg)) => {
+                let _ = coordinator.join();
+                return Err(ServeError::Init(msg));
+            }
+            Err(_) => {
+                let _ = coordinator.join();
+                return Err(ServeError::Init("coordinator died during startup".into()));
+            }
+        };
+
+        metrics.epoch.set(first.epoch as i64);
+        let shared = Arc::new(Shared {
+            snapshot: Mutex::new(first),
+            cache: ShardedCache::new(cfg.cache_capacity.max(1), cfg.cache_shards),
+            cache_enabled: cfg.cache_capacity > 0,
+            obs: obs.clone(),
+            metrics,
+            update_tx: Mutex::new(Some(update_tx)),
+            shutdown: AtomicBool::new(false),
+            max_body_bytes: cfg.max_body_bytes,
+            conns: Mutex::new(std::collections::HashMap::new()),
+            next_conn: std::sync::atomic::AtomicU64::new(0),
+        });
+        // Hand the coordinator its view of the shared state; it only now
+        // enters the update loop.
+        let _ = shared_tx.send(shared.clone());
+
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+
+        let (work_tx, work_rx) = mpsc::sync_channel::<TcpStream>(cfg.queue_depth.max(1));
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let mut threads = Vec::with_capacity(cfg.workers + 2);
+        threads.push(coordinator);
+
+        for i in 0..cfg.workers.max(1) {
+            let rx = work_rx.clone();
+            let sh = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("iolap-serve-worker-{i}"))
+                    .spawn(move || worker_main(rx, sh))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+
+        let sh = shared.clone();
+        let read_to = cfg.read_timeout;
+        let write_to = cfg.write_timeout;
+        threads.push(
+            std::thread::Builder::new()
+                .name("iolap-serve-accept".into())
+                .spawn(move || accept_main(listener, work_tx, sh, read_to, write_to))
+                .map_err(ServeError::Io)?,
+        );
+
+        Ok(ServerHandle { addr: local, shared, threads })
+    }
+}
+
+/// A running server. Dropping it (or calling [`shutdown`]) stops every
+/// thread gracefully: in-flight requests finish, queued connections are
+/// drained, then the workers, accept loop, and coordinator exit.
+///
+/// [`shutdown`]: ServerHandle::shutdown
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `:0` for an OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The observability handle (always at least metrics-only).
+    pub fn obs(&self) -> &Obs {
+        &self.shared.obs
+    }
+
+    /// The currently published snapshot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.snapshot().epoch
+    }
+
+    /// Stop accepting, drain, and join every thread.
+    pub fn shutdown(self) {
+        // Drop runs the teardown.
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Stop the coordinator: no sender, no more jobs.
+        self.shared.update_tx.lock().unwrap_or_else(|p| p.into_inner()).take();
+        // Interrupt workers parked in blocking reads on idle keep-alive
+        // connections (in-flight responses still complete: the write
+        // half has already buffered by the time the read half blocks).
+        for (_, s) in self.shared.conns.lock().unwrap_or_else(|p| p.into_inner()).iter() {
+            let _ = s.shutdown(std::net::Shutdown::Read);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept loop
+// ---------------------------------------------------------------------------
+
+fn accept_main(
+    listener: TcpListener,
+    work_tx: SyncSender<TcpStream>,
+    shared: Arc<Shared>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        let _ = stream.set_read_timeout(Some(read_timeout));
+        let _ = stream.set_write_timeout(Some(write_timeout));
+        let _ = stream.set_nodelay(true);
+        match work_tx.try_send(stream) {
+            Ok(()) => shared.metrics.queue_depth.add(1),
+            Err(TrySendError::Full(mut stream)) => {
+                // Saturated: shed instead of queueing unboundedly.
+                shared.metrics.shed.inc();
+                shared.metrics.resp_server_error.inc();
+                let body = wire::error_body("server saturated, retry later");
+                let _ =
+                    write_response(&mut stream, 503, "application/json", body.as_bytes(), false);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping work_tx lets workers drain the queue and exit.
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_main(rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<Shared>) {
+    loop {
+        let stream = {
+            let rx = rx.lock().unwrap_or_else(|p| p.into_inner());
+            match rx.recv() {
+                Ok(s) => s,
+                Err(_) => return, // accept loop gone, queue drained
+            }
+        };
+        shared.metrics.queue_depth.add(-1);
+        let id = shared.register_conn(&stream);
+        handle_connection(stream, &shared);
+        shared.deregister_conn(id);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let req = match read_request(&mut reader, shared.max_body_bytes) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close between requests
+            Err(ReadError::Bad(status, msg)) => {
+                count_status(shared, status);
+                let body = wire::error_body(&msg);
+                let _ =
+                    write_response(&mut writer, status, "application/json", body.as_bytes(), false);
+                return;
+            }
+            Err(ReadError::Io(_)) => return, // timeout or dead peer
+        };
+        let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+
+        let t0 = Instant::now();
+        let out = catch_unwind(AssertUnwindSafe(|| handle_request(&req, shared)));
+        let (status, content_type, body) = out.unwrap_or_else(|_| {
+            shared.metrics.panics.inc();
+            (500, "application/json", wire::error_body("internal error"))
+        });
+        shared.metrics.latency_us.observe(t0.elapsed().as_micros() as u64);
+        count_status(shared, status);
+
+        if write_response(&mut writer, status, content_type, body.as_bytes(), keep_alive).is_err()
+            || !keep_alive
+        {
+            return;
+        }
+    }
+}
+
+fn count_status(shared: &Shared, status: u16) {
+    match status {
+        200..=299 => shared.metrics.resp_ok.inc(),
+        400..=499 => shared.metrics.resp_client_error.inc(),
+        _ => shared.metrics.resp_server_error.inc(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+// ---------------------------------------------------------------------------
+
+type Response = (u16, &'static str, String);
+
+fn handle_request(req: &Request, shared: &Shared) -> Response {
+    shared.metrics.requests.inc();
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            shared.metrics.req_healthz.inc();
+            (200, "application/json", wire::health_response(shared.snapshot().epoch))
+        }
+        ("GET", "/metrics") => {
+            shared.metrics.req_metrics.inc();
+            let text = shared.obs.metrics().map(|m| m.to_prometheus()).unwrap_or_default();
+            (200, "text/plain; version=0.0.4", text)
+        }
+        ("POST", "/query") => {
+            shared.metrics.req_query.inc();
+            handle_query(&req.body, shared)
+        }
+        ("POST", "/rollup") => {
+            shared.metrics.req_rollup.inc();
+            handle_rollup(&req.body, shared)
+        }
+        ("POST", "/update") => {
+            shared.metrics.req_update.inc();
+            handle_update(&req.body, shared)
+        }
+        (_, "/healthz" | "/metrics" | "/query" | "/rollup" | "/update") => {
+            (405, "application/json", wire::error_body("method not allowed"))
+        }
+        _ => (404, "application/json", wire::error_body("no such endpoint")),
+    }
+}
+
+fn bad_request(msg: &str) -> Response {
+    (400, "application/json", wire::error_body(msg))
+}
+
+fn utf8_body(body: &[u8]) -> Result<&str, Response> {
+    std::str::from_utf8(body).map_err(|_| bad_request("request body must be UTF-8"))
+}
+
+fn handle_query(body: &[u8], shared: &Shared) -> Response {
+    let body = match utf8_body(body) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let q = match wire::parse_query(body) {
+        Ok(q) => q,
+        Err(msg) => return bad_request(&msg),
+    };
+    let snap = shared.snapshot();
+    let region = match resolve_region(&snap.schema, &q.at) {
+        Ok(r) => r,
+        Err(msg) => return bad_request(&msg),
+    };
+
+    let key = CacheKey::new(&region, q.agg, q.classical);
+    if shared.cache_enabled {
+        if let Some(hit) = shared.cache.get(&key) {
+            shared.metrics.cache_hit.inc();
+            let body = wire::query_response(&hit.result, q.agg, true, hit.epoch);
+            return (200, "application/json", body);
+        }
+        shared.metrics.cache_miss.inc();
+    }
+
+    let result = match q.classical {
+        Some(sem) => {
+            let query = Query { region, agg: q.agg };
+            aggregate_classical(&snap.table, &query, sem)
+        }
+        None => snap.aggregate(&region, q.agg),
+    };
+    if shared.cache_enabled {
+        let out = shared.cache.insert(key, CachedResult { result, epoch: snap.epoch });
+        if out.inserted {
+            shared.metrics.cache_insert.inc();
+        }
+        shared.metrics.cache_evicted.add(out.evicted);
+    }
+    (200, "application/json", wire::query_response(&result, q.agg, false, snap.epoch))
+}
+
+fn handle_rollup(body: &[u8], shared: &Shared) -> Response {
+    let body = match utf8_body(body) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let r = match wire::parse_rollup(body) {
+        Ok(r) => r,
+        Err(msg) => return bad_request(&msg),
+    };
+    let snap = shared.snapshot();
+    let (dim, level) = match resolve_level(&snap.schema, &r.dim, &r.level) {
+        Ok(dl) => dl,
+        Err(msg) => return bad_request(&msg),
+    };
+    let region = match resolve_region(&snap.schema, &r.at) {
+        Ok(rg) => rg,
+        Err(msg) => return bad_request(&msg),
+    };
+    let rows = snap.rollup(dim, level, Some(&region), r.agg);
+    (200, "application/json", wire::rollup_response(&rows, r.agg, snap.epoch))
+}
+
+fn handle_update(body: &[u8], shared: &Shared) -> Response {
+    let body = match utf8_body(body) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let reqs = match wire::parse_update(body) {
+        Ok(m) => m,
+        Err(msg) => return bad_request(&msg),
+    };
+    let snap = shared.snapshot();
+    let mut muts = Vec::with_capacity(reqs.len());
+    for (i, m) in reqs.into_iter().enumerate() {
+        muts.push(match m {
+            wire::MutationReq::Update { fact_id, measure } => {
+                EdbMutation::UpdateMeasure { fact_id, new_measure: measure }
+            }
+            wire::MutationReq::Delete { fact_id } => EdbMutation::Delete(fact_id),
+            wire::MutationReq::Insert { id, dims, measure } => {
+                let k = snap.schema.k();
+                if dims.len() != k {
+                    return bad_request(&format!(
+                        "mutation {i}: expected {k} dims, got {}",
+                        dims.len()
+                    ));
+                }
+                let mut fact_dims = [0u32; MAX_DIMS];
+                for (d, name) in dims.iter().enumerate() {
+                    let h = snap.schema.dim(d);
+                    let Some(node) = h.node_by_name(name) else {
+                        return bad_request(&format!(
+                            "mutation {i}: unknown node {name:?} in dimension {:?}",
+                            h.name()
+                        ));
+                    };
+                    fact_dims[d] = node.0;
+                }
+                EdbMutation::Insert(Fact { id, dims: fact_dims, measure })
+            }
+        });
+    }
+
+    // Enqueue for the coordinator and wait for the published epoch.
+    let tx = shared.update_tx.lock().unwrap_or_else(|p| p.into_inner()).clone();
+    let Some(tx) = tx else {
+        return (503, "application/json", wire::error_body("server is shutting down"));
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if tx.send(UpdateJob { muts, reply: reply_tx }).is_err() {
+        return (503, "application/json", wire::error_body("server is shutting down"));
+    }
+    match reply_rx.recv() {
+        Ok(Ok(out)) => {
+            let r = &out.report;
+            let body = wire::update_response(
+                out.epoch,
+                out.invalidated,
+                r.affected_components,
+                r.affected_tuples,
+                r.entries_rewritten,
+                r.merges,
+                r.splits,
+            );
+            (200, "application/json", body)
+        }
+        Ok(Err((status, msg))) => {
+            let ct = "application/json";
+            (status, ct, wire::error_body(&msg))
+        }
+        Err(_) => (500, "application/json", wire::error_body("update coordinator died")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Update coordinator
+// ---------------------------------------------------------------------------
+
+fn coordinator_main(
+    table: FactTable,
+    policy: PolicySpec,
+    alloc: AllocConfig,
+    ready_tx: Sender<Result<Arc<EdbSnapshot>, String>>,
+    shared_rx: Receiver<Arc<Shared>>,
+    update_rx: Receiver<UpdateJob>,
+) {
+    // Build the initial allocation. Maintenance requires Transitive (the
+    // component index is piggybacked on its component-processing step).
+    let built = allocate(&table, &policy, Algorithm::Transitive, &alloc)
+        .and_then(|run| MaintainableEdb::build(run, policy.clone()));
+    let mut medb = match built {
+        Ok(m) => m,
+        Err(e) => {
+            let _ = ready_tx.send(Err(format!("{e}")));
+            return;
+        }
+    };
+    let mut mirror = table; // fact-table mirror for classical baselines
+    let schema = medb.schema().clone();
+    let entries = match medb.snapshot_entries() {
+        Ok(e) => e,
+        Err(e) => {
+            let _ = ready_tx.send(Err(format!("snapshot failed: {e}")));
+            return;
+        }
+    };
+    let first = Arc::new(EdbSnapshot {
+        epoch: 0,
+        schema: schema.clone(),
+        table: Arc::new(mirror.clone()),
+        entries: Arc::new(entries),
+    });
+    if ready_tx.send(Ok(first)).is_err() {
+        return;
+    }
+    let Ok(shared) = shared_rx.recv() else {
+        return;
+    };
+
+    let mut live_ids: HashSet<FactId> = mirror.facts().iter().map(|f| f.id).collect();
+    let mut epoch = 0u64;
+
+    while let Ok(job) = update_rx.recv() {
+        let result =
+            apply_job(&mut medb, &mut mirror, &mut live_ids, &mut epoch, &shared, &job.muts);
+        let _ = job.reply.send(result);
+    }
+}
+
+fn apply_job(
+    medb: &mut MaintainableEdb,
+    mirror: &mut FactTable,
+    live_ids: &mut HashSet<FactId>,
+    epoch: &mut u64,
+    shared: &Shared,
+    muts: &[EdbMutation],
+) -> Result<UpdateOutcome, (u16, String)> {
+    // Pre-validate against the live id set so a bad batch is rejected
+    // before any state mutates (apply_batch has no rollback).
+    let mut ids = live_ids.clone();
+    for (i, m) in muts.iter().enumerate() {
+        match m {
+            EdbMutation::UpdateMeasure { fact_id, new_measure } => {
+                if !ids.contains(fact_id) {
+                    return Err((400, format!("mutation {i}: no fact {fact_id}")));
+                }
+                if !new_measure.is_finite() {
+                    return Err((400, format!("mutation {i}: measure must be finite")));
+                }
+            }
+            EdbMutation::Delete(fact_id) => {
+                if !ids.remove(fact_id) {
+                    return Err((400, format!("mutation {i}: no fact {fact_id}")));
+                }
+            }
+            EdbMutation::Insert(f) => {
+                if !f.measure.is_finite() {
+                    return Err((400, format!("mutation {i}: measure must be finite")));
+                }
+                if !ids.insert(f.id) {
+                    return Err((400, format!("mutation {i}: fact id {} already exists", f.id)));
+                }
+            }
+        }
+    }
+
+    let report = medb.apply_batch(muts).map_err(|e| (500, format!("maintenance failed: {e}")))?;
+
+    // Mirror the batch onto the fact table (classical baselines read it).
+    for m in muts {
+        match m {
+            EdbMutation::UpdateMeasure { fact_id, new_measure } => {
+                if let Some(f) = mirror.facts_mut().iter_mut().find(|f| f.id == *fact_id) {
+                    f.measure = *new_measure;
+                }
+            }
+            EdbMutation::Insert(f) => mirror.facts_mut().push(f.clone()),
+            EdbMutation::Delete(fact_id) => {
+                mirror.facts_mut().retain(|f| f.id != *fact_id);
+            }
+        }
+    }
+    *live_ids = ids;
+
+    let entries = medb.snapshot_entries().map_err(|e| (500, format!("snapshot failed: {e}")))?;
+
+    *epoch += 1;
+    // Publication order matters: open the epoch (stale inserts start
+    // dropping), purge overlapping entries, then publish the snapshot.
+    shared.cache.begin_epoch(*epoch);
+    let invalidated = shared.cache.invalidate_overlapping(&report.touched);
+    shared.metrics.cache_invalidated.add(invalidated);
+    let snap = Arc::new(EdbSnapshot {
+        epoch: *epoch,
+        schema: medb.schema().clone(),
+        table: Arc::new(mirror.clone()),
+        entries: Arc::new(entries),
+    });
+    *shared.snapshot.lock().unwrap_or_else(|p| p.into_inner()) = snap;
+    shared.metrics.epoch.set(*epoch as i64);
+
+    Ok(UpdateOutcome { epoch: *epoch, invalidated, report })
+}
+
+// ---------------------------------------------------------------------------
+// A tiny blocking client (bench bins, tests, CI smoke).
+// ---------------------------------------------------------------------------
+
+/// Send one request over an open connection and read the response.
+/// Returns `(status, body)`. The connection stays usable (keep-alive).
+pub fn http_roundtrip(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    // One buffered write: `write!` straight to the socket would emit one
+    // syscall per format fragment, and the multi-packet request then hits
+    // the Nagle + delayed-ACK 40 ms stall on loopback.
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: iolap\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.set_nodelay(true);
+    stream.write_all(req.as_bytes())?;
+    stream.flush()?;
+    read_response(stream)
+}
+
+/// Read one HTTP response off a stream (Content-Length framing only).
+pub fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
+    use std::io::{BufRead, Read};
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 =
+        status_line.split_ascii_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(
+            || {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            },
+        )?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}

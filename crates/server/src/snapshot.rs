@@ -1,0 +1,177 @@
+//! The epoch-swapped read snapshot.
+//!
+//! Request workers never touch the mutable [`iolap_core::MaintainableEdb`]
+//! — they clone an `Arc<EdbSnapshot>` and aggregate over its immutable
+//! entry list. The coordinator thread rebuilds the list after each
+//! `/update` batch (via `MaintainableEdb::snapshot_entries`, which
+//! preserves EDB file order) and publishes a new snapshot atomically, so
+//! readers never block on writers and writers never wait for readers.
+//!
+//! The aggregation loop here is kept **byte-for-byte equivalent** to
+//! [`iolap_query::aggregate_edb`]: same entry order, same `sum += w * m;
+//! count += w` accumulation, same AVG guard — so a server answer is
+//! bit-identical to querying the materialized EDB directly
+//! (`tests/serve_consistency.rs` asserts the f64 bits).
+
+use iolap_hierarchy::LevelNo;
+use iolap_model::{EdbRecord, FactTable, RegionBox, Schema, MAX_DIMS};
+use iolap_query::{AggFn, AggResult, RollupRow};
+use std::sync::Arc;
+
+/// One immutable published view of the maintained EDB.
+pub struct EdbSnapshot {
+    /// Monotone version: 0 at startup, +1 per applied `/update` batch.
+    pub epoch: u64,
+    /// The dataset schema (shared across all epochs).
+    pub schema: Arc<Schema>,
+    /// The fact table as of this epoch (for classical baselines).
+    pub table: Arc<FactTable>,
+    /// EDB entries in the deterministic maintenance order.
+    pub entries: Arc<Vec<EdbRecord>>,
+}
+
+impl EdbSnapshot {
+    /// Allocation-weighted aggregate over the snapshot — the exact loop
+    /// of `aggregate_edb`, run over the snapshot's entry list.
+    pub fn aggregate(&self, region: &RegionBox, agg: AggFn) -> AggResult {
+        let mut sum = 0.0;
+        let mut count = 0.0;
+        for e in self.entries.iter() {
+            if region.contains_cell(&e.cell) {
+                sum += e.weight * e.measure;
+                count += e.weight;
+            }
+        }
+        finish(agg, sum, count)
+    }
+
+    /// Roll up along `dim` at `level` within an optional dice region —
+    /// the one-scan accumulation of `iolap_query::rollup`, over the
+    /// snapshot's entry list.
+    pub fn rollup(
+        &self,
+        dim: usize,
+        level: LevelNo,
+        region: Option<&RegionBox>,
+        agg: AggFn,
+    ) -> Vec<RollupRow> {
+        let h = self.schema.dim(dim);
+        let nodes = h.nodes_at_level(level);
+        let mut pos_of = std::collections::HashMap::with_capacity(nodes.len());
+        for (i, &n) in nodes.iter().enumerate() {
+            pos_of.insert(n, i);
+        }
+        let mut sums = vec![0.0f64; nodes.len()];
+        let mut counts = vec![0.0f64; nodes.len()];
+        for e in self.entries.iter() {
+            if let Some(r) = region {
+                if !r.contains_cell(&e.cell) {
+                    continue;
+                }
+            }
+            let anc = h.ancestor_at(e.cell[dim], level);
+            let i = pos_of[&anc];
+            sums[i] += e.weight * e.measure;
+            counts[i] += e.weight;
+        }
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| RollupRow {
+                node,
+                name: h.node_name(node),
+                result: finish(agg, sums[i], counts[i]),
+            })
+            .collect()
+    }
+}
+
+/// Identical to the private `finish` of `iolap_query::agg`.
+pub(crate) fn finish(agg: AggFn, sum: f64, count: f64) -> AggResult {
+    let value = match agg {
+        AggFn::Sum => sum,
+        AggFn::Count => count,
+        AggFn::Avg => {
+            if count > 0.0 {
+                sum / count
+            } else {
+                0.0
+            }
+        }
+    };
+    AggResult { value, sum, count }
+}
+
+/// Resolve `(dimension name, node name)` pairs into a query region;
+/// unlisted dimensions default to `ALL`. Unlike `QueryBuilder::at` (which
+/// is lenient for exploratory use), unknown node names are errors here —
+/// a typo over HTTP must surface as a 400, not silently mean `ALL`.
+pub fn resolve_region(schema: &Schema, at: &[(String, String)]) -> Result<RegionBox, String> {
+    let k = schema.k();
+    let mut lo = [0u32; MAX_DIMS];
+    let mut hi = [0u32; MAX_DIMS];
+    for d in 0..k {
+        let r = schema.dim(d).leaf_range(schema.dim(d).all());
+        lo[d] = r.start;
+        hi[d] = r.end;
+    }
+    for (dim_name, node_name) in at {
+        let d = (0..k)
+            .find(|&d| schema.dim(d).name() == dim_name)
+            .ok_or_else(|| format!("unknown dimension {dim_name:?}"))?;
+        let h = schema.dim(d);
+        // Accept explicit node names first, then the `Level[lo..hi]`
+        // display form `Hierarchy::node_name` synthesizes for anonymous
+        // nodes — so any name the system prints resolves back.
+        let node = h
+            .node_by_name(node_name)
+            .or_else(|| {
+                (0..h.num_nodes())
+                    .map(iolap_hierarchy::NodeId)
+                    .find(|&id| h.node_name(id) == *node_name)
+            })
+            .ok_or_else(|| format!("unknown node {node_name:?} in dimension {dim_name:?}"))?;
+        let r = h.leaf_range(node);
+        lo[d] = r.start;
+        hi[d] = r.end;
+    }
+    Ok(RegionBox { lo, hi, k: k as u8 })
+}
+
+/// Resolve a `(dimension name, level name)` pair for `/rollup`.
+pub fn resolve_level(schema: &Schema, dim: &str, level: &str) -> Result<(usize, LevelNo), String> {
+    let d = (0..schema.k())
+        .find(|&d| schema.dim(d).name() == dim)
+        .ok_or_else(|| format!("unknown dimension {dim:?}"))?;
+    let h = schema.dim(d);
+    let l = (1..=h.levels())
+        .find(|&l| h.level_name(l) == level)
+        .ok_or_else(|| format!("unknown level {level:?} in dimension {dim:?}"))?;
+    Ok((d, l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_model::paper_example;
+
+    #[test]
+    fn resolve_region_defaults_and_errors() {
+        let s = paper_example::schema();
+        let all = resolve_region(&s, &[]).unwrap();
+        assert_eq!(all.num_cells(), 16);
+        let ma = resolve_region(&s, &[("Location".into(), "MA".into())]).unwrap();
+        assert_eq!(ma.num_cells(), 4);
+        assert!(resolve_region(&s, &[("Nope".into(), "MA".into())]).is_err());
+        assert!(resolve_region(&s, &[("Location".into(), "Atlantis".into())]).is_err());
+    }
+
+    #[test]
+    fn resolve_level_names() {
+        let s = paper_example::schema();
+        assert_eq!(resolve_level(&s, "Location", "Region").unwrap(), (0, 2));
+        assert_eq!(resolve_level(&s, "Automobile", "Category").unwrap(), (1, 2));
+        assert!(resolve_level(&s, "Location", "Continent").is_err());
+        assert!(resolve_level(&s, "Time", "Region").is_err());
+    }
+}

@@ -1,0 +1,523 @@
+//! The server's JSON wire format — hand-rolled emitters in the style of
+//! `iolap_obs::metrics::to_json`, with `iolap_obs::json::parse` as the
+//! reader, shared between the request handlers and the bench/CI clients
+//! so neither side duplicates the parsing.
+//!
+//! Every `parse_*` function returns `Err` (never panics) on malformed
+//! input; the server maps those to `400 Bad Request`.
+//!
+//! Floats are emitted with Rust's shortest-round-trip `Display`, so a
+//! value parsed back with `str::parse::<f64>` (which the JSON reader
+//! uses) is **bit-identical** to the one the server computed — the
+//! property `tests/serve_consistency.rs` leans on.
+
+use iolap_obs::json::{self, Json};
+use iolap_query::{AggFn, AggResult, Classical, RollupRow};
+
+// ---------------------------------------------------------------------------
+// Emission helpers
+// ---------------------------------------------------------------------------
+
+/// Escape a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON value (shortest round-trip; non-finite
+/// values — which no well-formed aggregate produces — become `null`).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// The wire name of an aggregate function.
+pub fn agg_name(agg: AggFn) -> &'static str {
+    match agg {
+        AggFn::Sum => "sum",
+        AggFn::Count => "count",
+        AggFn::Avg => "average",
+    }
+}
+
+/// Parse an aggregate function name (case-insensitive).
+pub fn parse_agg(name: &str) -> Result<AggFn, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "sum" => Ok(AggFn::Sum),
+        "count" => Ok(AggFn::Count),
+        "avg" | "average" => Ok(AggFn::Avg),
+        other => Err(format!("unknown aggregate {other:?} (want sum|count|average)")),
+    }
+}
+
+/// Parse a classical-semantics name (case-insensitive).
+pub fn parse_classical(name: &str) -> Result<Classical, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "none" => Ok(Classical::None),
+        "contains" => Ok(Classical::Contains),
+        "overlaps" => Ok(Classical::Overlaps),
+        other => {
+            Err(format!("unknown classical semantics {other:?} (want none|contains|overlaps)"))
+        }
+    }
+}
+
+fn classical_name(sem: Classical) -> &'static str {
+    match sem {
+        Classical::None => "none",
+        Classical::Contains => "contains",
+        Classical::Overlaps => "overlaps",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// POST /query
+// ---------------------------------------------------------------------------
+
+/// A parsed `/query` body.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// `(dimension name, node name)` constraints; unlisted dimensions are
+    /// `ALL`.
+    pub at: Vec<(String, String)>,
+    /// The aggregate (default SUM).
+    pub agg: AggFn,
+    /// When set, evaluate under a classical baseline semantics on the raw
+    /// fact table instead of the allocation-weighted EDB.
+    pub classical: Option<Classical>,
+}
+
+/// Parse a `/query` body: `{"region": {"Dim": "Node", ...}, "agg":
+/// "sum"|"count"|"average", "classical": "none"|"contains"|"overlaps"}`.
+/// Every field is optional; the default is SUM over `ALL × … × ALL`.
+pub fn parse_query(body: &str) -> Result<QueryRequest, String> {
+    let v = json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    if v.as_object().is_none() {
+        return Err("request body must be a JSON object".into());
+    }
+    let at = parse_region(&v)?;
+    let agg = match v.get("agg") {
+        None | Some(Json::Null) => AggFn::Sum,
+        Some(a) => parse_agg(a.as_str().ok_or("\"agg\" must be a string")?)?,
+    };
+    let classical = match v.get("classical") {
+        None | Some(Json::Null) => None,
+        Some(c) => Some(parse_classical(c.as_str().ok_or("\"classical\" must be a string")?)?),
+    };
+    Ok(QueryRequest { at, agg, classical })
+}
+
+fn parse_region(v: &Json) -> Result<Vec<(String, String)>, String> {
+    match v.get("region") {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(r) => {
+            let members =
+                r.as_object().ok_or("\"region\" must be an object of dimension: node pairs")?;
+            let mut at = Vec::with_capacity(members.len());
+            for (dim, node) in members {
+                let node = node
+                    .as_str()
+                    .ok_or_else(|| format!("region[{dim:?}] must be a node name string"))?;
+                at.push((dim.clone(), node.to_string()));
+            }
+            Ok(at)
+        }
+    }
+}
+
+/// Build a `/query` body (client side: bench bins, tests, examples).
+pub fn query_body(at: &[(&str, &str)], agg: AggFn, classical: Option<Classical>) -> String {
+    let mut s = String::from("{\"region\":{");
+    for (i, (d, n)) in at.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\":\"{}\"", escape(d), escape(n)));
+    }
+    s.push_str(&format!("}},\"agg\":\"{}\"", agg_name(agg)));
+    if let Some(sem) = classical {
+        s.push_str(&format!(",\"classical\":\"{}\"", classical_name(sem)));
+    }
+    s.push('}');
+    s
+}
+
+/// Serialize a `/query` response.
+pub fn query_response(r: &AggResult, agg: AggFn, cached: bool, epoch: u64) -> String {
+    format!(
+        "{{\"value\":{},\"sum\":{},\"count\":{},\"agg\":\"{}\",\"cached\":{},\"epoch\":{}}}",
+        fmt_f64(r.value),
+        fmt_f64(r.sum),
+        fmt_f64(r.count),
+        agg_name(agg),
+        cached,
+        epoch
+    )
+}
+
+// ---------------------------------------------------------------------------
+// POST /rollup
+// ---------------------------------------------------------------------------
+
+/// A parsed `/rollup` body.
+#[derive(Debug, Clone)]
+pub struct RollupRequest {
+    /// Dimension to roll up along (by name).
+    pub dim: String,
+    /// Level name within that dimension (e.g. `"Region"`, or `"ALL"`).
+    pub level: String,
+    /// Optional dice region, same form as `/query`.
+    pub at: Vec<(String, String)>,
+    /// The aggregate (default SUM).
+    pub agg: AggFn,
+}
+
+/// Parse a `/rollup` body: `{"dim": "Location", "level": "Region",
+/// "region": {...}, "agg": "sum"}`.
+pub fn parse_rollup(body: &str) -> Result<RollupRequest, String> {
+    let v = json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    if v.as_object().is_none() {
+        return Err("request body must be a JSON object".into());
+    }
+    let dim = v
+        .get("dim")
+        .and_then(|d| d.as_str())
+        .ok_or("\"dim\" (dimension name) is required")?
+        .to_string();
+    let level = v
+        .get("level")
+        .and_then(|l| l.as_str())
+        .ok_or("\"level\" (level name) is required")?
+        .to_string();
+    let at = parse_region(&v)?;
+    let agg = match v.get("agg") {
+        None | Some(Json::Null) => AggFn::Sum,
+        Some(a) => parse_agg(a.as_str().ok_or("\"agg\" must be a string")?)?,
+    };
+    Ok(RollupRequest { dim, level, at, agg })
+}
+
+/// Build a `/rollup` body (client side).
+pub fn rollup_body(dim: &str, level: &str, at: &[(&str, &str)], agg: AggFn) -> String {
+    let mut s =
+        format!("{{\"dim\":\"{}\",\"level\":\"{}\",\"region\":{{", escape(dim), escape(level));
+    for (i, (d, n)) in at.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\":\"{}\"", escape(d), escape(n)));
+    }
+    s.push_str(&format!("}},\"agg\":\"{}\"}}", agg_name(agg)));
+    s
+}
+
+/// Serialize a `/rollup` response.
+pub fn rollup_response(rows: &[RollupRow], agg: AggFn, epoch: u64) -> String {
+    let mut s = String::from("{\"rows\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"name\":\"{}\",\"value\":{},\"sum\":{},\"count\":{}}}",
+            escape(&row.name),
+            fmt_f64(row.result.value),
+            fmt_f64(row.result.sum),
+            fmt_f64(row.result.count)
+        ));
+    }
+    s.push_str(&format!("],\"agg\":\"{}\",\"epoch\":{}}}", agg_name(agg), epoch));
+    s
+}
+
+// ---------------------------------------------------------------------------
+// POST /update
+// ---------------------------------------------------------------------------
+
+/// One mutation in a `/update` batch, with dimension values still as
+/// node *names* (resolved against the schema by the server).
+#[derive(Debug, Clone)]
+pub enum MutationReq {
+    /// `{"op": "update", "fact_id": N, "measure": M}`
+    Update {
+        /// The fact to update.
+        fact_id: u64,
+        /// Its new measure.
+        measure: f64,
+    },
+    /// `{"op": "insert", "id": N, "dims": ["MA", "Civic"], "measure": M}`
+    Insert {
+        /// Id for the new fact (must be unused).
+        id: u64,
+        /// One node name per dimension, in schema order.
+        dims: Vec<String>,
+        /// The fact's measure.
+        measure: f64,
+    },
+    /// `{"op": "delete", "fact_id": N}`
+    Delete {
+        /// The fact to delete.
+        fact_id: u64,
+    },
+}
+
+/// Parse a `/update` body: `{"mutations": [ ... ]}`.
+pub fn parse_update(body: &str) -> Result<Vec<MutationReq>, String> {
+    let v = json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    let muts =
+        v.get("mutations").and_then(|m| m.as_array()).ok_or("\"mutations\" must be an array")?;
+    if muts.is_empty() {
+        return Err("\"mutations\" must not be empty".into());
+    }
+    let mut out = Vec::with_capacity(muts.len());
+    for (i, m) in muts.iter().enumerate() {
+        let op = m
+            .get("op")
+            .and_then(|o| o.as_str())
+            .ok_or_else(|| format!("mutation {i}: \"op\" is required"))?;
+        let fact_id = |field: &str| -> Result<u64, String> {
+            m.get(field)
+                .and_then(|f| f.as_u64())
+                .ok_or_else(|| format!("mutation {i}: \"{field}\" must be a non-negative integer"))
+        };
+        let measure = || -> Result<f64, String> {
+            m.get("measure")
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| format!("mutation {i}: \"measure\" must be a number"))
+        };
+        out.push(match op {
+            "update" => MutationReq::Update { fact_id: fact_id("fact_id")?, measure: measure()? },
+            "insert" => {
+                let dims = m
+                    .get("dims")
+                    .and_then(|d| d.as_array())
+                    .ok_or_else(|| format!("mutation {i}: \"dims\" must be an array"))?;
+                let mut names = Vec::with_capacity(dims.len());
+                for d in dims {
+                    names.push(
+                        d.as_str()
+                            .ok_or_else(|| format!("mutation {i}: dims must be node names"))?
+                            .to_string(),
+                    );
+                }
+                MutationReq::Insert { id: fact_id("id")?, dims: names, measure: measure()? }
+            }
+            "delete" => MutationReq::Delete { fact_id: fact_id("fact_id")? },
+            other => {
+                return Err(format!(
+                    "mutation {i}: unknown op {other:?} (want update|insert|delete)"
+                ))
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// Build a `/update` body (client side).
+pub fn update_body(muts: &[MutationReq]) -> String {
+    let mut s = String::from("{\"mutations\":[");
+    for (i, m) in muts.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        match m {
+            MutationReq::Update { fact_id, measure } => s.push_str(&format!(
+                "{{\"op\":\"update\",\"fact_id\":{fact_id},\"measure\":{}}}",
+                fmt_f64(*measure)
+            )),
+            MutationReq::Insert { id, dims, measure } => {
+                s.push_str(&format!("{{\"op\":\"insert\",\"id\":{id},\"dims\":["));
+                for (j, d) in dims.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!("\"{}\"", escape(d)));
+                }
+                s.push_str(&format!("],\"measure\":{}}}", fmt_f64(*measure)));
+            }
+            MutationReq::Delete { fact_id } => {
+                s.push_str(&format!("{{\"op\":\"delete\",\"fact_id\":{fact_id}}}"))
+            }
+        }
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Serialize a `/update` response.
+#[allow(clippy::too_many_arguments)]
+pub fn update_response(
+    epoch: u64,
+    invalidated: u64,
+    affected_components: u64,
+    affected_tuples: u64,
+    entries_rewritten: u64,
+    merges: u64,
+    splits: u64,
+) -> String {
+    format!(
+        "{{\"epoch\":{epoch},\"invalidated\":{invalidated},\
+         \"affected_components\":{affected_components},\
+         \"affected_tuples\":{affected_tuples},\
+         \"entries_rewritten\":{entries_rewritten},\
+         \"merges\":{merges},\"splits\":{splits}}}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Misc bodies
+// ---------------------------------------------------------------------------
+
+/// `GET /healthz` response.
+pub fn health_response(epoch: u64) -> String {
+    format!("{{\"status\":\"ok\",\"epoch\":{epoch}}}")
+}
+
+/// A JSON error envelope.
+pub fn error_body(msg: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", escape(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_round_trips() {
+        let body = query_body(&[("Location", "MA")], AggFn::Count, Some(Classical::Overlaps));
+        let q = parse_query(&body).unwrap();
+        assert_eq!(q.at, vec![("Location".to_string(), "MA".to_string())]);
+        assert_eq!(q.agg, AggFn::Count);
+        assert_eq!(q.classical, Some(Classical::Overlaps));
+    }
+
+    #[test]
+    fn query_defaults_when_fields_absent() {
+        let q = parse_query("{}").unwrap();
+        assert!(q.at.is_empty());
+        assert_eq!(q.agg, AggFn::Sum);
+        assert_eq!(q.classical, None);
+    }
+
+    #[test]
+    fn malformed_query_bodies_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2,3]",
+            "{\"region\": 5}",
+            "{\"region\": {\"Location\": 3}}",
+            "{\"agg\": \"median\"}",
+            "{\"agg\": 1}",
+            "{\"classical\": \"sometimes\"}",
+            "{\"region\": {\"Location\": \"MA\"",
+        ] {
+            assert!(parse_query(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rollup_round_trips() {
+        let body = rollup_body("Location", "Region", &[("Automobile", "Truck")], AggFn::Sum);
+        let r = parse_rollup(&body).unwrap();
+        assert_eq!(r.dim, "Location");
+        assert_eq!(r.level, "Region");
+        assert_eq!(r.at, vec![("Automobile".to_string(), "Truck".to_string())]);
+    }
+
+    #[test]
+    fn rollup_requires_dim_and_level() {
+        assert!(parse_rollup("{}").is_err());
+        assert!(parse_rollup("{\"dim\":\"Location\"}").is_err());
+        assert!(parse_rollup("{\"dim\":1,\"level\":\"Region\"}").is_err());
+    }
+
+    #[test]
+    fn update_round_trips_every_op() {
+        let muts = vec![
+            MutationReq::Update { fact_id: 2, measure: 999.5 },
+            MutationReq::Insert { id: 50, dims: vec!["MA".into(), "Civic".into()], measure: 70.0 },
+            MutationReq::Delete { fact_id: 11 },
+        ];
+        let parsed = parse_update(&update_body(&muts)).unwrap();
+        assert_eq!(parsed.len(), 3);
+        match &parsed[0] {
+            MutationReq::Update { fact_id, measure } => {
+                assert_eq!(*fact_id, 2);
+                assert_eq!(*measure, 999.5);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &parsed[1] {
+            MutationReq::Insert { id, dims, measure } => {
+                assert_eq!(*id, 50);
+                assert_eq!(dims, &["MA".to_string(), "Civic".to_string()]);
+                assert_eq!(*measure, 70.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &parsed[2] {
+            MutationReq::Delete { fact_id } => assert_eq!(*fact_id, 11),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_update_bodies_are_rejected() {
+        for bad in [
+            "{}",
+            "{\"mutations\": []}",
+            "{\"mutations\": [{}]}",
+            "{\"mutations\": [{\"op\": \"upsert\"}]}",
+            "{\"mutations\": [{\"op\": \"update\", \"fact_id\": -1, \"measure\": 1}]}",
+            "{\"mutations\": [{\"op\": \"update\", \"fact_id\": 1}]}",
+            "{\"mutations\": [{\"op\": \"insert\", \"id\": 1, \"dims\": [7], \"measure\": 1}]}",
+        ] {
+            assert!(parse_update(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn float_formatting_round_trips_bits() {
+        for v in [0.0, 1.0 / 3.0, 2.5 / 6.5, f64::MIN_POSITIVE, 1e300, -605.125] {
+            let s = fmt_f64(v);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{s}");
+        }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn escape_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let doc = format!("{{\"k\":\"{}\"}}", escape("x\u{1}y"));
+        assert!(iolap_obs::json::parse(&doc).is_ok(), "{doc}");
+    }
+
+    #[test]
+    fn responses_parse_back() {
+        let r = AggResult { value: 605.0, sum: 605.0, count: 5.0 };
+        let v = iolap_obs::json::parse(&query_response(&r, AggFn::Sum, false, 3)).unwrap();
+        assert_eq!(v.get("value").and_then(|x| x.as_f64()), Some(605.0));
+        assert_eq!(v.get("cached").and_then(|x| x.as_bool()), Some(false));
+        assert_eq!(v.get("epoch").and_then(|x| x.as_u64()), Some(3));
+        let v = iolap_obs::json::parse(&update_response(1, 2, 3, 4, 5, 6, 7)).unwrap();
+        assert_eq!(v.get("invalidated").and_then(|x| x.as_u64()), Some(2));
+        let v = iolap_obs::json::parse(&error_body("boom \"quoted\"")).unwrap();
+        assert_eq!(v.get("error").and_then(|x| x.as_str()), Some("boom \"quoted\""));
+    }
+}

@@ -1,0 +1,187 @@
+//! End-to-end HTTP behavior of the query server: the protocol surface
+//! (routing, status codes, malformed input) and the robustness story
+//! (load shedding, graceful shutdown). Aggregate *correctness* against
+//! the library is covered by the workspace-level `serve_consistency`
+//! test; this file is about the server being a well-behaved HTTP peer.
+
+use iolap_core::{AllocConfig, PolicySpec};
+use iolap_model::paper_example;
+use iolap_query::AggFn;
+use iolap_serve::{http_roundtrip, read_response, ServeConfig, Server, ServerHandle};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start(cfg: ServeConfig) -> ServerHandle {
+    Server::start(
+        paper_example::table1(),
+        PolicySpec::em_count(0.01),
+        AllocConfig::builder().in_memory(256).build(),
+        "127.0.0.1:0",
+        cfg,
+    )
+    .expect("server starts")
+}
+
+fn connect(h: &ServerHandle) -> TcpStream {
+    TcpStream::connect(h.addr()).expect("connect")
+}
+
+#[test]
+fn healthz_reports_ok_and_epoch_zero() {
+    let h = start(ServeConfig::default());
+    let mut c = connect(&h);
+    let (status, body) = http_roundtrip(&mut c, "GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = iolap_obs::json::parse(&body).unwrap();
+    assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(0));
+    h.shutdown();
+}
+
+#[test]
+fn query_and_metrics_round_trip_over_keep_alive() {
+    let h = start(ServeConfig::default());
+    let mut c = connect(&h);
+    // Two queries and a metrics scrape over the same connection.
+    let body = iolap_serve::wire::query_body(&[("Location", "MA")], AggFn::Sum, None);
+    let (status, first) = http_roundtrip(&mut c, "POST", "/query", &body).unwrap();
+    assert_eq!(status, 200, "{first}");
+    let v = iolap_obs::json::parse(&first).unwrap();
+    assert_eq!(v.get("cached").and_then(|b| b.as_bool()), Some(false));
+
+    let (status, second) = http_roundtrip(&mut c, "POST", "/query", &body).unwrap();
+    assert_eq!(status, 200);
+    let v = iolap_obs::json::parse(&second).unwrap();
+    assert_eq!(v.get("cached").and_then(|b| b.as_bool()), Some(true), "{second}");
+    // The cached answer must be byte-identical apart from the flag.
+    assert_eq!(first.replace("\"cached\":false", ""), second.replace("\"cached\":true", ""));
+
+    let (status, metrics) = http_roundtrip(&mut c, "GET", "/metrics", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(metrics.contains("iolap_serve_requests"), "{metrics}");
+    assert!(metrics.contains("iolap_serve_cache_hit"), "{metrics}");
+    h.shutdown();
+}
+
+#[test]
+fn unknown_paths_and_methods_get_404_and_405() {
+    let h = start(ServeConfig::default());
+    let mut c = connect(&h);
+    let (status, _) = http_roundtrip(&mut c, "GET", "/nope", "").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = http_roundtrip(&mut c, "GET", "/query", "").unwrap();
+    assert_eq!(status, 405);
+    let (status, _) = http_roundtrip(&mut c, "POST", "/healthz", "").unwrap();
+    assert_eq!(status, 405);
+    h.shutdown();
+}
+
+#[test]
+fn malformed_bodies_are_400_and_never_kill_the_worker() {
+    let h = start(ServeConfig::default());
+    let mut c = connect(&h);
+    for bad in ["not json", "{\"agg\": \"median\"}", "{\"region\": {\"Nowhere\": \"MA\"}}"] {
+        let (status, body) = http_roundtrip(&mut c, "POST", "/query", bad).unwrap();
+        assert_eq!(status, 400, "{bad:?} → {body}");
+        assert!(iolap_obs::json::parse(&body).unwrap().get("error").is_some());
+    }
+    // The same worker still answers afterwards.
+    let (status, _) = http_roundtrip(&mut c, "GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200);
+    h.shutdown();
+}
+
+#[test]
+fn protocol_violations_close_with_4xx() {
+    let h = start(ServeConfig::default());
+    // Not HTTP at all.
+    let mut c = connect(&h);
+    c.write_all(b"GARBAGE\r\n\r\n").unwrap();
+    let (status, _) = read_response(&mut c).unwrap();
+    assert_eq!(status, 400);
+    // Chunked transfer encoding is outside the subset.
+    let mut c = connect(&h);
+    c.write_all(b"POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap();
+    let (status, _) = read_response(&mut c).unwrap();
+    assert_eq!(status, 400);
+    h.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_413() {
+    let cfg = ServeConfig { max_body_bytes: 64, ..ServeConfig::default() };
+    let h = start(cfg);
+    let mut c = connect(&h);
+    let huge = "x".repeat(1000);
+    let mut s = String::from("{\"pad\": \"");
+    s.push_str(&huge);
+    s.push_str("\"}");
+    c.write_all(
+        format!("POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}", s.len(), s).as_bytes(),
+    )
+    .unwrap();
+    let (status, _) = read_response(&mut c).unwrap();
+    assert_eq!(status, 413);
+    h.shutdown();
+}
+
+#[test]
+fn saturated_server_sheds_with_503() {
+    // One worker, queue depth one. Park the worker on an idle connection
+    // (it blocks in read_request until we speak), fill the queue slot,
+    // then the next connection must be shed inline by the accept thread.
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_secs(30),
+        ..ServeConfig::default()
+    };
+    let h = start(cfg);
+
+    let parked = connect(&h); // worker picks this up and blocks reading
+    std::thread::sleep(Duration::from_millis(150));
+    let queued = connect(&h); // fills the single queue slot
+    std::thread::sleep(Duration::from_millis(150));
+
+    // With the worker parked and the queue full, this one is shed.
+    let mut c = connect(&h);
+    let (status, body) = read_response(&mut c).unwrap();
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("saturated"), "{body}");
+    assert!(
+        h.obs().counter("serve.shed").unwrap().get() >= 1,
+        "shed counter must record the rejection"
+    );
+
+    // Un-park: the parked and queued connections still get served.
+    for mut c in [parked, queued] {
+        let (status, _) = http_roundtrip(&mut c, "GET", "/healthz", "").unwrap();
+        assert_eq!(status, 200);
+    }
+    h.shutdown();
+}
+
+#[test]
+fn shutdown_drains_and_joins() {
+    let h = start(ServeConfig::default());
+    let addr = h.addr();
+    let mut c = connect(&h);
+    let (status, _) = http_roundtrip(&mut c, "GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200);
+    drop(c);
+    h.shutdown(); // must not hang
+                  // The listener is gone (allow a beat for the OS to tear down).
+    std::thread::sleep(Duration::from_millis(50));
+    match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+        Err(_) => {}
+        Ok(mut s) => {
+            // Accept backlog may still hand us a socket; it must be dead.
+            let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+            assert!(
+                http_roundtrip(&mut s, "GET", "/healthz", "").is_err(),
+                "server must not answer after shutdown"
+            );
+        }
+    }
+}

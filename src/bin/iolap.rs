@@ -15,6 +15,12 @@
 //!     Ingest the CSVs from DIR (as written by `gen`), run allocation,
 //!     print the run report, optionally print roll-ups, dump the EDB,
 //!     and/or write a JSONL span trace.
+//!
+//! iolap serve --data DIR [--addr HOST:PORT] [--policy P] [--epsilon E]
+//!             [--buffer-kb KB] [--workers N] [--queue N] [--cache N]
+//!     Allocate DIR with the Transitive algorithm and serve the EDB over
+//!     HTTP (POST /query, /rollup, /update; GET /healthz, /metrics).
+//!     Runs until stdin reaches EOF, then drains and exits.
 //! ```
 
 use iolap::datagen::{scaled, DatasetKind};
@@ -26,14 +32,33 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+const USAGE: &str = "usage: iolap demo | gen | allocate | serve   (see --help per command)";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("demo") => cmd_demo(),
         Some("gen") => cmd_gen(&args[1..]),
         Some("allocate") => cmd_allocate(&args[1..]),
-        _ => {
-            eprintln!("usage: iolap demo | gen | allocate   (see --help per command)");
+        Some("serve") => cmd_serve(&args[1..]),
+        // Asking for help is a successful run: usage on stdout, exit 0.
+        Some("help" | "--help" | "-h") => {
+            println!("{USAGE}");
+            0
+        }
+        Some("version" | "--version" | "-V") => {
+            println!("iolap {}", env!("CARGO_PKG_VERSION"));
+            0
+        }
+        // A command we don't know (or no command) is an error: usage on
+        // stderr, exit 2 (the conventional usage-error status).
+        Some(other) => {
+            eprintln!("iolap: unknown command {other:?}");
+            eprintln!("{USAGE}");
+            2
+        }
+        None => {
+            eprintln!("{USAGE}");
             2
         }
     };
@@ -237,5 +262,92 @@ fn cmd_allocate(args: &[String]) -> i32 {
             .expect("EDB scan");
         println!("EDB written to {path}");
     }
+    0
+}
+
+// ---------------------------------------------------------------------------
+
+fn cmd_serve(args: &[String]) -> i32 {
+    if has_flag(args, "--help") {
+        eprintln!(
+            "iolap serve --data DIR [--addr HOST:PORT] [--policy P] [--epsilon E] \
+             [--buffer-kb KB] [--workers N] [--queue N] [--cache N]"
+        );
+        return 0;
+    }
+    // --dir is accepted as an alias for --data (matches the README).
+    let Some(dir) = flag(args, "--data").or_else(|| flag(args, "--dir")) else {
+        eprintln!("iolap serve: --data DIR is required");
+        return 2;
+    };
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8642".into());
+    let epsilon: f64 =
+        flag(args, "--epsilon").unwrap_or_else(|| "0.01".into()).parse().expect("--epsilon E");
+    let policy = match flag(args, "--policy").unwrap_or_else(|| "em-count".into()).as_str() {
+        "em-count" => PolicySpec::em_count(epsilon),
+        "em-measure" => PolicySpec::em_measure(epsilon),
+        "count" => PolicySpec::count(),
+        "measure" => PolicySpec::measure(),
+        "uniform" => PolicySpec::uniform(),
+        other => {
+            eprintln!("unknown policy {other:?}");
+            return 2;
+        }
+    };
+    let buffer_kb: u64 =
+        flag(args, "--buffer-kb").unwrap_or_else(|| "4096".into()).parse().expect("--buffer-kb KB");
+    let buffer_pages = ((buffer_kb * 1024) as usize).div_ceil(4096).max(8);
+    let workers: usize =
+        flag(args, "--workers").unwrap_or_else(|| "4".into()).parse().expect("--workers N");
+    let queue: usize =
+        flag(args, "--queue").unwrap_or_else(|| "128".into()).parse().expect("--queue N");
+    let cache: usize =
+        flag(args, "--cache").unwrap_or_else(|| "4096".into()).parse().expect("--cache N");
+
+    let db = match Iolap::open(&dir) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    println!(
+        "loaded {} facts ({} imprecise); allocating (transitive)...",
+        db.table().len(),
+        db.table().num_imprecise()
+    );
+    let serve_cfg = ServeConfig {
+        workers,
+        queue_depth: queue,
+        cache_capacity: cache,
+        ..ServeConfig::default()
+    };
+    let handle = match db
+        .config(AllocConfig::builder().buffer_pages(buffer_pages).build())
+        .policy(policy)
+        .serve(&addr, serve_cfg)
+    {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    println!("iolap serve: listening on http://{}", handle.addr());
+    println!("endpoints: POST /query /rollup /update; GET /healthz /metrics");
+    println!("(reading stdin; EOF shuts the server down)");
+
+    // Block until stdin closes — works interactively (Ctrl-D), under a
+    // FIFO (CI), and when the parent process exits.
+    let mut sink = String::new();
+    loop {
+        sink.clear();
+        match std::io::stdin().read_line(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    println!("iolap serve: shutting down");
+    handle.shutdown();
     0
 }

@@ -18,6 +18,7 @@ use iolap_core::{allocate, Algorithm, AllocConfig, AllocationRun, PolicySpec};
 use iolap_model::csv::{facts_from_csv, hierarchy_from_csv, parse_csv};
 use iolap_model::{FactTable, Schema};
 use iolap_obs::Obs;
+use iolap_serve::{Server, ServerHandle};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -97,6 +98,17 @@ impl Iolap {
         let policy = self.cfg.policy.clone().unwrap_or_else(|| PolicySpec::em_count(0.01));
         allocate(&self.table, &policy, algorithm, &self.cfg)
             .context(format!("running {algorithm} allocation"))
+    }
+
+    /// Allocate (Transitive — required for incremental maintenance) and
+    /// serve the materialized EDB over HTTP on `addr`. Blocks until the
+    /// initial allocation is built and the socket is listening; the
+    /// returned handle owns the server threads and shuts the server down
+    /// when dropped. See `iolap_serve` for the endpoint surface.
+    pub fn serve(&self, addr: &str, cfg: iolap_serve::ServeConfig) -> Result<ServerHandle> {
+        let policy = self.cfg.policy.clone().unwrap_or_else(|| PolicySpec::em_count(0.01));
+        Server::start(self.table.clone(), policy, self.cfg.clone(), addr, cfg)
+            .map_err(|e| Error::data(format!("starting query server: {e}")))
     }
 }
 

@@ -50,6 +50,7 @@
 //! | [`core`] | `iolap-core` | Policies + Basic/Independent/Block/Transitive |
 //! | [`query`] | `iolap-query` | Allocation-weighted aggregation |
 //! | [`datagen`] | `iolap-datagen` | The paper's datasets, synthesized |
+//! | [`serve`] | `iolap-serve` | Concurrent HTTP query server over the EDB |
 
 #![warn(missing_docs)]
 
@@ -67,6 +68,7 @@ pub use iolap_model as model;
 pub use iolap_obs as obs;
 pub use iolap_query as query;
 pub use iolap_rtree as rtree;
+pub use iolap_serve as serve;
 pub use iolap_storage as storage;
 
 /// The single-import surface for applications: the [`Iolap`] entry point,
@@ -80,5 +82,6 @@ pub mod prelude {
     pub use iolap_model::{Fact, FactTable, Schema};
     pub use iolap_obs::{JsonlSink, Metrics, Obs, RingSink};
     pub use iolap_query::{aggregate_edb, pivot, rollup, AggFn, QueryBuilder};
+    pub use iolap_serve::{ServeConfig, Server, ServerHandle};
     pub use iolap_storage::{PrefetchConfig, PrefetchStats};
 }

@@ -64,7 +64,98 @@ fn gen_then_allocate_roundtrip() {
 #[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = iolap().arg("frobnicate").output().expect("spawn");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
     let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command \"frobnicate\""), "{err}");
     assert!(err.contains("usage"), "{err}");
+    assert!(out.stdout.is_empty(), "errors go to stderr, not stdout");
+}
+
+#[test]
+fn bare_invocation_is_a_usage_error() {
+    let out = iolap().output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"), "usage goes to stderr");
+}
+
+#[test]
+fn explicit_help_succeeds_on_stdout() {
+    for arg in ["help", "--help", "-h"] {
+        let out = iolap().arg(arg).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(0), "{arg} is not an error");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("usage"), "{arg}: {text}");
+        assert!(out.stderr.is_empty(), "{arg}: help goes to stdout");
+    }
+}
+
+#[test]
+fn version_prints_cargo_package_version() {
+    for arg in ["version", "--version", "-V"] {
+        let out = iolap().arg(arg).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(0));
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(text.trim(), format!("iolap {}", env!("CARGO_PKG_VERSION")), "{arg}");
+    }
+}
+
+#[test]
+fn serve_requires_data_flag() {
+    let out = iolap().arg("serve").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data"), "names the missing flag");
+}
+
+#[test]
+fn serve_answers_queries_until_stdin_closes() {
+    use std::io::{Read, Write};
+    let dir = std::env::temp_dir().join(format!("iolap-cli-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = iolap()
+        .args(["gen", "--kind", "automotive", "--facts", "500", "--seed", "7", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("spawn gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let mut child = iolap()
+        .args(["serve", "--data"])
+        .arg(&dir)
+        .args(["--addr", "127.0.0.1:0", "--epsilon", "0.05"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    // Scrape the bound address from the "listening on" line.
+    let mut stdout = child.stdout.take().unwrap();
+    let mut seen = String::new();
+    let addr = loop {
+        let mut buf = [0u8; 256];
+        let n = stdout.read(&mut buf).expect("read serve stdout");
+        assert!(n > 0, "serve exited early: {seen}");
+        seen.push_str(&String::from_utf8_lossy(&buf[..n]));
+        if let Some(line) = seen.lines().find(|l| l.contains("listening on http://")) {
+            break line.split("http://").nth(1).unwrap().trim().to_string();
+        }
+    };
+
+    let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
+    let body = r#"{"region":{"LOCATION":"ALL"},"agg":"count"}"#;
+    write!(
+        conn,
+        "POST /query HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut resp = String::new();
+    conn.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    assert!(resp.contains("\"count\":"), "{resp}");
+
+    // EOF on stdin is the shutdown signal.
+    drop(child.stdin.take());
+    let status = child.wait().expect("serve exits");
+    assert!(status.success());
+    let _ = std::fs::remove_dir_all(&dir);
 }
