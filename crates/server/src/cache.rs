@@ -16,7 +16,9 @@
 //! coordinator publishes `N+1`) is closed with an epoch guard:
 //! [`ShardedCache::begin_epoch`] is called *before* invalidation and
 //! snapshot publication, and [`ShardedCache::insert`] drops any result
-//! computed against an older epoch. Conservative — a disjoint-region
+//! computed against an older epoch, checking the epoch *while holding
+//! the shard lock* so the check is ordered against the invalidation
+//! sweep (which takes the same lock). Conservative — a disjoint-region
 //! result from the old snapshot would still be valid — but it can never
 //! re-admit a stale overlapping answer after its eviction.
 
@@ -142,10 +144,17 @@ impl ShardedCache {
     /// the cache's current epoch — see the module docs for the race this
     /// closes. Returns LRU evictions performed to make room.
     pub fn insert(&self, key: CacheKey, val: CachedResult) -> CacheOutcome {
+        let mut shard = self.shard(&key).lock().unwrap_or_else(|p| p.into_inner());
+        // The epoch must be checked while the shard lock is held: the
+        // coordinator stores the new epoch *before* sweeping shards, so
+        // either we observe the new epoch here and drop, or the store
+        // hasn't happened yet and the sweep will take this shard's lock
+        // after us and evict whatever we insert. A check before the lock
+        // leaves a window where a stale overlapping entry lands after
+        // the sweep has already passed this shard.
         if val.epoch < self.epoch.load(Ordering::Acquire) {
             return CacheOutcome { evicted: 0, inserted: false };
         }
-        let mut shard = self.shard(&key).lock().unwrap_or_else(|p| p.into_inner());
         let mut evicted = 0u64;
         while shard.map.len() >= self.cap_per_shard && !shard.map.contains_key(&key) {
             // Evict the least-recently-stamped entry (scan: shards are

@@ -58,7 +58,10 @@ pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Req
     }
 
     let mut content_length: usize = 0;
-    let mut keep_alive = true; // HTTP/1.1 default
+    // Keep-alive is the default only for HTTP/1.1; a 1.0 client that
+    // doesn't negotiate it expects the server to close (it would
+    // otherwise hang waiting for EOF until the read timeout).
+    let mut keep_alive = version == "HTTP/1.1";
     let mut n_headers = 0usize;
     loop {
         let h = match read_line(r)? {
@@ -196,6 +199,12 @@ mod tests {
     fn connection_close_clears_keep_alive() {
         let r = req("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().unwrap();
         assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn http_10_defaults_to_close() {
+        let r = req("GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n").unwrap().unwrap();
+        assert!(!r.keep_alive, "HTTP/1.0 without keep-alive negotiation must close");
     }
 
     #[test]

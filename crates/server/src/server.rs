@@ -173,6 +173,11 @@ struct Shared {
     metrics: ServeMetrics,
     update_tx: Mutex<Option<Sender<UpdateJob>>>,
     shutdown: AtomicBool,
+    /// Set when a maintenance batch failed partway: the EDB may be
+    /// inconsistent with the published snapshot, so further `/update`s
+    /// are refused (503) and `/healthz` reports degraded. Reads keep
+    /// serving the last consistent snapshot.
+    poisoned: AtomicBool,
     max_body_bytes: usize,
     /// Live connections (socket clones), so shutdown can interrupt
     /// workers parked in blocking reads instead of waiting out the
@@ -252,6 +257,7 @@ impl Server {
             metrics,
             update_tx: Mutex::new(Some(update_tx)),
             shutdown: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
             max_body_bytes: cfg.max_body_bytes,
             conns: Mutex::new(std::collections::HashMap::new()),
             next_conn: std::sync::atomic::AtomicU64::new(0),
@@ -377,9 +383,15 @@ fn accept_main(
         match work_tx.try_send(stream) {
             Ok(()) => shared.metrics.queue_depth.add(1),
             Err(TrySendError::Full(mut stream)) => {
-                // Saturated: shed instead of queueing unboundedly.
+                // Saturated: shed instead of queueing unboundedly. The
+                // 503 is written inline on the accept thread, so cap the
+                // write timeout hard — a slow client must not stall
+                // accepting for the full write_timeout exactly when the
+                // server is already saturated. If even 100ms is too slow
+                // the client just sees a dropped connection.
                 shared.metrics.shed.inc();
                 shared.metrics.resp_server_error.inc();
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
                 let body = wire::error_body("server saturated, retry later");
                 let _ =
                     write_response(&mut stream, 503, "application/json", body.as_bytes(), false);
@@ -467,7 +479,9 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             shared.metrics.req_healthz.inc();
-            (200, "application/json", wire::health_response(shared.snapshot().epoch))
+            let ok = !shared.poisoned.load(Ordering::Acquire);
+            let status = if ok { 200 } else { 503 };
+            (status, "application/json", wire::health_response(shared.snapshot().epoch, ok))
         }
         ("GET", "/metrics") => {
             shared.metrics.req_metrics.inc();
@@ -607,6 +621,13 @@ fn handle_update(body: &[u8], shared: &Shared) -> Response {
     }
 
     // Enqueue for the coordinator and wait for the published epoch.
+    if shared.poisoned.load(Ordering::Acquire) {
+        return (
+            503,
+            "application/json",
+            wire::error_body("maintenance failed earlier; updates disabled (reads still serve the last consistent snapshot)"),
+        );
+    }
     let tx = shared.update_tx.lock().unwrap_or_else(|p| p.into_inner()).clone();
     let Some(tx) = tx else {
         return (503, "application/json", wire::error_body("server is shutting down"));
@@ -686,10 +707,46 @@ fn coordinator_main(
     let mut epoch = 0u64;
 
     while let Ok(job) = update_rx.recv() {
-        let result =
-            apply_job(&mut medb, &mut mirror, &mut live_ids, &mut epoch, &shared, &job.muts);
+        if shared.poisoned.load(Ordering::Acquire) {
+            let _ = job.reply.send(Err((
+                503,
+                "maintenance failed earlier; updates disabled (reads still serve the last consistent snapshot)".into(),
+            )));
+            continue;
+        }
+        let result = match apply_job(
+            &mut medb,
+            &mut mirror,
+            &mut live_ids,
+            &mut epoch,
+            &shared,
+            &job.muts,
+        ) {
+            Ok(out) => Ok(out),
+            Err(ApplyError::Reject(status, msg)) => Err((status, msg)),
+            Err(ApplyError::Poison(msg)) => {
+                // apply_batch / snapshot_entries failed partway:
+                // the EDB may disagree with mirror/live_ids and with
+                // the published snapshot, and apply_batch has no
+                // rollback. Continuing would let the next successful
+                // update publish a snapshot silently containing the
+                // half-applied batch. Poison instead: reads keep the
+                // last consistent snapshot, writes get 503.
+                shared.poisoned.store(true, Ordering::Release);
+                Err((500, msg))
+            }
+        };
         let _ = job.reply.send(result);
     }
+}
+
+/// How an update batch failed.
+enum ApplyError {
+    /// Rejected before any state mutated; the server keeps serving
+    /// updates normally.
+    Reject(u16, String),
+    /// State may be half-mutated; the coordinator must poison itself.
+    Poison(String),
 }
 
 fn apply_job(
@@ -699,37 +756,40 @@ fn apply_job(
     epoch: &mut u64,
     shared: &Shared,
     muts: &[EdbMutation],
-) -> Result<UpdateOutcome, (u16, String)> {
+) -> Result<UpdateOutcome, ApplyError> {
     // Pre-validate against the live id set so a bad batch is rejected
     // before any state mutates (apply_batch has no rollback).
+    let reject = |i: usize, msg: String| ApplyError::Reject(400, format!("mutation {i}: {msg}"));
     let mut ids = live_ids.clone();
     for (i, m) in muts.iter().enumerate() {
         match m {
             EdbMutation::UpdateMeasure { fact_id, new_measure } => {
                 if !ids.contains(fact_id) {
-                    return Err((400, format!("mutation {i}: no fact {fact_id}")));
+                    return Err(reject(i, format!("no fact {fact_id}")));
                 }
                 if !new_measure.is_finite() {
-                    return Err((400, format!("mutation {i}: measure must be finite")));
+                    return Err(reject(i, "measure must be finite".into()));
                 }
             }
             EdbMutation::Delete(fact_id) => {
                 if !ids.remove(fact_id) {
-                    return Err((400, format!("mutation {i}: no fact {fact_id}")));
+                    return Err(reject(i, format!("no fact {fact_id}")));
                 }
             }
             EdbMutation::Insert(f) => {
                 if !f.measure.is_finite() {
-                    return Err((400, format!("mutation {i}: measure must be finite")));
+                    return Err(reject(i, "measure must be finite".into()));
                 }
                 if !ids.insert(f.id) {
-                    return Err((400, format!("mutation {i}: fact id {} already exists", f.id)));
+                    return Err(reject(i, format!("fact id {} already exists", f.id)));
                 }
             }
         }
     }
 
-    let report = medb.apply_batch(muts).map_err(|e| (500, format!("maintenance failed: {e}")))?;
+    let report = medb
+        .apply_batch(muts)
+        .map_err(|e| ApplyError::Poison(format!("maintenance failed: {e}")))?;
 
     // Mirror the batch onto the fact table (classical baselines read it).
     for m in muts {
@@ -747,7 +807,8 @@ fn apply_job(
     }
     *live_ids = ids;
 
-    let entries = medb.snapshot_entries().map_err(|e| (500, format!("snapshot failed: {e}")))?;
+    let entries =
+        medb.snapshot_entries().map_err(|e| ApplyError::Poison(format!("snapshot failed: {e}")))?;
 
     *epoch += 1;
     // Publication order matters: open the epoch (stale inserts start

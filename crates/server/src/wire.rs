@@ -382,9 +382,11 @@ pub fn update_response(
 // Misc bodies
 // ---------------------------------------------------------------------------
 
-/// `GET /healthz` response.
-pub fn health_response(epoch: u64) -> String {
-    format!("{{\"status\":\"ok\",\"epoch\":{epoch}}}")
+/// `GET /healthz` response. `ok = false` means the update coordinator
+/// is poisoned: reads still serve, writes are refused.
+pub fn health_response(epoch: u64, ok: bool) -> String {
+    let status = if ok { "ok" } else { "degraded" };
+    format!("{{\"status\":\"{status}\",\"epoch\":{epoch}}}")
 }
 
 /// A JSON error envelope.
