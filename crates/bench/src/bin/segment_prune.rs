@@ -1,0 +1,177 @@
+//! Fence-pruning benchmark: selective region queries over the segment
+//! layer, pruned scan vs full scan.
+//!
+//! The segment footer's per-page fence intervals (min/max leaf id per
+//! dimension) let a query skip every page provably disjoint from its box
+//! — Theorem 12's contrapositive: a page whose fences miss the box on
+//! some dimension cannot contain a contributing entry. The contract is
+//! that pruning only ever skips such pages, so the visited entry sequence
+//! — and therefore every f64 in the answer — is **bit-identical** to the
+//! unpruned scan. This binary enforces both halves: identical bits on
+//! every query, and (for selective boxes, ≤ `max-frac` of the cell space)
+//! at least `min-ratio`× fewer pages read. Either failure exits non-zero,
+//! which makes the binary double as the CI smoke check.
+//!
+//! ```bash
+//! cargo run --release -p iolap-bench --bin segment_prune
+//! cargo run --release -p iolap-bench --bin segment_prune -- --facts 5000 --json BENCH_segments.json
+//! ```
+
+use iolap_bench::runs::{bench_config, print_table, write_json};
+use iolap_bench::{Args, Json};
+use iolap_core::{allocate, Algorithm, PolicySpec, SegmentCursor};
+use iolap_datagen::scaled;
+use iolap_model::{RegionBox, MAX_DIMS};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+/// Sum/count accumulation over a cursor, timed, with scan stats.
+fn scan(mut cursor: SegmentCursor<'_>) -> (f64, f64, u64, u64, f64) {
+    let t0 = Instant::now();
+    let mut sum = 0.0;
+    let mut count = 0.0;
+    cursor.for_each(|e| {
+        sum += e.weight * e.measure;
+        count += e.weight;
+    });
+    let us = t0.elapsed().as_secs_f64() * 1e6;
+    let st = cursor.stats();
+    (sum, count, st.pages_read, st.pages_pruned, us)
+}
+
+fn main() {
+    let args = Args::parse(20_000);
+    let queries: usize = args.extra_or("queries", 64);
+    // Selectivity ceiling: a query box may cover at most this fraction of
+    // the cell space (the acceptance bar targets boxes ≤ 1% of cells).
+    let max_frac: f64 = args.extra_or("max-frac", 0.01);
+    let min_ratio: f64 = args.extra_or("min-ratio", 5.0);
+    let epsilon: f64 = args.extra_or("eps", 0.01);
+    let buffer_pages: usize = args.extra_or("buffer-pages", 2048);
+
+    let table = scaled(args.dataset, args.facts, args.seed);
+    let schema = table.schema().clone();
+    let k = schema.k();
+    println!(
+        "Segment pruning — {:?} dataset, {} facts, {queries} boxes ≤ {max_frac} of {} cells",
+        args.dataset,
+        args.facts,
+        schema.num_possible_cells()
+    );
+
+    let obs = args.obs();
+    let cfg = bench_config(buffer_pages, args.on_disk, args.threads, args.prefetch, obs.clone());
+    let policy = PolicySpec::em_count(epsilon).with_max_iters(16);
+    let run = allocate(&table, &policy, Algorithm::Transitive, &cfg).expect("allocation");
+    let mut edb = run.edb;
+    let views = edb.segments().expect("segment view");
+    let total_pages: u64 = views.iter().map(|v| v.segment.num_pages()).sum();
+    println!(
+        "EDB: {} entries in {} segment(s), {total_pages} pages",
+        edb.num_entries(),
+        views.len()
+    );
+
+    // Random selective boxes: restrict every dimension to a narrow random
+    // leaf interval, rejection-sampling until the box is selective enough.
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5e97_13a7);
+    let mut boxes = Vec::with_capacity(queries);
+    while boxes.len() < queries {
+        let mut lo = [0u32; MAX_DIMS];
+        let mut hi = [0u32; MAX_DIMS];
+        for d in 0..k {
+            let leaves = schema.dim(d).num_leaves();
+            // Aim for ~a tenth of the dimension; k such restrictions
+            // compound to well under max_frac on multi-dim schemas.
+            let width = (leaves / 10).max(1);
+            let start = rng.random_range(0..leaves.saturating_sub(width - 1).max(1));
+            lo[d] = start;
+            hi[d] = (start + width).min(leaves);
+        }
+        let bx = RegionBox { lo, hi, k: k as u8 };
+        if (bx.num_cells() as f64) <= max_frac * schema.num_possible_cells() as f64 {
+            boxes.push(bx);
+        }
+    }
+
+    let mut points = Vec::new();
+    let mut diverged = false;
+    let mut full_pages_total = 0u64;
+    let mut pruned_pages_total = 0u64;
+    let mut full_us_total = 0.0;
+    let mut pruned_us_total = 0.0;
+    for (i, bx) in boxes.iter().enumerate() {
+        let (fs, fc, f_read, _, f_us) = scan(SegmentCursor::full_scan(&views, *bx));
+        let (ps, pc, p_read, p_pruned, p_us) = scan(SegmentCursor::new(&views, *bx));
+        if fs.to_bits() != ps.to_bits() || fc.to_bits() != pc.to_bits() {
+            eprintln!("DIVERGED: box {i} pruned ({ps}, {pc}) vs full ({fs}, {fc})");
+            diverged = true;
+        }
+        assert_eq!(f_read, total_pages, "full scan must read every page");
+        assert_eq!(p_read + p_pruned, total_pages, "pruned + read must cover every page");
+        full_pages_total += f_read;
+        pruned_pages_total += p_read;
+        full_us_total += f_us;
+        pruned_us_total += p_us;
+        points.push(vec![
+            ("query", Json::U(i as u64)),
+            ("box_cells", Json::U(bx.num_cells())),
+            ("full_pages", Json::U(f_read)),
+            ("pruned_pages", Json::U(p_read)),
+            ("pages_pruned", Json::U(p_pruned)),
+            ("full_us", Json::F(f_us)),
+            ("pruned_us", Json::F(p_us)),
+            ("sum", Json::F(ps)),
+            ("count", Json::F(pc)),
+        ]);
+    }
+
+    let ratio = full_pages_total as f64 / (pruned_pages_total.max(1)) as f64;
+    let pruning_ratio = 1.0 - pruned_pages_total as f64 / full_pages_total.max(1) as f64;
+    print_table(
+        "selective-query page reads and latency, full scan vs fence-pruned",
+        &["mode", "pages read", "mean µs/query"],
+        &[
+            vec![
+                "full".into(),
+                format!("{full_pages_total}"),
+                format!("{:.1}", full_us_total / queries as f64),
+            ],
+            vec![
+                "pruned".into(),
+                format!("{pruned_pages_total}"),
+                format!("{:.1}", pruned_us_total / queries as f64),
+            ],
+        ],
+    );
+    println!("page-read ratio (full/pruned): {ratio:.2}×  pruned fraction: {pruning_ratio:.3}");
+
+    let path = args.json.as_deref().unwrap_or("BENCH_segments.json");
+    let meta = [
+        ("experiment", Json::S("segment_prune".into())),
+        ("dataset", Json::S(format!("{:?}", args.dataset))),
+        ("facts", Json::U(args.facts)),
+        ("seed", Json::U(args.seed)),
+        ("queries", Json::U(queries as u64)),
+        ("segments", Json::U(views.len() as u64)),
+        ("total_pages", Json::U(total_pages)),
+        ("full_pages", Json::U(full_pages_total)),
+        ("pruned_pages", Json::U(pruned_pages_total)),
+        ("page_read_ratio", Json::F(ratio)),
+        ("pruning_ratio", Json::F(pruning_ratio)),
+        ("full_mean_us", Json::F(full_us_total / queries as f64)),
+        ("pruned_mean_us", Json::F(pruned_us_total / queries as f64)),
+        ("bit_identical", Json::B(!diverged)),
+    ];
+    write_json(path, &meta, &points).expect("write BENCH_segments.json");
+    obs.flush();
+    if diverged {
+        eprintln!("fence pruning changed answer bits — failing");
+        std::process::exit(1);
+    }
+    if ratio < min_ratio {
+        eprintln!("page-read ratio {ratio:.2}× below the {min_ratio}× bar — failing");
+        std::process::exit(1);
+    }
+}

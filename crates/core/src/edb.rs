@@ -9,9 +9,11 @@
 use crate::error::Result;
 use crate::passes::{AncCache, GroupWindow, OnLoad};
 use crate::prep::PreparedData;
+use crate::segment::{EdbSegment, SegScanStats, SegmentView};
 use iolap_model::{EdbCodec, EdbRecord, FactId, MAX_DIMS};
 use iolap_storage::RecordFile;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-fact `(cell, weight)` entries, as returned by
 /// [`ExtendedDatabase::weight_map`].
@@ -23,6 +25,12 @@ pub struct ExtendedDatabase {
     num_precise_entries: u64,
     num_imprecise_entries: u64,
     facts_allocated: u64,
+    /// Lazily built segment view of the entries (invalidated on write).
+    segments: Option<Vec<SegmentView>>,
+    /// Cumulative cursor counters from segment scans over this EDB.
+    segment_io: SegScanStats,
+    /// Observability handle inherited from the env (disabled = free).
+    obs: iolap_obs::Obs,
 }
 
 impl ExtendedDatabase {
@@ -39,6 +47,9 @@ impl ExtendedDatabase {
             num_precise_entries: 0,
             num_imprecise_entries: 0,
             facts_allocated: 0,
+            segments: None,
+            segment_io: SegScanStats::default(),
+            obs: env.obs().clone(),
         })
     }
 
@@ -46,6 +57,7 @@ impl ExtendedDatabase {
     /// originating fact (keeps the distinct-fact counter cheap).
     pub fn push(&mut self, rec: &EdbRecord, precise: bool, first_for_fact: bool) -> Result<()> {
         self.file.push(rec)?;
+        self.segments = None;
         if precise {
             self.num_precise_entries += 1;
         } else {
@@ -55,6 +67,42 @@ impl ExtendedDatabase {
             self.facts_allocated += 1;
         }
         Ok(())
+    }
+
+    /// The immutable segment view of the current entries: one base
+    /// [`EdbSegment`] holding every entry in canonical cell order, built
+    /// lazily (one accounted scan of the entry file) and cached until the
+    /// next write. All query-crate aggregation runs over this view.
+    pub fn segments(&mut self) -> Result<Vec<SegmentView>> {
+        if self.segments.is_none() {
+            let mut entries = Vec::with_capacity(self.file.len() as usize);
+            let k = self.file.codec().k;
+            self.for_each(|e| entries.push(e.clone()))?;
+            let views = vec![SegmentView::new(Arc::new(EdbSegment::build(k, entries)))];
+            if let Some(g) = self.obs.gauge("edb.segments") {
+                g.set(views.len() as i64);
+            }
+            self.segments = Some(views);
+        }
+        Ok(self.segments.as_ref().expect("just built").clone())
+    }
+
+    /// Record one segment scan's page counters (called by the query crate
+    /// after each pruned aggregation) into this EDB's running totals and
+    /// the `edb.pages_read` / `edb.pages_pruned` obs counters.
+    pub fn note_segment_scan(&mut self, stats: SegScanStats) {
+        self.segment_io.absorb(stats);
+        if let Some(c) = self.obs.counter("edb.pages_read") {
+            c.add(stats.pages_read);
+        }
+        if let Some(c) = self.obs.counter("edb.pages_pruned") {
+            c.add(stats.pages_pruned);
+        }
+    }
+
+    /// Cumulative page counters over all segment scans of this EDB.
+    pub fn segment_io(&self) -> SegScanStats {
+        self.segment_io
     }
 
     /// Total entries.
@@ -82,6 +130,22 @@ impl ExtendedDatabase {
         let mut cursor = self.file.scan();
         while let Some(rec) = cursor.next()? {
             f(&rec);
+        }
+        Ok(())
+    }
+
+    /// Stream the entries in `[start, end)`, clamped to the file length.
+    /// The maintenance segment layer uses this to fold only the tail
+    /// appended since its last refresh instead of re-reading the file.
+    pub fn for_each_range(
+        &mut self,
+        start: u64,
+        end: u64,
+        mut f: impl FnMut(&EdbRecord),
+    ) -> Result<()> {
+        let end = end.min(self.file.len());
+        for i in start..end {
+            f(&self.file.get(i)?);
         }
         Ok(())
     }
@@ -192,6 +256,7 @@ impl ExtendedDatabase {
         self.num_precise_entries = 0;
         self.num_imprecise_entries = 0;
         self.facts_allocated = 0;
+        self.segments = None;
         Ok(())
     }
 }

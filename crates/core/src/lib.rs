@@ -65,6 +65,7 @@ pub mod policy;
 pub mod prep;
 pub mod report;
 pub mod runner;
+pub mod segment;
 pub mod transitive;
 
 pub use edb::ExtendedDatabase;
@@ -78,3 +79,4 @@ pub use report::{ComponentStats, RunReport};
 pub use runner::{
     allocate, allocate_in_env, Algorithm, AllocConfig, AllocConfigBuilder, AllocationRun,
 };
+pub use segment::{accumulate_region, EdbSegment, SegScanStats, SegmentCursor, SegmentView};

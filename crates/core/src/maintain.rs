@@ -29,9 +29,14 @@ use crate::inmem::InMemProblem;
 use crate::policy::{PolicySpec, Quantity};
 use crate::prep::{region_of, PreparedData};
 use crate::runner::AllocationRun;
+use crate::segment::{EdbSegment, SegmentView};
 use iolap_model::records::NO_CCID;
-use iolap_model::{CellKey, CellRecord, EdbRecord, Fact, FactId, RegionBox, WorkFactRecord};
+use iolap_model::{
+    canonical_sort_key, CellKey, CellRecord, EdbCodec, EdbRecord, Fact, FactId, RegionBox,
+    WorkFactRecord,
+};
 use iolap_rtree::{Aabb, RTree};
+use iolap_storage::{external_sort, SortBudget};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -169,6 +174,24 @@ pub struct MaintainableEdb {
     base_len: u64,
     /// Facts re-emitted by maintenance (latest appended run wins).
     superseded: HashSet<FactId>,
+    /// Published segments: index 0 is the base tier (the Transitive output
+    /// or a post-compaction merge), later entries are delta segments in
+    /// publication order.
+    segs: Vec<Arc<EdbSegment>>,
+    /// Per-segment retired-fact sets, parallel to `segs`. Copy-on-write:
+    /// snapshots share these `Arc`s, so retiring a fact clones the set of
+    /// the affected segment only.
+    seg_excl: Vec<Arc<HashSet<FactId>>>,
+    /// EDB file index already folded into `segs`.
+    seg_cursor: u64,
+    /// Which segment holds each re-emitted fact's live run.
+    seg_owner: HashMap<FactId, usize>,
+    /// Deleted facts whose exclusion has already been placed.
+    seg_deleted: HashSet<FactId>,
+    /// Delta-segment count that triggers a compaction.
+    compaction_threshold: usize,
+    /// Completed compactions.
+    compactions: u64,
 }
 
 impl MaintainableEdb {
@@ -304,6 +327,13 @@ impl MaintainableEdb {
             deleted_facts: HashSet::new(),
             base_len,
             superseded: HashSet::new(),
+            segs: Vec::new(),
+            seg_excl: Vec::new(),
+            seg_cursor: 0,
+            seg_owner: HashMap::new(),
+            seg_deleted: HashSet::new(),
+            compaction_threshold: 4,
+            compactions: 0,
         })
     }
 
@@ -395,6 +425,177 @@ impl MaintainableEdb {
             base.append(&mut recs);
         }
         Ok(base)
+    }
+
+    // -- segment layer -------------------------------------------------------
+
+    /// The EDB as immutable segment views: one base segment (the Transitive
+    /// output in canonical cell order) plus one delta segment per batch of
+    /// appended runs, with superseded and deleted facts retired through
+    /// per-view exclusion sets. The live entries across the returned views
+    /// are exactly the multiset [`MaintainableEdb::snapshot_entries`]
+    /// returns. Unchanged segments come back as the *same* `Arc`s on every
+    /// call, so publishing a snapshot costs O(segments) — only the EDB tail
+    /// appended since the last call is read.
+    pub fn snapshot_segments(&mut self) -> Result<Vec<SegmentView>> {
+        self.refresh_segments()?;
+        Ok(self
+            .segs
+            .iter()
+            .zip(&self.seg_excl)
+            .map(|(s, e)| SegmentView { segment: s.clone(), exclude: e.clone() })
+            .collect())
+    }
+
+    /// Number of segments the next snapshot will publish.
+    pub fn num_segments(&mut self) -> Result<usize> {
+        self.refresh_segments()?;
+        Ok(self.segs.len())
+    }
+
+    /// Completed delta-tier compactions.
+    pub fn num_compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Cumulative accounted page I/O of the environment backing this EDB.
+    /// Allocation, maintenance re-runs, and segment compaction (its temp
+    /// file and external sort included) all charge the same meter, so a
+    /// test can pin a compaction's exact I/O as a before/after delta.
+    pub fn accounted_io(&self) -> iolap_storage::IoSnapshot {
+        self.prep.env.stats().snapshot()
+    }
+
+    /// Delta-segment count that triggers a compaction (default 4; clamped
+    /// to at least 1).
+    pub fn set_compaction_threshold(&mut self, n: usize) {
+        self.compaction_threshold = n.max(1);
+    }
+
+    /// Fold everything appended since the last refresh into the segment
+    /// tiers and retire newly superseded or deleted facts.
+    fn refresh_segments(&mut self) -> Result<()> {
+        let k = self.prep.schema.k();
+        let len = self.edb.num_entries();
+        if self.segs.is_empty() {
+            // The base tier: every original entry, sorted canonically.
+            let mut base = Vec::with_capacity(self.base_len as usize);
+            self.edb.for_each_range(0, self.base_len, |e| base.push(e.clone()))?;
+            self.segs.push(Arc::new(EdbSegment::build(k, base)));
+            self.seg_excl.push(Arc::new(HashSet::new()));
+            self.seg_cursor = self.base_len;
+        }
+        if self.seg_cursor < len {
+            // Appended runs are contiguous per fact and a later run
+            // supersedes any earlier one (the snapshot_entries rule).
+            let mut runs: Vec<(FactId, Vec<EdbRecord>)> = Vec::new();
+            let mut prev: Option<FactId> = None;
+            self.edb.for_each_range(self.seg_cursor, len, |e| {
+                if prev != Some(e.fact_id) {
+                    prev = Some(e.fact_id);
+                    runs.push((e.fact_id, Vec::new()));
+                }
+                runs.last_mut().expect("run opened").1.push(e.clone());
+            })?;
+            let mut latest: HashMap<FactId, usize> = HashMap::new();
+            for (i, (id, _)) in runs.iter().enumerate() {
+                latest.insert(*id, i);
+            }
+            let mut entries = Vec::new();
+            let mut claimed: Vec<FactId> = Vec::new();
+            for (i, (id, recs)) in runs.iter().enumerate() {
+                if latest[id] == i {
+                    entries.extend(recs.iter().cloned());
+                    claimed.push(*id);
+                }
+            }
+            if !entries.is_empty() {
+                let idx = self.segs.len();
+                self.segs.push(Arc::new(EdbSegment::build(k, entries)));
+                self.seg_excl.push(Arc::new(HashSet::new()));
+                for id in claimed {
+                    // Retire the fact's previous run: in an earlier delta
+                    // if it had one, else in the base tier (a no-op for
+                    // freshly inserted facts — they have no base entries).
+                    let owner = self.seg_owner.get(&id).copied().unwrap_or(0);
+                    Arc::make_mut(&mut self.seg_excl[owner]).insert(id);
+                    self.seg_owner.insert(id, idx);
+                    self.seg_deleted.remove(&id);
+                }
+            }
+            self.seg_cursor = len;
+        }
+        // Deleted facts: retire them wherever their live run sits. (A fact
+        // re-emitted above was taken out of `seg_deleted`, so a deletion
+        // that outlived the re-emission is re-applied to the new owner —
+        // mirroring snapshot_entries' deleted-facts filter.)
+        let newly: Vec<FactId> =
+            self.deleted_facts.iter().filter(|f| !self.seg_deleted.contains(f)).copied().collect();
+        for id in newly {
+            let owner = self.seg_owner.get(&id).copied().unwrap_or(0);
+            Arc::make_mut(&mut self.seg_excl[owner]).insert(id);
+            self.seg_deleted.insert(id);
+        }
+        if self.segs.len() > self.compaction_threshold {
+            self.compact()?;
+        }
+        if let Some(g) = self.prep.env.obs().gauge("edb.segments") {
+            g.set(self.segs.len() as i64);
+        }
+        Ok(())
+    }
+
+    /// Merge the delta tier into one segment — folding the base in too once
+    /// the deltas have grown to its size — through the accounted temp-file
+    /// and external-sort path, so compaction I/O shows up in the
+    /// environment's exact page counters like every other pass.
+    fn compact(&mut self) -> Result<()> {
+        let k = self.prep.schema.k();
+        let live = |i: usize| -> u64 {
+            SegmentView { segment: self.segs[i].clone(), exclude: self.seg_excl[i].clone() }
+                .live_entries()
+        };
+        let delta_live: u64 = (1..self.segs.len()).map(live).sum();
+        let include_base = delta_live >= live(0);
+        let start = if include_base { 0 } else { 1 };
+        // Push every surviving entry through an accounted scratch file…
+        let mut tmp = self.prep.env.create_file("seg-compact", EdbCodec { k })?;
+        for (seg, excl) in self.segs[start..].iter().zip(&self.seg_excl[start..]) {
+            for e in seg.entries() {
+                if !excl.contains(&e.fact_id) {
+                    tmp.push(e)?;
+                }
+            }
+        }
+        // …stable-sort it back into canonical cell order…
+        let mut sorted = external_sort(&self.prep.env, tmp, SortBudget::pages(16), |e| {
+            canonical_sort_key(&e.cell, k)
+        })?;
+        // …and read the merged run back.
+        let mut entries = Vec::with_capacity(sorted.len() as usize);
+        let mut cursor = sorted.scan();
+        while let Some(e) = cursor.next()? {
+            entries.push(e);
+        }
+        drop(cursor);
+        let merged_idx = start;
+        self.segs.truncate(start);
+        self.seg_excl.truncate(start);
+        self.segs.push(Arc::new(EdbSegment::from_sorted(k, entries)));
+        self.seg_excl.push(Arc::new(HashSet::new()));
+        // Every fact whose run lived in a compacted tier now lives in the
+        // merged segment (deleted facts' entries are gone for good, which
+        // is why the merged tier starts with an empty exclusion set).
+        for owner in self.seg_owner.values_mut() {
+            if *owner >= start {
+                *owner = merged_idx;
+            }
+        }
+        self.compactions += 1;
+        if let Some(c) = self.prep.env.obs().counter("edb.compactions") {
+            c.add(1);
+        }
+        Ok(())
     }
 
     /// Apply a batch of measure updates (the Figure 6 workload).
@@ -1180,6 +1381,95 @@ mod tests {
             t0.facts().iter().filter(|f| f.id != 3).cloned().collect(),
         );
         assert_matches_rebuild(&mut m, &t, &policy);
+    }
+
+    type EntryKey = (FactId, CellKey, u64, u64);
+
+    fn live_multiset(views: &[SegmentView]) -> Vec<EntryKey> {
+        let mut out = Vec::new();
+        for v in views {
+            for e in v.segment.entries() {
+                if !v.exclude.contains(&e.fact_id) {
+                    out.push((e.fact_id, e.cell, e.weight.to_bits(), e.measure.to_bits()));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn entry_multiset(entries: &[EdbRecord]) -> Vec<EntryKey> {
+        let mut out: Vec<EntryKey> = entries
+            .iter()
+            .map(|e| (e.fact_id, e.cell, e.weight.to_bits(), e.measure.to_bits()))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn segments_track_snapshot_entries_through_mutations() {
+        let policy = PolicySpec::em_count(0.00001);
+        let mut m = build_maintainable(&policy);
+        let views = m.snapshot_segments().unwrap();
+        assert_eq!(views.len(), 1, "pristine EDB is one base segment");
+        assert_eq!(live_multiset(&views), entry_multiset(&m.snapshot_entries().unwrap()));
+
+        let s = paper_example::schema();
+        let all = s.dim(0).node_by_name("ALL").unwrap().0;
+        let sierra = s.dim(1).node_by_name("Sierra").unwrap().0;
+        m.apply_batch(&[EdbMutation::Insert(Fact::new(60, &[all, sierra], 30.0))]).unwrap();
+        m.apply_updates(&[FactUpdate { fact_id: 1, new_measure: 500.0 }]).unwrap();
+        m.apply_batch(&[EdbMutation::Delete(11)]).unwrap();
+        let views = m.snapshot_segments().unwrap();
+        assert!(views.len() > 1, "mutations publish delta segments");
+        assert_eq!(live_multiset(&views), entry_multiset(&m.snapshot_entries().unwrap()));
+    }
+
+    #[test]
+    fn unchanged_segments_are_shared_by_arc_identity() {
+        let policy = PolicySpec::em_measure(0.001);
+        let mut m = build_maintainable(&policy);
+        let snap1 = m.snapshot_segments().unwrap();
+        let snap2 = m.snapshot_segments().unwrap();
+        assert!(Arc::ptr_eq(&snap1[0].segment, &snap2[0].segment));
+        assert!(Arc::ptr_eq(&snap1[0].exclude, &snap2[0].exclude));
+
+        m.apply_updates(&[FactUpdate { fact_id: 2, new_measure: 999.0 }]).unwrap();
+        let snap3 = m.snapshot_segments().unwrap();
+        assert!(Arc::ptr_eq(&snap1[0].segment, &snap3[0].segment), "base segment is reused");
+        assert_eq!(snap3.len(), 2, "one delta for the batch");
+        // Copy-on-write: the old snapshot's exclusion view is untouched.
+        assert!(snap1[0].exclude.is_empty());
+        assert!(!snap3[0].exclude.is_empty(), "re-emitted facts retired from the base");
+    }
+
+    #[test]
+    fn compaction_bounds_segments_and_preserves_the_live_multiset() {
+        let policy = PolicySpec::em_measure(0.001);
+        let mut m = build_maintainable(&policy);
+        m.set_compaction_threshold(2);
+        for round in 0..4 {
+            m.apply_updates(&[FactUpdate { fact_id: 2, new_measure: 100.0 + round as f64 }])
+                .unwrap();
+            let views = m.snapshot_segments().unwrap();
+            assert!(views.len() <= 3, "tiering keeps the segment count bounded");
+            assert_eq!(live_multiset(&views), entry_multiset(&m.snapshot_entries().unwrap()));
+        }
+        assert!(m.num_compactions() >= 1, "threshold 2 must have compacted");
+    }
+
+    #[test]
+    fn delete_after_compaction_is_still_excluded() {
+        let policy = PolicySpec::em_measure(0.001);
+        let mut m = build_maintainable(&policy);
+        m.set_compaction_threshold(1);
+        m.apply_updates(&[FactUpdate { fact_id: 2, new_measure: 50.0 }]).unwrap();
+        let _ = m.snapshot_segments().unwrap(); // compacts the delta tier
+        assert!(m.num_compactions() >= 1);
+        m.apply_batch(&[EdbMutation::Delete(11)]).unwrap();
+        let views = m.snapshot_segments().unwrap();
+        assert_eq!(live_multiset(&views), entry_multiset(&m.snapshot_entries().unwrap()));
     }
 
     #[test]

@@ -58,6 +58,15 @@ pub struct RunReport {
     /// Prefetch pipeline census over this run (`None` when the pipeline is
     /// disabled). All advisory: accounted I/O is identical either way.
     pub prefetch: Option<PrefetchStats>,
+    /// Number of EDB segments in the run's output view (1 for a fresh
+    /// allocation; base + deltas under maintenance).
+    pub edb_segments: u64,
+    /// Segment compactions performed (maintenance only).
+    pub edb_compactions: u64,
+    /// Segment pages skipped by fence pruning across query scans.
+    pub edb_pages_pruned: u64,
+    /// Segment pages actually visited across query scans.
+    pub edb_pages_read: u64,
 }
 
 /// Connected-component census from the Transitive algorithm — the numbers
@@ -125,6 +134,10 @@ impl RunReport {
         metrics.counter("report.pool.hits").add(self.pool_hits);
         metrics.counter("report.pool.misses").add(self.pool_misses);
         metrics.counter("report.iterations").add(u64::from(self.iterations));
+        metrics.gauge("report.edb.segments").set(self.edb_segments as i64);
+        metrics.counter("report.edb.compactions").add(self.edb_compactions);
+        metrics.counter("report.edb.pages_pruned").add(self.edb_pages_pruned);
+        metrics.counter("report.edb.pages_read").add(self.edb_pages_read);
         metrics.gauge("report.converged").set(i64::from(self.converged));
         metrics.gauge("report.over_budget").set(i64::from(self.over_budget));
         for (name, v) in [
@@ -284,6 +297,22 @@ mod tests {
         assert!(prom.contains("iolap_report_io_prep_reads 7"), "{prom}");
         assert!(prom.contains("iolap_report_io_prep_writes 2"), "{prom}");
         assert!(prom.contains("# TYPE iolap_report_converged gauge"), "{prom}");
+    }
+
+    #[test]
+    fn prometheus_export_includes_segment_series() {
+        let r = RunReport {
+            edb_segments: 3,
+            edb_compactions: 1,
+            edb_pages_pruned: 90,
+            edb_pages_read: 10,
+            ..Default::default()
+        };
+        let prom = r.to_prometheus();
+        assert!(prom.contains("iolap_report_edb_segments 3"), "{prom}");
+        assert!(prom.contains("iolap_report_edb_compactions 1"), "{prom}");
+        assert!(prom.contains("iolap_report_edb_pages_pruned 90"), "{prom}");
+        assert!(prom.contains("iolap_report_edb_pages_read 10"), "{prom}");
     }
 
     #[test]

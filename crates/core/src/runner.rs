@@ -413,6 +413,9 @@ pub fn allocate_in_env(
     drop(edb_span);
     report.wall_edb = t2.elapsed();
     report.io_edb = env.stats().snapshot() - io2;
+    // The freshly materialized EDB is one base segment; maintenance and
+    // queries refine this once deltas and pruning statistics accrue.
+    report.edb_segments = 1;
     let (hits1, misses1) = env.pool().hit_stats();
     report.pool_hits = hits1 - hits0;
     report.pool_misses = misses1 - misses0;

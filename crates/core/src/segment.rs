@@ -1,0 +1,378 @@
+//! Immutable, indexed EDB segments and the shared pruning cursor.
+//!
+//! An [`EdbSegment`] holds Extended Database entries sorted in canonical
+//! cell order ([`iolap_model::cmp_cells`]) and partitioned into logical
+//! pages of `PAGE_SIZE / record width` entries — the same pagination a
+//! [`iolap_storage::RecordFile`] of [`EdbRecord`]s uses — with a
+//! [`SegmentFooter`] carrying one fence (min/max leaf id per dimension)
+//! per page plus whole-segment stats. Segments are immutable: allocation
+//! produces one base segment, incremental maintenance appends delta
+//! segments and retires superseded facts through per-segment *exclusion
+//! sets* ([`SegmentView`]), and compaction rewrites tiers without touching
+//! published `Arc`s.
+//!
+//! [`SegmentCursor`] is the one scan loop shared by the query crate
+//! (`aggregate_edb`, `rollup`, `pivot`) and the server's snapshot answer
+//! path: it walks the views in order, skips pages whose fence box is
+//! disjoint from the query box (Theorem 12's contrapositive — a fact
+//! region disjoint from the query cannot contribute), and visits the
+//! surviving live entries in segment order. Because pruning only ever
+//! skips pages that contain **no** cell of the query box, the visited
+//! entry sequence — and therefore every f64 accumulation over it — is
+//! bit-identical to an unpruned scan of the same views.
+
+use crate::error::Result;
+use iolap_model::{
+    canonical_sort_key, EdbCodec, EdbRecord, FactId, RegionBox, SegmentFooter, MAX_DIMS,
+};
+use std::collections::HashSet;
+use std::path::Path;
+use std::sync::Arc;
+
+/// One immutable, sorted, page-aligned run of EDB entries with its fence
+/// index.
+pub struct EdbSegment {
+    k: usize,
+    recs_per_page: usize,
+    entries: Vec<EdbRecord>,
+    footer: SegmentFooter,
+}
+
+impl EdbSegment {
+    /// Build a segment from entries in any order: stable-sorts by the
+    /// canonical cell key (ties keep input order, so a deterministic input
+    /// order yields a deterministic — and thus bit-reproducible — segment)
+    /// and derives the footer.
+    pub fn build(k: usize, mut entries: Vec<EdbRecord>) -> Self {
+        entries.sort_by_key(|e| canonical_sort_key(&e.cell, k));
+        Self::from_sorted(k, entries)
+    }
+
+    /// Wrap entries already in canonical cell order (e.g. the output of an
+    /// external sort) without re-sorting.
+    pub fn from_sorted(k: usize, entries: Vec<EdbRecord>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| {
+                canonical_sort_key(&w[0].cell, k) <= canonical_sort_key(&w[1].cell, k)
+            }),
+            "segment entries must be in canonical cell order"
+        );
+        let recs_per_page = SegmentFooter::edb_recs_per_page(k);
+        let footer = SegmentFooter::build(
+            k,
+            recs_per_page,
+            entries.iter().map(|e| (&e.cell, e.weight, e.measure)),
+        );
+        EdbSegment { k, recs_per_page, entries, footer }
+    }
+
+    /// Number of dimensions.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// True when the segment holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of logical pages (each indexed by one fence).
+    pub fn num_pages(&self) -> u64 {
+        self.footer.num_pages()
+    }
+
+    /// Entries per logical page.
+    pub fn recs_per_page(&self) -> usize {
+        self.recs_per_page
+    }
+
+    /// All entries, in canonical cell order.
+    pub fn entries(&self) -> &[EdbRecord] {
+        &self.entries
+    }
+
+    /// The entries of logical page `p`.
+    pub fn page(&self, p: u64) -> &[EdbRecord] {
+        let start = p as usize * self.recs_per_page;
+        let end = (start + self.recs_per_page).min(self.entries.len());
+        &self.entries[start..end]
+    }
+
+    /// The footer (fences + stats).
+    pub fn footer(&self) -> &SegmentFooter {
+        &self.footer
+    }
+
+    /// Persist the segment to `path` in the page-aligned segment file
+    /// format (records + encoded footer; see [`iolap_storage::segfile`]).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        iolap_storage::segfile::write_segment(
+            path,
+            &EdbCodec { k: self.k },
+            &self.entries,
+            &self.footer.encode(),
+        )?;
+        Ok(())
+    }
+
+    /// Load a segment written by [`EdbSegment::save`], re-validating the
+    /// footer against the records.
+    pub fn load(path: &Path, k: usize) -> Result<Self> {
+        let (entries, footer_bytes) = iolap_storage::segfile::read_segment(path, &EdbCodec { k })?;
+        let footer =
+            SegmentFooter::decode(&footer_bytes).map_err(crate::error::CoreError::BadInput)?;
+        if footer.k != k || footer.stats.entries != entries.len() as u64 {
+            return Err(crate::error::CoreError::BadInput(format!(
+                "segment footer (k={}, {} entries) does not match file (k={k}, {} entries)",
+                footer.k,
+                footer.stats.entries,
+                entries.len()
+            )));
+        }
+        let recs_per_page = footer.recs_per_page as usize;
+        Ok(EdbSegment { k, recs_per_page, entries, footer })
+    }
+}
+
+/// A published view of one segment: the immutable entries plus the set of
+/// fact ids retired from it (superseded by a newer segment or deleted).
+///
+/// Exclusion sets are copy-on-write: a maintenance step that retires facts
+/// from a segment clones the set, while the segment itself — the large
+/// allocation — is shared by `Arc` across every snapshot that contains it.
+#[derive(Clone)]
+pub struct SegmentView {
+    /// The immutable segment.
+    pub segment: Arc<EdbSegment>,
+    /// Fact ids whose entries in this segment are no longer live.
+    pub exclude: Arc<HashSet<FactId>>,
+}
+
+impl SegmentView {
+    /// A view with nothing excluded.
+    pub fn new(segment: Arc<EdbSegment>) -> Self {
+        SegmentView { segment, exclude: Arc::new(HashSet::new()) }
+    }
+
+    /// Number of live entries (entries whose fact is not excluded).
+    pub fn live_entries(&self) -> u64 {
+        if self.exclude.is_empty() {
+            return self.segment.len();
+        }
+        self.segment.entries().iter().filter(|e| !self.exclude.contains(&e.fact_id)).count() as u64
+    }
+}
+
+/// Page-level counters from one cursor scan.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SegScanStats {
+    /// Pages whose entries were visited.
+    pub pages_read: u64,
+    /// Pages skipped because their fence box is disjoint from the query.
+    pub pages_pruned: u64,
+}
+
+impl SegScanStats {
+    /// Merge another scan's counters into this one.
+    pub fn absorb(&mut self, other: SegScanStats) {
+        self.pages_read += other.pages_read;
+        self.pages_pruned += other.pages_pruned;
+    }
+}
+
+/// The shared pruned scan over a list of segment views.
+pub struct SegmentCursor<'a> {
+    views: &'a [SegmentView],
+    region: RegionBox,
+    prune: bool,
+    stats: SegScanStats,
+}
+
+impl<'a> SegmentCursor<'a> {
+    /// A pruning cursor over `views` restricted to `region`.
+    pub fn new(views: &'a [SegmentView], region: RegionBox) -> Self {
+        SegmentCursor { views, region, prune: true, stats: SegScanStats::default() }
+    }
+
+    /// A baseline cursor that reads every page (no fence pruning) but
+    /// applies the same region/exclusion filters — the reference the
+    /// pruned scan must match bit-for-bit.
+    pub fn full_scan(views: &'a [SegmentView], region: RegionBox) -> Self {
+        SegmentCursor { views, region, prune: false, stats: SegScanStats::default() }
+    }
+
+    /// The full-space region for dimensionality `k` (every leaf interval
+    /// unconstrained up to `u32::MAX`).
+    pub fn all_region(k: usize) -> RegionBox {
+        RegionBox { lo: [0; MAX_DIMS], hi: [u32::MAX; MAX_DIMS], k: k as u8 }
+    }
+
+    /// Visit every live entry inside the region, in segment order then
+    /// canonical cell order within each segment.
+    pub fn for_each(&mut self, mut f: impl FnMut(&EdbRecord)) {
+        for view in self.views {
+            let seg = &*view.segment;
+            let excl = &*view.exclude;
+            for p in 0..seg.num_pages() {
+                if self.prune && seg.footer().fences[p as usize].disjoint(&self.region) {
+                    self.stats.pages_pruned += 1;
+                    continue;
+                }
+                self.stats.pages_read += 1;
+                for e in seg.page(p) {
+                    if !excl.is_empty() && excl.contains(&e.fact_id) {
+                        continue;
+                    }
+                    if self.region.contains_cell(&e.cell) {
+                        f(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> SegScanStats {
+        self.stats
+    }
+}
+
+/// The canonical weighted accumulation (`sum += w·m; count += w`) over the
+/// live entries of `views` inside `region`, with fence pruning. Shared by
+/// the query crate and the server so both produce bit-identical `(sum,
+/// count)` pairs from identical views.
+pub fn accumulate_region(views: &[SegmentView], region: &RegionBox) -> (f64, f64, SegScanStats) {
+    let mut cursor = SegmentCursor::new(views, *region);
+    let mut sum = 0.0;
+    let mut count = 0.0;
+    cursor.for_each(|e| {
+        sum += e.weight * e.measure;
+        count += e.weight;
+    });
+    (sum, count, cursor.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_model::CellKey;
+
+    fn cell(v: &[u32]) -> CellKey {
+        let mut c = [0u32; MAX_DIMS];
+        c[..v.len()].copy_from_slice(v);
+        c
+    }
+
+    fn bx(lo: &[u32], hi: &[u32]) -> RegionBox {
+        let mut l = [0u32; MAX_DIMS];
+        let mut h = [0u32; MAX_DIMS];
+        l[..lo.len()].copy_from_slice(lo);
+        h[..hi.len()].copy_from_slice(hi);
+        RegionBox { lo: l, hi: h, k: lo.len() as u8 }
+    }
+
+    fn rec(fact_id: u64, c: &[u32], weight: f64, measure: f64) -> EdbRecord {
+        EdbRecord { fact_id, cell: cell(c), weight, measure }
+    }
+
+    /// Entries spread over many cells so the segment spans several pages.
+    fn wide_segment(k: usize, n: u32) -> EdbSegment {
+        let entries: Vec<EdbRecord> =
+            (0..n).map(|i| rec(i as u64, &[i % 97, i / 97], 1.0, i as f64)).collect();
+        EdbSegment::build(k, entries)
+    }
+
+    #[test]
+    fn build_sorts_canonically_and_paginates() {
+        let seg = EdbSegment::build(
+            2,
+            vec![rec(1, &[3, 0], 1.0, 5.0), rec(2, &[0, 1], 0.5, 2.0), rec(3, &[0, 0], 0.5, 2.0)],
+        );
+        let cells: Vec<u32> = seg.entries().iter().map(|e| e.cell[0]).collect();
+        assert_eq!(cells, vec![0, 0, 3]);
+        assert_eq!(seg.num_pages(), 1);
+        assert_eq!(seg.recs_per_page(), 4096 / 32);
+        assert_eq!(seg.footer().stats.entries, 3);
+    }
+
+    #[test]
+    fn stable_sort_keeps_equal_cell_input_order() {
+        let seg =
+            EdbSegment::build(2, vec![rec(9, &[1, 1], 0.25, 1.0), rec(7, &[1, 1], 0.75, 2.0)]);
+        let ids: Vec<u64> = seg.entries().iter().map(|e| e.fact_id).collect();
+        assert_eq!(ids, vec![9, 7], "ties must keep input order");
+    }
+
+    #[test]
+    fn pruned_scan_is_bit_identical_to_full_scan() {
+        let seg = Arc::new(wide_segment(2, 10_000));
+        let views = vec![SegmentView::new(seg.clone())];
+        for region in [
+            bx(&[5, 0], &[6, 100]),
+            bx(&[0, 0], &[97, 104]),
+            bx(&[96, 90], &[97, 104]),
+            bx(&[40, 40], &[40, 60]), // empty box
+        ] {
+            let (sum_p, count_p, stats_p) = accumulate_region(&views, &region);
+            let mut full = SegmentCursor::full_scan(&views, region);
+            let (mut sum_f, mut count_f) = (0.0, 0.0);
+            full.for_each(|e| {
+                sum_f += e.weight * e.measure;
+                count_f += e.weight;
+            });
+            assert_eq!(sum_p.to_bits(), sum_f.to_bits());
+            assert_eq!(count_p.to_bits(), count_f.to_bits());
+            assert_eq!(full.stats().pages_read, seg.num_pages());
+            assert_eq!(full.stats().pages_pruned, 0);
+            assert_eq!(stats_p.pages_read + stats_p.pages_pruned, seg.num_pages());
+        }
+    }
+
+    #[test]
+    fn selective_regions_prune_most_pages() {
+        let seg = Arc::new(wide_segment(2, 10_000));
+        let views = vec![SegmentView::new(seg.clone())];
+        let (_, count, stats) = accumulate_region(&views, &bx(&[5, 0], &[6, 104]));
+        assert!(count > 0.0);
+        assert!(
+            stats.pages_pruned > stats.pages_read * 5,
+            "selective box should prune most of {} pages (read {}, pruned {})",
+            seg.num_pages(),
+            stats.pages_read,
+            stats.pages_pruned
+        );
+    }
+
+    #[test]
+    fn exclusions_hide_facts_without_touching_the_segment() {
+        let seg = Arc::new(EdbSegment::build(
+            2,
+            vec![rec(1, &[0, 0], 1.0, 10.0), rec(2, &[0, 1], 1.0, 20.0)],
+        ));
+        let mut view = SegmentView::new(seg.clone());
+        assert_eq!(view.live_entries(), 2);
+        view.exclude = Arc::new([1u64].into_iter().collect());
+        assert_eq!(view.live_entries(), 1);
+        let (sum, count, _) = accumulate_region(&[view], &SegmentCursor::all_region(2));
+        assert_eq!(sum, 20.0);
+        assert_eq!(count, 1.0);
+        assert_eq!(seg.len(), 2, "segment itself is untouched");
+    }
+
+    #[test]
+    fn segment_save_load_round_trips() {
+        let dir = iolap_storage::TempDir::new("segment-io").unwrap();
+        let path = dir.path().join("seg0");
+        let seg = wide_segment(2, 5_000);
+        seg.save(&path).unwrap();
+        let back = EdbSegment::load(&path, 2).unwrap();
+        assert_eq!(back.entries(), seg.entries());
+        assert_eq!(back.footer(), seg.footer());
+        assert!(EdbSegment::load(&path, 3).is_err(), "wrong k must be rejected");
+    }
+}

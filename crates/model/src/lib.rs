@@ -29,6 +29,7 @@ pub mod paper_example;
 pub mod records;
 pub mod region;
 pub mod schema;
+pub mod segment_meta;
 pub mod table;
 
 pub use fact::{Fact, FactId, LevelVec};
@@ -37,6 +38,7 @@ pub use records::{
 };
 pub use region::{cmp_cells, CellKey, RegionBox};
 pub use schema::Schema;
+pub use segment_meta::{canonical_sort_key, PageFence, SegmentFooter, SegmentStats};
 pub use table::FactTable;
 
 /// Maximum number of dimensions supported by the fixed-width records.

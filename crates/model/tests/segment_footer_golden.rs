@@ -1,0 +1,64 @@
+//! Golden-file test pinning the version-1 segment footer encoding.
+//!
+//! The footer is a persisted format: the fence pointers and stats written
+//! by one build must decode under every later build. This test encodes a
+//! fixed footer and compares it byte-for-byte against the committed
+//! `tests/golden/segment_footer_v1.bin`, so any accidental format drift
+//! (field reorder, width change, endianness) fails CI instead of
+//! corrupting segments silently.
+//!
+//! To regenerate after an *intentional* format change (which must also
+//! bump `FOOTER_VERSION`): `BLESS=1 cargo test -p iolap-model --test
+//! segment_footer_golden`.
+
+use iolap_model::{CellKey, SegmentFooter, MAX_DIMS};
+use std::path::PathBuf;
+
+fn cell(v: &[u32]) -> CellKey {
+    let mut c = [0u32; MAX_DIMS];
+    c[..v.len()].copy_from_slice(v);
+    c
+}
+
+/// A fixed footer exercising every field: 3 dims, 3 pages (last partial),
+/// non-trivial bbox and float sums.
+fn reference_footer() -> SegmentFooter {
+    let entries: Vec<(CellKey, f64, f64)> = vec![
+        (cell(&[0, 2, 1]), 0.5, 10.0),
+        (cell(&[0, 5, 0]), 0.25, -4.0),
+        (cell(&[1, 0, 3]), 1.0, 605.125),
+        (cell(&[2, 2, 2]), 0.125, 8.0),
+        (cell(&[3, 1, 1]), 1.0, 0.5),
+    ];
+    SegmentFooter::build(3, 2, entries.iter().map(|(c, w, m)| (c, *w, *m)))
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/segment_footer_v1.bin")
+}
+
+#[test]
+fn footer_encoding_matches_the_golden_file() {
+    let encoded = reference_footer().encode();
+    let path = golden_path();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &encoded).unwrap();
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); run with BLESS=1", path.display())
+    });
+    assert_eq!(
+        encoded,
+        golden,
+        "segment footer encoding drifted from {} — if intentional, bump FOOTER_VERSION and re-bless",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_bytes_still_decode_to_the_reference_footer() {
+    let golden = std::fs::read(golden_path()).expect("golden file (run with BLESS=1 to create)");
+    let decoded = SegmentFooter::decode(&golden).expect("golden footer decodes");
+    assert_eq!(decoded, reference_footer());
+}

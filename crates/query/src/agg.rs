@@ -29,15 +29,17 @@ pub struct AggResult {
 /// Evaluate `query` against an EDB: every entry whose cell falls in the
 /// query region contributes `weight` to the count and `weight × measure`
 /// to the sum.
+///
+/// Runs over the EDB's immutable segment view with fence pruning: pages
+/// whose min/max leaf intervals are disjoint from the query box are
+/// skipped without being read, and the page counters land in the EDB's
+/// `edb.pages_read` / `edb.pages_pruned` metrics. Pruning never changes
+/// the visited entry sequence, so the result is bit-identical to an
+/// unpruned scan of the same segments.
 pub fn aggregate_edb(edb: &mut ExtendedDatabase, query: &Query) -> iolap_core::Result<AggResult> {
-    let mut sum = 0.0;
-    let mut count = 0.0;
-    edb.for_each(|e| {
-        if query.region.contains_cell(&e.cell) {
-            sum += e.weight * e.measure;
-            count += e.weight;
-        }
-    })?;
+    let views = edb.segments()?;
+    let (sum, count, stats) = iolap_core::accumulate_region(&views, &query.region);
+    edb.note_segment_scan(stats);
     Ok(finish(query.agg, sum, count))
 }
 

@@ -56,17 +56,18 @@ pub fn pivot(
     let mut sums = vec![vec![0.0f64; nc]; nr];
     let mut counts = vec![vec![0.0f64; nc]; nr];
 
-    edb.for_each(|e| {
-        if let Some(q) = query {
-            if !q.region.contains_cell(&e.cell) {
-                return;
-            }
-        }
+    let region =
+        query.map_or_else(|| iolap_core::SegmentCursor::all_region(schema.k()), |q| q.region);
+    let views = edb.segments()?;
+    let mut cursor = iolap_core::SegmentCursor::new(&views, region);
+    cursor.for_each(|e| {
         let r = pos_a[&ha.ancestor_at(e.cell[dim_a], level_a)];
         let c = pos_b[&hb.ancestor_at(e.cell[dim_b], level_b)];
         sums[r][c] += e.weight * e.measure;
         counts[r][c] += e.weight;
-    })?;
+    });
+    let stats = cursor.stats();
+    edb.note_segment_scan(stats);
 
     let finish = |sum: f64, count: f64| {
         let value = match agg {

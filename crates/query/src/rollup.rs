@@ -62,22 +62,24 @@ fn rollup_impl(
     let mut sums = vec![0.0f64; nodes.len()];
     let mut counts = vec![0.0f64; nodes.len()];
 
-    edb.for_each(|e| {
-        if let Some(q) = query {
-            if !q.region.contains_cell(&e.cell) {
-                return;
-            }
-        }
-        if let Some((rd, range)) = &restrict {
-            if !range.contains(&e.cell[*rd]) {
-                return;
-            }
-        }
+    // Fold the dice region and the drill-down restriction into one box so
+    // the segment cursor can fence-prune against their intersection.
+    let mut region =
+        query.map_or_else(|| iolap_core::SegmentCursor::all_region(schema.k()), |q| q.region);
+    if let Some((rd, range)) = &restrict {
+        region.lo[*rd] = region.lo[*rd].max(range.start);
+        region.hi[*rd] = region.hi[*rd].min(range.end);
+    }
+    let views = edb.segments()?;
+    let mut cursor = iolap_core::SegmentCursor::new(&views, region);
+    cursor.for_each(|e| {
         let anc = h.ancestor_at(e.cell[dim], level);
         let i = pos_of[&anc];
         sums[i] += e.weight * e.measure;
         counts[i] += e.weight;
-    })?;
+    });
+    let stats = cursor.stats();
+    edb.note_segment_scan(stats);
 
     Ok(nodes
         .iter()

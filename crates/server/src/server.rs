@@ -135,6 +135,13 @@ struct ServeMetrics {
     queue_depth: Gauge,
     epoch: Gauge,
     latency_us: Histogram,
+    /// Segment-layer counters for the answer path: pages actually
+    /// scanned vs pages skipped by fence pruning, plus the published
+    /// segment count and compactions run by the coordinator.
+    pages_read: Counter,
+    pages_pruned: Counter,
+    edb_segments: Gauge,
+    edb_compactions: Counter,
 }
 
 impl ServeMetrics {
@@ -160,6 +167,10 @@ impl ServeMetrics {
             queue_depth: obs.gauge("serve.queue.depth").expect("enabled"),
             epoch: obs.gauge("serve.epoch").expect("enabled"),
             latency_us: obs.histogram("serve.latency_us").expect("enabled"),
+            pages_read: c("edb.pages_read"),
+            pages_pruned: c("edb.pages_pruned"),
+            edb_segments: obs.gauge("edb.segments").expect("enabled"),
+            edb_compactions: c("edb.compactions"),
         }
     }
 }
@@ -249,6 +260,7 @@ impl Server {
         };
 
         metrics.epoch.set(first.epoch as i64);
+        metrics.edb_segments.set(first.segments.len() as i64);
         let shared = Arc::new(Shared {
             snapshot: Mutex::new(first),
             cache: ShardedCache::new(cfg.cache_capacity.max(1), cfg.cache_shards),
@@ -545,7 +557,12 @@ fn handle_query(body: &[u8], shared: &Shared) -> Response {
             let query = Query { region, agg: q.agg };
             aggregate_classical(&snap.table, &query, sem)
         }
-        None => snap.aggregate(&region, q.agg),
+        None => {
+            let (result, stats) = snap.aggregate_with_stats(&region, q.agg);
+            shared.metrics.pages_read.add(stats.pages_read);
+            shared.metrics.pages_pruned.add(stats.pages_pruned);
+            result
+        }
     };
     if shared.cache_enabled {
         let out = shared.cache.insert(key, CachedResult { result, epoch: snap.epoch });
@@ -575,7 +592,9 @@ fn handle_rollup(body: &[u8], shared: &Shared) -> Response {
         Ok(rg) => rg,
         Err(msg) => return bad_request(&msg),
     };
-    let rows = snap.rollup(dim, level, Some(&region), r.agg);
+    let (rows, stats) = snap.rollup(dim, level, Some(&region), r.agg);
+    shared.metrics.pages_read.add(stats.pages_read);
+    shared.metrics.pages_pruned.add(stats.pages_pruned);
     (200, "application/json", wire::rollup_response(&rows, r.agg, snap.epoch))
 }
 
@@ -683,8 +702,8 @@ fn coordinator_main(
     };
     let mut mirror = table; // fact-table mirror for classical baselines
     let schema = medb.schema().clone();
-    let entries = match medb.snapshot_entries() {
-        Ok(e) => e,
+    let segments = match medb.snapshot_segments() {
+        Ok(s) => s,
         Err(e) => {
             let _ = ready_tx.send(Err(format!("snapshot failed: {e}")));
             return;
@@ -694,7 +713,7 @@ fn coordinator_main(
         epoch: 0,
         schema: schema.clone(),
         table: Arc::new(mirror.clone()),
-        entries: Arc::new(entries),
+        segments,
     });
     if ready_tx.send(Ok(first)).is_err() {
         return;
@@ -705,6 +724,7 @@ fn coordinator_main(
 
     let mut live_ids: HashSet<FactId> = mirror.facts().iter().map(|f| f.id).collect();
     let mut epoch = 0u64;
+    let mut compactions_seen = medb.num_compactions();
 
     while let Ok(job) = update_rx.recv() {
         if shared.poisoned.load(Ordering::Acquire) {
@@ -725,7 +745,7 @@ fn coordinator_main(
             Ok(out) => Ok(out),
             Err(ApplyError::Reject(status, msg)) => Err((status, msg)),
             Err(ApplyError::Poison(msg)) => {
-                // apply_batch / snapshot_entries failed partway:
+                // apply_batch / snapshot_segments failed partway:
                 // the EDB may disagree with mirror/live_ids and with
                 // the published snapshot, and apply_batch has no
                 // rollback. Continuing would let the next successful
@@ -736,6 +756,10 @@ fn coordinator_main(
                 Err((500, msg))
             }
         };
+        // Surface segment-layer maintenance work done by this batch.
+        let now = medb.num_compactions();
+        shared.metrics.edb_compactions.add(now - compactions_seen);
+        compactions_seen = now;
         let _ = job.reply.send(result);
     }
 }
@@ -807,8 +831,12 @@ fn apply_job(
     }
     *live_ids = ids;
 
-    let entries =
-        medb.snapshot_entries().map_err(|e| ApplyError::Poison(format!("snapshot failed: {e}")))?;
+    // `snapshot_segments` reads only the EDB tail appended by this batch
+    // and hands back the same `Arc`s for segments the batch left alone,
+    // so publication cost is O(segments), not O(entries).
+    let segments = medb
+        .snapshot_segments()
+        .map_err(|e| ApplyError::Poison(format!("snapshot failed: {e}")))?;
 
     *epoch += 1;
     // Publication order matters: open the epoch (stale inserts start
@@ -816,11 +844,12 @@ fn apply_job(
     shared.cache.begin_epoch(*epoch);
     let invalidated = shared.cache.invalidate_overlapping(&report.touched);
     shared.metrics.cache_invalidated.add(invalidated);
+    shared.metrics.edb_segments.set(segments.len() as i64);
     let snap = Arc::new(EdbSnapshot {
         epoch: *epoch,
         schema: medb.schema().clone(),
         table: Arc::new(mirror.clone()),
-        entries: Arc::new(entries),
+        segments,
     });
     *shared.snapshot.lock().unwrap_or_else(|p| p.into_inner()) = snap;
     shared.metrics.epoch.set(*epoch as i64);

@@ -2,19 +2,24 @@
 //!
 //! Request workers never touch the mutable [`iolap_core::MaintainableEdb`]
 //! — they clone an `Arc<EdbSnapshot>` and aggregate over its immutable
-//! entry list. The coordinator thread rebuilds the list after each
-//! `/update` batch (via `MaintainableEdb::snapshot_entries`, which
-//! preserves EDB file order) and publishes a new snapshot atomically, so
-//! readers never block on writers and writers never wait for readers.
+//! segment views. The coordinator thread refreshes the views after each
+//! `/update` batch (via `MaintainableEdb::snapshot_segments`, which reads
+//! only the EDB tail appended by the batch and reuses unchanged segments
+//! by `Arc` identity) and publishes a new snapshot atomically, so readers
+//! never block on writers, writers never wait for readers, and publishing
+//! costs O(segments) rather than O(entries).
 //!
-//! The aggregation loop here is kept **byte-for-byte equivalent** to
-//! [`iolap_query::aggregate_edb`]: same entry order, same `sum += w * m;
-//! count += w` accumulation, same AVG guard — so a server answer is
-//! bit-identical to querying the materialized EDB directly
-//! (`tests/serve_consistency.rs` asserts the f64 bits).
+//! The aggregation here **is** the query crate's: both call
+//! [`iolap_core::accumulate_region`] / [`iolap_core::SegmentCursor`] over
+//! segment views, so a server answer is bit-identical to querying the
+//! materialized EDB directly when the views hold the same entries
+//! (`tests/serve_consistency.rs` asserts the f64 bits). Fence pruning
+//! skips only pages provably disjoint from the query box, so it never
+//! perturbs those bits.
 
+use iolap_core::{accumulate_region, SegScanStats, SegmentCursor, SegmentView};
 use iolap_hierarchy::LevelNo;
-use iolap_model::{EdbRecord, FactTable, RegionBox, Schema, MAX_DIMS};
+use iolap_model::{FactTable, RegionBox, Schema, MAX_DIMS};
 use iolap_query::{AggFn, AggResult, RollupRow};
 use std::sync::Arc;
 
@@ -26,35 +31,41 @@ pub struct EdbSnapshot {
     pub schema: Arc<Schema>,
     /// The fact table as of this epoch (for classical baselines).
     pub table: Arc<FactTable>,
-    /// EDB entries in the deterministic maintenance order.
-    pub entries: Arc<Vec<EdbRecord>>,
+    /// The EDB as immutable segment views (base + deltas). Each view is
+    /// two `Arc`s, so cloning a snapshot's worth is O(segments); segments
+    /// untouched by an update batch are shared with the previous epoch.
+    pub segments: Vec<SegmentView>,
 }
 
 impl EdbSnapshot {
-    /// Allocation-weighted aggregate over the snapshot — the exact loop
-    /// of `aggregate_edb`, run over the snapshot's entry list.
+    /// Allocation-weighted aggregate over the snapshot's segments, with
+    /// fence pruning.
     pub fn aggregate(&self, region: &RegionBox, agg: AggFn) -> AggResult {
-        let mut sum = 0.0;
-        let mut count = 0.0;
-        for e in self.entries.iter() {
-            if region.contains_cell(&e.cell) {
-                sum += e.weight * e.measure;
-                count += e.weight;
-            }
-        }
-        finish(agg, sum, count)
+        self.aggregate_with_stats(region, agg).0
+    }
+
+    /// [`EdbSnapshot::aggregate`] plus the scan's page counters (pages
+    /// read vs pruned), for the server's metrics.
+    pub fn aggregate_with_stats(
+        &self,
+        region: &RegionBox,
+        agg: AggFn,
+    ) -> (AggResult, SegScanStats) {
+        let (sum, count, stats) = accumulate_region(&self.segments, region);
+        (finish(agg, sum, count), stats)
     }
 
     /// Roll up along `dim` at `level` within an optional dice region —
     /// the one-scan accumulation of `iolap_query::rollup`, over the
-    /// snapshot's entry list.
+    /// snapshot's segments. Returns the rows plus the scan's page
+    /// counters.
     pub fn rollup(
         &self,
         dim: usize,
         level: LevelNo,
         region: Option<&RegionBox>,
         agg: AggFn,
-    ) -> Vec<RollupRow> {
+    ) -> (Vec<RollupRow>, SegScanStats) {
         let h = self.schema.dim(dim);
         let nodes = h.nodes_at_level(level);
         let mut pos_of = std::collections::HashMap::with_capacity(nodes.len());
@@ -63,18 +74,15 @@ impl EdbSnapshot {
         }
         let mut sums = vec![0.0f64; nodes.len()];
         let mut counts = vec![0.0f64; nodes.len()];
-        for e in self.entries.iter() {
-            if let Some(r) = region {
-                if !r.contains_cell(&e.cell) {
-                    continue;
-                }
-            }
+        let rg = region.copied().unwrap_or_else(|| SegmentCursor::all_region(self.schema.k()));
+        let mut cursor = SegmentCursor::new(&self.segments, rg);
+        cursor.for_each(|e| {
             let anc = h.ancestor_at(e.cell[dim], level);
             let i = pos_of[&anc];
             sums[i] += e.weight * e.measure;
             counts[i] += e.weight;
-        }
-        nodes
+        });
+        let rows = nodes
             .iter()
             .enumerate()
             .map(|(i, &node)| RollupRow {
@@ -82,7 +90,8 @@ impl EdbSnapshot {
                 name: h.node_name(node),
                 result: finish(agg, sums[i], counts[i]),
             })
-            .collect()
+            .collect();
+        (rows, cursor.stats())
     }
 }
 

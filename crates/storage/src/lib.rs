@@ -51,6 +51,7 @@ pub mod extsort;
 pub mod file;
 pub mod pager;
 pub mod prefetch;
+pub mod segfile;
 pub mod stats;
 pub mod tempdir;
 

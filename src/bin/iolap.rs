@@ -21,6 +21,12 @@
 //!     Allocate DIR with the Transitive algorithm and serve the EDB over
 //!     HTTP (POST /query, /rollup, /update; GET /healthz, /metrics).
 //!     Runs until stdin reaches EOF, then drains and exits.
+//!
+//! iolap query --data DIR [--region Dim=Node,...] [--agg sum|count|avg]
+//!             [--policy P] [--epsilon E] [--buffer-kb KB]
+//!     One-shot query: allocate DIR (Transitive), evaluate the aggregate
+//!     over the region, and print the server's JSON response shape to
+//!     stdout. Region and aggregate names resolve exactly as over HTTP.
 //! ```
 
 use iolap::datagen::{scaled, DatasetKind};
@@ -32,7 +38,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-const USAGE: &str = "usage: iolap demo | gen | allocate | serve   (see --help per command)";
+const USAGE: &str = "usage: iolap demo | gen | allocate | serve | query   (see --help per command)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +47,7 @@ fn main() {
         Some("gen") => cmd_gen(&args[1..]),
         Some("allocate") => cmd_allocate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         // Asking for help is a successful run: usage on stdout, exit 0.
         Some("help" | "--help" | "-h") => {
             println!("{USAGE}");
@@ -262,6 +269,103 @@ fn cmd_allocate(args: &[String]) -> i32 {
             .expect("EDB scan");
         println!("EDB written to {path}");
     }
+    0
+}
+
+// ---------------------------------------------------------------------------
+
+const QUERY_USAGE: &str = "iolap query --data DIR [--region Dim=Node,...] \
+     [--agg sum|count|avg] [--policy P] [--epsilon E] [--buffer-kb KB]";
+
+fn cmd_query(args: &[String]) -> i32 {
+    if has_flag(args, "--help") {
+        eprintln!("{QUERY_USAGE}");
+        return 0;
+    }
+    let Some(dir) = flag(args, "--data").or_else(|| flag(args, "--dir")) else {
+        eprintln!("iolap query: --data DIR is required");
+        eprintln!("{QUERY_USAGE}");
+        return 2;
+    };
+    // `--region Location=MA,Automobile=Sedan`; unlisted dimensions mean
+    // ALL, exactly as the server's `at` list.
+    let mut at: Vec<(String, String)> = Vec::new();
+    if let Some(spec) = flag(args, "--region") {
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let Some((dim, node)) = part.split_once('=') else {
+                eprintln!("iolap query: bad --region part {part:?} (want Dim=Node)");
+                eprintln!("{QUERY_USAGE}");
+                return 2;
+            };
+            at.push((dim.trim().to_string(), node.trim().to_string()));
+        }
+    }
+    let agg =
+        match iolap::serve::wire::parse_agg(&flag(args, "--agg").unwrap_or_else(|| "sum".into())) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("iolap query: {msg}");
+                eprintln!("{QUERY_USAGE}");
+                return 2;
+            }
+        };
+    let epsilon: f64 =
+        flag(args, "--epsilon").unwrap_or_else(|| "0.01".into()).parse().expect("--epsilon E");
+    let policy = match flag(args, "--policy").unwrap_or_else(|| "em-count".into()).as_str() {
+        "em-count" => PolicySpec::em_count(epsilon),
+        "em-measure" => PolicySpec::em_measure(epsilon),
+        "count" => PolicySpec::count(),
+        "measure" => PolicySpec::measure(),
+        "uniform" => PolicySpec::uniform(),
+        other => {
+            eprintln!("iolap query: unknown policy {other:?}");
+            eprintln!("{QUERY_USAGE}");
+            return 2;
+        }
+    };
+    let buffer_kb: u64 =
+        flag(args, "--buffer-kb").unwrap_or_else(|| "4096".into()).parse().expect("--buffer-kb KB");
+    let buffer_pages = ((buffer_kb * 1024) as usize).div_ceil(4096).max(8);
+
+    let db = match Iolap::open(&dir) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let schema = db.schema().clone();
+    // Resolve the region before paying for allocation, so a typo'd node
+    // name fails fast with a usage error.
+    let region = match iolap::serve::snapshot::resolve_region(&schema, &at) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("iolap query: {msg}");
+            eprintln!("{QUERY_USAGE}");
+            return 2;
+        }
+    };
+    let mut run = match db
+        .config(AllocConfig::builder().buffer_pages(buffer_pages).build())
+        .policy(policy)
+        .allocate(Algorithm::Transitive)
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let q = iolap::query::Query { region, agg };
+    let result = match iolap::query::aggregate_edb(&mut run.edb, &q) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    // The server's /query response shape (epoch 0: freshly allocated).
+    println!("{}", iolap::serve::wire::query_response(&result, agg, false, 0));
     0
 }
 

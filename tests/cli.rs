@@ -107,6 +107,69 @@ fn serve_requires_data_flag() {
 }
 
 #[test]
+fn query_requires_data_and_rejects_bad_args_with_usage() {
+    // Missing --data.
+    let out = iolap().arg("query").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--data"), "{err}");
+    assert!(err.contains("iolap query"), "usage line names the subcommand: {err}");
+
+    let dir = std::env::temp_dir().join(format!("iolap-cli-query-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = iolap()
+        .args(["gen", "--kind", "automotive", "--facts", "300", "--seed", "5", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("spawn gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Malformed region (no '='), unknown node, unknown aggregate: all
+    // usage errors (exit 2), nothing on stdout.
+    for args in [
+        vec!["--region", "LOCATION"],
+        vec!["--region", "LOCATION=Atlantis"],
+        vec!["--agg", "median"],
+    ] {
+        let out =
+            iolap().args(["query", "--data"]).arg(&dir).args(&args).output().expect("spawn query");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(out.stdout.is_empty(), "{args:?}: errors go to stderr");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("iolap query"), "{args:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_prints_the_server_json_shape() {
+    let dir = std::env::temp_dir().join(format!("iolap-cli-query-json-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = iolap()
+        .args(["gen", "--kind", "automotive", "--facts", "300", "--seed", "5", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("spawn gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = iolap()
+        .args(["query", "--data"])
+        .arg(&dir)
+        .args(["--agg", "count", "--epsilon", "0.05"])
+        .output()
+        .expect("spawn query");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let v = iolap::obs::json::parse(text.trim()).expect("JSON output");
+    // Every allocatable fact carries total weight 1, so COUNT over the
+    // full space is a whole number ≤ the fact count.
+    let count = v.get("count").and_then(|x| x.as_f64()).expect("count field");
+    assert!(count > 0.0 && count <= 300.0, "{text}");
+    assert_eq!(v.get("agg").and_then(|x| x.as_str()), Some("count"), "{text}");
+    assert_eq!(v.get("epoch").and_then(|x| x.as_u64()), Some(0), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_answers_queries_until_stdin_closes() {
     use std::io::{Read, Write};
     let dir = std::env::temp_dir().join(format!("iolap-cli-serve-{}", std::process::id()));

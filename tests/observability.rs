@@ -131,6 +131,48 @@ fn report_exports_round_trip_through_json_and_prometheus() {
 }
 
 #[test]
+fn segment_scan_counters_cover_every_page() {
+    // The pruning counters partition the work: over any number of
+    // queries, `edb.pages_pruned + edb.pages_read` must equal exactly the
+    // page count a no-index scan would touch (total pages × queries) —
+    // a page is either read or provably skipped, never both, never lost.
+    use iolap::query::{aggregate_edb, AggFn, QueryBuilder};
+    let (mut run, _sink, obs) = traced_run(Algorithm::Transitive);
+    let views = run.edb.segments().unwrap();
+    let total_pages: u64 = views.iter().map(|v| v.segment.num_pages()).sum();
+    assert!(total_pages > 0);
+
+    let schema = paper_example::schema();
+    let queries = [
+        QueryBuilder::new(schema.clone()).agg(AggFn::Sum).build().unwrap(),
+        QueryBuilder::new(schema.clone()).at("Location", "MA").agg(AggFn::Count).build().unwrap(),
+        QueryBuilder::new(schema.clone())
+            .at("Automobile", "Sedan")
+            .agg(AggFn::Avg)
+            .build()
+            .unwrap(),
+    ];
+    for q in &queries {
+        aggregate_edb(&mut run.edb, q).unwrap();
+    }
+
+    let metrics = obs.metrics().expect("tracing handle exposes metrics");
+    let read = metrics.counter("edb.pages_read").get();
+    let pruned = metrics.counter("edb.pages_pruned").get();
+    assert_eq!(
+        read + pruned,
+        total_pages * queries.len() as u64,
+        "pruned + read must equal the no-index page count"
+    );
+    assert_eq!(metrics.gauge("edb.segments").get(), views.len() as i64);
+    // The cumulative scan counters on the EDB itself agree with the
+    // metrics registry.
+    let io = run.edb.segment_io();
+    assert_eq!(io.pages_read, read);
+    assert_eq!(io.pages_pruned, pruned);
+}
+
+#[test]
 fn disabled_handle_leaves_accounted_io_bit_identical() {
     // The zero-cost contract: a run with observability off and a run with
     // full tracing on account exactly the same page I/O, pool traffic and

@@ -1,0 +1,245 @@
+//! The segment layer's contracts, end to end:
+//!
+//! 1. **Pruning is invisible** (proptest): over random fact tables and
+//!    random query boxes, SUM/COUNT/AVG computed through the fence-pruned
+//!    cursor are bit-identical to a naive scan of every entry in every
+//!    segment page — pruning may only skip pages provably disjoint from
+//!    the box, so the visited entry sequence (and every f64) is unchanged.
+//! 2. **Compaction is a rewrite, not an edit** — base + k delta segments
+//!    compacted back into few tiers hold exactly the same live entry
+//!    multiset as `snapshot_entries`, and its accounted page I/O is exact:
+//!    the same mutation sequence charges the same meter reading, run to
+//!    run.
+
+use iolap::core::maintain::{EdbMutation, MaintainableEdb};
+use iolap::core::{
+    accumulate_region, allocate, Algorithm, AllocConfig, PolicySpec, SegmentCursor, SegmentView,
+};
+use iolap::hierarchy::{Hierarchy, HierarchyBuilder};
+use iolap::model::{paper_example, Fact, FactId, FactTable, RegionBox, Schema, MAX_DIMS};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a random 2-level hierarchy with ≤ 12 leaves.
+fn arb_hierarchy(tag: &'static str) -> impl Strategy<Value = Hierarchy> {
+    (2u32..=12, 1u32..=4, any::<u64>()).prop_map(move |(leaves, groups, seed)| {
+        let groups = groups.min(leaves);
+        let parents: Vec<u32> = (0..leaves)
+            .map(|i| if i < groups { i } else { ((seed >> (i % 48)) as u32 ^ i) % groups })
+            .collect();
+        HierarchyBuilder::new(tag)
+            .level("Leaf", leaves)
+            .level("Group", groups)
+            .parents(2, &parents)
+            .build()
+    })
+}
+
+/// Strategy: a random fact table (mixed precise/imprecise facts).
+fn arb_table() -> impl Strategy<Value = FactTable> {
+    (arb_hierarchy("D0"), arb_hierarchy("D1"), 1usize..40, any::<u64>()).prop_map(
+        |(h0, h1, n, seed)| {
+            let schema = Arc::new(Schema::new(vec![Arc::new(h0), Arc::new(h1)], "M"));
+            let mut facts = Vec::with_capacity(n);
+            let mut s = seed;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            for id in 1..=n as u64 {
+                let mut dims = [0u32; 2];
+                for (d, slot) in dims.iter_mut().enumerate() {
+                    let h = schema.dim(d);
+                    let r = next();
+                    *slot = if r % 10 < 6 {
+                        h.leaf_node((r >> 8) as u32 % h.num_leaves()).0
+                    } else {
+                        (r >> 8) as u32 % h.num_nodes()
+                    };
+                }
+                let measure = 1.0 + (next() % 100) as f64;
+                facts.push(Fact::new(id, &dims, measure));
+            }
+            FactTable::from_facts(schema, facts)
+        },
+    )
+}
+
+/// Strategy: a random (possibly empty, possibly full-space) query box for
+/// a 2-dimensional schema; widths are clamped to the leaf domains later.
+fn arb_box() -> impl Strategy<Value = (u32, u32, u32, u32)> {
+    (0u32..12, 0u32..12, 1u32..13, 1u32..13)
+}
+
+/// A naive full-entry scan: every page of every segment, no fences — the
+/// independent reimplementation the pruned cursor is checked against.
+fn naive_scan(views: &[SegmentView], region: &RegionBox) -> (f64, f64) {
+    let mut sum = 0.0;
+    let mut count = 0.0;
+    for v in views {
+        for e in v.segment.entries() {
+            if !v.exclude.contains(&e.fact_id) && region.contains_cell(&e.cell) {
+                sum += e.weight * e.measure;
+                count += e.weight;
+            }
+        }
+    }
+    (sum, count)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// SUM/COUNT/AVG through the pruned segment cursor are bit-identical
+    /// to the naive every-entry scan, and the page accounting always
+    /// covers the whole segment set.
+    #[test]
+    fn pruned_aggregates_are_bit_identical_to_a_naive_scan(
+        table in arb_table(),
+        boxes in proptest::collection::vec(arb_box(), 1..8),
+    ) {
+        let has_precise = table.num_precise() > 0;
+        prop_assume!(has_precise || table.num_imprecise() == 0);
+
+        let schema = table.schema().clone();
+        let cfg = AllocConfig::builder().in_memory(128).build();
+        let policy = PolicySpec::em_count(0.01);
+        let mut run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
+        let views = run.edb.segments().unwrap();
+        let total_pages: u64 = views.iter().map(|v| v.segment.num_pages()).sum();
+
+        for &(x, y, w, h) in &boxes {
+            let mut lo = [0u32; MAX_DIMS];
+            let mut hi = [0u32; MAX_DIMS];
+            let (l0, l1) = (schema.dim(0).num_leaves(), schema.dim(1).num_leaves());
+            lo[0] = x.min(l0);
+            lo[1] = y.min(l1);
+            hi[0] = (x + w).min(l0);
+            hi[1] = (y + h).min(l1);
+            let region = RegionBox { lo, hi, k: 2 };
+
+            let (want_sum, want_count) = naive_scan(&views, &region);
+            let (sum, count, stats) = accumulate_region(&views, &region);
+            prop_assert_eq!(sum.to_bits(), want_sum.to_bits(), "SUM bits for {:?}", region);
+            prop_assert_eq!(count.to_bits(), want_count.to_bits(), "COUNT bits for {:?}", region);
+            // AVG is sum/count on both sides; identical ingredients give
+            // identical bits (the 0-count guard included).
+            let avg = if count > 0.0 { sum / count } else { 0.0 };
+            let want_avg = if want_count > 0.0 { want_sum / want_count } else { 0.0 };
+            prop_assert_eq!(avg.to_bits(), want_avg.to_bits());
+            prop_assert_eq!(stats.pages_read + stats.pages_pruned, total_pages,
+                "every page is either read or pruned");
+
+            // The unpruned cursor agrees too (and reads everything).
+            let mut full = SegmentCursor::full_scan(&views, region);
+            let mut fsum = 0.0;
+            let mut fcount = 0.0;
+            full.for_each(|e| { fsum += e.weight * e.measure; fcount += e.weight; });
+            prop_assert_eq!(fsum.to_bits(), want_sum.to_bits());
+            prop_assert_eq!(fcount.to_bits(), want_count.to_bits());
+            prop_assert_eq!(full.stats().pages_read, total_pages);
+        }
+    }
+}
+
+/// Live-entry multiset of a set of segment views, as sortable keys.
+fn live_multiset(views: &[SegmentView]) -> Vec<(FactId, [u32; MAX_DIMS], u64, u64)> {
+    let mut out: Vec<_> = views
+        .iter()
+        .flat_map(|v| {
+            v.segment
+                .entries()
+                .iter()
+                .filter(|e| !v.exclude.contains(&e.fact_id))
+                .map(|e| (e.fact_id, e.cell, e.weight.to_bits(), e.measure.to_bits()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn build_medb() -> MaintainableEdb {
+    let run = allocate(
+        &paper_example::table1(),
+        &PolicySpec::em_count(0.01),
+        Algorithm::Transitive,
+        &AllocConfig::builder().in_memory(256).build(),
+    )
+    .unwrap();
+    MaintainableEdb::build(run, PolicySpec::em_count(0.01)).unwrap()
+}
+
+/// The mutation batches the compaction tests replay: enough rounds to
+/// drive several delta segments through a threshold-1 compaction.
+fn compaction_batches() -> Vec<Vec<EdbMutation>> {
+    let mut f60 = Fact::new(60, &[0, 0], 30.0);
+    f60.dims[0] = paper_example::schema().dim(0).all().0;
+    vec![
+        vec![EdbMutation::UpdateMeasure { fact_id: 1, new_measure: 111.0 }],
+        vec![EdbMutation::Insert(f60)],
+        vec![EdbMutation::UpdateMeasure { fact_id: 2, new_measure: 222.0 }],
+        vec![EdbMutation::Delete(11)],
+        vec![EdbMutation::UpdateMeasure { fact_id: 60, new_measure: 333.0 }],
+    ]
+}
+
+#[test]
+fn compaction_round_trip_preserves_the_sorted_live_multiset() {
+    let mut medb = build_medb();
+    medb.set_compaction_threshold(1); // compact on every refresh
+    for batch in compaction_batches() {
+        medb.apply_batch(&batch).unwrap();
+        let views = medb.snapshot_segments().unwrap();
+        // threshold 1 keeps the tier count at base + at most one delta.
+        assert!(views.len() <= 2, "{} segments after compaction", views.len());
+
+        // The compacted tiers hold exactly the live multiset the flat
+        // snapshot reports.
+        let mut want: Vec<_> = medb
+            .snapshot_entries()
+            .unwrap()
+            .iter()
+            .map(|e| (e.fact_id, e.cell, e.weight.to_bits(), e.measure.to_bits()))
+            .collect();
+        want.sort_unstable();
+        let views = medb.snapshot_segments().unwrap();
+        assert_eq!(live_multiset(&views), want);
+    }
+    assert!(medb.num_compactions() >= 1, "threshold 1 must have compacted");
+}
+
+#[test]
+fn compaction_io_is_exactly_accounted_and_reproducible() {
+    // Two independent replicas replay the identical mutation sequence;
+    // exact I/O accounting means their meters agree read for read, write
+    // for write — including every compaction's temp file and external
+    // sort. Any hidden (unaccounted) I/O path would have to desynchronize
+    // eventually; equality run-to-run plus a nonzero compaction delta is
+    // the strongest pin that doesn't hardcode a page count.
+    let run_all = || {
+        let mut medb = build_medb();
+        medb.set_compaction_threshold(1);
+        let before = medb.accounted_io();
+        let mut deltas = Vec::new();
+        for batch in compaction_batches() {
+            medb.apply_batch(&batch).unwrap();
+            let pre = medb.accounted_io();
+            let _ = medb.snapshot_segments().unwrap();
+            deltas.push(medb.accounted_io() - pre);
+        }
+        (medb.num_compactions(), medb.accounted_io() - before, deltas)
+    };
+    let (compactions_a, total_a, deltas_a) = run_all();
+    let (compactions_b, total_b, deltas_b) = run_all();
+    assert_eq!(compactions_a, compactions_b);
+    assert!(compactions_a >= 1);
+    assert_eq!(total_a, total_b, "accounted I/O must be exact, not approximate");
+    assert_eq!(deltas_a, deltas_b, "per-refresh I/O must replay identically");
+    assert!(
+        deltas_a.iter().any(|d| d.total() > 0),
+        "compaction must charge the meter (temp file + external sort)"
+    );
+}

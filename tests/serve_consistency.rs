@@ -136,7 +136,7 @@ fn update_round_trip_stays_bit_identical_to_the_library() {
         epoch: 1,
         schema: medb.schema().clone(),
         table: Arc::new(paper_example::table1()), // unused for EDB aggregates
-        entries: Arc::new(medb.snapshot_entries().expect("entries")),
+        segments: medb.snapshot_segments().expect("segments"),
     };
 
     for &(at, agg) in QUERIES {
@@ -186,5 +186,16 @@ fn updates_invalidate_only_overlapping_cache_entries() {
         h.obs().counter("serve.cache.invalidated").unwrap().get() >= 1,
         "invalidation must be visible in the metrics"
     );
+
+    // The segment layer's answer-path counters are exported over HTTP:
+    // every served (non-cached) aggregate either read or pruned pages.
+    let (status, prom) = http_roundtrip(&mut conn, "GET", "/metrics", "").expect("metrics");
+    assert_eq!(status, 200);
+    for series in ["iolap_edb_pages_read", "iolap_edb_pages_pruned", "iolap_edb_segments"] {
+        assert!(prom.contains(series), "missing {series} in /metrics:\n{prom}");
+    }
+    let read = h.obs().counter("edb.pages_read").unwrap().get();
+    let pruned = h.obs().counter("edb.pages_pruned").unwrap().get();
+    assert!(read + pruned > 0, "served queries must account their page scans");
     h.shutdown();
 }
