@@ -10,7 +10,7 @@ use crate::error::Result;
 use crate::passes::{AncCache, GroupWindow, OnLoad};
 use crate::prep::PreparedData;
 use crate::segment::{EdbSegment, SegScanStats, SegmentView};
-use iolap_model::{EdbCodec, EdbRecord, FactId, MAX_DIMS};
+use iolap_model::{EdbCodec, EdbRecord, FactId, SegmentLayout, MAX_DIMS};
 use iolap_storage::RecordFile;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -27,6 +27,8 @@ pub struct ExtendedDatabase {
     facts_allocated: u64,
     /// Lazily built segment view of the entries (invalidated on write).
     segments: Option<Vec<SegmentView>>,
+    /// Layout (cell order × page format) used when building segments.
+    layout: SegmentLayout,
     /// Cumulative cursor counters from segment scans over this EDB.
     segment_io: SegScanStats,
     /// Observability handle inherited from the env (disabled = free).
@@ -48,9 +50,24 @@ impl ExtendedDatabase {
             num_imprecise_entries: 0,
             facts_allocated: 0,
             segments: None,
+            layout: SegmentLayout::default(),
             segment_io: SegScanStats::default(),
             obs: env.obs().clone(),
         })
+    }
+
+    /// Set the layout future segment builds use (compressed/row pages,
+    /// canonical/Morton order). Invalidates any cached segment view.
+    pub fn set_segment_layout(&mut self, layout: SegmentLayout) {
+        if self.layout != layout {
+            self.layout = layout;
+            self.segments = None;
+        }
+    }
+
+    /// The layout segment builds use.
+    pub fn segment_layout(&self) -> SegmentLayout {
+        self.layout
     }
 
     /// Append one entry. `first_for_fact` must be true exactly once per
@@ -70,15 +87,21 @@ impl ExtendedDatabase {
     }
 
     /// The immutable segment view of the current entries: one base
-    /// [`EdbSegment`] holding every entry in canonical cell order, built
-    /// lazily (one accounted scan of the entry file) and cached until the
-    /// next write. All query-crate aggregation runs over this view.
+    /// [`EdbSegment`] holding every entry in the configured layout's cell
+    /// order, built lazily (one accounted scan of the entry file) and
+    /// cached until the next write. All query-crate aggregation runs over
+    /// this view.
     pub fn segments(&mut self) -> Result<Vec<SegmentView>> {
         if self.segments.is_none() {
             let mut entries = Vec::with_capacity(self.file.len() as usize);
             let k = self.file.codec().k;
             self.for_each(|e| entries.push(e.clone()))?;
-            let views = vec![SegmentView::new(Arc::new(EdbSegment::build(k, entries)))];
+            let seg = Arc::new(EdbSegment::build_with(k, entries, self.layout));
+            if let Some(g) = self.obs.gauge("edb.compression_ratio") {
+                // Milli-ratio: 1000 = uncompressed, 1700 = 1.7× smaller.
+                g.set((seg.compression_ratio() * 1000.0) as i64);
+            }
+            let views = vec![SegmentView::new(seg)];
             if let Some(g) = self.obs.gauge("edb.segments") {
                 g.set(views.len() as i64);
             }
@@ -97,6 +120,9 @@ impl ExtendedDatabase {
         }
         if let Some(c) = self.obs.counter("edb.pages_pruned") {
             c.add(stats.pages_pruned);
+        }
+        if let Some(c) = self.obs.counter("edb.bytes_read") {
+            c.add(stats.bytes_read);
         }
     }
 

@@ -71,6 +71,7 @@ pub mod transitive;
 pub use edb::ExtendedDatabase;
 pub use error::{CoreError, Result};
 pub use estimate::{plan, PlanEstimate};
+pub use iolap_model::{CellOrder, PageFormat, SegmentLayout};
 pub use iolap_storage::{PrefetchConfig, PrefetchStats};
 pub use maintain::{MaintainableEdb, UpdateReport};
 pub use policy::{CandidateCells, Convergence, PolicySpec, Quantity};

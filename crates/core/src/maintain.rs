@@ -32,7 +32,7 @@ use crate::runner::AllocationRun;
 use crate::segment::{EdbSegment, SegmentView};
 use iolap_model::records::NO_CCID;
 use iolap_model::{
-    canonical_sort_key, CellKey, CellRecord, EdbCodec, EdbRecord, Fact, FactId, RegionBox,
+    CellKey, CellRecord, EdbCodec, EdbRecord, Fact, FactId, RegionBox, SegmentLayout,
     WorkFactRecord,
 };
 use iolap_rtree::{Aabb, RTree};
@@ -190,6 +190,9 @@ pub struct MaintainableEdb {
     seg_deleted: HashSet<FactId>,
     /// Delta-segment count that triggers a compaction.
     compaction_threshold: usize,
+    /// Layout for newly built segment tiers (existing tiers keep theirs
+    /// until the next compaction re-encodes them).
+    seg_layout: SegmentLayout,
     /// Completed compactions.
     compactions: u64,
 }
@@ -333,6 +336,7 @@ impl MaintainableEdb {
             seg_owner: HashMap::new(),
             seg_deleted: HashSet::new(),
             compaction_threshold: 4,
+            seg_layout: SegmentLayout::default(),
             compactions: 0,
         })
     }
@@ -472,6 +476,13 @@ impl MaintainableEdb {
         self.compaction_threshold = n.max(1);
     }
 
+    /// Layout for segment tiers built from here on (the base tier, future
+    /// deltas, and the next compaction's re-encode). Segments already
+    /// published keep their layout — the cursor handles mixed tiers.
+    pub fn set_segment_layout(&mut self, layout: SegmentLayout) {
+        self.seg_layout = layout;
+    }
+
     /// Fold everything appended since the last refresh into the segment
     /// tiers and retire newly superseded or deleted facts.
     fn refresh_segments(&mut self) -> Result<()> {
@@ -481,7 +492,7 @@ impl MaintainableEdb {
             // The base tier: every original entry, sorted canonically.
             let mut base = Vec::with_capacity(self.base_len as usize);
             self.edb.for_each_range(0, self.base_len, |e| base.push(e.clone()))?;
-            self.segs.push(Arc::new(EdbSegment::build(k, base)));
+            self.segs.push(Arc::new(EdbSegment::build_with(k, base, self.seg_layout)));
             self.seg_excl.push(Arc::new(HashSet::new()));
             self.seg_cursor = self.base_len;
         }
@@ -511,7 +522,7 @@ impl MaintainableEdb {
             }
             if !entries.is_empty() {
                 let idx = self.segs.len();
-                self.segs.push(Arc::new(EdbSegment::build(k, entries)));
+                self.segs.push(Arc::new(EdbSegment::build_with(k, entries, self.seg_layout)));
                 self.seg_excl.push(Arc::new(HashSet::new()));
                 for id in claimed {
                     // Retire the fact's previous run: in an earlier delta
@@ -542,6 +553,14 @@ impl MaintainableEdb {
         if let Some(g) = self.prep.env.obs().gauge("edb.segments") {
             g.set(self.segs.len() as i64);
         }
+        if let Some(g) = self.prep.env.obs().gauge("edb.compression_ratio") {
+            let encoded: u64 = self.segs.iter().map(|s| s.encoded_bytes()).sum();
+            let raw: u64 = self.segs.iter().map(|s| s.uncompressed_bytes()).sum();
+            if encoded > 0 {
+                // Milli-ratio: 1000 = uncompressed, 1700 = 1.7× smaller.
+                g.set((raw as f64 / encoded as f64 * 1000.0) as i64);
+            }
+        }
         Ok(())
     }
 
@@ -551,25 +570,30 @@ impl MaintainableEdb {
     /// environment's exact page counters like every other pass.
     fn compact(&mut self) -> Result<()> {
         let k = self.prep.schema.k();
-        let live = |i: usize| -> u64 {
+        let live = |i: usize| -> Result<u64> {
             SegmentView { segment: self.segs[i].clone(), exclude: self.seg_excl[i].clone() }
                 .live_entries()
         };
-        let delta_live: u64 = (1..self.segs.len()).map(live).sum();
-        let include_base = delta_live >= live(0);
+        let mut delta_live = 0u64;
+        for i in 1..self.segs.len() {
+            delta_live += live(i)?;
+        }
+        let include_base = delta_live >= live(0)?;
         let start = if include_base { 0 } else { 1 };
         // Push every surviving entry through an accounted scratch file…
         let mut tmp = self.prep.env.create_file("seg-compact", EdbCodec { k })?;
         for (seg, excl) in self.segs[start..].iter().zip(&self.seg_excl[start..]) {
-            for e in seg.entries() {
+            seg.for_each_entry(|e| {
                 if !excl.contains(&e.fact_id) {
                     tmp.push(e)?;
                 }
-            }
+                Ok(())
+            })?;
         }
-        // …stable-sort it back into canonical cell order…
+        // …stable-sort it back into the target layout's cell order…
+        let order = self.seg_layout.order;
         let mut sorted = external_sort(&self.prep.env, tmp, SortBudget::pages(16), |e| {
-            canonical_sort_key(&e.cell, k)
+            order.sort_key(&e.cell, k)
         })?;
         // …and read the merged run back.
         let mut entries = Vec::with_capacity(sorted.len() as usize);
@@ -581,7 +605,7 @@ impl MaintainableEdb {
         let merged_idx = start;
         self.segs.truncate(start);
         self.seg_excl.truncate(start);
-        self.segs.push(Arc::new(EdbSegment::from_sorted(k, entries)));
+        self.segs.push(Arc::new(EdbSegment::from_sorted_with(k, entries, self.seg_layout)));
         self.seg_excl.push(Arc::new(HashSet::new()));
         // Every fact whose run lived in a compacted tier now lives in the
         // merged segment (deleted facts' entries are gone for good, which
@@ -1388,7 +1412,7 @@ mod tests {
     fn live_multiset(views: &[SegmentView]) -> Vec<EntryKey> {
         let mut out = Vec::new();
         for v in views {
-            for e in v.segment.entries() {
+            for e in v.segment.records().unwrap() {
                 if !v.exclude.contains(&e.fact_id) {
                     out.push((e.fact_id, e.cell, e.weight.to_bits(), e.measure.to_bits()));
                 }

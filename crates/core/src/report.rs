@@ -67,6 +67,12 @@ pub struct RunReport {
     pub edb_pages_pruned: u64,
     /// Segment pages actually visited across query scans.
     pub edb_pages_read: u64,
+    /// Bytes charged for the pages visited (compressed payload bytes for
+    /// columnar segments, full pages for row segments).
+    pub edb_bytes_read: u64,
+    /// Segment compression milli-ratio: `uncompressed / encoded × 1000`
+    /// (1000 = row layout, 1700 = pages 1.7× smaller than rows).
+    pub edb_compression_ratio_milli: u64,
 }
 
 /// Connected-component census from the Transitive algorithm — the numbers
@@ -138,6 +144,8 @@ impl RunReport {
         metrics.counter("report.edb.compactions").add(self.edb_compactions);
         metrics.counter("report.edb.pages_pruned").add(self.edb_pages_pruned);
         metrics.counter("report.edb.pages_read").add(self.edb_pages_read);
+        metrics.counter("report.edb.bytes_read").add(self.edb_bytes_read);
+        metrics.gauge("report.edb.compression_ratio").set(self.edb_compression_ratio_milli as i64);
         metrics.gauge("report.converged").set(i64::from(self.converged));
         metrics.gauge("report.over_budget").set(i64::from(self.over_budget));
         for (name, v) in [
@@ -306,6 +314,8 @@ mod tests {
             edb_compactions: 1,
             edb_pages_pruned: 90,
             edb_pages_read: 10,
+            edb_bytes_read: 4096,
+            edb_compression_ratio_milli: 1700,
             ..Default::default()
         };
         let prom = r.to_prometheus();
@@ -313,6 +323,8 @@ mod tests {
         assert!(prom.contains("iolap_report_edb_compactions 1"), "{prom}");
         assert!(prom.contains("iolap_report_edb_pages_pruned 90"), "{prom}");
         assert!(prom.contains("iolap_report_edb_pages_read 10"), "{prom}");
+        assert!(prom.contains("iolap_report_edb_bytes_read 4096"), "{prom}");
+        assert!(prom.contains("iolap_report_edb_compression_ratio 1700"), "{prom}");
     }
 
     #[test]

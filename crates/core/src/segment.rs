@@ -1,11 +1,20 @@
 //! Immutable, indexed EDB segments and the shared pruning cursor.
 //!
-//! An [`EdbSegment`] holds Extended Database entries sorted in canonical
-//! cell order ([`iolap_model::cmp_cells`]) and partitioned into logical
-//! pages of `PAGE_SIZE / record width` entries — the same pagination a
-//! [`iolap_storage::RecordFile`] of [`EdbRecord`]s uses — with a
-//! [`SegmentFooter`] carrying one fence (min/max leaf id per dimension)
-//! per page plus whole-segment stats. Segments are immutable: allocation
+//! An [`EdbSegment`] holds Extended Database entries sorted by a pluggable
+//! [`CellOrder`] (canonical [`iolap_model::cmp_cells`] order, or a Morton
+//! interleave that tightens fence boxes in *every* dimension) and stored in
+//! one of two page formats behind [`SegmentLayout`]:
+//!
+//! * [`PageFormat::Rows`] — fixed-width `EdbRecord`s, `PAGE_SIZE / width`
+//!   per logical page, exactly the PR 5 layout;
+//! * [`PageFormat::ColumnarV2`] — each page is one compressed blob
+//!   (per-dimension delta+varint coordinate streams, change-bitmap f64
+//!   streams, checksum; see `iolap_model::segment_page`) packed to fit a
+//!   single `PAGE_SIZE` disk block, so page density varies with the data.
+//!
+//! Either way the footer carries one fence (min/max leaf id per dimension)
+//! per page, so Theorem 12 contrapositive pruning, exclusion sets and
+//! compaction are format-agnostic. Segments are immutable: allocation
 //! produces one base segment, incremental maintenance appends delta
 //! segments and retires superseded facts through per-segment *exclusion
 //! sets* ([`SegmentView`]), and compaction rewrites tiers without touching
@@ -14,56 +23,89 @@
 //! [`SegmentCursor`] is the one scan loop shared by the query crate
 //! (`aggregate_edb`, `rollup`, `pivot`) and the server's snapshot answer
 //! path: it walks the views in order, skips pages whose fence box is
-//! disjoint from the query box (Theorem 12's contrapositive — a fact
-//! region disjoint from the query cannot contribute), and visits the
-//! surviving live entries in segment order. Because pruning only ever
-//! skips pages that contain **no** cell of the query box, the visited
-//! entry sequence — and therefore every f64 accumulation over it — is
-//! bit-identical to an unpruned scan of the same views.
+//! disjoint from the query box, and visits the surviving live entries in
+//! segment order, decoding compressed pages through one reusable per-scan
+//! buffer. Because pruning only ever skips pages that contain **no** cell
+//! of the query box, the visited entry sequence — and therefore every f64
+//! accumulation over it — is bit-identical to an unpruned scan of the same
+//! views. A corrupt or truncated compressed page surfaces as a storage
+//! error from the cursor; it never panics and never yields a short read.
 
 use crate::error::Result;
 use iolap_model::{
-    canonical_sort_key, EdbCodec, EdbRecord, FactId, RegionBox, SegmentFooter, MAX_DIMS,
+    decode_page, EdbCodec, EdbRecord, FactId, PageBuilder, PageFence, PageFormat, RegionBox,
+    SegmentFooter, SegmentLayout, SegmentStats, MAX_DIMS, MAX_V2_PAGE_BYTES,
 };
+use iolap_storage::{StorageError, PAGE_SIZE};
 use std::collections::HashSet;
 use std::path::Path;
 use std::sync::Arc;
+
+pub use iolap_model::CellOrder;
+
+/// Entry storage: decoded rows, or encoded columnar page payloads that are
+/// decoded lazily at scan time (so at-rest corruption surfaces from the
+/// cursor as an error, not at load).
+enum SegStore {
+    Rows(Vec<EdbRecord>),
+    Pages(Vec<Box<[u8]>>),
+}
 
 /// One immutable, sorted, page-aligned run of EDB entries with its fence
 /// index.
 pub struct EdbSegment {
     k: usize,
-    recs_per_page: usize,
-    entries: Vec<EdbRecord>,
+    layout: SegmentLayout,
+    store: SegStore,
     footer: SegmentFooter,
 }
 
 impl EdbSegment {
-    /// Build a segment from entries in any order: stable-sorts by the
-    /// canonical cell key (ties keep input order, so a deterministic input
-    /// order yields a deterministic — and thus bit-reproducible — segment)
-    /// and derives the footer.
-    pub fn build(k: usize, mut entries: Vec<EdbRecord>) -> Self {
-        entries.sort_by_key(|e| canonical_sort_key(&e.cell, k));
-        Self::from_sorted(k, entries)
+    /// Build a segment from entries in any order under the default layout
+    /// (compressed pages, canonical order — same entry order as rows).
+    pub fn build(k: usize, entries: Vec<EdbRecord>) -> Self {
+        Self::build_with(k, entries, SegmentLayout::default())
+    }
+
+    /// Build a segment under an explicit layout: stable-sorts by the
+    /// layout's cell order (ties keep input order, so a deterministic
+    /// input order yields a deterministic — and thus bit-reproducible —
+    /// segment) and encodes the pages.
+    pub fn build_with(k: usize, mut entries: Vec<EdbRecord>, layout: SegmentLayout) -> Self {
+        entries.sort_by_cached_key(|e| layout.order.sort_key(&e.cell, k));
+        Self::from_sorted_with(k, entries, layout)
     }
 
     /// Wrap entries already in canonical cell order (e.g. the output of an
-    /// external sort) without re-sorting.
+    /// external sort) without re-sorting, under the default layout.
     pub fn from_sorted(k: usize, entries: Vec<EdbRecord>) -> Self {
+        Self::from_sorted_with(k, entries, SegmentLayout::default())
+    }
+
+    /// Wrap entries already sorted by `layout.order` without re-sorting.
+    pub fn from_sorted_with(k: usize, entries: Vec<EdbRecord>, layout: SegmentLayout) -> Self {
         debug_assert!(
             entries.windows(2).all(|w| {
-                canonical_sort_key(&w[0].cell, k) <= canonical_sort_key(&w[1].cell, k)
+                layout.order.sort_key(&w[0].cell, k) <= layout.order.sort_key(&w[1].cell, k)
             }),
-            "segment entries must be in canonical cell order"
+            "segment entries must be sorted by the layout's cell order"
         );
-        let recs_per_page = SegmentFooter::edb_recs_per_page(k);
-        let footer = SegmentFooter::build(
-            k,
-            recs_per_page,
-            entries.iter().map(|e| (&e.cell, e.weight, e.measure)),
-        );
-        EdbSegment { k, recs_per_page, entries, footer }
+        match layout.format {
+            PageFormat::Rows => {
+                let recs_per_page = SegmentFooter::edb_recs_per_page(k);
+                let mut footer = SegmentFooter::build(
+                    k,
+                    recs_per_page,
+                    entries.iter().map(|e| (&e.cell, e.weight, e.measure)),
+                );
+                footer.order = layout.order;
+                EdbSegment { k, layout, store: SegStore::Rows(entries), footer }
+            }
+            PageFormat::ColumnarV2 => {
+                let (store, footer) = encode_columnar(k, layout.order, entries);
+                EdbSegment { k, layout, store, footer }
+            }
+        }
     }
 
     /// Number of dimensions.
@@ -71,14 +113,19 @@ impl EdbSegment {
         self.k
     }
 
+    /// The layout (cell order × page format) this segment was built with.
+    pub fn layout(&self) -> SegmentLayout {
+        self.layout
+    }
+
     /// Number of entries.
     pub fn len(&self) -> u64 {
-        self.entries.len() as u64
+        self.footer.stats.entries
     }
 
     /// True when the segment holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Number of logical pages (each indexed by one fence).
@@ -86,21 +133,97 @@ impl EdbSegment {
         self.footer.num_pages()
     }
 
-    /// Entries per logical page.
+    /// Entries per logical page for row-format segments; 0 for columnar
+    /// segments, whose density varies per page.
     pub fn recs_per_page(&self) -> usize {
-        self.recs_per_page
+        self.footer.recs_per_page as usize
     }
 
-    /// All entries, in canonical cell order.
-    pub fn entries(&self) -> &[EdbRecord] {
-        &self.entries
+    /// Bytes the exact-I/O meter charges for reading page `p`: a full
+    /// `PAGE_SIZE` block for row pages, the *compressed* payload length
+    /// for columnar pages.
+    pub fn page_io_bytes(&self, p: u64) -> u64 {
+        match &self.store {
+            SegStore::Rows(_) => PAGE_SIZE as u64,
+            SegStore::Pages(_) => u64::from(self.footer.page_bytes[p as usize]),
+        }
     }
 
-    /// The entries of logical page `p`.
-    pub fn page(&self, p: u64) -> &[EdbRecord] {
-        let start = p as usize * self.recs_per_page;
-        let end = (start + self.recs_per_page).min(self.entries.len());
-        &self.entries[start..end]
+    /// Total at-rest payload bytes of the entry pages (compressed size for
+    /// columnar segments, full row bytes for row segments).
+    pub fn encoded_bytes(&self) -> u64 {
+        match &self.store {
+            SegStore::Rows(entries) => (entries.len() * (4 * self.k + 24)) as u64,
+            SegStore::Pages(_) => self.footer.page_bytes.iter().map(|&b| u64::from(b)).sum(),
+        }
+    }
+
+    /// Uncompressed row bytes of the same entries (`entries × (4k + 24)`).
+    pub fn uncompressed_bytes(&self) -> u64 {
+        self.len() * (4 * self.k + 24) as u64
+    }
+
+    /// Compression ratio `uncompressed / encoded` (1.0 for row segments
+    /// and for empty segments).
+    pub fn compression_ratio(&self) -> f64 {
+        let enc = self.encoded_bytes();
+        if enc == 0 {
+            return 1.0;
+        }
+        self.uncompressed_bytes() as f64 / enc as f64
+    }
+
+    /// The entries of logical page `p`, decoding through `buf` when the
+    /// page is compressed (row pages borrow straight from the segment and
+    /// leave `buf` untouched). A corrupt page yields a storage error.
+    pub fn page_decoded<'s>(
+        &'s self,
+        p: u64,
+        buf: &'s mut Vec<EdbRecord>,
+    ) -> Result<&'s [EdbRecord]> {
+        match &self.store {
+            SegStore::Rows(entries) => {
+                let rpp = self.footer.recs_per_page as usize;
+                let start = p as usize * rpp;
+                let end = (start + rpp).min(entries.len());
+                Ok(&entries[start..end])
+            }
+            SegStore::Pages(pages) => {
+                let bytes = &pages[p as usize];
+                decode_page(self.k, bytes, buf)
+                    .map_err(|e| StorageError::Corrupt(format!("segment page {p}: {e}")))?;
+                let want = self.footer.page_rows[p as usize] as usize;
+                if buf.len() != want {
+                    return Err(StorageError::Corrupt(format!(
+                        "segment page {p} decoded to {} rows, footer says {want}",
+                        buf.len()
+                    ))
+                    .into());
+                }
+                Ok(&buf[..])
+            }
+        }
+    }
+
+    /// Visit every entry in segment order, decoding pages as needed.
+    pub fn for_each_entry(&self, mut f: impl FnMut(&EdbRecord) -> Result<()>) -> Result<()> {
+        let mut buf = Vec::new();
+        for p in 0..self.num_pages() {
+            for e in self.page_decoded(p, &mut buf)? {
+                f(e)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// All entries, decoded, in segment order.
+    pub fn records(&self) -> Result<Vec<EdbRecord>> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        self.for_each_entry(|e| {
+            out.push(e.clone());
+            Ok(())
+        })?;
+        Ok(out)
     }
 
     /// The footer (fences + stats).
@@ -109,34 +232,149 @@ impl EdbSegment {
     }
 
     /// Persist the segment to `path` in the page-aligned segment file
-    /// format (records + encoded footer; see [`iolap_storage::segfile`]).
+    /// format (see [`iolap_storage::segfile`]): format v1 for row
+    /// segments, v2 (one encoded blob per page block) for columnar ones.
     pub fn save(&self, path: &Path) -> Result<()> {
-        iolap_storage::segfile::write_segment(
-            path,
-            &EdbCodec { k: self.k },
-            &self.entries,
-            &self.footer.encode(),
-        )?;
+        match &self.store {
+            SegStore::Rows(entries) => {
+                iolap_storage::segfile::write_segment(
+                    path,
+                    &EdbCodec { k: self.k },
+                    entries,
+                    &self.footer.encode(),
+                )?;
+            }
+            SegStore::Pages(pages) => {
+                iolap_storage::segfile::write_segment_v2(path, pages, &self.footer.encode())?;
+            }
+        }
         Ok(())
     }
 
     /// Load a segment written by [`EdbSegment::save`], re-validating the
-    /// footer against the records.
+    /// footer against the file. Compressed page payloads are *not* decoded
+    /// here — decoding (and checksum verification) happens lazily at scan
+    /// time, so a bit-flipped page surfaces from the cursor as a storage
+    /// error rather than slowing every load.
     pub fn load(path: &Path, k: usize) -> Result<Self> {
-        let (entries, footer_bytes) = iolap_storage::segfile::read_segment(path, &EdbCodec { k })?;
-        let footer =
-            SegmentFooter::decode(&footer_bytes).map_err(crate::error::CoreError::BadInput)?;
-        if footer.k != k || footer.stats.entries != entries.len() as u64 {
-            return Err(crate::error::CoreError::BadInput(format!(
-                "segment footer (k={}, {} entries) does not match file (k={k}, {} entries)",
-                footer.k,
-                footer.stats.entries,
-                entries.len()
-            )));
+        match iolap_storage::segfile::probe_segment_version(path)? {
+            iolap_storage::segfile::SEGFILE_VERSION => {
+                let (entries, footer_bytes) =
+                    iolap_storage::segfile::read_segment(path, &EdbCodec { k })?;
+                let footer = SegmentFooter::decode(&footer_bytes)
+                    .map_err(crate::error::CoreError::BadInput)?;
+                if footer.format != PageFormat::Rows {
+                    return Err(crate::error::CoreError::BadInput(
+                        "columnar footer in a row-format segment file".into(),
+                    ));
+                }
+                if footer.k != k || footer.stats.entries != entries.len() as u64 {
+                    return Err(crate::error::CoreError::BadInput(format!(
+                        "segment footer (k={}, {} entries) does not match file (k={k}, {} entries)",
+                        footer.k,
+                        footer.stats.entries,
+                        entries.len()
+                    )));
+                }
+                let layout = SegmentLayout { order: footer.order, format: PageFormat::Rows };
+                Ok(EdbSegment { k, layout, store: SegStore::Rows(entries), footer })
+            }
+            _ => {
+                let (pages, footer_bytes) = iolap_storage::segfile::read_segment_v2(path)?;
+                let footer = SegmentFooter::decode(&footer_bytes)
+                    .map_err(crate::error::CoreError::BadInput)?;
+                if footer.format != PageFormat::ColumnarV2 {
+                    return Err(crate::error::CoreError::BadInput(
+                        "row footer in a columnar segment file".into(),
+                    ));
+                }
+                if footer.k != k {
+                    return Err(crate::error::CoreError::BadInput(format!(
+                        "segment footer has k={}, want k={k}",
+                        footer.k
+                    )));
+                }
+                if footer.num_pages() != pages.len() as u64 {
+                    return Err(StorageError::Corrupt(format!(
+                        "segment file has {} pages, footer indexes {}",
+                        pages.len(),
+                        footer.num_pages()
+                    ))
+                    .into());
+                }
+                for (p, page) in pages.iter().enumerate() {
+                    if footer.page_bytes[p] as usize != page.len() {
+                        return Err(StorageError::Corrupt(format!(
+                            "segment page {p} is {} bytes, footer says {}",
+                            page.len(),
+                            footer.page_bytes[p]
+                        ))
+                        .into());
+                    }
+                }
+                let layout = SegmentLayout { order: footer.order, format: PageFormat::ColumnarV2 };
+                Ok(EdbSegment { k, layout, store: SegStore::Pages(pages), footer })
+            }
         }
-        let recs_per_page = footer.recs_per_page as usize;
-        Ok(EdbSegment { k, recs_per_page, entries, footer })
     }
+}
+
+/// Encode sorted entries into compressed columnar pages, deriving the
+/// fence index and whole-segment stats in the same single pass (the stats
+/// accumulate in entry order, exactly like the row-format footer build).
+fn encode_columnar(
+    k: usize,
+    order: CellOrder,
+    entries: Vec<EdbRecord>,
+) -> (SegStore, SegmentFooter) {
+    let n = entries.len() as u64;
+    let mut pages: Vec<Box<[u8]>> = Vec::new();
+    let mut fences: Vec<PageFence> = Vec::new();
+    let mut page_rows: Vec<u32> = Vec::new();
+    let mut page_bytes: Vec<u32> = Vec::new();
+    let mut bbox: Option<RegionBox> = None;
+    let mut sum_weight = 0.0f64;
+    let mut sum_wm = 0.0f64;
+    let mut builder = PageBuilder::new(k);
+    let mut fence: Option<PageFence> = None;
+    let mut close = |builder: &mut PageBuilder, fence: Option<PageFence>| {
+        let (recs, bytes) = builder.finish();
+        page_rows.push(recs.len() as u32);
+        page_bytes.push(bytes.len() as u32);
+        pages.push(bytes.into_boxed_slice());
+        fences.push(fence.expect("non-empty page has a fence"));
+    };
+    for e in entries {
+        if !builder.is_empty() && builder.len_with(&e) > MAX_V2_PAGE_BYTES {
+            close(&mut builder, fence.take());
+        }
+        match fence.as_mut() {
+            None => fence = Some(PageFence::point(&e.cell)),
+            Some(f) => f.grow(&e.cell, k),
+        }
+        match bbox.as_mut() {
+            None => bbox = Some(RegionBox::point(&e.cell, k)),
+            Some(b) => b.grow_to_cell(&e.cell),
+        }
+        sum_weight += e.weight;
+        sum_wm += e.weight * e.measure;
+        builder.push(e);
+    }
+    if !builder.is_empty() {
+        close(&mut builder, fence.take());
+    }
+    let bbox = bbox.unwrap_or(RegionBox { lo: [0; MAX_DIMS], hi: [0; MAX_DIMS], k: k as u8 });
+    let footer = SegmentFooter {
+        k,
+        recs_per_page: 0,
+        order,
+        format: PageFormat::ColumnarV2,
+        stats: SegmentStats { entries: n, bbox, sum_weight, sum_weighted_measure: sum_wm },
+        fences,
+        page_rows,
+        page_bytes,
+    };
+    (SegStore::Pages(pages), footer)
 }
 
 /// A published view of one segment: the immutable entries plus the set of
@@ -160,11 +398,18 @@ impl SegmentView {
     }
 
     /// Number of live entries (entries whose fact is not excluded).
-    pub fn live_entries(&self) -> u64 {
+    pub fn live_entries(&self) -> Result<u64> {
         if self.exclude.is_empty() {
-            return self.segment.len();
+            return Ok(self.segment.len());
         }
-        self.segment.entries().iter().filter(|e| !self.exclude.contains(&e.fact_id)).count() as u64
+        let mut live = 0u64;
+        self.segment.for_each_entry(|e| {
+            if !self.exclude.contains(&e.fact_id) {
+                live += 1;
+            }
+            Ok(())
+        })?;
+        Ok(live)
     }
 }
 
@@ -175,6 +420,9 @@ pub struct SegScanStats {
     pub pages_read: u64,
     /// Pages skipped because their fence box is disjoint from the query.
     pub pages_pruned: u64,
+    /// Bytes charged for the pages read: compressed payload bytes for
+    /// columnar pages, full `PAGE_SIZE` blocks for row pages.
+    pub bytes_read: u64,
 }
 
 impl SegScanStats {
@@ -182,6 +430,7 @@ impl SegScanStats {
     pub fn absorb(&mut self, other: SegScanStats) {
         self.pages_read += other.pages_read;
         self.pages_pruned += other.pages_pruned;
+        self.bytes_read += other.bytes_read;
     }
 }
 
@@ -191,19 +440,32 @@ pub struct SegmentCursor<'a> {
     region: RegionBox,
     prune: bool,
     stats: SegScanStats,
+    buf: Vec<EdbRecord>,
 }
 
 impl<'a> SegmentCursor<'a> {
     /// A pruning cursor over `views` restricted to `region`.
     pub fn new(views: &'a [SegmentView], region: RegionBox) -> Self {
-        SegmentCursor { views, region, prune: true, stats: SegScanStats::default() }
+        SegmentCursor {
+            views,
+            region,
+            prune: true,
+            stats: SegScanStats::default(),
+            buf: Vec::new(),
+        }
     }
 
     /// A baseline cursor that reads every page (no fence pruning) but
     /// applies the same region/exclusion filters — the reference the
     /// pruned scan must match bit-for-bit.
     pub fn full_scan(views: &'a [SegmentView], region: RegionBox) -> Self {
-        SegmentCursor { views, region, prune: false, stats: SegScanStats::default() }
+        SegmentCursor {
+            views,
+            region,
+            prune: false,
+            stats: SegScanStats::default(),
+            buf: Vec::new(),
+        }
     }
 
     /// The full-space region for dimensionality `k` (every leaf interval
@@ -212,10 +474,14 @@ impl<'a> SegmentCursor<'a> {
         RegionBox { lo: [0; MAX_DIMS], hi: [u32::MAX; MAX_DIMS], k: k as u8 }
     }
 
-    /// Visit every live entry inside the region, in segment order then
-    /// canonical cell order within each segment.
-    pub fn for_each(&mut self, mut f: impl FnMut(&EdbRecord)) {
-        for view in self.views {
+    /// Visit every live entry inside the region, in segment order then the
+    /// segment's cell order within each segment. Compressed pages decode
+    /// through one buffer reused across the whole scan; a corrupt page
+    /// aborts the scan with a storage error.
+    pub fn for_each(&mut self, mut f: impl FnMut(&EdbRecord)) -> Result<()> {
+        let views = self.views;
+        let mut buf = std::mem::take(&mut self.buf);
+        for view in views {
             let seg = &*view.segment;
             let excl = &*view.exclude;
             for p in 0..seg.num_pages() {
@@ -224,7 +490,15 @@ impl<'a> SegmentCursor<'a> {
                     continue;
                 }
                 self.stats.pages_read += 1;
-                for e in seg.page(p) {
+                self.stats.bytes_read += seg.page_io_bytes(p);
+                let page = match seg.page_decoded(p, &mut buf) {
+                    Ok(page) => page,
+                    Err(e) => {
+                        self.buf = buf;
+                        return Err(e);
+                    }
+                };
+                for e in page {
                     if !excl.is_empty() && excl.contains(&e.fact_id) {
                         continue;
                     }
@@ -234,6 +508,8 @@ impl<'a> SegmentCursor<'a> {
                 }
             }
         }
+        self.buf = buf;
+        Ok(())
     }
 
     /// Counters accumulated so far.
@@ -246,15 +522,18 @@ impl<'a> SegmentCursor<'a> {
 /// live entries of `views` inside `region`, with fence pruning. Shared by
 /// the query crate and the server so both produce bit-identical `(sum,
 /// count)` pairs from identical views.
-pub fn accumulate_region(views: &[SegmentView], region: &RegionBox) -> (f64, f64, SegScanStats) {
+pub fn accumulate_region(
+    views: &[SegmentView],
+    region: &RegionBox,
+) -> Result<(f64, f64, SegScanStats)> {
     let mut cursor = SegmentCursor::new(views, *region);
     let mut sum = 0.0;
     let mut count = 0.0;
     cursor.for_each(|e| {
         sum += e.weight * e.measure;
         count += e.weight;
-    });
-    (sum, count, cursor.stats())
+    })?;
+    Ok((sum, count, cursor.stats()))
 }
 
 #[cfg(test)]
@@ -281,63 +560,108 @@ mod tests {
     }
 
     /// Entries spread over many cells so the segment spans several pages.
-    fn wide_segment(k: usize, n: u32) -> EdbSegment {
+    fn wide_segment(k: usize, n: u32, layout: SegmentLayout) -> EdbSegment {
         let entries: Vec<EdbRecord> =
             (0..n).map(|i| rec(i as u64, &[i % 97, i / 97], 1.0, i as f64)).collect();
-        EdbSegment::build(k, entries)
+        EdbSegment::build_with(k, entries, layout)
+    }
+
+    fn all_layouts() -> [SegmentLayout; 4] {
+        [
+            SegmentLayout::v1_canonical(),
+            SegmentLayout::v2_canonical(),
+            SegmentLayout { order: CellOrder::Morton, format: PageFormat::Rows },
+            SegmentLayout::v2_morton(),
+        ]
     }
 
     #[test]
     fn build_sorts_canonically_and_paginates() {
-        let seg = EdbSegment::build(
-            2,
-            vec![rec(1, &[3, 0], 1.0, 5.0), rec(2, &[0, 1], 0.5, 2.0), rec(3, &[0, 0], 0.5, 2.0)],
-        );
-        let cells: Vec<u32> = seg.entries().iter().map(|e| e.cell[0]).collect();
+        let entries =
+            vec![rec(1, &[3, 0], 1.0, 5.0), rec(2, &[0, 1], 0.5, 2.0), rec(3, &[0, 0], 0.5, 2.0)];
+        // Default layout compresses but keeps canonical entry order.
+        let seg = EdbSegment::build(2, entries.clone());
+        let cells: Vec<u32> = seg.records().unwrap().iter().map(|e| e.cell[0]).collect();
         assert_eq!(cells, vec![0, 0, 3]);
         assert_eq!(seg.num_pages(), 1);
-        assert_eq!(seg.recs_per_page(), 4096 / 32);
+        assert_eq!(seg.recs_per_page(), 0, "columnar pages have variable density");
         assert_eq!(seg.footer().stats.entries, 3);
+        assert!(seg.compression_ratio() > 1.0);
+        // The v1 layout keeps the fixed-width pagination.
+        let seg = EdbSegment::build_with(2, entries, SegmentLayout::v1_canonical());
+        assert_eq!(seg.recs_per_page(), 4096 / 32);
+        assert_eq!(seg.compression_ratio(), 1.0);
     }
 
     #[test]
     fn stable_sort_keeps_equal_cell_input_order() {
-        let seg =
-            EdbSegment::build(2, vec![rec(9, &[1, 1], 0.25, 1.0), rec(7, &[1, 1], 0.75, 2.0)]);
-        let ids: Vec<u64> = seg.entries().iter().map(|e| e.fact_id).collect();
-        assert_eq!(ids, vec![9, 7], "ties must keep input order");
+        for layout in all_layouts() {
+            let seg = EdbSegment::build_with(
+                2,
+                vec![rec(9, &[1, 1], 0.25, 1.0), rec(7, &[1, 1], 0.75, 2.0)],
+                layout,
+            );
+            let ids: Vec<u64> = seg.records().unwrap().iter().map(|e| e.fact_id).collect();
+            assert_eq!(ids, vec![9, 7], "ties must keep input order under {layout:?}");
+        }
+    }
+
+    #[test]
+    fn morton_order_reorders_but_preserves_the_multiset() {
+        let entries: Vec<EdbRecord> =
+            (0..1000).map(|i| rec(i as u64, &[i % 31, i / 31], 0.5, i as f64)).collect();
+        let canon = EdbSegment::build_with(2, entries.clone(), SegmentLayout::v2_canonical());
+        let morton = EdbSegment::build_with(2, entries, SegmentLayout::v2_morton());
+        let mut a = canon.records().unwrap();
+        let mut b = morton.records().unwrap();
+        assert_ne!(
+            a.iter().map(|e| e.fact_id).collect::<Vec<_>>(),
+            b.iter().map(|e| e.fact_id).collect::<Vec<_>>(),
+            "morton order differs from canonical on a 2-d grid"
+        );
+        a.sort_by_key(|e| e.fact_id);
+        b.sort_by_key(|e| e.fact_id);
+        assert_eq!(a, b);
+        // Morton keys are non-decreasing over the stored order.
+        let recs = morton.records().unwrap();
+        assert!(recs.windows(2).all(|w| {
+            CellOrder::Morton.sort_key(&w[0].cell, 2) <= CellOrder::Morton.sort_key(&w[1].cell, 2)
+        }));
     }
 
     #[test]
     fn pruned_scan_is_bit_identical_to_full_scan() {
-        let seg = Arc::new(wide_segment(2, 10_000));
-        let views = vec![SegmentView::new(seg.clone())];
-        for region in [
-            bx(&[5, 0], &[6, 100]),
-            bx(&[0, 0], &[97, 104]),
-            bx(&[96, 90], &[97, 104]),
-            bx(&[40, 40], &[40, 60]), // empty box
-        ] {
-            let (sum_p, count_p, stats_p) = accumulate_region(&views, &region);
-            let mut full = SegmentCursor::full_scan(&views, region);
-            let (mut sum_f, mut count_f) = (0.0, 0.0);
-            full.for_each(|e| {
-                sum_f += e.weight * e.measure;
-                count_f += e.weight;
-            });
-            assert_eq!(sum_p.to_bits(), sum_f.to_bits());
-            assert_eq!(count_p.to_bits(), count_f.to_bits());
-            assert_eq!(full.stats().pages_read, seg.num_pages());
-            assert_eq!(full.stats().pages_pruned, 0);
-            assert_eq!(stats_p.pages_read + stats_p.pages_pruned, seg.num_pages());
+        for layout in all_layouts() {
+            let seg = Arc::new(wide_segment(2, 10_000, layout));
+            let views = vec![SegmentView::new(seg.clone())];
+            for region in [
+                bx(&[5, 0], &[6, 100]),
+                bx(&[0, 0], &[97, 104]),
+                bx(&[96, 90], &[97, 104]),
+                bx(&[40, 40], &[40, 60]), // empty box
+            ] {
+                let (sum_p, count_p, stats_p) = accumulate_region(&views, &region).unwrap();
+                let mut full = SegmentCursor::full_scan(&views, region);
+                let (mut sum_f, mut count_f) = (0.0, 0.0);
+                full.for_each(|e| {
+                    sum_f += e.weight * e.measure;
+                    count_f += e.weight;
+                })
+                .unwrap();
+                assert_eq!(sum_p.to_bits(), sum_f.to_bits(), "{layout:?}");
+                assert_eq!(count_p.to_bits(), count_f.to_bits(), "{layout:?}");
+                assert_eq!(full.stats().pages_read, seg.num_pages());
+                assert_eq!(full.stats().pages_pruned, 0);
+                assert_eq!(stats_p.pages_read + stats_p.pages_pruned, seg.num_pages());
+            }
         }
     }
 
     #[test]
     fn selective_regions_prune_most_pages() {
-        let seg = Arc::new(wide_segment(2, 10_000));
+        let seg = Arc::new(wide_segment(2, 10_000, SegmentLayout::v2_canonical()));
         let views = vec![SegmentView::new(seg.clone())];
-        let (_, count, stats) = accumulate_region(&views, &bx(&[5, 0], &[6, 104]));
+        let (_, count, stats) = accumulate_region(&views, &bx(&[5, 0], &[6, 104])).unwrap();
         assert!(count > 0.0);
         assert!(
             stats.pages_pruned > stats.pages_read * 5,
@@ -346,6 +670,29 @@ mod tests {
             stats.pages_read,
             stats.pages_pruned
         );
+        assert!(stats.bytes_read > 0);
+        assert!(
+            stats.bytes_read < stats.pages_read * PAGE_SIZE as u64,
+            "columnar reads are charged compressed bytes"
+        );
+    }
+
+    #[test]
+    fn compression_shrinks_pages_and_the_meter_charges_compressed_bytes() {
+        let v1 = Arc::new(wide_segment(2, 10_000, SegmentLayout::v1_canonical()));
+        let v2 = Arc::new(wide_segment(2, 10_000, SegmentLayout::v2_canonical()));
+        assert!(v2.num_pages() < v1.num_pages(), "compressed pages hold more rows");
+        assert!(v2.compression_ratio() > 1.5, "got {}", v2.compression_ratio());
+        assert_eq!(v2.uncompressed_bytes(), v1.encoded_bytes());
+        let region = SegmentCursor::all_region(2);
+        let (s1, c1, st1) = accumulate_region(&[SegmentView::new(v1.clone())], &region).unwrap();
+        let (s2, c2, st2) = accumulate_region(&[SegmentView::new(v2.clone())], &region).unwrap();
+        // Same entry order → bit-identical aggregates, cheaper I/O.
+        assert_eq!(s1.to_bits(), s2.to_bits());
+        assert_eq!(c1.to_bits(), c2.to_bits());
+        assert!(st2.bytes_read < st1.bytes_read);
+        assert_eq!(st1.bytes_read, v1.num_pages() * PAGE_SIZE as u64);
+        assert_eq!(st2.bytes_read, v2.encoded_bytes());
     }
 
     #[test]
@@ -355,24 +702,62 @@ mod tests {
             vec![rec(1, &[0, 0], 1.0, 10.0), rec(2, &[0, 1], 1.0, 20.0)],
         ));
         let mut view = SegmentView::new(seg.clone());
-        assert_eq!(view.live_entries(), 2);
+        assert_eq!(view.live_entries().unwrap(), 2);
         view.exclude = Arc::new([1u64].into_iter().collect());
-        assert_eq!(view.live_entries(), 1);
-        let (sum, count, _) = accumulate_region(&[view], &SegmentCursor::all_region(2));
+        assert_eq!(view.live_entries().unwrap(), 1);
+        let (sum, count, _) = accumulate_region(&[view], &SegmentCursor::all_region(2)).unwrap();
         assert_eq!(sum, 20.0);
         assert_eq!(count, 1.0);
         assert_eq!(seg.len(), 2, "segment itself is untouched");
     }
 
     #[test]
-    fn segment_save_load_round_trips() {
+    fn segment_save_load_round_trips_every_layout() {
         let dir = iolap_storage::TempDir::new("segment-io").unwrap();
-        let path = dir.path().join("seg0");
-        let seg = wide_segment(2, 5_000);
+        for (i, layout) in all_layouts().into_iter().enumerate() {
+            let path = dir.path().join(format!("seg{i}"));
+            let seg = wide_segment(2, 5_000, layout);
+            seg.save(&path).unwrap();
+            let back = EdbSegment::load(&path, 2).unwrap();
+            assert_eq!(back.records().unwrap(), seg.records().unwrap(), "{layout:?}");
+            assert_eq!(back.footer(), seg.footer(), "{layout:?}");
+            assert_eq!(back.layout(), layout);
+            assert!(EdbSegment::load(&path, 3).is_err(), "wrong k must be rejected");
+        }
+    }
+
+    #[test]
+    fn corrupt_compressed_page_errors_from_the_cursor_not_load() {
+        let dir = iolap_storage::TempDir::new("segment-corrupt").unwrap();
+        let path = dir.path().join("seg");
+        let seg = wide_segment(2, 5_000, SegmentLayout::v2_canonical());
         seg.save(&path).unwrap();
-        let back = EdbSegment::load(&path, 2).unwrap();
-        assert_eq!(back.entries(), seg.entries());
-        assert_eq!(back.footer(), seg.footer());
-        assert!(EdbSegment::load(&path, 3).is_err(), "wrong k must be rejected");
+        // Flip one payload bit in the middle of data page 3.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[3 * PAGE_SIZE + PAGE_SIZE / 2] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        // Load succeeds — payloads decode lazily.
+        let back = Arc::new(EdbSegment::load(&path, 2).unwrap());
+        let views = vec![SegmentView::new(back)];
+        let err = accumulate_region(&views, &SegmentCursor::all_region(2)).unwrap_err();
+        assert!(
+            matches!(&err, crate::error::CoreError::Storage(StorageError::Corrupt(_))),
+            "got {err:?}"
+        );
+        // A region whose pages exclude the corrupt one still answers.
+        let first = seg.footer().fences[0];
+        let narrow = RegionBox {
+            lo: first.lo,
+            hi: {
+                let mut h = first.lo;
+                for d in h.iter_mut().take(2) {
+                    *d += 1;
+                }
+                h
+            },
+            k: 2,
+        };
+        let views2 = vec![SegmentView::new(Arc::new(EdbSegment::load(&path, 2).unwrap()))];
+        accumulate_region(&views2, &narrow).unwrap();
     }
 }

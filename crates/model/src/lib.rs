@@ -30,6 +30,7 @@ pub mod records;
 pub mod region;
 pub mod schema;
 pub mod segment_meta;
+pub mod segment_page;
 pub mod table;
 
 pub use fact::{Fact, FactId, LevelVec};
@@ -39,6 +40,10 @@ pub use records::{
 pub use region::{cmp_cells, CellKey, RegionBox};
 pub use schema::Schema;
 pub use segment_meta::{canonical_sort_key, PageFence, SegmentFooter, SegmentStats};
+pub use segment_page::{
+    decode_page, encode_page, CellOrder, OrderKey, PageBuilder, PageFormat, SegmentLayout,
+    MAX_V2_PAGE_BYTES,
+};
 pub use table::FactTable;
 
 /// Maximum number of dimensions supported by the fixed-width records.

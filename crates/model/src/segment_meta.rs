@@ -14,6 +14,7 @@
 //! (`tests/segment_footer_golden.rs`): any format drift fails CI.
 
 use crate::region::{CellKey, RegionBox};
+use crate::segment_page::{CellOrder, PageFormat};
 use crate::MAX_DIMS;
 use bytes::{Buf, BufMut};
 use iolap_storage::PAGE_SIZE;
@@ -21,8 +22,12 @@ use iolap_storage::PAGE_SIZE;
 /// Footer magic: "iolap segment footer".
 pub const FOOTER_MAGIC: [u8; 4] = *b"IOSF";
 
-/// Current footer format version.
+/// Version-1 footer format: canonical order, row-oriented pages.
 pub const FOOTER_VERSION: u16 = 1;
+
+/// Version-2 footer format: carries the cell order, the page format, and
+/// (for columnar pages) per-page row counts and encoded byte lengths.
+pub const FOOTER_VERSION_V2: u16 = 2;
 
 /// Zero-pad a cell beyond its meaningful `k` dimensions so that whole-array
 /// comparison equals [`crate::cmp_cells`] — the canonical segment sort key.
@@ -83,12 +88,22 @@ pub struct SegmentStats {
 pub struct SegmentFooter {
     /// Number of meaningful dimensions.
     pub k: usize,
-    /// Records per page (`PAGE_SIZE / record width` at build time).
+    /// Records per page for [`PageFormat::Rows`] segments
+    /// (`PAGE_SIZE / record width` at build time); 0 for columnar pages,
+    /// whose density varies per page (see [`SegmentFooter::page_rows`]).
     pub recs_per_page: u32,
+    /// The order entries were sorted into at build time.
+    pub order: CellOrder,
+    /// The page encoding.
+    pub format: PageFormat,
     /// Whole-segment stats.
     pub stats: SegmentStats,
     /// One fence per page, in page order.
     pub fences: Vec<PageFence>,
+    /// Rows per page ([`PageFormat::ColumnarV2`] only; empty for rows).
+    pub page_rows: Vec<u32>,
+    /// Encoded payload bytes per page (`ColumnarV2` only; empty for rows).
+    pub page_bytes: Vec<u32>,
 }
 
 impl SegmentFooter {
@@ -130,8 +145,12 @@ impl SegmentFooter {
         SegmentFooter {
             k,
             recs_per_page: recs_per_page as u32,
+            order: CellOrder::Canonical,
+            format: PageFormat::Rows,
             stats: SegmentStats { entries, bbox, sum_weight, sum_weighted_measure: sum_wm },
             fences,
+            page_rows: Vec::new(),
+            page_bytes: Vec::new(),
         }
     }
 
@@ -140,24 +159,49 @@ impl SegmentFooter {
         self.fences.len() as u64
     }
 
-    /// Encode the footer (version [`FOOTER_VERSION`] layout).
+    /// Encode the footer.
+    ///
+    /// A canonical-order rows footer uses the original version-1 layout —
+    /// files written before the columnar format stay byte-identical:
     ///
     /// ```text
-    /// magic "IOSF" | version u16 | k u8 | pad u8 | recs_per_page u32
+    /// magic "IOSF" | version u16 = 1 | k u8 | pad u8 | recs_per_page u32
     /// entries u64 | num_pages u64
     /// bbox lo (k × u32) | bbox hi (k × u32)
     /// sum_weight f64 | sum_weighted_measure f64
     /// fences: num_pages × (lo k × u32, hi k × u32)
     /// ```
+    ///
+    /// Any other layout uses the version-2 layout, which inserts the cell
+    /// order and page format after `k` and, for columnar pages, stores the
+    /// per-page row count and encoded byte length ahead of each fence:
+    ///
+    /// ```text
+    /// magic "IOSF" | version u16 = 2 | k u8 | order u8 | format u8 | pad u8
+    /// recs_per_page u32 (0 for columnar)
+    /// entries u64 | num_pages u64
+    /// bbox lo/hi | sum_weight f64 | sum_weighted_measure f64
+    /// pages: num_pages × ([rows u32 | bytes u32 — columnar only]
+    ///                     fence lo k × u32, hi k × u32)
+    /// ```
     /// All integers and floats little-endian.
     pub fn encode(&self) -> Vec<u8> {
         let k = self.k;
-        let mut out = Vec::with_capacity(40 + 8 * k + self.fences.len() * 8 * k);
+        let v1 = self.order == CellOrder::Canonical && self.format == PageFormat::Rows;
+        let mut out = Vec::with_capacity(48 + 8 * k + self.fences.len() * (8 * k + 8));
         let buf = &mut out;
         buf.put_slice(&FOOTER_MAGIC);
-        buf.put_u16_le(FOOTER_VERSION);
-        buf.put_u8(k as u8);
-        buf.put_u8(0);
+        if v1 {
+            buf.put_u16_le(FOOTER_VERSION);
+            buf.put_u8(k as u8);
+            buf.put_u8(0);
+        } else {
+            buf.put_u16_le(FOOTER_VERSION_V2);
+            buf.put_u8(k as u8);
+            buf.put_u8(self.order.tag());
+            buf.put_u8(self.format.tag());
+            buf.put_u8(0);
+        }
         buf.put_u32_le(self.recs_per_page);
         buf.put_u64_le(self.stats.entries);
         buf.put_u64_le(self.fences.len() as u64);
@@ -169,7 +213,11 @@ impl SegmentFooter {
         }
         buf.put_f64_le(self.stats.sum_weight);
         buf.put_f64_le(self.stats.sum_weighted_measure);
-        for f in &self.fences {
+        for (p, f) in self.fences.iter().enumerate() {
+            if !v1 && self.format == PageFormat::ColumnarV2 {
+                buf.put_u32_le(self.page_rows[p]);
+                buf.put_u32_le(self.page_bytes[p]);
+            }
             for d in 0..k {
                 buf.put_u32_le(f.lo[d]);
             }
@@ -193,26 +241,57 @@ impl SegmentFooter {
             return Err(format!("bad footer magic {magic:?}"));
         }
         let version = buf.get_u16_le();
-        if version != FOOTER_VERSION {
+        if version != FOOTER_VERSION && version != FOOTER_VERSION_V2 {
             return Err(format!("unsupported footer version {version}"));
         }
         let k = buf.get_u8() as usize;
         if k == 0 || k > MAX_DIMS {
             return Err(format!("footer dimensionality {k} out of range"));
         }
-        let _pad = buf.get_u8();
-        let recs_per_page = buf.get_u32_le();
-        if recs_per_page == 0 {
-            return Err("footer recs_per_page is zero".into());
+        let (order, format) = if version == FOOTER_VERSION {
+            let _pad = buf.get_u8();
+            (CellOrder::Canonical, PageFormat::Rows)
+        } else {
+            if buf.remaining() < 3 {
+                return Err("footer truncated before order/format tags".into());
+            }
+            let order = CellOrder::from_tag(buf.get_u8())
+                .ok_or_else(|| "unknown footer cell-order tag".to_string())?;
+            let format = PageFormat::from_tag(buf.get_u8())
+                .ok_or_else(|| "unknown footer page-format tag".to_string())?;
+            let _pad = buf.get_u8();
+            if order == CellOrder::Canonical && format == PageFormat::Rows {
+                return Err("canonical rows footers must use version 1".into());
+            }
+            (order, format)
+        };
+        if buf.remaining() < 20 {
+            return Err("footer truncated before page counts".into());
         }
+        let recs_per_page = buf.get_u32_le();
         let entries = buf.get_u64_le();
         let num_pages = buf.get_u64_le();
-        if num_pages != entries.div_ceil(recs_per_page as u64) {
-            return Err(format!(
-                "footer page count {num_pages} inconsistent with {entries} entries"
-            ));
+        match format {
+            PageFormat::Rows => {
+                if recs_per_page == 0 {
+                    return Err("footer recs_per_page is zero".into());
+                }
+                if num_pages != entries.div_ceil(recs_per_page as u64) {
+                    return Err(format!(
+                        "footer page count {num_pages} inconsistent with {entries} entries"
+                    ));
+                }
+            }
+            PageFormat::ColumnarV2 => {
+                if recs_per_page != 0 {
+                    return Err("columnar footers have variable page density; \
+                         recs_per_page must be zero"
+                        .into());
+                }
+            }
         }
-        let need = 8 * k + 16 + num_pages as usize * 8 * k;
+        let per_page = 8 * k + if format == PageFormat::ColumnarV2 { 8 } else { 0 };
+        let need = 8 * k + 16 + num_pages as usize * per_page;
         if buf.remaining() != need {
             return Err(format!("footer body {} bytes, want {need}", buf.remaining()));
         }
@@ -228,7 +307,13 @@ impl SegmentFooter {
         let sum_weight = buf.get_f64_le();
         let sum_weighted_measure = buf.get_f64_le();
         let mut fences = Vec::with_capacity(num_pages as usize);
+        let mut page_rows = Vec::new();
+        let mut page_bytes = Vec::new();
         for _ in 0..num_pages {
+            if format == PageFormat::ColumnarV2 {
+                page_rows.push(buf.get_u32_le());
+                page_bytes.push(buf.get_u32_le());
+            }
             let mut lo = [0u32; MAX_DIMS];
             let mut hi = [0u32; MAX_DIMS];
             for d in lo.iter_mut().take(k) {
@@ -239,11 +324,26 @@ impl SegmentFooter {
             }
             fences.push(PageFence { lo, hi });
         }
+        if format == PageFormat::ColumnarV2 {
+            let total: u64 = page_rows.iter().map(|&r| u64::from(r)).sum();
+            if total != entries {
+                return Err(format!(
+                    "columnar footer page rows sum to {total}, want {entries} entries"
+                ));
+            }
+            if page_rows.contains(&0) || page_bytes.contains(&0) {
+                return Err("columnar footer has an empty page".into());
+            }
+        }
         Ok(SegmentFooter {
             k,
             recs_per_page,
+            order,
+            format,
             stats: SegmentStats { entries, bbox, sum_weight, sum_weighted_measure },
             fences,
+            page_rows,
+            page_bytes,
         })
     }
 }
@@ -338,6 +438,45 @@ mod tests {
         let mut bad = good.clone();
         bad.push(0); // trailing garbage
         assert!(SegmentFooter::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn v2_columnar_footer_round_trips() {
+        let entries: Vec<(CellKey, f64, f64)> =
+            (0..10).map(|i| (cell(&[i, i * 2]), 0.5, i as f64)).collect();
+        let mut f = SegmentFooter::build(2, 4, entries.iter().map(|(c, w, m)| (c, *w, *m)));
+        f.order = CellOrder::Morton;
+        f.format = PageFormat::ColumnarV2;
+        f.recs_per_page = 0;
+        f.page_rows = vec![4, 4, 2];
+        f.page_bytes = vec![97, 102, 33];
+        let bytes = f.encode();
+        assert_eq!(SegmentFooter::decode(&bytes).unwrap(), f);
+
+        // Row sums are validated.
+        let mut g = f.clone();
+        g.page_rows = vec![4, 4, 3];
+        assert!(SegmentFooter::decode(&g.encode()).is_err());
+        // Zero-length pages are rejected.
+        let mut g = f.clone();
+        g.page_rows = vec![10, 0, 0];
+        assert!(SegmentFooter::decode(&g.encode()).is_err());
+    }
+
+    #[test]
+    fn morton_rows_footer_uses_version_2() {
+        let entries: Vec<(CellKey, f64, f64)> =
+            (0..5).map(|i| (cell(&[i, 9 - i]), 1.0, i as f64)).collect();
+        let mut f = SegmentFooter::build(2, 2, entries.iter().map(|(c, w, m)| (c, *w, *m)));
+        f.order = CellOrder::Morton;
+        let bytes = f.encode();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), FOOTER_VERSION_V2);
+        assert_eq!(SegmentFooter::decode(&bytes).unwrap(), f);
+        // The canonical rows layout stays on version 1 byte for byte.
+        f.order = CellOrder::Canonical;
+        let bytes = f.encode();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), FOOTER_VERSION);
+        assert_eq!(SegmentFooter::decode(&bytes).unwrap(), f);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Property tests for the columnar page codec: decode(encode(recs)) must
+//! equal the source record slice — bit for bit, including f64 payloads —
+//! for arbitrary pages, and the incremental [`PageBuilder`] accounting
+//! must agree with the real encoder at every step.
+
+use iolap_model::{decode_page, encode_page, EdbRecord, PageBuilder, MAX_DIMS};
+use proptest::prelude::*;
+
+/// Arbitrary record: full-range ids and coordinates (max-delta cases via
+/// the explicit `MAX` arms), weights mixing repeats (the way allocation
+/// output repeats them) with arbitrary bit patterns. All `MAX_DIMS`
+/// coordinates are filled; the codec only reads the first `k`.
+fn arb_record() -> impl Strategy<Value = EdbRecord> {
+    (
+        prop_oneof![any::<u64>(), Just(0u64), Just(u64::MAX)],
+        proptest::collection::vec(prop_oneof![0u32..1000, any::<u32>(), Just(u32::MAX)], MAX_DIMS),
+        prop_oneof![Just(1.0f64), 0.0f64..1.0, any::<f64>()],
+        prop_oneof![-1e6f64..1e6, any::<f64>()],
+    )
+        .prop_map(|(fact_id, dims, weight, measure)| {
+            let mut cell = [0u32; MAX_DIMS];
+            cell.copy_from_slice(&dims);
+            EdbRecord { fact_id, cell, weight, measure }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Round trip: single-record pages up to large ones, any k.
+    #[test]
+    fn encode_decode_round_trips(
+        k in 1usize..=MAX_DIMS,
+        recs in proptest::collection::vec(arb_record(), 1..200),
+    ) {
+        let mut encoded = Vec::new();
+        encode_page(k, &recs, &mut encoded);
+        let mut back = Vec::new();
+        decode_page(k, &encoded, &mut back).expect("well-formed page decodes");
+        // Bit-exact equality, including NaN payloads the PartialEq on f64
+        // would miss. Coordinates beyond k are not stored.
+        prop_assert_eq!(recs.len(), back.len());
+        for (a, b) in recs.iter().zip(&back) {
+            prop_assert_eq!(a.fact_id, b.fact_id);
+            prop_assert_eq!(&a.cell[..k], &b.cell[..k]);
+            prop_assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+            prop_assert_eq!(a.measure.to_bits(), b.measure.to_bits());
+        }
+    }
+
+    /// The builder's incremental size prediction equals the encoder's
+    /// output length after every push.
+    #[test]
+    fn builder_accounting_matches_encoder(
+        k in 1usize..=4,
+        recs in proptest::collection::vec(arb_record(), 1..60),
+    ) {
+        let mut b = PageBuilder::new(k);
+        let mut so_far: Vec<EdbRecord> = Vec::new();
+        for r in recs {
+            let predicted = b.len_with(&r);
+            b.push(r.clone());
+            so_far.push(r);
+            let mut direct = Vec::new();
+            encode_page(k, &so_far, &mut direct);
+            prop_assert_eq!(direct.len(), predicted);
+            prop_assert_eq!(b.encoded_len(), predicted);
+        }
+        let (recs_out, bytes) = b.finish();
+        prop_assert_eq!(recs_out.len(), so_far.len());
+        let mut back = Vec::new();
+        decode_page(k, &bytes, &mut back).expect("builder output decodes");
+        prop_assert_eq!(back.len(), so_far.len());
+    }
+}

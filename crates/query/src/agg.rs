@@ -37,10 +37,20 @@ pub struct AggResult {
 /// the visited entry sequence, so the result is bit-identical to an
 /// unpruned scan of the same segments.
 pub fn aggregate_edb(edb: &mut ExtendedDatabase, query: &Query) -> iolap_core::Result<AggResult> {
+    Ok(aggregate_edb_stats(edb, query)?.0)
+}
+
+/// Like [`aggregate_edb`] but also returns the scan's page/byte counters
+/// (already folded into the EDB's running totals) — the basis of the CLI's
+/// `--stats` output.
+pub fn aggregate_edb_stats(
+    edb: &mut ExtendedDatabase,
+    query: &Query,
+) -> iolap_core::Result<(AggResult, iolap_core::SegScanStats)> {
     let views = edb.segments()?;
-    let (sum, count, stats) = iolap_core::accumulate_region(&views, &query.region);
+    let (sum, count, stats) = iolap_core::accumulate_region(&views, &query.region)?;
     edb.note_segment_scan(stats);
-    Ok(finish(query.agg, sum, count))
+    Ok((finish(query.agg, sum, count), stats))
 }
 
 /// The classical (pre-allocation) ways to treat imprecise facts, used as

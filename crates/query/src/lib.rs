@@ -23,7 +23,9 @@ pub mod builder;
 pub mod pivot;
 pub mod rollup;
 
-pub use agg::{aggregate_classical, aggregate_edb, AggFn, AggResult, Classical};
+pub use agg::{
+    aggregate_classical, aggregate_edb, aggregate_edb_stats, AggFn, AggResult, Classical,
+};
 pub use builder::{Query, QueryBuilder};
 pub use pivot::{pivot, Pivot};
 pub use rollup::{drilldown, render_rollup, rollup, RollupRow};

@@ -65,7 +65,7 @@ pub fn pivot(
         let c = pos_b[&hb.ancestor_at(e.cell[dim_b], level_b)];
         sums[r][c] += e.weight * e.measure;
         counts[r][c] += e.weight;
-    });
+    })?;
     let stats = cursor.stats();
     edb.note_segment_scan(stats);
 

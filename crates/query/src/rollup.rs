@@ -77,7 +77,7 @@ fn rollup_impl(
         let i = pos_of[&anc];
         sums[i] += e.weight * e.measure;
         counts[i] += e.weight;
-    });
+    })?;
     let stats = cursor.stats();
     edb.note_segment_scan(stats);
 

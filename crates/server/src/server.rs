@@ -140,8 +140,12 @@ struct ServeMetrics {
     /// segment count and compactions run by the coordinator.
     pages_read: Counter,
     pages_pruned: Counter,
+    bytes_read: Counter,
     edb_segments: Gauge,
     edb_compactions: Counter,
+    /// Aggregate compression ratio of the published segments, in
+    /// milli-units (1000 = row layout, 1700 = 1.7×).
+    compression_ratio: Gauge,
 }
 
 impl ServeMetrics {
@@ -169,9 +173,24 @@ impl ServeMetrics {
             latency_us: obs.histogram("serve.latency_us").expect("enabled"),
             pages_read: c("edb.pages_read"),
             pages_pruned: c("edb.pages_pruned"),
+            bytes_read: c("edb.bytes_read"),
             edb_segments: obs.gauge("edb.segments").expect("enabled"),
             edb_compactions: c("edb.compactions"),
+            compression_ratio: obs.gauge("edb.compression_ratio").expect("enabled"),
         }
+    }
+}
+
+/// Aggregate compression ratio of a snapshot's segments in milli-units
+/// (1000 = uncompressed row layout). Weighted by entry bytes, so one big
+/// compressed base segment dominates many tiny row deltas.
+fn compression_milli(segments: &[iolap_core::SegmentView]) -> i64 {
+    let raw: u64 = segments.iter().map(|v| v.segment.uncompressed_bytes()).sum();
+    let enc: u64 = segments.iter().map(|v| v.segment.encoded_bytes()).sum();
+    if enc == 0 {
+        1000
+    } else {
+        (raw as f64 / enc as f64 * 1000.0) as i64
     }
 }
 
@@ -261,6 +280,7 @@ impl Server {
 
         metrics.epoch.set(first.epoch as i64);
         metrics.edb_segments.set(first.segments.len() as i64);
+        metrics.compression_ratio.set(compression_milli(&first.segments));
         let shared = Arc::new(Shared {
             snapshot: Mutex::new(first),
             cache: ShardedCache::new(cfg.cache_capacity.max(1), cfg.cache_shards),
@@ -558,9 +578,21 @@ fn handle_query(body: &[u8], shared: &Shared) -> Response {
             aggregate_classical(&snap.table, &query, sem)
         }
         None => {
-            let (result, stats) = snap.aggregate_with_stats(&region, q.agg);
+            // A corrupt compressed page surfaces from the cursor as the
+            // storage error it is — a 500, never a silent short answer.
+            let (result, stats) = match snap.aggregate_with_stats(&region, q.agg) {
+                Ok(rs) => rs,
+                Err(e) => {
+                    return (
+                        500,
+                        "application/json",
+                        wire::error_body(&format!("scan failed: {e}")),
+                    );
+                }
+            };
             shared.metrics.pages_read.add(stats.pages_read);
             shared.metrics.pages_pruned.add(stats.pages_pruned);
+            shared.metrics.bytes_read.add(stats.bytes_read);
             result
         }
     };
@@ -592,9 +624,15 @@ fn handle_rollup(body: &[u8], shared: &Shared) -> Response {
         Ok(rg) => rg,
         Err(msg) => return bad_request(&msg),
     };
-    let (rows, stats) = snap.rollup(dim, level, Some(&region), r.agg);
+    let (rows, stats) = match snap.rollup(dim, level, Some(&region), r.agg) {
+        Ok(rs) => rs,
+        Err(e) => {
+            return (500, "application/json", wire::error_body(&format!("scan failed: {e}")));
+        }
+    };
     shared.metrics.pages_read.add(stats.pages_read);
     shared.metrics.pages_pruned.add(stats.pages_pruned);
+    shared.metrics.bytes_read.add(stats.bytes_read);
     (200, "application/json", wire::rollup_response(&rows, r.agg, snap.epoch))
 }
 
@@ -845,6 +883,7 @@ fn apply_job(
     let invalidated = shared.cache.invalidate_overlapping(&report.touched);
     shared.metrics.cache_invalidated.add(invalidated);
     shared.metrics.edb_segments.set(segments.len() as i64);
+    shared.metrics.compression_ratio.set(compression_milli(&segments));
     let snap = Arc::new(EdbSnapshot {
         epoch: *epoch,
         schema: medb.schema().clone(),

@@ -39,20 +39,21 @@ pub struct EdbSnapshot {
 
 impl EdbSnapshot {
     /// Allocation-weighted aggregate over the snapshot's segments, with
-    /// fence pruning.
-    pub fn aggregate(&self, region: &RegionBox, agg: AggFn) -> AggResult {
-        self.aggregate_with_stats(region, agg).0
+    /// fence pruning. A corrupt compressed page surfaces as the storage
+    /// error it is, never a short answer.
+    pub fn aggregate(&self, region: &RegionBox, agg: AggFn) -> iolap_core::Result<AggResult> {
+        Ok(self.aggregate_with_stats(region, agg)?.0)
     }
 
-    /// [`EdbSnapshot::aggregate`] plus the scan's page counters (pages
-    /// read vs pruned), for the server's metrics.
+    /// [`EdbSnapshot::aggregate`] plus the scan's page/byte counters
+    /// (pages read vs pruned, compressed bytes), for the server's metrics.
     pub fn aggregate_with_stats(
         &self,
         region: &RegionBox,
         agg: AggFn,
-    ) -> (AggResult, SegScanStats) {
-        let (sum, count, stats) = accumulate_region(&self.segments, region);
-        (finish(agg, sum, count), stats)
+    ) -> iolap_core::Result<(AggResult, SegScanStats)> {
+        let (sum, count, stats) = accumulate_region(&self.segments, region)?;
+        Ok((finish(agg, sum, count), stats))
     }
 
     /// Roll up along `dim` at `level` within an optional dice region —
@@ -65,7 +66,7 @@ impl EdbSnapshot {
         level: LevelNo,
         region: Option<&RegionBox>,
         agg: AggFn,
-    ) -> (Vec<RollupRow>, SegScanStats) {
+    ) -> iolap_core::Result<(Vec<RollupRow>, SegScanStats)> {
         let h = self.schema.dim(dim);
         let nodes = h.nodes_at_level(level);
         let mut pos_of = std::collections::HashMap::with_capacity(nodes.len());
@@ -81,7 +82,7 @@ impl EdbSnapshot {
             let i = pos_of[&anc];
             sums[i] += e.weight * e.measure;
             counts[i] += e.weight;
-        });
+        })?;
         let rows = nodes
             .iter()
             .enumerate()
@@ -91,7 +92,7 @@ impl EdbSnapshot {
                 result: finish(agg, sums[i], counts[i]),
             })
             .collect();
-        (rows, cursor.stats())
+        Ok((rows, cursor.stats()))
     }
 }
 

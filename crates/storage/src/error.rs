@@ -40,6 +40,10 @@ pub enum StorageError {
     },
     /// A configuration value is invalid (e.g. zero-page sort budget).
     InvalidConfig(String),
+    /// On-disk or in-memory data failed structural validation (bad
+    /// checksum, truncated page, impossible length field). Distinct from
+    /// `Io`: the bytes were read fine but do not decode.
+    Corrupt(String),
 }
 
 impl fmt::Display for StorageError {
@@ -61,6 +65,7 @@ impl fmt::Display for StorageError {
                 write!(f, "codec buffer size mismatch: expected {expected}, got {got}")
             }
             StorageError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
         }
     }
 }

@@ -28,17 +28,40 @@ use std::path::Path;
 /// Segment file magic.
 pub const SEGFILE_MAGIC: [u8; 4] = *b"IOSG";
 
-/// Current segment file format version.
+/// Segment file format version for fixed-width row pages.
 pub const SEGFILE_VERSION: u16 = 1;
 
-fn header(width: usize, count: u64, footer_len: u64) -> [u8; PAGE_SIZE] {
+/// Segment file format version for variable-density encoded pages: each
+/// data page holds one opaque encoded blob (`u32` length, payload, zero
+/// padding to [`PAGE_SIZE`]). The record-width header field is 0 and the
+/// count field is the number of *pages*, not records.
+pub const SEGFILE_VERSION_V2: u16 = 2;
+
+fn header(version: u16, width: usize, count: u64, footer_len: u64) -> [u8; PAGE_SIZE] {
     let mut page = [0u8; PAGE_SIZE];
     page[..4].copy_from_slice(&SEGFILE_MAGIC);
-    page[4..6].copy_from_slice(&SEGFILE_VERSION.to_le_bytes());
+    page[4..6].copy_from_slice(&version.to_le_bytes());
     page[6..10].copy_from_slice(&(width as u32).to_le_bytes());
     page[10..18].copy_from_slice(&count.to_le_bytes());
     page[18..26].copy_from_slice(&footer_len.to_le_bytes());
     page
+}
+
+/// Read just the format version of a segment file (validating the magic),
+/// so callers can dispatch between the row and encoded-page readers.
+pub fn probe_segment_version(path: &Path) -> Result<u16> {
+    let ctx = || format!("probing segment file {}", path.display());
+    let mut inp = File::open(path).map_err(|e| StorageError::io(ctx(), e))?;
+    let mut head = [0u8; 6];
+    inp.read_exact(&mut head).map_err(|e| StorageError::io(ctx(), e))?;
+    if head[..4] != SEGFILE_MAGIC {
+        return Err(StorageError::InvalidConfig(format!(
+            "{}: bad segment magic {:?}",
+            path.display(),
+            &head[..4]
+        )));
+    }
+    Ok(u16::from_le_bytes([head[4], head[5]]))
 }
 
 /// Write `records` and `footer` to `path` in the page-aligned segment
@@ -53,7 +76,7 @@ pub fn write_segment<T, C: Codec<T>>(
     let width = codec.size();
     let recs_per_page = PAGE_SIZE / width;
     let mut out = BufWriter::new(File::create(path).map_err(|e| StorageError::io(ctx(), e))?);
-    out.write_all(&header(width, records.len() as u64, footer.len() as u64))
+    out.write_all(&header(SEGFILE_VERSION, width, records.len() as u64, footer.len() as u64))
         .map_err(|e| StorageError::io(ctx(), e))?;
     let mut page = vec![0u8; PAGE_SIZE];
     for chunk in records.chunks(recs_per_page) {
@@ -122,6 +145,89 @@ pub fn read_segment<T, C: Codec<T>>(path: &Path, codec: &C) -> Result<(Vec<T>, V
     Ok((records, footer))
 }
 
+/// Write pre-encoded variable-density pages and `footer` to `path` in
+/// segment format v2. Each page payload must fit in `PAGE_SIZE - 4` bytes
+/// (four bytes hold the length prefix); overwrites any existing file.
+pub fn write_segment_v2(path: &Path, pages: &[Box<[u8]>], footer: &[u8]) -> Result<()> {
+    let ctx = || format!("writing segment file {}", path.display());
+    let mut out = BufWriter::new(File::create(path).map_err(|e| StorageError::io(ctx(), e))?);
+    out.write_all(&header(SEGFILE_VERSION_V2, 0, pages.len() as u64, footer.len() as u64))
+        .map_err(|e| StorageError::io(ctx(), e))?;
+    let mut page = vec![0u8; PAGE_SIZE];
+    for (idx, payload) in pages.iter().enumerate() {
+        if payload.is_empty() || payload.len() > PAGE_SIZE - 4 {
+            return Err(StorageError::InvalidConfig(format!(
+                "{}: page {idx} payload of {} bytes does not fit a {PAGE_SIZE}-byte page",
+                path.display(),
+                payload.len()
+            )));
+        }
+        page.fill(0);
+        page[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        page[4..4 + payload.len()].copy_from_slice(payload);
+        out.write_all(&page).map_err(|e| StorageError::io(ctx(), e))?;
+    }
+    for chunk in footer.chunks(PAGE_SIZE) {
+        page.fill(0);
+        page[..chunk.len()].copy_from_slice(chunk);
+        out.write_all(&page).map_err(|e| StorageError::io(ctx(), e))?;
+    }
+    out.flush().map_err(|e| StorageError::io(ctx(), e))
+}
+
+/// Still-encoded contents of a v2 segment file: `(encoded pages, footer
+/// bytes)`.
+pub type EncodedSegmentFile = (Vec<Box<[u8]>>, Vec<u8>);
+
+/// Read a v2 segment file back: `(encoded pages, footer bytes)`. The page
+/// payloads are returned still encoded — decoding (and checksum
+/// verification) is the caller's job, so corruption inside a payload
+/// surfaces lazily at scan time while structural damage (bad magic,
+/// impossible length prefix, truncation) is caught here.
+pub fn read_segment_v2(path: &Path) -> Result<EncodedSegmentFile> {
+    let ctx = || format!("reading segment file {}", path.display());
+    let mut inp = BufReader::new(File::open(path).map_err(|e| StorageError::io(ctx(), e))?);
+    let mut page = vec![0u8; PAGE_SIZE];
+    inp.read_exact(&mut page).map_err(|e| StorageError::io(ctx(), e))?;
+    if page[..4] != SEGFILE_MAGIC {
+        return Err(StorageError::InvalidConfig(format!(
+            "{}: bad segment magic {:?}",
+            path.display(),
+            &page[..4]
+        )));
+    }
+    let version = u16::from_le_bytes([page[4], page[5]]);
+    if version != SEGFILE_VERSION_V2 {
+        return Err(StorageError::InvalidConfig(format!(
+            "{}: expected segment version {SEGFILE_VERSION_V2}, got {version}",
+            path.display()
+        )));
+    }
+    let num_pages = u64::from_le_bytes(page[10..18].try_into().unwrap());
+    let footer_len = u64::from_le_bytes(page[18..26].try_into().unwrap()) as usize;
+    let mut pages = Vec::with_capacity(num_pages as usize);
+    for idx in 0..num_pages {
+        inp.read_exact(&mut page).map_err(|e| StorageError::io(ctx(), e))?;
+        let len = u32::from_le_bytes(page[..4].try_into().unwrap()) as usize;
+        if len == 0 || len > PAGE_SIZE - 4 {
+            return Err(StorageError::Corrupt(format!(
+                "{}: page {idx} has impossible payload length {len}",
+                path.display()
+            )));
+        }
+        pages.push(page[4..4 + len].to_vec().into_boxed_slice());
+    }
+    let mut footer = vec![0u8; footer_len];
+    let mut off = 0;
+    while off < footer_len {
+        inp.read_exact(&mut page).map_err(|e| StorageError::io(ctx(), e))?;
+        let take = (footer_len - off).min(PAGE_SIZE);
+        footer[off..off + take].copy_from_slice(&page[..take]);
+        off += take;
+    }
+    Ok((pages, footer))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +259,53 @@ mod tests {
         let (back, foot) = read_segment::<u64, _>(&path, &U64Codec).unwrap();
         assert!(back.is_empty());
         assert!(foot.is_empty());
+    }
+
+    #[test]
+    fn v2_segment_round_trips_encoded_pages() {
+        let dir = TempDir::new("segfile-v2").unwrap();
+        let path = dir.path().join("seg-v2");
+        // Variable-density payloads, including a max-size one.
+        let pages: Vec<Box<[u8]>> = vec![
+            vec![1u8, 2, 3].into_boxed_slice(),
+            vec![9u8; PAGE_SIZE - 4].into_boxed_slice(),
+            vec![42u8].into_boxed_slice(),
+        ];
+        let footer = vec![5u8; PAGE_SIZE + 17];
+        write_segment_v2(&path, &pages, &footer).unwrap();
+        assert_eq!(probe_segment_version(&path).unwrap(), SEGFILE_VERSION_V2);
+        let (back, foot) = read_segment_v2(&path).unwrap();
+        assert_eq!(back, pages);
+        assert_eq!(foot, footer);
+        // Page-aligned: header + one block per page + footer pages.
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(len, (1 + 3 + 2) * PAGE_SIZE as u64);
+        // The row reader refuses v2 files rather than misreading them.
+        assert!(read_segment::<u64, _>(&path, &U64Codec).is_err());
+    }
+
+    #[test]
+    fn v2_rejects_oversized_payloads_and_corrupt_lengths() {
+        let dir = TempDir::new("segfile-v2-bad").unwrap();
+        let path = dir.path().join("seg-v2-bad");
+        let too_big = vec![vec![0u8; PAGE_SIZE - 3].into_boxed_slice()];
+        assert!(write_segment_v2(&path, &too_big, &[]).is_err());
+
+        let pages = vec![vec![1u8, 2, 3].into_boxed_slice()];
+        write_segment_v2(&path, &pages, &[]).unwrap();
+        // Zero out the length prefix of page 0 → Corrupt, not a panic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[PAGE_SIZE..PAGE_SIZE + 4].fill(0);
+        std::fs::write(&path, &bytes).unwrap();
+        match read_segment_v2(&path) {
+            Err(StorageError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Truncated data region → I/O error.
+        std::fs::write(&path, &bytes[..PAGE_SIZE]).unwrap();
+        assert!(read_segment_v2(&path).is_err());
+        // The version probe still works on the truncated file.
+        assert_eq!(probe_segment_version(&path).unwrap(), SEGFILE_VERSION_V2);
     }
 
     #[test]

@@ -275,7 +275,7 @@ fn cmd_allocate(args: &[String]) -> i32 {
 // ---------------------------------------------------------------------------
 
 const QUERY_USAGE: &str = "iolap query --data DIR [--region Dim=Node,...] \
-     [--agg sum|count|avg] [--policy P] [--epsilon E] [--buffer-kb KB]";
+     [--agg sum|count|avg] [--policy P] [--epsilon E] [--buffer-kb KB] [--stats]";
 
 fn cmd_query(args: &[String]) -> i32 {
     if has_flag(args, "--help") {
@@ -357,7 +357,7 @@ fn cmd_query(args: &[String]) -> i32 {
         }
     };
     let q = iolap::query::Query { region, agg };
-    let result = match iolap::query::aggregate_edb(&mut run.edb, &q) {
+    let (result, stats) = match iolap::query::aggregate_edb_stats(&mut run.edb, &q) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
@@ -366,6 +366,14 @@ fn cmd_query(args: &[String]) -> i32 {
     };
     // The server's /query response shape (epoch 0: freshly allocated).
     println!("{}", iolap::serve::wire::query_response(&result, agg, false, 0));
+    if has_flag(args, "--stats") {
+        // Scan counters as a second JSON line so the first line stays
+        // byte-identical to the server's response shape.
+        println!(
+            "{{\"pages_read\":{},\"pages_pruned\":{},\"bytes_read\":{}}}",
+            stats.pages_read, stats.pages_pruned, stats.bytes_read
+        );
+    }
     0
 }
 

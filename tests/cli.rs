@@ -170,6 +170,41 @@ fn query_prints_the_server_json_shape() {
 }
 
 #[test]
+fn query_stats_prints_scan_counters_as_a_second_json_line() {
+    let dir = std::env::temp_dir().join(format!("iolap-cli-query-stats-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = iolap()
+        .args(["gen", "--kind", "automotive", "--facts", "300", "--seed", "5", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("spawn gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = iolap()
+        .args(["query", "--data"])
+        .arg(&dir)
+        .args(["--agg", "sum", "--epsilon", "0.05", "--stats"])
+        .output()
+        .expect("spawn query");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let mut lines = text.lines();
+    // Line 1: the server's /query response shape, unchanged by --stats.
+    let resp = iolap::obs::json::parse(lines.next().expect("response line")).expect("JSON");
+    assert_eq!(resp.get("agg").and_then(|x| x.as_str()), Some("sum"), "{text}");
+    // Line 2: the scan counters. A full-space query prunes nothing, reads
+    // every page, and the exact-I/O meter charges the compressed bytes.
+    let stats = iolap::obs::json::parse(lines.next().expect("stats line")).expect("stats JSON");
+    let u =
+        |k: &str| stats.get(k).and_then(|x| x.as_u64()).unwrap_or_else(|| panic!("{k}: {text}"));
+    assert!(u("pages_read") > 0, "{text}");
+    assert!(u("bytes_read") > 0, "{text}");
+    assert_eq!(u("pages_pruned"), 0, "full-space query prunes nothing: {text}");
+    assert!(lines.next().is_none(), "exactly two lines: {text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_answers_queries_until_stdin_closes() {
     use std::io::{Read, Write};
     let dir = std::env::temp_dir().join(format!("iolap-cli-serve-{}", std::process::id()));

@@ -13,7 +13,8 @@
 
 use iolap::core::maintain::{EdbMutation, MaintainableEdb};
 use iolap::core::{
-    accumulate_region, allocate, Algorithm, AllocConfig, PolicySpec, SegmentCursor, SegmentView,
+    accumulate_region, allocate, Algorithm, AllocConfig, CoreError, PolicySpec, SegmentCursor,
+    SegmentLayout, SegmentView,
 };
 use iolap::hierarchy::{Hierarchy, HierarchyBuilder};
 use iolap::model::{paper_example, Fact, FactId, FactTable, RegionBox, Schema, MAX_DIMS};
@@ -73,13 +74,15 @@ fn arb_box() -> impl Strategy<Value = (u32, u32, u32, u32)> {
     (0u32..12, 0u32..12, 1u32..13, 1u32..13)
 }
 
-/// A naive full-entry scan: every page of every segment, no fences — the
-/// independent reimplementation the pruned cursor is checked against.
+/// A naive full-entry scan: every page of every segment decoded in page
+/// order, no fences — the independent reimplementation the pruned cursor
+/// is checked against. `records()` decompresses columnar pages, so this
+/// also exercises the v2 decode path.
 fn naive_scan(views: &[SegmentView], region: &RegionBox) -> (f64, f64) {
     let mut sum = 0.0;
     let mut count = 0.0;
     for v in views {
-        for e in v.segment.entries() {
+        for e in v.segment.records().expect("decode") {
             if !v.exclude.contains(&e.fact_id) && region.contains_cell(&e.cell) {
                 sum += e.weight * e.measure;
                 count += e.weight;
@@ -121,7 +124,7 @@ proptest! {
             let region = RegionBox { lo, hi, k: 2 };
 
             let (want_sum, want_count) = naive_scan(&views, &region);
-            let (sum, count, stats) = accumulate_region(&views, &region);
+            let (sum, count, stats) = accumulate_region(&views, &region).unwrap();
             prop_assert_eq!(sum.to_bits(), want_sum.to_bits(), "SUM bits for {:?}", region);
             prop_assert_eq!(count.to_bits(), want_count.to_bits(), "COUNT bits for {:?}", region);
             // AVG is sum/count on both sides; identical ingredients give
@@ -136,7 +139,7 @@ proptest! {
             let mut full = SegmentCursor::full_scan(&views, region);
             let mut fsum = 0.0;
             let mut fcount = 0.0;
-            full.for_each(|e| { fsum += e.weight * e.measure; fcount += e.weight; });
+            full.for_each(|e| { fsum += e.weight * e.measure; fcount += e.weight; }).unwrap();
             prop_assert_eq!(fsum.to_bits(), want_sum.to_bits());
             prop_assert_eq!(fcount.to_bits(), want_count.to_bits());
             prop_assert_eq!(full.stats().pages_read, total_pages);
@@ -150,7 +153,8 @@ fn live_multiset(views: &[SegmentView]) -> Vec<(FactId, [u32; MAX_DIMS], u64, u6
         .iter()
         .flat_map(|v| {
             v.segment
-                .entries()
+                .records()
+                .expect("decode")
                 .iter()
                 .filter(|e| !v.exclude.contains(&e.fact_id))
                 .map(|e| (e.fact_id, e.cell, e.weight.to_bits(), e.measure.to_bits()))
@@ -242,4 +246,106 @@ fn compaction_io_is_exactly_accounted_and_reproducible() {
         deltas_a.iter().any(|d| d.total() > 0),
         "compaction must charge the meter (temp file + external sort)"
     );
+}
+
+/// Every layout (row/columnar × canonical/Morton) answers bit-identically
+/// to the naive decoded scan of its own views, and all layouts hold the
+/// same live multiset. Bit-identity across *orders* is not promised —
+/// reordering reorders f64 accumulation — but within an order the
+/// compressed format must not perturb a single bit.
+#[test]
+fn every_layout_is_bit_identical_to_its_own_naive_scan() {
+    use iolap::core::{CellOrder, PageFormat};
+    let run = allocate(
+        &paper_example::table1(),
+        &PolicySpec::em_count(0.01),
+        Algorithm::Transitive,
+        &AllocConfig::builder().in_memory(256).build(),
+    )
+    .unwrap();
+    let mut edb = run.edb;
+    let schema = paper_example::schema();
+    let boxes: Vec<RegionBox> = {
+        let full = SegmentCursor::all_region(schema.k());
+        let mut ma = full;
+        ma.hi[0] = 2; // MA leaves
+        let mut sedan = full;
+        sedan.lo[1] = 0;
+        sedan.hi[1] = 2;
+        vec![full, ma, sedan]
+    };
+
+    let layouts = [
+        SegmentLayout::v1_canonical(),
+        SegmentLayout::v2_canonical(),
+        SegmentLayout { order: CellOrder::Morton, format: PageFormat::Rows },
+        SegmentLayout::v2_morton(),
+    ];
+    let mut multisets = Vec::new();
+    for layout in layouts {
+        edb.set_segment_layout(layout);
+        let views = edb.segments().unwrap();
+        for region in &boxes {
+            let (want_sum, want_count) = naive_scan(&views, region);
+            let (sum, count, _) = accumulate_region(&views, region).unwrap();
+            assert_eq!(sum.to_bits(), want_sum.to_bits(), "{layout:?} SUM bits for {region:?}");
+            assert_eq!(count.to_bits(), want_count.to_bits(), "{layout:?} COUNT bits");
+        }
+        multisets.push(live_multiset(&views));
+    }
+    for m in &multisets[1..] {
+        assert_eq!(m, &multisets[0], "layouts must hold the same live multiset");
+    }
+}
+
+/// A bit-flipped compressed page must surface from the scan as the
+/// storage error it is — through `iolap::Error` — never a panic or a
+/// silently short answer; and a truncated segment file must fail at load.
+#[test]
+fn corrupt_and_truncated_compressed_segments_surface_as_storage_errors() {
+    use iolap::core::EdbSegment;
+    let run = allocate(
+        &paper_example::table1(),
+        &PolicySpec::em_count(0.01),
+        Algorithm::Transitive,
+        &AllocConfig::builder().in_memory(256).build(),
+    )
+    .unwrap();
+    let mut edb = run.edb;
+    edb.set_segment_layout(SegmentLayout::v2_canonical());
+    let views = edb.segments().unwrap();
+    let k = paper_example::schema().k();
+
+    let dir = std::env::temp_dir().join(format!("iolap-seg-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("base.seg");
+    views[0].segment.save(&path).unwrap();
+
+    // Flip one bit inside the first encoded page's payload (the first
+    // data block follows the one-page header; its u32 length prefix is
+    // followed by the payload, so offset 16 is well inside it).
+    let mut bytes = std::fs::read(&path).unwrap();
+    let page = 4096;
+    bytes[page + 16] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Loading only validates the frame; the damage surfaces at scan time.
+    let seg = EdbSegment::load(&path, k).unwrap();
+    let views = vec![SegmentView {
+        segment: Arc::new(seg),
+        exclude: Arc::new(std::collections::HashSet::new()),
+    }];
+    let region = SegmentCursor::all_region(k);
+    let err = accumulate_region(&views, &region).unwrap_err();
+    assert!(matches!(err, CoreError::Storage(_)), "want a storage error, got {err:?}");
+    let facade: iolap::Error = err.into();
+    assert!(facade.to_string().contains("corrupt"), "{facade}");
+
+    // Truncating the file kills the load itself (the footer frame is
+    // incomplete) — an error, not a panic or a short segment.
+    bytes.truncate(bytes.len() - 7);
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(EdbSegment::load(&path, k).is_err(), "truncated segment must not load");
+
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -144,7 +144,7 @@ fn update_round_trip_stays_bit_identical_to_the_library() {
             .iter()
             .fold(QueryBuilder::new(paper_example::schema()).agg(agg), |b, (d, n)| b.at(d, n));
         let q = b.build().expect("query");
-        let local = snap.aggregate(&q.region, agg);
+        let local = snap.aggregate(&q.region, agg).expect("snapshot aggregate");
         let (v, s, c, _) = server_query(&mut conn, at, agg);
         assert_eq!(v, local.value.to_bits(), "{at:?} {agg:?} value after update");
         assert_eq!(s, local.sum.to_bits(), "{at:?} {agg:?} sum after update");
@@ -191,11 +191,30 @@ fn updates_invalidate_only_overlapping_cache_entries() {
     // every served (non-cached) aggregate either read or pruned pages.
     let (status, prom) = http_roundtrip(&mut conn, "GET", "/metrics", "").expect("metrics");
     assert_eq!(status, 200);
-    for series in ["iolap_edb_pages_read", "iolap_edb_pages_pruned", "iolap_edb_segments"] {
+    for series in [
+        "iolap_edb_pages_read",
+        "iolap_edb_pages_pruned",
+        "iolap_edb_bytes_read",
+        "iolap_edb_segments",
+        "iolap_edb_compression_ratio",
+    ] {
         assert!(prom.contains(series), "missing {series} in /metrics:\n{prom}");
     }
     let read = h.obs().counter("edb.pages_read").unwrap().get();
     let pruned = h.obs().counter("edb.pages_pruned").unwrap().get();
     assert!(read + pruned > 0, "served queries must account their page scans");
+    // Every page read moved bytes through the exact-I/O meter, and the
+    // published (default ColumnarV2) segments compress: the gauge reports
+    // milli-ratio > 1000 = shrinking at rest.
+    if read > 0 {
+        assert!(
+            h.obs().counter("edb.bytes_read").unwrap().get() > 0,
+            "read pages must account their bytes"
+        );
+    }
+    assert!(
+        h.obs().gauge("edb.compression_ratio").unwrap().get() > 1000,
+        "compressed default layout must report ratio above 1000 milli"
+    );
     h.shutdown();
 }
