@@ -1,53 +1,102 @@
-//! Closed-loop load generator for the `iolap-serve` query server.
+//! Connection-sweep load generator for the `iolap-serve` query server.
 //!
-//! Starts an in-process server on a loopback port, warms the result cache
-//! with one pass over the query mix, then hammers it from keep-alive
-//! client threads for a fixed wall-clock window. Latency is measured at
-//! the client (request write → full response read); the cache hit ratio
-//! and shed count come from the server's own metrics registry.
+//! Starts an in-process server on a loopback port, warms the result
+//! cache with one pass over the query mix, then sweeps the number of
+//! concurrent keep-alive connections (256 → 10 000 by default) while
+//! the worker pool stays fixed — the experiment the reactor exists for:
+//! parked sockets must cost the server nothing, so p99 at 10k
+//! connections should sit within ~2× of the 256-connection point.
 //!
-//! The acceptance bar is ≥ 1 000 req/s from a single worker on the
-//! 5 000-fact dataset with a warm cache; the binary warns (but does not
-//! fail) below that, since CI machines vary.
+//! Each sweep point runs a fixed pool of closed-loop *driver* threads
+//! that round-robin their requests across many keep-alive sockets, so
+//! at any instant most connections are idle — exactly the shape of a
+//! real keep-alive fleet. Because a process is limited to ~20k file
+//! descriptors on typical containers (and each connection costs one fd
+//! on each side), the client half runs in **child processes** (re-exec
+//! of this binary, ≤2 500 connections each) coordinated over stdin:
+//! the parent streams the query mix, each child connects and answers
+//! `READY`, the parent fires `GO`, and the child reports a `RESULT`
+//! JSON line with its raw latency samples for exact merged percentiles.
+//!
+//! Latency is measured at the client (request write → full response
+//! read); cache hit ratio and shed counts come from the server's own
+//! metrics registry. Any client-side error fails the run.
 //!
 //! ```bash
 //! cargo run --release -p iolap-bench --bin serve_load
-//! cargo run --release -p iolap-bench --bin serve_load -- --facts 5000   # CI smoke
-//! cargo run --release -p iolap-bench --bin serve_load -- clients=4 workers=4 secs=5
+//! cargo run --release -p iolap-bench --bin serve_load -- --facts 5000 --json BENCH_serve.json
+//! cargo run --release -p iolap-bench --bin serve_load -- --connections 256,4000 secs=2
 //! ```
 
 use iolap_bench::runs::{print_table, write_json};
 use iolap_bench::{Args, Json};
 use iolap_core::{AllocConfig, PolicySpec};
 use iolap_datagen::scaled;
+use iolap_obs::json;
 use iolap_query::AggFn;
-use iolap_serve::{http_roundtrip, wire, ServeConfig, Server};
+use iolap_serve::{http_roundtrip, raise_nofile_limit, wire, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Hard per-child connection cap: two fds per connection (one per side)
+/// against a ~20k per-process fd ceiling leaves comfortable headroom.
+const CONNS_PER_CHILD: usize = 2_500;
+
 fn main() {
     let args = Args::parse(5_000);
+    if args.extra("client-addr").is_some() {
+        client_main(&args);
+        return;
+    }
+    parent_main(&args);
+}
+
+// ---------------------------------------------------------------------------
+// Parent: server + sweep orchestration.
+
+fn parent_main(args: &Args) {
     let epsilon: f64 = args.extra_or("eps", 0.01);
     let workers: usize = args.extra_or("workers", 1);
-    // Keep-alive connections are pinned to a worker for their lifetime,
-    // so more clients than workers would just park the surplus.
-    let clients: usize = args.extra_or("clients", workers);
-    let secs: f64 = args.extra_or("secs", 2.0);
+    let drivers: usize = args.extra_or("drivers", 4);
+    let secs: f64 = args.extra_or("secs", 3.0);
     let cache: usize = args.extra_or("cache", 4096);
+    let sweep: Vec<usize> = args
+        .extra("connections")
+        .unwrap_or("256,1000,4000,10000")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse().expect("connections=N,N,..."))
+        .collect();
+    assert!(!sweep.is_empty(), "empty connection sweep");
 
+    let nofile = raise_nofile_limit();
     let table = scaled(args.dataset, args.facts, args.seed);
     let schema = table.schema().clone();
     println!(
-        "serve_load — {:?} dataset, {} facts, {workers} worker(s), {clients} client(s), {secs}s window",
+        "serve_load — {:?} dataset, {} facts, {workers} worker(s), {drivers} driver(s), \
+         {secs}s/point, sweep {sweep:?}, nofile {nofile}",
         args.dataset, args.facts
     );
 
-    let cfg = ServeConfig { workers, cache_capacity: cache, ..ServeConfig::default() };
+    let max_conns = sweep.iter().copied().max().unwrap() + 256;
+    let cfg = ServeConfig::builder()
+        .workers(workers)
+        .cache_capacity(cache)
+        .max_connections(max_conns)
+        // Idle far longer than a sweep point so parked sockets survive.
+        .idle_timeout(Duration::from_secs(600))
+        .build();
     let policy = PolicySpec::em_count(epsilon);
     let alloc = AllocConfig::builder().in_memory(4096).build();
-    let handle = Server::start(table, policy, alloc, "127.0.0.1:0", cfg).expect("server starts");
+    let handle = Server::builder(table, policy)
+        .alloc(alloc)
+        .config(cfg)
+        .bind("127.0.0.1:0")
+        .expect("server starts");
     let addr = handle.addr();
 
     // Query mix: SUM and COUNT over every node of the coarsest dimension-0
@@ -70,7 +119,7 @@ fn main() {
     bodies.push(wire::query_body(&[], AggFn::Sum, None));
     println!("query mix: {} distinct queries over {}", bodies.len(), dim.name());
 
-    // Warm pass: every distinct query once, so the measured window runs
+    // Warm pass: every distinct query once, so every sweep point runs
     // against a fully populated cache.
     {
         let mut conn = TcpStream::connect(addr).expect("warm connect");
@@ -80,63 +129,129 @@ fn main() {
         }
     }
 
-    let bodies = Arc::new(bodies);
-    let next = Arc::new(AtomicU64::new(0));
-    let deadline = Instant::now() + Duration::from_secs_f64(secs);
-    let started = Instant::now();
-    let threads: Vec<_> = (0..clients)
-        .map(|_| {
-            let bodies = Arc::clone(&bodies);
-            let next = Arc::clone(&next);
-            std::thread::spawn(move || {
-                let mut conn = TcpStream::connect(addr).expect("client connect");
-                // A generous timeout so a client parked behind a busy
-                // worker unblocks at shutdown instead of hanging the join.
-                conn.set_read_timeout(Some(Duration::from_secs_f64(secs + 10.0))).unwrap();
-                let mut lat_us: Vec<u64> = Vec::new();
-                let mut errors = 0u64;
-                while Instant::now() < deadline {
-                    let i = next.fetch_add(1, Ordering::Relaxed) as usize % bodies.len();
-                    let t = Instant::now();
-                    match http_roundtrip(&mut conn, "POST", "/query", &bodies[i]) {
-                        Ok((200, _)) => lat_us.push(t.elapsed().as_micros() as u64),
-                        Ok(_) | Err(_) => {
-                            errors += 1;
-                            break;
-                        }
-                    }
-                }
-                (lat_us, errors)
-            })
-        })
-        .collect();
-
-    let mut lat_us: Vec<u64> = Vec::new();
-    let mut errors = 0u64;
-    for t in threads {
-        let (l, e) = t.join().expect("client thread");
-        lat_us.extend(l);
-        errors += e;
-    }
-    let elapsed = started.elapsed().as_secs_f64();
-    lat_us.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if lat_us.is_empty() {
-            return 0;
-        }
-        lat_us[(((lat_us.len() - 1) as f64) * p) as usize]
-    };
-    let requests = lat_us.len() as u64;
-    let rps = requests as f64 / elapsed;
-
     let counter = |name: &str| handle.obs().counter(name).map_or(0, |c| c.get());
-    let (hits, misses) = (counter("serve.cache.hit"), counter("serve.cache.miss"));
-    let hit_ratio = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
-    let shed = counter("serve.shed");
+    let exe = std::env::current_exe().expect("current_exe");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut points: Vec<Vec<(&str, Json)>> = Vec::new();
+    let mut point_stats: Vec<(usize, u64, f64)> = Vec::new(); // (conns, p99, rps)
+    let mut total_errors = 0u64;
+
+    for &conns in &sweep {
+        let children = conns.div_ceil(CONNS_PER_CHILD);
+        let (hits0, miss0, shed0) =
+            (counter("serve.cache.hit"), counter("serve.cache.miss"), counter("serve.shed"));
+
+        // Spawn the client children and stream them the query mix.
+        let mut procs: Vec<Child> = Vec::new();
+        let mut readers: Vec<BufReader<std::process::ChildStdout>> = Vec::new();
+        for c in 0..children {
+            // Spread connections and drivers across children; every
+            // child gets at least one driver.
+            let child_conns = conns / children + usize::from(c < conns % children);
+            let child_drivers = (drivers / children).max(1);
+            let mut p = Command::new(&exe)
+                .arg(format!("client-addr={addr}"))
+                .arg(format!("client-conns={child_conns}"))
+                .arg(format!("client-drivers={child_drivers}"))
+                .arg(format!("client-secs={secs}"))
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn client child");
+            let stdin = p.stdin.as_mut().expect("child stdin");
+            writeln!(stdin, "{}", bodies.len()).unwrap();
+            for b in &bodies {
+                writeln!(stdin, "{b}").unwrap();
+            }
+            stdin.flush().unwrap();
+            readers.push(BufReader::new(p.stdout.take().expect("child stdout")));
+            procs.push(p);
+        }
+
+        // Barrier: every child has all its sockets connected.
+        for r in readers.iter_mut() {
+            let mut line = String::new();
+            r.read_line(&mut line).expect("child READY");
+            assert_eq!(line.trim(), "READY", "unexpected child handshake: {line:?}");
+        }
+        for p in procs.iter_mut() {
+            writeln!(p.stdin.as_mut().unwrap(), "GO").unwrap();
+        }
+
+        // Collect and merge results.
+        let mut lat_us: Vec<u64> = Vec::new();
+        let mut errors = 0u64;
+        for r in readers.iter_mut() {
+            let mut line = String::new();
+            r.read_line(&mut line).expect("child RESULT");
+            let payload = line.strip_prefix("RESULT ").unwrap_or_else(|| {
+                panic!("unexpected child output: {line:?}");
+            });
+            let v = json::parse(payload.trim()).expect("child RESULT JSON");
+            errors += v.get("errors").and_then(|x| x.as_u64()).expect("errors");
+            let samples = v.get("lat_us").and_then(|x| x.as_array()).expect("lat_us");
+            lat_us.extend(samples.iter().map(|s| s.as_u64().expect("µs sample")));
+        }
+        for mut p in procs {
+            drop(p.stdin.take());
+            let st = p.wait().expect("child exits");
+            assert!(st.success(), "client child failed");
+        }
+
+        lat_us.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if lat_us.is_empty() {
+                return 0;
+            }
+            lat_us[(((lat_us.len() - 1) as f64) * p) as usize]
+        };
+        let requests = lat_us.len() as u64;
+        let rps = requests as f64 / secs;
+        let (hits, misses, shed) = (
+            counter("serve.cache.hit") - hits0,
+            counter("serve.cache.miss") - miss0,
+            counter("serve.shed") - shed0,
+        );
+        let hit_ratio = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
+        total_errors += errors;
+        point_stats.push((conns, pct(0.99), rps));
+
+        rows.push(vec![
+            format!("{conns}"),
+            format!("{children}"),
+            format!("{requests}"),
+            format!("{rps:.0}"),
+            format!("{}", pct(0.50)),
+            format!("{}", pct(0.90)),
+            format!("{}", pct(0.99)),
+            format!("{}", lat_us.last().copied().unwrap_or(0)),
+            format!("{hit_ratio:.3}"),
+            format!("{shed}"),
+            format!("{errors}"),
+        ]);
+        points.push(vec![
+            ("connections", Json::U(conns as u64)),
+            ("client_processes", Json::U(children as u64)),
+            ("requests", Json::U(requests)),
+            ("throughput_rps", Json::F(rps)),
+            ("p50_us", Json::U(pct(0.50))),
+            ("p90_us", Json::U(pct(0.90))),
+            ("p99_us", Json::U(pct(0.99))),
+            ("max_us", Json::U(lat_us.last().copied().unwrap_or(0))),
+            ("cache_hits", Json::U(hits)),
+            ("cache_misses", Json::U(misses)),
+            ("cache_hit_ratio", Json::F(hit_ratio)),
+            ("shed", Json::U(shed)),
+            ("errors", Json::U(errors)),
+        ]);
+    }
 
     print_table(
-        "warm-cache closed-loop load",
+        "warm-cache keep-alive connection sweep (fixed worker pool)",
         &[
+            "conns",
+            "procs",
             "requests",
             "req/s",
             "p50 µs",
@@ -147,17 +262,7 @@ fn main() {
             "shed",
             "errors",
         ],
-        &[vec![
-            format!("{requests}"),
-            format!("{rps:.0}"),
-            format!("{}", pct(0.50)),
-            format!("{}", pct(0.90)),
-            format!("{}", pct(0.99)),
-            format!("{}", lat_us.last().copied().unwrap_or(0)),
-            format!("{hit_ratio:.3}"),
-            format!("{shed}"),
-            format!("{errors}"),
-        ]],
+        &rows,
     );
 
     let path = args.json.as_deref().unwrap_or("BENCH_serve.json");
@@ -168,32 +273,139 @@ fn main() {
         ("seed", Json::U(args.seed)),
         ("epsilon", Json::F(epsilon)),
         ("workers", Json::U(workers as u64)),
-        ("clients", Json::U(clients as u64)),
-        ("secs", Json::F(secs)),
+        ("drivers", Json::U(drivers as u64)),
+        ("secs_per_point", Json::F(secs)),
         ("cache_capacity", Json::U(cache as u64)),
+        ("nofile_limit", Json::U(nofile)),
     ];
-    let point = vec![
-        ("requests", Json::U(requests)),
-        ("elapsed_secs", Json::F(elapsed)),
-        ("throughput_rps", Json::F(rps)),
-        ("p50_us", Json::U(pct(0.50))),
-        ("p90_us", Json::U(pct(0.90))),
-        ("p99_us", Json::U(pct(0.99))),
-        ("max_us", Json::U(lat_us.last().copied().unwrap_or(0))),
-        ("cache_hits", Json::U(hits)),
-        ("cache_misses", Json::U(misses)),
-        ("cache_hit_ratio", Json::F(hit_ratio)),
-        ("shed", Json::U(shed)),
-        ("errors", Json::U(errors)),
-    ];
-    write_json(path, &meta, &[point]).expect("write BENCH_serve.json");
+    write_json(path, &meta, &points).expect("write BENCH_serve.json");
 
     handle.shutdown();
-    if errors > 0 {
-        eprintln!("serve_load saw {errors} client error(s) — failing");
+    if total_errors > 0 {
+        eprintln!("serve_load saw {total_errors} client error(s) — failing");
         std::process::exit(1);
     }
-    if rps < 1_000.0 {
-        eprintln!("warning: {rps:.0} req/s is below the 1k req/s warm-cache bar");
+    // The reactor's contract: scaling idle connections must not melt tail
+    // latency or throughput. Warn (don't fail) — CI machines vary.
+    if let (Some(first), Some(last)) = (point_stats.first(), point_stats.last()) {
+        if point_stats.len() > 1 && last.1 > first.1 * 2 {
+            eprintln!(
+                "warning: p99 at {} conns ({} µs) is more than 2× the {}-conn point ({} µs)",
+                last.0, last.1, first.0, first.1
+            );
+        }
     }
+    for (conns, _, rps) in &point_stats {
+        if *rps < 1_000.0 {
+            eprintln!("warning: {rps:.0} req/s at {conns} conns is below the 1k req/s bar");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Child: a block of keep-alive client connections driven closed-loop.
+
+fn client_main(args: &Args) {
+    let addr: std::net::SocketAddr =
+        args.extra("client-addr").unwrap().parse().expect("client-addr HOST:PORT");
+    let conns: usize = args.extra_or("client-conns", 0);
+    let drivers: usize = args.extra_or("client-drivers", 1);
+    let secs: f64 = args.extra_or("client-secs", 2.0);
+    assert!(conns > 0, "client-conns must be positive");
+    raise_nofile_limit();
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    let mut next_line = || lines.next().expect("parent stdin line").expect("read stdin");
+    let nbodies: usize = next_line().trim().parse().expect("body count");
+    let bodies: Arc<Vec<String>> = Arc::new((0..nbodies).map(|_| next_line()).collect());
+
+    // Connect the whole block serially before reporting READY; retry
+    // briefly so a full accept backlog during the storm is not fatal.
+    let mut sockets: Vec<TcpStream> = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let mut attempt = 0;
+        let s = loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(e) if attempt < 50 => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                    let _ = e;
+                }
+                Err(e) => panic!("connect: {e}"),
+            }
+        };
+        s.set_read_timeout(Some(Duration::from_secs_f64(secs + 15.0))).unwrap();
+        let _ = s.set_nodelay(true);
+        sockets.push(s);
+    }
+    println!("READY");
+    std::io::stdout().flush().unwrap();
+    assert_eq!(next_line().trim(), "GO", "expected GO");
+
+    // Split the block across driver threads; each thread round-robins
+    // its share so every socket stays warm but most are idle at any
+    // instant — the keep-alive fleet shape.
+    let next = Arc::new(AtomicU64::new(0));
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let per = conns.div_ceil(drivers.max(1));
+    let mut threads = Vec::new();
+    while !sockets.is_empty() {
+        let mut share: Vec<TcpStream> = sockets.drain(..per.min(sockets.len())).collect();
+        let bodies = Arc::clone(&bodies);
+        let next = Arc::clone(&next);
+        threads.push(std::thread::spawn(move || {
+            let mut lat_us: Vec<u64> = Vec::new();
+            let mut errors = 0u64;
+            'window: loop {
+                let mut k = 0;
+                while k < share.len() {
+                    if Instant::now() >= deadline {
+                        break 'window;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed) as usize % bodies.len();
+                    let t = Instant::now();
+                    match http_roundtrip(&mut share[k], "POST", "/query", &bodies[i]) {
+                        Ok((200, _)) => {
+                            lat_us.push(t.elapsed().as_micros() as u64);
+                            k += 1;
+                        }
+                        Ok(_) | Err(_) => {
+                            // Dead socket: count it once and retire it.
+                            errors += 1;
+                            share.swap_remove(k);
+                        }
+                    }
+                }
+                if share.is_empty() {
+                    break;
+                }
+            }
+            (lat_us, errors)
+        }));
+    }
+
+    let mut lat_us: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for t in threads {
+        let (l, e) = t.join().expect("driver thread");
+        lat_us.extend(l);
+        errors += e;
+    }
+    let mut out = String::with_capacity(lat_us.len() * 5 + 64);
+    out.push_str("RESULT {\"requests\":");
+    out.push_str(&lat_us.len().to_string());
+    out.push_str(",\"errors\":");
+    out.push_str(&errors.to_string());
+    out.push_str(",\"lat_us\":[");
+    for (i, v) in lat_us.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push_str("]}");
+    println!("{out}");
+    std::io::stdout().flush().unwrap();
 }

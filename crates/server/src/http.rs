@@ -1,10 +1,16 @@
-//! A minimal HTTP/1.1 subset over blocking streams — just enough for the
-//! query server: request-line + headers + `Content-Length`-framed bodies,
-//! keep-alive, and hard limits on every dimension of the input.
+//! A minimal HTTP/1.1 subset — just enough for the query server:
+//! request-line + headers + `Content-Length`-framed bodies, keep-alive,
+//! and hard limits on every dimension of the input.
+//!
+//! The core is the *incremental* [`try_parse`]: it inspects a buffer of
+//! bytes received so far and either yields a complete [`Request`] (plus
+//! how many bytes it consumed, so pipelined successors stay in the
+//! buffer) or reports how many more bytes it needs. The nonblocking
+//! reactor calls it after every read; the blocking [`read_request`] is a
+//! thin loop over the same function, so both paths share one grammar.
 //!
 //! Deliberately *not* supported: chunked transfer encoding, trailers,
-//! continuation lines, HTTP/1.0 keep-alive negotiation, pipelining beyond
-//! what a strictly sequential read loop gives for free. Anything outside
+//! continuation lines, HTTP/1.0 keep-alive negotiation. Anything outside
 //! the subset is rejected with a 4xx before a body byte is trusted.
 
 use std::io::{BufRead, Write};
@@ -42,12 +48,61 @@ impl From<std::io::Error> for ReadError {
     }
 }
 
-/// Read one request. `Ok(None)` means the peer closed cleanly between
-/// requests (normal keep-alive teardown).
-pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Request>, ReadError> {
-    let line = match read_line(r)? {
+/// Outcome of [`try_parse`] over the bytes received so far.
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// A full request, and the number of buffer bytes it consumed.
+    /// Bytes past `consumed` belong to the next pipelined request.
+    Complete(Request, usize),
+    /// More bytes required before a verdict.
+    Partial {
+        /// Minimum further bytes needed. Inside headers this is always 1
+        /// (line lengths aren't known in advance); inside a body it is
+        /// the exact remaining `Content-Length`.
+        need: usize,
+        /// Whether the headers are complete and only body bytes remain.
+        /// Distinguishes EOF-mid-headers (a 400) from EOF-mid-body (an
+        /// I/O error) for callers that observe the peer closing.
+        in_body: bool,
+    },
+}
+
+/// Pull the next `\n`-terminated line out of `buf` starting at `*pos`,
+/// stripping an optional trailing `\r`. `Ok(None)` means the line is
+/// still incomplete.
+fn next_line<'a>(buf: &'a [u8], pos: &mut usize) -> Result<Option<&'a str>, ReadError> {
+    let rest = &buf[*pos..];
+    match rest.iter().position(|&b| b == b'\n') {
+        Some(i) => {
+            let mut line = &rest[..i];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            if line.len() > MAX_LINE {
+                return Err(ReadError::Bad(431, "header line too long".into()));
+            }
+            *pos += i + 1;
+            let s = std::str::from_utf8(line)
+                .map_err(|_| ReadError::Bad(400, "non-utf8 header bytes".into()))?;
+            Ok(Some(s))
+        }
+        None => {
+            if rest.len() > MAX_LINE {
+                return Err(ReadError::Bad(431, "header line too long".into()));
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Try to parse one request from the bytes received so far. Pure: does
+/// no I/O and never mutates `buf`, so it is safe to call repeatedly as
+/// bytes arrive.
+pub fn try_parse(buf: &[u8], max_body: usize) -> Result<ParseStatus, ReadError> {
+    let mut pos = 0usize;
+    let line = match next_line(buf, &mut pos)? {
         Some(l) => l,
-        None => return Ok(None),
+        None => return Ok(ParseStatus::Partial { need: 1, in_body: false }),
     };
     let mut parts = line.split_ascii_whitespace();
     let method = parts.next().unwrap_or("").to_ascii_uppercase();
@@ -64,9 +119,9 @@ pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Req
     let mut keep_alive = version == "HTTP/1.1";
     let mut n_headers = 0usize;
     loop {
-        let h = match read_line(r)? {
+        let h = match next_line(buf, &mut pos)? {
             Some(h) => h,
-            None => return Err(ReadError::Bad(400, "eof inside headers".into())),
+            None => return Ok(ParseStatus::Partial { need: 1, in_body: false }),
         };
         if h.is_empty() {
             break;
@@ -98,37 +153,42 @@ pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Req
     if content_length > max_body {
         return Err(ReadError::Bad(413, format!("body of {content_length} bytes exceeds limit")));
     }
-    let mut body = vec![0u8; content_length];
-    r.read_exact(&mut body).map_err(ReadError::Io)?;
-    Ok(Some(Request { method, path, body, keep_alive }))
+    let have = buf.len() - pos;
+    if have < content_length {
+        return Ok(ParseStatus::Partial { need: content_length - have, in_body: true });
+    }
+    let body = buf[pos..pos + content_length].to_vec();
+    Ok(ParseStatus::Complete(Request { method, path, body, keep_alive }, pos + content_length))
 }
 
-/// Read one CRLF- (or bare-LF-) terminated line; `None` on immediate EOF.
-fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, ReadError> {
+/// Read one request from a blocking stream. `Ok(None)` means the peer
+/// closed cleanly between requests (normal keep-alive teardown).
+///
+/// Reads are sized by [`try_parse`]'s `need` hints — one byte at a time
+/// through the headers, then exactly the remaining body — so bytes
+/// belonging to a pipelined successor are never pulled off the stream.
+pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Request>, ReadError> {
     let mut buf = Vec::new();
     loop {
-        let mut byte = [0u8; 1];
-        let n = match r.read(&mut byte) {
-            Ok(n) => n,
-            Err(e) => return Err(ReadError::Io(e)),
+        let (need, in_body) = match try_parse(&buf, max_body)? {
+            ParseStatus::Complete(req, _) => return Ok(Some(req)),
+            ParseStatus::Partial { need, in_body } => (need, in_body),
         };
-        if n == 0 {
-            if buf.is_empty() {
-                return Ok(None);
+        if in_body {
+            // The remaining body size is exact: read all of it at once.
+            let start = buf.len();
+            buf.resize(start + need, 0);
+            r.read_exact(&mut buf[start..]).map_err(ReadError::Io)?;
+        } else {
+            let mut byte = [0u8; 1];
+            let n = r.read(&mut byte).map_err(ReadError::Io)?;
+            if n == 0 {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ReadError::Bad(400, "eof inside headers".into()));
             }
-            return Err(ReadError::Bad(400, "eof mid-line".into()));
-        }
-        if byte[0] == b'\n' {
-            if buf.last() == Some(&b'\r') {
-                buf.pop();
-            }
-            let s = String::from_utf8(buf)
-                .map_err(|_| ReadError::Bad(400, "non-utf8 header bytes".into()))?;
-            return Ok(Some(s));
-        }
-        buf.push(byte[0]);
-        if buf.len() > MAX_LINE {
-            return Err(ReadError::Bad(431, "header line too long".into()));
+            buf.push(byte[0]);
         }
     }
 }
@@ -168,6 +228,15 @@ pub fn write_response<W: Write>(
     )?;
     w.write_all(body)?;
     w.flush()
+}
+
+/// Serialize one response to bytes (the reactor path writes these to a
+/// nonblocking socket in pieces).
+pub fn response_bytes(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    write_response(&mut out, status, content_type, body, keep_alive)
+        .expect("writing to a Vec cannot fail");
+    out
 }
 
 #[cfg(test)]
@@ -255,5 +324,92 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 2\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    // ---- incremental-parser coverage (the reactor's exact read shape) ----
+
+    #[test]
+    fn try_parse_byte_at_a_time_reaches_complete() {
+        let wire = b"POST /query HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        for cut in 0..wire.len() {
+            match try_parse(&wire[..cut], 1 << 20).unwrap() {
+                ParseStatus::Partial { need, in_body } => {
+                    assert!(need >= 1, "prefix {cut}: need must be positive");
+                    // Once headers are done, the need is the exact
+                    // remaining body and is flagged as such.
+                    if in_body {
+                        assert_eq!(need, wire.len() - cut, "prefix {cut}");
+                    }
+                }
+                other => panic!("prefix {cut} complete too early: {other:?}"),
+            }
+        }
+        match try_parse(wire, 1 << 20).unwrap() {
+            ParseStatus::Complete(r, consumed) => {
+                assert_eq!(consumed, wire.len());
+                assert_eq!(r.body, b"{\"a\":1}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_parse_leaves_pipelined_successor_in_buffer() {
+        let wire =
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /query HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+        let (first, consumed) = match try_parse(wire, 1 << 20).unwrap() {
+            ParseStatus::Complete(r, c) => (r, c),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(first.method, "GET");
+        assert_eq!(first.path, "/healthz");
+        let rest = &wire[consumed..];
+        match try_parse(rest, 1 << 20).unwrap() {
+            ParseStatus::Complete(second, c) => {
+                assert_eq!(second.method, "POST");
+                assert_eq!(second.body, b"{}");
+                assert_eq!(c, rest.len());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocking_reader_does_not_eat_pipelined_bytes() {
+        let wire = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut cur = Cursor::new(wire.as_bytes().to_vec());
+        let a = read_request(&mut cur, 1 << 20).unwrap().unwrap();
+        assert_eq!(a.path, "/a");
+        let b = read_request(&mut cur, 1 << 20).unwrap().unwrap();
+        assert_eq!(b.path, "/b");
+        assert!(!b.keep_alive);
+        assert!(read_request(&mut cur, 1 << 20).unwrap().is_none(), "clean EOF after both");
+    }
+
+    #[test]
+    fn try_parse_empty_buffer_is_partial() {
+        match try_parse(b"", 1 << 20).unwrap() {
+            ParseStatus::Partial { need: 1, in_body: false } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_parse_rejects_oversized_header_line_before_newline() {
+        let huge = vec![b'a'; MAX_LINE + 2];
+        match try_parse(&huge, 1 << 20) {
+            Err(ReadError::Bad(431, _)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_parse_413_fires_before_body_bytes_arrive() {
+        // Headers alone are enough to reject an oversized body.
+        let wire = b"POST /q HTTP/1.1\r\nContent-Length: 999\r\n\r\n";
+        match try_parse(wire, 10) {
+            Err(ReadError::Bad(413, _)) => {}
+            other => panic!("{other:?}"),
+        }
     }
 }

@@ -16,23 +16,29 @@
 //!    only the entries whose region overlaps a bounding box the batch
 //!    touched (the same component-locality argument — Theorem 12 — that
 //!    makes maintenance itself cheap).
-//! 3. **Robustness under load** — a bounded accept queue that sheds with
-//!    `503` when saturated, socket timeouts both ways, per-request panic
-//!    isolation, and graceful drain on shutdown.
+//! 3. **An event-driven core** — one reactor thread owns every socket
+//!    behind an epoll/poll readiness loop (vendored syscall shim, no
+//!    external crate), so concurrent keep-alive connections are bounded
+//!    by `max_connections`, not by the worker count; workers pull
+//!    *ready, fully-parsed requests*. Saturation sheds with `503` per
+//!    [`ShedPolicy`], sockets carry read/write/idle timeouts, handler
+//!    panics cost one `500`, and shutdown drains gracefully.
 //!
 //! The HTTP surface is a deliberate std-only subset (no async runtime,
 //! no TLS): `POST /query`, `POST /rollup`, `POST /update`,
 //! `GET /healthz`, `GET /metrics` (Prometheus text via `iolap-obs`).
+//! Every error status shares one JSON shape — see [`wire::ServeError`].
 //!
 //! ```no_run
 //! use iolap_serve::{Server, ServeConfig};
 //! use iolap_core::{AllocConfig, PolicySpec};
 //! use iolap_model::paper_example;
 //!
-//! let table = paper_example::table1();
-//! let policy = PolicySpec::em_count(0.01);
-//! let alloc = AllocConfig::builder().in_memory(256).build();
-//! let h = Server::start(table, policy, alloc, "127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let h = Server::builder(paper_example::table1(), PolicySpec::em_count(0.01))
+//!     .alloc(AllocConfig::builder().in_memory(256).build())
+//!     .config(ServeConfig::builder().workers(2).max_connections(10_000).build())
+//!     .bind("127.0.0.1:0")
+//!     .unwrap();
 //! println!("listening on {}", h.addr());
 //! h.shutdown();
 //! ```
@@ -41,10 +47,16 @@
 
 pub mod cache;
 pub mod http;
+mod reactor;
 pub mod server;
 pub mod snapshot;
+mod sys;
 pub mod wire;
 
 pub use cache::{CacheKey, CachedResult, ShardedCache};
-pub use server::{http_roundtrip, read_response, ServeConfig, ServeError, Server, ServerHandle};
+pub use server::{
+    http_roundtrip, read_response, ServeConfig, ServeConfigBuilder, ServeError, Server,
+    ServerBuilder, ServerHandle, ShedPolicy,
+};
 pub use snapshot::EdbSnapshot;
+pub use sys::raise_nofile_limit;

@@ -1,27 +1,37 @@
-//! The server proper: listener, worker pool, and update coordinator.
+//! The server proper: reactor, worker pool, and update coordinator.
 //!
 //! Thread topology (all `std::thread`, no async runtime):
 //!
-//! * **accept** — non-blocking `TcpListener` loop; applies socket
-//!   timeouts and pushes connections into a bounded `sync_channel`. When
-//!   the channel is full the server is saturated: the connection gets an
-//!   inline `503` and is dropped (*load shedding* — fail fast instead of
-//!   queueing unboundedly).
-//! * **workers** (N) — pull connections off the shared channel and run
-//!   the keep-alive request loop. Each request is wrapped in
-//!   `catch_unwind`, so a handler panic costs one `500`, not a worker.
+//! * **reactor** (1) — owns the listener and every connection socket
+//!   behind an epoll/poll readiness loop (the private `reactor` module;
+//!   DESIGN.md §2.17 documents the state machine). Accepts,
+//!   reads, and incrementally parses on nonblocking sockets; pushes
+//!   *ready, fully-parsed requests* into a bounded queue. A full queue
+//!   (or a connection count at `max_connections`) is saturation: the
+//!   client gets an inline `503` per [`ShedPolicy`] (*load shedding* —
+//!   fail fast instead of queueing unboundedly).
+//! * **workers** (N) — pull ready requests off the shared queue and run
+//!   the handler. Each request is wrapped in `catch_unwind`, so a
+//!   handler panic costs one `500`, not a worker. The worker writes the
+//!   response bytes straight to the nonblocking socket and notifies the
+//!   reactor, which finishes any tail the socket wouldn't take.
 //! * **coordinator** (1) — owns the mutable [`MaintainableEdb`]. Builds
 //!   the initial allocation, then serially applies `/update` batches,
 //!   invalidates the cache, and publishes fresh [`EdbSnapshot`]s.
 //!
-//! Shutdown: [`ServerHandle::shutdown`] (or drop) raises a flag, the
-//! accept loop exits and drops the work channel, workers drain and exit,
-//! and dropping the update sender stops the coordinator.
+//! Shutdown: [`ServerHandle::shutdown`] (or drop) raises a flag and
+//! wakes the reactor, which stops accepting, closes idle keep-alive
+//! connections (the peer observes EOF), and drains in-flight responses;
+//! dropping the ready queue stops the workers and dropping the update
+//! sender stops the coordinator.
 
 use crate::cache::{CacheKey, CachedResult, ShardedCache};
-use crate::http::{read_request, write_response, ReadError, Request};
+use crate::http::{response_bytes, Request};
+use crate::reactor::{write_nonblocking, Completion, Reactor, ReadyRequest, WriteOutcome};
 use crate::snapshot::{resolve_level, resolve_region, EdbSnapshot};
+use crate::sys::Waker;
 use crate::wire;
+pub use crate::wire::ServeError;
 use iolap_core::maintain::EdbMutation;
 use iolap_core::{allocate, Algorithm, AllocConfig, MaintainableEdb, PolicySpec};
 use iolap_model::{Fact, FactId, FactTable, MAX_DIMS};
@@ -32,29 +42,48 @@ use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Tuning knobs for [`Server::start`].
+/// What to do with a connection the server cannot take on: over
+/// `max_connections`, or a ready-request queue already full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Answer `503` (best-effort, never blocking the reactor) and close.
+    Respond503,
+    /// Close without a response — cheapest possible shed.
+    DropConnection,
+}
+
+/// Tuning knobs for serving. Construct with [`ServeConfig::builder`];
+/// the fields stay public for inspection and struct-literal updates.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Request worker threads.
+    /// Request worker threads. Bounds concurrent *compute*, not
+    /// concurrent connections (the reactor owns those).
     pub workers: usize,
-    /// Bounded connection queue between accept and the workers; a full
-    /// queue sheds load with `503`.
+    /// Bounded ready-request queue between the reactor and the workers;
+    /// a full queue sheds load per [`ShedPolicy`].
     pub queue_depth: usize,
+    /// Maximum concurrent connections; excess accepts are shed.
+    pub max_connections: usize,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
     /// Number of cache shards.
     pub cache_shards: usize,
-    /// Per-connection socket read timeout.
+    /// How long a partially-received request may dribble in before the
+    /// connection is closed.
     pub read_timeout: Duration,
-    /// Per-connection socket write timeout.
+    /// How long a response may take to drain to a slow client.
     pub write_timeout: Duration,
+    /// How long an idle keep-alive connection is kept before closing.
+    pub idle_timeout: Duration,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
+    /// What to do at saturation.
+    pub shed: ShedPolicy,
     /// Observability handle. A disabled handle is silently upgraded to
     /// [`Obs::metrics_only`] so `/metrics` always has something to say.
     pub obs: Obs,
@@ -65,39 +94,116 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 4,
             queue_depth: 128,
+            max_connections: 8192,
             cache_capacity: 4096,
             cache_shards: 8,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
             max_body_bytes: 1 << 20,
+            shed: ShedPolicy::Respond503,
             obs: Obs::disabled(),
         }
     }
 }
 
-/// Why the server failed to start or stopped.
-#[derive(Debug)]
-pub enum ServeError {
-    /// Socket-level failure.
-    Io(std::io::Error),
-    /// The initial allocation / EDB build failed.
-    Init(String),
-}
-
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServeError::Io(e) => write!(f, "server i/o error: {e}"),
-            ServeError::Init(msg) => write!(f, "server init failed: {msg}"),
-        }
+impl ServeConfig {
+    /// Start building a config from the defaults. Mirrors
+    /// [`AllocConfig::builder`]: chain only the knobs you care about.
+    ///
+    /// ```
+    /// use iolap_serve::{ServeConfig, ShedPolicy};
+    /// use std::time::Duration;
+    ///
+    /// let cfg = ServeConfig::builder()
+    ///     .workers(2)
+    ///     .max_connections(10_000)
+    ///     .idle_timeout(Duration::from_secs(30))
+    ///     .shed(ShedPolicy::Respond503)
+    ///     .build();
+    /// assert_eq!(cfg.workers, 2);
+    /// ```
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder { cfg: ServeConfig::default() }
     }
 }
 
-impl std::error::Error for ServeError {}
+/// Builder for [`ServeConfig`]; see [`ServeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
 
-impl From<std::io::Error> for ServeError {
-    fn from(e: std::io::Error) -> Self {
-        ServeError::Io(e)
+impl ServeConfigBuilder {
+    /// Request worker threads (compute concurrency).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n;
+        self
+    }
+
+    /// Ready-request queue depth between the reactor and workers.
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.cfg.queue_depth = n;
+        self
+    }
+
+    /// Maximum concurrent connections before accepts are shed.
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.cfg.max_connections = n;
+        self
+    }
+
+    /// Result-cache capacity in entries (0 disables caching).
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cfg.cache_capacity = n;
+        self
+    }
+
+    /// Number of result-cache shards.
+    pub fn cache_shards(mut self, n: usize) -> Self {
+        self.cfg.cache_shards = n;
+        self
+    }
+
+    /// Timeout for a partially-received request.
+    pub fn read_timeout(mut self, d: Duration) -> Self {
+        self.cfg.read_timeout = d;
+        self
+    }
+
+    /// Timeout for draining a response to a slow client.
+    pub fn write_timeout(mut self, d: Duration) -> Self {
+        self.cfg.write_timeout = d;
+        self
+    }
+
+    /// Timeout for idle keep-alive connections.
+    pub fn idle_timeout(mut self, d: Duration) -> Self {
+        self.cfg.idle_timeout = d;
+        self
+    }
+
+    /// Largest accepted request body, in bytes.
+    pub fn max_body_bytes(mut self, n: usize) -> Self {
+        self.cfg.max_body_bytes = n;
+        self
+    }
+
+    /// Behavior at saturation (connection cap or full ready queue).
+    pub fn shed(mut self, policy: ShedPolicy) -> Self {
+        self.cfg.shed = policy;
+        self
+    }
+
+    /// Observability handle.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.cfg.obs = obs;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ServeConfig {
+        self.cfg
     }
 }
 
@@ -115,26 +221,30 @@ struct UpdateJob {
 
 /// Metric handles resolved once at startup (hot paths never re-hash
 /// names). The server's `Obs` is always at least metrics-only.
-struct ServeMetrics {
-    requests: Counter,
+pub(crate) struct ServeMetrics {
+    pub(crate) requests: Counter,
     req_query: Counter,
     req_rollup: Counter,
     req_update: Counter,
     req_metrics: Counter,
     req_healthz: Counter,
-    resp_ok: Counter,
-    resp_client_error: Counter,
-    resp_server_error: Counter,
+    pub(crate) resp_ok: Counter,
+    pub(crate) resp_client_error: Counter,
+    pub(crate) resp_server_error: Counter,
     cache_hit: Counter,
     cache_miss: Counter,
     cache_insert: Counter,
     cache_invalidated: Counter,
     cache_evicted: Counter,
-    shed: Counter,
-    panics: Counter,
-    queue_depth: Gauge,
+    pub(crate) shed: Counter,
+    pub(crate) panics: Counter,
+    /// Depth of the ready-request queue (requests parsed by the reactor
+    /// but not yet picked up by a worker).
+    pub(crate) queue_depth: Gauge,
+    /// Live connection count owned by the reactor.
+    pub(crate) connections: Gauge,
     epoch: Gauge,
-    latency_us: Histogram,
+    pub(crate) latency_us: Histogram,
     /// Segment-layer counters for the answer path: pages actually
     /// scanned vs pages skipped by fence pruning, plus the published
     /// segment count and compactions run by the coordinator.
@@ -169,6 +279,7 @@ impl ServeMetrics {
             shed: c("serve.shed"),
             panics: c("serve.panics"),
             queue_depth: obs.gauge("serve.queue.depth").expect("enabled"),
+            connections: obs.gauge("serve.connections").expect("enabled"),
             epoch: obs.gauge("serve.epoch").expect("enabled"),
             latency_us: obs.histogram("serve.latency_us").expect("enabled"),
             pages_read: c("edb.pages_read"),
@@ -195,56 +306,48 @@ fn compression_milli(segments: &[iolap_core::SegmentView]) -> i64 {
 }
 
 /// State shared by every server thread.
-struct Shared {
+pub(crate) struct Shared {
     snapshot: Mutex<Arc<EdbSnapshot>>,
     cache: ShardedCache,
     cache_enabled: bool,
     obs: Obs,
-    metrics: ServeMetrics,
+    pub(crate) metrics: ServeMetrics,
     update_tx: Mutex<Option<Sender<UpdateJob>>>,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     /// Set when a maintenance batch failed partway: the EDB may be
     /// inconsistent with the published snapshot, so further `/update`s
     /// are refused (503) and `/healthz` reports degraded. Reads keep
     /// serving the last consistent snapshot.
     poisoned: AtomicBool,
-    max_body_bytes: usize,
-    /// Live connections (socket clones), so shutdown can interrupt
-    /// workers parked in blocking reads instead of waiting out the
-    /// read timeout.
-    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
-    next_conn: std::sync::atomic::AtomicU64,
 }
 
 impl Shared {
     fn snapshot(&self) -> Arc<EdbSnapshot> {
         self.snapshot.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
-
-    fn register_conn(&self, stream: &TcpStream) -> Option<u64> {
-        let clone = stream.try_clone().ok()?;
-        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
-        self.conns.lock().unwrap_or_else(|p| p.into_inner()).insert(id, clone);
-        Some(id)
-    }
-
-    fn deregister_conn(&self, id: Option<u64>) {
-        if let Some(id) = id {
-            self.conns.lock().unwrap_or_else(|p| p.into_inner()).remove(&id);
-        }
-    }
 }
 
-/// The server. Construct with [`Server::start`]; the returned
+/// The server. Construct with [`Server::builder`]; the returned
 /// [`ServerHandle`] owns every thread.
 pub struct Server;
 
 impl Server {
-    /// Allocate `table` under `policy` (Transitive — required for
-    /// maintenance), bind `addr`, and serve until the handle shuts down.
+    /// Start building a server for `table` under `policy` (Transitive —
+    /// required for maintenance). Finish with [`ServerBuilder::bind`].
+    pub fn builder(table: FactTable, policy: PolicySpec) -> ServerBuilder {
+        ServerBuilder { table, policy, alloc: AllocConfig::default(), cfg: ServeConfig::default() }
+    }
+
+    /// Allocate `table` under `policy`, bind `addr`, and serve until the
+    /// handle shuts down.
     ///
-    /// Blocks until the initial allocation is built and the socket is
-    /// listening, so a returned handle is immediately queryable.
+    /// Deprecated for external use; every internal caller has migrated to
+    /// [`Server::builder`]. One gated equivalence test keeps this
+    /// constructor honest until it is removed.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Server::builder(table, policy).alloc(alloc).config(cfg).bind(addr)`"
+    )]
     pub fn start(
         table: FactTable,
         policy: PolicySpec,
@@ -252,6 +355,51 @@ impl Server {
         addr: &str,
         cfg: ServeConfig,
     ) -> Result<ServerHandle, ServeError> {
+        Server::builder(table, policy).alloc(alloc).config(cfg).bind(addr)
+    }
+}
+
+/// Builder for a running server; see [`Server::builder`].
+///
+/// ```no_run
+/// use iolap_serve::{Server, ServeConfig};
+/// use iolap_core::{AllocConfig, PolicySpec};
+/// use iolap_model::paper_example;
+///
+/// let handle = Server::builder(paper_example::table1(), PolicySpec::em_count(0.01))
+///     .alloc(AllocConfig::builder().in_memory(256).build())
+///     .config(ServeConfig::builder().workers(2).build())
+///     .bind("127.0.0.1:0")?;
+/// println!("listening on {}", handle.addr());
+/// handle.shutdown();
+/// # Ok::<(), iolap_serve::ServeError>(())
+/// ```
+pub struct ServerBuilder {
+    table: FactTable,
+    policy: PolicySpec,
+    alloc: AllocConfig,
+    cfg: ServeConfig,
+}
+
+impl ServerBuilder {
+    /// Allocation config for the initial EDB build.
+    pub fn alloc(mut self, alloc: AllocConfig) -> Self {
+        self.alloc = alloc;
+        self
+    }
+
+    /// Serving config (see [`ServeConfig::builder`]).
+    pub fn config(mut self, cfg: ServeConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Bind `addr` and serve.
+    ///
+    /// Blocks until the initial allocation is built and the socket is
+    /// listening, so a returned handle is immediately queryable.
+    pub fn bind(self, addr: &str) -> Result<ServerHandle, ServeError> {
+        let ServerBuilder { table, policy, alloc, cfg } = self;
         let obs = if cfg.obs.is_enabled() { cfg.obs.clone() } else { Obs::metrics_only() };
         let metrics = ServeMetrics::new(&obs);
 
@@ -290,19 +438,17 @@ impl Server {
             update_tx: Mutex::new(Some(update_tx)),
             shutdown: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
-            max_body_bytes: cfg.max_body_bytes,
-            conns: Mutex::new(std::collections::HashMap::new()),
-            next_conn: std::sync::atomic::AtomicU64::new(0),
         });
         // Hand the coordinator its view of the shared state; it only now
         // enters the update loop.
         let _ = shared_tx.send(shared.clone());
 
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let waker = Arc::new(Waker::new()?);
 
-        let (work_tx, work_rx) = mpsc::sync_channel::<TcpStream>(cfg.queue_depth.max(1));
+        let (work_tx, work_rx) = mpsc::sync_channel::<ReadyRequest>(cfg.queue_depth.max(1));
+        let (done_tx, done_rx) = mpsc::channel::<Completion>();
         let work_rx = Arc::new(Mutex::new(work_rx));
         let mut threads = Vec::with_capacity(cfg.workers + 2);
         threads.push(coordinator);
@@ -310,36 +456,40 @@ impl Server {
         for i in 0..cfg.workers.max(1) {
             let rx = work_rx.clone();
             let sh = shared.clone();
+            let done = done_tx.clone();
+            let wk = waker.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("iolap-serve-worker-{i}"))
-                    .spawn(move || worker_main(rx, sh))
+                    .spawn(move || worker_main(rx, sh, done, wk))
                     .map_err(ServeError::Io)?,
             );
         }
+        drop(done_tx); // reactor's done_rx disconnects when workers exit
 
-        let sh = shared.clone();
-        let read_to = cfg.read_timeout;
-        let write_to = cfg.write_timeout;
+        let reactor =
+            Reactor::new(listener, waker.clone(), work_tx, done_rx, shared.clone(), cfg.clone())?;
         threads.push(
             std::thread::Builder::new()
-                .name("iolap-serve-accept".into())
-                .spawn(move || accept_main(listener, work_tx, sh, read_to, write_to))
+                .name("iolap-serve-reactor".into())
+                .spawn(move || reactor.run())
                 .map_err(ServeError::Io)?,
         );
 
-        Ok(ServerHandle { addr: local, shared, threads })
+        Ok(ServerHandle { addr: local, shared, waker, threads })
     }
 }
 
 /// A running server. Dropping it (or calling [`shutdown`]) stops every
-/// thread gracefully: in-flight requests finish, queued connections are
-/// drained, then the workers, accept loop, and coordinator exit.
+/// thread gracefully: in-flight requests finish, idle keep-alive
+/// connections observe EOF, then the workers, reactor, and coordinator
+/// exit.
 ///
 /// [`shutdown`]: ServerHandle::shutdown
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    waker: Arc<Waker>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -368,12 +518,9 @@ impl ServerHandle {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Stop the coordinator: no sender, no more jobs.
         self.shared.update_tx.lock().unwrap_or_else(|p| p.into_inner()).take();
-        // Interrupt workers parked in blocking reads on idle keep-alive
-        // connections (in-flight responses still complete: the write
-        // half has already buffered by the time the read half blocks).
-        for (_, s) in self.shared.conns.lock().unwrap_or_else(|p| p.into_inner()).iter() {
-            let _ = s.shutdown(std::net::Shutdown::Read);
-        }
+        // The reactor notices the flag at the next wakeup, closes parked
+        // connections itself, and drains in-flight responses.
+        self.waker.wake();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -387,112 +534,53 @@ impl Drop for ServerHandle {
 }
 
 // ---------------------------------------------------------------------------
-// Accept loop
-// ---------------------------------------------------------------------------
-
-fn accept_main(
-    listener: TcpListener,
-    work_tx: SyncSender<TcpStream>,
-    shared: Arc<Shared>,
-    read_timeout: Duration,
-    write_timeout: Duration,
-) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        let (stream, _) = match listener.accept() {
-            Ok(pair) => pair,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-                continue;
-            }
-            Err(_) => {
-                std::thread::sleep(Duration::from_millis(5));
-                continue;
-            }
-        };
-        let _ = stream.set_read_timeout(Some(read_timeout));
-        let _ = stream.set_write_timeout(Some(write_timeout));
-        let _ = stream.set_nodelay(true);
-        match work_tx.try_send(stream) {
-            Ok(()) => shared.metrics.queue_depth.add(1),
-            Err(TrySendError::Full(mut stream)) => {
-                // Saturated: shed instead of queueing unboundedly. The
-                // 503 is written inline on the accept thread, so cap the
-                // write timeout hard — a slow client must not stall
-                // accepting for the full write_timeout exactly when the
-                // server is already saturated. If even 100ms is too slow
-                // the client just sees a dropped connection.
-                shared.metrics.shed.inc();
-                shared.metrics.resp_server_error.inc();
-                let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
-                let body = wire::error_body("server saturated, retry later");
-                let _ =
-                    write_response(&mut stream, 503, "application/json", body.as_bytes(), false);
-            }
-            Err(TrySendError::Disconnected(_)) => break,
-        }
-    }
-    // Dropping work_tx lets workers drain the queue and exit.
-}
-
-// ---------------------------------------------------------------------------
 // Workers
 // ---------------------------------------------------------------------------
 
-fn worker_main(rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<Shared>) {
+fn worker_main(
+    rx: Arc<Mutex<Receiver<ReadyRequest>>>,
+    shared: Arc<Shared>,
+    done_tx: Sender<Completion>,
+    waker: Arc<Waker>,
+) {
     loop {
-        let stream = {
+        let job = {
             let rx = rx.lock().unwrap_or_else(|p| p.into_inner());
             match rx.recv() {
-                Ok(s) => s,
-                Err(_) => return, // accept loop gone, queue drained
+                Ok(j) => j,
+                Err(_) => return, // reactor gone, queue drained
             }
         };
         shared.metrics.queue_depth.add(-1);
-        let id = shared.register_conn(&stream);
-        handle_connection(stream, &shared);
-        shared.deregister_conn(id);
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    loop {
-        let req = match read_request(&mut reader, shared.max_body_bytes) {
-            Ok(Some(req)) => req,
-            Ok(None) => return, // clean close between requests
-            Err(ReadError::Bad(status, msg)) => {
-                count_status(shared, status);
-                let body = wire::error_body(&msg);
-                let _ =
-                    write_response(&mut writer, status, "application/json", body.as_bytes(), false);
-                return;
-            }
-            Err(ReadError::Io(_)) => return, // timeout or dead peer
-        };
-        let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
 
         let t0 = Instant::now();
-        let out = catch_unwind(AssertUnwindSafe(|| handle_request(&req, shared)));
+        let out = catch_unwind(AssertUnwindSafe(|| handle_request(&job.req, &shared)));
         let (status, content_type, body) = out.unwrap_or_else(|_| {
             shared.metrics.panics.inc();
-            (500, "application/json", wire::error_body("internal error"))
+            err_response(ServeError::Internal("internal error".into()))
         });
         shared.metrics.latency_us.observe(t0.elapsed().as_micros() as u64);
-        count_status(shared, status);
+        count_status(&shared, status);
 
-        if write_response(&mut writer, status, content_type, body.as_bytes(), keep_alive).is_err()
-            || !keep_alive
-        {
+        let keep_alive = job.req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+        let bytes = response_bytes(status, content_type, body.as_bytes(), keep_alive);
+        // Write straight to the socket — the reactor holds this
+        // connection's interest at zero until our completion arrives, so
+        // the two threads never touch the stream concurrently.
+        let outcome = match write_nonblocking(&job.stream, &bytes, 0) {
+            Ok(off) if off == bytes.len() => WriteOutcome::Done { keep_alive },
+            Ok(off) => WriteOutcome::Blocked { bytes, off, keep_alive },
+            Err(_) => WriteOutcome::Failed,
+        };
+        drop(job.stream);
+        if done_tx.send(Completion { conn_id: job.conn_id, outcome }).is_err() {
             return;
         }
+        waker.wake();
     }
 }
 
-fn count_status(shared: &Shared, status: u16) {
+pub(crate) fn count_status(shared: &Shared, status: u16) {
     match status {
         200..=299 => shared.metrics.resp_ok.inc(),
         400..=499 => shared.metrics.resp_client_error.inc(),
@@ -506,7 +594,13 @@ fn count_status(shared: &Shared, status: u16) {
 
 type Response = (u16, &'static str, String);
 
-fn handle_request(req: &Request, shared: &Shared) -> Response {
+/// Route a [`ServeError`] through the one status + JSON body mapping.
+fn err_response(err: ServeError) -> Response {
+    let (status, body) = err.to_response();
+    (status, "application/json", body)
+}
+
+pub(crate) fn handle_request(req: &Request, shared: &Shared) -> Response {
     shared.metrics.requests.inc();
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
@@ -533,14 +627,14 @@ fn handle_request(req: &Request, shared: &Shared) -> Response {
             handle_update(&req.body, shared)
         }
         (_, "/healthz" | "/metrics" | "/query" | "/rollup" | "/update") => {
-            (405, "application/json", wire::error_body("method not allowed"))
+            err_response(ServeError::MethodNotAllowed("method not allowed".into()))
         }
-        _ => (404, "application/json", wire::error_body("no such endpoint")),
+        _ => err_response(ServeError::NotFound("no such endpoint".into())),
     }
 }
 
 fn bad_request(msg: &str) -> Response {
-    (400, "application/json", wire::error_body(msg))
+    err_response(ServeError::BadRequest(msg.into()))
 }
 
 fn utf8_body(body: &[u8]) -> Result<&str, Response> {
@@ -583,11 +677,7 @@ fn handle_query(body: &[u8], shared: &Shared) -> Response {
             let (result, stats) = match snap.aggregate_with_stats(&region, q.agg) {
                 Ok(rs) => rs,
                 Err(e) => {
-                    return (
-                        500,
-                        "application/json",
-                        wire::error_body(&format!("scan failed: {e}")),
-                    );
+                    return err_response(ServeError::Internal(format!("scan failed: {e}")));
                 }
             };
             shared.metrics.pages_read.add(stats.pages_read);
@@ -627,7 +717,7 @@ fn handle_rollup(body: &[u8], shared: &Shared) -> Response {
     let (rows, stats) = match snap.rollup(dim, level, Some(&region), r.agg) {
         Ok(rs) => rs,
         Err(e) => {
-            return (500, "application/json", wire::error_body(&format!("scan failed: {e}")));
+            return err_response(ServeError::Internal(format!("scan failed: {e}")));
         }
     };
     shared.metrics.pages_read.add(stats.pages_read);
@@ -679,19 +769,17 @@ fn handle_update(body: &[u8], shared: &Shared) -> Response {
 
     // Enqueue for the coordinator and wait for the published epoch.
     if shared.poisoned.load(Ordering::Acquire) {
-        return (
-            503,
-            "application/json",
-            wire::error_body("maintenance failed earlier; updates disabled (reads still serve the last consistent snapshot)"),
-        );
+        return err_response(ServeError::Unavailable(
+            "maintenance failed earlier; updates disabled (reads still serve the last consistent snapshot)".into(),
+        ));
     }
     let tx = shared.update_tx.lock().unwrap_or_else(|p| p.into_inner()).clone();
     let Some(tx) = tx else {
-        return (503, "application/json", wire::error_body("server is shutting down"));
+        return err_response(ServeError::Unavailable("server is shutting down".into()));
     };
     let (reply_tx, reply_rx) = mpsc::channel();
     if tx.send(UpdateJob { muts, reply: reply_tx }).is_err() {
-        return (503, "application/json", wire::error_body("server is shutting down"));
+        return err_response(ServeError::Unavailable("server is shutting down".into()));
     }
     match reply_rx.recv() {
         Ok(Ok(out)) => {
@@ -707,11 +795,8 @@ fn handle_update(body: &[u8], shared: &Shared) -> Response {
             );
             (200, "application/json", body)
         }
-        Ok(Err((status, msg))) => {
-            let ct = "application/json";
-            (status, ct, wire::error_body(&msg))
-        }
-        Err(_) => (500, "application/json", wire::error_body("update coordinator died")),
+        Ok(Err((status, msg))) => err_response(ServeError::from_status(status, msg)),
+        Err(_) => err_response(ServeError::Internal("update coordinator died".into())),
     }
 }
 
@@ -953,4 +1038,51 @@ pub fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_config_builder_matches_struct_defaults() {
+        let built = ServeConfig::builder().build();
+        let def = ServeConfig::default();
+        assert_eq!(built.workers, def.workers);
+        assert_eq!(built.queue_depth, def.queue_depth);
+        assert_eq!(built.max_connections, def.max_connections);
+        assert_eq!(built.cache_capacity, def.cache_capacity);
+        assert_eq!(built.cache_shards, def.cache_shards);
+        assert_eq!(built.read_timeout, def.read_timeout);
+        assert_eq!(built.write_timeout, def.write_timeout);
+        assert_eq!(built.idle_timeout, def.idle_timeout);
+        assert_eq!(built.max_body_bytes, def.max_body_bytes);
+        assert_eq!(built.shed, def.shed);
+    }
+
+    #[test]
+    fn serve_config_builder_sets_every_knob() {
+        let cfg = ServeConfig::builder()
+            .workers(3)
+            .queue_depth(7)
+            .max_connections(11)
+            .cache_capacity(13)
+            .cache_shards(2)
+            .read_timeout(Duration::from_millis(101))
+            .write_timeout(Duration::from_millis(102))
+            .idle_timeout(Duration::from_millis(103))
+            .max_body_bytes(1024)
+            .shed(ShedPolicy::DropConnection)
+            .build();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.queue_depth, 7);
+        assert_eq!(cfg.max_connections, 11);
+        assert_eq!(cfg.cache_capacity, 13);
+        assert_eq!(cfg.cache_shards, 2);
+        assert_eq!(cfg.read_timeout, Duration::from_millis(101));
+        assert_eq!(cfg.write_timeout, Duration::from_millis(102));
+        assert_eq!(cfg.idle_timeout, Duration::from_millis(103));
+        assert_eq!(cfg.max_body_bytes, 1024);
+        assert_eq!(cfg.shed, ShedPolicy::DropConnection);
+    }
 }

@@ -1,0 +1,127 @@
+//! Linux `epoll(7)` backend for [`Poller`](super::Poller) — level-
+//! triggered, declared via `extern "C"` against the libc std already
+//! links (no external crate).
+
+use super::{Event, Interest};
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+// The kernel packs `struct epoll_event` on x86-64 only; everywhere
+// else it has natural alignment. Getting this wrong corrupts the
+// event array, so mirror the uapi header's `EPOLL_PACKED` exactly.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+fn events_bits(interest: Interest) -> u32 {
+    let mut bits = EPOLLRDHUP;
+    if interest.readable {
+        bits |= EPOLLIN;
+    }
+    if interest.writable {
+        bits |= EPOLLOUT;
+    }
+    bits
+}
+
+/// Level-triggered epoll instance.
+pub(crate) struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    pub(crate) fn new() -> io::Result<Poller> {
+        // SAFETY: plain syscall wrapper; -1 is checked below.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = EpollEvent { events: events_bits(interest), data: token };
+        // SAFETY: `ev` outlives the call; fd validity is the
+        // caller's contract (a closed fd surfaces as EBADF).
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub(crate) fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    pub(crate) fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    pub(crate) fn remove(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+    }
+
+    /// Wait for events; `None` timeout blocks indefinitely. Retries
+    /// EINTR. Appends into `out` (cleared first).
+    pub(crate) fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        let mut raw = [EpollEvent { events: 0, data: 0 }; 512];
+        let ms: i32 = match timeout {
+            None => -1,
+            Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+        };
+        loop {
+            // SAFETY: `raw` is a valid writable array of the stated
+            // length for the duration of the call.
+            let n = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as i32, ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(e);
+            }
+            for ev in raw.iter().take(n as usize) {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            return Ok(());
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd and drop it exactly once.
+        unsafe { close(self.epfd) };
+    }
+}

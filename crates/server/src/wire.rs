@@ -394,6 +394,147 @@ pub fn error_body(msg: &str) -> String {
     format!("{{\"error\":\"{}\"}}", escape(msg))
 }
 
+// ---------------------------------------------------------------------------
+// Unified error type
+// ---------------------------------------------------------------------------
+
+/// Every way serving can fail, unified behind one status + JSON-body
+/// mapping so 400/404/405/413/431/500/503 share a single wire shape.
+///
+/// The request-scoped variants ([`to_response`](ServeError::to_response))
+/// serialize as:
+///
+/// ```json
+/// {"error": "<human-readable message>", "code": "<kebab-case-code>", "status": <u16>}
+/// ```
+///
+/// The lifecycle variants ([`Io`](ServeError::Io),
+/// [`Init`](ServeError::Init)) never reach a socket — they are returned
+/// from server construction/startup and carried through `iolap::Error`.
+#[derive(Debug)]
+pub enum ServeError {
+    /// 400 — malformed request line, header, or body.
+    BadRequest(String),
+    /// 404 — no route matches the request path.
+    NotFound(String),
+    /// 405 — route exists, method doesn't.
+    MethodNotAllowed(String),
+    /// 413 — declared `Content-Length` exceeds the configured cap.
+    PayloadTooLarge(String),
+    /// 431 — header line or header count over the parser limits.
+    HeadersTooLarge(String),
+    /// 500 — handler panicked or an internal invariant failed.
+    Internal(String),
+    /// 503 — load shed, shutdown in progress, or coordinator poisoned.
+    Unavailable(String),
+    /// Lifecycle: socket-level failure during startup (bind/listen).
+    Io(std::io::Error),
+    /// Lifecycle: the initial allocation or EDB build failed.
+    Init(String),
+}
+
+impl ServeError {
+    /// The HTTP status this error maps to (lifecycle variants report 500,
+    /// though they are never written to a socket).
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::NotFound(_) => 404,
+            ServeError::MethodNotAllowed(_) => 405,
+            ServeError::PayloadTooLarge(_) => 413,
+            ServeError::HeadersTooLarge(_) => 431,
+            ServeError::Internal(_) | ServeError::Io(_) | ServeError::Init(_) => 500,
+            ServeError::Unavailable(_) => 503,
+        }
+    }
+
+    /// Stable machine-readable code for the `"code"` field.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad-request",
+            ServeError::NotFound(_) => "not-found",
+            ServeError::MethodNotAllowed(_) => "method-not-allowed",
+            ServeError::PayloadTooLarge(_) => "payload-too-large",
+            ServeError::HeadersTooLarge(_) => "headers-too-large",
+            ServeError::Internal(_) => "internal",
+            ServeError::Unavailable(_) => "unavailable",
+            ServeError::Io(_) => "io",
+            ServeError::Init(_) => "init",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> String {
+        match self {
+            ServeError::BadRequest(m)
+            | ServeError::NotFound(m)
+            | ServeError::MethodNotAllowed(m)
+            | ServeError::PayloadTooLarge(m)
+            | ServeError::HeadersTooLarge(m)
+            | ServeError::Internal(m)
+            | ServeError::Unavailable(m)
+            | ServeError::Init(m) => m.clone(),
+            ServeError::Io(e) => e.to_string(),
+        }
+    }
+
+    /// Map a status produced elsewhere (the HTTP parser's
+    /// [`ReadError::Bad`](crate::http::ReadError) carries raw numbers)
+    /// into the matching variant. Unknown statuses become
+    /// [`Internal`](ServeError::Internal).
+    pub fn from_status(status: u16, msg: impl Into<String>) -> ServeError {
+        let msg = msg.into();
+        match status {
+            400 => ServeError::BadRequest(msg),
+            404 => ServeError::NotFound(msg),
+            405 => ServeError::MethodNotAllowed(msg),
+            413 => ServeError::PayloadTooLarge(msg),
+            431 => ServeError::HeadersTooLarge(msg),
+            503 => ServeError::Unavailable(msg),
+            _ => ServeError::Internal(msg),
+        }
+    }
+
+    /// The one status + JSON body mapping every handler error path goes
+    /// through. The `"error"` field stays a plain string for backward
+    /// compatibility; `"code"` and `"status"` are machine-readable.
+    pub fn to_response(&self) -> (u16, String) {
+        let status = self.status();
+        let body = format!(
+            "{{\"error\":\"{}\",\"code\":\"{}\",\"status\":{}}}",
+            escape(&self.message()),
+            self.code(),
+            status
+        );
+        (status, body)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve i/o error: {e}"),
+            ServeError::Init(m) => write!(f, "serve init error: {m}"),
+            other => write!(f, "{} {}: {}", other.status(), other.code(), other.message()),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,5 +662,49 @@ mod tests {
         assert_eq!(v.get("invalidated").and_then(|x| x.as_u64()), Some(2));
         let v = iolap_obs::json::parse(&error_body("boom \"quoted\"")).unwrap();
         assert_eq!(v.get("error").and_then(|x| x.as_str()), Some("boom \"quoted\""));
+    }
+
+    #[test]
+    fn every_serve_error_variant_emits_the_documented_shape() {
+        let cases: Vec<(ServeError, u16, &str)> = vec![
+            (ServeError::BadRequest("bad \"body\"".into()), 400, "bad-request"),
+            (ServeError::NotFound("no route".into()), 404, "not-found"),
+            (ServeError::MethodNotAllowed("POST only".into()), 405, "method-not-allowed"),
+            (ServeError::PayloadTooLarge("big".into()), 413, "payload-too-large"),
+            (ServeError::HeadersTooLarge("wide".into()), 431, "headers-too-large"),
+            (ServeError::Internal("boom".into()), 500, "internal"),
+            (ServeError::Unavailable("shed".into()), 503, "unavailable"),
+        ];
+        for (err, want_status, want_code) in cases {
+            let (status, body) = err.to_response();
+            assert_eq!(status, want_status, "{err}");
+            let v = iolap_obs::json::parse(&body).unwrap_or_else(|e| panic!("{err}: {e}: {body}"));
+            assert!(v.get("error").and_then(|x| x.as_str()).is_some(), "{body}");
+            assert_eq!(v.get("code").and_then(|x| x.as_str()), Some(want_code), "{body}");
+            assert_eq!(
+                v.get("status").and_then(|x| x.as_u64()),
+                Some(want_status as u64),
+                "{body}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_status_round_trips_the_parser_codes() {
+        for status in [400u16, 404, 405, 413, 431, 503] {
+            let e = ServeError::from_status(status, "x");
+            assert_eq!(e.status(), status);
+        }
+        // Unknown statuses collapse to 500, never panic.
+        assert_eq!(ServeError::from_status(999, "x").status(), 500);
+    }
+
+    #[test]
+    fn lifecycle_variants_display_and_chain() {
+        let io = ServeError::from(std::io::Error::new(std::io::ErrorKind::AddrInUse, "busy"));
+        assert!(io.to_string().contains("busy"), "{io}");
+        assert!(std::error::Error::source(&io).is_some());
+        let init = ServeError::Init("allocation failed".into());
+        assert!(init.to_string().contains("allocation failed"), "{init}");
     }
 }

@@ -18,6 +18,7 @@
 //!
 //! iolap serve --data DIR [--addr HOST:PORT] [--policy P] [--epsilon E]
 //!             [--buffer-kb KB] [--workers N] [--queue N] [--cache N]
+//!             [--max-conns N] [--timeout-ms MS] [--idle-ms MS]
 //!     Allocate DIR with the Transitive algorithm and serve the EDB over
 //!     HTTP (POST /query, /rollup, /update; GET /healthz, /metrics).
 //!     Runs until stdin reaches EOF, then drains and exits.
@@ -383,7 +384,8 @@ fn cmd_serve(args: &[String]) -> i32 {
     if has_flag(args, "--help") {
         eprintln!(
             "iolap serve --data DIR [--addr HOST:PORT] [--policy P] [--epsilon E] \
-             [--buffer-kb KB] [--workers N] [--queue N] [--cache N]"
+             [--buffer-kb KB] [--workers N] [--queue N] [--cache N] \
+             [--max-conns N] [--timeout-ms MS] [--idle-ms MS]"
         );
         return 0;
     }
@@ -415,6 +417,16 @@ fn cmd_serve(args: &[String]) -> i32 {
         flag(args, "--queue").unwrap_or_else(|| "128".into()).parse().expect("--queue N");
     let cache: usize =
         flag(args, "--cache").unwrap_or_else(|| "4096".into()).parse().expect("--cache N");
+    let max_conns: usize =
+        flag(args, "--max-conns").unwrap_or_else(|| "8192".into()).parse().expect("--max-conns N");
+    // --timeout-ms sets the read AND write socket timeouts; --idle-ms
+    // bounds how long a parked keep-alive connection is kept.
+    let timeout_ms: u64 = flag(args, "--timeout-ms")
+        .unwrap_or_else(|| "5000".into())
+        .parse()
+        .expect("--timeout-ms MS");
+    let idle_ms: u64 =
+        flag(args, "--idle-ms").unwrap_or_else(|| "60000".into()).parse().expect("--idle-ms MS");
 
     let db = match Iolap::open(&dir) {
         Ok(x) => x,
@@ -428,12 +440,15 @@ fn cmd_serve(args: &[String]) -> i32 {
         db.table().len(),
         db.table().num_imprecise()
     );
-    let serve_cfg = ServeConfig {
-        workers,
-        queue_depth: queue,
-        cache_capacity: cache,
-        ..ServeConfig::default()
-    };
+    let serve_cfg = ServeConfig::builder()
+        .workers(workers)
+        .queue_depth(queue)
+        .cache_capacity(cache)
+        .max_connections(max_conns)
+        .read_timeout(std::time::Duration::from_millis(timeout_ms))
+        .write_timeout(std::time::Duration::from_millis(timeout_ms))
+        .idle_timeout(std::time::Duration::from_millis(idle_ms))
+        .build();
     let handle = match db
         .config(AllocConfig::builder().buffer_pages(buffer_pages).build())
         .policy(policy)

@@ -107,7 +107,10 @@ impl Iolap {
     /// when dropped. See `iolap_serve` for the endpoint surface.
     pub fn serve(&self, addr: &str, cfg: iolap_serve::ServeConfig) -> Result<ServerHandle> {
         let policy = self.cfg.policy.clone().unwrap_or_else(|| PolicySpec::em_count(0.01));
-        Server::start(self.table.clone(), policy, self.cfg.clone(), addr, cfg)
+        Server::builder(self.table.clone(), policy)
+            .alloc(self.cfg.clone())
+            .config(cfg)
+            .bind(addr)
             .map_err(|e| Error::data(format!("starting query server: {e}")))
     }
 }

@@ -82,6 +82,9 @@ pub mod prelude {
     pub use iolap_model::{Fact, FactTable, Schema};
     pub use iolap_obs::{JsonlSink, Metrics, Obs, RingSink};
     pub use iolap_query::{aggregate_edb, pivot, rollup, AggFn, QueryBuilder};
-    pub use iolap_serve::{ServeConfig, Server, ServerHandle};
+    pub use iolap_serve::{
+        ServeConfig, ServeConfigBuilder, ServeError, Server, ServerBuilder, ServerHandle,
+        ShedPolicy,
+    };
     pub use iolap_storage::{PrefetchConfig, PrefetchStats};
 }

@@ -204,6 +204,79 @@ fn query_stats_prints_scan_counters_as_a_second_json_line() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The full `iolap serve` flag matrix: every tuning knob accepted
+/// together, the server comes up, answers, and drains on stdin EOF.
+#[test]
+fn serve_accepts_the_full_flag_matrix() {
+    use std::io::{Read, Write};
+
+    // --help names every knob.
+    let out = iolap().args(["serve", "--help"]).output().expect("spawn serve --help");
+    assert_eq!(out.status.code(), Some(0));
+    let help = String::from_utf8_lossy(&out.stderr);
+    for f in ["--workers", "--queue", "--cache", "--max-conns", "--timeout-ms", "--idle-ms"] {
+        assert!(help.contains(f), "help must mention {f}: {help}");
+    }
+
+    let dir = std::env::temp_dir().join(format!("iolap-cli-serve-flags-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = iolap()
+        .args(["gen", "--kind", "automotive", "--facts", "300", "--seed", "11", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("spawn gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let mut child = iolap()
+        .args(["serve", "--data"])
+        .arg(&dir)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--epsilon",
+            "0.05",
+            "--workers",
+            "2",
+            "--queue",
+            "16",
+            "--cache",
+            "64",
+            "--max-conns",
+            "100",
+            "--timeout-ms",
+            "2000",
+            "--idle-ms",
+            "30000",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    let mut stdout = child.stdout.take().unwrap();
+    let mut seen = String::new();
+    let addr = loop {
+        let mut buf = [0u8; 256];
+        let n = stdout.read(&mut buf).expect("read serve stdout");
+        assert!(n > 0, "serve exited early: {seen}");
+        seen.push_str(&String::from_utf8_lossy(&buf[..n]));
+        if let Some(line) = seen.lines().find(|l| l.contains("listening on http://")) {
+            break line.split("http://").nth(1).unwrap().trim().to_string();
+        }
+    };
+
+    let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
+    write!(conn, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    conn.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+
+    drop(child.stdin.take());
+    let status = child.wait().expect("serve exits");
+    assert!(status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn serve_answers_queries_until_stdin_closes() {
     use std::io::{Read, Write};

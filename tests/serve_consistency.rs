@@ -27,14 +27,11 @@ fn alloc_cfg() -> AllocConfig {
 }
 
 fn start_server() -> ServerHandle {
-    Server::start(
-        paper_example::table1(),
-        policy(),
-        alloc_cfg(),
-        "127.0.0.1:0",
-        ServeConfig::default(),
-    )
-    .expect("server starts")
+    Server::builder(paper_example::table1(), policy())
+        .alloc(alloc_cfg())
+        .config(ServeConfig::default())
+        .bind("127.0.0.1:0")
+        .expect("server starts")
 }
 
 /// `(value, sum, count)` bits from a `/query` JSON response, plus the
