@@ -6,14 +6,22 @@
 //! values so each fact's weights sum to exactly 1. Precise facts get a
 //! single weight-1 entry.
 
+use crate::cuboid::{CuboidLattice, LatticeConfig};
 use crate::error::Result;
 use crate::passes::{AncCache, GroupWindow, OnLoad};
 use crate::prep::PreparedData;
 use crate::segment::{EdbSegment, SegScanStats, SegmentView};
-use iolap_model::{EdbCodec, EdbRecord, FactId, SegmentLayout, MAX_DIMS};
+use iolap_model::{EdbCodec, EdbRecord, FactId, Schema, SegmentLayout, MAX_DIMS};
 use iolap_storage::RecordFile;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Lock a mutex, recovering the value from a poisoned lock (all guarded
+/// state here is a plain cache — a panic mid-update cannot corrupt it
+/// beyond "rebuild on next read").
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 /// Per-fact `(cell, weight)` entries, as returned by
 /// [`ExtendedDatabase::weight_map`].
@@ -26,11 +34,17 @@ pub struct ExtendedDatabase {
     num_imprecise_entries: u64,
     facts_allocated: u64,
     /// Lazily built segment view of the entries (invalidated on write).
-    segments: Option<Vec<SegmentView>>,
+    /// Behind a mutex so read-only query paths can share `&self`.
+    segments: Mutex<Option<Vec<SegmentView>>>,
+    /// Lazily built cuboid lattice over the segment view (invalidated
+    /// together with `segments`).
+    lattice: Mutex<Option<Arc<CuboidLattice>>>,
+    /// Selection budget for [`ExtendedDatabase::lattice`].
+    lattice_cfg: LatticeConfig,
     /// Layout (cell order × page format) used when building segments.
     layout: SegmentLayout,
     /// Cumulative cursor counters from segment scans over this EDB.
-    segment_io: SegScanStats,
+    segment_io: Mutex<SegScanStats>,
     /// Observability handle inherited from the env (disabled = free).
     obs: iolap_obs::Obs,
 }
@@ -49,11 +63,20 @@ impl ExtendedDatabase {
             num_precise_entries: 0,
             num_imprecise_entries: 0,
             facts_allocated: 0,
-            segments: None,
+            segments: Mutex::new(None),
+            lattice: Mutex::new(None),
+            lattice_cfg: LatticeConfig::default(),
             layout: SegmentLayout::default(),
-            segment_io: SegScanStats::default(),
+            segment_io: Mutex::new(SegScanStats::default()),
             obs: env.obs().clone(),
         })
+    }
+
+    /// Drop the cached segment view and lattice (any write invalidates
+    /// both).
+    fn invalidate_caches(&mut self) {
+        *lock(&self.segments) = None;
+        *lock(&self.lattice) = None;
     }
 
     /// Set the layout future segment builds use (compressed/row pages,
@@ -61,8 +84,20 @@ impl ExtendedDatabase {
     pub fn set_segment_layout(&mut self, layout: SegmentLayout) {
         if self.layout != layout {
             self.layout = layout;
-            self.segments = None;
+            self.invalidate_caches();
         }
+    }
+
+    /// Set the storage budget for the lazily built cuboid lattice.
+    /// Invalidates any cached lattice.
+    pub fn set_lattice_config(&mut self, cfg: LatticeConfig) {
+        self.lattice_cfg = cfg;
+        *lock(&self.lattice) = None;
+    }
+
+    /// The lattice selection budget in force.
+    pub fn lattice_config(&self) -> LatticeConfig {
+        self.lattice_cfg
     }
 
     /// The layout segment builds use.
@@ -74,7 +109,7 @@ impl ExtendedDatabase {
     /// originating fact (keeps the distinct-fact counter cheap).
     pub fn push(&mut self, rec: &EdbRecord, precise: bool, first_for_fact: bool) -> Result<()> {
         self.file.push(rec)?;
-        self.segments = None;
+        self.invalidate_caches();
         if precise {
             self.num_precise_entries += 1;
         } else {
@@ -90,12 +125,18 @@ impl ExtendedDatabase {
     /// [`EdbSegment`] holding every entry in the configured layout's cell
     /// order, built lazily (one accounted scan of the entry file) and
     /// cached until the next write. All query-crate aggregation runs over
-    /// this view.
-    pub fn segments(&mut self) -> Result<Vec<SegmentView>> {
-        if self.segments.is_none() {
-            let mut entries = Vec::with_capacity(self.file.len() as usize);
+    /// this view. Takes `&self`: scans are read-only since the segment
+    /// layer, so snapshots and concurrent readers never need an exclusive
+    /// borrow.
+    pub fn segments(&self) -> Result<Vec<SegmentView>> {
+        let mut guard = lock(&self.segments);
+        if guard.is_none() {
+            let n = self.file.len();
             let k = self.file.codec().k;
-            self.for_each(|e| entries.push(e.clone()))?;
+            let mut entries = Vec::with_capacity(n as usize);
+            for i in 0..n {
+                entries.push(self.file.get(i)?);
+            }
             let seg = Arc::new(EdbSegment::build_with(k, entries, self.layout));
             if let Some(g) = self.obs.gauge("edb.compression_ratio") {
                 // Milli-ratio: 1000 = uncompressed, 1700 = 1.7× smaller.
@@ -105,16 +146,33 @@ impl ExtendedDatabase {
             if let Some(g) = self.obs.gauge("edb.segments") {
                 g.set(views.len() as i64);
             }
-            self.segments = Some(views);
+            *guard = Some(views);
         }
-        Ok(self.segments.as_ref().expect("just built").clone())
+        Ok(guard.as_ref().expect("just built").clone())
+    }
+
+    /// The lazily built cuboid lattice over [`ExtendedDatabase::segments`],
+    /// cached until the next write. `schema` must be the schema this EDB
+    /// was materialized under (the planner passes the same one it
+    /// aggregates with).
+    pub fn lattice(&self, schema: &Schema) -> Result<Arc<CuboidLattice>> {
+        let mut guard = lock(&self.lattice);
+        if guard.is_none() {
+            let views = self.segments()?;
+            let lat = CuboidLattice::build(schema, &views, self.lattice_cfg)?;
+            if let Some(g) = self.obs.gauge("edb.cuboid_bytes") {
+                g.set(lat.encoded_bytes() as i64);
+            }
+            *guard = Some(Arc::new(lat));
+        }
+        Ok(Arc::clone(guard.as_ref().expect("just built")))
     }
 
     /// Record one segment scan's page counters (called by the query crate
     /// after each pruned aggregation) into this EDB's running totals and
     /// the `edb.pages_read` / `edb.pages_pruned` obs counters.
-    pub fn note_segment_scan(&mut self, stats: SegScanStats) {
-        self.segment_io.absorb(stats);
+    pub fn note_segment_scan(&self, stats: SegScanStats) {
+        lock(&self.segment_io).absorb(stats);
         if let Some(c) = self.obs.counter("edb.pages_read") {
             c.add(stats.pages_read);
         }
@@ -126,9 +184,21 @@ impl ExtendedDatabase {
         }
     }
 
+    /// Record one planner lattice consult (`hits` views answered from a
+    /// cuboid, `misses` views that fell back to a pure leaf scan) into the
+    /// `edb.cuboid_hits` / `edb.cuboid_misses` obs counters.
+    pub fn note_cuboid_lookup(&self, hits: u64, misses: u64) {
+        if let Some(c) = self.obs.counter("edb.cuboid_hits") {
+            c.add(hits);
+        }
+        if let Some(c) = self.obs.counter("edb.cuboid_misses") {
+            c.add(misses);
+        }
+    }
+
     /// Cumulative page counters over all segment scans of this EDB.
     pub fn segment_io(&self) -> SegScanStats {
-        self.segment_io
+        *lock(&self.segment_io)
     }
 
     /// Total entries.
@@ -282,7 +352,7 @@ impl ExtendedDatabase {
         self.num_precise_entries = 0;
         self.num_imprecise_entries = 0;
         self.facts_allocated = 0;
-        self.segments = None;
+        self.invalidate_caches();
         Ok(())
     }
 }

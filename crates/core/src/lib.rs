@@ -54,6 +54,7 @@
 
 pub mod basic;
 pub mod block;
+pub mod cuboid;
 pub mod edb;
 pub mod error;
 pub mod estimate;
@@ -68,6 +69,9 @@ pub mod runner;
 pub mod segment;
 pub mod transitive;
 
+pub use cuboid::{
+    Cuboid, CuboidCell, CuboidLattice, Grain, LatticeConfig, LatticeSync, SegLattice,
+};
 pub use edb::ExtendedDatabase;
 pub use error::{CoreError, Result};
 pub use estimate::{plan, PlanEstimate};

@@ -23,6 +23,7 @@
 //! accordingly — "this operation is equivalent to several updates to the
 //! R-tree".
 
+use crate::cuboid::{CuboidLattice, LatticeConfig};
 use crate::edb::ExtendedDatabase;
 use crate::error::{CoreError, Result};
 use crate::inmem::InMemProblem;
@@ -195,6 +196,15 @@ pub struct MaintainableEdb {
     seg_layout: SegmentLayout,
     /// Completed compactions.
     compactions: u64,
+    /// The materialized cuboid lattice over the published segments,
+    /// evolved copy-on-write by [`MaintainableEdb::snapshot_lattice`].
+    lattice: Option<Arc<CuboidLattice>>,
+    /// Selection budget for lattice (re)builds.
+    lattice_cfg: LatticeConfig,
+    /// Touched boxes queued since the last lattice sync: every cuboid
+    /// cell overlapping one of these is recomputed at the next
+    /// [`MaintainableEdb::snapshot_lattice`].
+    lattice_dirty: Vec<RegionBox>,
 }
 
 impl MaintainableEdb {
@@ -338,6 +348,9 @@ impl MaintainableEdb {
             compaction_threshold: 4,
             seg_layout: SegmentLayout::default(),
             compactions: 0,
+            lattice: None,
+            lattice_cfg: LatticeConfig::default(),
+            lattice_dirty: Vec::new(),
         })
     }
 
@@ -481,6 +494,41 @@ impl MaintainableEdb {
     /// published keep their layout — the cursor handles mixed tiers.
     pub fn set_segment_layout(&mut self, layout: SegmentLayout) {
         self.seg_layout = layout;
+    }
+
+    /// Selection budget for the cuboid lattice. Drops the current lattice
+    /// so the next [`MaintainableEdb::snapshot_lattice`] rebuilds under
+    /// the new budget.
+    pub fn set_lattice_config(&mut self, cfg: LatticeConfig) {
+        self.lattice_cfg = cfg;
+        self.lattice = None;
+    }
+
+    /// The cuboid lattice over [`MaintainableEdb::snapshot_segments`],
+    /// brought up to date incrementally and published as an `Arc` through
+    /// the same epoch swap as the segments themselves.
+    ///
+    /// Reconciliation order matters: segments are refreshed first (which
+    /// may compact tiers), then the lattice syncs — lattices of compacted
+    /// segments are dropped and rebuilt whole, while a surviving segment
+    /// whose exclusion set grew has exactly the cells overlapping the
+    /// queued `UpdateReport::touched` boxes recomputed by fresh leaf
+    /// scans. Published snapshots keep their previous lattice `Arc`
+    /// (copy-on-write), so readers never observe a half-synced lattice.
+    pub fn snapshot_lattice(&mut self) -> Result<Arc<CuboidLattice>> {
+        let views = self.snapshot_segments()?;
+        let schema = self.prep.schema.clone();
+        let dirty = std::mem::take(&mut self.lattice_dirty);
+        let mut arc = self
+            .lattice
+            .take()
+            .unwrap_or_else(|| Arc::new(CuboidLattice::new(schema.k(), self.lattice_cfg)));
+        Arc::make_mut(&mut arc).sync(&schema, &views, &dirty)?;
+        if let Some(g) = self.prep.env.obs().gauge("edb.cuboid_bytes") {
+            g.set(arc.encoded_bytes() as i64);
+        }
+        self.lattice = Some(Arc::clone(&arc));
+        Ok(arc)
     }
 
     /// Fold everything appended since the last refresh into the segment
@@ -661,6 +709,11 @@ impl MaintainableEdb {
             }
             self.resolve_component(cc, &mut report)?;
         }
+        self.lattice_dirty.extend(report.touched.iter().map(|b| RegionBox {
+            lo: b.lo,
+            hi: b.hi,
+            k: b.k,
+        }));
         report.wall = t0.elapsed();
         Ok(report)
     }

@@ -36,7 +36,7 @@ pub struct AggResult {
 /// `edb.pages_read` / `edb.pages_pruned` metrics. Pruning never changes
 /// the visited entry sequence, so the result is bit-identical to an
 /// unpruned scan of the same segments.
-pub fn aggregate_edb(edb: &mut ExtendedDatabase, query: &Query) -> iolap_core::Result<AggResult> {
+pub fn aggregate_edb(edb: &ExtendedDatabase, query: &Query) -> iolap_core::Result<AggResult> {
     Ok(aggregate_edb_stats(edb, query)?.0)
 }
 
@@ -44,13 +44,13 @@ pub fn aggregate_edb(edb: &mut ExtendedDatabase, query: &Query) -> iolap_core::R
 /// (already folded into the EDB's running totals) — the basis of the CLI's
 /// `--stats` output.
 pub fn aggregate_edb_stats(
-    edb: &mut ExtendedDatabase,
+    edb: &ExtendedDatabase,
     query: &Query,
 ) -> iolap_core::Result<(AggResult, iolap_core::SegScanStats)> {
     let views = edb.segments()?;
     let (sum, count, stats) = iolap_core::accumulate_region(&views, &query.region)?;
     edb.note_segment_scan(stats);
-    Ok((finish(query.agg, sum, count), stats))
+    Ok((AggResult::from_parts(query.agg, sum, count), stats))
 }
 
 /// The classical (pre-allocation) ways to treat imprecise facts, used as
@@ -88,22 +88,28 @@ pub fn aggregate_classical(table: &FactTable, query: &Query, sem: Classical) -> 
             count += 1.0;
         }
     }
-    finish(query.agg, sum, count)
+    AggResult::from_parts(query.agg, sum, count)
 }
 
-fn finish(agg: AggFn, sum: f64, count: f64) -> AggResult {
-    let value = match agg {
-        AggFn::Sum => sum,
-        AggFn::Count => count,
-        AggFn::Avg => {
-            if count > 0.0 {
-                sum / count
-            } else {
-                0.0
+impl AggResult {
+    /// Assemble a result from raw `(sum, count)` accumulators, applying
+    /// the `Avg` guard for empty regions. This is the single place the
+    /// library, the query planner and the server turn accumulators into
+    /// answers, so every path rounds identically.
+    pub fn from_parts(agg: AggFn, sum: f64, count: f64) -> AggResult {
+        let value = match agg {
+            AggFn::Sum => sum,
+            AggFn::Count => count,
+            AggFn::Avg => {
+                if count > 0.0 {
+                    sum / count
+                } else {
+                    0.0
+                }
             }
-        }
-    };
-    AggResult { value, sum, count }
+        };
+        AggResult { value, sum, count }
+    }
 }
 
 #[cfg(test)]
@@ -129,10 +135,10 @@ mod tests {
     fn full_space_sum_equals_total_sales_of_allocatable_facts() {
         // Weights per fact sum to 1, so SUM over ALL × ALL is the plain
         // total of every allocated fact's measure.
-        let mut edb = edb();
+        let edb = edb();
         let schema = paper_example::schema();
         let q = QueryBuilder::new(schema).agg(AggFn::Sum).build().unwrap();
-        let r = aggregate_edb(&mut edb, &q).unwrap();
+        let r = aggregate_edb(&edb, &q).unwrap();
         let total: f64 = paper_example::table1().facts().iter().map(|f| f.measure).sum();
         assert!((r.value - total).abs() < 1e-6, "{} vs {total}", r.value);
         assert!((r.count - 14.0).abs() < 1e-9);
@@ -141,14 +147,14 @@ mod tests {
     #[test]
     fn region_partition_sums_add_up() {
         // East ∪ West partitions Location; their sums must add to ALL.
-        let mut edb = edb();
+        let edb = edb();
         let schema = paper_example::schema();
         let all = QueryBuilder::new(schema.clone()).build().unwrap();
         let east = QueryBuilder::new(schema.clone()).at("Location", "East").build().unwrap();
         let west = QueryBuilder::new(schema.clone()).at("Location", "West").build().unwrap();
-        let a = aggregate_edb(&mut edb, &all).unwrap();
-        let e = aggregate_edb(&mut edb, &east).unwrap();
-        let w = aggregate_edb(&mut edb, &west).unwrap();
+        let a = aggregate_edb(&edb, &all).unwrap();
+        let e = aggregate_edb(&edb, &east).unwrap();
+        let w = aggregate_edb(&edb, &west).unwrap();
         assert!((e.sum + w.sum - a.sum).abs() < 1e-6);
         assert!((e.count + w.count - a.count).abs() < 1e-9);
     }
@@ -160,8 +166,8 @@ mod tests {
         let t = paper_example::table1();
         let schema = paper_example::schema();
         let q = QueryBuilder::new(schema).at("Location", "MA").agg(AggFn::Count).build().unwrap();
-        let mut edb = edb();
-        let alloc = aggregate_edb(&mut edb, &q).unwrap().value;
+        let edb = edb();
+        let alloc = aggregate_edb(&edb, &q).unwrap().value;
         let none = aggregate_classical(&t, &q, Classical::None).value;
         let contains = aggregate_classical(&t, &q, Classical::Contains).value;
         let overlaps = aggregate_classical(&t, &q, Classical::Overlaps).value;
@@ -179,11 +185,11 @@ mod tests {
 
     #[test]
     fn avg_is_sum_over_count() {
-        let mut edb = edb();
+        let edb = edb();
         let schema = paper_example::schema();
         let q =
             QueryBuilder::new(schema).at("Automobile", "Sedan").agg(AggFn::Avg).build().unwrap();
-        let r = aggregate_edb(&mut edb, &q).unwrap();
+        let r = aggregate_edb(&edb, &q).unwrap();
         assert!((r.value - r.sum / r.count).abs() < 1e-12);
         assert!(r.count > 0.0);
     }

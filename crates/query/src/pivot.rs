@@ -31,7 +31,7 @@ pub struct Pivot {
 /// Compute a pivot in one EDB scan.
 #[allow(clippy::too_many_arguments)]
 pub fn pivot(
-    edb: &mut ExtendedDatabase,
+    edb: &ExtendedDatabase,
     schema: &Schema,
     dim_a: usize,
     level_a: LevelNo,
@@ -149,16 +149,16 @@ mod tests {
 
     #[test]
     fn margins_match_rollups() {
-        let mut edb = edb();
+        let edb = edb();
         let schema = paper_example::schema();
-        let p = pivot(&mut edb, &schema, 0, 2, 1, 2, None, AggFn::Sum).unwrap();
+        let p = pivot(&edb, &schema, 0, 2, 1, 2, None, AggFn::Sum).unwrap();
         assert_eq!(p.rows, vec!["East", "West"]);
         assert_eq!(p.cols, vec!["Sedan", "Truck"]);
-        let by_region = crate::rollup::rollup(&mut edb, &schema, 0, 2, None, AggFn::Sum).unwrap();
+        let by_region = crate::rollup::rollup(&edb, &schema, 0, 2, None, AggFn::Sum).unwrap();
         for (r, row) in by_region.iter().enumerate() {
             assert!((p.row_margin[r].sum - row.result.sum).abs() < 1e-9);
         }
-        let by_cat = crate::rollup::rollup(&mut edb, &schema, 1, 2, None, AggFn::Sum).unwrap();
+        let by_cat = crate::rollup::rollup(&edb, &schema, 1, 2, None, AggFn::Sum).unwrap();
         for (c, col) in by_cat.iter().enumerate() {
             assert!((p.col_margin[c].sum - col.result.sum).abs() < 1e-9);
         }
@@ -169,9 +169,9 @@ mod tests {
 
     #[test]
     fn cells_are_additive_into_margins() {
-        let mut edb = edb();
+        let edb = edb();
         let schema = paper_example::schema();
-        let p = pivot(&mut edb, &schema, 0, 1, 1, 1, None, AggFn::Count).unwrap();
+        let p = pivot(&edb, &schema, 0, 1, 1, 1, None, AggFn::Count).unwrap();
         for r in 0..p.rows.len() {
             let s: f64 = p.cells[r].iter().map(|a| a.count).sum();
             assert!((s - p.row_margin[r].count).abs() < 1e-9);
@@ -184,9 +184,9 @@ mod tests {
 
     #[test]
     fn render_shape() {
-        let mut edb = edb();
+        let edb = edb();
         let schema = paper_example::schema();
-        let p = pivot(&mut edb, &schema, 0, 2, 1, 2, None, AggFn::Sum).unwrap();
+        let p = pivot(&edb, &schema, 0, 2, 1, 2, None, AggFn::Sum).unwrap();
         let s = p.render("Sales");
         assert!(s.contains("East") && s.contains("Sedan") && s.contains("TOTAL"), "{s}");
         assert_eq!(s.lines().count(), 1 + 1 + 2 + 1); // title, header, 2 rows, total

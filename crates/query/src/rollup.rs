@@ -32,7 +32,7 @@ pub struct RollupRow {
 /// Runs in one scan of the EDB: each entry is attributed to its ancestor
 /// node via the O(1) leaf→ancestor table.
 pub fn rollup(
-    edb: &mut ExtendedDatabase,
+    edb: &ExtendedDatabase,
     schema: &Schema,
     dim: usize,
     level: LevelNo,
@@ -44,7 +44,7 @@ pub fn rollup(
 
 #[allow(clippy::too_many_arguments)]
 fn rollup_impl(
-    edb: &mut ExtendedDatabase,
+    edb: &ExtendedDatabase,
     schema: &Schema,
     dim: usize,
     level: LevelNo,
@@ -106,7 +106,7 @@ fn rollup_impl(
 /// level ≥ 2 of dimension `dim`), restricted to `parent`'s own region —
 /// the interactive OLAP navigation the EDB enables.
 pub fn drilldown(
-    edb: &mut ExtendedDatabase,
+    edb: &ExtendedDatabase,
     schema: &Schema,
     dim: usize,
     parent: NodeId,
@@ -155,13 +155,13 @@ mod tests {
 
     #[test]
     fn rollup_is_additive_up_the_hierarchy() {
-        let mut edb = edb();
+        let edb = edb();
         let schema = paper_example::schema();
         // Sales per state, per region, and overall — each level must sum
         // to the next.
-        let states = rollup(&mut edb, &schema, 0, 1, None, AggFn::Sum).unwrap();
-        let regions = rollup(&mut edb, &schema, 0, 2, None, AggFn::Sum).unwrap();
-        let all = rollup(&mut edb, &schema, 0, 3, None, AggFn::Sum).unwrap();
+        let states = rollup(&edb, &schema, 0, 1, None, AggFn::Sum).unwrap();
+        let regions = rollup(&edb, &schema, 0, 2, None, AggFn::Sum).unwrap();
+        let all = rollup(&edb, &schema, 0, 3, None, AggFn::Sum).unwrap();
         let state_total: f64 = states.iter().map(|r| r.result.sum).sum();
         let region_total: f64 = regions.iter().map(|r| r.result.sum).sum();
         assert!((state_total - region_total).abs() < 1e-9);
@@ -175,9 +175,9 @@ mod tests {
 
     #[test]
     fn total_equals_table_total() {
-        let mut edb = edb();
+        let edb = edb();
         let schema = paper_example::schema();
-        let all = rollup(&mut edb, &schema, 1, 3, None, AggFn::Sum).unwrap();
+        let all = rollup(&edb, &schema, 1, 3, None, AggFn::Sum).unwrap();
         let want: f64 = paper_example::table1().facts().iter().map(|f| f.measure).sum();
         assert!((all[0].result.sum - want).abs() < 1e-6);
         assert!((all[0].result.count - 14.0).abs() < 1e-9);
@@ -185,14 +185,14 @@ mod tests {
 
     #[test]
     fn diced_rollup_restricts_to_the_region() {
-        let mut edb = edb();
+        let edb = edb();
         let schema = paper_example::schema();
         let q = QueryBuilder::new(schema.clone()).at("Location", "West").build().unwrap();
-        let by_cat = rollup(&mut edb, &schema, 1, 2, Some(&q), AggFn::Count).unwrap();
+        let by_cat = rollup(&edb, &schema, 1, 2, Some(&q), AggFn::Count).unwrap();
         let total: f64 = by_cat.iter().map(|r| r.result.count).sum();
         // Must match the plain aggregate over the same region.
         let direct = crate::agg::aggregate_edb(
-            &mut edb,
+            &edb,
             &QueryBuilder::new(schema.clone())
                 .at("Location", "West")
                 .agg(AggFn::Count)
@@ -205,11 +205,11 @@ mod tests {
 
     #[test]
     fn drilldown_children_sum_to_parent() {
-        let mut edb = edb();
+        let edb = edb();
         let schema = paper_example::schema();
-        let regions = rollup(&mut edb, &schema, 0, 2, None, AggFn::Sum).unwrap();
+        let regions = rollup(&edb, &schema, 0, 2, None, AggFn::Sum).unwrap();
         for region in &regions {
-            let kids = drilldown(&mut edb, &schema, 0, region.node, AggFn::Sum).unwrap();
+            let kids = drilldown(&edb, &schema, 0, region.node, AggFn::Sum).unwrap();
             assert_eq!(kids.len(), 2, "each region has two states");
             let s: f64 = kids.iter().map(|r| r.result.sum).sum();
             assert!(
@@ -223,9 +223,9 @@ mod tests {
 
     #[test]
     fn render_contains_names() {
-        let mut edb = edb();
+        let edb = edb();
         let schema = paper_example::schema();
-        let rows = rollup(&mut edb, &schema, 0, 2, None, AggFn::Sum).unwrap();
+        let rows = rollup(&edb, &schema, 0, 2, None, AggFn::Sum).unwrap();
         let s = render_rollup("by region", &rows);
         assert!(s.contains("East") && s.contains("West"), "{s}");
     }

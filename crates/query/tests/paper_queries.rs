@@ -42,7 +42,7 @@ fn query(at: &[(&str, &str)], agg: AggFn) -> Query {
     b.build().expect("query")
 }
 
-fn ask(edb: &mut ExtendedDatabase, at: &[(&str, &str)], agg: AggFn) -> f64 {
+fn ask(edb: &ExtendedDatabase, at: &[(&str, &str)], agg: AggFn) -> f64 {
     aggregate_edb(edb, &query(at, agg)).expect("aggregate").value
 }
 
@@ -50,45 +50,45 @@ const EPS: f64 = 1e-9;
 
 #[test]
 fn sum_count_average_over_ma() {
-    let mut run = count_allocated();
+    let run = count_allocated();
     // (MA, ALL): p1 + p2 + p6 + p7 + ½·p9 + ½·p11
     //   COUNT = 1+1+1+1+½+½ = 5
     //   SUM   = 100+150+100+120+95+40 = 605
     let at = [("Location", "MA")];
-    assert!((ask(&mut run.edb, &at, AggFn::Count) - 5.0).abs() < EPS);
-    assert!((ask(&mut run.edb, &at, AggFn::Sum) - 605.0).abs() < EPS);
-    assert!((ask(&mut run.edb, &at, AggFn::Avg) - 121.0).abs() < EPS);
+    assert!((ask(&run.edb, &at, AggFn::Count) - 5.0).abs() < EPS);
+    assert!((ask(&run.edb, &at, AggFn::Sum) - 605.0).abs() < EPS);
+    assert!((ask(&run.edb, &at, AggFn::Avg) - 121.0).abs() < EPS);
 }
 
 #[test]
 fn sum_count_average_over_west_sedan() {
-    let mut run = count_allocated();
+    let run = count_allocated();
     // (West, Sedan) holds only candidate cell c4 = (CA, Civic):
     //   p4 + ½·p8 + p10 + ½·p11 + p13
     //   COUNT = 1+½+1+½+1 = 4
     //   SUM   = 175+80+200+40+70 = 565
     let at = [("Location", "West"), ("Automobile", "Sedan")];
-    assert!((ask(&mut run.edb, &at, AggFn::Count) - 4.0).abs() < EPS);
-    assert!((ask(&mut run.edb, &at, AggFn::Sum) - 565.0).abs() < EPS);
-    assert!((ask(&mut run.edb, &at, AggFn::Avg) - 141.25).abs() < EPS);
+    assert!((ask(&run.edb, &at, AggFn::Count) - 4.0).abs() < EPS);
+    assert!((ask(&run.edb, &at, AggFn::Sum) - 565.0).abs() < EPS);
+    assert!((ask(&run.edb, &at, AggFn::Avg) - 141.25).abs() < EPS);
 }
 
 #[test]
 fn grand_totals_conserve_all_facts() {
-    let mut run = count_allocated();
+    let run = count_allocated();
     // Allocation never creates or destroys mass: 14 facts, 1705 total
     // sales, whatever the weights.
-    assert!((ask(&mut run.edb, &[], AggFn::Count) - 14.0).abs() < EPS);
-    assert!((ask(&mut run.edb, &[], AggFn::Sum) - 1705.0).abs() < EPS);
+    assert!((ask(&run.edb, &[], AggFn::Count) - 14.0).abs() < EPS);
+    assert!((ask(&run.edb, &[], AggFn::Sum) - 1705.0).abs() < EPS);
 }
 
 #[test]
 fn region_rollup_matches_hand_computation() {
-    let mut run = count_allocated();
+    let run = count_allocated();
     let schema = paper_example::schema();
     // SUM by Region (Location level 2): East gets p1,p2,p3,p6,p7,p9
     // (both halves), ½·p11, p12 = 920; West the remaining 785.
-    let rows = rollup(&mut run.edb, &schema, 0, 2, None, AggFn::Sum).expect("rollup");
+    let rows = rollup(&run.edb, &schema, 0, 2, None, AggFn::Sum).expect("rollup");
     assert_eq!(rows.len(), 2);
     let by_name = |name: &str| rows.iter().find(|r| r.name == name).expect(name).result.value;
     assert!((by_name("East") - 920.0).abs() < EPS);
@@ -98,14 +98,14 @@ fn region_rollup_matches_hand_computation() {
 
 #[test]
 fn region_by_category_pivot_matches_hand_computation() {
-    let mut run = count_allocated();
+    let run = count_allocated();
     let schema = paper_example::schema();
     // COUNT pivot, Region × Category:
     //   East/Sedan  = c1          → p1 + p6 + ½·p11        = 2.5
     //   East/Truck  = c2, c3      → p2+p3+p7+p9+p12        = 5.0
     //   West/Sedan  = c4          → p4+½·p8+p10+½·p11+p13  = 4.0
     //   West/Truck  = c5          → p5+½·p8+p14            = 2.5
-    let p = pivot(&mut run.edb, &schema, 0, 2, 1, 2, None, AggFn::Count).expect("pivot");
+    let p = pivot(&run.edb, &schema, 0, 2, 1, 2, None, AggFn::Count).expect("pivot");
     assert_eq!(p.rows, vec!["East", "West"]);
     assert_eq!(p.cols, vec!["Sedan", "Truck"]);
     let expect = [[2.5, 5.0], [4.0, 2.5]];
@@ -148,13 +148,13 @@ fn classical_baselines_over_ma() {
 fn allocation_weighted_count_sits_between_the_classical_bounds() {
     // The paper's point: None undercounts, Overlaps overcounts, and the
     // allocation-weighted answer lands in between.
-    let mut run = count_allocated();
+    let run = count_allocated();
     let table = paper_example::table1();
     for at in [vec![("Location", "MA")], vec![("Location", "West"), ("Automobile", "Sedan")]] {
         let q = query(&at, AggFn::Count);
         let none = aggregate_classical(&table, &q, Classical::None).value;
         let over = aggregate_classical(&table, &q, Classical::Overlaps).value;
-        let alloc = aggregate_edb(&mut run.edb, &q).expect("aggregate").value;
+        let alloc = aggregate_edb(&run.edb, &q).expect("aggregate").value;
         assert!(none <= alloc + EPS && alloc <= over + EPS, "{at:?}: {none} ≤ {alloc} ≤ {over}");
     }
 }

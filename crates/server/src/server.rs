@@ -251,6 +251,13 @@ pub(crate) struct ServeMetrics {
     pages_read: Counter,
     pages_pruned: Counter,
     bytes_read: Counter,
+    /// Cuboid-lattice counters for `/rollup`: per-view planner decisions
+    /// (a hit answers the region's grain-aligned core from a materialized
+    /// cuboid; a miss leaf-scans that view), plus the encoded bytes of
+    /// the published lattice.
+    cuboid_hits: Counter,
+    cuboid_misses: Counter,
+    cuboid_bytes: Gauge,
     edb_segments: Gauge,
     edb_compactions: Counter,
     /// Aggregate compression ratio of the published segments, in
@@ -285,6 +292,9 @@ impl ServeMetrics {
             pages_read: c("edb.pages_read"),
             pages_pruned: c("edb.pages_pruned"),
             bytes_read: c("edb.bytes_read"),
+            cuboid_hits: c("edb.cuboid_hits"),
+            cuboid_misses: c("edb.cuboid_misses"),
+            cuboid_bytes: obs.gauge("edb.cuboid_bytes").expect("enabled"),
             edb_segments: obs.gauge("edb.segments").expect("enabled"),
             edb_compactions: c("edb.compactions"),
             compression_ratio: obs.gauge("edb.compression_ratio").expect("enabled"),
@@ -720,9 +730,11 @@ fn handle_rollup(body: &[u8], shared: &Shared) -> Response {
             return err_response(ServeError::Internal(format!("scan failed: {e}")));
         }
     };
-    shared.metrics.pages_read.add(stats.pages_read);
-    shared.metrics.pages_pruned.add(stats.pages_pruned);
-    shared.metrics.bytes_read.add(stats.bytes_read);
+    shared.metrics.pages_read.add(stats.scan.pages_read);
+    shared.metrics.pages_pruned.add(stats.scan.pages_pruned);
+    shared.metrics.bytes_read.add(stats.scan.bytes_read);
+    shared.metrics.cuboid_hits.add(stats.cuboid_hits);
+    shared.metrics.cuboid_misses.add(stats.cuboid_misses);
     (200, "application/json", wire::rollup_response(&rows, r.agg, snap.epoch))
 }
 
@@ -832,11 +844,15 @@ fn coordinator_main(
             return;
         }
     };
+    // The lattice is an accelerator: if its build fails, publish `None`
+    // and serve leaf scans rather than refusing to start.
+    let lattice = medb.snapshot_lattice().ok();
     let first = Arc::new(EdbSnapshot {
         epoch: 0,
         schema: schema.clone(),
         table: Arc::new(mirror.clone()),
         segments,
+        lattice: lattice.clone(),
     });
     if ready_tx.send(Ok(first)).is_err() {
         return;
@@ -844,6 +860,7 @@ fn coordinator_main(
     let Ok(shared) = shared_rx.recv() else {
         return;
     };
+    shared.metrics.cuboid_bytes.set(lattice.as_ref().map_or(0, |l| l.encoded_bytes()) as i64);
 
     let mut live_ids: HashSet<FactId> = mirror.facts().iter().map(|f| f.id).collect();
     let mut epoch = 0u64;
@@ -960,6 +977,11 @@ fn apply_job(
     let segments = medb
         .snapshot_segments()
         .map_err(|e| ApplyError::Poison(format!("snapshot failed: {e}")))?;
+    // Sync the cuboid lattice to the batch (dirty cells recomputed, whole
+    // cuboids rebuilt after a compaction). A failure here degrades the
+    // next epoch's `/rollup`s to leaf scans — never to wrong answers —
+    // so it does not poison the coordinator.
+    let lattice = medb.snapshot_lattice().ok();
 
     *epoch += 1;
     // Publication order matters: open the epoch (stale inserts start
@@ -969,11 +991,13 @@ fn apply_job(
     shared.metrics.cache_invalidated.add(invalidated);
     shared.metrics.edb_segments.set(segments.len() as i64);
     shared.metrics.compression_ratio.set(compression_milli(&segments));
+    shared.metrics.cuboid_bytes.set(lattice.as_ref().map_or(0, |l| l.encoded_bytes()) as i64);
     let snap = Arc::new(EdbSnapshot {
         epoch: *epoch,
         schema: medb.schema().clone(),
         table: Arc::new(mirror.clone()),
         segments,
+        lattice,
     });
     *shared.snapshot.lock().unwrap_or_else(|p| p.into_inner()) = snap;
     shared.metrics.epoch.set(*epoch as i64);

@@ -17,10 +17,10 @@
 //! skips only pages provably disjoint from the query box, so it never
 //! perturbs those bits.
 
-use iolap_core::{accumulate_region, SegScanStats, SegmentCursor, SegmentView};
+use iolap_core::{accumulate_region, CuboidLattice, SegScanStats, SegmentView};
 use iolap_hierarchy::LevelNo;
 use iolap_model::{FactTable, RegionBox, Schema, MAX_DIMS};
-use iolap_query::{AggFn, AggResult, RollupRow};
+use iolap_query::{plan_rollup_views, AggFn, AggResult, PlanMode, PlanStats, RollupRow};
 use std::sync::Arc;
 
 /// One immutable published view of the maintained EDB.
@@ -35,6 +35,10 @@ pub struct EdbSnapshot {
     /// two `Arc`s, so cloning a snapshot's worth is O(segments); segments
     /// untouched by an update batch are shared with the previous epoch.
     pub segments: Vec<SegmentView>,
+    /// The materialized cuboid lattice over `segments`, synced by the
+    /// coordinator through the same epoch swap (`None` degrades `/rollup`
+    /// to plain leaf scans — never to wrong answers).
+    pub lattice: Option<Arc<CuboidLattice>>,
 }
 
 impl EdbSnapshot {
@@ -56,60 +60,35 @@ impl EdbSnapshot {
         Ok((finish(agg, sum, count), stats))
     }
 
-    /// Roll up along `dim` at `level` within an optional dice region —
-    /// the one-scan accumulation of `iolap_query::rollup`, over the
-    /// snapshot's segments. Returns the rows plus the scan's page
-    /// counters.
+    /// Roll up along `dim` at `level` within an optional dice region,
+    /// planned over the snapshot's cuboid lattice: the coarsest usable
+    /// cuboid answers the grain-aligned core of the region and only the
+    /// partial-overlap residue is leaf-scanned — f64-bit-identical to the
+    /// plain one-scan accumulation by the planner's construction. Returns
+    /// the rows plus the plan's page counters and cuboid hit/miss tallies.
     pub fn rollup(
         &self,
         dim: usize,
         level: LevelNo,
         region: Option<&RegionBox>,
         agg: AggFn,
-    ) -> iolap_core::Result<(Vec<RollupRow>, SegScanStats)> {
-        let h = self.schema.dim(dim);
-        let nodes = h.nodes_at_level(level);
-        let mut pos_of = std::collections::HashMap::with_capacity(nodes.len());
-        for (i, &n) in nodes.iter().enumerate() {
-            pos_of.insert(n, i);
-        }
-        let mut sums = vec![0.0f64; nodes.len()];
-        let mut counts = vec![0.0f64; nodes.len()];
-        let rg = region.copied().unwrap_or_else(|| SegmentCursor::all_region(self.schema.k()));
-        let mut cursor = SegmentCursor::new(&self.segments, rg);
-        cursor.for_each(|e| {
-            let anc = h.ancestor_at(e.cell[dim], level);
-            let i = pos_of[&anc];
-            sums[i] += e.weight * e.measure;
-            counts[i] += e.weight;
-        })?;
-        let rows = nodes
-            .iter()
-            .enumerate()
-            .map(|(i, &node)| RollupRow {
-                node,
-                name: h.node_name(node),
-                result: finish(agg, sums[i], counts[i]),
-            })
-            .collect();
-        Ok((rows, cursor.stats()))
+    ) -> iolap_core::Result<(Vec<RollupRow>, PlanStats)> {
+        plan_rollup_views(
+            &self.segments,
+            self.lattice.as_deref(),
+            &self.schema,
+            dim,
+            level,
+            region,
+            agg,
+            PlanMode::Lattice,
+        )
     }
 }
 
-/// Identical to the private `finish` of `iolap_query::agg`.
+/// Identical to the query crate's aggregate finisher.
 pub(crate) fn finish(agg: AggFn, sum: f64, count: f64) -> AggResult {
-    let value = match agg {
-        AggFn::Sum => sum,
-        AggFn::Count => count,
-        AggFn::Avg => {
-            if count > 0.0 {
-                sum / count
-            } else {
-                0.0
-            }
-        }
-    };
-    AggResult { value, sum, count }
+    AggResult::from_parts(agg, sum, count)
 }
 
 /// Resolve `(dimension name, node name)` pairs into a query region;

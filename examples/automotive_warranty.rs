@@ -40,8 +40,7 @@ fn main() {
         );
     }
 
-    let mut run =
-        allocate(&table, &policy, Algorithm::Transitive, &cfg).expect("allocation succeeds");
+    let run = allocate(&table, &policy, Algorithm::Transitive, &cfg).expect("allocation succeeds");
     println!("{}", run.report);
 
     let schema = table.schema().clone();
@@ -52,7 +51,7 @@ fn main() {
     for &region in loc.nodes_at_level(3) {
         let q =
             QueryBuilder::new(schema.clone()).at_node(3, region).agg(AggFn::Count).build().unwrap();
-        let r = aggregate_edb(&mut run.edb, &q).unwrap();
+        let r = aggregate_edb(&run.edb, &q).unwrap();
         println!("  {:<22} {:>10.1}", loc.node_name(region), r.value);
     }
     println!();
@@ -64,7 +63,7 @@ fn main() {
     let none = aggregate_classical(&table, &q, Classical::None).value;
     let contains = aggregate_classical(&table, &q, Classical::Contains).value;
     let overlaps = aggregate_classical(&table, &q, Classical::Overlaps).value;
-    let alloc = aggregate_edb(&mut run.edb, &q).unwrap().value;
+    let alloc = aggregate_edb(&run.edb, &q).unwrap().value;
     println!("COUNT(repairs) in {}:", loc.node_name(region));
     println!("  ignore imprecise (None)     = {none:>10.1}");
     println!("  only if contained (Contains)= {contains:>10.1}");
@@ -79,27 +78,27 @@ fn main() {
     let brand = schema.dim(1);
     for &make in brand.nodes_at_level(2).iter().take(5) {
         let q = QueryBuilder::new(schema.clone()).at_node(1, make).agg(AggFn::Avg).build().unwrap();
-        let r = aggregate_edb(&mut run.edb, &q).unwrap();
+        let r = aggregate_edb(&run.edb, &q).unwrap();
         println!("  {:<22} {:>10.2}", brand.node_name(make), r.value);
     }
     println!();
 
     // Drill into the busiest region, then cross-tab it against quarters.
     let mut regions =
-        drilldown(&mut run.edb, &schema, 3, schema.dim(3).all(), AggFn::Count).expect("drilldown");
+        drilldown(&run.edb, &schema, 3, schema.dim(3).all(), AggFn::Count).expect("drilldown");
     regions.sort_by(|a, b| b.result.value.total_cmp(&a.result.value));
     let busiest = &regions[0];
     println!(
         "Busiest region: {} ({:.0} weighted repairs). Its states:",
         busiest.name, busiest.result.value
     );
-    let mut states = drilldown(&mut run.edb, &schema, 3, busiest.node, AggFn::Count).unwrap();
+    let mut states = drilldown(&run.edb, &schema, 3, busiest.node, AggFn::Count).unwrap();
     states.sort_by(|a, b| b.result.value.total_cmp(&a.result.value));
     for s in states.iter().take(5) {
         println!("  {:<22} {:>10.1}", s.name, s.result.value);
     }
     println!();
-    let p = pivot(&mut run.edb, &schema, 3, 3, 2, 3, None, AggFn::Count).expect("pivot");
+    let p = pivot(&run.edb, &schema, 3, 3, 2, 3, None, AggFn::Count).expect("pivot");
     // Regions × Quarters is 10×5 — print the first rows.
     let rendered = p.render("Weighted repair COUNT, Region × Quarter:");
     for line in rendered.lines().take(7) {

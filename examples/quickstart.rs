@@ -53,7 +53,7 @@ fn main() {
             .agg(AggFn::Sum)
             .build()
             .unwrap();
-        let r = aggregate_edb(&mut run.edb, &q).unwrap();
+        let r = aggregate_edb(&run.edb, &q).unwrap();
         println!(
             "SUM(Sales) over ({loc}, {auto}) = {:>8.2}  (weighted count {:.2})",
             r.value, r.count
@@ -62,6 +62,6 @@ fn main() {
     println!();
 
     // The multidimensional view of Figure 1, as a weighted cross-tab.
-    let p = pivot(&mut run.edb, &schema, 0, 2, 1, 2, None, AggFn::Sum).unwrap();
+    let p = pivot(&run.edb, &schema, 0, 2, 1, 2, None, AggFn::Sum).unwrap();
     print!("{}", p.render("SUM(Sales), Region × Category:"));
 }

@@ -23,11 +23,16 @@
 //!     HTTP (POST /query, /rollup, /update; GET /healthz, /metrics).
 //!     Runs until stdin reaches EOF, then drains and exits.
 //!
-//! iolap query --data DIR [--region Dim=Node,...] [--agg sum|count|avg]
-//!             [--policy P] [--epsilon E] [--buffer-kb KB]
+//! iolap query --data DIR [--region Dim=Node,...] [--rollup DIM@LEVEL]
+//!             [--agg sum|count|avg] [--policy P] [--epsilon E]
+//!             [--buffer-kb KB] [--stats]
 //!     One-shot query: allocate DIR (Transitive), evaluate the aggregate
-//!     over the region, and print the server's JSON response shape to
-//!     stdout. Region and aggregate names resolve exactly as over HTTP.
+//!     over the region — or, with --rollup, the per-node rollup along
+//!     DIM at LEVEL diced to the region — and print the server's JSON
+//!     response shape to stdout. Region, level, and aggregate names
+//!     resolve exactly as over HTTP, and answers are planned over the
+//!     materialized cuboid lattice (--stats reports the cuboid
+//!     hit/miss tallies next to the scan counters).
 //! ```
 
 use iolap::datagen::{scaled, DatasetKind};
@@ -87,13 +92,13 @@ fn cmd_demo() -> i32 {
     let table = paper_example::table1();
     let schema = table.schema().clone();
     println!("Paper running example (Table 1): {} facts", table.len());
-    let mut run = Iolap::from_table(table)
+    let run = Iolap::from_table(table)
         .config(AllocConfig::builder().in_memory(256).build())
         .policy(PolicySpec::em_count(0.005))
         .allocate(Algorithm::Transitive)
         .expect("allocation");
     println!("{}", run.report);
-    let rows = rollup(&mut run.edb, &schema, 0, 2, None, AggFn::Sum).expect("rollup");
+    let rows = rollup(&run.edb, &schema, 0, 2, None, AggFn::Sum).expect("rollup");
     print!("{}", render_rollup("SUM(Sales) by Region:", &rows));
     0
 }
@@ -242,7 +247,7 @@ fn cmd_allocate(args: &[String]) -> i32 {
             (0..schema.k()).find(|&d| schema.dim(d).name() == dim_name).expect("known dimension");
         let h = schema.dim(d);
         let level = (1..=h.levels()).find(|&l| h.level_name(l) == level_name).expect("known level");
-        let rows = rollup(&mut run.edb, &schema, d, level, None, AggFn::Sum).expect("rollup");
+        let rows = rollup(&run.edb, &schema, d, level, None, AggFn::Sum).expect("rollup");
         // Print the top 20 by value.
         let mut rows = rows;
         rows.sort_by(|a, b| b.result.value.total_cmp(&a.result.value));
@@ -276,7 +281,8 @@ fn cmd_allocate(args: &[String]) -> i32 {
 // ---------------------------------------------------------------------------
 
 const QUERY_USAGE: &str = "iolap query --data DIR [--region Dim=Node,...] \
-     [--agg sum|count|avg] [--policy P] [--epsilon E] [--buffer-kb KB] [--stats]";
+     [--rollup DIM@LEVEL] [--agg sum|count|avg] [--policy P] [--epsilon E] \
+     [--buffer-kb KB] [--stats]";
 
 fn cmd_query(args: &[String]) -> i32 {
     if has_flag(args, "--help") {
@@ -346,7 +352,27 @@ fn cmd_query(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let mut run = match db
+    // `--rollup Dim@Level` resolves names exactly as the server's
+    // /rollup endpoint; also validated before allocation.
+    let rollup_at = match flag(args, "--rollup") {
+        Some(spec) => {
+            let Some((dim, level)) = spec.split_once('@') else {
+                eprintln!("iolap query: bad --rollup {spec:?} (want DIM@LEVEL)");
+                eprintln!("{QUERY_USAGE}");
+                return 2;
+            };
+            match iolap::serve::snapshot::resolve_level(&schema, dim.trim(), level.trim()) {
+                Ok(dl) => Some(dl),
+                Err(msg) => {
+                    eprintln!("iolap query: {msg}");
+                    eprintln!("{QUERY_USAGE}");
+                    return 2;
+                }
+            }
+        }
+        None => None,
+    };
+    let run = match db
         .config(AllocConfig::builder().buffer_pages(buffer_pages).build())
         .policy(policy)
         .allocate(Algorithm::Transitive)
@@ -357,22 +383,54 @@ fn cmd_query(args: &[String]) -> i32 {
             return 1;
         }
     };
+    use iolap::query::{plan_aggregate, plan_rollup, PlanMode};
     let q = iolap::query::Query { region, agg };
-    let (result, stats) = match iolap::query::aggregate_edb_stats(&mut run.edb, &q) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("{e}");
-            return 1;
+    // Both shapes run through the lattice planner — the server's answer
+    // paths — and print the matching wire response (epoch 0: freshly
+    // allocated).
+    let stats = match rollup_at {
+        Some((dim, level)) => {
+            let (rows, stats) = match plan_rollup(
+                &run.edb,
+                &schema,
+                dim,
+                level,
+                Some(&q),
+                agg,
+                PlanMode::Lattice,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 1;
+                }
+            };
+            println!("{}", iolap::serve::wire::rollup_response(&rows, agg, 0));
+            stats
+        }
+        None => {
+            let (result, stats) = match plan_aggregate(&run.edb, &schema, &q, PlanMode::Lattice) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 1;
+                }
+            };
+            println!("{}", iolap::serve::wire::query_response(&result, agg, false, 0));
+            stats
         }
     };
-    // The server's /query response shape (epoch 0: freshly allocated).
-    println!("{}", iolap::serve::wire::query_response(&result, agg, false, 0));
     if has_flag(args, "--stats") {
-        // Scan counters as a second JSON line so the first line stays
+        // Counters as a second JSON line so the first line stays
         // byte-identical to the server's response shape.
         println!(
-            "{{\"pages_read\":{},\"pages_pruned\":{},\"bytes_read\":{}}}",
-            stats.pages_read, stats.pages_pruned, stats.bytes_read
+            "{{\"pages_read\":{},\"pages_pruned\":{},\"bytes_read\":{},\
+             \"cuboid_hits\":{},\"cuboid_misses\":{}}}",
+            stats.scan.pages_read,
+            stats.scan.pages_pruned,
+            stats.scan.bytes_read,
+            stats.cuboid_hits,
+            stats.cuboid_misses
         );
     }
     0

@@ -27,7 +27,7 @@
 //!     .agg(AggFn::Sum)
 //!     .build()
 //!     .unwrap();
-//! let west = aggregate_edb(&mut run.edb, &q).unwrap();
+//! let west = aggregate_edb(&run.edb, &q).unwrap();
 //! assert!(west.value > 0.0);
 //! ```
 //!

@@ -1,0 +1,223 @@
+//! Property tests for the materialized rollup lattice (DESIGN.md §2.18):
+//! a lattice-planned answer is **f64-bit-identical** to the same plan
+//! executed with forced leaf scans, across random hierarchies, regions,
+//! rollup levels, and segment layouts — cold, after `/update` batches
+//! (dirty cuboid cells recomputed), and after a compaction (cuboids
+//! rebuilt against the re-encoded segment). The forced-leaf mode replays
+//! the exact piece decomposition with fresh per-grain-cell scans, so any
+//! bit divergence pinpoints a stale or mis-merged cuboid cell.
+
+use iolap::core::maintain::EdbMutation;
+use iolap::core::{
+    allocate, Algorithm, AllocConfig, LatticeConfig, MaintainableEdb, PolicySpec, SegmentLayout,
+};
+use iolap::hierarchy::{Hierarchy, HierarchyBuilder};
+use iolap::model::{Fact, FactTable, RegionBox, Schema, MAX_DIMS};
+use iolap::query::{plan_aggregate_views, plan_rollup_views, AggFn, PlanMode};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a random 2-level hierarchy (plus ALL) with ≤ 12 leaves.
+fn arb_hierarchy(tag: &'static str) -> impl Strategy<Value = Hierarchy> {
+    (2u32..=12, 1u32..=4, any::<u64>()).prop_map(move |(leaves, groups, seed)| {
+        let groups = groups.min(leaves);
+        let parents: Vec<u32> = (0..leaves)
+            .map(|i| if i < groups { i } else { ((seed >> (i % 48)) as u32 ^ i) % groups })
+            .collect();
+        HierarchyBuilder::new(tag)
+            .level("Leaf", leaves)
+            .level("Group", groups)
+            .parents(2, &parents)
+            .build()
+    })
+}
+
+/// Strategy: a schema plus a random fact table over it (~60% precise
+/// per dimension, as in `tests/properties.rs`).
+fn arb_table() -> impl Strategy<Value = FactTable> {
+    (arb_hierarchy("D0"), arb_hierarchy("D1"), 4usize..40, any::<u64>()).prop_map(
+        |(h0, h1, n, seed)| {
+            let schema = Arc::new(Schema::new(vec![Arc::new(h0), Arc::new(h1)], "M"));
+            let mut facts = Vec::with_capacity(n);
+            let mut s = seed | 1;
+            let mut next = move || {
+                // xorshift64
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            for id in 1..=n as u64 {
+                let mut dims = [0u32; 2];
+                for (d, slot) in dims.iter_mut().enumerate() {
+                    let h = schema.dim(d);
+                    let r = next();
+                    *slot = if r % 10 < 6 {
+                        h.leaf_node((r >> 8) as u32 % h.num_leaves()).0
+                    } else {
+                        (r >> 8) as u32 % h.num_nodes()
+                    };
+                }
+                let measure = 1.0 + (next() % 100) as f64;
+                facts.push(Fact::new(id, &dims, measure));
+            }
+            FactTable::from_facts(schema, facts)
+        },
+    )
+}
+
+/// A random query box over the schema's leaf grid, derived from `seed`
+/// (possibly empty on a dimension — the planner must tolerate that).
+fn random_region(schema: &Schema, seed: u64) -> RegionBox {
+    let mut lo = [0u32; MAX_DIMS];
+    let mut hi = [0u32; MAX_DIMS];
+    let mut s = seed | 1;
+    for d in 0..schema.k() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let n = schema.dim(d).num_leaves();
+        let a = (s as u32) % (n + 1);
+        let b = ((s >> 32) as u32) % (n + 1);
+        lo[d] = a.min(b);
+        hi[d] = a.max(b);
+    }
+    RegionBox { lo, hi, k: schema.k() as u8 }
+}
+
+/// Assert Lattice and ForcedLeaf modes agree bit-for-bit on an aggregate
+/// and on rollups along both dimensions (full space and diced).
+fn assert_bit_identical(medb: &mut MaintainableEdb, seed: u64, phase: &str) {
+    let schema = medb.schema().clone();
+    let views = medb.snapshot_segments().expect("segments");
+    let lattice = medb.snapshot_lattice().expect("lattice");
+    let region = random_region(&schema, seed);
+
+    for agg in [AggFn::Sum, AggFn::Count, AggFn::Avg] {
+        let (a, _) =
+            plan_aggregate_views(&views, Some(&lattice), &schema, &region, agg, PlanMode::Lattice)
+                .expect("lattice aggregate");
+        let (b, _) = plan_aggregate_views(
+            &views,
+            Some(&lattice),
+            &schema,
+            &region,
+            agg,
+            PlanMode::ForcedLeaf,
+        )
+        .expect("forced-leaf aggregate");
+        assert_eq!(a.sum.to_bits(), b.sum.to_bits(), "{phase}: agg sum bits {agg:?}");
+        assert_eq!(a.count.to_bits(), b.count.to_bits(), "{phase}: agg count bits {agg:?}");
+        assert_eq!(a.value.to_bits(), b.value.to_bits(), "{phase}: agg value bits {agg:?}");
+    }
+
+    for dim in 0..schema.k() {
+        for level in 1..=2u8 {
+            for dice in [None, Some(&region)] {
+                let (ra, sa) = plan_rollup_views(
+                    &views,
+                    Some(&lattice),
+                    &schema,
+                    dim,
+                    level,
+                    dice,
+                    AggFn::Sum,
+                    PlanMode::Lattice,
+                )
+                .expect("lattice rollup");
+                let (rb, sb) = plan_rollup_views(
+                    &views,
+                    Some(&lattice),
+                    &schema,
+                    dim,
+                    level,
+                    dice,
+                    AggFn::Sum,
+                    PlanMode::ForcedLeaf,
+                )
+                .expect("forced-leaf rollup");
+                assert_eq!(ra.len(), rb.len(), "{phase}: rollup row count");
+                for (x, y) in ra.iter().zip(rb.iter()) {
+                    assert_eq!(x.node, y.node, "{phase}: rollup node order");
+                    assert_eq!(
+                        x.result.sum.to_bits(),
+                        y.result.sum.to_bits(),
+                        "{phase}: rollup sum bits dim {dim} level {level} node {}",
+                        x.name
+                    );
+                    assert_eq!(
+                        x.result.count.to_bits(),
+                        y.result.count.to_bits(),
+                        "{phase}: rollup count bits dim {dim} level {level} node {}",
+                        x.name
+                    );
+                }
+                // Both modes walk the same plan, so the hit/miss split
+                // must match exactly.
+                assert_eq!(
+                    (sa.cuboid_hits, sa.cuboid_misses),
+                    (sb.cuboid_hits, sb.cuboid_misses),
+                    "{phase}: plan shape differs between modes"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The lattice lifecycle keeps bit-identity: cold build, incremental
+    /// dirty-cell recompute after an update batch, and whole-cuboid
+    /// rebuild after compaction.
+    #[test]
+    fn lattice_plans_are_bit_identical_to_forced_leaf_scans(
+        table in arb_table(),
+        layout in 0usize..3,
+        qseed in any::<u64>(),
+    ) {
+        let has_precise = table.num_precise() > 0;
+        prop_assume!(has_precise || table.num_imprecise() == 0);
+
+        let n = table.len() as u64;
+        let policy = PolicySpec::em_count(0.01);
+        let cfg = AllocConfig::builder().in_memory(256).build();
+        let run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
+        let mut medb = MaintainableEdb::build(run, policy).unwrap();
+        medb.set_segment_layout(match layout {
+            0 => SegmentLayout::v1_canonical(),
+            1 => SegmentLayout::v2_canonical(),
+            _ => SegmentLayout::v2_morton(),
+        });
+        // Materialize cuboids even for the tiny segments these tables
+        // produce.
+        medb.set_lattice_config(LatticeConfig { min_segment_entries: 1, ..Default::default() });
+
+        // Cold: lattice built fresh over the base segment.
+        assert_bit_identical(&mut medb, qseed, "cold");
+
+        // After an update batch: the touched boxes queue dirty cells and
+        // the next lattice snapshot recomputes exactly those.
+        let batch: Vec<EdbMutation> = (1..=n.min(5))
+            .map(|id| EdbMutation::UpdateMeasure {
+                fact_id: id,
+                new_measure: 1.0 + ((qseed.wrapping_mul(id) >> 7) % 100) as f64,
+            })
+            .collect();
+        medb.apply_batch(&batch).unwrap();
+        assert_bit_identical(&mut medb, qseed.wrapping_add(1), "post-update");
+
+        // After compaction: tiers merge into one re-encoded segment and
+        // its cuboids are rebuilt whole.
+        medb.set_compaction_threshold(1);
+        let batch: Vec<EdbMutation> = (1..=n.min(3))
+            .map(|id| EdbMutation::UpdateMeasure {
+                fact_id: id,
+                new_measure: 2.0 + ((qseed.wrapping_mul(id + 7) >> 9) % 100) as f64,
+            })
+            .collect();
+        medb.apply_batch(&batch).unwrap();
+        assert_bit_identical(&mut medb, qseed.wrapping_add(2), "post-compaction");
+        prop_assert!(medb.num_compactions() > 0, "threshold 1 must have compacted");
+    }
+}

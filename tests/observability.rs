@@ -137,7 +137,7 @@ fn segment_scan_counters_cover_every_page() {
     // page count a no-index scan would touch (total pages × queries) —
     // a page is either read or provably skipped, never both, never lost.
     use iolap::query::{aggregate_edb, AggFn, QueryBuilder};
-    let (mut run, _sink, obs) = traced_run(Algorithm::Transitive);
+    let (run, _sink, obs) = traced_run(Algorithm::Transitive);
     let views = run.edb.segments().unwrap();
     let total_pages: u64 = views.iter().map(|v| v.segment.num_pages()).sum();
     assert!(total_pages > 0);
@@ -153,7 +153,7 @@ fn segment_scan_counters_cover_every_page() {
             .unwrap(),
     ];
     for q in &queries {
-        aggregate_edb(&mut run.edb, q).unwrap();
+        aggregate_edb(&run.edb, q).unwrap();
     }
 
     let metrics = obs.metrics().expect("tracing handle exposes metrics");

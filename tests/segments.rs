@@ -109,7 +109,7 @@ proptest! {
         let schema = table.schema().clone();
         let cfg = AllocConfig::builder().in_memory(128).build();
         let policy = PolicySpec::em_count(0.01);
-        let mut run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
+        let run = allocate(&table, &policy, Algorithm::Transitive, &cfg).unwrap();
         let views = run.edb.segments().unwrap();
         let total_pages: u64 = views.iter().map(|v| v.segment.num_pages()).sum();
 

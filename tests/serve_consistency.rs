@@ -65,9 +65,8 @@ fn server_answers_match_aggregate_edb_bit_for_bit() {
     let mut conn = TcpStream::connect(h.addr()).expect("connect");
 
     // The same allocation, through the library.
-    let mut run =
-        allocate(&paper_example::table1(), &policy(), Algorithm::Transitive, &alloc_cfg())
-            .expect("local allocation");
+    let run = allocate(&paper_example::table1(), &policy(), Algorithm::Transitive, &alloc_cfg())
+        .expect("local allocation");
 
     for &(at, agg) in QUERIES {
         let mut b = QueryBuilder::new(paper_example::schema()).agg(agg);
@@ -75,7 +74,7 @@ fn server_answers_match_aggregate_edb_bit_for_bit() {
             b = b.at(d, n);
         }
         let q = b.build().expect("query");
-        let local = aggregate_edb(&mut run.edb, &q).expect("aggregate");
+        let local = aggregate_edb(&run.edb, &q).expect("aggregate");
 
         // Cold: computed from the snapshot.
         let (v, s, c, cached) = server_query(&mut conn, at, agg);
@@ -134,6 +133,7 @@ fn update_round_trip_stays_bit_identical_to_the_library() {
         schema: medb.schema().clone(),
         table: Arc::new(paper_example::table1()), // unused for EDB aggregates
         segments: medb.snapshot_segments().expect("segments"),
+        lattice: None, // /query aggregates never consult the lattice
     };
 
     for &(at, agg) in QUERIES {
@@ -194,6 +194,9 @@ fn updates_invalidate_only_overlapping_cache_entries() {
         "iolap_edb_bytes_read",
         "iolap_edb_segments",
         "iolap_edb_compression_ratio",
+        "iolap_edb_cuboid_hits",
+        "iolap_edb_cuboid_misses",
+        "iolap_edb_cuboid_bytes",
     ] {
         assert!(prom.contains(series), "missing {series} in /metrics:\n{prom}");
     }
