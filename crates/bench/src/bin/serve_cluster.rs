@@ -1,0 +1,588 @@
+//! Scatter-gather cluster benchmark: read scaling and bit-identity.
+//!
+//! Partitions one generated dataset into a 1-shard and a 4-shard
+//! cluster, starts every shard server as a **child process** on a
+//! loopback port (re-exec of this binary, the `serve_load` handshake:
+//! the child prints `READY <addr>` once bound and exits on stdin EOF),
+//! fronts each fleet with an in-process router, and measures:
+//!
+//! 1. **Bit-identity** — every sampled box and rollup is answered by
+//!    the router byte-for-byte identically to a single-node server over
+//!    the same dataset: cold (first touch), warm (cache-normalized
+//!    repeat), and again after a cross-shard `/update` applied to both
+//!    sides. Any mismatch fails the run — this is the merge contract,
+//!    not a performance number.
+//! 2. **Read scaling** — closed-loop client children (the `serve_load`
+//!    READY/GO barrier) drive single-shard boxes through the router;
+//!    the 4-shard fleet must clear ≥3× the 1-shard throughput. The gate
+//!    hard-fails only on machines with ≥6 logical cores (4 shard
+//!    processes + router + clients need somewhere to run); below that
+//!    it prints a warning, because the contention is the host's, not
+//!    the router's.
+//!
+//! Shard servers run with the result cache **disabled** so every
+//! routed request pays a real pruned scan — throughput then measures
+//! shard compute spread across processes, which is what sharding buys.
+//!
+//! ```bash
+//! cargo run --release -p iolap-bench --bin serve_cluster
+//! cargo run --release -p iolap-bench --bin serve_cluster -- --facts 5000 secs=1
+//! ```
+
+use iolap_bench::runs::{print_table, write_json};
+use iolap_bench::{Args, Json};
+use iolap_cluster::{partition_dataset, shard_dir_name, Router, RouterHandle};
+use iolap_core::{AllocConfig, PolicySpec};
+use iolap_datagen::scaled;
+use iolap_model::csv::{read_dataset, write_dataset};
+use iolap_obs::json;
+use iolap_query::AggFn;
+use iolap_serve::{http_roundtrip, raise_nofile_limit, wire, ServeConfig, Server, ServerHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args = Args::parse(20_000);
+    if args.extra("shard-data").is_some() {
+        shard_main(&args);
+        return;
+    }
+    if args.extra("client-addr").is_some() {
+        client_main(&args);
+        return;
+    }
+    parent_main(&args);
+}
+
+// ---------------------------------------------------------------------------
+// Parent: partition, fleets, identity gates, throughput sweep.
+
+fn parent_main(args: &Args) {
+    let epsilon: f64 = args.extra_or("eps", 0.01);
+    let shard_workers: usize = args.extra_or("shard-workers", 1);
+    let conns: usize = args.extra_or("conns", 64);
+    let drivers: usize = args.extra_or("drivers", 8);
+    let secs: f64 = args.extra_or("secs", 2.0);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    raise_nofile_limit();
+
+    let base = std::env::temp_dir().join(format!("iolap-serve-cluster-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let data = base.join("data");
+    std::fs::create_dir_all(&data).expect("creating data dir");
+    write_dataset(&scaled(args.dataset, args.facts, args.seed), &data).expect("writing dataset");
+    let (schema, table) = read_dataset(&data).expect("reloading dataset");
+    println!(
+        "serve_cluster — {:?} dataset, {} facts, {shard_workers} worker(s)/shard, \
+         {conns} conns, {drivers} driver(s), {secs}s/point, {cores} core(s)",
+        args.dataset, args.facts
+    );
+
+    let policy = PolicySpec::em_count(epsilon);
+    let alloc = AllocConfig::builder().in_memory(4096).build();
+    let c4 = partition_dataset(&data, &base.join("cluster4"), 4, &policy, &alloc)
+        .expect("partitioning 4 shards");
+    partition_dataset(&data, &base.join("cluster1"), 1, &policy, &alloc)
+        .expect("partitioning 1 shard");
+
+    // Single-node reference, built from the same CSVs every shard holds.
+    // Its result cache is off for the same reason the shards' are: a
+    // cached pre-update answer for an untouched box keeps its original
+    // epoch stamp, and the identity gate compares whole bodies.
+    let ref_handle = Server::builder(table.clone(), policy.clone())
+        .alloc(alloc.clone())
+        .config(
+            ServeConfig::builder()
+                .workers(2)
+                .cache_capacity(0)
+                .idle_timeout(Duration::from_secs(600))
+                .build(),
+        )
+        .bind("127.0.0.1:0")
+        .expect("reference server starts");
+    let ref_addr = ref_handle.addr().to_string();
+
+    // Identity samples: the whole cube under every aggregate, every node
+    // of a coarse dimension-0 level, a two-dimension dice, and rollups
+    // along the first two dimensions (single-node side forced to the
+    // scan plan — the canonical chunked fold the merge reproduces).
+    let dim0 = schema.dim(0);
+    let mut level = 0;
+    for l in (0..dim0.levels()).rev() {
+        if dim0.nodes_at_level(l).len() >= 2 {
+            level = l;
+            break;
+        }
+    }
+    let nodes: Vec<String> =
+        dim0.nodes_at_level(level).iter().map(|&n| dim0.node_name(n)).collect();
+    let mut queries: Vec<String> = Vec::new();
+    for agg in [AggFn::Sum, AggFn::Count, AggFn::Avg] {
+        queries.push(wire::query_body(&[], agg, None));
+    }
+    for n in &nodes {
+        queries.push(wire::query_body(&[(dim0.name(), n)], AggFn::Sum, None));
+        queries.push(wire::query_body(&[(dim0.name(), n)], AggFn::Avg, None));
+    }
+    if schema.k() > 1 {
+        let dim1 = schema.dim(1);
+        let coarse = dim1.node_name(dim1.nodes_at_level(dim1.levels() - 1)[0]);
+        queries.push(wire::query_body(
+            &[(dim0.name(), &nodes[0]), (dim1.name(), &coarse)],
+            AggFn::Sum,
+            None,
+        ));
+    }
+    let mut rollups: Vec<String> = Vec::new();
+    rollups.push(wire::rollup_body(dim0.name(), dim0.level_name(level), &[], AggFn::Sum));
+    if schema.k() > 1 {
+        let dim1 = schema.dim(1);
+        rollups.push(wire::rollup_body(
+            dim1.name(),
+            dim1.level_name(dim1.levels() - 1),
+            &[],
+            AggFn::Avg,
+        ));
+    }
+
+    // Cross-shard mutation batch: one fact in the first shard's interval
+    // and one in the last shard's, so the two-phase epoch flip really
+    // spans the fleet.
+    let first_hi = c4.shards.first().expect("4 shards").hi;
+    let last_lo = c4.shards.last().expect("4 shards").lo;
+    let f_lo = table.facts().iter().find(|f| f.dims[0] < first_hi).expect("fact in first shard");
+    let f_hi = table.facts().iter().find(|f| f.dims[0] >= last_lo).expect("fact in last shard");
+    let update = wire::update_body(&[
+        wire::MutationReq::Update { fact_id: f_lo.id, measure: 123_456.5 },
+        wire::MutationReq::Update { fact_id: f_hi.id, measure: 654_321.25 },
+    ]);
+
+    // Throughput mix: one box per sampled dimension-0 node — each
+    // overlaps exactly one shard, so the router forwards and the fleet
+    // serves disjoint slabs in parallel.
+    let load_mix: Vec<String> =
+        nodes.iter().map(|n| wire::query_body(&[(dim0.name(), n)], AggFn::Sum, None)).collect();
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut points: Vec<Vec<(&str, Json)>> = Vec::new();
+    let mut rps_by_shards: Vec<(usize, f64)> = Vec::new();
+    let mut identity_checks = 0u64;
+    let mut identity_failures = 0u64;
+
+    for shards in [1usize, 4] {
+        let cluster_dir = base.join(format!("cluster{shards}"));
+        let mut fleet = ShardFleet::spawn(&exe, &cluster_dir, shards, epsilon, shard_workers);
+        let router = fleet.router(&cluster_dir);
+        let router_addr = router.addr().to_string();
+
+        // Identity gate: cold, then warm (cache flags normalized).
+        let mut check = |label: &str| {
+            for q in &queries {
+                identity_checks += 1;
+                if !bodies_match(&router_addr, &ref_addr, "/query", q, q) {
+                    identity_failures += 1;
+                    eprintln!("IDENTITY MISMATCH ({shards} shard(s), {label}): {q}");
+                }
+            }
+            for r in &rollups {
+                identity_checks += 1;
+                let scan = format!("{},\"plan\":\"scan\"}}", &r[..r.len() - 1]);
+                if !bodies_match(&router_addr, &ref_addr, "/rollup", r, &scan) {
+                    identity_failures += 1;
+                    eprintln!("IDENTITY MISMATCH ({shards} shard(s), {label}): {r}");
+                }
+            }
+        };
+        check("cold");
+        check("warm");
+
+        // Cross-shard update through the router AND on the reference,
+        // then the whole sample set must agree again (epoch included).
+        if shards > 1 {
+            let (st, resp) = post(&router_addr, "/update", &update);
+            assert_eq!(st, 200, "cluster update failed: {resp}");
+            let (st, resp) = post(&ref_addr, "/update", &update);
+            assert_eq!(st, 200, "reference update failed: {resp}");
+            check("post-update");
+        }
+
+        // Throughput: closed-loop client children against the router.
+        let (requests, rps, p50, p99, errors) =
+            run_load(&exe, &router_addr, &load_mix, conns, drivers, secs);
+        assert_eq!(errors, 0, "client errors against the {shards}-shard router");
+        rps_by_shards.push((shards, rps));
+
+        let counter = |name: &str| router.obs().counter(name).map_or(0, |c| c.get());
+        let (legs, pruned, forwarded) = (
+            counter("cluster.scatter.legs"),
+            counter("cluster.scatter.pruned"),
+            counter("cluster.forward"),
+        );
+        rows.push(vec![
+            format!("{shards}"),
+            format!("{requests}"),
+            format!("{rps:.0}"),
+            format!("{p50}"),
+            format!("{p99}"),
+            format!("{legs}"),
+            format!("{forwarded}"),
+            format!("{pruned}"),
+        ]);
+        points.push(vec![
+            ("shards", Json::U(shards as u64)),
+            ("requests", Json::U(requests)),
+            ("throughput_rps", Json::F(rps)),
+            ("p50_us", Json::U(p50)),
+            ("p99_us", Json::U(p99)),
+            ("scatter_legs", Json::U(legs)),
+            ("forwarded", Json::U(forwarded)),
+            ("pruned", Json::U(pruned)),
+            ("errors", Json::U(errors)),
+        ]);
+
+        router.shutdown();
+        fleet.shutdown();
+    }
+    ref_handle.shutdown();
+
+    print_table(
+        "scatter-gather read scaling (shard caches off, single-shard boxes)",
+        &["shards", "requests", "req/s", "p50 µs", "p99 µs", "legs", "forwarded", "pruned"],
+        &rows,
+    );
+    println!(
+        "bit-identity: {identity_checks} router-vs-single checks, {identity_failures} mismatch(es)"
+    );
+
+    let speedup = match (&rps_by_shards[..], ()) {
+        ([(1, a), (4, b)], ()) if *a > 0.0 => b / a,
+        _ => 0.0,
+    };
+    let path = args.json.as_deref().unwrap_or("BENCH_cluster.json");
+    let meta = [
+        ("experiment", Json::S("serve_cluster".into())),
+        ("dataset", Json::S(format!("{:?}", args.dataset))),
+        ("facts", Json::U(args.facts)),
+        ("seed", Json::U(args.seed)),
+        ("epsilon", Json::F(epsilon)),
+        ("shard_workers", Json::U(shard_workers as u64)),
+        ("conns", Json::U(conns as u64)),
+        ("drivers", Json::U(drivers as u64)),
+        ("secs_per_point", Json::F(secs)),
+        ("cores", Json::U(cores as u64)),
+        ("identity_checks", Json::U(identity_checks)),
+        ("identity_failures", Json::U(identity_failures)),
+        ("read_scaling_4x_over_1x", Json::F(speedup)),
+    ];
+    write_json(path, &meta, &points).expect("write BENCH_cluster.json");
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Gates. Identity is unconditional; the scaling bar needs cores for
+    // 4 shard processes + router + clients to actually run in parallel.
+    if identity_failures > 0 {
+        eprintln!("serve_cluster: {identity_failures} bit-identity mismatch(es) — failing");
+        std::process::exit(1);
+    }
+    println!("read scaling: 4 shards = {speedup:.2}× the 1-shard point");
+    if speedup < 3.0 {
+        if cores >= 6 {
+            eprintln!("serve_cluster: 4-shard scaling {speedup:.2}× is below the 3× bar — failing");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "warning: 4-shard scaling {speedup:.2}× below the 3× bar \
+             ({cores} core(s) — gate needs ≥6 to be meaningful)"
+        );
+    }
+}
+
+/// One shard fleet: child processes bound to loopback ports, shut down
+/// by closing their stdin (the `serve_load` child contract).
+struct ShardFleet {
+    procs: Vec<Child>,
+    addrs: Vec<String>,
+}
+
+impl ShardFleet {
+    fn spawn(exe: &Path, cluster_dir: &Path, shards: usize, eps: f64, workers: usize) -> Self {
+        let mut procs = Vec::with_capacity(shards);
+        let mut addrs = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let dir = cluster_dir.join(shard_dir_name(i));
+            let mut p = Command::new(exe)
+                .arg(format!("shard-data={}", dir.display()))
+                .arg(format!("eps={eps}"))
+                .arg(format!("shard-workers={workers}"))
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn shard child");
+            let mut line = String::new();
+            BufReader::new(p.stdout.take().expect("shard stdout"))
+                .read_line(&mut line)
+                .expect("shard READY");
+            let addr = line
+                .trim()
+                .strip_prefix("READY ")
+                .unwrap_or_else(|| panic!("unexpected shard handshake: {line:?}"))
+                .to_string();
+            addrs.push(addr);
+            procs.push(p);
+        }
+        ShardFleet { procs, addrs }
+    }
+
+    fn router(&self, cluster_dir: &Path) -> RouterHandle {
+        let mut b = Router::builder(cluster_dir).config(
+            ServeConfig::builder().workers(4).idle_timeout(Duration::from_secs(600)).build(),
+        );
+        for (i, a) in self.addrs.iter().enumerate() {
+            b = b.shard_replicas(i, &[a.as_str()]);
+        }
+        b.bind("127.0.0.1:0").expect("router starts")
+    }
+
+    fn shutdown(&mut self) {
+        for p in &mut self.procs {
+            drop(p.stdin.take());
+        }
+        for p in &mut self.procs {
+            let st = p.wait().expect("shard child exits");
+            assert!(st.success(), "shard child failed");
+        }
+    }
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    http_roundtrip(&mut conn, "POST", path, body).expect("roundtrip")
+}
+
+/// POST `a_body` to the router and `b_body` to the reference; true when
+/// the responses agree byte-for-byte after normalizing the per-process
+/// `cached` flag (each side has its own result cache).
+fn bodies_match(router: &str, single: &str, path: &str, a_body: &str, b_body: &str) -> bool {
+    let (sa, ra) = post(router, path, a_body);
+    let (sb, rb) = post(single, path, b_body);
+    let norm = |s: &str| s.replace("\"cached\":true", "\"cached\":false");
+    let ok = sa == 200 && sb == 200 && norm(&ra) == norm(&rb);
+    if !ok {
+        eprintln!("  router {sa}: {ra}");
+        eprintln!("  single {sb}: {rb}");
+    }
+    ok
+}
+
+/// Drive `mix` through `addr` with closed-loop client children and
+/// merge their latency samples: (requests, rps, p50 µs, p99 µs, errors).
+fn run_load(
+    exe: &Path,
+    addr: &str,
+    mix: &[String],
+    conns: usize,
+    drivers: usize,
+    secs: f64,
+) -> (u64, f64, u64, u64, u64) {
+    let children = 2usize.min(conns);
+    let mut procs: Vec<Child> = Vec::new();
+    let mut readers: Vec<BufReader<std::process::ChildStdout>> = Vec::new();
+    for c in 0..children {
+        let child_conns = conns / children + usize::from(c < conns % children);
+        let child_drivers = (drivers / children).max(1);
+        let mut p = Command::new(exe)
+            .arg(format!("client-addr={addr}"))
+            .arg(format!("client-conns={child_conns}"))
+            .arg(format!("client-drivers={child_drivers}"))
+            .arg(format!("client-secs={secs}"))
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn client child");
+        let stdin = p.stdin.as_mut().expect("client stdin");
+        writeln!(stdin, "{}", mix.len()).unwrap();
+        for b in mix {
+            writeln!(stdin, "{b}").unwrap();
+        }
+        stdin.flush().unwrap();
+        readers.push(BufReader::new(p.stdout.take().expect("client stdout")));
+        procs.push(p);
+    }
+    for r in readers.iter_mut() {
+        let mut line = String::new();
+        r.read_line(&mut line).expect("client READY");
+        assert_eq!(line.trim(), "READY", "unexpected client handshake: {line:?}");
+    }
+    for p in procs.iter_mut() {
+        writeln!(p.stdin.as_mut().unwrap(), "GO").unwrap();
+    }
+    let mut lat_us: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for r in readers.iter_mut() {
+        let mut line = String::new();
+        r.read_line(&mut line).expect("client RESULT");
+        let payload = line
+            .strip_prefix("RESULT ")
+            .unwrap_or_else(|| panic!("unexpected client output: {line:?}"));
+        let v = json::parse(payload.trim()).expect("client RESULT JSON");
+        errors += v.get("errors").and_then(|x| x.as_u64()).expect("errors");
+        let samples = v.get("lat_us").and_then(|x| x.as_array()).expect("lat_us");
+        lat_us.extend(samples.iter().map(|s| s.as_u64().expect("µs sample")));
+    }
+    for mut p in procs {
+        drop(p.stdin.take());
+        let st = p.wait().expect("client child exits");
+        assert!(st.success(), "client child failed");
+    }
+    lat_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lat_us.is_empty() {
+            return 0;
+        }
+        lat_us[(((lat_us.len() - 1) as f64) * p) as usize]
+    };
+    let requests = lat_us.len() as u64;
+    (requests, requests as f64 / secs, pct(0.50), pct(0.99), errors)
+}
+
+// ---------------------------------------------------------------------------
+// Shard child: one single-node server over its shard directory, result
+// cache off so every routed request pays a real scan.
+
+fn shard_main(args: &Args) {
+    let dir = PathBuf::from(args.extra("shard-data").unwrap());
+    let eps: f64 = args.extra_or("eps", 0.01);
+    let workers: usize = args.extra_or("shard-workers", 1);
+    let (_, table) = read_dataset(&dir).expect("reading shard dataset");
+    let handle: ServerHandle = Server::builder(table, PolicySpec::em_count(eps))
+        .alloc(AllocConfig::builder().in_memory(4096).build())
+        .config(
+            ServeConfig::builder()
+                .workers(workers)
+                .cache_capacity(0)
+                .role("shard")
+                .idle_timeout(Duration::from_secs(600))
+                .build(),
+        )
+        .bind("127.0.0.1:0")
+        .expect("shard server starts");
+    println!("READY {}", handle.addr());
+    std::io::stdout().flush().unwrap();
+    // Parent closes our stdin to shut the fleet down.
+    let mut sink = String::new();
+    loop {
+        sink.clear();
+        match std::io::stdin().read_line(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Client child: the serve_load closed-loop keep-alive block (READY/GO).
+
+fn client_main(args: &Args) {
+    let addr: std::net::SocketAddr =
+        args.extra("client-addr").unwrap().parse().expect("client-addr HOST:PORT");
+    let conns: usize = args.extra_or("client-conns", 0);
+    let drivers: usize = args.extra_or("client-drivers", 1);
+    let secs: f64 = args.extra_or("client-secs", 2.0);
+    assert!(conns > 0, "client-conns must be positive");
+    raise_nofile_limit();
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    let mut next_line = || lines.next().expect("parent stdin line").expect("read stdin");
+    let nbodies: usize = next_line().trim().parse().expect("body count");
+    let bodies: Arc<Vec<String>> = Arc::new((0..nbodies).map(|_| next_line()).collect());
+
+    let mut sockets: Vec<TcpStream> = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let mut attempt = 0;
+        let s = loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(e) if attempt < 50 => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                    let _ = e;
+                }
+                Err(e) => panic!("connect: {e}"),
+            }
+        };
+        s.set_read_timeout(Some(Duration::from_secs_f64(secs + 15.0))).unwrap();
+        let _ = s.set_nodelay(true);
+        sockets.push(s);
+    }
+    println!("READY");
+    std::io::stdout().flush().unwrap();
+    assert_eq!(next_line().trim(), "GO", "expected GO");
+
+    let next = Arc::new(AtomicU64::new(0));
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let per = conns.div_ceil(drivers.max(1));
+    let mut threads = Vec::new();
+    while !sockets.is_empty() {
+        let mut share: Vec<TcpStream> = sockets.drain(..per.min(sockets.len())).collect();
+        let bodies = Arc::clone(&bodies);
+        let next = Arc::clone(&next);
+        threads.push(std::thread::spawn(move || {
+            let mut lat_us: Vec<u64> = Vec::new();
+            let mut errors = 0u64;
+            'window: loop {
+                let mut k = 0;
+                while k < share.len() {
+                    if Instant::now() >= deadline {
+                        break 'window;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed) as usize % bodies.len();
+                    let t = Instant::now();
+                    match http_roundtrip(&mut share[k], "POST", "/query", &bodies[i]) {
+                        Ok((200, _)) => {
+                            lat_us.push(t.elapsed().as_micros() as u64);
+                            k += 1;
+                        }
+                        Ok(_) | Err(_) => {
+                            errors += 1;
+                            share.swap_remove(k);
+                        }
+                    }
+                }
+                if share.is_empty() {
+                    break;
+                }
+            }
+            (lat_us, errors)
+        }));
+    }
+
+    let mut lat_us: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for t in threads {
+        let (l, e) = t.join().expect("driver thread");
+        lat_us.extend(l);
+        errors += e;
+    }
+    let mut out = String::with_capacity(lat_us.len() * 5 + 64);
+    out.push_str("RESULT {\"requests\":");
+    out.push_str(&lat_us.len().to_string());
+    out.push_str(",\"errors\":");
+    out.push_str(&errors.to_string());
+    out.push_str(",\"lat_us\":[");
+    for (i, v) in lat_us.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push_str("]}");
+    println!("{out}");
+    std::io::stdout().flush().unwrap();
+}

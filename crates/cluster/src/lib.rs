@@ -1,0 +1,55 @@
+//! `iolap-cluster` — sharded, replicated serving for the allocation EDB:
+//! a leaf-interval range partitioner plus a scatter-gather HTTP router.
+//!
+//! The paper's allocation step is global (an imprecise fact's weights
+//! depend on its whole transitive component), so the cluster does not
+//! split the *facts*: every shard directory carries the full dataset and
+//! rebuilds the identical Extended Database deterministically. What the
+//! partitioner splits is the **answer space** — each shard owns one
+//! contiguous interval of dimension-0 leaf ids (entry-balanced cuts,
+//! recorded with a fence box in `shard.json` / `cluster.json`), and the
+//! router clips every query box to a shard's interval before fanning
+//! out.
+//!
+//! Bit-identical merging rests on the canonical chunked accumulation
+//! ([`iolap_core::accumulate_region_parts`]): shards return `(view,
+//! dim0-slab)` partial sums that never straddle an interval cut, so the
+//! router concatenates them in shard index order, re-sorts, and folds —
+//! reproducing a single node's f64 bits exactly, for `/query` and for
+//! scan-planned `/rollup`. Writes run two-phase across every replica of
+//! every shard (prepare-and-stage, then `POST /epoch` to flip), so a
+//! cluster read never mixes epochs; replicas that fail are drained and
+//! rejoin only when a health probe sees them at the cluster epoch.
+//!
+//! ```no_run
+//! use iolap_cluster::{partition_dataset, Router};
+//! use iolap_core::{AllocConfig, PolicySpec};
+//! use std::path::Path;
+//!
+//! let alloc = AllocConfig::builder().in_memory(256).build();
+//! partition_dataset(
+//!     Path::new("data"),
+//!     Path::new("cluster"),
+//!     4,
+//!     &PolicySpec::em_count(0.01),
+//!     &alloc,
+//! ).unwrap();
+//! // Start one `iolap serve --role shard` per shard directory, then:
+//! let h = Router::builder("cluster")
+//!     .shard_replicas(0, &["127.0.0.1:7001"])
+//!     .shard_replicas(1, &["127.0.0.1:7002"])
+//!     .shard_replicas(2, &["127.0.0.1:7003"])
+//!     .shard_replicas(3, &["127.0.0.1:7004"])
+//!     .bind("127.0.0.1:0")
+//!     .unwrap();
+//! println!("routing on {}", h.addr());
+//! h.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod partition;
+pub mod router;
+
+pub use partition::{cluster_schema, dataset_fingerprint, partition_dataset, shard_dir_name};
+pub use router::{Router, RouterBuilder, RouterHandle};

@@ -1,0 +1,282 @@
+//! End-to-end cluster behavior over real sockets: a partitioned dataset
+//! served by in-process shard servers behind the scatter-gather router.
+//!
+//! The bit-level contract under test: every router answer — `/query`
+//! cold and after a cross-shard `/update`, and `/rollup` — is **byte**
+//! identical to a single-node server over the same dataset (rollups
+//! compared against the single node's `"plan":"scan"` form, the
+//! cluster's documented reference). Plus the documented failure shapes:
+//! a shard with no live replica answers `503 shard_unavailable`, a
+//! partially-failed scatter answers `503 scatter_failed`, and reads
+//! survive losing one replica of a group.
+
+use iolap_cluster::{partition_dataset, shard_dir_name, Router, RouterHandle};
+use iolap_core::{AllocConfig, PolicySpec};
+use iolap_model::csv::{read_dataset, write_dataset};
+use iolap_model::paper_example;
+use iolap_obs::json;
+use iolap_query::AggFn;
+use iolap_serve::{http_roundtrip, ServeConfig, Server, ServerHandle};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn policy() -> PolicySpec {
+    PolicySpec::em_count(0.01)
+}
+
+fn alloc_cfg() -> AllocConfig {
+    AllocConfig::builder().in_memory(256).build()
+}
+
+/// Partition the paper example into `shards` shard dirs under a fresh
+/// temp dir and return the cluster dir.
+fn build_cluster_dir(tag: &str, shards: usize) -> PathBuf {
+    let base = std::env::temp_dir().join(format!("iolap-cluster-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let data = base.join("data");
+    std::fs::create_dir_all(&data).unwrap();
+    write_dataset(&paper_example::table1(), &data).unwrap();
+    let out = base.join("cluster");
+    partition_dataset(&data, &out, shards, &policy(), &alloc_cfg()).unwrap();
+    out
+}
+
+/// Start one shard server over `dir`'s dataset copy.
+fn start_shard(dir: &Path) -> ServerHandle {
+    let (_, table) = read_dataset(dir).unwrap();
+    Server::builder(table, policy())
+        .alloc(alloc_cfg())
+        .config(ServeConfig::builder().role("shard").build())
+        .bind("127.0.0.1:0")
+        .expect("shard starts")
+}
+
+fn start_single() -> ServerHandle {
+    Server::builder(paper_example::table1(), policy())
+        .alloc(alloc_cfg())
+        .config(ServeConfig::default())
+        .bind("127.0.0.1:0")
+        .expect("single node starts")
+}
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut c = TcpStream::connect(addr).expect("connect");
+    http_roundtrip(&mut c, "POST", path, body).expect("roundtrip")
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut c = TcpStream::connect(addr).expect("connect");
+    http_roundtrip(&mut c, "GET", path, "").expect("roundtrip")
+}
+
+/// Every documented error answer carries `{"error","code","status"}`.
+fn assert_error_shape(status: u16, body: &str, code: &str) {
+    let v = json::parse(body).unwrap_or_else(|e| panic!("unparseable error body {body:?}: {e}"));
+    assert_eq!(v.get("code").and_then(|c| c.as_str()), Some(code), "{body}");
+    assert_eq!(v.get("status").and_then(|s| s.as_u64()), Some(u64::from(status)), "{body}");
+    assert!(v.get("error").and_then(|m| m.as_str()).is_some(), "{body}");
+}
+
+const QUERIES: &[(&str, AggFn)] = &[
+    ("{}", AggFn::Sum),
+    ("{\"agg\":\"count\"}", AggFn::Count),
+    ("{\"region\":{\"Location\":\"MA\"},\"agg\":\"sum\"}", AggFn::Sum),
+    ("{\"region\":{\"Location\":\"East\"},\"agg\":\"average\"}", AggFn::Avg),
+    ("{\"region\":{\"Location\":\"West\",\"Automobile\":\"Sedan\"}}", AggFn::Sum),
+    ("{\"region\":{\"Location\":\"CA\",\"Automobile\":\"Truck\"},\"agg\":\"count\"}", AggFn::Count),
+];
+
+const ROLLUPS: &[&str] = &[
+    "{\"dim\":\"Location\",\"level\":\"State\"}",
+    "{\"dim\":\"Location\",\"level\":\"Region\",\"agg\":\"average\"}",
+    "{\"dim\":\"Automobile\",\"level\":\"Category\",\"region\":{\"Location\":\"East\"},\"agg\":\"count\"}",
+];
+
+/// Start a 2-shard cluster (one replica each) plus the router.
+fn start_cluster(tag: &str) -> (Vec<ServerHandle>, RouterHandle, PathBuf) {
+    let dir = build_cluster_dir(tag, 2);
+    let shards: Vec<ServerHandle> =
+        (0..2).map(|i| start_shard(&dir.join(shard_dir_name(i)))).collect();
+    let a0 = shards[0].addr().to_string();
+    let a1 = shards[1].addr().to_string();
+    let router = Router::builder(&dir)
+        .shard_replicas(0, &[&a0])
+        .shard_replicas(1, &[&a1])
+        .probe_interval(Duration::from_millis(50))
+        .bind("127.0.0.1:0")
+        .expect("router starts");
+    (shards, router, dir)
+}
+
+#[test]
+fn router_answers_are_byte_identical_to_a_single_node() {
+    let (shards, router, _dir) = start_cluster("bits");
+    let single = start_single();
+
+    // healthz: the router reports its role and the cluster epoch.
+    let (status, body) = get(router.addr(), "/healthz");
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    assert_eq!(v.get("role").and_then(|r| r.as_str()), Some("router"), "{body}");
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(0), "{body}");
+
+    // Cold reads: queries (scatter and single-shard forwards alike) and
+    // scan-planned rollups match the single node byte-for-byte.
+    for (q, _) in QUERIES {
+        let (rs, rb) = post(router.addr(), "/query", q);
+        let (ss, sb) = post(single.addr(), "/query", q);
+        assert_eq!((rs, &rb), (ss, &sb), "query {q}");
+    }
+    for r in ROLLUPS {
+        let (rs, rb) = post(router.addr(), "/rollup", r);
+        let scan = format!("{},\"plan\":\"scan\"}}", &r[..r.len() - 1]);
+        let (ss, sb) = post(single.addr(), "/rollup", &scan);
+        assert_eq!((rs, &rb), (ss, &sb), "rollup {r}");
+    }
+
+    // A cross-shard update through the router: two-phase prepare+commit
+    // across both shards, epoch flips to 1 everywhere.
+    let upd = "{\"mutations\":[{\"op\":\"update\",\"fact_id\":2,\"measure\":500.0},\
+               {\"op\":\"insert\",\"id\":50,\"dims\":[\"NY\",\"F150\"],\"measure\":42.0}]}";
+    let (status, body) = post(router.addr(), "/update", upd);
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(1), "{body}");
+    let (_, hb) = get(router.addr(), "/healthz");
+    let v = json::parse(&hb).unwrap();
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(1), "{hb}");
+    for s in &shards {
+        assert_eq!(s.obs().gauge("serve.epoch").unwrap().get(), 1, "shard published the epoch");
+    }
+
+    // Replay the same batch on the single node; answers stay identical.
+    let (status, _) = post(single.addr(), "/update", upd);
+    assert_eq!(status, 200);
+    for (q, _) in QUERIES {
+        let (rs, rb) = post(router.addr(), "/query", q);
+        let (ss, sb) = post(single.addr(), "/query", q);
+        assert_eq!((rs, &rb), (ss, &sb), "post-update query {q}");
+    }
+    for r in ROLLUPS {
+        let (rs, rb) = post(router.addr(), "/rollup", r);
+        let scan = format!("{},\"plan\":\"scan\"}}", &r[..r.len() - 1]);
+        let (ss, sb) = post(single.addr(), "/rollup", &scan);
+        assert_eq!((rs, &rb), (ss, &sb), "post-update rollup {r}");
+    }
+
+    // Classical baselines ride the full table every shard holds.
+    let classical = "{\"classical\":\"contains\",\"region\":{\"Location\":\"East\"}}";
+    let (rs, rb) = post(router.addr(), "/query", classical);
+    let (ss, sb) = post(single.addr(), "/query", classical);
+    assert_eq!((rs, rb), (ss, sb));
+
+    // Deterministic client errors pass through with the documented shape.
+    let (status, body) = post(router.addr(), "/query", "{\"region\":{\"Nope\":\"MA\"}}");
+    assert_eq!(status, 400, "{body}");
+    assert_error_shape(400, &body, "bad-request");
+
+    single.shutdown();
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn cluster_failures_answer_the_documented_shapes() {
+    let (mut shards, router, _dir) = start_cluster("failures");
+
+    // Lose shard 1 entirely. A box confined to shard 0 still answers...
+    shards.pop().unwrap().shutdown();
+    let ma = "{\"region\":{\"Location\":\"MA\"}}";
+    let (status, body) = post(router.addr(), "/query", ma);
+    assert_eq!(status, 200, "{body}");
+
+    // ...a scatter needing both shards is a partial failure, never a
+    // half-merged 200...
+    let (status, body) = post(router.addr(), "/query", "{}");
+    assert_eq!(status, 503, "{body}");
+    assert_error_shape(503, &body, "scatter_failed");
+    let (status, body) = post(router.addr(), "/rollup", ROLLUPS[0]);
+    assert_eq!(status, 503, "{body}");
+    assert_error_shape(503, &body, "scatter_failed");
+
+    // ...a request that must land on the dead shard reports it
+    // unavailable (TX and CA live in shard 1's leaf interval)...
+    let west = "{\"region\":{\"Location\":\"West\"}}";
+    let (status, body) = post(router.addr(), "/query", west);
+    assert_eq!(status, 503, "{body}");
+    assert_error_shape(503, &body, "shard_unavailable");
+
+    // ...updates refuse to start when a shard has no live replica...
+    let upd = "{\"mutations\":[{\"op\":\"update\",\"fact_id\":2,\"measure\":500.0}]}";
+    let (status, body) = post(router.addr(), "/update", upd);
+    assert_eq!(status, 503, "{body}");
+    assert_error_shape(503, &body, "shard_unavailable");
+
+    // ...and /healthz degrades to 503 once the drain is observed.
+    let (_, body) = get(router.addr(), "/healthz");
+    let v = json::parse(&body).unwrap();
+    assert_eq!(v.get("role").and_then(|r| r.as_str()), Some("router"));
+    assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("degraded"), "{body}");
+
+    assert!(router.obs().counter("cluster.replica.drained").unwrap().get() >= 1);
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn reads_fail_over_between_replicas() {
+    let dir = build_cluster_dir("failover", 2);
+    // Shard 0 runs two replicas; shard 1 runs one.
+    let r0a = start_shard(&dir.join(shard_dir_name(0)));
+    let r0b = start_shard(&dir.join(shard_dir_name(0)));
+    let s1 = start_shard(&dir.join(shard_dir_name(1)));
+    let (a, b, c) = (r0a.addr().to_string(), r0b.addr().to_string(), s1.addr().to_string());
+    let router = Router::builder(&dir)
+        .shard_replicas(0, &[&a, &b])
+        .shard_replicas(1, &[&c])
+        .probe_interval(Duration::from_millis(50))
+        .bind("127.0.0.1:0")
+        .expect("router starts");
+
+    // The `cached` flag is per-replica state, so compare the payload
+    // bits (value, sum, count, epoch), not the whole body.
+    let bits = |body: &str| {
+        let v = json::parse(body).unwrap();
+        let f = |k: &str| v.get(k).and_then(|x| x.as_f64()).expect(k).to_bits();
+        (f("value"), f("sum"), f("count"), v.get("epoch").and_then(|e| e.as_u64()).unwrap())
+    };
+    let ma = "{\"region\":{\"Location\":\"MA\"}}";
+    let (_, reference) = post(router.addr(), "/query", ma);
+    let reference = bits(&reference);
+
+    // Round-robin actually spreads reads across the group.
+    for _ in 0..6 {
+        let (status, body) = post(router.addr(), "/query", ma);
+        assert_eq!(status, 200);
+        assert_eq!(bits(&body), reference, "replicas answer identically");
+    }
+    let hits_a = r0a.obs().counter("serve.requests").unwrap().get();
+    let hits_b = r0b.obs().counter("serve.requests").unwrap().get();
+    assert!(hits_a > 0 && hits_b > 0, "round-robin used both replicas ({hits_a}/{hits_b})");
+
+    // Kill one replica: reads keep succeeding with the same bits and the
+    // drain shows up in the metrics.
+    r0a.shutdown();
+    for _ in 0..4 {
+        let (status, body) = post(router.addr(), "/query", ma);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(bits(&body), reference);
+    }
+    assert!(router.obs().counter("cluster.replica.drained").unwrap().get() >= 1);
+    let (status, _) = get(router.addr(), "/healthz");
+    assert_eq!(status, 200, "one live replica per shard keeps the cluster healthy");
+
+    router.shutdown();
+    r0b.shutdown();
+    s1.shutdown();
+}

@@ -19,6 +19,7 @@ use crate::schema::Schema;
 use crate::table::FactTable;
 use iolap_hierarchy::{Hierarchy, HierarchyBuilder};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Parse CSV text into rows of fields.
@@ -225,6 +226,113 @@ pub fn facts_from_csv(schema: Arc<Schema>, text: &str) -> Result<FactTable, Stri
     Ok(table)
 }
 
+/// Write a dataset directory: one hierarchy CSV per dimension
+/// (`dimN_<name>.csv`, header = level names bottom-up) plus `facts.csv`
+/// (header = `id,<dim names…>,<measure>`) — the layout `read_dataset`
+/// and the CLI's `iolap gen` / `iolap serve` agree on.
+pub fn write_dataset(table: &FactTable, dir: &Path) -> std::io::Result<()> {
+    use std::io::Write;
+    let schema = table.schema();
+    std::fs::create_dir_all(dir)?;
+    for d in 0..schema.k() {
+        let h = schema.dim(d);
+        let name: String =
+            h.name().chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+        let mut f =
+            std::io::BufWriter::new(std::fs::File::create(dir.join(format!("dim{d}_{name}.csv")))?);
+        // Header: level names bottom-up, excluding ALL.
+        let levels = h.levels() - 1;
+        let header: Vec<String> = (1..=levels).map(|l| h.level_name(l).to_string()).collect();
+        writeln!(f, "{}", header.join(","))?;
+        for leaf in 0..h.num_leaves() {
+            let row: Vec<String> =
+                (1..=levels).map(|l| quote(&h.node_name(h.ancestor_at(leaf, l)))).collect();
+            writeln!(f, "{}", row.join(","))?;
+        }
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join("facts.csv"))?);
+    let dims: Vec<String> = (0..schema.k()).map(|d| schema.dim(d).name().to_string()).collect();
+    writeln!(f, "id,{},{}", dims.join(","), schema.measure_name())?;
+    for fact in table.facts() {
+        let vals: Vec<String> = (0..schema.k())
+            .map(|d| quote(&schema.dim(d).node_name(iolap_hierarchy::NodeId(fact.dims[d]))))
+            .collect();
+        writeln!(f, "{},{},{}", fact.id, vals.join(","), fact.measure)?;
+    }
+    Ok(())
+}
+
+/// Load a dataset directory written by [`write_dataset`]: `dimN_*.csv`
+/// hierarchy files (dimension order from `N`, dimension name from the file
+/// name suffix) plus `facts.csv` with positional dimension columns.
+pub fn read_dataset(dir: &Path) -> Result<(Arc<Schema>, FactTable), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut dim_files: Vec<(usize, std::path::PathBuf)> = Vec::new();
+    for entry in entries {
+        let p = entry.map_err(|e| e.to_string())?.path();
+        let name = p.file_name().and_then(|s| s.to_str()).unwrap_or("").to_string();
+        if let Some(rest) = name.strip_prefix("dim") {
+            if let Some((idx, _)) = rest.split_once('_') {
+                if let Ok(i) = idx.parse::<usize>() {
+                    dim_files.push((i, p));
+                }
+            }
+        }
+    }
+    if dim_files.is_empty() {
+        return Err("no dimN_*.csv files found".into());
+    }
+    dim_files.sort();
+    let mut dims = Vec::with_capacity(dim_files.len());
+    for (i, p) in &dim_files {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let rows = parse_csv(&text);
+        let (header, body) = rows.split_first().ok_or("empty dimension file")?;
+        let level_names: Vec<&str> = header.iter().map(String::as_str).collect();
+        let body_text = body
+            .iter()
+            .map(|r| r.iter().map(|f| quote(f)).collect::<Vec<_>>().join(","))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let name = p
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.split_once('_'))
+            .map(|(_, n)| n.to_string())
+            .unwrap_or_else(|| format!("dim{i}"));
+        dims.push(Arc::new(hierarchy_from_csv(&name, &level_names, &body_text)?));
+    }
+    let schema = Arc::new(Schema::new(dims, "measure"));
+    let facts_path = dir.join("facts.csv");
+    let text = std::fs::read_to_string(&facts_path)
+        .map_err(|e| format!("{}: {e}", facts_path.display()))?;
+    // The written header uses the generated dimension names; re-ingested
+    // hierarchies are named after the files, so rewrite the header to the
+    // schema's names and map columns positionally.
+    let rows = parse_csv(&text);
+    let (header, _) = rows.split_first().ok_or("empty facts.csv")?;
+    if header.len() != schema.k() + 2 {
+        return Err("facts.csv column count mismatch".into());
+    }
+    let dims: Vec<String> = (0..schema.k()).map(|d| schema.dim(d).name().to_string()).collect();
+    let mut fixed = format!("id,{},measure\n", dims.join(","));
+    for line in text.lines().skip(1) {
+        fixed.push_str(line);
+        fixed.push('\n');
+    }
+    let table = facts_from_csv(schema.clone(), &fixed)?;
+    Ok((schema, table))
+}
+
+/// Quote a CSV field when it needs escaping.
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +405,17 @@ mod tests {
         assert!(err.contains("measure"), "{err}");
         let err = facts_from_csv(schema, "id,Nope,Automobile,Sales\n").unwrap_err();
         assert!(err.contains("Nope"), "{err}");
+    }
+
+    #[test]
+    fn dataset_dir_round_trips() {
+        let dir = iolap_storage::TempDir::new("csv-dataset").unwrap();
+        let table = paper_example::table1();
+        write_dataset(&table, dir.path()).unwrap();
+        let (schema, back) = read_dataset(dir.path()).unwrap();
+        assert_eq!(schema.k(), 2);
+        assert_eq!(back.facts(), table.facts());
+        assert!(read_dataset(&dir.path().join("nope")).is_err());
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! The generic HTTP engine: one reactor thread plus a worker pool,
+//! parameterized over a [`Handler`] so the same event-driven core serves
+//! both the single-node query server and the cluster router.
+//!
+//! The engine owns everything transport-shaped — accepting, parsing,
+//! shedding, timeouts, panic isolation, graceful drain — and knows
+//! nothing about snapshots, caches, or shards. A handler receives one
+//! fully-parsed [`Request`] and returns `(status, content-type, body)`;
+//! the engine counts it, times it, and writes it.
+//!
+//! Engine metrics are registered under a caller-chosen prefix
+//! (`serve.*` for the single-node server, `cluster.*` for the router),
+//! so the two planes stay distinguishable in one Prometheus scrape.
+
+use crate::http::{response_bytes, Request};
+use crate::reactor::{write_nonblocking, Completion, Reactor, ReadyRequest, WriteOutcome};
+use crate::server::ServeConfig;
+use crate::sys::Waker;
+use crate::wire::ServeError;
+use iolap_obs::{Counter, Gauge, Histogram, Obs};
+use std::net::{SocketAddr, TcpListener};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One HTTP response: status, content type, body.
+pub type Response = (u16, &'static str, String);
+
+/// Application logic behind the engine: map one parsed request to a
+/// response. Called concurrently from every worker thread; panics are
+/// caught and answered with a `500`.
+pub trait Handler: Send + Sync + 'static {
+    /// Answer one request.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+/// Transport-level metric handles, resolved once at startup under a
+/// name prefix (hot paths never re-hash names).
+pub(crate) struct EngineMetrics {
+    pub(crate) requests: Counter,
+    pub(crate) resp_ok: Counter,
+    pub(crate) resp_client_error: Counter,
+    pub(crate) resp_server_error: Counter,
+    pub(crate) shed: Counter,
+    pub(crate) panics: Counter,
+    /// Depth of the ready-request queue (requests parsed by the reactor
+    /// but not yet picked up by a worker).
+    pub(crate) queue_depth: Gauge,
+    /// Live connection count owned by the reactor.
+    pub(crate) connections: Gauge,
+    pub(crate) latency_us: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(obs: &Obs, prefix: &str) -> Self {
+        let c = |n: String| obs.counter(&n).expect("engine obs is always enabled");
+        EngineMetrics {
+            requests: c(format!("{prefix}.requests")),
+            resp_ok: c(format!("{prefix}.responses.ok")),
+            resp_client_error: c(format!("{prefix}.responses.client_error")),
+            resp_server_error: c(format!("{prefix}.responses.server_error")),
+            shed: c(format!("{prefix}.shed")),
+            panics: c(format!("{prefix}.panics")),
+            queue_depth: obs.gauge(&format!("{prefix}.queue.depth")).expect("enabled"),
+            connections: obs.gauge(&format!("{prefix}.connections")).expect("enabled"),
+            latency_us: obs.histogram(&format!("{prefix}.latency_us")).expect("enabled"),
+        }
+    }
+}
+
+/// State shared by the reactor and every worker.
+pub(crate) struct EngineShared {
+    pub(crate) metrics: EngineMetrics,
+    pub(crate) shutdown: AtomicBool,
+    handler: Arc<dyn Handler>,
+}
+
+/// Classify a status into the ok / client-error / server-error counters.
+pub(crate) fn count_status(shared: &EngineShared, status: u16) {
+    match status {
+        200..=299 => shared.metrics.resp_ok.inc(),
+        400..=499 => shared.metrics.resp_client_error.inc(),
+        _ => shared.metrics.resp_server_error.inc(),
+    }
+}
+
+/// A running engine. Dropping it (or calling [`stop`](EngineHandle::stop))
+/// drains in-flight responses and joins the reactor and workers.
+pub struct EngineHandle {
+    addr: SocketAddr,
+    shared: Arc<EngineShared>,
+    waker: Arc<Waker>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl EngineHandle {
+    /// The bound address (useful with `:0` for an OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain in-flight responses, join every thread.
+    /// Idempotent; also runs on drop.
+    pub fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for EngineHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind `addr` and start the reactor plus `cfg.workers` worker threads
+/// running `handler`. Transport metrics register under `prefix`. Thread
+/// names start with `name` (`iolap-<name>-reactor`, …).
+pub fn start(
+    addr: &str,
+    cfg: &ServeConfig,
+    name: &str,
+    prefix: &str,
+    obs: &Obs,
+    handler: Arc<dyn Handler>,
+) -> Result<EngineHandle, ServeError> {
+    let metrics = EngineMetrics::new(obs, prefix);
+    let shared = Arc::new(EngineShared { metrics, shutdown: AtomicBool::new(false), handler });
+
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let waker = Arc::new(Waker::new()?);
+
+    let (work_tx, work_rx) = mpsc::sync_channel::<ReadyRequest>(cfg.queue_depth.max(1));
+    let (done_tx, done_rx) = mpsc::channel::<Completion>();
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    let mut threads = Vec::with_capacity(cfg.workers + 1);
+
+    for i in 0..cfg.workers.max(1) {
+        let rx = work_rx.clone();
+        let sh = shared.clone();
+        let done = done_tx.clone();
+        let wk = waker.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("iolap-{name}-worker-{i}"))
+                .spawn(move || worker_main(rx, sh, done, wk))
+                .map_err(ServeError::Io)?,
+        );
+    }
+    drop(done_tx); // reactor's done_rx disconnects when workers exit
+
+    let reactor =
+        Reactor::new(listener, waker.clone(), work_tx, done_rx, shared.clone(), cfg.clone())?;
+    threads.push(
+        std::thread::Builder::new()
+            .name(format!("iolap-{name}-reactor"))
+            .spawn(move || reactor.run())
+            .map_err(ServeError::Io)?,
+    );
+
+    Ok(EngineHandle { addr: local, shared, waker, threads })
+}
+
+fn worker_main(
+    rx: Arc<Mutex<Receiver<ReadyRequest>>>,
+    shared: Arc<EngineShared>,
+    done_tx: Sender<Completion>,
+    waker: Arc<Waker>,
+) {
+    loop {
+        let job = {
+            let rx = rx.lock().unwrap_or_else(|p| p.into_inner());
+            match rx.recv() {
+                Ok(j) => j,
+                Err(_) => return, // reactor gone, queue drained
+            }
+        };
+        shared.metrics.queue_depth.add(-1);
+        shared.metrics.requests.inc();
+
+        let t0 = Instant::now();
+        let handler = shared.handler.clone();
+        let out = catch_unwind(AssertUnwindSafe(|| handler.handle(&job.req)));
+        let (status, content_type, body) = out.unwrap_or_else(|_| {
+            shared.metrics.panics.inc();
+            let (status, body) = ServeError::Internal("internal error".into()).to_response();
+            (status, "application/json", body)
+        });
+        shared.metrics.latency_us.observe(t0.elapsed().as_micros() as u64);
+        count_status(&shared, status);
+
+        let keep_alive = job.req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+        let bytes = response_bytes(status, content_type, body.as_bytes(), keep_alive);
+        // Write straight to the socket — the reactor holds this
+        // connection's interest at zero until our completion arrives, so
+        // the two threads never touch the stream concurrently.
+        let outcome = match write_nonblocking(&job.stream, &bytes, 0) {
+            Ok(off) if off == bytes.len() => WriteOutcome::Done { keep_alive },
+            Ok(off) => WriteOutcome::Blocked { bytes, off, keep_alive },
+            Err(_) => WriteOutcome::Failed,
+        };
+        drop(job.stream);
+        if done_tx.send(Completion { conn_id: job.conn_id, outcome }).is_err() {
+            return;
+        }
+        waker.wake();
+    }
+}

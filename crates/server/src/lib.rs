@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod engine;
 pub mod http;
 mod reactor;
 pub mod server;
@@ -54,6 +55,7 @@ mod sys;
 pub mod wire;
 
 pub use cache::{CacheKey, CachedResult, ShardedCache};
+pub use engine::{EngineHandle, Handler, Response};
 pub use server::{
     http_roundtrip, read_response, ServeConfig, ServeConfigBuilder, ServeError, Server,
     ServerBuilder, ServerHandle, ShedPolicy,

@@ -33,8 +33,9 @@
 //! connection count is bounded by memory and `max_connections`, not by
 //! the worker count.
 
+use crate::engine::{count_status, EngineShared};
 use crate::http::{response_bytes, try_parse, ParseStatus, ReadError, Request};
-use crate::server::{count_status, ServeConfig, Shared, ShedPolicy};
+use crate::server::{ServeConfig, ShedPolicy};
 use crate::sys::{Event, Interest, Poller, Waker};
 use crate::wire::ServeError;
 use std::collections::HashMap;
@@ -148,7 +149,7 @@ pub(crate) struct Reactor {
     next_id: u64,
     ready_tx: Option<SyncSender<ReadyRequest>>,
     done_rx: Receiver<Completion>,
-    shared: Arc<Shared>,
+    shared: Arc<EngineShared>,
     cfg: ServeConfig,
     draining: bool,
 }
@@ -159,7 +160,7 @@ impl Reactor {
         waker: Arc<Waker>,
         ready_tx: SyncSender<ReadyRequest>,
         done_rx: Receiver<Completion>,
-        shared: Arc<Shared>,
+        shared: Arc<EngineShared>,
         cfg: ServeConfig,
     ) -> std::io::Result<Reactor> {
         listener.set_nonblocking(true)?;

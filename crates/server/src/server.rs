@@ -26,26 +26,24 @@
 //! sender stops the coordinator.
 
 use crate::cache::{CacheKey, CachedResult, ShardedCache};
-use crate::http::{response_bytes, Request};
-use crate::reactor::{write_nonblocking, Completion, Reactor, ReadyRequest, WriteOutcome};
+use crate::engine::{self, EngineHandle, Handler, Response};
+use crate::http::Request;
 use crate::snapshot::{resolve_level, resolve_region, EdbSnapshot};
-use crate::sys::Waker;
 use crate::wire;
 pub use crate::wire::ServeError;
 use iolap_core::maintain::EdbMutation;
 use iolap_core::{allocate, Algorithm, AllocConfig, MaintainableEdb, PolicySpec};
-use iolap_model::{Fact, FactId, FactTable, MAX_DIMS};
-use iolap_obs::{Counter, Gauge, Histogram, Obs};
+use iolap_model::{Fact, FactId, FactTable, RegionBox, MAX_DIMS};
+use iolap_obs::{Counter, Gauge, Obs};
 use iolap_query::{aggregate_classical, Query};
 use std::collections::HashSet;
 use std::io::{BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// What to do with a connection the server cannot take on: over
 /// `max_connections`, or a ready-request queue already full.
@@ -87,6 +85,9 @@ pub struct ServeConfig {
     /// Observability handle. A disabled handle is silently upgraded to
     /// [`Obs::metrics_only`] so `/metrics` always has something to say.
     pub obs: Obs,
+    /// The role this process reports in `/healthz` (`"single"` for a
+    /// standalone server, `"shard"` when serving one cluster shard).
+    pub role: String,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +104,7 @@ impl Default for ServeConfig {
             max_body_bytes: 1 << 20,
             shed: ShedPolicy::Respond503,
             obs: Obs::disabled(),
+            role: "single".into(),
         }
     }
 }
@@ -201,6 +203,12 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Role reported in `/healthz` (`"single"` or `"shard"`).
+    pub fn role(mut self, role: impl Into<String>) -> Self {
+        self.cfg.role = role.into();
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> ServeConfig {
         self.cfg
@@ -214,37 +222,35 @@ struct UpdateOutcome {
     report: iolap_core::UpdateReport,
 }
 
-struct UpdateJob {
-    muts: Vec<EdbMutation>,
-    reply: Sender<Result<UpdateOutcome, (u16, String)>>,
+/// One request to the update coordinator.
+enum CoordJob {
+    /// Apply a mutation batch. With `prepare`, the resulting snapshot is
+    /// *staged* (readers keep the old epoch) until a matching `Commit`.
+    Update {
+        muts: Vec<EdbMutation>,
+        prepare: bool,
+        reply: Sender<Result<UpdateOutcome, (u16, String)>>,
+    },
+    /// Publish the staged snapshot whose epoch matches.
+    Commit { epoch: u64, reply: Sender<Result<(u64, u64), (u16, String)>> },
 }
 
-/// Metric handles resolved once at startup (hot paths never re-hash
-/// names). The server's `Obs` is always at least metrics-only.
+/// Application-level metric handles resolved once at startup (hot paths
+/// never re-hash names); the transport-level handles live in the engine.
+/// The server's `Obs` is always at least metrics-only.
 pub(crate) struct ServeMetrics {
-    pub(crate) requests: Counter,
     req_query: Counter,
     req_rollup: Counter,
     req_update: Counter,
+    req_epoch: Counter,
     req_metrics: Counter,
     req_healthz: Counter,
-    pub(crate) resp_ok: Counter,
-    pub(crate) resp_client_error: Counter,
-    pub(crate) resp_server_error: Counter,
     cache_hit: Counter,
     cache_miss: Counter,
     cache_insert: Counter,
     cache_invalidated: Counter,
     cache_evicted: Counter,
-    pub(crate) shed: Counter,
-    pub(crate) panics: Counter,
-    /// Depth of the ready-request queue (requests parsed by the reactor
-    /// but not yet picked up by a worker).
-    pub(crate) queue_depth: Gauge,
-    /// Live connection count owned by the reactor.
-    pub(crate) connections: Gauge,
     epoch: Gauge,
-    pub(crate) latency_us: Histogram,
     /// Segment-layer counters for the answer path: pages actually
     /// scanned vs pages skipped by fence pruning, plus the published
     /// segment count and compactions run by the coordinator.
@@ -269,26 +275,18 @@ impl ServeMetrics {
     fn new(obs: &Obs) -> Self {
         let c = |n: &str| obs.counter(n).expect("server obs is always enabled");
         ServeMetrics {
-            requests: c("serve.requests"),
             req_query: c("serve.requests.query"),
             req_rollup: c("serve.requests.rollup"),
             req_update: c("serve.requests.update"),
+            req_epoch: c("serve.requests.epoch"),
             req_metrics: c("serve.requests.metrics"),
             req_healthz: c("serve.requests.healthz"),
-            resp_ok: c("serve.responses.ok"),
-            resp_client_error: c("serve.responses.client_error"),
-            resp_server_error: c("serve.responses.server_error"),
             cache_hit: c("serve.cache.hit"),
             cache_miss: c("serve.cache.miss"),
             cache_insert: c("serve.cache.insert"),
             cache_invalidated: c("serve.cache.invalidated"),
             cache_evicted: c("serve.cache.evicted"),
-            shed: c("serve.shed"),
-            panics: c("serve.panics"),
-            queue_depth: obs.gauge("serve.queue.depth").expect("enabled"),
-            connections: obs.gauge("serve.connections").expect("enabled"),
             epoch: obs.gauge("serve.epoch").expect("enabled"),
-            latency_us: obs.histogram("serve.latency_us").expect("enabled"),
             pages_read: c("edb.pages_read"),
             pages_pruned: c("edb.pages_pruned"),
             bytes_read: c("edb.bytes_read"),
@@ -315,15 +313,15 @@ fn compression_milli(segments: &[iolap_core::SegmentView]) -> i64 {
     }
 }
 
-/// State shared by every server thread.
+/// State shared by the request handlers and the coordinator.
 pub(crate) struct Shared {
     snapshot: Mutex<Arc<EdbSnapshot>>,
     cache: ShardedCache,
     cache_enabled: bool,
     obs: Obs,
     pub(crate) metrics: ServeMetrics,
-    update_tx: Mutex<Option<Sender<UpdateJob>>>,
-    pub(crate) shutdown: AtomicBool,
+    update_tx: Mutex<Option<Sender<CoordJob>>>,
+    role: String,
     /// Set when a maintenance batch failed partway: the EDB may be
     /// inconsistent with the published snapshot, so further `/update`s
     /// are refused (503) and `/healthz` reports degraded. Reads keep
@@ -418,7 +416,7 @@ impl ServerBuilder {
         // the readiness channel below.
         let (ready_tx, ready_rx) = mpsc::channel::<Result<Arc<EdbSnapshot>, String>>();
         let (shared_tx, shared_rx) = mpsc::channel::<Arc<Shared>>();
-        let (update_tx, update_rx) = mpsc::channel::<UpdateJob>();
+        let (update_tx, update_rx) = mpsc::channel::<CoordJob>();
         let coordinator = std::thread::Builder::new()
             .name("iolap-serve-coord".into())
             .spawn(move || coordinator_main(table, policy, alloc, ready_tx, shared_rx, update_rx))
@@ -446,47 +444,27 @@ impl ServerBuilder {
             obs: obs.clone(),
             metrics,
             update_tx: Mutex::new(Some(update_tx)),
-            shutdown: AtomicBool::new(false),
+            role: cfg.role.clone(),
             poisoned: AtomicBool::new(false),
         });
         // Hand the coordinator its view of the shared state; it only now
         // enters the update loop.
         let _ = shared_tx.send(shared.clone());
 
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let waker = Arc::new(Waker::new()?);
+        let app = Arc::new(ServerApp { shared: shared.clone() });
+        let engine = engine::start(addr, &cfg, "serve", "serve", &obs, app)?;
+        Ok(ServerHandle { shared, engine, coordinator: Some(coordinator) })
+    }
+}
 
-        let (work_tx, work_rx) = mpsc::sync_channel::<ReadyRequest>(cfg.queue_depth.max(1));
-        let (done_tx, done_rx) = mpsc::channel::<Completion>();
-        let work_rx = Arc::new(Mutex::new(work_rx));
-        let mut threads = Vec::with_capacity(cfg.workers + 2);
-        threads.push(coordinator);
+/// The single-node application behind the engine.
+struct ServerApp {
+    shared: Arc<Shared>,
+}
 
-        for i in 0..cfg.workers.max(1) {
-            let rx = work_rx.clone();
-            let sh = shared.clone();
-            let done = done_tx.clone();
-            let wk = waker.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("iolap-serve-worker-{i}"))
-                    .spawn(move || worker_main(rx, sh, done, wk))
-                    .map_err(ServeError::Io)?,
-            );
-        }
-        drop(done_tx); // reactor's done_rx disconnects when workers exit
-
-        let reactor =
-            Reactor::new(listener, waker.clone(), work_tx, done_rx, shared.clone(), cfg.clone())?;
-        threads.push(
-            std::thread::Builder::new()
-                .name("iolap-serve-reactor".into())
-                .spawn(move || reactor.run())
-                .map_err(ServeError::Io)?,
-        );
-
-        Ok(ServerHandle { addr: local, shared, waker, threads })
+impl Handler for ServerApp {
+    fn handle(&self, req: &Request) -> Response {
+        handle_request(req, &self.shared)
     }
 }
 
@@ -497,16 +475,15 @@ impl ServerBuilder {
 ///
 /// [`shutdown`]: ServerHandle::shutdown
 pub struct ServerHandle {
-    addr: SocketAddr,
     shared: Arc<Shared>,
-    waker: Arc<Waker>,
-    threads: Vec<JoinHandle<()>>,
+    engine: EngineHandle,
+    coordinator: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// The bound address (useful with `:0` for an OS-assigned port).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.engine.addr()
     }
 
     /// The observability handle (always at least metrics-only).
@@ -525,14 +502,14 @@ impl ServerHandle {
     }
 
     fn stop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Stop the coordinator: no sender, no more jobs.
+        // Stop the coordinator: no sender, no more jobs (in-flight
+        // requests hold clones; the coordinator exits when the engine
+        // drains them).
         self.shared.update_tx.lock().unwrap_or_else(|p| p.into_inner()).take();
-        // The reactor notices the flag at the next wakeup, closes parked
-        // connections itself, and drains in-flight responses.
-        self.waker.wake();
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+        // Drain in-flight responses, join the reactor and workers.
+        self.engine.stop();
+        if let Some(c) = self.coordinator.take() {
+            let _ = c.join();
         }
     }
 }
@@ -544,65 +521,8 @@ impl Drop for ServerHandle {
 }
 
 // ---------------------------------------------------------------------------
-// Workers
-// ---------------------------------------------------------------------------
-
-fn worker_main(
-    rx: Arc<Mutex<Receiver<ReadyRequest>>>,
-    shared: Arc<Shared>,
-    done_tx: Sender<Completion>,
-    waker: Arc<Waker>,
-) {
-    loop {
-        let job = {
-            let rx = rx.lock().unwrap_or_else(|p| p.into_inner());
-            match rx.recv() {
-                Ok(j) => j,
-                Err(_) => return, // reactor gone, queue drained
-            }
-        };
-        shared.metrics.queue_depth.add(-1);
-
-        let t0 = Instant::now();
-        let out = catch_unwind(AssertUnwindSafe(|| handle_request(&job.req, &shared)));
-        let (status, content_type, body) = out.unwrap_or_else(|_| {
-            shared.metrics.panics.inc();
-            err_response(ServeError::Internal("internal error".into()))
-        });
-        shared.metrics.latency_us.observe(t0.elapsed().as_micros() as u64);
-        count_status(&shared, status);
-
-        let keep_alive = job.req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
-        let bytes = response_bytes(status, content_type, body.as_bytes(), keep_alive);
-        // Write straight to the socket — the reactor holds this
-        // connection's interest at zero until our completion arrives, so
-        // the two threads never touch the stream concurrently.
-        let outcome = match write_nonblocking(&job.stream, &bytes, 0) {
-            Ok(off) if off == bytes.len() => WriteOutcome::Done { keep_alive },
-            Ok(off) => WriteOutcome::Blocked { bytes, off, keep_alive },
-            Err(_) => WriteOutcome::Failed,
-        };
-        drop(job.stream);
-        if done_tx.send(Completion { conn_id: job.conn_id, outcome }).is_err() {
-            return;
-        }
-        waker.wake();
-    }
-}
-
-pub(crate) fn count_status(shared: &Shared, status: u16) {
-    match status {
-        200..=299 => shared.metrics.resp_ok.inc(),
-        400..=499 => shared.metrics.resp_client_error.inc(),
-        _ => shared.metrics.resp_server_error.inc(),
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Request handling
 // ---------------------------------------------------------------------------
-
-type Response = (u16, &'static str, String);
 
 /// Route a [`ServeError`] through the one status + JSON body mapping.
 fn err_response(err: ServeError) -> Response {
@@ -611,13 +531,13 @@ fn err_response(err: ServeError) -> Response {
 }
 
 pub(crate) fn handle_request(req: &Request, shared: &Shared) -> Response {
-    shared.metrics.requests.inc();
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             shared.metrics.req_healthz.inc();
             let ok = !shared.poisoned.load(Ordering::Acquire);
             let status = if ok { 200 } else { 503 };
-            (status, "application/json", wire::health_response(shared.snapshot().epoch, ok))
+            let body = wire::health_response(shared.snapshot().epoch, ok, &shared.role);
+            (status, "application/json", body)
         }
         ("GET", "/metrics") => {
             shared.metrics.req_metrics.inc();
@@ -636,7 +556,11 @@ pub(crate) fn handle_request(req: &Request, shared: &Shared) -> Response {
             shared.metrics.req_update.inc();
             handle_update(&req.body, shared)
         }
-        (_, "/healthz" | "/metrics" | "/query" | "/rollup" | "/update") => {
+        ("POST", "/epoch") => {
+            shared.metrics.req_epoch.inc();
+            handle_commit(&req.body, shared)
+        }
+        (_, "/healthz" | "/metrics" | "/query" | "/rollup" | "/update" | "/epoch") => {
             err_response(ServeError::MethodNotAllowed("method not allowed".into()))
         }
         _ => err_response(ServeError::NotFound("no such endpoint".into())),
@@ -651,6 +575,35 @@ fn utf8_body(body: &[u8]) -> Result<&str, Response> {
     std::str::from_utf8(body).map_err(|_| bad_request("request body must be UTF-8"))
 }
 
+/// Resolve the request's region: an explicit `"box"` wins over the
+/// name-based `"region"` (the router sends clipped boxes; humans send
+/// names). The box must name exactly the schema's dimensions.
+fn request_region(
+    schema: &iolap_model::Schema,
+    at: &[(String, String)],
+    raw: &Option<Vec<(u32, u32)>>,
+) -> Result<RegionBox, String> {
+    match raw {
+        None => resolve_region(schema, at),
+        Some(b) => {
+            if b.len() != schema.k() {
+                return Err(format!(
+                    "\"box\" has {} intervals, schema has {}",
+                    b.len(),
+                    schema.k()
+                ));
+            }
+            let mut lo = [0u32; MAX_DIMS];
+            let mut hi = [0u32; MAX_DIMS];
+            for (d, (l, h)) in b.iter().enumerate() {
+                lo[d] = *l;
+                hi[d] = *h;
+            }
+            Ok(RegionBox { lo, hi, k: schema.k() as u8 })
+        }
+    }
+}
+
 fn handle_query(body: &[u8], shared: &Shared) -> Response {
     let body = match utf8_body(body) {
         Ok(b) => b,
@@ -661,10 +614,27 @@ fn handle_query(body: &[u8], shared: &Shared) -> Response {
         Err(msg) => return bad_request(&msg),
     };
     let snap = shared.snapshot();
-    let region = match resolve_region(&snap.schema, &q.at) {
+    let region = match request_region(&snap.schema, &q.at, &q.raw_box) {
         Ok(r) => r,
         Err(msg) => return bad_request(&msg),
     };
+
+    if q.parts {
+        // Scatter-gather leg: return the canonical (view, slab) chunks
+        // instead of the folded total, so the router can merge shards
+        // bit-identically. Not cached (the router caches at its level).
+        if q.classical.is_some() {
+            return bad_request("\"parts\" and \"classical\" are mutually exclusive");
+        }
+        let (parts, stats) = match snap.aggregate_parts(&region) {
+            Ok(ps) => ps,
+            Err(e) => return err_response(ServeError::Internal(format!("scan failed: {e}"))),
+        };
+        shared.metrics.pages_read.add(stats.pages_read);
+        shared.metrics.pages_pruned.add(stats.pages_pruned);
+        shared.metrics.bytes_read.add(stats.bytes_read);
+        return (200, "application/json", wire::parts_response(&parts, q.agg, snap.epoch));
+    }
 
     let key = CacheKey::new(&region, q.agg, q.classical);
     if shared.cache_enabled {
@@ -720,10 +690,30 @@ fn handle_rollup(body: &[u8], shared: &Shared) -> Response {
         Ok(dl) => dl,
         Err(msg) => return bad_request(&msg),
     };
-    let region = match resolve_region(&snap.schema, &r.at) {
+    let region = match request_region(&snap.schema, &r.at, &r.raw_box) {
         Ok(rg) => rg,
         Err(msg) => return bad_request(&msg),
     };
+    if r.parts || r.plan == wire::RollupPlan::Scan {
+        // The chunked scan plan: per-row (view, slab) chunks folded in
+        // canonical order. This is the cluster-mergeable contract — a
+        // router merge over shard parts is bit-identical to this plan on
+        // a single node (the lattice plan groups additions differently).
+        let (rows, stats) = match snap.rollup_scan_parts(dim, level, Some(&region)) {
+            Ok(rs) => rs,
+            Err(e) => return err_response(ServeError::Internal(format!("scan failed: {e}"))),
+        };
+        shared.metrics.pages_read.add(stats.pages_read);
+        shared.metrics.pages_pruned.add(stats.pages_pruned);
+        shared.metrics.bytes_read.add(stats.bytes_read);
+        let body = if r.parts {
+            wire::rollup_parts_response(&rows, r.agg, snap.epoch)
+        } else {
+            let rows = iolap_query::finish_rollup_parts(&rows, r.agg);
+            wire::rollup_response(&rows, r.agg, snap.epoch)
+        };
+        return (200, "application/json", body);
+    }
     let (rows, stats) = match snap.rollup(dim, level, Some(&region), r.agg) {
         Ok(rs) => rs,
         Err(e) => {
@@ -743,13 +733,13 @@ fn handle_update(body: &[u8], shared: &Shared) -> Response {
         Ok(b) => b,
         Err(r) => return r,
     };
-    let reqs = match wire::parse_update(body) {
+    let upd = match wire::parse_update(body) {
         Ok(m) => m,
         Err(msg) => return bad_request(&msg),
     };
     let snap = shared.snapshot();
-    let mut muts = Vec::with_capacity(reqs.len());
-    for (i, m) in reqs.into_iter().enumerate() {
+    let mut muts = Vec::with_capacity(upd.muts.len());
+    for (i, m) in upd.muts.into_iter().enumerate() {
         muts.push(match m {
             wire::MutationReq::Update { fact_id, measure } => {
                 EdbMutation::UpdateMeasure { fact_id, new_measure: measure }
@@ -790,7 +780,7 @@ fn handle_update(body: &[u8], shared: &Shared) -> Response {
         return err_response(ServeError::Unavailable("server is shutting down".into()));
     };
     let (reply_tx, reply_rx) = mpsc::channel();
-    if tx.send(UpdateJob { muts, reply: reply_tx }).is_err() {
+    if tx.send(CoordJob::Update { muts, prepare: upd.prepare, reply: reply_tx }).is_err() {
         return err_response(ServeError::Unavailable("server is shutting down".into()));
     }
     match reply_rx.recv() {
@@ -812,6 +802,40 @@ fn handle_update(body: &[u8], shared: &Shared) -> Response {
     }
 }
 
+/// `POST /epoch` — publish the staged snapshot prepared by a
+/// `{"prepare": true}` update (phase two of the cluster's cross-shard
+/// epoch flip).
+fn handle_commit(body: &[u8], shared: &Shared) -> Response {
+    let body = match utf8_body(body) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let epoch = match wire::parse_commit(body) {
+        Ok(e) => e,
+        Err(msg) => return bad_request(&msg),
+    };
+    if shared.poisoned.load(Ordering::Acquire) {
+        return err_response(ServeError::Unavailable(
+            "maintenance failed earlier; updates disabled (reads still serve the last consistent snapshot)".into(),
+        ));
+    }
+    let tx = shared.update_tx.lock().unwrap_or_else(|p| p.into_inner()).clone();
+    let Some(tx) = tx else {
+        return err_response(ServeError::Unavailable("server is shutting down".into()));
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if tx.send(CoordJob::Commit { epoch, reply: reply_tx }).is_err() {
+        return err_response(ServeError::Unavailable("server is shutting down".into()));
+    }
+    match reply_rx.recv() {
+        Ok(Ok((epoch, invalidated))) => {
+            (200, "application/json", wire::commit_response(epoch, invalidated))
+        }
+        Ok(Err((status, msg))) => err_response(ServeError::from_status(status, msg)),
+        Err(_) => err_response(ServeError::Internal("update coordinator died".into())),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Update coordinator
 // ---------------------------------------------------------------------------
@@ -822,7 +846,7 @@ fn coordinator_main(
     alloc: AllocConfig,
     ready_tx: Sender<Result<Arc<EdbSnapshot>, String>>,
     shared_rx: Receiver<Arc<Shared>>,
-    update_rx: Receiver<UpdateJob>,
+    update_rx: Receiver<CoordJob>,
 ) {
     // Build the initial allocation. Maintenance requires Transitive (the
     // component index is piggybacked on its component-processing step).
@@ -865,43 +889,102 @@ fn coordinator_main(
     let mut live_ids: HashSet<FactId> = mirror.facts().iter().map(|f| f.id).collect();
     let mut epoch = 0u64;
     let mut compactions_seen = medb.num_compactions();
+    let mut staged: Option<Staged> = None;
 
     while let Ok(job) = update_rx.recv() {
-        if shared.poisoned.load(Ordering::Acquire) {
-            let _ = job.reply.send(Err((
-                503,
-                "maintenance failed earlier; updates disabled (reads still serve the last consistent snapshot)".into(),
-            )));
-            continue;
-        }
-        let result = match apply_job(
-            &mut medb,
-            &mut mirror,
-            &mut live_ids,
-            &mut epoch,
-            &shared,
-            &job.muts,
-        ) {
-            Ok(out) => Ok(out),
-            Err(ApplyError::Reject(status, msg)) => Err((status, msg)),
-            Err(ApplyError::Poison(msg)) => {
-                // apply_batch / snapshot_segments failed partway:
-                // the EDB may disagree with mirror/live_ids and with
-                // the published snapshot, and apply_batch has no
-                // rollback. Continuing would let the next successful
-                // update publish a snapshot silently containing the
-                // half-applied batch. Poison instead: reads keep the
-                // last consistent snapshot, writes get 503.
-                shared.poisoned.store(true, Ordering::Release);
-                Err((500, msg))
+        match job {
+            CoordJob::Update { muts, prepare, reply } => {
+                if shared.poisoned.load(Ordering::Acquire) {
+                    let _ = reply.send(Err((
+                        503,
+                        "maintenance failed earlier; updates disabled (reads still serve the last consistent snapshot)".into(),
+                    )));
+                    continue;
+                }
+                if staged.is_some() {
+                    // apply_batch has no rollback, so a second batch on
+                    // top of an uncommitted one could never be abandoned;
+                    // refuse instead.
+                    let _ = reply.send(Err((409, "a prepared batch is pending commit".into())));
+                    continue;
+                }
+                let result = match apply_job(
+                    &mut medb,
+                    &mut mirror,
+                    &mut live_ids,
+                    &mut epoch,
+                    &shared,
+                    &muts,
+                    prepare,
+                    &mut staged,
+                ) {
+                    Ok(out) => Ok(out),
+                    Err(ApplyError::Reject(status, msg)) => Err((status, msg)),
+                    Err(ApplyError::Poison(msg)) => {
+                        // apply_batch / snapshot_segments failed partway:
+                        // the EDB may disagree with mirror/live_ids and with
+                        // the published snapshot, and apply_batch has no
+                        // rollback. Continuing would let the next successful
+                        // update publish a snapshot silently containing the
+                        // half-applied batch. Poison instead: reads keep the
+                        // last consistent snapshot, writes get 503.
+                        shared.poisoned.store(true, Ordering::Release);
+                        Err((500, msg))
+                    }
+                };
+                // Surface segment-layer maintenance work done by this batch.
+                let now = medb.num_compactions();
+                shared.metrics.edb_compactions.add(now - compactions_seen);
+                compactions_seen = now;
+                let _ = reply.send(result);
             }
-        };
-        // Surface segment-layer maintenance work done by this batch.
-        let now = medb.num_compactions();
-        shared.metrics.edb_compactions.add(now - compactions_seen);
-        compactions_seen = now;
-        let _ = job.reply.send(result);
+            CoordJob::Commit { epoch: want, reply } => {
+                let result = match staged.take() {
+                    None => Err((409, "no prepared batch to commit".into())),
+                    Some(s) if s.epoch != want => {
+                        let msg =
+                            format!("prepared epoch {} does not match commit {want}", s.epoch);
+                        staged = Some(s);
+                        Err((409, msg))
+                    }
+                    Some(s) => {
+                        let invalidated = publish(&shared, s.epoch, &s.snap, &s.touched);
+                        Ok((s.epoch, invalidated))
+                    }
+                };
+                let _ = reply.send(result);
+            }
+        }
     }
+}
+
+/// A prepared-but-unpublished epoch: the EDB has already applied the
+/// batch, readers still see the previous snapshot.
+struct Staged {
+    epoch: u64,
+    snap: Arc<EdbSnapshot>,
+    touched: Vec<iolap_rtree::Aabb>,
+}
+
+/// Publish a snapshot: open the cache epoch, purge overlapping entries,
+/// sync the gauges, then swap the snapshot readers clone.
+fn publish(
+    shared: &Shared,
+    epoch: u64,
+    snap: &Arc<EdbSnapshot>,
+    touched: &[iolap_rtree::Aabb],
+) -> u64 {
+    // Publication order matters: open the epoch (stale inserts start
+    // dropping), purge overlapping entries, then publish the snapshot.
+    shared.cache.begin_epoch(epoch);
+    let invalidated = shared.cache.invalidate_overlapping(touched);
+    shared.metrics.cache_invalidated.add(invalidated);
+    shared.metrics.edb_segments.set(snap.segments.len() as i64);
+    shared.metrics.compression_ratio.set(compression_milli(&snap.segments));
+    shared.metrics.cuboid_bytes.set(snap.lattice.as_ref().map_or(0, |l| l.encoded_bytes()) as i64);
+    *shared.snapshot.lock().unwrap_or_else(|p| p.into_inner()) = snap.clone();
+    shared.metrics.epoch.set(epoch as i64);
+    invalidated
 }
 
 /// How an update batch failed.
@@ -913,6 +996,7 @@ enum ApplyError {
     Poison(String),
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_job(
     medb: &mut MaintainableEdb,
     mirror: &mut FactTable,
@@ -920,6 +1004,8 @@ fn apply_job(
     epoch: &mut u64,
     shared: &Shared,
     muts: &[EdbMutation],
+    prepare: bool,
+    staged: &mut Option<Staged>,
 ) -> Result<UpdateOutcome, ApplyError> {
     // Pre-validate against the live id set so a bad batch is rejected
     // before any state mutates (apply_batch has no rollback).
@@ -984,14 +1070,6 @@ fn apply_job(
     let lattice = medb.snapshot_lattice().ok();
 
     *epoch += 1;
-    // Publication order matters: open the epoch (stale inserts start
-    // dropping), purge overlapping entries, then publish the snapshot.
-    shared.cache.begin_epoch(*epoch);
-    let invalidated = shared.cache.invalidate_overlapping(&report.touched);
-    shared.metrics.cache_invalidated.add(invalidated);
-    shared.metrics.edb_segments.set(segments.len() as i64);
-    shared.metrics.compression_ratio.set(compression_milli(&segments));
-    shared.metrics.cuboid_bytes.set(lattice.as_ref().map_or(0, |l| l.encoded_bytes()) as i64);
     let snap = Arc::new(EdbSnapshot {
         epoch: *epoch,
         schema: medb.schema().clone(),
@@ -999,9 +1077,14 @@ fn apply_job(
         segments,
         lattice,
     });
-    *shared.snapshot.lock().unwrap_or_else(|p| p.into_inner()) = snap;
-    shared.metrics.epoch.set(*epoch as i64);
-
+    if prepare {
+        // Phase one of the cluster's two-phase publish: the EDB has the
+        // batch, readers keep the previous epoch until `POST /epoch`
+        // commits. Nothing is invalidated yet.
+        *staged = Some(Staged { epoch: *epoch, snap, touched: report.touched.clone() });
+        return Ok(UpdateOutcome { epoch: *epoch, invalidated: 0, report });
+    }
+    let invalidated = publish(shared, *epoch, &snap, &report.touched);
     Ok(UpdateOutcome { epoch: *epoch, invalidated, report })
 }
 

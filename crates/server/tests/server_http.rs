@@ -36,6 +36,81 @@ fn healthz_reports_ok_and_epoch_zero() {
     let v = iolap_obs::json::parse(&body).unwrap();
     assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
     assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(0));
+    assert_eq!(v.get("role").and_then(|r| r.as_str()), Some("single"));
+    h.shutdown();
+}
+
+#[test]
+fn configured_role_shows_in_healthz() {
+    let h = start(ServeConfig::builder().role("shard").build());
+    let mut c = connect(&h);
+    let (status, body) = http_roundtrip(&mut c, "GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = iolap_obs::json::parse(&body).unwrap();
+    assert_eq!(v.get("role").and_then(|r| r.as_str()), Some("shard"), "{body}");
+    h.shutdown();
+}
+
+#[test]
+fn two_phase_update_stages_then_commits() {
+    let h = start(ServeConfig::default());
+    let mut c = connect(&h);
+    let query = "{\"region\":{\"Location\":\"MA\"}}";
+    let (_, before) = http_roundtrip(&mut c, "POST", "/query", query).unwrap();
+
+    // Phase 1: prepare. The batch applies and stages epoch 1, but
+    // readers keep epoch 0 and the old bits.
+    let upd =
+        "{\"prepare\":true,\"mutations\":[{\"op\":\"update\",\"fact_id\":2,\"measure\":500.0}]}";
+    let (status, body) = http_roundtrip(&mut c, "POST", "/update", upd).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = iolap_obs::json::parse(&body).unwrap();
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(1), "{body}");
+    assert_eq!(v.get("invalidated").and_then(|i| i.as_u64()), Some(0), "staged, not published");
+    let (_, hb) = http_roundtrip(&mut c, "GET", "/healthz", "").unwrap();
+    let v = iolap_obs::json::parse(&hb).unwrap();
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(0), "readers still at epoch 0");
+    let (_, staged_read) = http_roundtrip(&mut c, "POST", "/query", query).unwrap();
+    // The second read is a cache hit; compare everything but the flag.
+    assert_eq!(
+        staged_read.replace("\"cached\":true", "\"cached\":false"),
+        before.replace("\"cached\":true", "\"cached\":false"),
+        "staged batch is invisible to readers"
+    );
+
+    let assert_conflict = |status: u16, body: &str| {
+        assert_eq!(status, 409, "{body}");
+        let v = iolap_obs::json::parse(body).unwrap();
+        assert_eq!(v.get("code").and_then(|c| c.as_str()), Some("conflict"), "{body}");
+        assert_eq!(v.get("status").and_then(|s| s.as_u64()), Some(409), "{body}");
+        assert!(v.get("error").and_then(|m| m.as_str()).is_some(), "{body}");
+    };
+
+    // A second update while one is staged conflicts, as does committing
+    // the wrong epoch.
+    let upd2 = "{\"mutations\":[{\"op\":\"update\",\"fact_id\":3,\"measure\":1.0}]}";
+    let (status, body) = http_roundtrip(&mut c, "POST", "/update", upd2).unwrap();
+    assert_conflict(status, &body);
+    let (status, body) = http_roundtrip(&mut c, "POST", "/epoch", "{\"commit\":7}").unwrap();
+    assert_conflict(status, &body);
+
+    // Phase 2: commit publishes epoch 1 and the new bits.
+    let (status, body) = http_roundtrip(&mut c, "POST", "/epoch", "{\"commit\":1}").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (_, hb) = http_roundtrip(&mut c, "GET", "/healthz", "").unwrap();
+    let v = iolap_obs::json::parse(&hb).unwrap();
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(1), "{hb}");
+    let (_, after) = http_roundtrip(&mut c, "POST", "/query", query).unwrap();
+    assert_ne!(after, before, "committed batch is visible");
+
+    // Nothing staged: a commit is a conflict. Non-prepared updates keep
+    // publishing immediately.
+    let (status, body) = http_roundtrip(&mut c, "POST", "/epoch", "{\"commit\":2}").unwrap();
+    assert_conflict(status, &body);
+    let (status, body) = http_roundtrip(&mut c, "POST", "/update", upd2).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = iolap_obs::json::parse(&body).unwrap();
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(2), "{body}");
     h.shutdown();
 }
 

@@ -15,11 +15,10 @@
 
 use crate::error::{Error, Result, ResultExt};
 use iolap_core::{allocate, Algorithm, AllocConfig, AllocationRun, PolicySpec};
-use iolap_model::csv::{facts_from_csv, hierarchy_from_csv, parse_csv};
 use iolap_model::{FactTable, Schema};
 use iolap_obs::Obs;
 use iolap_serve::{Server, ServerHandle};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::Arc;
 
 /// A configured imprecise-OLAP database: one fact table plus the knobs of
@@ -115,84 +114,10 @@ impl Iolap {
     }
 }
 
-/// Load `dimN_*.csv` + `facts.csv` from a directory.
+/// Load `dimN_*.csv` + `facts.csv` from a directory (the layout written
+/// by [`iolap_model::csv::write_dataset`]).
 fn load_dataset(dir: &Path) -> Result<(Arc<Schema>, FactTable)> {
-    let mut dim_files: Vec<(usize, PathBuf)> = Vec::new();
-    for entry in std::fs::read_dir(dir)? {
-        let p = entry?.path();
-        let name = p.file_name().and_then(|s| s.to_str()).unwrap_or("").to_string();
-        if let Some(rest) = name.strip_prefix("dim") {
-            if let Some((idx, _)) = rest.split_once('_') {
-                if let Ok(i) = idx.parse::<usize>() {
-                    dim_files.push((i, p));
-                }
-            }
-        }
-    }
-    if dim_files.is_empty() {
-        return Err(Error::data("no dimN_*.csv files found"));
-    }
-    dim_files.sort();
-    let mut dims = Vec::with_capacity(dim_files.len());
-    for (i, p) in &dim_files {
-        let text = std::fs::read_to_string(p)?;
-        let rows = parse_csv(&text);
-        let (header, body) =
-            rows.split_first().ok_or_else(|| Error::data("empty dimension file"))?;
-        let level_names: Vec<&str> = header.iter().map(String::as_str).collect();
-        let body_text = body
-            .iter()
-            .map(|r| r.iter().map(|f| csv_quote(f)).collect::<Vec<_>>().join(","))
-            .collect::<Vec<_>>()
-            .join("\n");
-        // Dimension name from the file name suffix.
-        let name = p
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .and_then(|s| s.split_once('_'))
-            .map(|(_, n)| n.to_string())
-            .unwrap_or_else(|| format!("dim{i}"));
-        dims.push(Arc::new(hierarchy_from_csv(&name, &level_names, &body_text)?));
-    }
-    let schema = Arc::new(Schema::new(dims, "measure"));
-    let facts_text = std::fs::read_to_string(dir.join("facts.csv"))?;
-    let table = facts_from_csv_with_positional_dims(schema.clone(), &facts_text)?;
-    Ok((schema, table))
-}
-
-/// `facts.csv` written by `iolap gen` uses the generated dimension names
-/// in its header; re-ingested hierarchies are named after the files, so
-/// map the columns positionally instead of by name.
-fn facts_from_csv_with_positional_dims(schema: Arc<Schema>, text: &str) -> Result<FactTable> {
-    // Rewrite the header to the schema's dimension names, then reuse the
-    // by-name loader.
-    let rows = parse_csv(text);
-    let (header, _) = rows.split_first().ok_or_else(|| Error::data("empty facts.csv"))?;
-    if header.len() != schema.k() + 2 {
-        return Err(Error::data("facts.csv column count mismatch"));
-    }
-    let mut fixed = String::new();
-    let dims: Vec<String> = (0..schema.k()).map(|d| schema.dim(d).name().to_string()).collect();
-    fixed.push_str(&format!("id,{},measure\n", dims.join(",")));
-    let mut first = true;
-    for line in text.lines() {
-        if first {
-            first = false;
-            continue;
-        }
-        fixed.push_str(line);
-        fixed.push('\n');
-    }
-    Ok(facts_from_csv(schema, &fixed)?)
-}
-
-/// Re-quote a CSV field when it needs escaping.
-pub(crate) fn csv_quote(s: &str) -> String {
-    if s.contains(',') || s.contains('"') || s.contains('\n') {
-        format!("\"{}\"", s.replace('"', "\"\""))
-    } else {
-        s.to_string()
-    }
+    iolap_model::csv::read_dataset(dir).map_err(Error::data)
 }
 
 #[cfg(test)]

@@ -253,6 +253,8 @@ fn serve_accepts_the_full_flag_matrix() {
         .spawn()
         .expect("spawn serve");
 
+    // The bound address is the first stdout line (the --addr host:0
+    // contract scripts rely on).
     let mut stdout = child.stdout.take().unwrap();
     let mut seen = String::new();
     let addr = loop {
@@ -260,8 +262,8 @@ fn serve_accepts_the_full_flag_matrix() {
         let n = stdout.read(&mut buf).expect("read serve stdout");
         assert!(n > 0, "serve exited early: {seen}");
         seen.push_str(&String::from_utf8_lossy(&buf[..n]));
-        if let Some(line) = seen.lines().find(|l| l.contains("listening on http://")) {
-            break line.split("http://").nth(1).unwrap().trim().to_string();
+        if let Some((line, _)) = seen.split_once('\n') {
+            break line.trim().to_string();
         }
     };
 
@@ -298,7 +300,7 @@ fn serve_answers_queries_until_stdin_closes() {
         .spawn()
         .expect("spawn serve");
 
-    // Scrape the bound address from the "listening on" line.
+    // The bound address is the first stdout line.
     let mut stdout = child.stdout.take().unwrap();
     let mut seen = String::new();
     let addr = loop {
@@ -306,8 +308,8 @@ fn serve_answers_queries_until_stdin_closes() {
         let n = stdout.read(&mut buf).expect("read serve stdout");
         assert!(n > 0, "serve exited early: {seen}");
         seen.push_str(&String::from_utf8_lossy(&buf[..n]));
-        if let Some(line) = seen.lines().find(|l| l.contains("listening on http://")) {
-            break line.split("http://").nth(1).unwrap().trim().to_string();
+        if let Some((line, _)) = seen.split_once('\n') {
+            break line.trim().to_string();
         }
     };
 

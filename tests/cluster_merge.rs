@@ -1,0 +1,260 @@
+//! The cluster merge contract, as a property: over random fact tables,
+//! random dimension-0 shard partitions (including empty intervals and
+//! shards whose interval holds no entries), and random query boxes, the
+//! scatter-gather recombination the router performs — clip the box to
+//! each shard's interval, collect per-shard chunk lists, concatenate,
+//! re-sort by `(view, slab)`, fold — is **f64-bit-identical** to the
+//! single-node canonical answer for SUM, COUNT, and AVG, and per-row for
+//! `/rollup`. Checked cold (epoch 0) and again after a mutation batch
+//! (epoch 1), because incremental maintenance must not break the
+//! partition invariance either.
+//!
+//! This is the library-level twin of `crates/cluster`'s HTTP tests: no
+//! sockets, so proptest can afford hundreds of random partitions. It
+//! holds because chunks are keyed by exact dimension-0 leaf (`slab`), so
+//! no chunk ever straddles a cut — disjoint intervals partition the
+//! chunk list and sorting restores the canonical fold order.
+
+use iolap::core::maintain::{EdbMutation, MaintainableEdb};
+use iolap::core::{
+    allocate, fold_parts, sort_parts, Algorithm, AllocConfig, ChunkPart, PolicySpec,
+};
+use iolap::hierarchy::{Hierarchy, HierarchyBuilder};
+use iolap::model::{Fact, FactTable, RegionBox, Schema, MAX_DIMS};
+use iolap::query::{AggFn, AggResult};
+use iolap::serve::EdbSnapshot;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a random 2-level hierarchy with ≤ 12 leaves.
+fn arb_hierarchy(tag: &'static str) -> impl Strategy<Value = Hierarchy> {
+    (2u32..=12, 1u32..=4, any::<u64>()).prop_map(move |(leaves, groups, seed)| {
+        let groups = groups.min(leaves);
+        let parents: Vec<u32> = (0..leaves)
+            .map(|i| if i < groups { i } else { ((seed >> (i % 48)) as u32 ^ i) % groups })
+            .collect();
+        HierarchyBuilder::new(tag)
+            .level("Leaf", leaves)
+            .level("Group", groups)
+            .parents(2, &parents)
+            .build()
+    })
+}
+
+/// Strategy: a random fact table (mixed precise/imprecise facts).
+fn arb_table() -> impl Strategy<Value = FactTable> {
+    (arb_hierarchy("D0"), arb_hierarchy("D1"), 1usize..40, any::<u64>()).prop_map(
+        |(h0, h1, n, seed)| {
+            let schema = Arc::new(Schema::new(vec![Arc::new(h0), Arc::new(h1)], "M"));
+            let mut facts = Vec::with_capacity(n);
+            let mut s = seed;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            for id in 1..=n as u64 {
+                let mut dims = [0u32; 2];
+                for (d, slot) in dims.iter_mut().enumerate() {
+                    let h = schema.dim(d);
+                    let r = next();
+                    *slot = if r % 10 < 6 {
+                        h.leaf_node((r >> 8) as u32 % h.num_leaves()).0
+                    } else {
+                        (r >> 8) as u32 % h.num_nodes()
+                    };
+                }
+                let measure = 1.0 + (next() % 100) as f64;
+                facts.push(Fact::new(id, &dims, measure));
+            }
+            FactTable::from_facts(schema, facts)
+        },
+    )
+}
+
+/// Random raw cut material: up to 5 cut points, clamped to the leaf
+/// domain later. Duplicates and out-of-range values are deliberate —
+/// they become empty shard intervals.
+fn arb_cuts() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..16, 0..5)
+}
+
+/// Turn raw cut material into half-open shard intervals tiling `[0, n0)`.
+fn intervals(raw: &[u32], n0: u32) -> Vec<(u32, u32)> {
+    let mut cuts: Vec<u32> = raw.iter().map(|&c| c.min(n0)).collect();
+    cuts.sort_unstable();
+    let mut out = Vec::with_capacity(cuts.len() + 1);
+    let mut lo = 0u32;
+    for c in cuts {
+        out.push((lo, c.max(lo)));
+        lo = c.max(lo);
+    }
+    out.push((lo, n0));
+    out
+}
+
+/// Clip `region` to the dim0 interval `[lo, hi)`; `None` when disjoint.
+fn clip(region: &RegionBox, lo: u32, hi: u32) -> Option<RegionBox> {
+    let l = region.lo[0].max(lo);
+    let h = region.hi[0].min(hi);
+    if l >= h {
+        return None;
+    }
+    let mut r = *region;
+    r.lo[0] = l;
+    r.hi[0] = h;
+    Some(r)
+}
+
+/// Build the canonical snapshot the server would publish at `epoch`.
+fn snapshot_of(medb: &mut MaintainableEdb, table: &FactTable, epoch: u64) -> EdbSnapshot {
+    EdbSnapshot {
+        epoch,
+        schema: table.schema().clone(),
+        table: Arc::new(table.clone()),
+        segments: medb.snapshot_segments().expect("snapshot"),
+        lattice: None,
+    }
+}
+
+/// The router's recombination: per-shard clipped chunk lists,
+/// concatenated in shard order, re-sorted, folded.
+fn scatter_gather(
+    snap: &EdbSnapshot,
+    shards: &[(u32, u32)],
+    region: &RegionBox,
+    agg: AggFn,
+) -> AggResult {
+    let mut parts: Vec<ChunkPart> = Vec::new();
+    for &(lo, hi) in shards {
+        if let Some(r) = clip(region, lo, hi) {
+            parts.extend(snap.aggregate_parts(&r).expect("shard scan").0);
+        }
+    }
+    sort_parts(&mut parts);
+    let (sum, count) = fold_parts(&parts);
+    AggResult::from_parts(agg, sum, count)
+}
+
+/// Per-row scatter-gather for a rollup: merge row `j` of every shard's
+/// clipped parts (asserting the rows line up), fold each merged row.
+fn scatter_gather_rollup(
+    snap: &EdbSnapshot,
+    shards: &[(u32, u32)],
+    dim: usize,
+    region: &RegionBox,
+) -> Vec<(String, f64, f64)> {
+    let mut merged: Vec<(String, Vec<ChunkPart>)> = Vec::new();
+    for &(lo, hi) in shards {
+        let Some(r) = clip(region, lo, hi) else { continue };
+        let (rows, _) = snap.rollup_scan_parts(dim, 2, Some(&r)).expect("shard rollup");
+        if merged.is_empty() {
+            merged = rows.into_iter().map(|r| (r.name, r.parts)).collect();
+        } else {
+            assert_eq!(merged.len(), rows.len(), "shards disagree on row set");
+            for (m, row) in merged.iter_mut().zip(rows) {
+                assert_eq!(m.0, row.name, "shards disagree on row order");
+                m.1.extend(row.parts);
+            }
+        }
+    }
+    merged
+        .into_iter()
+        .map(|(name, mut parts)| {
+            sort_parts(&mut parts);
+            let (sum, count) = fold_parts(&parts);
+            (name, sum, count)
+        })
+        .collect()
+}
+
+fn check_all(snap: &EdbSnapshot, shards: &[(u32, u32)], region: &RegionBox) {
+    for agg in [AggFn::Sum, AggFn::Count, AggFn::Avg] {
+        let single = snap.aggregate(region, agg).expect("single-node answer");
+        let merged = scatter_gather(snap, shards, region, agg);
+        assert_eq!(single.value.to_bits(), merged.value.to_bits(), "{agg:?} value");
+        assert_eq!(single.sum.to_bits(), merged.sum.to_bits(), "{agg:?} sum");
+        assert_eq!(single.count.to_bits(), merged.count.to_bits(), "{agg:?} count");
+    }
+    // Rollup along dim0 at the Group level (level 2: leaves are 1, root 0
+    // is trivial — Group is the interesting partial-row case), dense rows.
+    let (single_rows, _) = snap.rollup_scan_parts(0, 2, Some(region)).expect("single rollup");
+    let single: Vec<(String, f64, f64)> = single_rows
+        .into_iter()
+        .map(|r| {
+            let mut parts = r.parts;
+            sort_parts(&mut parts);
+            let (sum, count) = fold_parts(&parts);
+            (r.name, sum, count)
+        })
+        .collect();
+    let merged = scatter_gather_rollup(snap, shards, 0, region);
+    if merged.is_empty() {
+        // Every shard had empty overlap: the router synthesizes dense
+        // zero rows, which is exactly what an empty-region single-node
+        // rollup folds to.
+        assert!(single.iter().all(|(_, s, c)| *s == 0.0 && *c == 0.0));
+        return;
+    }
+    assert_eq!(single.len(), merged.len());
+    for ((an, asum, acount), (bn, bsum, bcount)) in single.iter().zip(&merged) {
+        assert_eq!(an, bn);
+        assert_eq!(asum.to_bits(), bsum.to_bits(), "row {an} sum");
+        assert_eq!(acount.to_bits(), bcount.to_bits(), "row {an} count");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Random partitions never change a single answer bit — cold and
+    /// after a mutation batch flips the epoch.
+    #[test]
+    fn scatter_gather_matches_single_node(
+        table in arb_table(),
+        raw_cuts in arb_cuts(),
+        (bl0, bl1, w0, w1) in (0u32..12, 0u32..12, 1u32..13, 1u32..13),
+    ) {
+        // An all-imprecise table can leave the allocator with no candidate
+        // cells — a rejected input, not a merge case.
+        let has_precise = table.num_precise() > 0;
+        prop_assume!(has_precise || table.num_imprecise() == 0);
+
+        let schema = table.schema().clone();
+        let (n0, n1) = (schema.dim(0).num_leaves(), schema.dim(1).num_leaves());
+        let shards = intervals(&raw_cuts, n0);
+
+        let mut lo = [0u32; MAX_DIMS];
+        let mut hi = [0u32; MAX_DIMS];
+        lo[0] = bl0.min(n0 - 1);
+        lo[1] = bl1.min(n1 - 1);
+        hi[0] = (lo[0] + w0).min(n0);
+        hi[1] = (lo[1] + w1).min(n1);
+        let region = RegionBox { lo, hi, k: 2 };
+
+        let policy = PolicySpec::em_count(0.01);
+        let alloc = AllocConfig::builder().in_memory(256).build();
+        let run = allocate(&table, &policy, Algorithm::Transitive, &alloc).expect("allocate");
+        let mut medb = MaintainableEdb::build(run, policy).expect("maintainable EDB");
+
+        // Cold: epoch 0.
+        let snap = snapshot_of(&mut medb, &table, 0);
+        check_all(&snap, &shards, &region);
+        // Whole cube too — the no-dice fan-out path.
+        let mut all_hi = [0u32; MAX_DIMS];
+        all_hi[0] = n0;
+        all_hi[1] = n1;
+        let all = RegionBox { lo: [0u32; MAX_DIMS], hi: all_hi, k: 2 };
+        check_all(&snap, &shards, &all);
+
+        // Post-update: mutate the first fact's measure (every shard
+        // applies the same batch to its full copy), epoch 1.
+        let fact_id = table.facts()[0].id;
+        medb.apply_batch(&[EdbMutation::UpdateMeasure { fact_id, new_measure: 4321.25 }])
+            .expect("mutation batch");
+        let snap1 = snapshot_of(&mut medb, &table, 1);
+        check_all(&snap1, &shards, &region);
+        check_all(&snap1, &shards, &all);
+    }
+}

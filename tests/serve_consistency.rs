@@ -1,18 +1,24 @@
 //! The server's core guarantee: an HTTP answer is **bit-identical** to
-//! querying the materialized EDB through the library — cold cache, warm
-//! cache, and across an `/update` round-trip — and updates invalidate
-//! only the cache entries whose region overlaps what the batch touched.
+//! querying the materialized EDB through the library's snapshot
+//! machinery — cold cache, warm cache, and across an `/update`
+//! round-trip — and updates invalidate only the cache entries whose
+//! region overlaps what the batch touched.
 //!
 //! Allocation is deterministic (single-threaded Transitive), so a local
 //! run with the same table/policy/config reproduces the server's EDB
 //! exactly; Rust's shortest-round-trip f64 formatting then makes the
-//! JSON wire lossless, and `to_bits` equality is a fair comparison.
+//! JSON wire lossless, and `to_bits` equality is a fair comparison. The
+//! reference is [`EdbSnapshot::aggregate`], the canonical chunked fold
+//! (per-view, per-dim0-slab partials folded in (view, slab) order) —
+//! the same order every server reproduces regardless of how its
+//! segments, update history, or the cluster's shard cuts partition the
+//! entries.
 
 use iolap::core::maintain::EdbMutation;
 use iolap::core::{allocate, Algorithm, AllocConfig, MaintainableEdb, PolicySpec};
 use iolap::model::paper_example;
 use iolap::obs::json;
-use iolap::query::{aggregate_edb, AggFn, QueryBuilder};
+use iolap::query::{AggFn, QueryBuilder};
 use iolap::serve::wire;
 use iolap::serve::{http_roundtrip, EdbSnapshot, ServeConfig, Server, ServerHandle};
 use std::net::TcpStream;
@@ -64,9 +70,24 @@ fn server_answers_match_aggregate_edb_bit_for_bit() {
     let h = start_server();
     let mut conn = TcpStream::connect(h.addr()).expect("connect");
 
-    // The same allocation, through the library.
+    // `/healthz` must expose the serving role and the current epoch.
+    let (status, body) = http_roundtrip(&mut conn, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(status, 200, "{body}");
+    let hv = json::parse(&body).unwrap();
+    assert_eq!(hv.get("epoch").and_then(|e| e.as_u64()), Some(0), "{body}");
+    assert_eq!(hv.get("role").and_then(|r| r.as_str()), Some("single"), "{body}");
+
+    // The same allocation, through the library's snapshot machinery.
     let run = allocate(&paper_example::table1(), &policy(), Algorithm::Transitive, &alloc_cfg())
         .expect("local allocation");
+    let mut medb = MaintainableEdb::build(run, policy()).expect("maintainable");
+    let snap = EdbSnapshot {
+        epoch: 0,
+        schema: medb.schema().clone(),
+        table: Arc::new(paper_example::table1()),
+        segments: medb.snapshot_segments().expect("segments"),
+        lattice: None,
+    };
 
     for &(at, agg) in QUERIES {
         let mut b = QueryBuilder::new(paper_example::schema()).agg(agg);
@@ -74,7 +95,7 @@ fn server_answers_match_aggregate_edb_bit_for_bit() {
             b = b.at(d, n);
         }
         let q = b.build().expect("query");
-        let local = aggregate_edb(&run.edb, &q).expect("aggregate");
+        let local = snap.aggregate(&q.region, agg).expect("snapshot aggregate");
 
         // Cold: computed from the snapshot.
         let (v, s, c, cached) = server_query(&mut conn, at, agg);
@@ -110,6 +131,13 @@ fn update_round_trip_stays_bit_identical_to_the_library() {
     assert_eq!(status, 200, "{resp}");
     let v = json::parse(&resp).unwrap();
     assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(1));
+
+    // The epoch flip is visible through `/healthz` alongside the role.
+    let (status, body) = http_roundtrip(&mut conn, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(status, 200, "{body}");
+    let hv = json::parse(&body).unwrap();
+    assert_eq!(hv.get("epoch").and_then(|e| e.as_u64()), Some(1), "{body}");
+    assert_eq!(hv.get("role").and_then(|r| r.as_str()), Some("single"), "{body}");
 
     let ny_f150 = {
         let s = paper_example::schema();
