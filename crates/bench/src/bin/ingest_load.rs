@@ -1,0 +1,475 @@
+//! Streaming-ingest load generator for the `iolap-serve` write path.
+//!
+//! Three phases against one generated dataset:
+//!
+//! 1. **Read baseline** — reader threads only, no writes: the p99 every
+//!    later number is judged against.
+//! 2. **Mixed load** — the same readers with concurrent writer threads
+//!    issuing `/update` batches under a deferred group commit, so folds
+//!    build delta segments and background compactions run *while* the
+//!    readers scan. Reports sustained acked updates/sec and the read
+//!    p99 ratio vs the baseline (the epoch-swap contract: readers never
+//!    block on the write path, so the ratio should stay within ~2×).
+//! 3. **Kill −9 / recover** — a child server process (re-exec of this
+//!    binary) takes acknowledged-durable updates on a WAL with the fold
+//!    deferred far into the future, is SIGKILLed with the whole backlog
+//!    unfolded, and restarts on the same log. Every acked batch must
+//!    replay: the restarted server's query bodies are compared
+//!    byte-for-byte (f64 text round-trips bit-exactly through the wire
+//!    layer) against a reference server that applied the same batches
+//!    synchronously with no WAL at all.
+//!
+//! ```bash
+//! cargo run --release -p iolap-bench --bin ingest_load
+//! cargo run --release -p iolap-bench --bin ingest_load -- --facts 5000 --json BENCH_ingest.json
+//! ```
+
+use iolap_bench::runs::{print_table, write_json};
+use iolap_bench::{Args, Json};
+use iolap_core::{AllocConfig, PolicySpec};
+use iolap_datagen::scaled;
+use iolap_obs::json;
+use iolap_query::AggFn;
+use iolap_serve::{http_roundtrip, wire, ServeConfig, Server};
+use iolap_storage::TempDir;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args = Args::parse(2_000);
+    if args.extra("ingest-child-wal").is_some() {
+        child_main(&args);
+        return;
+    }
+    parent_main(&args);
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+/// The read mix: SUM and COUNT over every node of the coarsest
+/// dimension-0 level that still has a handful of regions, plus the
+/// whole cube (same shape as `serve_load`).
+fn query_mix(schema: &iolap_model::Schema) -> Vec<String> {
+    let dim = schema.dim(0);
+    let mut regions: Vec<(String, String)> = Vec::new();
+    for l in (0..dim.levels()).rev() {
+        let nodes = dim.nodes_at_level(l);
+        if nodes.len() >= 2 && nodes.len() <= 32 {
+            regions.extend(nodes.iter().map(|&n| (dim.name().to_string(), dim.node_name(n))));
+            break;
+        }
+    }
+    let mut bodies: Vec<String> = Vec::new();
+    for (d, n) in &regions {
+        for agg in [AggFn::Sum, AggFn::Count] {
+            bodies.push(wire::query_body(&[(d.as_str(), n.as_str())], agg, None));
+        }
+    }
+    bodies.push(wire::query_body(&[], AggFn::Sum, None));
+    bodies
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(((sorted.len() - 1) as f64) * p) as usize]
+}
+
+/// Deterministic xorshift so writer traffic is reproducible per seed.
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+struct PhaseStats {
+    read_lat: Vec<u64>,
+    write_lat: Vec<u64>,
+    acked_updates: u64,
+    secs: f64,
+}
+
+/// Run readers (and optionally writers) against `addr` for `secs`.
+/// Writers send single-mutation `UpdateMeasure` batches on existing
+/// fact ids; every non-200 on either side is fatal.
+fn run_phase(
+    addr: SocketAddr,
+    bodies: &Arc<Vec<String>>,
+    readers: usize,
+    writers: usize,
+    ids: &Arc<Vec<u64>>,
+    secs: f64,
+    seed: u64,
+) -> PhaseStats {
+    let stop = Arc::new(AtomicBool::new(false));
+    let acked = Arc::new(AtomicU64::new(0));
+    let mut reader_joins = Vec::new();
+    for r in 0..readers {
+        let bodies = bodies.clone();
+        let stop = stop.clone();
+        reader_joins.push(std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).expect("reader connect");
+            let mut lat = Vec::new();
+            let mut i = r;
+            while !stop.load(Ordering::Relaxed) {
+                let body = &bodies[i % bodies.len()];
+                i += 1;
+                let t0 = Instant::now();
+                let (status, resp) =
+                    http_roundtrip(&mut conn, "POST", "/query", body).expect("read");
+                assert_eq!(status, 200, "read failed: {resp}");
+                lat.push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+            }
+            lat
+        }));
+    }
+    let mut writer_joins = Vec::new();
+    for w in 0..writers {
+        let ids = ids.clone();
+        let stop = stop.clone();
+        let acked = acked.clone();
+        writer_joins.push(std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).expect("writer connect");
+            let mut lat = Vec::new();
+            let mut rng = seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1));
+            while !stop.load(Ordering::Relaxed) {
+                let id = ids[(xorshift(&mut rng) % ids.len() as u64) as usize];
+                let measure = (xorshift(&mut rng) % 1_000_000) as f64 / 64.0;
+                let body = wire::update_body(&[wire::MutationReq::Update { fact_id: id, measure }]);
+                let t0 = Instant::now();
+                let (status, resp) =
+                    http_roundtrip(&mut conn, "POST", "/update", &body).expect("write");
+                assert_eq!(status, 200, "write failed: {resp}");
+                lat.push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+                acked.fetch_add(1, Ordering::Relaxed);
+            }
+            lat
+        }));
+    }
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_secs_f64(secs));
+    stop.store(true, Ordering::Relaxed);
+    let mut read_lat: Vec<u64> = Vec::new();
+    for j in reader_joins {
+        read_lat.extend(j.join().expect("reader thread"));
+    }
+    let mut write_lat: Vec<u64> = Vec::new();
+    for j in writer_joins {
+        write_lat.extend(j.join().expect("writer thread"));
+    }
+    read_lat.sort_unstable();
+    write_lat.sort_unstable();
+    PhaseStats {
+        read_lat,
+        write_lat,
+        acked_updates: acked.load(Ordering::Relaxed),
+        secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parent: baseline → mixed load → kill −9 / recover.
+
+fn parent_main(args: &Args) {
+    let epsilon: f64 = args.extra_or("eps", 0.01);
+    let workers: usize = args.extra_or("workers", 2);
+    let readers: usize = args.extra_or("readers", 2);
+    let writers: usize = args.extra_or("writers", 2);
+    let secs: f64 = args.extra_or("secs", 2.0);
+    let group_ms: u64 = args.extra_or("group-ms", 5);
+    let group_frames: u64 = args.extra_or("group-frames", 64);
+    let kill_batches: u64 = args.extra_or("kill-batches", 40);
+
+    let table = scaled(args.dataset, args.facts, args.seed);
+    let schema = table.schema().clone();
+    let ids: Arc<Vec<u64>> = Arc::new(table.facts().iter().map(|f| f.id).collect());
+    let bodies = Arc::new(query_mix(&schema));
+    println!(
+        "ingest_load — {:?} dataset, {} facts, {workers} worker(s), {readers} reader(s), \
+         {writers} writer(s), {secs}s/phase, group {group_ms}ms/{group_frames} frames",
+        args.dataset, args.facts
+    );
+
+    let dir = TempDir::new("ingest-load").expect("tempdir");
+    let policy = PolicySpec::em_count(epsilon);
+    let alloc = AllocConfig::builder().in_memory(4096).build();
+    let handle = Server::builder(table.clone(), policy.clone())
+        .alloc(alloc.clone())
+        .config(
+            ServeConfig::builder()
+                .workers(workers)
+                .idle_timeout(Duration::from_secs(600))
+                .wal_path(dir.path().join("mixed.wal"))
+                .group_window(Duration::from_millis(group_ms))
+                .group_frames(group_frames)
+                .build(),
+        )
+        .bind("127.0.0.1:0")
+        .expect("server starts");
+    let addr = handle.addr();
+    let counter = |name: &str| handle.obs().counter(name).map_or(0, |c| c.get());
+
+    // Phase 1: read-only baseline.
+    let base = run_phase(addr, &bodies, readers, 0, &ids, secs, args.seed);
+    let base_p99 = percentile(&base.read_lat, 0.99);
+
+    // Phase 2: concurrent writers under the deferred group commit —
+    // folds and background compactions happen while the readers run.
+    let compactions0 = counter("edb.compactions");
+    let folds0 = counter("ingest.folds");
+    let mixed = run_phase(addr, &bodies, readers, writers, &ids, secs, args.seed);
+    let mixed_p99 = percentile(&mixed.read_lat, 0.99);
+    let compactions = counter("edb.compactions") - compactions0;
+    let folds = counter("ingest.folds") - folds0;
+    let wal_bytes = counter("ingest.wal_bytes");
+    let updates_per_sec = mixed.acked_updates as f64 / mixed.secs;
+    let p99_ratio = if base_p99 > 0 { mixed_p99 as f64 / base_p99 as f64 } else { 0.0 };
+    handle.shutdown();
+
+    // Phase 3: kill −9 mid-backlog and recover on the same WAL.
+    let kill = kill_recover_phase(args, &table, &policy, &alloc, &bodies, kill_batches);
+
+    let rows = vec![
+        vec![
+            "baseline".into(),
+            format!("{}", base.read_lat.len()),
+            format!("{:.0}", base.read_lat.len() as f64 / base.secs),
+            format!("{}", percentile(&base.read_lat, 0.50)),
+            format!("{base_p99}"),
+            "0".into(),
+            "-".into(),
+            "-".into(),
+        ],
+        vec![
+            "mixed".into(),
+            format!("{}", mixed.read_lat.len()),
+            format!("{:.0}", mixed.read_lat.len() as f64 / mixed.secs),
+            format!("{}", percentile(&mixed.read_lat, 0.50)),
+            format!("{mixed_p99}"),
+            format!("{:.0}", updates_per_sec),
+            format!("{}", percentile(&mixed.write_lat, 0.99)),
+            format!("{p99_ratio:.2}"),
+        ],
+    ];
+    print_table(
+        "streaming ingest: readers under a deferred group commit",
+        &["phase", "reads", "reads/s", "p50 µs", "p99 µs", "upd/s", "upd p99 µs", "p99 ratio"],
+        &rows,
+    );
+    println!(
+        "mixed phase: {folds} fold(s), {compactions} background compaction(s), \
+         {wal_bytes} WAL bytes; kill−9 recovered epoch {} of {} acked batches, identity {}",
+        kill.recovered_epoch, kill.acked, kill.identical
+    );
+
+    let path = args.json.as_deref().unwrap_or("BENCH_ingest.json");
+    let meta = [
+        ("experiment", Json::S("ingest_load".into())),
+        ("dataset", Json::S(format!("{:?}", args.dataset))),
+        ("facts", Json::U(args.facts)),
+        ("seed", Json::U(args.seed)),
+        ("epsilon", Json::F(epsilon)),
+        ("workers", Json::U(workers as u64)),
+        ("readers", Json::U(readers as u64)),
+        ("writers", Json::U(writers as u64)),
+        ("secs_per_phase", Json::F(secs)),
+        ("group_window_ms", Json::U(group_ms)),
+        ("group_frames", Json::U(group_frames)),
+    ];
+    let points = vec![
+        vec![
+            ("phase", Json::S("read_baseline".into())),
+            ("reads", Json::U(base.read_lat.len() as u64)),
+            ("reads_per_sec", Json::F(base.read_lat.len() as f64 / base.secs)),
+            ("read_p50_us", Json::U(percentile(&base.read_lat, 0.50))),
+            ("read_p99_us", Json::U(base_p99)),
+        ],
+        vec![
+            ("phase", Json::S("mixed".into())),
+            ("reads", Json::U(mixed.read_lat.len() as u64)),
+            ("reads_per_sec", Json::F(mixed.read_lat.len() as f64 / mixed.secs)),
+            ("read_p50_us", Json::U(percentile(&mixed.read_lat, 0.50))),
+            ("read_p99_us", Json::U(mixed_p99)),
+            ("read_p99_ratio_vs_baseline", Json::F(p99_ratio)),
+            ("acked_updates", Json::U(mixed.acked_updates)),
+            ("updates_per_sec", Json::F(updates_per_sec)),
+            ("update_p50_us", Json::U(percentile(&mixed.write_lat, 0.50))),
+            ("update_p99_us", Json::U(percentile(&mixed.write_lat, 0.99))),
+            ("folds", Json::U(folds)),
+            ("background_compactions", Json::U(compactions)),
+            ("wal_bytes", Json::U(wal_bytes)),
+        ],
+        vec![
+            ("phase", Json::S("kill_recover".into())),
+            ("acked_batches", Json::U(kill.acked)),
+            ("recovered_epoch", Json::U(kill.recovered_epoch)),
+            ("queries_compared", Json::U(kill.queries_compared)),
+            ("bit_identical", Json::S(format!("{}", kill.identical))),
+        ],
+    ];
+    write_json(path, &meta, &points).expect("write BENCH_ingest.json");
+
+    assert!(kill.identical, "kill−9 recovery diverged from the synchronous replay");
+    assert_eq!(kill.recovered_epoch, kill.acked, "acked-durable batches must all replay");
+    // Advisory bars (CI machines vary): flag, don't fail.
+    if p99_ratio > 2.0 {
+        eprintln!(
+            "warning: read p99 under write load ({mixed_p99} µs) is more than 2× \
+             the no-write baseline ({base_p99} µs)"
+        );
+    }
+    if updates_per_sec < 100.0 {
+        eprintln!("warning: {updates_per_sec:.0} acked updates/s is below the 100/s bar");
+    }
+}
+
+struct KillRecover {
+    acked: u64,
+    recovered_epoch: u64,
+    queries_compared: u64,
+    identical: bool,
+}
+
+/// Spawn a child server with the fold deferred far beyond the test
+/// horizon, ack `batches` durable updates, SIGKILL it with the whole
+/// backlog unfolded, restart it on the same WAL, and byte-compare its
+/// answers against a WAL-less reference that applied the same batches
+/// synchronously.
+fn kill_recover_phase(
+    args: &Args,
+    table: &iolap_model::FactTable,
+    policy: &PolicySpec,
+    alloc: &AllocConfig,
+    bodies: &Arc<Vec<String>>,
+    batches: u64,
+) -> KillRecover {
+    let dir = TempDir::new("ingest-kill").expect("tempdir");
+    let wal = dir.path().join("ingest.wal");
+    let ids: Vec<u64> = table.facts().iter().map(|f| f.id).collect();
+    let mut rng = args.seed | 1;
+    let muts: Vec<(u64, f64)> = (0..batches)
+        .map(|_| {
+            let id = ids[(xorshift(&mut rng) % ids.len() as u64) as usize];
+            // Awkward bit patterns on purpose: the identity check is
+            // about f64 bits surviving the WAL round trip.
+            (id, f64::from_bits(0x3FF0_0000_0000_0000 | (xorshift(&mut rng) % (1 << 40))))
+        })
+        .collect();
+
+    let (mut child, addr) = spawn_child(args, &wal);
+    let mut conn = TcpStream::connect(addr).expect("connect child");
+    for (id, measure) in &muts {
+        let body =
+            wire::update_body(&[wire::MutationReq::Update { fact_id: *id, measure: *measure }]);
+        let (status, resp) = http_roundtrip(&mut conn, "POST", "/update", &body).expect("update");
+        assert_eq!(status, 200, "child update failed: {resp}");
+        let v = json::parse(&resp).expect("update response");
+        assert_eq!(
+            v.get("durable").and_then(|d| d.as_bool()),
+            Some(true),
+            "child must ack at WAL-durable: {resp}"
+        );
+    }
+    drop(conn);
+    // SIGKILL with every batch durable but none folded.
+    child.kill().expect("kill -9 child");
+    let _ = child.wait();
+
+    let (mut child, addr) = spawn_child(args, &wal);
+    let mut conn = TcpStream::connect(addr).expect("connect recovered child");
+    let (_, hb) = http_roundtrip(&mut conn, "GET", "/healthz", "").expect("healthz");
+    let recovered_epoch =
+        json::parse(&hb).ok().and_then(|v| v.get("epoch").and_then(|e| e.as_u64())).unwrap_or(0);
+
+    // Reference: the same acked history applied synchronously, no WAL.
+    let reference = Server::builder(table.clone(), policy.clone())
+        .alloc(alloc.clone())
+        .config(ServeConfig::builder().workers(1).build())
+        .bind("127.0.0.1:0")
+        .expect("reference server");
+    let mut ref_conn = TcpStream::connect(reference.addr()).expect("connect reference");
+    for (id, measure) in &muts {
+        let body =
+            wire::update_body(&[wire::MutationReq::Update { fact_id: *id, measure: *measure }]);
+        let (status, resp) =
+            http_roundtrip(&mut ref_conn, "POST", "/update", &body).expect("ref update");
+        assert_eq!(status, 200, "reference update failed: {resp}");
+    }
+
+    let norm = |s: &str| s.replace("\"cached\":true", "\"cached\":false");
+    let mut identical = true;
+    for body in bodies.iter() {
+        let (sa, a) = http_roundtrip(&mut conn, "POST", "/query", body).expect("recovered query");
+        let (sb, b) = http_roundtrip(&mut ref_conn, "POST", "/query", body).expect("ref query");
+        assert_eq!((sa, sb), (200, 200), "query failed: {a} / {b}");
+        if norm(&a) != norm(&b) {
+            eprintln!("identity mismatch for {body}:\n  recovered: {a}\n  reference: {b}");
+            identical = false;
+        }
+    }
+    reference.shutdown();
+    child.kill().expect("stop recovered child");
+    let _ = child.wait();
+    KillRecover {
+        acked: batches,
+        recovered_epoch,
+        queries_compared: bodies.len() as u64,
+        identical,
+    }
+}
+
+fn spawn_child(args: &Args, wal: &std::path::Path) -> (Child, SocketAddr) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut p = Command::new(exe)
+        .arg("--facts")
+        .arg(format!("{}", args.facts))
+        .arg("--seed")
+        .arg(format!("{}", args.seed))
+        .arg(format!("ingest-child-wal={}", wal.display()))
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn ingest child");
+    let mut reader = BufReader::new(p.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("child READY");
+    let addr = line
+        .trim()
+        .strip_prefix("READY ")
+        .unwrap_or_else(|| panic!("unexpected child handshake: {line:?}"))
+        .parse()
+        .expect("child addr");
+    (p, addr)
+}
+
+// ---------------------------------------------------------------------------
+// Child: a WAL-backed server whose fold never triggers on its own — the
+// parent's SIGKILL always lands with the backlog unfolded.
+
+fn child_main(args: &Args) {
+    let wal = std::path::PathBuf::from(args.extra("ingest-child-wal").unwrap());
+    let table = scaled(args.dataset, args.facts, args.seed);
+    let handle = Server::builder(table, PolicySpec::em_count(args.extra_or("eps", 0.01)))
+        .alloc(AllocConfig::builder().in_memory(4096).build())
+        .config(
+            ServeConfig::builder()
+                .workers(1)
+                .wal_path(wal)
+                .group_window(Duration::from_secs(3600))
+                .group_frames(u64::MAX)
+                .build(),
+        )
+        .bind("127.0.0.1:0")
+        .expect("child server starts");
+    println!("READY {}", handle.addr());
+    std::io::stdout().flush().unwrap();
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

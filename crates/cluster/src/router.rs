@@ -419,7 +419,7 @@ fn handle_request(req: &Request, shared: &RouterShared) -> Response {
             let ok = shared.groups.iter().all(ShardGroup::has_healthy);
             let status = if ok { 200 } else { 503 };
             let epoch = shared.epoch.load(Ordering::SeqCst);
-            (status, "application/json", wire::health_response(epoch, ok, "router"))
+            (status, "application/json", wire::health_response(epoch, ok, "router", 0))
         }
         ("GET", "/metrics") => {
             shared.metrics.req_metrics.inc();

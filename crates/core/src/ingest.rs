@@ -1,0 +1,269 @@
+//! Durable mutation logging for the streaming-ingest write path.
+//!
+//! [`MutationWal`] is a typed wrapper over the storage layer's
+//! [`Wal`]: each [`EdbMutation`] becomes one checksummed frame, each
+//! `/update` request batch becomes one WAL batch, and crash recovery
+//! replays the committed batches through
+//! [`crate::MaintainableEdb::apply_batch`] *per batch* — preserving the
+//! batch granularity that bit-identity with the synchronous apply path
+//! depends on (`apply(A); apply(B)` is not `apply(A ++ B)`).
+//!
+//! The wire encoding is fixed and small enough for one frame
+//! ([`iolap_storage::wal::MAX_PAYLOAD`] bytes):
+//!
+//! ```text
+//! UpdateMeasure  tag=1 · fact_id u64 LE · measure f64-bits LE      (17 B)
+//! Insert         tag=2 · fact_id u64 LE · measure f64-bits LE
+//!                      · dims [u32 LE; MAX_DIMS]                    (49 B)
+//! Delete         tag=3 · fact_id u64 LE                             (9 B)
+//! ```
+//!
+//! Measures travel as raw `f64::to_bits`, so a replayed mutation is
+//! bit-identical to the one that was acknowledged — the invariant every
+//! identity harness in this repo checks.
+
+use crate::error::Result;
+use crate::maintain::EdbMutation;
+use iolap_model::{Fact, FactId, MAX_DIMS};
+use iolap_storage::wal::{Wal, WalRecovery};
+use iolap_storage::{IoStats, StorageError};
+use std::path::Path;
+
+const TAG_UPDATE: u8 = 1;
+const TAG_INSERT: u8 = 2;
+const TAG_DELETE: u8 = 3;
+
+/// Encode one mutation into its WAL frame payload.
+pub fn encode_mutation(m: &EdbMutation) -> Vec<u8> {
+    match m {
+        EdbMutation::UpdateMeasure { fact_id, new_measure } => {
+            let mut out = Vec::with_capacity(17);
+            out.push(TAG_UPDATE);
+            out.extend_from_slice(&fact_id.to_le_bytes());
+            out.extend_from_slice(&new_measure.to_bits().to_le_bytes());
+            out
+        }
+        EdbMutation::Insert(f) => {
+            let mut out = Vec::with_capacity(17 + 4 * MAX_DIMS);
+            out.push(TAG_INSERT);
+            out.extend_from_slice(&f.id.to_le_bytes());
+            out.extend_from_slice(&f.measure.to_bits().to_le_bytes());
+            for d in &f.dims {
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+            out
+        }
+        EdbMutation::Delete(id) => {
+            let mut out = Vec::with_capacity(9);
+            out.push(TAG_DELETE);
+            out.extend_from_slice(&id.to_le_bytes());
+            out
+        }
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> StorageError {
+    StorageError::Corrupt(msg.into())
+}
+
+fn take_u64(bytes: &[u8], at: usize) -> std::result::Result<u64, StorageError> {
+    bytes
+        .get(at..at + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        .ok_or_else(|| corrupt("WAL mutation payload truncated"))
+}
+
+/// Decode a WAL frame payload back into a mutation. A payload that does
+/// not decode exactly (unknown tag, wrong length) is corruption — the
+/// frame checksum already passed, so the log itself is damaged.
+pub fn decode_mutation(bytes: &[u8]) -> Result<EdbMutation> {
+    let tag = *bytes.first().ok_or_else(|| corrupt("empty WAL mutation payload"))?;
+    let m = match tag {
+        TAG_UPDATE if bytes.len() == 17 => EdbMutation::UpdateMeasure {
+            fact_id: take_u64(bytes, 1)?,
+            new_measure: f64::from_bits(take_u64(bytes, 9)?),
+        },
+        TAG_INSERT if bytes.len() == 17 + 4 * MAX_DIMS => {
+            let id: FactId = take_u64(bytes, 1)?;
+            let measure = f64::from_bits(take_u64(bytes, 9)?);
+            let mut dims = [0u32; MAX_DIMS];
+            for (i, d) in dims.iter_mut().enumerate() {
+                let at = 17 + 4 * i;
+                *d = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+            }
+            EdbMutation::Insert(Fact { id, dims, measure })
+        }
+        TAG_DELETE if bytes.len() == 9 => EdbMutation::Delete(take_u64(bytes, 1)?),
+        _ => {
+            return Err(corrupt(format!(
+                "WAL mutation payload with tag {tag} and length {} does not decode",
+                bytes.len()
+            ))
+            .into())
+        }
+    };
+    Ok(m)
+}
+
+/// A write-ahead log of [`EdbMutation`] batches. One frame per mutation,
+/// one WAL batch per request batch; [`MutationWal::sync`] is the
+/// durability point (call once per group commit).
+pub struct MutationWal {
+    wal: Wal,
+}
+
+/// What [`MutationWal::open_or_create`] recovered from an existing log.
+pub struct MutationRecovery {
+    /// Committed request batches, oldest first — replay each through
+    /// `apply_batch` to reconstruct the acknowledged EDB state.
+    pub batches: Vec<Vec<EdbMutation>>,
+    /// Frames discarded as a torn (uncommitted) tail.
+    pub torn_frames: u64,
+}
+
+impl MutationWal {
+    /// Open the log at `path` if it exists — recovering its committed
+    /// batches — or create it empty. Page traffic charges `stats`, the
+    /// same exact meter the EDB environment uses.
+    pub fn open_or_create(
+        path: impl AsRef<Path>,
+        stats: IoStats,
+    ) -> Result<(MutationWal, MutationRecovery)> {
+        let (wal, rec) = Wal::open_or_create(path, stats)?;
+        Ok((MutationWal { wal }, Self::decode_recovery(rec)?))
+    }
+
+    /// An in-memory log (tests): same framing, no durability.
+    pub fn in_memory(stats: IoStats) -> MutationWal {
+        MutationWal { wal: Wal::in_memory(stats) }
+    }
+
+    fn decode_recovery(rec: WalRecovery) -> Result<MutationRecovery> {
+        let mut batches = Vec::with_capacity(rec.batches.len());
+        for payloads in &rec.batches {
+            let mut muts = Vec::with_capacity(payloads.len());
+            for p in payloads {
+                muts.push(decode_mutation(p)?);
+            }
+            batches.push(muts);
+        }
+        Ok(MutationRecovery { batches, torn_frames: rec.torn_frames })
+    }
+
+    /// Append one request batch (one frame per mutation plus a commit
+    /// frame) and return its batch id. **Not** yet durable — call
+    /// [`MutationWal::sync`] once per group.
+    pub fn append_batch(&mut self, muts: &[EdbMutation]) -> Result<u64> {
+        for m in muts {
+            self.wal.append(&encode_mutation(m))?;
+        }
+        Ok(self.wal.seal_batch()?)
+    }
+
+    /// Append a single mutation frame *without* sealing the batch. The
+    /// frames are not committed until [`MutationWal::seal_batch`] runs —
+    /// recovery discards them as a torn tail. Useful for streaming one
+    /// oversized batch frame-by-frame, and for crash-injection tests
+    /// that model dying mid-append.
+    pub fn append(&mut self, m: &EdbMutation) -> Result<()> {
+        Ok(self.wal.append(&encode_mutation(m))?)
+    }
+
+    /// Commit the frames appended since the last seal as one batch and
+    /// return its batch id (see [`iolap_storage::Wal::seal_batch`]).
+    pub fn seal_batch(&mut self) -> Result<u64> {
+        Ok(self.wal.seal_batch()?)
+    }
+
+    /// The group-commit durability point: fsync everything sealed so far.
+    pub fn sync(&mut self) -> Result<()> {
+        Ok(self.wal.sync()?)
+    }
+
+    /// Committed batches written or recovered so far.
+    pub fn batches(&self) -> u64 {
+        self.wal.batches()
+    }
+
+    /// Total frames in the log.
+    pub fn frames(&self) -> u64 {
+        self.wal.frames()
+    }
+
+    /// Bytes appended over the log's lifetime (the `ingest.wal_bytes`
+    /// metrics feed).
+    pub fn appended_bytes(&self) -> u64 {
+        self.wal.appended_bytes()
+    }
+
+    /// Discard the whole log (durably).
+    pub fn truncate(&mut self) -> Result<()> {
+        Ok(self.wal.truncate()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolap_storage::TempDir;
+
+    fn sample() -> Vec<EdbMutation> {
+        vec![
+            EdbMutation::UpdateMeasure { fact_id: 7, new_measure: -0.125 },
+            EdbMutation::Insert(Fact::new(901, &[3, 1, 4], 2.5)),
+            EdbMutation::Delete(13),
+        ]
+    }
+
+    #[test]
+    fn mutation_codec_roundtrip() {
+        for m in sample() {
+            let enc = encode_mutation(&m);
+            assert!(enc.len() <= iolap_storage::wal::MAX_PAYLOAD);
+            let dec = decode_mutation(&enc).unwrap();
+            assert_eq!(format!("{m:?}"), format!("{dec:?}"));
+        }
+    }
+
+    #[test]
+    fn measure_bits_survive_the_codec() {
+        // NaN payloads and negative zero: bit-exact, not value-exact.
+        for bits in [f64::NAN.to_bits() | 1, (-0.0f64).to_bits(), 1.0f64.to_bits()] {
+            let m = EdbMutation::UpdateMeasure { fact_id: 1, new_measure: f64::from_bits(bits) };
+            match decode_mutation(&encode_mutation(&m)).unwrap() {
+                EdbMutation::UpdateMeasure { new_measure, .. } => {
+                    assert_eq!(new_measure.to_bits(), bits);
+                }
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_payloads_are_errors_not_panics() {
+        assert!(decode_mutation(&[]).is_err());
+        assert!(decode_mutation(&[9, 0, 0]).is_err());
+        let mut enc = encode_mutation(&EdbMutation::Delete(5));
+        enc.pop();
+        assert!(decode_mutation(&enc).is_err());
+    }
+
+    #[test]
+    fn batches_replay_in_order_after_reopen() {
+        let dir = TempDir::new("mwal").unwrap();
+        let path = dir.path().join("ingest.wal");
+        {
+            let (mut w, rec) = MutationWal::open_or_create(&path, IoStats::new()).unwrap();
+            assert!(rec.batches.is_empty());
+            assert_eq!(w.append_batch(&sample()).unwrap(), 0);
+            assert_eq!(w.append_batch(&[EdbMutation::Delete(99)]).unwrap(), 1);
+            w.sync().unwrap();
+        }
+        let (w, rec) = MutationWal::open_or_create(&path, IoStats::new()).unwrap();
+        assert_eq!(w.batches(), 2);
+        assert_eq!(rec.batches.len(), 2);
+        assert_eq!(rec.batches[0].len(), 3);
+        assert_eq!(format!("{:?}", rec.batches[0]), format!("{:?}", sample()));
+        assert_eq!(format!("{:?}", rec.batches[1]), format!("{:?}", vec![EdbMutation::Delete(99)]));
+    }
+}

@@ -59,6 +59,7 @@ pub mod edb;
 pub mod error;
 pub mod estimate;
 pub mod independent;
+pub mod ingest;
 pub mod inmem;
 pub mod maintain;
 pub mod passes;
@@ -75,9 +76,10 @@ pub use cuboid::{
 pub use edb::ExtendedDatabase;
 pub use error::{CoreError, Result};
 pub use estimate::{plan, PlanEstimate};
+pub use ingest::{MutationRecovery, MutationWal};
 pub use iolap_model::{CellOrder, PageFormat, SegmentLayout};
 pub use iolap_storage::{PrefetchConfig, PrefetchStats};
-pub use maintain::{MaintainableEdb, UpdateReport};
+pub use maintain::{CompactionPlan, CompactionResult, MaintainableEdb, UpdateReport};
 pub use policy::{CandidateCells, Convergence, PolicySpec, Quantity};
 pub use prep::{prepare, PreparedData};
 pub use report::{ComponentStats, RunReport};

@@ -37,7 +37,7 @@ use iolap_model::{
     WorkFactRecord,
 };
 use iolap_rtree::{Aabb, RTree};
-use iolap_storage::{external_sort, SortBudget};
+use iolap_storage::{external_sort, Env, SortBudget};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -147,6 +147,63 @@ pub struct UpdateReport {
 /// [`MaintainableEdb::current_weights`].
 pub type WeightsByFact = HashMap<FactId, Vec<([u32; iolap_model::MAX_DIMS], f64)>>;
 
+/// A compaction captured off the apply path by
+/// [`MaintainableEdb::prepare_compaction`]: the frozen input tiers plus
+/// everything the merge needs, detached from the EDB so
+/// [`CompactionPlan::run`] can execute on a background thread.
+pub struct CompactionPlan {
+    env: Env,
+    k: usize,
+    layout: SegmentLayout,
+    /// First tier index being merged (0 when the base tier is included).
+    start: usize,
+    /// Input views frozen at prepare time.
+    inputs: Vec<SegmentView>,
+}
+
+/// The merged tier produced by [`CompactionPlan::run`], ready for
+/// [`MaintainableEdb::install_compaction`].
+pub struct CompactionResult {
+    start: usize,
+    input_segs: Vec<Arc<EdbSegment>>,
+    input_excl: Vec<Arc<HashSet<FactId>>>,
+    merged: Arc<EdbSegment>,
+}
+
+impl CompactionPlan {
+    /// Run the merge: the same accounted temp-file + external-sort path as
+    /// inline compaction (its I/O charges the environment's exact page
+    /// counters), safe to call from any thread — the inputs are immutable
+    /// `Arc` snapshots and the buffer pool is shared and thread-safe.
+    pub fn run(self) -> Result<CompactionResult> {
+        let k = self.k;
+        let mut tmp = self.env.create_file("seg-compact", EdbCodec { k })?;
+        for v in &self.inputs {
+            v.segment.for_each_entry(|e| {
+                if !v.exclude.contains(&e.fact_id) {
+                    tmp.push(e)?;
+                }
+                Ok(())
+            })?;
+        }
+        let order = self.layout.order;
+        let mut sorted =
+            external_sort(&self.env, tmp, SortBudget::pages(16), |e| order.sort_key(&e.cell, k))?;
+        let mut entries = Vec::with_capacity(sorted.len() as usize);
+        let mut cursor = sorted.scan();
+        while let Some(e) = cursor.next()? {
+            entries.push(e);
+        }
+        drop(cursor);
+        Ok(CompactionResult {
+            start: self.start,
+            input_segs: self.inputs.iter().map(|v| v.segment.clone()).collect(),
+            input_excl: self.inputs.iter().map(|v| v.exclude.clone()).collect(),
+            merged: Arc::new(EdbSegment::from_sorted_with(k, entries, self.layout)),
+        })
+    }
+}
+
 /// An EDB with the maintenance index of Section 9 attached.
 pub struct MaintainableEdb {
     prep: PreparedData,
@@ -175,6 +232,12 @@ pub struct MaintainableEdb {
     base_len: u64,
     /// Facts re-emitted by maintenance (latest appended run wins).
     superseded: HashSet<FactId>,
+    /// File index where each re-emitted fact's *latest* appended run
+    /// starts. Appended entries below their fact's start belong to a
+    /// superseded run — this is the authority for run replacement, not
+    /// fact-id adjacency (two consecutive runs of the same fact would
+    /// be indistinguishable by adjacency alone and double-count).
+    run_starts: HashMap<FactId, u64>,
     /// Published segments: index 0 is the base tier (the Transitive output
     /// or a post-compaction merge), later entries are delta segments in
     /// publication order.
@@ -191,6 +254,11 @@ pub struct MaintainableEdb {
     seg_deleted: HashSet<FactId>,
     /// Delta-segment count that triggers a compaction.
     compaction_threshold: usize,
+    /// When true (default) the threshold compacts inline on the refresh
+    /// path; when false the owner drives compaction off-thread via
+    /// [`MaintainableEdb::prepare_compaction`] /
+    /// [`MaintainableEdb::install_compaction`].
+    inline_compaction: bool,
     /// Layout for newly built segment tiers (existing tiers keep theirs
     /// until the next compaction re-encodes them).
     seg_layout: SegmentLayout,
@@ -340,12 +408,14 @@ impl MaintainableEdb {
             deleted_facts: HashSet::new(),
             base_len,
             superseded: HashSet::new(),
+            run_starts: HashMap::new(),
             segs: Vec::new(),
             seg_excl: Vec::new(),
             seg_cursor: 0,
             seg_owner: HashMap::new(),
             seg_deleted: HashSet::new(),
             compaction_threshold: 4,
+            inline_compaction: true,
             seg_layout: SegmentLayout::default(),
             compactions: 0,
             lattice: None,
@@ -372,19 +442,15 @@ impl MaintainableEdb {
         let base_len = self.base_len;
         let superseded = self.superseded.clone();
         let deleted = self.deleted_facts.clone();
+        let run_starts = self.run_starts.clone();
         let mut idx = 0u64;
-        let mut prev: Option<FactId> = None;
         self.edb.for_each(|e| {
             let keep = if idx < base_len {
                 !superseded.contains(&e.fact_id) && !deleted.contains(&e.fact_id)
             } else {
-                // Appended runs are contiguous per fact; a newer run
-                // replaces any older one.
-                if prev != Some(e.fact_id) {
-                    latest.remove(&e.fact_id);
-                    prev = Some(e.fact_id);
-                }
+                // Only the fact's latest appended run is live.
                 !deleted.contains(&e.fact_id)
+                    && run_starts.get(&e.fact_id).is_some_and(|&s| idx >= s)
             };
             if keep {
                 latest.entry(e.fact_id).or_default().push((e.cell, e.weight));
@@ -412,26 +478,27 @@ impl MaintainableEdb {
         let base_len = self.base_len;
         let superseded = self.superseded.clone();
         let deleted = self.deleted_facts.clone();
+        let run_starts = self.run_starts.clone();
         let mut base: Vec<EdbRecord> = Vec::new();
         // Latest appended run per fact, keyed for ordering by the file
         // index where the run starts.
         let mut runs: HashMap<FactId, (u64, Vec<EdbRecord>)> = HashMap::new();
         let mut idx = 0u64;
-        let mut prev: Option<FactId> = None;
         self.edb.for_each(|e| {
             if idx < base_len {
                 if !superseded.contains(&e.fact_id) && !deleted.contains(&e.fact_id) {
                     base.push(e.clone());
                 }
-            } else {
-                // Appended runs are contiguous per fact; a newer run
-                // replaces any older one (same rule as current_weights).
-                if prev != Some(e.fact_id) {
-                    runs.insert(e.fact_id, (idx, Vec::new()));
-                    prev = Some(e.fact_id);
-                }
-                if !deleted.contains(&e.fact_id) {
-                    runs.get_mut(&e.fact_id).expect("run opened").1.push(e.clone());
+            } else if !deleted.contains(&e.fact_id) {
+                // Only the fact's latest appended run is live (same rule
+                // as current_weights).
+                if let Some(&start) = run_starts.get(&e.fact_id) {
+                    if idx >= start {
+                        runs.entry(e.fact_id)
+                            .or_insert_with(|| (start, Vec::new()))
+                            .1
+                            .push(e.clone());
+                    }
                 }
             }
             idx += 1;
@@ -483,10 +550,116 @@ impl MaintainableEdb {
         self.prep.env.stats().snapshot()
     }
 
+    /// The live I/O meter of the environment backing this EDB. The
+    /// counters are shared (cloning is cheap and stays connected), so the
+    /// serve layer hands this same meter to its write-ahead log — WAL and
+    /// recovery traffic show up in [`MaintainableEdb::accounted_io`] like
+    /// every other pass.
+    pub fn io_stats(&self) -> iolap_storage::IoStats {
+        self.prep.env.stats().clone()
+    }
+
     /// Delta-segment count that triggers a compaction (default 4; clamped
     /// to at least 1).
     pub fn set_compaction_threshold(&mut self, n: usize) {
         self.compaction_threshold = n.max(1);
+    }
+
+    /// Move size-tiered compaction off the apply path. With `background`
+    /// set, [`MaintainableEdb::snapshot_segments`] never merges tiers
+    /// inline; the owner polls [`MaintainableEdb::needs_compaction`] and
+    /// drives [`MaintainableEdb::prepare_compaction`] →
+    /// [`CompactionPlan::run`] (on its own thread) →
+    /// [`MaintainableEdb::install_compaction`].
+    pub fn set_background_compaction(&mut self, background: bool) {
+        self.inline_compaction = !background;
+    }
+
+    /// True when the published tier count exceeds the compaction
+    /// threshold — with background compaction, the cue to schedule a
+    /// [`MaintainableEdb::prepare_compaction`] plan.
+    pub fn needs_compaction(&self) -> bool {
+        self.segs.len() > self.compaction_threshold
+    }
+
+    /// Capture a compaction plan off the apply path: the input tiers are
+    /// frozen as `Arc` views (segments plus their exclusion sets at this
+    /// instant), so [`CompactionPlan::run`] can merge them on a background
+    /// thread while the coordinator keeps applying batches. Returns `None`
+    /// when the tier count is within threshold.
+    pub fn prepare_compaction(&mut self) -> Result<Option<CompactionPlan>> {
+        self.refresh_segments()?;
+        if self.segs.len() <= self.compaction_threshold {
+            return Ok(None);
+        }
+        let live = |i: usize| -> Result<u64> {
+            SegmentView { segment: self.segs[i].clone(), exclude: self.seg_excl[i].clone() }
+                .live_entries()
+        };
+        let mut delta_live = 0u64;
+        for i in 1..self.segs.len() {
+            delta_live += live(i)?;
+        }
+        // Same size-tiering rule as the inline path: fold the base tier in
+        // once the deltas have grown to its size.
+        let start = if delta_live >= live(0)? { 0 } else { 1 };
+        let inputs = self.segs[start..]
+            .iter()
+            .zip(&self.seg_excl[start..])
+            .map(|(s, e)| SegmentView { segment: s.clone(), exclude: e.clone() })
+            .collect();
+        Ok(Some(CompactionPlan {
+            env: self.prep.env.clone(),
+            k: self.prep.schema.k(),
+            layout: self.seg_layout,
+            start,
+            inputs,
+        }))
+    }
+
+    /// Splice a background-merged tier into the published segment list.
+    /// The handoff is the Arc identity of `snapshot_segments`: batches
+    /// applied since [`MaintainableEdb::prepare_compaction`] only *append*
+    /// new delta tiers and *grow* exclusion sets, so the plan's inputs
+    /// must still sit unchanged at their tier positions — verified by
+    /// `Arc::ptr_eq`, returning `false` (plan wasted, nothing changed)
+    /// if anything else happened. Facts retired from an input tier after
+    /// the plan was captured have entries inside the merged segment, so
+    /// exactly the per-tier exclusion growth carries over to the merged
+    /// tier's exclusion set — the live multiset is untouched, which is
+    /// why installation needs no epoch bump and no cache invalidation.
+    pub fn install_compaction(&mut self, done: CompactionResult) -> Result<bool> {
+        let CompactionResult { start, input_segs, input_excl, merged } = done;
+        let n = input_segs.len();
+        if self.segs.len() < start + n {
+            return Ok(false);
+        }
+        for (i, seg) in input_segs.iter().enumerate() {
+            if !Arc::ptr_eq(&self.segs[start + i], seg) {
+                return Ok(false);
+            }
+        }
+        let mut excl: HashSet<FactId> = HashSet::new();
+        for (i, snap) in input_excl.iter().enumerate() {
+            excl.extend(self.seg_excl[start + i].iter().filter(|f| !snap.contains(*f)).copied());
+        }
+        self.segs.splice(start..start + n, [merged]);
+        self.seg_excl.splice(start..start + n, [Arc::new(excl)]);
+        for owner in self.seg_owner.values_mut() {
+            if (start..start + n).contains(owner) {
+                *owner = start;
+            } else if *owner >= start + n {
+                *owner -= n - 1;
+            }
+        }
+        self.compactions += 1;
+        if let Some(c) = self.prep.env.obs().counter("edb.compactions") {
+            c.add(1);
+        }
+        if let Some(g) = self.prep.env.obs().gauge("edb.segments") {
+            g.set(self.segs.len() as i64);
+        }
+        Ok(true)
     }
 
     /// Layout for segment tiers built from here on (the base tier, future
@@ -545,28 +718,29 @@ impl MaintainableEdb {
             self.seg_cursor = self.base_len;
         }
         if self.seg_cursor < len {
-            // Appended runs are contiguous per fact and a later run
-            // supersedes any earlier one (the snapshot_entries rule).
+            // Only each fact's latest appended run goes into the delta
+            // (the snapshot_entries rule): entries below the fact's
+            // recorded run start belong to a superseded run, possibly
+            // from earlier in this same unfolded range.
+            let run_starts = self.run_starts.clone();
             let mut runs: Vec<(FactId, Vec<EdbRecord>)> = Vec::new();
-            let mut prev: Option<FactId> = None;
+            let mut at: HashMap<FactId, usize> = HashMap::new();
+            let mut idx = self.seg_cursor;
             self.edb.for_each_range(self.seg_cursor, len, |e| {
-                if prev != Some(e.fact_id) {
-                    prev = Some(e.fact_id);
-                    runs.push((e.fact_id, Vec::new()));
+                if run_starts.get(&e.fact_id).is_some_and(|&s| idx >= s) {
+                    let slot = *at.entry(e.fact_id).or_insert_with(|| {
+                        runs.push((e.fact_id, Vec::new()));
+                        runs.len() - 1
+                    });
+                    runs[slot].1.push(e.clone());
                 }
-                runs.last_mut().expect("run opened").1.push(e.clone());
+                idx += 1;
             })?;
-            let mut latest: HashMap<FactId, usize> = HashMap::new();
-            for (i, (id, _)) in runs.iter().enumerate() {
-                latest.insert(*id, i);
-            }
             let mut entries = Vec::new();
             let mut claimed: Vec<FactId> = Vec::new();
-            for (i, (id, recs)) in runs.iter().enumerate() {
-                if latest[id] == i {
-                    entries.extend(recs.iter().cloned());
-                    claimed.push(*id);
-                }
+            for (id, recs) in runs {
+                entries.extend(recs);
+                claimed.push(id);
             }
             if !entries.is_empty() {
                 let idx = self.segs.len();
@@ -595,7 +769,7 @@ impl MaintainableEdb {
             Arc::make_mut(&mut self.seg_excl[owner]).insert(id);
             self.seg_deleted.insert(id);
         }
-        if self.segs.len() > self.compaction_threshold {
+        if self.inline_compaction && self.segs.len() > self.compaction_threshold {
             self.compact()?;
         }
         if let Some(g) = self.prep.env.obs().gauge("edb.segments") {
@@ -700,8 +874,14 @@ impl MaintainableEdb {
             }
         }
 
-        // Structural changes may have retired some dirty ids.
-        let live: Vec<u32> = dirty.into_iter().filter(|cc| self.comps.contains_key(cc)).collect();
+        // Structural changes may have retired some dirty ids. Re-solve in
+        // sorted order: HashSet iteration order varies per process, and
+        // the re-emission order it would induce must not — replaying the
+        // same batches (WAL recovery, cluster replicas) has to append
+        // runs in the same file order to stay bit-identical.
+        let mut live: Vec<u32> =
+            dirty.into_iter().filter(|cc| self.comps.contains_key(cc)).collect();
+        live.sort_unstable();
         report.affected_components = live.len() as u64;
         for cc in live {
             if let Some(b) = self.comps.get(&cc).and_then(|m| m.bbox) {
@@ -757,6 +937,7 @@ impl MaintainableEdb {
                 }
                 // Refresh the fact's own weight-1 entry.
                 self.superseded.insert(fact_id);
+                self.run_starts.insert(fact_id, self.edb.num_entries());
                 self.edb.push(
                     &EdbRecord { fact_id, cell, weight: 1.0, measure: new_measure },
                     true,
@@ -801,6 +982,7 @@ impl MaintainableEdb {
             let pi = self.prep.precise.len() - 1;
             self.fact_locs.insert(fact.id, FactLoc::Precise(pi));
             self.superseded.insert(fact.id);
+            self.run_starts.insert(fact.id, self.edb.num_entries());
             self.edb.push(
                 &EdbRecord { fact_id: fact.id, cell, weight: 1.0, measure: fact.measure },
                 true,
@@ -856,7 +1038,10 @@ impl MaintainableEdb {
                     self.rtree.insert(pb, cc);
                     cc
                 } else {
-                    let ids: Vec<u32> = owners.into_iter().collect();
+                    // Sorted so the surviving ccid (and with it all later
+                    // re-emission order) is replay-deterministic.
+                    let mut ids: Vec<u32> = owners.into_iter().collect();
+                    ids.sort_unstable();
                     let cc = self.merge_components(&ids, report)?;
                     self.comps.get_mut(&cc).expect("merged").extra_cells.push(ci);
                     let nb = self.comps[&cc].bbox.map_or(pb, |b| b.union(&pb));
@@ -891,7 +1076,10 @@ impl MaintainableEdb {
             let owners: Vec<u32> = {
                 let set: HashSet<u32> =
                     covered.iter().map(|&ci| self.cell_ccid[ci as usize]).collect();
-                set.into_iter().collect()
+                let mut v: Vec<u32> = set.into_iter().collect();
+                // Sorted for replay-deterministic merge order (see above).
+                v.sort_unstable();
+                v
             };
             let cc = self.merge_components(&owners, report)?;
             self.comps.get_mut(&cc).expect("merged").extra_facts.push(fi);
@@ -1212,6 +1400,7 @@ impl MaintainableEdb {
             if seen.insert(e.fact_id) {
                 self.superseded.insert(e.fact_id);
                 self.deleted_facts.remove(&e.fact_id);
+                self.run_starts.insert(e.fact_id, self.edb.num_entries());
             }
             self.edb.push(e, false, false)?;
             report.entries_rewritten += 1;
@@ -1306,6 +1495,37 @@ mod tests {
         );
         let s: f64 = w_after.values().sum();
         assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consecutive_runs_of_one_fact_do_not_double_count() {
+        // Under EM-Count a precise measure update re-emits only the fact's
+        // own weight-1 entry, so back-to-back updates append runs for the
+        // same fact with nothing between them. Run replacement must still
+        // retire the older run — adjacency alone cannot tell them apart.
+        let mut m = build_maintainable(&PolicySpec::em_count(0.01));
+        m.apply_batch(&[EdbMutation::UpdateMeasure { fact_id: 2, new_measure: 100.0 }]).unwrap();
+        m.apply_batch(&[EdbMutation::UpdateMeasure { fact_id: 2, new_measure: 200.0 }]).unwrap();
+        let w = m.current_weights().unwrap();
+        assert_eq!(w[&2].len(), 1, "one live entry, not one per run: {:?}", w[&2]);
+        let snap = m.snapshot_entries().unwrap();
+        let mine: Vec<&EdbRecord> = snap.iter().filter(|e| e.fact_id == 2).collect();
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].measure, 200.0, "the newer run wins");
+
+        // Same fact twice within one batch: the segment fold sees both
+        // runs inside a single unfolded range and must keep only the last.
+        m.apply_batch(&[
+            EdbMutation::UpdateMeasure { fact_id: 2, new_measure: 300.0 },
+            EdbMutation::UpdateMeasure { fact_id: 2, new_measure: 400.0 },
+        ])
+        .unwrap();
+        let views = m.snapshot_segments().unwrap();
+        let live: Vec<EntryKey> =
+            live_multiset(&views).into_iter().filter(|(id, ..)| *id == 2).collect();
+        assert_eq!(live.len(), 1, "segments double-counted fact 2: {live:?}");
+        assert_eq!(f64::from_bits(live[0].3), 400.0);
+        assert_eq!(live_multiset(&views), entry_multiset(&m.snapshot_entries().unwrap()));
     }
 
     /// Helper: maintained weights must equal a from-scratch rebuild of the
@@ -1545,6 +1765,48 @@ mod tests {
         let _ = m.snapshot_segments().unwrap(); // compacts the delta tier
         assert!(m.num_compactions() >= 1);
         m.apply_batch(&[EdbMutation::Delete(11)]).unwrap();
+        let views = m.snapshot_segments().unwrap();
+        assert_eq!(live_multiset(&views), entry_multiset(&m.snapshot_entries().unwrap()));
+    }
+
+    #[test]
+    fn background_compaction_installs_under_interleaved_batches() {
+        let policy = PolicySpec::em_measure(0.001);
+        let mut m = build_maintainable(&policy);
+        m.set_compaction_threshold(2);
+        m.set_background_compaction(true);
+        for round in 0..4 {
+            m.apply_updates(&[FactUpdate { fact_id: 2, new_measure: 100.0 + round as f64 }])
+                .unwrap();
+            let _ = m.snapshot_segments().unwrap();
+        }
+        assert_eq!(m.num_compactions(), 0, "background mode never compacts inline");
+        assert!(m.needs_compaction());
+
+        // Two plans off the same state; batches keep landing while the
+        // first merge "runs in the background" — the coordinator's real
+        // schedule.
+        let plan_a = m.prepare_compaction().unwrap().expect("over threshold");
+        let plan_b = m.prepare_compaction().unwrap().expect("still over threshold");
+        m.apply_updates(&[FactUpdate { fact_id: 1, new_measure: 7.0 }]).unwrap();
+        m.apply_batch(&[EdbMutation::Delete(11)]).unwrap();
+        let _ = m.snapshot_segments().unwrap();
+
+        let done = plan_a.run().unwrap();
+        assert!(m.install_compaction(done).unwrap(), "append-only interleaving installs");
+        assert_eq!(m.num_compactions(), 1);
+        let views = m.snapshot_segments().unwrap();
+        assert_eq!(live_multiset(&views), entry_multiset(&m.snapshot_entries().unwrap()));
+
+        // The second plan's inputs were spliced away: install refuses it.
+        let stale = plan_b.run().unwrap();
+        assert!(!m.install_compaction(stale).unwrap(), "stale plan must not install");
+        assert_eq!(m.num_compactions(), 1);
+        let views = m.snapshot_segments().unwrap();
+        assert_eq!(live_multiset(&views), entry_multiset(&m.snapshot_entries().unwrap()));
+
+        // Further mutations keep the invariant after the remap.
+        m.apply_updates(&[FactUpdate { fact_id: 2, new_measure: 1.5 }]).unwrap();
         let views = m.snapshot_segments().unwrap();
         assert_eq!(live_multiset(&views), entry_multiset(&m.snapshot_entries().unwrap()));
     }

@@ -180,6 +180,25 @@ impl ShardedCache {
         self.epoch.store(epoch, Ordering::Release);
     }
 
+    /// Re-stamp every surviving entry to `epoch`. The publisher calls
+    /// this *after* the targeted invalidation sweep: an entry that
+    /// survived is disjoint from every touched box, so (Theorem 12's
+    /// contrapositive) its answer is unchanged at the new epoch and a
+    /// hit may honestly report it as current. Without the re-stamp,
+    /// legitimately-surviving pre-update entries answer with their old
+    /// epoch, and byte-identity harnesses had to disable caching to
+    /// compare servers.
+    pub fn retag_epoch(&self, epoch: u64) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            for e in shard.map.values_mut() {
+                if e.val.epoch < epoch {
+                    e.val.epoch = epoch;
+                }
+            }
+        }
+    }
+
     /// Evict every entry whose region overlaps one of `boxes`; returns
     /// the number of entries removed.
     pub fn invalidate_overlapping(&self, boxes: &[Aabb]) -> u64 {
@@ -270,6 +289,23 @@ mod tests {
         assert!(c.get(&k).is_none());
         assert!(c.insert(k.clone(), val(2, 9.0)).inserted);
         assert!(c.get(&k).is_some());
+    }
+
+    #[test]
+    fn surviving_entries_are_retagged_to_the_new_epoch() {
+        let c = ShardedCache::new(64, 4);
+        let west = CacheKey::new(&region([2, 0], [4, 4]), AggFn::Sum, None);
+        let east = CacheKey::new(&region([0, 0], [2, 4]), AggFn::Sum, None);
+        c.insert(west.clone(), val(0, 1.0));
+        c.insert(east.clone(), val(0, 2.0));
+        // The publisher's sequence for an update touching the west half.
+        c.begin_epoch(1);
+        c.invalidate_overlapping(&[Aabb::new(&[3, 1], &[4, 2])]);
+        c.retag_epoch(1);
+        assert!(c.get(&west).is_none());
+        let hit = c.get(&east).expect("disjoint entry survives");
+        assert_eq!(hit.epoch, 1, "survivor answers as the current epoch");
+        assert_eq!(hit.result.value, 2.0, "with its (provably unchanged) value");
     }
 
     #[test]

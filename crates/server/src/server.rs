@@ -32,18 +32,21 @@ use crate::snapshot::{resolve_level, resolve_region, EdbSnapshot};
 use crate::wire;
 pub use crate::wire::ServeError;
 use iolap_core::maintain::EdbMutation;
-use iolap_core::{allocate, Algorithm, AllocConfig, MaintainableEdb, PolicySpec};
+use iolap_core::{
+    allocate, Algorithm, AllocConfig, CompactionResult, MaintainableEdb, MutationWal, PolicySpec,
+};
 use iolap_model::{Fact, FactId, FactTable, RegionBox, MAX_DIMS};
-use iolap_obs::{Counter, Gauge, Obs};
+use iolap_obs::{Counter, Gauge, Histogram, Obs};
 use iolap_query::{aggregate_classical, Query};
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What to do with a connection the server cannot take on: over
 /// `max_connections`, or a ready-request queue already full.
@@ -88,6 +91,19 @@ pub struct ServeConfig {
     /// The role this process reports in `/healthz` (`"single"` for a
     /// standalone server, `"shard"` when serving one cluster shard).
     pub role: String,
+    /// Write-ahead log path. `Some` makes every `/update` durable before
+    /// it is acknowledged and replays un-applied batches on startup;
+    /// `None` keeps the purely in-memory write path.
+    pub wal_path: Option<PathBuf>,
+    /// Group-commit window. `ZERO` (the default) keeps the synchronous
+    /// contract: each `/update` folds into the EDB before its response.
+    /// A nonzero window acks at WAL-durable and defers the fold until
+    /// the window elapses or [`group_frames`](Self::group_frames) WAL
+    /// frames are staged, amortizing segment maintenance across batches.
+    pub group_window: Duration,
+    /// Staged-frame threshold that triggers an early fold when the
+    /// group-commit window is nonzero.
+    pub group_frames: u64,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +121,9 @@ impl Default for ServeConfig {
             shed: ShedPolicy::Respond503,
             obs: Obs::disabled(),
             role: "single".into(),
+            wal_path: None,
+            group_window: Duration::ZERO,
+            group_frames: 256,
         }
     }
 }
@@ -209,6 +228,24 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Write-ahead log path (durable acks + startup replay).
+    pub fn wal_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cfg.wal_path = Some(path.into());
+        self
+    }
+
+    /// Group-commit window (`ZERO` = synchronous folds).
+    pub fn group_window(mut self, d: Duration) -> Self {
+        self.cfg.group_window = d;
+        self
+    }
+
+    /// Staged-frame threshold for an early fold in deferred mode.
+    pub fn group_frames(mut self, n: u64) -> Self {
+        self.cfg.group_frames = n;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> ServeConfig {
         self.cfg
@@ -222,6 +259,16 @@ struct UpdateOutcome {
     report: iolap_core::UpdateReport,
 }
 
+/// What the coordinator sends back for one `/update` batch.
+enum UpdateReply {
+    /// Folded into the EDB and (unless prepared) published: the full
+    /// apply outcome for the classic response body.
+    Applied(UpdateOutcome),
+    /// Acknowledged at WAL-durable; the fold rides a later group-commit
+    /// trigger. `epoch` is the epoch the batch will fold *after*.
+    Durable { wal_batch: u64, staged: u64, epoch: u64 },
+}
+
 /// One request to the update coordinator.
 enum CoordJob {
     /// Apply a mutation batch. With `prepare`, the resulting snapshot is
@@ -229,10 +276,12 @@ enum CoordJob {
     Update {
         muts: Vec<EdbMutation>,
         prepare: bool,
-        reply: Sender<Result<UpdateOutcome, (u16, String)>>,
+        reply: Sender<Result<UpdateReply, (u16, String)>>,
     },
     /// Publish the staged snapshot whose epoch matches.
     Commit { epoch: u64, reply: Sender<Result<(u64, u64), (u16, String)>> },
+    /// A background segment merge finished (or failed); install it.
+    CompactionDone(Box<Result<CompactionResult, String>>),
 }
 
 /// Application-level metric handles resolved once at startup (hot paths
@@ -269,6 +318,16 @@ pub(crate) struct ServeMetrics {
     /// Aggregate compression ratio of the published segments, in
     /// milli-units (1000 = row layout, 1700 = 1.7×).
     compression_ratio: Gauge,
+    /// Streaming-ingest instruments: WAL bytes appended, WAL batches
+    /// replayed at startup, durable-but-unfolded backlog frames, folds
+    /// of staged batches into delta segments, group-commit fsync
+    /// latency, and whether a background merge is in flight.
+    ingest_wal_bytes: Counter,
+    ingest_recovered: Counter,
+    ingest_backlog: Gauge,
+    ingest_folds: Counter,
+    ingest_group_commit_us: Histogram,
+    ingest_compaction_queue: Gauge,
 }
 
 impl ServeMetrics {
@@ -296,6 +355,12 @@ impl ServeMetrics {
             edb_segments: obs.gauge("edb.segments").expect("enabled"),
             edb_compactions: c("edb.compactions"),
             compression_ratio: obs.gauge("edb.compression_ratio").expect("enabled"),
+            ingest_wal_bytes: c("ingest.wal_bytes"),
+            ingest_recovered: c("ingest.recovered_batches"),
+            ingest_backlog: obs.gauge("ingest.backlog").expect("enabled"),
+            ingest_folds: c("ingest.folds"),
+            ingest_group_commit_us: obs.histogram("ingest.group_commit_us").expect("enabled"),
+            ingest_compaction_queue: obs.gauge("ingest.compaction_queue").expect("enabled"),
         }
     }
 }
@@ -327,6 +392,10 @@ pub(crate) struct Shared {
     /// are refused (503) and `/healthz` reports degraded. Reads keep
     /// serving the last consistent snapshot.
     poisoned: AtomicBool,
+    /// WAL frames acknowledged durable but not yet folded into a delta
+    /// segment; `/healthz` reports it so operators (and the smoke test)
+    /// can watch the group-commit backlog drain.
+    wal_backlog: AtomicU64,
 }
 
 impl Shared {
@@ -344,26 +413,6 @@ impl Server {
     /// required for maintenance). Finish with [`ServerBuilder::bind`].
     pub fn builder(table: FactTable, policy: PolicySpec) -> ServerBuilder {
         ServerBuilder { table, policy, alloc: AllocConfig::default(), cfg: ServeConfig::default() }
-    }
-
-    /// Allocate `table` under `policy`, bind `addr`, and serve until the
-    /// handle shuts down.
-    ///
-    /// Deprecated for external use; every internal caller has migrated to
-    /// [`Server::builder`]. One gated equivalence test keeps this
-    /// constructor honest until it is removed.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Server::builder(table, policy).alloc(alloc).config(cfg).bind(addr)`"
-    )]
-    pub fn start(
-        table: FactTable,
-        policy: PolicySpec,
-        alloc: AllocConfig,
-        addr: &str,
-        cfg: ServeConfig,
-    ) -> Result<ServerHandle, ServeError> {
-        Server::builder(table, policy).alloc(alloc).config(cfg).bind(addr)
     }
 }
 
@@ -417,9 +466,16 @@ impl ServerBuilder {
         let (ready_tx, ready_rx) = mpsc::channel::<Result<Arc<EdbSnapshot>, String>>();
         let (shared_tx, shared_rx) = mpsc::channel::<Arc<Shared>>();
         let (update_tx, update_rx) = mpsc::channel::<CoordJob>();
+        let ingest = IngestCfg {
+            wal_path: cfg.wal_path.clone(),
+            group_window: cfg.group_window,
+            group_frames: cfg.group_frames.max(1),
+        };
         let coordinator = std::thread::Builder::new()
             .name("iolap-serve-coord".into())
-            .spawn(move || coordinator_main(table, policy, alloc, ready_tx, shared_rx, update_rx))
+            .spawn(move || {
+                coordinator_main(table, policy, alloc, ingest, ready_tx, shared_rx, update_rx)
+            })
             .map_err(ServeError::Io)?;
 
         let first = match ready_rx.recv() {
@@ -446,6 +502,7 @@ impl ServerBuilder {
             update_tx: Mutex::new(Some(update_tx)),
             role: cfg.role.clone(),
             poisoned: AtomicBool::new(false),
+            wal_backlog: AtomicU64::new(0),
         });
         // Hand the coordinator its view of the shared state; it only now
         // enters the update loop.
@@ -536,7 +593,8 @@ pub(crate) fn handle_request(req: &Request, shared: &Shared) -> Response {
             shared.metrics.req_healthz.inc();
             let ok = !shared.poisoned.load(Ordering::Acquire);
             let status = if ok { 200 } else { 503 };
-            let body = wire::health_response(shared.snapshot().epoch, ok, &shared.role);
+            let backlog = shared.wal_backlog.load(Ordering::Relaxed);
+            let body = wire::health_response(shared.snapshot().epoch, ok, &shared.role, backlog);
             (status, "application/json", body)
         }
         ("GET", "/metrics") => {
@@ -784,7 +842,7 @@ fn handle_update(body: &[u8], shared: &Shared) -> Response {
         return err_response(ServeError::Unavailable("server is shutting down".into()));
     }
     match reply_rx.recv() {
-        Ok(Ok(out)) => {
+        Ok(Ok(UpdateReply::Applied(out))) => {
             let r = &out.report;
             let body = wire::update_response(
                 out.epoch,
@@ -796,6 +854,9 @@ fn handle_update(body: &[u8], shared: &Shared) -> Response {
                 r.splits,
             );
             (200, "application/json", body)
+        }
+        Ok(Ok(UpdateReply::Durable { wal_batch, staged, epoch })) => {
+            (200, "application/json", wire::staged_response(wal_batch, staged, epoch))
         }
         Ok(Err((status, msg))) => err_response(ServeError::from_status(status, msg)),
         Err(_) => err_response(ServeError::Internal("update coordinator died".into())),
@@ -840,10 +901,29 @@ fn handle_commit(body: &[u8], shared: &Shared) -> Response {
 // Update coordinator
 // ---------------------------------------------------------------------------
 
+/// Ingest knobs handed to the coordinator (a slice of [`ServeConfig`]).
+struct IngestCfg {
+    wal_path: Option<PathBuf>,
+    group_window: Duration,
+    group_frames: u64,
+}
+
+/// One accepted-but-unfolded batch: its mutations are WAL-durable and
+/// its `/update` already answered.
+struct PendingBatch {
+    muts: Vec<EdbMutation>,
+}
+
+const POISONED_MSG: &str =
+    "maintenance failed earlier; updates disabled (reads still serve the last consistent snapshot)";
+
+type UpdateJob = (Vec<EdbMutation>, bool, Sender<Result<UpdateReply, (u16, String)>>);
+
 fn coordinator_main(
     table: FactTable,
     policy: PolicySpec,
     alloc: AllocConfig,
+    ingest: IngestCfg,
     ready_tx: Sender<Result<Arc<EdbSnapshot>, String>>,
     shared_rx: Receiver<Arc<Shared>>,
     update_rx: Receiver<CoordJob>,
@@ -859,7 +939,44 @@ fn coordinator_main(
             return;
         }
     };
+    // From here on compaction runs off the apply path: folds only stage
+    // the need, and the merge happens on a background thread whose
+    // result installs through the usual epoch-swap publish.
+    medb.set_background_compaction(true);
     let mut mirror = table; // fact-table mirror for classical baselines
+    let mut acked_ids: HashSet<FactId> = mirror.facts().iter().map(|f| f.id).collect();
+    let mut epoch = 0u64;
+
+    // Recover the write-ahead log *before* the first snapshot publishes.
+    // Each committed WAL batch replays through the same `apply_batch`
+    // path at the same batch granularity, so the recovered EDB — and the
+    // epoch — are bit-identical to a synchronous replay of the
+    // acknowledged history. A torn tail was never acknowledged and is
+    // truncated by `open`; true corruption refuses to start.
+    let mut wal: Option<MutationWal> = None;
+    let mut recovered = 0u64;
+    if let Some(path) = &ingest.wal_path {
+        match MutationWal::open_or_create(path, medb.io_stats()) {
+            Ok((w, rec)) => {
+                for muts in &rec.batches {
+                    if let Err(e) = fold_batch(&mut medb, &mut mirror, muts) {
+                        let _ =
+                            ready_tx.send(Err(format!("WAL replay failed at batch {epoch}: {e}")));
+                        return;
+                    }
+                    apply_id_effects(&mut acked_ids, muts);
+                    epoch += 1;
+                    recovered += 1;
+                }
+                wal = Some(w);
+            }
+            Err(e) => {
+                let _ = ready_tx.send(Err(format!("WAL recovery failed: {e}")));
+                return;
+            }
+        }
+    }
+
     let schema = medb.schema().clone();
     let segments = match medb.snapshot_segments() {
         Ok(s) => s,
@@ -872,7 +989,7 @@ fn coordinator_main(
     // and serve leaf scans rather than refusing to start.
     let lattice = medb.snapshot_lattice().ok();
     let first = Arc::new(EdbSnapshot {
-        epoch: 0,
+        epoch,
         schema: schema.clone(),
         table: Arc::new(mirror.clone()),
         segments,
@@ -885,76 +1002,431 @@ fn coordinator_main(
         return;
     };
     shared.metrics.cuboid_bytes.set(lattice.as_ref().map_or(0, |l| l.encoded_bytes()) as i64);
+    shared.metrics.ingest_recovered.add(recovered);
+    let wal_bytes_seen = wal.as_ref().map_or(0, |w| w.appended_bytes());
+    shared.metrics.ingest_wal_bytes.add(wal_bytes_seen);
 
-    let mut live_ids: HashSet<FactId> = mirror.facts().iter().map(|f| f.id).collect();
-    let mut epoch = 0u64;
-    let mut compactions_seen = medb.num_compactions();
-    let mut staged: Option<Staged> = None;
+    let compactions_seen = medb.num_compactions();
+    let coord = Coord {
+        medb,
+        mirror,
+        acked_ids,
+        epoch,
+        wal,
+        wal_bytes_seen,
+        shared,
+        ingest,
+        compactions_seen,
+        staged: None,
+        pending: VecDeque::new(),
+        pending_frames: 0,
+        oldest_pending: None,
+        compaction_thread: None,
+    };
+    coord.run(update_rx);
+}
 
-    while let Ok(job) = update_rx.recv() {
-        match job {
-            CoordJob::Update { muts, prepare, reply } => {
-                if shared.poisoned.load(Ordering::Acquire) {
-                    let _ = reply.send(Err((
-                        503,
-                        "maintenance failed earlier; updates disabled (reads still serve the last consistent snapshot)".into(),
-                    )));
-                    continue;
+/// The update coordinator's working state (one thread owns it all).
+struct Coord {
+    medb: MaintainableEdb,
+    mirror: FactTable,
+    /// Ids as of the last *acknowledged* batch — includes the deferred
+    /// backlog, so validation at ack time sees pending effects.
+    acked_ids: HashSet<FactId>,
+    epoch: u64,
+    wal: Option<MutationWal>,
+    wal_bytes_seen: u64,
+    shared: Arc<Shared>,
+    ingest: IngestCfg,
+    compactions_seen: u64,
+    staged: Option<Staged>,
+    pending: VecDeque<PendingBatch>,
+    pending_frames: u64,
+    oldest_pending: Option<Instant>,
+    compaction_thread: Option<JoinHandle<()>>,
+}
+
+impl Coord {
+    fn run(mut self, update_rx: Receiver<CoordJob>) {
+        loop {
+            let job = match self.oldest_pending {
+                // Nothing staged: block until the next job or shutdown.
+                None => match update_rx.recv() {
+                    Ok(j) => j,
+                    Err(_) => break,
+                },
+                // Deferred batches wait at most `group_window` past the
+                // oldest ack before folding.
+                Some(t0) => {
+                    let deadline = t0 + self.ingest.group_window;
+                    let now = Instant::now();
+                    if deadline <= now {
+                        self.fold_pending();
+                        continue;
+                    }
+                    match update_rx.recv_timeout(deadline - now) {
+                        Ok(j) => j,
+                        Err(RecvTimeoutError::Timeout) => {
+                            self.fold_pending();
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
                 }
-                if staged.is_some() {
-                    // apply_batch has no rollback, so a second batch on
-                    // top of an uncommitted one could never be abandoned;
-                    // refuse instead.
-                    let _ = reply.send(Err((409, "a prepared batch is pending commit".into())));
-                    continue;
+            };
+            match job {
+                CoordJob::Update { muts, prepare, reply } => {
+                    // Group-commit drain: updates already queued behind
+                    // this one ride the same fsync. Stop at the first
+                    // non-update job so FIFO order is preserved.
+                    let mut group: Vec<UpdateJob> = vec![(muts, prepare, reply)];
+                    let mut tail = None;
+                    while let Ok(next) = update_rx.try_recv() {
+                        match next {
+                            CoordJob::Update { muts, prepare, reply } => {
+                                group.push((muts, prepare, reply));
+                            }
+                            other => {
+                                tail = Some(other);
+                                break;
+                            }
+                        }
+                    }
+                    self.handle_group(group);
+                    match tail {
+                        Some(CoordJob::Update { muts, prepare, reply }) => {
+                            self.handle_group(vec![(muts, prepare, reply)]);
+                        }
+                        Some(CoordJob::Commit { epoch, reply }) => self.handle_commit(epoch, reply),
+                        Some(CoordJob::CompactionDone(result)) => {
+                            self.handle_compaction_done(*result);
+                        }
+                        None => {}
+                    }
                 }
-                let result = match apply_job(
-                    &mut medb,
-                    &mut mirror,
-                    &mut live_ids,
-                    &mut epoch,
-                    &shared,
-                    &muts,
-                    prepare,
-                    &mut staged,
-                ) {
-                    Ok(out) => Ok(out),
-                    Err(ApplyError::Reject(status, msg)) => Err((status, msg)),
-                    Err(ApplyError::Poison(msg)) => {
+                CoordJob::Commit { epoch, reply } => self.handle_commit(epoch, reply),
+                CoordJob::CompactionDone(result) => self.handle_compaction_done(*result),
+            }
+        }
+        // Graceful shutdown (stdin EOF / handle drop): every batch below
+        // was acknowledged durable, so flush the backlog into a delta
+        // segment before exit — restart then replays nothing.
+        self.fold_pending();
+        if let Some(h) = self.compaction_thread.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Validate, WAL-append, group-fsync, then fold or stage one group
+    /// of `/update` batches.
+    fn handle_group(&mut self, group: Vec<UpdateJob>) {
+        let t0 = Instant::now();
+        // Phase 1: validate in arrival order against the acknowledged id
+        // set and append accepted batches to the WAL (not yet synced).
+        let mut accepted: Vec<(Vec<EdbMutation>, bool, _, Option<u64>)> = Vec::new();
+        for (muts, prepare, reply) in group {
+            if self.shared.poisoned.load(Ordering::Acquire) {
+                let _ = reply.send(Err((503, POISONED_MSG.into())));
+                continue;
+            }
+            if self.staged.is_some() {
+                // apply_batch has no rollback, so a second batch on top
+                // of an uncommitted one could never be abandoned; refuse.
+                let _ = reply.send(Err((409, "a prepared batch is pending commit".into())));
+                continue;
+            }
+            if let Err((status, msg)) = validate_batch(&mut self.acked_ids, &muts) {
+                let _ = reply.send(Err((status, msg)));
+                continue;
+            }
+            let wal_batch = match &mut self.wal {
+                None => None,
+                Some(w) => match w.append_batch(&muts) {
+                    Ok(b) => Some(b),
+                    Err(e) => {
+                        // The log is broken mid-frame; a later append
+                        // could commit orphaned frames, so the write
+                        // path poisons rather than guessing.
+                        self.shared.poisoned.store(true, Ordering::Release);
+                        let _ = reply.send(Err((500, format!("WAL append failed: {e}"))));
+                        continue;
+                    }
+                },
+            };
+            accepted.push((muts, prepare, reply, wal_batch));
+        }
+        if accepted.is_empty() {
+            return;
+        }
+        // Phase 2: one fsync covers every accepted batch in the group —
+        // this is the whole point of group commit.
+        if let Some(w) = &mut self.wal {
+            if let Err(e) = w.sync() {
+                self.shared.poisoned.store(true, Ordering::Release);
+                for (_, _, reply, _) in accepted {
+                    let reply: Sender<Result<UpdateReply, (u16, String)>> = reply;
+                    let _ = reply.send(Err((500, format!("WAL fsync failed: {e}"))));
+                }
+                return;
+            }
+            let micros = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.shared.metrics.ingest_group_commit_us.observe(micros);
+            self.sync_wal_metrics();
+        }
+        // Phase 3: answer. Synchronous mode (and every prepare) folds
+        // now; deferred mode acks at durable and stages the fold.
+        let defer = self.ingest.group_window > Duration::ZERO && self.wal.is_some();
+        for (muts, prepare, reply, wal_batch) in accepted {
+            if self.shared.poisoned.load(Ordering::Acquire) {
+                // A batch earlier in this group poisoned the EDB. This
+                // one is WAL-durable and will replay on restart.
+                let _ = reply.send(Err((503, POISONED_MSG.into())));
+                continue;
+            }
+            if prepare || !defer {
+                if prepare {
+                    // The staged epoch must sit on top of the whole
+                    // acknowledged history, not jump the backlog queue.
+                    self.fold_pending();
+                }
+                let result = match self.fold_publish(&muts, prepare) {
+                    Ok(out) => Ok(UpdateReply::Applied(out)),
+                    Err(msg) => {
                         // apply_batch / snapshot_segments failed partway:
-                        // the EDB may disagree with mirror/live_ids and with
-                        // the published snapshot, and apply_batch has no
-                        // rollback. Continuing would let the next successful
-                        // update publish a snapshot silently containing the
-                        // half-applied batch. Poison instead: reads keep the
-                        // last consistent snapshot, writes get 503.
-                        shared.poisoned.store(true, Ordering::Release);
+                        // the EDB may disagree with the mirror and the
+                        // published snapshot, and apply_batch has no
+                        // rollback. Poison: reads keep the last
+                        // consistent snapshot, writes get 503.
+                        self.shared.poisoned.store(true, Ordering::Release);
                         Err((500, msg))
                     }
                 };
-                // Surface segment-layer maintenance work done by this batch.
-                let now = medb.num_compactions();
-                shared.metrics.edb_compactions.add(now - compactions_seen);
-                compactions_seen = now;
+                self.sync_compaction_metric();
                 let _ = reply.send(result);
-            }
-            CoordJob::Commit { epoch: want, reply } => {
-                let result = match staged.take() {
-                    None => Err((409, "no prepared batch to commit".into())),
-                    Some(s) if s.epoch != want => {
-                        let msg =
-                            format!("prepared epoch {} does not match commit {want}", s.epoch);
-                        staged = Some(s);
-                        Err((409, msg))
-                    }
-                    Some(s) => {
-                        let invalidated = publish(&shared, s.epoch, &s.snap, &s.touched);
-                        Ok((s.epoch, invalidated))
-                    }
-                };
-                let _ = reply.send(result);
+            } else {
+                self.pending_frames += muts.len() as u64;
+                self.pending.push_back(PendingBatch { muts });
+                if self.oldest_pending.is_none() {
+                    self.oldest_pending = Some(Instant::now());
+                }
+                self.set_backlog();
+                let _ = reply.send(Ok(UpdateReply::Durable {
+                    wal_batch: wal_batch.unwrap_or(0),
+                    staged: self.pending_frames,
+                    epoch: self.epoch,
+                }));
             }
         }
+        if self.pending_frames >= self.ingest.group_frames {
+            self.fold_pending();
+        }
+    }
+
+    /// Fold every deferred batch into the EDB, one `apply_batch` per
+    /// acknowledged batch (bit-identity demands the original batch
+    /// granularity), publishing after each fold.
+    fn fold_pending(&mut self) {
+        if self.pending.is_empty() {
+            self.oldest_pending = None;
+            return;
+        }
+        if self.shared.poisoned.load(Ordering::Acquire) {
+            // The backlog stays durable in the WAL for the next start;
+            // the gauge keeps reporting it as unfolded.
+            self.pending.clear();
+            self.oldest_pending = None;
+            return;
+        }
+        let folds = self.pending.len() as u64;
+        while let Some(batch) = self.pending.pop_front() {
+            match self.fold_publish(&batch.muts, false) {
+                Ok(_) => self.pending_frames -= batch.muts.len() as u64,
+                Err(_) => {
+                    self.shared.poisoned.store(true, Ordering::Release);
+                    self.pending.clear();
+                    self.oldest_pending = None;
+                    self.set_backlog();
+                    return;
+                }
+            }
+        }
+        self.oldest_pending = None;
+        self.set_backlog();
+        self.shared.metrics.ingest_folds.add(folds);
+        self.sync_compaction_metric();
+    }
+
+    /// Apply one batch, snapshot, bump the epoch, and publish (or stage
+    /// when `prepare`). Then consider kicking off a background merge.
+    /// An `Err` always means *poison* — the caller must set the flag.
+    fn fold_publish(
+        &mut self,
+        muts: &[EdbMutation],
+        prepare: bool,
+    ) -> Result<UpdateOutcome, String> {
+        let report = self.medb.apply_batch(muts).map_err(|e| format!("maintenance failed: {e}"))?;
+        apply_mirror(&mut self.mirror, muts);
+
+        // `snapshot_segments` reads only the EDB tail appended by this
+        // batch and hands back the same `Arc`s for segments the batch
+        // left alone, so publication cost is O(segments), not O(entries).
+        let segments =
+            self.medb.snapshot_segments().map_err(|e| format!("snapshot failed: {e}"))?;
+        // Sync the cuboid lattice to the batch. A failure here degrades
+        // the next epoch's `/rollup`s to leaf scans — never to wrong
+        // answers — so it does not poison the coordinator.
+        let lattice = self.medb.snapshot_lattice().ok();
+
+        self.epoch += 1;
+        let snap = Arc::new(EdbSnapshot {
+            epoch: self.epoch,
+            schema: self.medb.schema().clone(),
+            table: Arc::new(self.mirror.clone()),
+            segments,
+            lattice,
+        });
+        let outcome = if prepare {
+            // Phase one of the cluster's two-phase publish: the EDB has
+            // the batch, readers keep the previous epoch until
+            // `POST /epoch` commits. Nothing is invalidated yet.
+            self.staged = Some(Staged { epoch: self.epoch, snap, touched: report.touched.clone() });
+            UpdateOutcome { epoch: self.epoch, invalidated: 0, report }
+        } else {
+            let invalidated = publish(&self.shared, self.epoch, &snap, &report.touched);
+            UpdateOutcome { epoch: self.epoch, invalidated, report }
+        };
+        self.maybe_start_compaction();
+        Ok(outcome)
+    }
+
+    fn handle_commit(&mut self, want: u64, reply: Sender<Result<(u64, u64), (u16, String)>>) {
+        let result = match self.staged.take() {
+            None => Err((409, "no prepared batch to commit".into())),
+            Some(s) if s.epoch != want => {
+                let msg = format!("prepared epoch {} does not match commit {want}", s.epoch);
+                self.staged = Some(s);
+                Err((409, msg))
+            }
+            Some(s) => {
+                let invalidated = publish(&self.shared, s.epoch, &s.snap, &s.touched);
+                Ok((s.epoch, invalidated))
+            }
+        };
+        let _ = reply.send(result);
+    }
+
+    /// Install a finished background merge and republish the segment set
+    /// at the *same* epoch: the live entry multiset is unchanged, so
+    /// cached answers stay valid — no epoch bump, no invalidation.
+    fn handle_compaction_done(&mut self, result: Result<CompactionResult, String>) {
+        if let Some(h) = self.compaction_thread.take() {
+            let _ = h.join();
+        }
+        self.shared.metrics.ingest_compaction_queue.set(0);
+        // A failed merge (e.g. temp-file I/O) left the input tiers
+        // untouched; skip the install and retry below if still needed.
+        if let Ok(done) = result {
+            match self.medb.install_compaction(done) {
+                Ok(installed) => {
+                    if installed {
+                        self.sync_compaction_metric();
+                        // Skipped while a prepared batch is staged: its
+                        // delta is in the EDB but must stay unpublished
+                        // until the commit.
+                        if self.staged.is_none() {
+                            self.republish_segments();
+                        }
+                    }
+                }
+                Err(_) => {
+                    // install_compaction mutates segment bookkeeping; a
+                    // failure partway is the same class as a failed
+                    // apply_batch.
+                    self.shared.poisoned.store(true, Ordering::Release);
+                    return;
+                }
+            }
+        }
+        self.maybe_start_compaction();
+    }
+
+    /// Swap the published snapshot's segments for the merged set without
+    /// touching epoch, cache, or the fact-table mirror.
+    fn republish_segments(&mut self) {
+        let Ok(segments) = self.medb.snapshot_segments() else {
+            return;
+        };
+        let lattice = self.medb.snapshot_lattice().ok();
+        let current = self.shared.snapshot();
+        let snap = Arc::new(EdbSnapshot {
+            epoch: self.epoch,
+            schema: self.medb.schema().clone(),
+            table: current.table.clone(),
+            segments,
+            lattice,
+        });
+        self.shared.metrics.edb_segments.set(snap.segments.len() as i64);
+        self.shared.metrics.compression_ratio.set(compression_milli(&snap.segments));
+        self.shared
+            .metrics
+            .cuboid_bytes
+            .set(snap.lattice.as_ref().map_or(0, |l| l.encoded_bytes()) as i64);
+        *self.shared.snapshot.lock().unwrap_or_else(|p| p.into_inner()) = snap;
+    }
+
+    /// Kick off a background merge when the tier count calls for one and
+    /// none is in flight. The spawned thread owns a `CoordJob` sender
+    /// clone taken from `Shared` *now* — never a persistent clone on the
+    /// coordinator, which would keep its own receive loop alive at
+    /// shutdown.
+    fn maybe_start_compaction(&mut self) {
+        if self.compaction_thread.is_some() || !self.medb.needs_compaction() {
+            return;
+        }
+        let tx = self.shared.update_tx.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let Some(tx) = tx else {
+            return; // shutting down; the final fold already ran or will
+        };
+        match self.medb.prepare_compaction() {
+            Ok(Some(plan)) => {
+                self.shared.metrics.ingest_compaction_queue.set(1);
+                let spawned = std::thread::Builder::new().name("iolap-serve-compact".into()).spawn(
+                    move || {
+                        let result = plan.run().map_err(|e| format!("{e}"));
+                        let _ = tx.send(CoordJob::CompactionDone(Box::new(result)));
+                    },
+                );
+                match spawned {
+                    Ok(h) => self.compaction_thread = Some(h),
+                    Err(_) => self.shared.metrics.ingest_compaction_queue.set(0),
+                }
+            }
+            Ok(None) => {}
+            // Planning reads segment state; a failure leaves it
+            // untouched. Stay un-compacted rather than poisoning.
+            Err(_) => {}
+        }
+    }
+
+    fn set_backlog(&self) {
+        self.shared.wal_backlog.store(self.pending_frames, Ordering::Relaxed);
+        let gauge = i64::try_from(self.pending_frames).unwrap_or(i64::MAX);
+        self.shared.metrics.ingest_backlog.set(gauge);
+    }
+
+    fn sync_wal_metrics(&mut self) {
+        if let Some(w) = &self.wal {
+            let total = w.appended_bytes();
+            self.shared.metrics.ingest_wal_bytes.add(total - self.wal_bytes_seen);
+            self.wal_bytes_seen = total;
+        }
+    }
+
+    /// Surface segment-layer maintenance work since the last sync.
+    fn sync_compaction_metric(&mut self) {
+        let now = self.medb.num_compactions();
+        self.shared.metrics.edb_compactions.add(now - self.compactions_seen);
+        self.compactions_seen = now;
     }
 }
 
@@ -978,6 +1450,12 @@ fn publish(
     // dropping), purge overlapping entries, then publish the snapshot.
     shared.cache.begin_epoch(epoch);
     let invalidated = shared.cache.invalidate_overlapping(touched);
+    // Survivors are disjoint from every touched box, so their answers are
+    // unchanged at the new epoch (Theorem 12's contrapositive) — restamp
+    // them so hits keep reporting the live epoch. Must run *after* the
+    // sweep: restamping first would let a stale overlapping entry serve
+    // one last hit wearing the new epoch.
+    shared.cache.retag_epoch(epoch);
     shared.metrics.cache_invalidated.add(invalidated);
     shared.metrics.edb_segments.set(snap.segments.len() as i64);
     shared.metrics.compression_ratio.set(compression_milli(&snap.segments));
@@ -987,30 +1465,15 @@ fn publish(
     invalidated
 }
 
-/// How an update batch failed.
-enum ApplyError {
-    /// Rejected before any state mutated; the server keeps serving
-    /// updates normally.
-    Reject(u16, String),
-    /// State may be half-mutated; the coordinator must poison itself.
-    Poison(String),
-}
-
-#[allow(clippy::too_many_arguments)]
-fn apply_job(
-    medb: &mut MaintainableEdb,
-    mirror: &mut FactTable,
-    live_ids: &mut HashSet<FactId>,
-    epoch: &mut u64,
-    shared: &Shared,
+/// Validate one batch against the acknowledged id set *without*
+/// mutating it unless every mutation passes (apply_batch has no
+/// rollback, and a rejected batch must leave no trace).
+fn validate_batch(
+    acked_ids: &mut HashSet<FactId>,
     muts: &[EdbMutation],
-    prepare: bool,
-    staged: &mut Option<Staged>,
-) -> Result<UpdateOutcome, ApplyError> {
-    // Pre-validate against the live id set so a bad batch is rejected
-    // before any state mutates (apply_batch has no rollback).
-    let reject = |i: usize, msg: String| ApplyError::Reject(400, format!("mutation {i}: {msg}"));
-    let mut ids = live_ids.clone();
+) -> Result<(), (u16, String)> {
+    let reject = |i: usize, msg: String| (400u16, format!("mutation {i}: {msg}"));
+    let mut ids = acked_ids.clone();
     for (i, m) in muts.iter().enumerate() {
         match m {
             EdbMutation::UpdateMeasure { fact_id, new_measure } => {
@@ -1036,12 +1499,29 @@ fn apply_job(
             }
         }
     }
+    *acked_ids = ids;
+    Ok(())
+}
 
-    let report = medb
-        .apply_batch(muts)
-        .map_err(|e| ApplyError::Poison(format!("maintenance failed: {e}")))?;
+/// Project a validated batch's insert/delete effects onto an id set
+/// (used by WAL replay, where the batch was validated before it was
+/// ever logged).
+fn apply_id_effects(ids: &mut HashSet<FactId>, muts: &[EdbMutation]) {
+    for m in muts {
+        match m {
+            EdbMutation::UpdateMeasure { .. } => {}
+            EdbMutation::Insert(f) => {
+                ids.insert(f.id);
+            }
+            EdbMutation::Delete(fact_id) => {
+                ids.remove(fact_id);
+            }
+        }
+    }
+}
 
-    // Mirror the batch onto the fact table (classical baselines read it).
+/// Mirror a batch onto the fact table (classical baselines read it).
+fn apply_mirror(mirror: &mut FactTable, muts: &[EdbMutation]) {
     for m in muts {
         match m {
             EdbMutation::UpdateMeasure { fact_id, new_measure } => {
@@ -1055,37 +1535,17 @@ fn apply_job(
             }
         }
     }
-    *live_ids = ids;
+}
 
-    // `snapshot_segments` reads only the EDB tail appended by this batch
-    // and hands back the same `Arc`s for segments the batch left alone,
-    // so publication cost is O(segments), not O(entries).
-    let segments = medb
-        .snapshot_segments()
-        .map_err(|e| ApplyError::Poison(format!("snapshot failed: {e}")))?;
-    // Sync the cuboid lattice to the batch (dirty cells recomputed, whole
-    // cuboids rebuilt after a compaction). A failure here degrades the
-    // next epoch's `/rollup`s to leaf scans — never to wrong answers —
-    // so it does not poison the coordinator.
-    let lattice = medb.snapshot_lattice().ok();
-
-    *epoch += 1;
-    let snap = Arc::new(EdbSnapshot {
-        epoch: *epoch,
-        schema: medb.schema().clone(),
-        table: Arc::new(mirror.clone()),
-        segments,
-        lattice,
-    });
-    if prepare {
-        // Phase one of the cluster's two-phase publish: the EDB has the
-        // batch, readers keep the previous epoch until `POST /epoch`
-        // commits. Nothing is invalidated yet.
-        *staged = Some(Staged { epoch: *epoch, snap, touched: report.touched.clone() });
-        return Ok(UpdateOutcome { epoch: *epoch, invalidated: 0, report });
-    }
-    let invalidated = publish(shared, *epoch, &snap, &report.touched);
-    Ok(UpdateOutcome { epoch: *epoch, invalidated, report })
+/// Replay one recovered WAL batch through the normal apply path.
+fn fold_batch(
+    medb: &mut MaintainableEdb,
+    mirror: &mut FactTable,
+    muts: &[EdbMutation],
+) -> iolap_core::Result<()> {
+    medb.apply_batch(muts)?;
+    apply_mirror(mirror, muts);
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

@@ -612,10 +612,23 @@ pub fn commit_response(epoch: u64, invalidated: u64) -> String {
 /// `GET /healthz` response. `ok = false` means the update coordinator
 /// is poisoned: reads still serve, writes are refused. `role` names the
 /// process's place in the topology: `"single"`, `"shard"`, or
-/// `"router"`.
-pub fn health_response(epoch: u64, ok: bool, role: &str) -> String {
+/// `"router"`. `wal_backlog` is the number of WAL frames acknowledged
+/// durable but not yet folded into a delta segment (always 0 without a
+/// WAL or in synchronous group-commit mode).
+pub fn health_response(epoch: u64, ok: bool, role: &str, wal_backlog: u64) -> String {
     let status = if ok { "ok" } else { "degraded" };
-    format!("{{\"status\":\"{status}\",\"epoch\":{epoch},\"role\":\"{}\"}}", escape(role))
+    format!(
+        "{{\"status\":\"{status}\",\"epoch\":{epoch},\"role\":\"{}\",\"wal_backlog\":{wal_backlog}}}",
+        escape(role)
+    )
+}
+
+/// Serialize a `/update` response acknowledged at WAL-durable: the batch
+/// is fsynced in the log (`wal_batch` is its id) but not yet folded into
+/// the EDB — `staged` frames are waiting on the group-commit trigger,
+/// and `epoch` is the epoch readers currently see.
+pub fn staged_response(wal_batch: u64, staged: u64, epoch: u64) -> String {
+    format!("{{\"durable\":true,\"wal_batch\":{wal_batch},\"staged\":{staged},\"epoch\":{epoch}}}")
 }
 
 /// A JSON error envelope.
@@ -1009,10 +1022,20 @@ mod tests {
 
     #[test]
     fn health_response_reports_role() {
-        let v = iolap_obs::json::parse(&health_response(5, true, "router")).unwrap();
+        let v = iolap_obs::json::parse(&health_response(5, true, "router", 12)).unwrap();
         assert_eq!(v.get("role").and_then(|x| x.as_str()), Some("router"));
         assert_eq!(v.get("epoch").and_then(|x| x.as_u64()), Some(5));
         assert_eq!(v.get("status").and_then(|x| x.as_str()), Some("ok"));
+        assert_eq!(v.get("wal_backlog").and_then(|x| x.as_u64()), Some(12));
+    }
+
+    #[test]
+    fn staged_response_reports_durability() {
+        let v = iolap_obs::json::parse(&staged_response(3, 7, 2)).unwrap();
+        assert_eq!(v.get("durable").and_then(|x| x.as_bool()), Some(true));
+        assert_eq!(v.get("wal_batch").and_then(|x| x.as_u64()), Some(3));
+        assert_eq!(v.get("staged").and_then(|x| x.as_u64()), Some(7));
+        assert_eq!(v.get("epoch").and_then(|x| x.as_u64()), Some(2));
     }
 
     #[test]

@@ -517,22 +517,143 @@ fn shutdown_drains_and_joins() {
     }
 }
 
-// The one sanctioned use of the deprecated constructor: an equivalence
-// guard that keeps `Server::start` behaving like the builder path until
-// it is removed. Everything else goes through `Server::builder()`.
+// ---------------------------------------------------------------------------
+// Streaming ingest: WAL durability, group commit, restart recovery.
+// ---------------------------------------------------------------------------
+
+fn normalize_cached(body: &str) -> String {
+    body.replace("\"cached\":true", "\"cached\":false")
+}
+
 #[test]
-#[allow(deprecated)]
-fn deprecated_start_still_serves_like_the_builder() {
-    let h = Server::start(
-        paper_example::table1(),
-        PolicySpec::em_count(0.01),
-        AllocConfig::builder().in_memory(256).build(),
-        "127.0.0.1:0",
-        ServeConfig::default(),
-    )
-    .expect("deprecated entry point still works");
+fn healthz_reports_wal_backlog() {
+    let h = start(ServeConfig::default());
     let mut c = connect(&h);
     let (status, body) = http_roundtrip(&mut c, "GET", "/healthz", "").unwrap();
     assert_eq!(status, 200, "{body}");
+    let v = iolap_obs::json::parse(&body).unwrap();
+    assert_eq!(v.get("wal_backlog").and_then(|b| b.as_u64()), Some(0), "{body}");
+    h.shutdown();
+}
+
+#[test]
+fn synchronous_wal_updates_survive_restart() {
+    let dir = iolap_storage::TempDir::new("serve-wal-sync").unwrap();
+    let wal = dir.path().join("ingest.wal");
+    let cfg = || ServeConfig::builder().wal_path(&wal).workers(2).build();
+    let query = "{\"region\":{\"Location\":\"MA\"}}";
+
+    let h = start(cfg());
+    let mut c = connect(&h);
+    let upd = "{\"mutations\":[{\"op\":\"update\",\"fact_id\":2,\"measure\":500.0}]}";
+    let (status, body) = http_roundtrip(&mut c, "POST", "/update", upd).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = iolap_obs::json::parse(&body).unwrap();
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(1), "synchronous fold: {body}");
+    let (_, before) = http_roundtrip(&mut c, "POST", "/query", query).unwrap();
+    drop(c);
+    h.shutdown();
+
+    // A fresh process starts from the *original* table plus the WAL; the
+    // replay must restore both the bits and the epoch.
+    let h = start(cfg());
+    let mut c = connect(&h);
+    let (_, hb) = http_roundtrip(&mut c, "GET", "/healthz", "").unwrap();
+    let v = iolap_obs::json::parse(&hb).unwrap();
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(1), "epoch survives restart: {hb}");
+    let (_, after) = http_roundtrip(&mut c, "POST", "/query", query).unwrap();
+    assert_eq!(normalize_cached(&after), normalize_cached(&before), "recovered bits differ");
+    h.shutdown();
+}
+
+#[test]
+fn deferred_acks_are_durable_then_fold_on_the_frame_trigger() {
+    let dir = iolap_storage::TempDir::new("serve-wal-defer").unwrap();
+    let wal = dir.path().join("ingest.wal");
+    // A long window with a 2-frame trigger: the first update stays
+    // staged, the second forces the fold.
+    let h = start(
+        ServeConfig::builder()
+            .wal_path(&wal)
+            .group_window(Duration::from_secs(30))
+            .group_frames(2)
+            .build(),
+    );
+    let mut c = connect(&h);
+    let upd1 = "{\"mutations\":[{\"op\":\"update\",\"fact_id\":2,\"measure\":500.0}]}";
+    let (status, body) = http_roundtrip(&mut c, "POST", "/update", upd1).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = iolap_obs::json::parse(&body).unwrap();
+    assert_eq!(v.get("durable").and_then(|d| d.as_bool()), Some(true), "{body}");
+    assert_eq!(v.get("staged").and_then(|s| s.as_u64()), Some(1), "{body}");
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(0), "fold deferred: {body}");
+    let (_, hb) = http_roundtrip(&mut c, "GET", "/healthz", "").unwrap();
+    let v = iolap_obs::json::parse(&hb).unwrap();
+    assert_eq!(v.get("wal_backlog").and_then(|b| b.as_u64()), Some(1), "{hb}");
+
+    let upd2 = "{\"mutations\":[{\"op\":\"update\",\"fact_id\":3,\"measure\":7.0}]}";
+    let (status, body) = http_roundtrip(&mut c, "POST", "/update", upd2).unwrap();
+    assert_eq!(status, 200, "{body}");
+    // The frame trigger folds both staged batches right after the ack;
+    // poll healthz briefly for the published epochs.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (_, hb) = http_roundtrip(&mut c, "GET", "/healthz", "").unwrap();
+        let v = iolap_obs::json::parse(&hb).unwrap();
+        let epoch = v.get("epoch").and_then(|e| e.as_u64()).unwrap_or(0);
+        let backlog = v.get("wal_backlog").and_then(|b| b.as_u64()).unwrap_or(99);
+        if epoch == 2 && backlog == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "fold never happened: {hb}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    h.shutdown();
+}
+
+#[test]
+fn shutdown_flushes_the_deferred_backlog() {
+    let dir = iolap_storage::TempDir::new("serve-wal-flush").unwrap();
+    let wal = dir.path().join("ingest.wal");
+    let cfg = |window: Duration| {
+        ServeConfig::builder().wal_path(&wal).group_window(window).group_frames(1000).build()
+    };
+
+    let h = start(cfg(Duration::from_secs(30)));
+    let mut c = connect(&h);
+    let upd = "{\"mutations\":[{\"op\":\"update\",\"fact_id\":2,\"measure\":500.0}]}";
+    let (status, body) = http_roundtrip(&mut c, "POST", "/update", upd).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = iolap_obs::json::parse(&body).unwrap();
+    assert_eq!(v.get("durable").and_then(|d| d.as_bool()), Some(true), "{body}");
+    drop(c);
+    // Graceful shutdown folds the staged batch into a delta segment
+    // before the coordinator exits (the stdin-EOF path in the CLI).
+    h.shutdown();
+
+    // Synchronous restart: the WAL replays one committed batch whether
+    // or not the flush ran; the flush is observable as epoch 1 *before*
+    // any new traffic plus the updated bits.
+    let h = start(cfg(Duration::ZERO));
+    let mut c = connect(&h);
+    let (_, hb) = http_roundtrip(&mut c, "GET", "/healthz", "").unwrap();
+    let v = iolap_obs::json::parse(&hb).unwrap();
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(1), "{hb}");
+    let query = "{\"region\":{\"Location\":\"MA\"}}";
+    let (_, recovered) = http_roundtrip(&mut c, "POST", "/query", query).unwrap();
+    h.shutdown();
+
+    // Reference: the same update folded synchronously on a WAL-less
+    // server must produce byte-identical bits at the same epoch.
+    let h = start(ServeConfig::default());
+    let mut c = connect(&h);
+    let (status, body) = http_roundtrip(&mut c, "POST", "/update", upd).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (_, reference) = http_roundtrip(&mut c, "POST", "/query", query).unwrap();
+    assert_eq!(
+        normalize_cached(&recovered),
+        normalize_cached(&reference),
+        "replayed bits must match the synchronous fold"
+    );
     h.shutdown();
 }

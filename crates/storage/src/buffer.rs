@@ -631,6 +631,21 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Write `file`'s dirty frames back and fsync its pager: the
+    /// durability point for write-ahead logging. Other files' frames are
+    /// left alone.
+    pub fn sync_file(&self, file: FileId) -> Result<()> {
+        let pf = self.shared.prefetcher();
+        for shard in &self.shared.shards {
+            let mut shard = shard.lock();
+            shard.write_back_coalesced(
+                pf.as_deref(),
+                |f| matches!(f.key, Some((fid, _)) if fid == file),
+            )?;
+        }
+        self.shared.pager(file).lock().sync()
+    }
+
     /// Discard all frames of `file` without write-back and truncate the
     /// underlying pager to `pages` pages. Any page guard for this file must
     /// have been dropped.

@@ -259,6 +259,38 @@ impl<T, C: Codec<T>> RecordFile<T, C> {
         Ok(())
     }
 
+    /// Write this file's dirty pages back and fsync the backing device —
+    /// the durability point of the write-ahead log. The append guard is
+    /// released first so the in-progress page's latest bytes are included.
+    pub fn sync(&mut self) -> Result<()> {
+        self.append_guard = None;
+        self.pool.sync_file(self.file)
+    }
+
+    /// Adopt a record count discovered by crash recovery (the count itself
+    /// is session metadata — see the type docs). `len` must not exceed the
+    /// capacity of the pages already in the backing device.
+    pub(crate) fn set_recovered_len(&mut self, len: u64) {
+        debug_assert!(len <= self.pool.file_pages(self.file) * self.recs_per_page as u64);
+        self.append_guard = None;
+        self.len = len;
+    }
+
+    /// Zero the unused slots of the final partial page, so stale bytes past
+    /// the recovered tail can never decode as records on a later reopen
+    /// (the write-ahead log's recovery hygiene).
+    pub(crate) fn zero_tail(&mut self) -> Result<()> {
+        if self.len == 0 || self.len.is_multiple_of(self.recs_per_page as u64) {
+            return Ok(());
+        }
+        let (page, _) = self.locate(self.len - 1);
+        let end = (self.len % self.recs_per_page as u64) as usize * self.codec.size();
+        self.append_guard = None;
+        let mut guard = self.pool.pin(self.file, page)?;
+        guard.write(|bytes| bytes[end..].fill(0));
+        Ok(())
+    }
+
     /// Release the cached append-page pin. Call when a file has been fully
     /// written and will sit idle (e.g. a finished sort run) so its pinned
     /// page does not occupy a pool frame. Also ends any write-behind phase:

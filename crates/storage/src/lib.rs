@@ -54,6 +54,7 @@ pub mod prefetch;
 pub mod segfile;
 pub mod stats;
 pub mod tempdir;
+pub mod wal;
 
 mod env;
 
@@ -67,3 +68,4 @@ pub use pager::{FilePager, MemPager, ObservedPager, PageId, Pager, PAGE_SIZE};
 pub use prefetch::{PrefetchConfig, PrefetchStats};
 pub use stats::{IoSnapshot, IoStats};
 pub use tempdir::TempDir;
+pub use wal::{Wal, WalRecovery};

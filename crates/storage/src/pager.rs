@@ -120,6 +120,16 @@ pub trait Pager: Send {
     /// Truncate the device to `pages` pages.
     fn truncate(&mut self, pages: u64) -> Result<()>;
 
+    /// Force everything written so far onto durable storage (fsync).
+    ///
+    /// The write-ahead log's durability point: a batch is acknowledged
+    /// only after its pages have both been written back *and* synced.
+    /// In-memory devices are as durable as they will ever get, so the
+    /// default is a no-op.
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
     /// The stats handle this pager reports into.
     fn stats(&self) -> &IoStats;
 }
@@ -244,6 +254,12 @@ impl Pager for FilePager {
             .map_err(|e| StorageError::io("truncating pager file", e))?;
         self.num_pages = pages;
         Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file
+            .sync_all()
+            .map_err(|e| StorageError::io(format!("syncing pager file {}", self.path.display()), e))
     }
 
     fn stats(&self) -> &IoStats {
@@ -393,6 +409,10 @@ impl Pager for ObservedPager {
 
     fn truncate(&mut self, pages: u64) -> Result<()> {
         self.inner.truncate(pages)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()
     }
 
     fn stats(&self) -> &IoStats {

@@ -433,7 +433,8 @@ fn cmd_serve(args: &[String]) -> i32 {
         eprintln!(
             "iolap serve --data DIR [--addr HOST:PORT] [--policy P] [--epsilon E] \
              [--buffer-kb KB] [--workers N] [--queue N] [--cache N] \
-             [--max-conns N] [--timeout-ms MS] [--idle-ms MS] [--role single|shard]"
+             [--max-conns N] [--timeout-ms MS] [--idle-ms MS] [--role single|shard] \
+             [--no-wal] [--group-ms MS] [--group-frames N]"
         );
         return 0;
     }
@@ -477,6 +478,16 @@ fn cmd_serve(args: &[String]) -> i32 {
         flag(args, "--idle-ms").unwrap_or_else(|| "60000".into()).parse().expect("--idle-ms MS");
 
     let role = flag(args, "--role").unwrap_or_else(|| "single".into());
+    // Streaming ingest: updates are WAL-durable by default (the log
+    // lives next to the data); --group-ms > 0 acks at durable and folds
+    // on the group-commit cadence instead of per request.
+    let no_wal = has_flag(args, "--no-wal");
+    let group_ms: u64 =
+        flag(args, "--group-ms").unwrap_or_else(|| "0".into()).parse().expect("--group-ms MS");
+    let group_frames: u64 = flag(args, "--group-frames")
+        .unwrap_or_else(|| "256".into())
+        .parse()
+        .expect("--group-frames N");
 
     let db = match Iolap::open(&dir) {
         Ok(x) => x,
@@ -490,7 +501,7 @@ fn cmd_serve(args: &[String]) -> i32 {
         db.table().len(),
         db.table().num_imprecise()
     );
-    let serve_cfg = ServeConfig::builder()
+    let mut builder = ServeConfig::builder()
         .workers(workers)
         .queue_depth(queue)
         .cache_capacity(cache)
@@ -499,7 +510,12 @@ fn cmd_serve(args: &[String]) -> i32 {
         .write_timeout(std::time::Duration::from_millis(timeout_ms))
         .idle_timeout(std::time::Duration::from_millis(idle_ms))
         .role(&role)
-        .build();
+        .group_window(std::time::Duration::from_millis(group_ms))
+        .group_frames(group_frames);
+    if !no_wal {
+        builder = builder.wal_path(std::path::Path::new(&dir).join("ingest.wal"));
+    }
+    let serve_cfg = builder.build();
     let handle = match db
         .config(AllocConfig::builder().buffer_pages(buffer_pages).build())
         .policy(policy)
